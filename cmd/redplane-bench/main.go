@@ -1,0 +1,148 @@
+// Command redplane-bench regenerates the paper's evaluation (§7): every
+// figure and table, printed as the rows/series the paper reports.
+//
+// Usage:
+//
+//	redplane-bench [-seed N] [-scale F] [-only fig8,fig12,...]
+//
+// -scale multiplies workload sizes (1.0 reproduces the shipped defaults;
+// smaller values give quicker, noisier runs). -only selects a subset.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"redplane/internal/experiments"
+	"redplane/internal/modelcheck"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	only := flag.String("only", "", "comma-separated subset (fig8..fig15,table2,atscale,ablations,modelcheck)")
+	flag.Parse()
+
+	sel := map[string]bool{}
+	for _, s := range strings.Split(*only, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			sel[strings.ToLower(s)] = true
+		}
+	}
+	want := func(name string) bool { return len(sel) == 0 || sel[name] }
+	n := func(base int) int {
+		v := int(float64(base) * *scale)
+		if v < 100 {
+			v = 100
+		}
+		return v
+	}
+	win := func(base time.Duration) time.Duration {
+		v := time.Duration(float64(base) * *scale)
+		if v < time.Millisecond {
+			v = time.Millisecond
+		}
+		return v
+	}
+
+	if want("fig8") {
+		section("Figure 8 — end-to-end RTT: RedPlane-NAT vs baselines")
+		res := experiments.Fig8(*seed, n(100_000))
+		for _, r := range res.Rows {
+			fmt.Println("  ", r)
+		}
+	}
+	if want("fig9") {
+		section("Figure 9 — end-to-end RTT per RedPlane-enabled application")
+		res := experiments.Fig9(*seed, n(50_000))
+		for _, r := range res.Rows {
+			fmt.Println("  ", r)
+		}
+	}
+	if want("fig10") {
+		section("Figure 10 — replication bandwidth overhead")
+		res := experiments.Fig10(*seed, n(50_000))
+		for _, r := range res.Rows {
+			fmt.Println("  ", r)
+		}
+	}
+	if want("fig11") {
+		section("Figure 11 — snapshot bandwidth vs frequency and sketch count")
+		res := experiments.Fig11(*seed)
+		for _, p := range res.Points {
+			fmt.Println("  ", p)
+		}
+	}
+	if want("fig12") {
+		section("Figure 12 — data-plane throughput with and without RedPlane")
+		res := experiments.Fig12(*seed, win(50*time.Millisecond))
+		for _, r := range res.Rows {
+			fmt.Println("  ", r)
+		}
+	}
+	if want("fig13") {
+		section("Figure 13 — key-value store throughput vs update ratio")
+		res := experiments.Fig13(*seed, win(50*time.Millisecond))
+		for _, p := range res.Points {
+			fmt.Println("  ", p)
+		}
+	}
+	if want("fig14") {
+		section("Figure 14 — TCP throughput during failover and recovery")
+		res := experiments.Fig14(*seed, 60*time.Second)
+		fmt.Printf("   failure at %v, recovery at %v; per-second goodput (Gbps):\n",
+			res.FailAt, res.RecoverAt)
+		for _, s := range res.Series {
+			fmt.Printf("   %-22s", s.Label)
+			for i, v := range s.Gbps {
+				if i%4 == 0 {
+					fmt.Printf(" %5.2f", v)
+				}
+			}
+			fmt.Println()
+		}
+	}
+	if want("fig15") {
+		section("Figure 15 — switch packet buffer occupancy (request buffering)")
+		res := experiments.Fig15(*seed, win(20*time.Millisecond))
+		for _, p := range res.Points {
+			fmt.Println("  ", p)
+		}
+	}
+	if want("table2") {
+		section("Table 2 — additional switch ASIC resource usage (100k flows)")
+		res := experiments.Table2(0)
+		for _, r := range res.Rows {
+			fmt.Println("  ", r)
+		}
+	}
+	if want("atscale") {
+		section("§7.2 at-scale analysis — analytical bandwidth overhead model")
+		for _, m := range experiments.Fig10AtScale(0).Rows {
+			fmt.Println("  ", m)
+		}
+	}
+	if want("ablations") {
+		section("Ablations — the design choices, quantified (DESIGN.md §5)")
+		for _, a := range experiments.Ablations(*seed) {
+			fmt.Println("  ", a)
+		}
+	}
+	if want("modelcheck") {
+		section("Appendix C — protocol model check")
+		res := modelcheck.Run(modelcheck.DefaultConfig())
+		fmt.Printf("   states=%d transitions=%d depth=%d violations=%d deadlocks=%d\n",
+			res.States, res.Transitions, res.Depth, len(res.Violations), res.Deadlocks)
+		if !res.OK() {
+			fmt.Fprintln(os.Stderr, "MODEL CHECK FAILED")
+			os.Exit(1)
+		}
+	}
+}
+
+func section(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}

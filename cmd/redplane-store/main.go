@@ -1,0 +1,41 @@
+// Command redplane-store runs a RedPlane state store server over real
+// UDP, speaking the protocol wire format. Chain replication works across
+// processes: start the tail first, then each predecessor with -next
+// pointing at its successor, and aim switches at the head.
+//
+//	redplane-store -listen 127.0.0.1:9502                       # tail
+//	redplane-store -listen 127.0.0.1:9501 -next 127.0.0.1:9502  # middle
+//	redplane-store -listen 127.0.0.1:9500 -next 127.0.0.1:9501  # head
+package main
+
+import (
+	"flag"
+	"log"
+	"time"
+
+	"redplane/internal/store"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9500", "UDP listen address")
+	next := flag.String("next", "", "chain successor address (empty = tail)")
+	lease := flag.Duration("lease", time.Second, "lease period")
+	snapshotSlots := flag.Int("snapshot-slots", 0, "expected snapshot image size (0 = untracked)")
+	flag.Parse()
+
+	srv, err := store.NewUDPServer(*listen, *next, store.Config{
+		LeasePeriod:   *lease,
+		SnapshotSlots: *snapshotSlots,
+	})
+	if err != nil {
+		log.Fatalf("redplane-store: %v", err)
+	}
+	role := "tail"
+	if *next != "" {
+		role = "head/middle -> " + *next
+	}
+	log.Printf("redplane-store: serving on %v (%s, lease %v)", srv.Addr(), role, *lease)
+	if err := srv.Serve(); err != nil {
+		log.Fatalf("redplane-store: %v", err)
+	}
+}

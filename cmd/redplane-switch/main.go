@@ -1,0 +1,78 @@
+// Command redplane-switch exercises a running redplane-store over real
+// UDP as a RedPlane switch would: it acquires leases, replicates
+// sequenced state updates, renews, and reports per-request latency. Use
+// it to validate a store deployment end-to-end.
+//
+//	redplane-switch -store 127.0.0.1:9500 -id 1 -flows 100 -writes 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"redplane/internal/packet"
+	"redplane/internal/store"
+	"redplane/internal/wire"
+)
+
+func main() {
+	addr := flag.String("store", "127.0.0.1:9500", "store chain head address")
+	id := flag.Int("id", 1, "switch ID")
+	flows := flag.Int("flows", 10, "number of flows to drive")
+	writes := flag.Int("writes", 20, "state updates per flow")
+	flag.Parse()
+
+	c, err := store.DialUDP(*addr, *id)
+	if err != nil {
+		log.Fatalf("redplane-switch: %v", err)
+	}
+	defer c.Close()
+
+	var lats []time.Duration
+	do := func(m *wire.Message) *wire.Message {
+		start := time.Now()
+		ack, err := c.Request(m)
+		if err != nil {
+			log.Fatalf("redplane-switch: %v request: %v", m.Type, err)
+		}
+		lats = append(lats, time.Since(start))
+		return ack
+	}
+
+	start := time.Now()
+	for f := 0; f < *flows; f++ {
+		key := packet.FiveTuple{
+			Src: packet.MakeAddr(10, 0, 0, 1), Dst: packet.MakeAddr(100, 0, 0, 1),
+			SrcPort: uint16(1000 + f), DstPort: 80, Proto: packet.ProtoTCP,
+		}
+		ack := do(&wire.Message{Type: wire.MsgLeaseNew, Key: key})
+		if ack.Type == wire.MsgLeaseReject {
+			log.Fatalf("redplane-switch: flow %d lease rejected (another switch owns it)", f)
+		}
+		seq := ack.Seq
+		for w := 1; w <= *writes; w++ {
+			seq++
+			wack := do(&wire.Message{Type: wire.MsgRepl, Key: key, Seq: seq,
+				Vals: []uint64{uint64(w)}})
+			if wack.Type != wire.MsgReplAck || wack.Seq < seq {
+				log.Fatalf("redplane-switch: flow %d write %d: unexpected ack %v seq=%d",
+					f, w, wack.Type, wack.Seq)
+			}
+		}
+		do(&wire.Message{Type: wire.MsgLeaseRenew, Key: key})
+	}
+	elapsed := time.Since(start)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		return lats[int(p*float64(len(lats)-1))]
+	}
+	total := *flows * (*writes + 2)
+	fmt.Printf("redplane-switch: %d requests in %v (%.0f req/s)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	fmt.Printf("latency: p50=%v p90=%v p99=%v\n", pct(0.50), pct(0.90), pct(0.99))
+	fmt.Println("all leases acquired, all writes acknowledged in order")
+}

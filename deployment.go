@@ -1,0 +1,229 @@
+package redplane
+
+import (
+	"time"
+
+	"redplane/internal/core"
+	"redplane/internal/failure"
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+	"redplane/internal/store"
+	"redplane/internal/topo"
+)
+
+// DeploymentConfig describes a RedPlane deployment on the simulated
+// testbed: how many programmable switches fill the aggregation layer,
+// the application each runs, the consistency mode, and the state store's
+// shape.
+type DeploymentConfig struct {
+	// Seed drives the deterministic simulation.
+	Seed int64
+
+	// NewApp builds the application instance for switch i. Required.
+	NewApp func(i int) App
+
+	// Mode is the consistency mode (default Linearizable).
+	Mode Mode
+
+	// Switches is the number of programmable aggregation switches
+	// (default 2, as on the paper's testbed).
+	Switches int
+
+	// StoreShards and StoreReplicas shape the state store (defaults 1
+	// shard, 3-way chain replication, as in the prototype).
+	StoreShards, StoreReplicas int
+
+	// StoreService is the per-request service time at a store server
+	// (default 2 µs, approximating the kernel-bypass server).
+	StoreService time.Duration
+
+	// InitState is the store-side state initializer for new flows (the
+	// place shared pools live; see internal/apps allocators).
+	InitState func(key FiveTuple) []uint64
+
+	// SnapshotSlots is the store's expected snapshot image size for
+	// bounded-inconsistency apps.
+	SnapshotSlots int
+
+	// Protocol tunes the replication protocol; zero value means
+	// DefaultProtocolConfig.
+	Protocol ProtocolConfig
+
+	// Fabric overrides the testbed link configuration (zero value means
+	// the default 100 Gbps / 800 ns fabric).
+	Fabric netsim.LinkConfig
+
+	// RecordHistory enables input/output event recording for the
+	// linearizability checker.
+	RecordHistory bool
+
+	// NoStore disables the state store entirely: switches run the
+	// application without fault tolerance (the paper's baselines).
+	NoStore bool
+
+	// LocalInit seeds per-flow state in NoStore mode; the switch ID
+	// allows per-switch pools (baseline state is switch-local).
+	LocalInit func(switchID int, key FiveTuple) []uint64
+
+	// LocalInitExtraDelay models an external controller on baseline
+	// flow setup.
+	LocalInitExtraDelay time.Duration
+
+	// StoreIgnoreSeq disables the store's sequence serialization — the
+	// Fig. 6a ablation. Experiments only.
+	StoreIgnoreSeq bool
+}
+
+// Deployment is a running RedPlane testbed: simulator, topology,
+// switches, and state store, plus helpers to attach traffic endpoints
+// and inject failures.
+type Deployment struct {
+	Sim     *netsim.Sim
+	Testbed *topo.Testbed
+	Cluster *store.Cluster
+	Hist    *History
+
+	switches []*core.Switch
+	swIPs    []packet.Addr
+}
+
+// NewDeployment builds and wires the testbed.
+func NewDeployment(cfg DeploymentConfig) *Deployment {
+	if cfg.NewApp == nil {
+		panic("redplane: DeploymentConfig.NewApp is required")
+	}
+	if cfg.Switches == 0 {
+		cfg.Switches = 2
+	}
+	if cfg.StoreShards == 0 {
+		cfg.StoreShards = 1
+	}
+	if cfg.StoreReplicas == 0 {
+		cfg.StoreReplicas = 3
+	}
+	if cfg.StoreService == 0 {
+		cfg.StoreService = 2 * time.Microsecond
+	}
+	if cfg.Protocol.LeasePeriod == 0 {
+		cfg.Protocol = DefaultProtocolConfig()
+	}
+	if cfg.Fabric.Delay == 0 && cfg.Fabric.Bandwidth == 0 {
+		cfg.Fabric = netsim.LinkConfig{Delay: 800 * time.Nanosecond, Bandwidth: 100e9}
+	}
+
+	sim := netsim.New(cfg.Seed)
+	d := &Deployment{Sim: sim}
+	if cfg.RecordHistory {
+		d.Hist = &History{}
+		cfg.Protocol.History = d.Hist
+	}
+	cfg.Protocol.LocalInit = cfg.LocalInit
+	cfg.Protocol.LocalInitExtraDelay = cfg.LocalInitExtraDelay
+
+	var locator core.StoreLocator
+	if !cfg.NoStore {
+		d.Cluster = store.NewCluster(sim, cfg.StoreShards, cfg.StoreReplicas,
+			store.Config{
+				LeasePeriod:   cfg.Protocol.LeasePeriod,
+				InitState:     cfg.InitState,
+				SnapshotSlots: cfg.SnapshotSlots,
+				IgnoreSeq:     cfg.StoreIgnoreSeq,
+			},
+			cfg.StoreService,
+			func(shard, replica int) packet.Addr {
+				return packet.MakeAddr(10, 100, byte(shard+1), byte(replica+1))
+			})
+		locator = d.Cluster
+	}
+
+	var aggs []topo.RoutedNode
+	for i := 0; i < cfg.Switches; i++ {
+		ip := packet.MakeAddr(10, 254, 0, byte(i+1))
+		d.swIPs = append(d.swIPs, ip)
+		sw := core.NewSwitch(sim, i, "redplane-sw"+string(rune('0'+i)), ip,
+			cfg.NewApp(i), cfg.Mode, locator, cfg.Protocol)
+		d.switches = append(d.switches, sw)
+		aggs = append(aggs, sw)
+	}
+
+	d.Testbed = topo.NewTestbed(sim, topo.TestbedConfig{Fabric: cfg.Fabric, Cores: 2, ToRs: 2}, aggs)
+	for i, ip := range d.swIPs {
+		d.Testbed.RegisterAggIP(i, ip)
+	}
+
+	if d.Cluster != nil {
+		// Store servers keep their full-rate NICs even when the fabric
+		// is scaled down for simulation tractability: the paper's store
+		// uses 100 Gbps kernel-bypass NICs, so its links are never the
+		// scaled bottleneck.
+		storeLink := cfg.Fabric
+		if storeLink.Bandwidth > 0 && storeLink.Bandwidth < 100e9 {
+			storeLink.Bandwidth *= 4
+		}
+		for si, srv := range d.Cluster.All() {
+			rack := (si % cfg.StoreReplicas) % 2
+			srv.SetPort(d.Testbed.AddRackNodeLink(rack, srv, srv.IP, storeLink))
+			srv.SwitchAddr = d.SwitchIP
+		}
+	}
+	return d
+}
+
+// Switch returns programmable switch i.
+func (d *Deployment) Switch(i int) *core.Switch { return d.switches[i] }
+
+// Switches returns the switch count.
+func (d *Deployment) Switches() int { return len(d.switches) }
+
+// SwitchIP returns switch i's protocol address.
+func (d *Deployment) SwitchIP(i int) Addr { return d.swIPs[i] }
+
+// SwitchFor returns the switch the fabric's ECMP maps the flow to while
+// all switches are healthy.
+func (d *Deployment) SwitchFor(key FiveTuple) *core.Switch {
+	return d.switches[key.SymmetricHash()%uint64(len(d.switches))]
+}
+
+// AddClient attaches a traffic endpoint outside the data center (on core
+// c).
+func (d *Deployment) AddClient(c int, name string, ip Addr) *topo.Host {
+	return d.Testbed.AddExternalHost(c, name, ip)
+}
+
+// AddServer attaches a rack server under ToR rack.
+func (d *Deployment) AddServer(rack int, name string, ip Addr) *topo.Host {
+	return d.Testbed.AddRackHost(rack, name, ip)
+}
+
+// RegisterServiceIP routes a virtual service address (NAT public IP,
+// load-balancer VIP) to the aggregation layer.
+func (d *Deployment) RegisterServiceIP(ip Addr) { d.Testbed.RegisterServiceIP(ip) }
+
+// RunFor advances the simulation to the given virtual time offset.
+func (d *Deployment) RunFor(dur time.Duration) { d.Sim.RunUntil(netsim.Duration(dur)) }
+
+// Run drains all pending events. With a state store attached, periodic
+// protocol timers (lease renewal) reschedule themselves indefinitely, so
+// prefer RunFor with an explicit horizon; Run only terminates for
+// NoStore deployments.
+func (d *Deployment) Run() { d.Sim.Run() }
+
+// Now returns the current virtual time.
+func (d *Deployment) Now() Time { return d.Sim.Now() }
+
+// FailurePlan re-exports the failure injection schedule.
+type FailurePlan = failure.Plan
+
+// ScheduleFailure installs a failure/recovery schedule for switch i.
+func (d *Deployment) ScheduleFailure(p FailurePlan) {
+	failure.Schedule(d.Sim, d.Testbed, d.switches[p.Agg], p)
+}
+
+// CheckLinearizable validates the recorded history against the per-flow
+// counter machine; it returns nil when no history was recorded.
+func (d *Deployment) CheckLinearizable() error {
+	if d.Hist == nil {
+		return nil
+	}
+	return d.Hist.CheckCounterLinearizable()
+}

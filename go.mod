@@ -1,0 +1,3 @@
+module redplane
+
+go 1.22

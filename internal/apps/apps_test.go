@@ -1,0 +1,350 @@
+package apps
+
+import (
+	"testing"
+
+	"redplane/internal/core"
+	"redplane/internal/packet"
+)
+
+var (
+	intPrefix = packet.MakeAddr(10, 0, 0, 0)
+	intMask   = packet.MakeAddr(255, 0, 0, 0)
+	natIP     = packet.MakeAddr(203, 0, 113, 1)
+	intHost   = packet.MakeAddr(10, 0, 0, 5)
+	extHost   = packet.MakeAddr(100, 1, 2, 3)
+)
+
+func newNAT() (*NAT, *NATAllocator) {
+	n := &NAT{InternalPrefix: intPrefix, InternalMask: intMask, PublicIP: natIP}
+	return n, NewNATAllocator(n)
+}
+
+func TestNATOutboundTranslation(t *testing.T) {
+	n, alloc := newNAT()
+	p := packet.NewTCP(intHost, extHost, 5555, 80, packet.FlagSYN, 0)
+	key, ok := n.Key(p)
+	if !ok {
+		t.Fatal("NAT ignored internal flow")
+	}
+	state := alloc.Init(key)
+	if len(state) != 1 || state[0] < 20000 {
+		t.Fatalf("allocation = %v", state)
+	}
+	out, newState := n.Process(p, state)
+	if newState != nil {
+		t.Error("NAT wrote state in the data plane")
+	}
+	if len(out) != 1 || out[0].IP.Src != natIP || out[0].TCP.SrcPort != uint16(state[0]) {
+		t.Errorf("translated: %v:%d", out[0].IP.Src, out[0].TCP.SrcPort)
+	}
+}
+
+func TestNATInboundReverseTranslation(t *testing.T) {
+	n, alloc := newNAT()
+	// Establish the outbound mapping first.
+	outKey, _ := n.Key(packet.NewTCP(intHost, extHost, 5555, 80, packet.FlagSYN, 0))
+	st := alloc.Init(outKey)
+	extPort := uint16(st[0])
+
+	// Reply from outside to the public endpoint.
+	reply := packet.NewTCP(extHost, natIP, 80, extPort, packet.FlagACK, 0)
+	inKey, ok := n.Key(reply)
+	if !ok {
+		t.Fatal("NAT ignored inbound flow")
+	}
+	inState := alloc.Init(inKey)
+	if len(inState) != 2 {
+		t.Fatalf("reverse state = %v", inState)
+	}
+	out, _ := n.Process(reply, inState)
+	if len(out) != 1 || out[0].IP.Dst != intHost || out[0].TCP.DstPort != 5555 {
+		t.Errorf("reverse translated to %v:%d", out[0].IP.Dst, out[0].TCP.DstPort)
+	}
+}
+
+func TestNATDropsUnsolicitedInbound(t *testing.T) {
+	n, alloc := newNAT()
+	p := packet.NewTCP(extHost, natIP, 80, 31337, packet.FlagSYN, 0)
+	key, _ := n.Key(p)
+	state := alloc.Init(key) // no mapping → nil
+	out, _ := n.Process(p, state)
+	if len(out) != 0 || n.Drops != 1 {
+		t.Errorf("unsolicited inbound not dropped: out=%d drops=%d", len(out), n.Drops)
+	}
+}
+
+func TestNATIgnoresTransit(t *testing.T) {
+	n, _ := newNAT()
+	if _, ok := n.Key(packet.NewTCP(extHost, packet.MakeAddr(100, 9, 9, 9), 1, 2, 0, 0)); ok {
+		t.Error("NAT claimed transit traffic")
+	}
+	if n.InstallVia() != core.InstallTable {
+		t.Error("NAT should install via control plane")
+	}
+}
+
+func TestNATDistinctPortsPerFlow(t *testing.T) {
+	_, alloc := newNAT()
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		k := packet.FiveTuple{Src: intHost, Dst: extHost, SrcPort: uint16(1000 + i),
+			DstPort: 80, Proto: packet.ProtoTCP}
+		st := alloc.Init(k)
+		if seen[st[0]] {
+			t.Fatalf("port %d allocated twice", st[0])
+		}
+		seen[st[0]] = true
+	}
+}
+
+func TestFirewallEstablishAndAllow(t *testing.T) {
+	f := &Firewall{InternalPrefix: intPrefix, InternalMask: intMask}
+	syn := packet.NewTCP(intHost, extHost, 5555, 80, packet.FlagSYN, 0)
+	key, ok := f.Key(syn)
+	if !ok {
+		t.Fatal("key")
+	}
+	out, newState := f.Process(syn, nil)
+	if len(out) != 1 || len(newState) != 1 || newState[0] != fwEstablished {
+		t.Fatalf("SYN handling: out=%d state=%v", len(out), newState)
+	}
+	// Return traffic keys to the same partition and passes.
+	ret := packet.NewTCP(extHost, intHost, 80, 5555, packet.FlagACK, 0)
+	retKey, _ := f.Key(ret)
+	if retKey != key {
+		t.Fatalf("directions key differently: %v vs %v", retKey, key)
+	}
+	out, ns := f.Process(ret, newState)
+	if len(out) != 1 || ns != nil {
+		t.Error("established return traffic mishandled")
+	}
+}
+
+func TestFirewallBlocksUnsolicited(t *testing.T) {
+	f := &Firewall{InternalPrefix: intPrefix, InternalMask: intMask}
+	p := packet.NewTCP(extHost, intHost, 80, 5555, packet.FlagSYN, 0)
+	out, _ := f.Process(p, nil)
+	if len(out) != 0 || f.Blocked != 1 {
+		t.Error("unsolicited inbound not blocked")
+	}
+	// Non-TCP is not firewall traffic.
+	if _, ok := f.Key(packet.NewUDP(1, 2, 3, 4, 0)); ok {
+		t.Error("firewall claimed UDP")
+	}
+}
+
+func TestLoadBalancerAssignsAndPins(t *testing.T) {
+	vip := packet.MakeAddr(203, 0, 113, 10)
+	backends := []packet.Addr{packet.MakeAddr(10, 0, 0, 1), packet.MakeAddr(10, 0, 0, 2)}
+	lb := &LoadBalancer{VIP: vip}
+	pool := NewLBPool(vip, backends)
+
+	assigned := map[packet.Addr]int{}
+	for i := 0; i < 10; i++ {
+		p := packet.NewTCP(extHost, vip, uint16(1000+i), 443, packet.FlagSYN, 0)
+		key, ok := lb.Key(p)
+		if !ok {
+			t.Fatal("LB ignored VIP traffic")
+		}
+		st := pool.Init(key)
+		out, ns := lb.Process(p, st)
+		if ns != nil || len(out) != 1 {
+			t.Fatal("LB wrote state or dropped")
+		}
+		assigned[out[0].IP.Dst]++
+	}
+	if assigned[backends[0]] != 5 || assigned[backends[1]] != 5 {
+		t.Errorf("round robin uneven: %v", assigned)
+	}
+	// No state → drop.
+	p := packet.NewTCP(extHost, vip, 9999, 443, 0, 0)
+	if out, _ := lb.Process(p, nil); len(out) != 0 || lb.Drops != 1 {
+		t.Error("no-mapping packet not dropped")
+	}
+	// Non-VIP traffic ignored.
+	if _, ok := lb.Key(packet.NewTCP(extHost, extHost, 1, 2, 0, 0)); ok {
+		t.Error("LB claimed non-VIP traffic")
+	}
+	if pool.Init(packet.FiveTuple{Dst: extHost}) != nil {
+		t.Error("pool initialized non-VIP key")
+	}
+}
+
+func gtpPacket(teid uint32, msgType uint8, newTEID uint16) *packet.Packet {
+	p := packet.NewUDP(intHost, extHost, 40000, packet.GTPPort, 64)
+	p.HasGTP = true
+	p.GTP = packet.GTP{Version: 1, MsgType: msgType, TEID: teid, Len: newTEID}
+	return p
+}
+
+func TestEPCSGWSignalingAndData(t *testing.T) {
+	s := &EPCSGW{}
+	sig := gtpPacket(42, packet.GTPMsgSignaling, 777)
+	key, ok := s.Key(sig)
+	if !ok {
+		t.Fatal("key")
+	}
+	out, newState := s.Process(sig, nil)
+	if len(out) != 1 || len(newState) != 1 || newState[0] != 777 {
+		t.Fatalf("signaling: state=%v", newState)
+	}
+	if s.Signals != 1 {
+		t.Error("signal count")
+	}
+	// Data packet for the same user reads the state.
+	data := gtpPacket(42, packet.GTPMsgData, 0)
+	dkey, _ := s.Key(data)
+	if dkey != key {
+		t.Fatal("data and signaling key differently")
+	}
+	out, ns := s.Process(data, newState)
+	if ns != nil || len(out) != 1 || out[0].GTP.TEID != 777 {
+		t.Errorf("data forwarding: teid=%d", out[0].GTP.TEID)
+	}
+	// Data without session state drops.
+	if out, _ := s.Process(gtpPacket(99, packet.GTPMsgData, 0), nil); len(out) != 0 || s.Drops != 1 {
+		t.Error("sessionless data not dropped")
+	}
+	// Non-GTP ignored.
+	if _, ok := s.Key(packet.NewTCP(1, 2, 3, 4, 0, 0)); ok {
+		t.Error("SGW claimed TCP")
+	}
+}
+
+func TestHeavyHitterSketchAndSnapshots(t *testing.T) {
+	hh := NewHeavyHitter(0, 2, 50, func(p *packet.Packet) int {
+		return int(p.IP.Dst & 1)
+	})
+	// 100 packets of one flow to tenant 0.
+	flow := packet.NewTCP(intHost, packet.MakeAddr(10, 0, 0, 2), 1000, 80, 0, 0)
+	for i := 0; i < 100; i++ {
+		out, ns := hh.Process(flow, nil)
+		if len(out) != 1 || ns != nil {
+			t.Fatal("HH must forward and never write per-flow state")
+		}
+	}
+	if hh.Heavy == 0 {
+		t.Error("heavy flow not detected")
+	}
+	t0 := int(flow.IP.Dst & 1)
+	if est := hh.Sketch(t0).Estimate(flow.Flow().Hash()); est < 100 {
+		t.Errorf("estimate = %d", est)
+	}
+	parts := hh.Snapshots()
+	if len(parts) != 2 {
+		t.Fatalf("partitions = %d", len(parts))
+	}
+	if parts[0].Key == parts[1].Key {
+		t.Error("tenant partitions collide")
+	}
+	if parts[0].Src.Slots() != hh.SlotsPerPartition() || hh.SlotsPerPartition() != 192 {
+		t.Error("slot geometry")
+	}
+	// Partition keys differ across switches.
+	if HHPartitionKey(0, 0) == HHPartitionKey(1, 0) {
+		t.Error("switch partitions collide")
+	}
+}
+
+func TestSyncCounter(t *testing.T) {
+	c := SyncCounter{}
+	p := packet.NewUDP(1, 2, 3, 4, 0)
+	if _, ok := c.Key(p); !ok {
+		t.Fatal("key")
+	}
+	out, st := c.Process(p, nil)
+	if len(out) != 1 || st[0] != 1 {
+		t.Fatal("first increment")
+	}
+	_, st = c.Process(p, st)
+	if st[0] != 2 {
+		t.Fatal("second increment")
+	}
+}
+
+func TestAsyncCounterAccumulatesLocally(t *testing.T) {
+	a := NewAsyncCounter(1)
+	p := packet.NewUDP(1, 2, 3, 4, 0)
+	for i := 0; i < 10; i++ {
+		out, ns := a.Process(p, nil)
+		if len(out) != 1 || ns != nil {
+			t.Fatal("async counter must not write replicated state")
+		}
+	}
+	slot := int(p.Flow().Hash() % uint64(a.Slots()))
+	if got := a.Array().Latest(slot); got != 10 {
+		t.Errorf("slot value = %d", got)
+	}
+	parts := a.Snapshots()
+	if len(parts) != 1 || parts[0].Src.Slots() != a.Slots() {
+		t.Error("snapshot partition wrong")
+	}
+}
+
+func TestKVStoreReadUpdate(t *testing.T) {
+	kv := &KVStore{}
+	upd := packet.NewUDP(extHost, intHost, 4000, packet.KVPort, 0)
+	upd.HasKV = true
+	upd.KV = packet.KVHeader{Op: packet.KVUpdate, Key: 77, Val: 123}
+	key, ok := kv.Key(upd)
+	if !ok {
+		t.Fatal("key")
+	}
+	out, st := kv.Process(upd, nil)
+	if len(st) != 1 || st[0] != 123 {
+		t.Fatalf("update state = %v", st)
+	}
+	if len(out) != 1 || out[0].IP.Dst != extHost || out[0].KV.Val != 123 {
+		t.Error("update reply wrong")
+	}
+
+	rd := packet.NewUDP(extHost, intHost, 4000, packet.KVPort, 0)
+	rd.HasKV = true
+	rd.KV = packet.KVHeader{Op: packet.KVRead, Key: 77}
+	rkey, _ := kv.Key(rd)
+	if rkey != key {
+		t.Fatal("read keys differently from update")
+	}
+	out, ns := kv.Process(rd, st)
+	if ns != nil || len(out) != 1 || out[0].KV.Val != 123 {
+		t.Error("read reply wrong")
+	}
+	if kv.Reads != 1 || kv.Updates != 1 {
+		t.Error("op counters")
+	}
+	// Unknown op and non-KV traffic.
+	bad := packet.NewUDP(1, 2, 3, packet.KVPort, 0)
+	bad.HasKV = true
+	bad.KV.Op = 99
+	if out, _ := kv.Process(bad, nil); len(out) != 0 {
+		t.Error("unknown op produced output")
+	}
+	if _, ok := kv.Key(packet.NewUDP(1, 2, 3, 4, 0)); ok {
+		t.Error("KV claimed plain UDP")
+	}
+	// Distinct keys → distinct partitions.
+	if KVPartitionKey(1) == KVPartitionKey(2) {
+		t.Error("partition collision")
+	}
+}
+
+func TestAppNamesAndInstallPaths(t *testing.T) {
+	nat, _ := newNAT()
+	lb := &LoadBalancer{}
+	appsList := []core.App{nat, &Firewall{}, lb, &EPCSGW{}, NewHeavyHitter(0, 1, 0, nil),
+		SyncCounter{}, NewAsyncCounter(0), &KVStore{}}
+	seen := map[string]bool{}
+	for _, a := range appsList {
+		if a.Name() == "" || seen[a.Name()] {
+			t.Errorf("bad or duplicate name %q", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+	if lb.InstallVia() != core.InstallTable {
+		t.Error("LB install path")
+	}
+	if (&Firewall{}).InstallVia() != core.InstallRegister {
+		t.Error("FW install path")
+	}
+}

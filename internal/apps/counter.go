@@ -1,0 +1,88 @@
+package apps
+
+import (
+	"redplane/internal/core"
+	"redplane/internal/packet"
+	"redplane/internal/sketch"
+)
+
+// SyncCounter counts packets per IP 5-tuple with synchronous replication:
+// every packet is a state write, making it the paper's worst-case
+// application (§6 app 6). Outputs expose the new count for history
+// checking.
+type SyncCounter struct{}
+
+// Name implements core.App.
+func (SyncCounter) Name() string { return "sync-counter" }
+
+// InstallVia implements core.App.
+func (SyncCounter) InstallVia() core.InstallPath { return core.InstallRegister }
+
+// Key implements core.App.
+func (SyncCounter) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	if !p.HasTCP && !p.HasUDP {
+		return packet.FiveTuple{}, false
+	}
+	return p.Flow(), true
+}
+
+// Process implements core.App: increment and forward.
+func (SyncCounter) Process(p *packet.Packet, state []uint64) ([]*packet.Packet, []uint64) {
+	n := uint64(0)
+	if len(state) > 0 {
+		n = state[0]
+	}
+	return []*packet.Packet{p}, []uint64{n + 1}
+}
+
+// AsyncCounter is the same counter in bounded-inconsistency mode: counts
+// accumulate in a lazily-snapshotted register array indexed by flow hash
+// and replicate as periodic snapshots, so packets are never delayed.
+type AsyncCounter struct {
+	SwitchID int
+	arr      *sketch.LazyArray
+}
+
+// asyncCounterSlots sizes the counter array (one snapshot = this many
+// replication packets).
+const asyncCounterSlots = 128
+
+// NewAsyncCounter creates the counter for one switch.
+func NewAsyncCounter(switchID int) *AsyncCounter {
+	return &AsyncCounter{SwitchID: switchID, arr: sketch.NewLazyArray(asyncCounterSlots)}
+}
+
+// Name implements core.App.
+func (a *AsyncCounter) Name() string { return "async-counter" }
+
+// InstallVia implements core.App.
+func (a *AsyncCounter) InstallVia() core.InstallPath { return core.InstallRegister }
+
+// Key implements core.App.
+func (a *AsyncCounter) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	if !p.HasTCP && !p.HasUDP {
+		return packet.FiveTuple{}, false
+	}
+	return p.Flow(), true
+}
+
+// Process implements core.App: bump the flow's slot locally and forward.
+func (a *AsyncCounter) Process(p *packet.Packet, _ []uint64) ([]*packet.Packet, []uint64) {
+	a.arr.Update(int(p.Flow().Hash()%asyncCounterSlots), 1)
+	return []*packet.Packet{p}, nil
+}
+
+// Snapshots implements core.SnapshotApp.
+func (a *AsyncCounter) Snapshots() []core.SnapshotPartition {
+	return []core.SnapshotPartition{{
+		Key: packet.FiveTuple{Src: packet.Addr(a.SwitchID), SrcPort: 0xAC,
+			Proto: packet.ProtoUDP},
+		Src: a.arr,
+	}}
+}
+
+// Slots returns the snapshot image size.
+func (a *AsyncCounter) Slots() int { return asyncCounterSlots }
+
+// Array exposes the underlying register array (tests).
+func (a *AsyncCounter) Array() *sketch.LazyArray { return a.arr }

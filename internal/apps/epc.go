@@ -1,0 +1,72 @@
+package apps
+
+import (
+	"redplane/internal/core"
+	"redplane/internal/packet"
+)
+
+// EPCSGW is a simplified cellular serving gateway (§6 app 4): it routes
+// user data traffic by per-user tunnel endpoint ID (TEID) state that is
+// updated by signaling messages and read by every data packet — the
+// paper's exemplar mixed-read/write application.
+//
+// Packets are GTP-encapsulated UDP. Data packets (GTPMsgData) read the
+// user's forwarding state to pick the downstream endpoint; signaling
+// packets (GTPMsgSignaling) install or update it (e.g. on device attach
+// or handover), carrying the new forwarding value in the GTP TEID's
+// companion field (modeled as the packet's KV value would be — here we
+// reuse the GTP header's Len field as the new downstream TEID for
+// simplicity of the simulated control protocol).
+type EPCSGW struct {
+	// Drops counts data packets with no session state.
+	Drops uint64
+	// Signals counts processed signaling messages.
+	Signals uint64
+}
+
+// SGW state layout: [downstreamTEID].
+const sgwStateLen = 1
+
+// sgwKeySpace tags SGW partition keys so they never collide with real
+// 5-tuple keys in a shared store.
+const sgwKeySpace uint16 = 0xE9C
+
+// Name implements core.App.
+func (s *EPCSGW) Name() string { return "epc-sgw" }
+
+// InstallVia implements core.App: TEID state lives in registers.
+func (s *EPCSGW) InstallVia() core.InstallPath { return core.InstallRegister }
+
+// Key implements core.App: per-user partitioning by TEID (an
+// application-specific key, as §4.3 anticipates).
+func (s *EPCSGW) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	if !p.HasGTP {
+		return packet.FiveTuple{}, false
+	}
+	return packet.FiveTuple{
+		Src:   packet.Addr(p.GTP.TEID),
+		Proto: packet.ProtoUDP,
+		// Distinguish the SGW's key space from real 5-tuples.
+		SrcPort: sgwKeySpace,
+	}, true
+}
+
+// Process implements core.App.
+func (s *EPCSGW) Process(p *packet.Packet, state []uint64) ([]*packet.Packet, []uint64) {
+	switch p.GTP.MsgType {
+	case packet.GTPMsgSignaling:
+		// Session update: record the new downstream TEID.
+		s.Signals++
+		return []*packet.Packet{p}, []uint64{uint64(p.GTP.Len)}
+	case packet.GTPMsgData:
+		if len(state) < sgwStateLen || state[0] == 0 {
+			s.Drops++
+			return nil, nil
+		}
+		// Re-tunnel toward the downstream endpoint.
+		p.GTP.TEID = uint32(state[0])
+		return []*packet.Packet{p}, nil
+	default:
+		return nil, nil
+	}
+}

@@ -1,0 +1,59 @@
+package apps
+
+import (
+	"redplane/internal/core"
+	"redplane/internal/packet"
+)
+
+// Firewall is a stateful firewall: connections established from the
+// internal network are remembered in a per-flow connection table (which
+// RedPlane replicates); inbound packets without an established entry are
+// dropped. Both directions of a connection share one partition by keying
+// on the canonical 5-tuple.
+type Firewall struct {
+	InternalPrefix, InternalMask packet.Addr
+
+	// Blocked counts inbound packets dropped for lacking state.
+	Blocked uint64
+}
+
+// Firewall state layout: [established] (0 or 1).
+const fwEstablished = 1
+
+// Name implements core.App.
+func (f *Firewall) Name() string { return "firewall" }
+
+// InstallVia implements core.App: connection state lives in registers.
+func (f *Firewall) InstallVia() core.InstallPath { return core.InstallRegister }
+
+func (f *Firewall) internal(a packet.Addr) bool {
+	return a&f.InternalMask == f.InternalPrefix
+}
+
+// Key implements core.App: both directions map to the canonical tuple so
+// return traffic finds the connection's entry.
+func (f *Firewall) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	if !p.HasTCP {
+		return packet.FiveTuple{}, false
+	}
+	return p.Flow().Canonical(), true
+}
+
+// Process implements core.App: an outbound SYN establishes state (the
+// one write in a connection's lifetime, §6: "state is updated when a TCP
+// connection is established from an internal network"); all other packets
+// read it.
+func (f *Firewall) Process(p *packet.Packet, state []uint64) ([]*packet.Packet, []uint64) {
+	established := len(state) > 0 && state[0] == fwEstablished
+	if f.internal(p.IP.Src) {
+		if p.TCP.Flags.Has(packet.FlagSYN) && !established {
+			return []*packet.Packet{p}, []uint64{fwEstablished}
+		}
+		return []*packet.Packet{p}, nil
+	}
+	if established {
+		return []*packet.Packet{p}, nil
+	}
+	f.Blocked++
+	return nil, nil
+}

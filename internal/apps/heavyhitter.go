@@ -1,0 +1,121 @@
+package apps
+
+import (
+	"redplane/internal/core"
+	"redplane/internal/packet"
+	"redplane/internal/sketch"
+)
+
+// HeavyHitter detects heavy flows with per-tenant count-min sketches (§6
+// app 5): 3 rows of 64 32-bit slots indexed by a hash of the IP 5-tuple,
+// one sketch per tenant (the paper keys tenants by VLAN ID; here a
+// configurable classifier maps packets to tenants). It is the paper's
+// exemplar write-centric application and replicates with periodic
+// snapshots in bounded-inconsistency mode.
+type HeavyHitter struct {
+	// Tenant classifies a packet into a tenant index [0, Tenants).
+	Tenant func(p *packet.Packet) int
+	// Threshold is the estimated count at which a flow is reported heavy.
+	Threshold uint64
+	// SwitchID disambiguates this instance's snapshot partitions from a
+	// sibling switch's.
+	SwitchID int
+
+	sketches []*sketch.CountMin
+
+	// Heavy counts threshold crossings observed.
+	Heavy uint64
+}
+
+// Sketch geometry from §6: 3 hash rows of 64 slots.
+const (
+	hhRows  = 3
+	hhWidth = 64
+)
+
+// NewHeavyHitter creates a detector with one sketch per tenant using the
+// paper's 3x64 geometry.
+func NewHeavyHitter(switchID, tenants int, threshold uint64, classify func(*packet.Packet) int) *HeavyHitter {
+	return NewHeavyHitterRows(switchID, tenants, hhRows, hhWidth, threshold, classify)
+}
+
+// NewHeavyHitterRows creates a detector with explicit sketch geometry
+// (rows x width), used by the snapshot-bandwidth sweep of Fig. 11.
+func NewHeavyHitterRows(switchID, tenants, rows, width int, threshold uint64,
+	classify func(*packet.Packet) int) *HeavyHitter {
+	h := &HeavyHitter{Tenant: classify, Threshold: threshold, SwitchID: switchID}
+	for i := 0; i < tenants; i++ {
+		h.sketches = append(h.sketches, sketch.NewCountMin(rows, width))
+	}
+	return h
+}
+
+// Name implements core.App.
+func (h *HeavyHitter) Name() string { return "hh-detector" }
+
+// InstallVia implements core.App.
+func (h *HeavyHitter) InstallVia() core.InstallPath { return core.InstallRegister }
+
+// Key implements core.App. Per-packet state is the tenant's sketch; the
+// returned key only routes history bookkeeping — snapshot partitions are
+// what reach the store.
+func (h *HeavyHitter) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	if !p.HasTCP && !p.HasUDP {
+		return packet.FiveTuple{}, false
+	}
+	return p.Flow(), true
+}
+
+// Process implements core.App: update the tenant's sketch and forward.
+// Sketch state is local (asynchronously snapshotted), so newState is
+// always nil.
+func (h *HeavyHitter) Process(p *packet.Packet, _ []uint64) ([]*packet.Packet, []uint64) {
+	t := 0
+	if h.Tenant != nil {
+		t = h.Tenant(p)
+	}
+	if t >= 0 && t < len(h.sketches) {
+		cm := h.sketches[t]
+		cm.Update(p.Flow().Hash(), 1)
+		if h.Threshold > 0 && cm.Estimate(p.Flow().Hash()) >= h.Threshold {
+			h.Heavy++
+		}
+	}
+	return []*packet.Packet{p}, nil
+}
+
+// Snapshots implements core.SnapshotApp: one partition per tenant sketch,
+// keyed by (tenant, switch) in a reserved key space.
+func (h *HeavyHitter) Snapshots() []core.SnapshotPartition {
+	parts := make([]core.SnapshotPartition, 0, len(h.sketches))
+	for i, cm := range h.sketches {
+		parts = append(parts, core.SnapshotPartition{
+			Key: HHPartitionKey(h.SwitchID, i),
+			Src: cm,
+		})
+	}
+	return parts
+}
+
+// Sketch exposes tenant t's sketch (tests, recovery tooling).
+func (h *HeavyHitter) Sketch(t int) *sketch.CountMin { return h.sketches[t] }
+
+// SlotsPerPartition returns the snapshot image size, for store.Config's
+// SnapshotSlots.
+func (h *HeavyHitter) SlotsPerPartition() int {
+	if len(h.sketches) == 0 {
+		return 0
+	}
+	return h.sketches[0].Slots()
+}
+
+// HHPartitionKey is the store partition key for a (switch, tenant)
+// sketch.
+func HHPartitionKey(switchID, tenant int) packet.FiveTuple {
+	return packet.FiveTuple{
+		Src:     packet.Addr(switchID),
+		Dst:     packet.Addr(tenant),
+		SrcPort: 0xAB, // reserved key space for HH partitions
+		Proto:   packet.ProtoUDP,
+	}
+}

@@ -1,0 +1,71 @@
+package apps
+
+import (
+	"redplane/internal/core"
+	"redplane/internal/packet"
+)
+
+// KVStore is the simple in-switch key-value store of §7.2 (Fig. 13):
+// requests carry a custom header with an operation, a key, and a value.
+// Reads return the stored value to the sender; updates write it (and are
+// replicated synchronously). The update ratio of the workload determines
+// how hard RedPlane's write path is exercised.
+type KVStore struct {
+	// Reads and Updates count operations served.
+	Reads, Updates uint64
+}
+
+// kvKeySpace tags KV partition keys.
+const kvKeySpace uint16 = 0x4B56 // "KV"
+
+// Name implements core.App.
+func (k *KVStore) Name() string { return "kv-store" }
+
+// InstallVia implements core.App.
+func (k *KVStore) InstallVia() core.InstallPath { return core.InstallRegister }
+
+// Key implements core.App: partition by the application-level key (an
+// application-specific object ID, as §4.3 anticipates).
+func (k *KVStore) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	if !p.HasKV {
+		return packet.FiveTuple{}, false
+	}
+	return KVPartitionKey(p.KV.Key), true
+}
+
+// Process implements core.App.
+func (k *KVStore) Process(p *packet.Packet, state []uint64) ([]*packet.Packet, []uint64) {
+	switch p.KV.Op {
+	case packet.KVUpdate:
+		k.Updates++
+		return []*packet.Packet{kvReply(p, p.KV.Val)}, []uint64{p.KV.Val}
+	case packet.KVRead:
+		k.Reads++
+		var v uint64
+		if len(state) > 0 {
+			v = state[0]
+		}
+		return []*packet.Packet{kvReply(p, v)}, nil
+	default:
+		return nil, nil
+	}
+}
+
+// kvReply turns the request into its response, headed back to the client.
+func kvReply(p *packet.Packet, val uint64) *packet.Packet {
+	r := p.Clone()
+	r.IP.Src, r.IP.Dst = p.IP.Dst, p.IP.Src
+	r.UDP.SrcPort, r.UDP.DstPort = p.UDP.DstPort, p.UDP.SrcPort
+	r.KV.Val = val
+	return r
+}
+
+// KVPartitionKey maps an application key to its store partition key.
+func KVPartitionKey(key uint64) packet.FiveTuple {
+	return packet.FiveTuple{
+		Src:     packet.Addr(key >> 32),
+		Dst:     packet.Addr(key),
+		SrcPort: kvKeySpace,
+		Proto:   packet.ProtoUDP,
+	}
+}

@@ -1,0 +1,81 @@
+package apps
+
+import (
+	"sync"
+
+	"redplane/internal/core"
+	"redplane/internal/packet"
+)
+
+// LoadBalancer is an L4 load balancer in the SilkRoad mold: a per-5-tuple
+// server mapping table keeps each connection pinned to its backend even
+// as the backend pool changes. The server IP pool is shared state managed
+// by the state store (LBPool below); backends reply directly to clients
+// (direct server return), so only the client→VIP direction traverses the
+// mapping.
+type LoadBalancer struct {
+	// VIP is the virtual service address clients connect to.
+	VIP packet.Addr
+
+	// Drops counts packets with no backend mapping.
+	Drops uint64
+}
+
+// Name implements core.App.
+func (l *LoadBalancer) Name() string { return "load-balancer" }
+
+// InstallVia implements core.App: connection tables install through the
+// control plane, like the NAT's.
+func (l *LoadBalancer) InstallVia() core.InstallPath { return core.InstallTable }
+
+// Key implements core.App: client connections to the VIP partition by
+// their 5-tuple.
+func (l *LoadBalancer) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	if !p.HasTCP || p.IP.Dst != l.VIP {
+		return packet.FiveTuple{}, false
+	}
+	return p.Flow(), true
+}
+
+// Process implements core.App: rewrite the VIP to the connection's
+// backend. Like the NAT, the mapping is created at the store on flow
+// initialization, so the data plane only reads.
+func (l *LoadBalancer) Process(p *packet.Packet, state []uint64) ([]*packet.Packet, []uint64) {
+	if len(state) == 0 || state[0] == 0 {
+		l.Drops++
+		return nil, nil
+	}
+	p.IP.Dst = packet.Addr(state[0])
+	return []*packet.Packet{p}, nil
+}
+
+// LBPool is the store-managed backend pool: new connections are assigned
+// backends round-robin. Plug Init into store.Config as InitState.
+type LBPool struct {
+	vip      packet.Addr
+	backends []packet.Addr
+	mu       sync.Mutex
+	next     int
+
+	// Assigned counts per-backend connection assignments.
+	Assigned map[packet.Addr]int
+}
+
+// NewLBPool creates a pool over the given backends.
+func NewLBPool(vip packet.Addr, backends []packet.Addr) *LBPool {
+	return &LBPool{vip: vip, backends: backends, Assigned: make(map[packet.Addr]int)}
+}
+
+// Init is the store.Config.InitState hook: a new connection to the VIP
+// gets the next backend.
+func (p *LBPool) Init(key packet.FiveTuple) []uint64 {
+	if key.Dst != p.vip || len(p.backends) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.backends[p.next%len(p.backends)]
+	p.next++
+	p.Assigned[b]++
+	return []uint64{uint64(b)}
+}

@@ -1,0 +1,158 @@
+// Package apps implements the stateful in-switch applications the paper
+// evaluates (§6, Table 1): NAT, stateful firewall, load balancer, EPC
+// serving gateway, heavy-hitter detection, per-flow counters (synchronous
+// and asynchronous), and the in-switch key-value store used for the
+// update-ratio experiment.
+//
+// Every application is written against internal/core's App interface, so
+// RedPlane makes its per-flow state fault tolerant without the app
+// knowing. Shared "global" state — the NAT port pool and the load
+// balancer's server pool — is managed by the state store servers, exactly
+// as §3 prescribes, via store.Config.InitState hooks provided here.
+package apps
+
+import (
+	"sync"
+
+	"redplane/internal/core"
+	"redplane/internal/packet"
+)
+
+// NAT translates between an internal network and the Internet using a
+// per-5-tuple translation table whose entries RedPlane replicates. The
+// available-port pool is shared state managed at the state store: a new
+// outbound flow's first packet triggers state initialization, at which
+// point the store allocates an external port and records the reverse
+// mapping (the paper's "port pool is sharded across state store servers
+// and managed by them").
+type NAT struct {
+	// InternalPrefix and InternalMask define the inside network.
+	InternalPrefix, InternalMask packet.Addr
+	// PublicIP is the NAT's externally visible address.
+	PublicIP packet.Addr
+
+	// Drops counts packets dropped for lacking a translation.
+	Drops uint64
+}
+
+// NAT state layout: outbound flows hold [extPort]; inbound flows hold
+// [intIP, intPort].
+const (
+	natStateOutLen = 1
+	natStateInLen  = 2
+)
+
+// Name implements core.App.
+func (n *NAT) Name() string { return "nat" }
+
+// InstallVia reports table installation: NAT translation tables are
+// match tables, inserted through the control plane (§5.1, §7.1).
+func (n *NAT) InstallVia() core.InstallPath { return core.InstallTable }
+
+func (n *NAT) internal(a packet.Addr) bool {
+	return a&n.InternalMask == n.InternalPrefix
+}
+
+// Key implements core.App: TCP and UDP flows partition by their 5-tuple.
+func (n *NAT) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	if !p.HasTCP && !p.HasUDP {
+		return packet.FiveTuple{}, false
+	}
+	if !n.internal(p.IP.Src) && p.IP.Dst != n.PublicIP {
+		// Transit traffic the NAT does not own.
+		return packet.FiveTuple{}, false
+	}
+	return p.Flow(), true
+}
+
+// Process implements core.App: reads the translation and rewrites
+// addresses. NAT never writes state in the data plane — entries are
+// created by the store at flow initialization — so it is read-centric.
+func (n *NAT) Process(p *packet.Packet, state []uint64) ([]*packet.Packet, []uint64) {
+	switch {
+	case n.internal(p.IP.Src) && len(state) >= natStateOutLen && state[0] != 0:
+		// Outbound: source becomes the public address and allocated port.
+		p.IP.Src = n.PublicIP
+		setSrcPort(p, uint16(state[0]))
+		return []*packet.Packet{p}, nil
+	case p.IP.Dst == n.PublicIP && len(state) >= natStateInLen && state[0] != 0:
+		// Inbound: destination becomes the mapped internal endpoint.
+		p.IP.Dst = packet.Addr(state[0])
+		setDstPort(p, uint16(state[1]))
+		return []*packet.Packet{p}, nil
+	default:
+		// No translation available: drop, like a NAT without an entry.
+		n.Drops++
+		return nil, nil
+	}
+}
+
+func setSrcPort(p *packet.Packet, port uint16) {
+	if p.HasTCP {
+		p.TCP.SrcPort = port
+	} else if p.HasUDP {
+		p.UDP.SrcPort = port
+	}
+}
+
+func setDstPort(p *packet.Packet, port uint16) {
+	if p.HasTCP {
+		p.TCP.DstPort = port
+	} else if p.HasUDP {
+		p.UDP.DstPort = port
+	}
+}
+
+// NATAllocator is the store-side shared state of the NAT: the external
+// port pool and the reverse mappings. Plug Init into store.Config as
+// InitState. It is safe for concurrent use (the real-UDP store runs
+// shards on separate goroutines).
+type NATAllocator struct {
+	nat      *NAT
+	mu       sync.Mutex
+	nextPort uint16
+	// forward maps an outbound flow key to its allocated port (Init is
+	// idempotent per flow); reverse maps allocated external port →
+	// (internal IP, port).
+	forward map[packet.FiveTuple]uint16
+	reverse map[uint16][2]uint64
+}
+
+// NewNATAllocator creates the allocator; ports are handed out from 20000.
+func NewNATAllocator(nat *NAT) *NATAllocator {
+	return NewNATAllocatorBase(nat, 20000)
+}
+
+// NewNATAllocatorBase creates an allocator handing out ports from base;
+// baseline deployments give each switch its own disjoint range so local
+// pools never produce colliding translations.
+func NewNATAllocatorBase(nat *NAT, base uint16) *NATAllocator {
+	return &NATAllocator{nat: nat, nextPort: base,
+		forward: make(map[packet.FiveTuple]uint16),
+		reverse: make(map[uint16][2]uint64)}
+}
+
+// Init is the store.Config.InitState hook: outbound flow keys get a fresh
+// external port (recording the reverse mapping); inbound flow keys get
+// the recorded internal endpoint, or zero state if none exists (the NAT
+// will drop such packets, as it should for unsolicited inbound traffic).
+func (a *NATAllocator) Init(key packet.FiveTuple) []uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.nat.internal(key.Src) {
+		if port, ok := a.forward[key]; ok {
+			return []uint64{uint64(port)}
+		}
+		port := a.nextPort
+		a.nextPort++
+		a.forward[key] = port
+		a.reverse[port] = [2]uint64{uint64(key.Src), uint64(key.SrcPort)}
+		return []uint64{uint64(port)}
+	}
+	if key.Dst == a.nat.PublicIP {
+		if m, ok := a.reverse[key.DstPort]; ok {
+			return []uint64{m[0], m[1]}
+		}
+	}
+	return nil
+}

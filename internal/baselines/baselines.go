@@ -1,0 +1,172 @@
+// Package baselines implements the systems the paper compares RedPlane
+// against (§2.2, Fig. 8): server-based NFs with and without fault
+// tolerance, and the control-plane checkpoint/rollback approaches whose
+// bandwidth mismatch §2.2 demonstrates. The switch-side baselines
+// (Switch-NAT, FT Switch-NAT w/ controller) are core.Switch
+// configurations — no state store, LocalInit for flow setup, and
+// LocalInitExtraDelay for the external controller.
+package baselines
+
+import (
+	"time"
+
+	"redplane/internal/core"
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+	"redplane/internal/topo"
+)
+
+// ServerNF runs an in-switch application's logic on a commodity server
+// instead ("Server-NAT"): traffic is explicitly routed through the
+// server, which processes each packet after a per-packet service time and
+// re-emits it toward its real destination. With FT enabled, state writes
+// replicate synchronously to a peer server before outputs release
+// (Pico-replication style), and every packet pays a small output-logging
+// cost.
+type ServerNF struct {
+	sim  *netsim.Sim
+	host *topo.Host
+	app  core.App
+
+	// Service is the per-packet software forwarding cost.
+	Service time.Duration
+	// FT enables synchronous state replication to the peer.
+	FT bool
+	// PeerRTT is the replication round trip to the FT peer.
+	PeerRTT time.Duration
+	// LogCost is the per-packet output-logging overhead in FT mode.
+	LogCost time.Duration
+	// LocalInit initializes new flow state (the server-local port pool).
+	LocalInit func(key packet.FiveTuple) []uint64
+
+	states    map[packet.FiveTuple][]uint64
+	busyUntil netsim.Time
+
+	// Processed counts packets handled.
+	Processed uint64
+}
+
+// NewServerNF attaches the NF to a host; received data frames are
+// processed and re-emitted.
+func NewServerNF(sim *netsim.Sim, host *topo.Host, app core.App, service time.Duration) *ServerNF {
+	nf := &ServerNF{
+		sim: sim, host: host, app: app, Service: service,
+		states: make(map[packet.FiveTuple][]uint64),
+	}
+	host.Handler = func(f *netsim.Frame) {
+		if f.Pkt != nil {
+			nf.process(f.Pkt)
+		}
+	}
+	return nf
+}
+
+// Host returns the NF's host (its IP is where traffic is steered).
+func (nf *ServerNF) Host() *topo.Host { return nf.host }
+
+func (nf *ServerNF) process(p *packet.Packet) {
+	// Software NFs serialize packets behind per-packet service time.
+	start := nf.sim.Now()
+	if nf.busyUntil > start {
+		start = nf.busyUntil
+	}
+	done := start + netsim.Duration(nf.Service)
+	nf.busyUntil = done
+	nf.sim.At(done, func() { nf.run(p) })
+}
+
+func (nf *ServerNF) run(p *packet.Packet) {
+	key, ok := nf.app.Key(p)
+	if !ok {
+		nf.emit(p)
+		return
+	}
+	nf.Processed++
+	st, have := nf.states[key]
+	if !have && nf.LocalInit != nil {
+		st = nf.LocalInit(key)
+		nf.states[key] = st
+	}
+	out, newState := nf.app.Process(p, st)
+	wrote := newState != nil
+	if wrote {
+		nf.states[key] = append([]uint64(nil), newState...)
+	}
+	delay := time.Duration(0)
+	if nf.FT {
+		delay += nf.LogCost
+		if wrote {
+			delay += nf.PeerRTT // synchronous state replication
+		}
+	}
+	if delay == 0 {
+		for _, o := range out {
+			nf.emit(o)
+		}
+		return
+	}
+	nf.sim.After(delay, func() {
+		for _, o := range out {
+			nf.emit(o)
+		}
+	})
+}
+
+func (nf *ServerNF) emit(p *packet.Packet) { nf.host.SendPacket(p) }
+
+// SteerFrame wraps a packet in a frame routed to the NF server rather
+// than the packet's own destination — the "explicitly routing traffic
+// through them" deployment of §2.
+func SteerFrame(p *packet.Packet, via packet.Addr) *netsim.Frame {
+	f := netsim.DataFrame(p)
+	f.Dst = via
+	return f
+}
+
+// CPLogger models the §2.2 checkpoint/rollback baselines' fundamental
+// constraint: state updates (or packet logs) must cross the
+// ASIC-to-controller channel, whose bandwidth is orders of magnitude
+// below the data rate. Offered records are dropped once the channel's
+// queue exceeds its depth; the capture ratio is what a recovery could
+// reconstruct.
+type CPLogger struct {
+	// Bandwidth is the control channel rate in bits/s (O(1 Gbps)).
+	Bandwidth float64
+	// QueueBytes is the channel's buffering.
+	QueueBytes int
+
+	backlogBytes int
+	lastDrain    netsim.Time
+
+	// Offered/Captured/Dropped count records.
+	Offered, Captured, Dropped uint64
+}
+
+// Offer presents one record of size bytes at time now; it returns whether
+// the record made it into the log.
+func (l *CPLogger) Offer(now netsim.Time, size int) bool {
+	l.Offered++
+	// Drain the backlog at channel bandwidth since the last offer.
+	elapsed := float64(now - l.lastDrain)
+	l.lastDrain = now
+	drained := int(l.Bandwidth * elapsed / 8e9)
+	l.backlogBytes -= drained
+	if l.backlogBytes < 0 {
+		l.backlogBytes = 0
+	}
+	if l.backlogBytes+size > l.QueueBytes {
+		l.Dropped++
+		return false
+	}
+	l.backlogBytes += size
+	l.Captured++
+	return true
+}
+
+// CaptureRatio returns the fraction of offered records captured.
+func (l *CPLogger) CaptureRatio() float64 {
+	if l.Offered == 0 {
+		return 1
+	}
+	return float64(l.Captured) / float64(l.Offered)
+}

@@ -1,0 +1,202 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"redplane/internal/core"
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+	"redplane/internal/topo"
+)
+
+// echoApp forwards everything, counting per-flow packets as state writes
+// when write is set.
+type echoApp struct{ write bool }
+
+func (echoApp) Name() string { return "echo" }
+func (echoApp) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	return p.Flow(), true
+}
+func (a echoApp) Process(p *packet.Packet, state []uint64) ([]*packet.Packet, []uint64) {
+	if a.write {
+		n := uint64(0)
+		if len(state) > 0 {
+			n = state[0]
+		}
+		return []*packet.Packet{p}, []uint64{n + 1}
+	}
+	return []*packet.Packet{p}, nil
+}
+func (echoApp) InstallVia() core.InstallPath { return core.InstallRegister }
+
+func buildNFNet(t *testing.T, app core.App, service time.Duration) (*netsim.Sim, *topo.Host, *topo.Host, *ServerNF) {
+	t.Helper()
+	sim := netsim.New(1)
+	cfg := topo.TestbedConfig{Fabric: netsim.LinkConfig{Delay: 800 * time.Nanosecond, Bandwidth: 100e9}}
+	tb := topo.NewTestbed(sim, cfg, []topo.RoutedNode{topo.NewRouter("agg0"), topo.NewRouter("agg1")})
+	src := tb.AddExternalHost(0, "src", packet.MakeAddr(100, 0, 0, 1))
+	dst := tb.AddRackHost(0, "dst", packet.MakeAddr(10, 0, 0, 1))
+	nfHost := tb.AddRackHost(1, "nf", packet.MakeAddr(10, 1, 0, 1))
+	nf := NewServerNF(sim, nfHost, app, service)
+	return sim, src, dst, nf
+}
+
+func TestServerNFSteersAndForwards(t *testing.T) {
+	sim, src, dst, nf := buildNFNet(t, echoApp{}, 20*time.Microsecond)
+	var arrival netsim.Time
+	dst.Handler = func(f *netsim.Frame) { arrival = sim.Now() }
+
+	p := packet.NewTCP(src.IP, dst.IP, 1000, 80, packet.FlagACK, 0)
+	src.Send(SteerFrame(p, nf.Host().IP))
+	sim.Run()
+	if arrival == 0 {
+		t.Fatal("packet never reached destination")
+	}
+	// The detour + 20 µs service dominates: must be well above the
+	// direct path (~3 µs) — the 7–14x server penalty of §7.1.
+	if arrival < netsim.Duration(20*time.Microsecond) {
+		t.Errorf("server path too fast: %v", arrival)
+	}
+	if nf.Processed != 1 {
+		t.Errorf("processed = %d", nf.Processed)
+	}
+}
+
+func TestServerNFServiceSerialization(t *testing.T) {
+	sim, src, dst, nf := buildNFNet(t, echoApp{}, 10*time.Microsecond)
+	count := 0
+	dst.Handler = func(f *netsim.Frame) { count++ }
+	for i := 0; i < 10; i++ {
+		p := packet.NewTCP(src.IP, dst.IP, uint16(1000+i), 80, packet.FlagACK, 0)
+		src.Send(SteerFrame(p, nf.Host().IP))
+	}
+	sim.Run()
+	if count != 10 {
+		t.Fatalf("delivered %d", count)
+	}
+	// 10 packets x 10 µs service => at least 100 µs to drain.
+	if sim.Now() < netsim.Duration(100*time.Microsecond) {
+		t.Errorf("no service-time serialization: done at %v", sim.Now())
+	}
+}
+
+func TestServerNFFTAddsWriteLatency(t *testing.T) {
+	run := func(ft bool) netsim.Time {
+		sim, src, dst, nf := buildNFNet(t, echoApp{write: true}, 10*time.Microsecond)
+		nf.FT = ft
+		nf.PeerRTT = 50 * time.Microsecond
+		nf.LogCost = 5 * time.Microsecond
+		var arrival netsim.Time
+		dst.Handler = func(f *netsim.Frame) { arrival = sim.Now() }
+		p := packet.NewTCP(src.IP, dst.IP, 1000, 80, packet.FlagACK, 0)
+		src.Send(SteerFrame(p, nf.Host().IP))
+		sim.Run()
+		return arrival
+	}
+	plain, ft := run(false), run(true)
+	if ft < plain+netsim.Duration(50*time.Microsecond) {
+		t.Errorf("FT %v not slower than plain %v by the peer RTT", ft, plain)
+	}
+}
+
+func TestServerNFLocalInit(t *testing.T) {
+	sim, src, dst, nf := buildNFNet(t, echoApp{}, time.Microsecond)
+	inited := 0
+	nf.LocalInit = func(key packet.FiveTuple) []uint64 { inited++; return []uint64{1} }
+	dst.Handler = func(f *netsim.Frame) {}
+	for i := 0; i < 3; i++ {
+		p := packet.NewTCP(src.IP, dst.IP, 1000, 80, packet.FlagACK, 0)
+		src.Send(SteerFrame(p, nf.Host().IP))
+	}
+	sim.Run()
+	if inited != 1 {
+		t.Errorf("LocalInit ran %d times for one flow", inited)
+	}
+}
+
+func TestCPLoggerDropsAboveBandwidth(t *testing.T) {
+	// 1 Gbps channel, 64 KB queue: offering 100-byte records every 100ns
+	// (8 Gbps) must overflow and drop most records.
+	l := &CPLogger{Bandwidth: 1e9, QueueBytes: 64 * 1024}
+	for i := 0; i < 100000; i++ {
+		l.Offer(netsim.Time(i*100), 100)
+	}
+	if l.Dropped == 0 {
+		t.Fatal("no drops at 8x channel bandwidth")
+	}
+	ratio := l.CaptureRatio()
+	// Should capture roughly bandwidth_share = 1/8 of records.
+	if ratio < 0.05 || ratio > 0.3 {
+		t.Errorf("capture ratio = %.3f, want ~0.125", ratio)
+	}
+}
+
+func TestCPLoggerKeepsUpBelowBandwidth(t *testing.T) {
+	// Offering 100-byte records every 10 µs = 80 Mbps over a 1 Gbps
+	// channel: nothing should drop.
+	l := &CPLogger{Bandwidth: 1e9, QueueBytes: 64 * 1024}
+	for i := 0; i < 10000; i++ {
+		l.Offer(netsim.Time(i*10000), 100)
+	}
+	if l.Dropped != 0 {
+		t.Errorf("dropped %d below channel bandwidth", l.Dropped)
+	}
+	if l.CaptureRatio() != 1 {
+		t.Errorf("capture ratio = %v", l.CaptureRatio())
+	}
+	empty := &CPLogger{Bandwidth: 1e9, QueueBytes: 1}
+	if empty.CaptureRatio() != 1 {
+		t.Error("empty logger ratio")
+	}
+}
+
+func TestSwitchBaselineLocalInitViaControlPlane(t *testing.T) {
+	// A core.Switch with no store and an InstallTable app must delay the
+	// first packet of a flow by the CP insertion (Switch-NAT baseline).
+	sim := netsim.New(2)
+	cfg := core.DefaultConfig()
+	cfg.LocalInit = func(_ int, key packet.FiveTuple) []uint64 { return []uint64{1} }
+	sw := core.NewSwitch(sim, 0, "base", packet.MakeAddr(10, 254, 0, 1),
+		tableApp{}, core.Linearizable, nil, cfg)
+
+	// A single aggregation slot forces all traffic through the baseline
+	// switch.
+	tcfg := topo.TestbedConfig{Fabric: netsim.LinkConfig{Delay: 800 * time.Nanosecond, Bandwidth: 100e9}}
+	tb := topo.NewTestbed(sim, tcfg, []topo.RoutedNode{sw})
+	src := tb.AddExternalHost(0, "src", packet.MakeAddr(100, 0, 0, 1))
+	dst := tb.AddRackHost(0, "dst", packet.MakeAddr(10, 0, 0, 1))
+	var first, second netsim.Time
+	dst.Handler = func(f *netsim.Frame) {
+		if first == 0 {
+			first = sim.Now()
+		} else if second == 0 {
+			second = sim.Now()
+		}
+	}
+	src.SendPacket(packet.NewTCP(src.IP, dst.IP, 1000, 80, packet.FlagSYN, 0))
+	sim.Run()
+	src.SendPacket(packet.NewTCP(src.IP, dst.IP, 1000, 80, packet.FlagACK, 0))
+	sim.Run()
+	if first < netsim.Duration(100*time.Microsecond) {
+		t.Errorf("first packet at %v did not pay CP insertion", first)
+	}
+	if second-first > netsim.Duration(50*time.Microsecond) {
+		t.Errorf("second packet paid setup again: %v after first", second-first)
+	}
+}
+
+// tableApp forwards and requires table installation.
+type tableApp struct{}
+
+func (tableApp) Name() string { return "table" }
+func (tableApp) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	return p.Flow(), true
+}
+func (tableApp) Process(p *packet.Packet, state []uint64) ([]*packet.Packet, []uint64) {
+	if len(state) == 0 {
+		return nil, nil
+	}
+	return []*packet.Packet{p}, nil
+}
+func (tableApp) InstallVia() core.InstallPath { return core.InstallTable }

@@ -1,0 +1,94 @@
+// Package core implements the RedPlane switch-side protocol (§5): lease
+// acquisition and renewal, per-flow sequencing, piggybacked output
+// buffering through the network, mirroring-based retransmission of
+// truncated replication requests, buffered reads during in-flight writes,
+// state initialization and migration on failover, and periodic snapshot
+// replication for the bounded-inconsistency mode.
+//
+// A Switch is a simulator node occupying an aggregation slot of the
+// testbed. It hosts one application written against the App interface and
+// transparently makes its per-flow state fault tolerant.
+package core
+
+import (
+	"redplane/internal/packet"
+)
+
+// Mode selects a consistency mode (§4).
+type Mode int
+
+// Consistency modes.
+const (
+	// Linearizable replicates every state update synchronously before the
+	// corresponding output is released (§4.2).
+	Linearizable Mode = iota
+	// BoundedInconsistency replicates periodic snapshots asynchronously;
+	// up to one snapshot period of updates can be lost on failure (§4.4).
+	BoundedInconsistency
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == BoundedInconsistency {
+		return "bounded-inconsistency"
+	}
+	return "linearizable"
+}
+
+// InstallPath says how migrated state is installed into the data plane.
+type InstallPath int
+
+// Install paths (§5.1: register state installs entirely in the data
+// plane; match-table state routes through the switch control plane).
+const (
+	InstallRegister InstallPath = iota
+	InstallTable
+)
+
+// App is a stateful in-switch application: the transition function of
+// Definition 1, (input packet, state) → (output packets, new state),
+// partitioned by a per-packet flow key.
+type App interface {
+	// Name identifies the application in reports.
+	Name() string
+
+	// Key extracts the packet's flow partition key. ok=false means the
+	// packet is not this application's traffic and is forwarded
+	// unmodified without touching state.
+	Key(p *packet.Packet) (key packet.FiveTuple, ok bool)
+
+	// Process handles one packet given the flow's current state values
+	// and returns the packets to emit plus the new state. A nil newState
+	// means the packet only read state (the read-centric fast path); an
+	// empty non-nil slice is a valid state write. Process must be
+	// deterministic (§4.1).
+	Process(p *packet.Packet, state []uint64) (out []*packet.Packet, newState []uint64)
+
+	// InstallVia reports whether migrated state installs through data
+	// plane registers or the control plane (match tables).
+	InstallVia() InstallPath
+}
+
+// SnapshotSource is a lazily-snapshottable structure (internal/sketch's
+// LazyArray, CountMin and Bloom all implement it).
+type SnapshotSource interface {
+	BeginSnapshot() error
+	SnapshotRead(slot int) (uint64, error)
+	SnapshotInProgress() bool
+	Slots() int
+}
+
+// SnapshotPartition pairs one snapshot-replicated structure with the store
+// key it replicates under (e.g. one count-min sketch per VLAN ID).
+type SnapshotPartition struct {
+	Key packet.FiveTuple
+	Src SnapshotSource
+}
+
+// SnapshotApp is implemented by bounded-inconsistency applications: in
+// addition to packet processing (whose state updates are local only), the
+// app exposes the structures RedPlane snapshots every period.
+type SnapshotApp interface {
+	App
+	Snapshots() []SnapshotPartition
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+)
+
+// EventKind distinguishes history events (§4.1 Definition 2).
+type EventKind int
+
+// Event kinds.
+const (
+	// EventInput records a packet received by a RedPlane switch.
+	EventInput EventKind = iota
+	// EventOutput records the corresponding output packet being released.
+	EventOutput
+)
+
+// Event is one entry of a history: an input event I_p or output event O_p.
+// Observed carries the state value the application exposed in the output
+// (for the per-flow counter, the counter value), which is what the
+// linearizability checker validates.
+type Event struct {
+	Kind     EventKind
+	Key      packet.FiveTuple
+	PktSeq   uint64
+	Observed uint64
+	At       netsim.Time
+	SwitchID int
+}
+
+// History records the global sequence of input and output events across
+// all RedPlane switches, in real-time order, for offline correctness
+// checking (Definitions 2–4).
+type History struct {
+	Events []Event
+}
+
+// RecordInput appends an input event.
+func (h *History) RecordInput(at netsim.Time, sw int, key packet.FiveTuple, pktSeq uint64) {
+	if h == nil {
+		return
+	}
+	h.Events = append(h.Events, Event{Kind: EventInput, Key: key, PktSeq: pktSeq, At: at, SwitchID: sw})
+}
+
+// RecordOutput appends an output event with the observed state value.
+func (h *History) RecordOutput(at netsim.Time, sw int, key packet.FiveTuple, pktSeq, observed uint64) {
+	if h == nil {
+		return
+	}
+	h.Events = append(h.Events, Event{Kind: EventOutput, Key: key, PktSeq: pktSeq,
+		Observed: observed, At: at, SwitchID: sw})
+}
+
+// CheckCounterLinearizable verifies per-flow linearizability (Definition
+// 4) of a history produced by the per-flow counter state machine, whose
+// transition is S' = S+1 with output value S'. The observed value of an
+// output is therefore the packet's position in the apparent serial order
+// S, which makes the Definition 3 conditions directly checkable:
+//
+//  1. Uniqueness — no two outputs of a flow observe the same value (each
+//     linearized input occupies one position).
+//  2. Real-time order — if O_x precedes I_y in the history, I_x precedes
+//     I_y in S, i.e. observed_y must exceed every value observed before
+//     packet y's input event ("stale state": a failover serving old state
+//     violates exactly this).
+//  3. Budget — observed_x cannot exceed the number of inputs received
+//     before O_x (inputs arriving after O_x must follow I_x in S, so they
+//     cannot have been counted).
+//
+// Outputs released out of order are NOT violations: linearizability
+// constrains outputs only against later inputs, and concurrent in-flight
+// packets may complete in any order. Inputs without outputs are the
+// update-lost/output-lost anomalies §4.2 explicitly permits.
+func (h *History) CheckCounterLinearizable() error {
+	type flowTrack struct {
+		inputs      uint64
+		maxObserved uint64
+		minAllowed  map[uint64]uint64 // pktSeq → max value observed before its input
+		seen        map[uint64]bool   // observed values already exposed
+	}
+	flows := make(map[packet.FiveTuple]*flowTrack)
+	for i, e := range h.Events {
+		ft := flows[e.Key]
+		if ft == nil {
+			ft = &flowTrack{minAllowed: make(map[uint64]uint64), seen: make(map[uint64]bool)}
+			flows[e.Key] = ft
+		}
+		switch e.Kind {
+		case EventInput:
+			ft.inputs++
+			if _, dup := ft.minAllowed[e.PktSeq]; !dup {
+				ft.minAllowed[e.PktSeq] = ft.maxObserved
+			}
+		case EventOutput:
+			if ft.seen[e.Observed] {
+				return fmt.Errorf("history[%d] flow %v: value %d observed twice (input applied twice)",
+					i, e.Key, e.Observed)
+			}
+			if min, ok := ft.minAllowed[e.PktSeq]; ok && e.Observed <= min {
+				return fmt.Errorf("history[%d] flow %v: packet %d observed %d, but %d was exposed before its input (stale state)",
+					i, e.Key, e.PktSeq, e.Observed, min)
+			}
+			if e.Observed > ft.inputs {
+				return fmt.Errorf("history[%d] flow %v: observed %d exceeds %d inputs received (phantom updates)",
+					i, e.Key, e.Observed, ft.inputs)
+			}
+			ft.seen[e.Observed] = true
+			if e.Observed > ft.maxObserved {
+				ft.maxObserved = e.Observed
+			}
+		}
+	}
+	return nil
+}
+
+// OutputCount returns the number of output events (delivered packets).
+func (h *History) OutputCount() int {
+	n := 0
+	for _, e := range h.Events {
+		if e.Kind == EventOutput {
+			n++
+		}
+	}
+	return n
+}
+
+// InputCount returns the number of input events.
+func (h *History) InputCount() int {
+	return len(h.Events) - h.OutputCount()
+}

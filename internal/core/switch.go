@@ -1,0 +1,770 @@
+package core
+
+import (
+	"time"
+
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+	"redplane/internal/pipeline"
+	"redplane/internal/topo"
+	"redplane/internal/wire"
+)
+
+// StoreLocator resolves the state store shard responsible for a flow key
+// (the "preconfigured table" of §5.1). internal/store.Cluster implements
+// it.
+type StoreLocator interface {
+	HeadAddrFor(key packet.FiveTuple) (packet.Addr, int)
+}
+
+// Config tunes the RedPlane protocol on a switch.
+type Config struct {
+	// LeasePeriod mirrors the store's lease duration (1 s in the paper's
+	// prototype); the switch treats its lease as expired this long after
+	// the last grant or renewal it observed.
+	LeasePeriod time.Duration
+	// RenewInterval is how often leased flows send explicit renewals
+	// (0.5 s in the prototype).
+	RenewInterval time.Duration
+	// RetransTimeout is how long an unacknowledged replication request
+	// circulates in the mirror loop before being resent (§5.2).
+	RetransTimeout time.Duration
+	// SnapshotPeriod is T_snap for bounded-inconsistency applications.
+	SnapshotPeriod time.Duration
+	// CPOpLatency is the control-plane insertion latency for
+	// InstallTable applications.
+	CPOpLatency time.Duration
+	// LocalInit initializes state for a new flow when the switch runs
+	// WITHOUT a state store (baseline mode): the local stand-in for the
+	// store-managed allocation (e.g. a non-fault-tolerant NAT's port
+	// pool on the switch control plane). The switch ID lets deployments
+	// give each switch its own pool, since baseline state is local.
+	LocalInit func(switchID int, key packet.FiveTuple) []uint64
+	// LocalInitExtraDelay adds latency to baseline flow setup beyond the
+	// control-plane insertion, modeling an external SDN controller
+	// (the paper's "FT Switch-NAT w/ controller" baseline: a 1 Gbps
+	// management channel plus controller chain replication).
+	LocalInitExtraDelay time.Duration
+	// History, when non-nil, records input/output events for offline
+	// linearizability checking.
+	History *History
+	// EmulatedRequestLoss drops outgoing protocol requests at the switch
+	// with this probability — the methodology §7.4 uses to measure
+	// buffer occupancy under request loss ("we emulate the request loss
+	// by dropping requests at a certain probability at the switch").
+	EmulatedRequestLoss float64
+	// DisableRetransmit turns off the mirroring-based retransmission of
+	// replication requests (§5.2): lost requests lose their updates. FOR
+	// ABLATION EXPERIMENTS ONLY.
+	DisableRetransmit bool
+	// MirrorBufferLimit caps the retransmission buffer in bytes, like
+	// the real ASIC's finite packet buffer ("a few tens of MB", §7.4);
+	// requests that do not fit are sent once but not buffered, so their
+	// updates can be lost under extreme overload — which the correctness
+	// model treats as packet loss. Zero means the default.
+	MirrorBufferLimit int
+}
+
+// DefaultConfig returns the paper's protocol parameters.
+func DefaultConfig() Config {
+	return Config{
+		LeasePeriod:   time.Second,
+		RenewInterval: 500 * time.Millisecond,
+		// Well above the normal ack round trip (~15-25 µs) and the
+		// store's maximum queueing delay, so retransmissions fire only
+		// for genuinely lost requests rather than slow ones.
+		RetransTimeout: time.Millisecond,
+		SnapshotPeriod: time.Millisecond,
+		CPOpLatency:    100 * time.Microsecond,
+		// A slice of the ASIC's packet buffer for mirrored requests.
+		MirrorBufferLimit: 256 * 1024,
+	}
+}
+
+// Stats counts switch-side protocol and traffic events.
+type Stats struct {
+	PacketsIn, PacketsOut uint64
+	DataBytesIn           uint64
+	DataBytesOut          uint64
+	ProtoTxBytes          uint64
+	ProtoRxBytes          uint64
+	ProtoTxFrames         uint64
+	ProtoRxFrames         uint64
+	LeaseAcquired         uint64
+	LeaseRejected         uint64
+	Retransmits           uint64
+	BufferedReads         uint64
+	SnapshotPackets       uint64
+	DroppedDead           uint64
+	EmulatedDrops         uint64
+	MirrorOverflow        uint64
+}
+
+// pendingReq is an unacknowledged replication request held (truncated) in
+// the retransmission buffer.
+type pendingReq struct {
+	msg      *wire.Message // truncated copy: no piggyback
+	sentAt   netsim.Time
+	bytes    int
+	attempts uint // retransmission count, for exponential backoff
+}
+
+// flowCtl is the switch's per-flow protocol state: the SRAM footprint of
+// §7.4 (lease expiration, current seq, last acked seq) plus the in-flight
+// request bookkeeping the mirror loop and the network hold.
+type flowCtl struct {
+	haveLease   bool
+	leaseExpiry netsim.Time
+	state       []uint64
+	seq         uint64 // last assigned sequence number
+	lastAcked   uint64 // highest acknowledged sequence number
+
+	pending map[uint64]*pendingReq
+
+	// lastUsed is the last time the flow saw traffic; leases are only
+	// renewed for flows active within the renewal interval, so an idle
+	// or rerouted-away flow's lease lapses and another switch can claim
+	// it (the failback path of §7.3).
+	lastUsed netsim.Time
+
+	// Baseline (no store) bookkeeping: initializing marks a local flow
+	// setup in flight through the control plane; initQ holds packets
+	// that arrived meanwhile.
+	initializing bool
+	initQ        []*packet.Packet
+}
+
+// heldRead pairs a releasable output with the write sequence number it
+// must wait for.
+type heldRead struct {
+	awaitSeq uint64
+	pkt      *packet.Packet
+}
+
+// Switch is a RedPlane-enabled programmable switch: a simulator node that
+// runs one application, forwards its traffic, and replicates its state.
+type Switch struct {
+	id   int
+	name string
+	sim  *netsim.Sim
+	// IP is the switch's protocol address (§5.1 assigns each RedPlane
+	// switch an IP used to route requests and responses).
+	IP packet.Addr
+
+	router *topo.Router
+	cp     *pipeline.ControlPlane
+	app    App
+	mode   Mode
+	store  StoreLocator
+	cfg    Config
+
+	alive bool
+	flows map[packet.FiveTuple]*flowCtl
+	held  map[packet.FiveTuple][]heldRead
+
+	snapEpoch uint32
+
+	// Buffer occupancy of the mirroring-based retransmission mechanism,
+	// in bytes of truncated requests (Fig. 15).
+	bufBytes    int
+	MaxBufBytes int
+
+	// Stats accumulates counters.
+	Stats Stats
+}
+
+// NewSwitch creates a RedPlane switch. The store locator may be nil for
+// baseline (non-fault-tolerant) operation, in which case no protocol
+// traffic is generated and state lives only locally.
+func NewSwitch(sim *netsim.Sim, id int, name string, ip packet.Addr,
+	app App, mode Mode, store StoreLocator, cfg Config) *Switch {
+	s := &Switch{
+		id: id, name: name, sim: sim, IP: ip,
+		router: topo.NewRouter(name + "-fwd"),
+		app:    app, mode: mode, store: store, cfg: cfg,
+		alive: true,
+		flows: make(map[packet.FiveTuple]*flowCtl),
+		held:  make(map[packet.FiveTuple][]heldRead),
+	}
+	s.cp = pipeline.NewControlPlane(sim, cfg.CPOpLatency)
+	if store != nil {
+		s.startRenewLoop()
+		if sa, ok := app.(SnapshotApp); ok && mode == BoundedInconsistency {
+			s.startSnapshotLoop(sa)
+		}
+	}
+	return s
+}
+
+// ID returns the switch's protocol identifier.
+func (s *Switch) ID() int { return s.id }
+
+// Name implements netsim.Node.
+func (s *Switch) Name() string { return s.name }
+
+// App returns the hosted application.
+func (s *Switch) App() App { return s.app }
+
+// AddRoute implements topo.RoutedNode.
+func (s *Switch) AddRoute(dst packet.Addr, via *netsim.Port) { s.router.AddRoute(dst, via) }
+
+// Router exposes the forwarding table (tests, failure injection).
+func (s *Switch) Router() *topo.Router { return s.router }
+
+// Alive reports whether the switch is up.
+func (s *Switch) Alive() bool { return s.alive }
+
+// Fail crashes the switch (fail-stop): all data-plane and protocol state
+// is lost; frames are dropped until Recover.
+func (s *Switch) Fail() {
+	s.alive = false
+	s.flows = make(map[packet.FiveTuple]*flowCtl)
+	s.held = make(map[packet.FiveTuple][]heldRead)
+	s.bufBytes = 0
+}
+
+// Recover boots the switch with empty state, as after a reload.
+func (s *Switch) Recover() { s.alive = true }
+
+// BufBytes returns the current retransmission buffer occupancy.
+func (s *Switch) BufBytes() int { return s.bufBytes }
+
+// Flows returns the number of flows with protocol state on the switch.
+func (s *Switch) Flows() int { return len(s.flows) }
+
+// HasLease reports whether the switch currently holds a live lease on the
+// flow.
+func (s *Switch) HasLease(key packet.FiveTuple) bool {
+	fc, ok := s.flows[key]
+	return ok && fc.haveLease && s.sim.Now() < fc.leaseExpiry
+}
+
+// FlowState returns a copy of the flow's application state on the switch.
+func (s *Switch) FlowState(key packet.FiveTuple) ([]uint64, bool) {
+	fc, ok := s.flows[key]
+	if !ok || !fc.haveLease {
+		return nil, false
+	}
+	return append([]uint64(nil), fc.state...), true
+}
+
+func (s *Switch) flow(key packet.FiveTuple) *flowCtl {
+	fc, ok := s.flows[key]
+	if !ok {
+		fc = &flowCtl{pending: make(map[uint64]*pendingReq)}
+		s.flows[key] = fc
+	}
+	return fc
+}
+
+// Receive implements netsim.Node: protocol acks addressed to the switch
+// are consumed; everything else is application traffic or transit.
+func (s *Switch) Receive(f *netsim.Frame, in *netsim.Port) {
+	if !s.alive {
+		s.Stats.DroppedDead++
+		return
+	}
+	if m, ok := f.Msg.(*wire.Message); ok {
+		if f.Dst == s.IP {
+			s.Stats.ProtoRxBytes += uint64(f.Size)
+			s.Stats.ProtoRxFrames++
+			s.handleAck(m)
+			return
+		}
+		// Protocol traffic for someone else transits like any frame.
+		s.router.Forward(f, in)
+		return
+	}
+	if f.Pkt == nil || f.Dst == s.IP {
+		s.router.Forward(f, in)
+		return
+	}
+	s.handlePacket(f, in)
+}
+
+func (s *Switch) handlePacket(f *netsim.Frame, in *netsim.Port) {
+	p := f.Pkt
+	key, ok := s.app.Key(p)
+	if !ok {
+		s.router.Forward(f, in)
+		return
+	}
+	s.Stats.PacketsIn++
+	s.Stats.DataBytesIn += uint64(p.WireLen())
+	s.cfg.History.RecordInput(s.sim.Now(), s.id, key, p.Seq)
+
+	if s.store == nil {
+		s.processLocal(key, p)
+		return
+	}
+	if s.mode == BoundedInconsistency {
+		// Asynchronous mode: local state only, no per-packet
+		// coordination; outputs release immediately.
+		fc := s.flow(key)
+		out, newState := s.app.Process(p, fc.state)
+		if newState != nil {
+			fc.state = append(fc.state[:0], newState...)
+		}
+		s.release(key, out)
+		return
+	}
+
+	fc := s.flow(key)
+	fc.lastUsed = s.sim.Now()
+	if fc.haveLease && s.sim.Now() >= fc.leaseExpiry {
+		s.dropLease(key, fc)
+		fc = s.flow(key)
+		fc.lastUsed = s.sim.Now()
+	}
+	if !fc.haveLease {
+		// No lease: request one, buffering the triggering packet through
+		// the network (§5.1 steps 1/4).
+		s.sendToStore(key, &wire.Message{
+			Type: wire.MsgLeaseNew, Key: key, Piggyback: p,
+		}, false)
+		return
+	}
+	s.processWithLease(key, fc, p)
+}
+
+// processLocal is baseline (non-fault-tolerant) operation: state lives
+// only on this switch. New flows initialize through LocalInit — via the
+// control plane when the app's state installs into tables, which is where
+// the Switch-NAT baselines' 99th-percentile latency comes from (§7.1).
+func (s *Switch) processLocal(key packet.FiveTuple, p *packet.Packet) {
+	fc := s.flow(key)
+	if fc.haveLease { // in baseline mode haveLease just means initialized
+		out, newState := s.app.Process(p, fc.state)
+		stampObserved(out, newState, fc.state)
+		if newState != nil {
+			fc.state = append(fc.state[:0], newState...)
+		}
+		s.release(key, out)
+		return
+	}
+	fc.initQ = append(fc.initQ, p)
+	if fc.initializing {
+		return
+	}
+	fc.initializing = true
+	install := func() {
+		if !s.alive || s.flows[key] != fc {
+			return
+		}
+		fc.haveLease = true
+		fc.initializing = false
+		if s.cfg.LocalInit != nil {
+			fc.state = s.cfg.LocalInit(s.id, key)
+		}
+		q := fc.initQ
+		fc.initQ = nil
+		for _, qp := range q {
+			s.processLocal(key, qp)
+		}
+	}
+	run := func() {
+		if s.cfg.LocalInitExtraDelay > 0 {
+			// External-controller round trip before the entry lands.
+			s.sim.After(s.cfg.LocalInitExtraDelay, install)
+		} else {
+			install()
+		}
+	}
+	if s.app.InstallVia() == InstallTable {
+		s.cp.Do(run)
+	} else {
+		run()
+	}
+}
+
+// processWithLease runs the application on a packet for a flow whose
+// lease the switch holds, and replicates any state update.
+func (s *Switch) processWithLease(key packet.FiveTuple, fc *flowCtl, p *packet.Packet) {
+	fc.lastUsed = s.sim.Now() // piggyback-returned packets are traffic too
+	out, newState := s.app.Process(p, fc.state)
+	stampObserved(out, newState, fc.state)
+
+	if newState != nil {
+		// Write path: replicate synchronously, piggybacking the first
+		// output packet; it is released when the ack returns.
+		fc.state = append(fc.state[:0], newState...)
+		fc.seq++
+		var pb *packet.Packet
+		if len(out) > 0 {
+			pb = out[0]
+		}
+		msg := &wire.Message{
+			Type: wire.MsgRepl, Seq: fc.seq, Key: key,
+			Vals: append([]uint64(nil), newState...), Piggyback: pb,
+		}
+		s.sendToStore(key, msg, true)
+		for _, extra := range out[1:] {
+			s.held[key] = append(s.held[key], heldRead{awaitSeq: fc.seq, pkt: extra})
+		}
+		return
+	}
+
+	// Read path.
+	if fc.seq > fc.lastAcked {
+		// In-flight writes: outputs must not overtake them; buffer the
+		// outputs through the network (§5.1, special request type).
+		for _, o := range out {
+			s.Stats.BufferedReads++
+			s.sendToStore(key, &wire.Message{
+				Type: wire.MsgBufferedRead, Seq: fc.seq, Key: key, Piggyback: o,
+			}, false)
+		}
+		return
+	}
+	s.release(key, out)
+}
+
+// stampObserved records the state value each output exposes, for the
+// history checker: the post-write value on writes, the current value on
+// reads.
+func stampObserved(out []*packet.Packet, newState, cur []uint64) {
+	var v uint64
+	switch {
+	case len(newState) > 0:
+		v = newState[0]
+	case len(cur) > 0:
+		v = cur[0]
+	}
+	for _, o := range out {
+		o.Observed = v
+	}
+}
+
+// release emits output packets into the network.
+func (s *Switch) release(key packet.FiveTuple, out []*packet.Packet) {
+	for _, o := range out {
+		s.cfg.History.RecordOutput(s.sim.Now(), s.id, key, o.Seq, o.Observed)
+		s.Stats.PacketsOut++
+		s.Stats.DataBytesOut += uint64(o.WireLen())
+		s.router.Forward(netsim.DataFrame(o), nil)
+	}
+}
+
+// sendToStore transmits a protocol request, optionally tracking it for
+// retransmission (state updates must be tracked; lease requests and
+// buffered reads are not — their loss only loses packets, which the
+// correctness model permits).
+func (s *Switch) sendToStore(key packet.FiveTuple, m *wire.Message, track bool) {
+	addr, shard := s.store.HeadAddrFor(key)
+	m.SwitchID = s.id
+	m.StoreShard = shard
+	f := &netsim.Frame{
+		Src: s.IP, Dst: addr,
+		Flow: packet.FiveTuple{Src: s.IP, Dst: addr,
+			SrcPort: wire.SwitchPort, DstPort: wire.StorePort, Proto: packet.ProtoUDP},
+		Size: m.WireLen(), Msg: m,
+	}
+	if s.cfg.EmulatedRequestLoss > 0 && s.sim.Rand().Float64() < s.cfg.EmulatedRequestLoss {
+		s.Stats.EmulatedDrops++
+	} else {
+		s.Stats.ProtoTxBytes += uint64(f.Size)
+		s.Stats.ProtoTxFrames++
+		s.router.Forward(f, nil)
+	}
+	if track && !s.cfg.DisableRetransmit {
+		s.trackPending(key, m)
+	}
+}
+
+// trackPending stores a truncated copy of the request in the mirror
+// buffer and arms its retransmission timer (§5.2).
+func (s *Switch) trackPending(key packet.FiveTuple, m *wire.Message) {
+	fc := s.flow(key)
+	if s.cfg.MirrorBufferLimit > 0 && s.bufBytes+m.TruncatedLen() > s.cfg.MirrorBufferLimit {
+		// Mirror buffer full: the request goes out unbuffered and will
+		// not be retransmitted if lost.
+		s.Stats.MirrorOverflow++
+		return
+	}
+	trunc := m.Clone()
+	trunc.Piggyback = nil // buffering truncates the piggybacked payload
+	pr := &pendingReq{msg: trunc, sentAt: s.sim.Now(), bytes: trunc.TruncatedLen()}
+	fc.pending[m.Seq] = pr
+	s.bufBytes += pr.bytes
+	if s.bufBytes > s.MaxBufBytes {
+		s.MaxBufBytes = s.bufBytes
+	}
+	s.armRetransmit(key, fc, m.Seq)
+}
+
+// retransBackoffCap bounds exponential backoff to 2^7 timeouts, keeping
+// retries live without letting a congested store trigger a retransmission
+// storm.
+const retransBackoffCap = 7
+
+func (s *Switch) armRetransmit(key packet.FiveTuple, fc *flowCtl, seq uint64) {
+	attempts := uint(0)
+	if pr, ok := fc.pending[seq]; ok {
+		attempts = pr.attempts
+	}
+	if attempts > retransBackoffCap {
+		attempts = retransBackoffCap
+	}
+	s.sim.After(s.cfg.RetransTimeout<<attempts, func() {
+		if !s.alive {
+			return
+		}
+		cur, ok := s.flows[key]
+		if !ok || cur != fc {
+			return // flow state was dropped (lease lost or failure)
+		}
+		pr, ok := fc.pending[seq]
+		if !ok {
+			return // acknowledged
+		}
+		s.Stats.Retransmits++
+		pr.attempts++
+		pr.sentAt = s.sim.Now()
+		resend := pr.msg.Clone()
+		addr, _ := s.store.HeadAddrFor(key)
+		f := &netsim.Frame{
+			Src: s.IP, Dst: addr,
+			Flow: packet.FiveTuple{Src: s.IP, Dst: addr,
+				SrcPort: wire.SwitchPort, DstPort: wire.StorePort, Proto: packet.ProtoUDP},
+			Size: resend.WireLen(), Msg: resend,
+		}
+		if s.cfg.EmulatedRequestLoss > 0 && s.sim.Rand().Float64() < s.cfg.EmulatedRequestLoss {
+			s.Stats.EmulatedDrops++
+		} else {
+			s.Stats.ProtoTxBytes += uint64(f.Size)
+			s.Stats.ProtoTxFrames++
+			s.router.Forward(f, nil)
+		}
+		s.armRetransmit(key, fc, seq)
+	})
+}
+
+func (s *Switch) handleAck(m *wire.Message) {
+	switch m.Type {
+	case wire.MsgLeaseNewAck:
+		s.handleLeaseNewAck(m)
+	case wire.MsgLeaseRenewAck:
+		if fc, ok := s.flows[m.Key]; ok && fc.haveLease {
+			fc.leaseExpiry = s.sim.Now() + netsim.Duration(time.Duration(m.LeaseMillis)*time.Millisecond)
+		}
+	case wire.MsgReplAck, wire.MsgSnapshotAck:
+		s.handleReplAck(m)
+	case wire.MsgBufferedReadAck:
+		fc, ok := s.flows[m.Key]
+		if !ok || m.Piggyback == nil {
+			return
+		}
+		if fc.lastAcked >= m.Seq {
+			s.release(m.Key, []*packet.Packet{m.Piggyback})
+		} else {
+			s.held[m.Key] = append(s.held[m.Key], heldRead{awaitSeq: m.Seq, pkt: m.Piggyback})
+		}
+	case wire.MsgLeaseReject:
+		s.Stats.LeaseRejected++
+		if fc, ok := s.flows[m.Key]; ok {
+			s.dropLease(m.Key, fc)
+		}
+	}
+}
+
+func (s *Switch) handleLeaseNewAck(m *wire.Message) {
+	fc := s.flow(m.Key)
+	if fc.haveLease {
+		// A duplicate grant from a second in-flight request: the lease
+		// and state are already installed (and possibly newer than this
+		// ack); just run the buffered packet.
+		if m.Piggyback != nil {
+			s.processWithLease(m.Key, fc, m.Piggyback)
+		}
+		return
+	}
+	if fc.initializing {
+		// Installation is already crossing the control plane; queue this
+		// ack's buffered packet to run once the state lands rather than
+		// issuing another insertion.
+		if m.Piggyback != nil {
+			fc.initQ = append(fc.initQ, m.Piggyback)
+		}
+		return
+	}
+	fc.initializing = true
+	install := func() {
+		if !s.alive {
+			return
+		}
+		cur, ok := s.flows[m.Key]
+		if !ok || cur != fc || fc.haveLease {
+			return
+		}
+		fc.initializing = false
+		fc.haveLease = true
+		fc.leaseExpiry = s.sim.Now() + netsim.Duration(time.Duration(m.LeaseMillis)*time.Millisecond)
+		fc.state = append([]uint64(nil), m.Vals...)
+		fc.seq = m.Seq
+		fc.lastAcked = m.Seq
+		s.Stats.LeaseAcquired++
+		q := fc.initQ
+		fc.initQ = nil
+		if m.Piggyback != nil {
+			s.processWithLease(m.Key, fc, m.Piggyback)
+		}
+		for _, qp := range q {
+			s.processWithLease(m.Key, fc, qp)
+		}
+	}
+	if s.app.InstallVia() == InstallTable {
+		// Match-table state installs through the switch control plane
+		// (§5.1), adding its latency to the flow's first packet.
+		s.cp.Do(install)
+	} else {
+		install()
+	}
+}
+
+func (s *Switch) handleReplAck(m *wire.Message) {
+	fc, ok := s.flows[m.Key]
+	if !ok {
+		return
+	}
+	if m.Seq > fc.lastAcked {
+		fc.lastAcked = m.Seq
+	}
+	// Acks cover cumulatively: drop every buffered request at or below.
+	for seq, pr := range fc.pending {
+		if seq <= m.Seq {
+			s.bufBytes -= pr.bytes
+			delete(fc.pending, seq)
+		}
+	}
+	if m.Piggyback != nil {
+		s.release(m.Key, []*packet.Packet{m.Piggyback})
+	}
+	s.releaseHeld(m.Key, fc)
+}
+
+// releaseHeld emits buffered-read outputs whose awaited writes are now
+// durable.
+func (s *Switch) releaseHeld(key packet.FiveTuple, fc *flowCtl) {
+	hr := s.held[key]
+	if len(hr) == 0 {
+		return
+	}
+	keep := hr[:0]
+	for _, h := range hr {
+		if h.awaitSeq <= fc.lastAcked {
+			s.release(key, []*packet.Packet{h.pkt})
+		} else {
+			keep = append(keep, h)
+		}
+	}
+	if len(keep) == 0 {
+		delete(s.held, key)
+	} else {
+		s.held[key] = keep
+	}
+}
+
+// dropLease abandons the flow's lease and all in-flight bookkeeping. Held
+// outputs are lost, which the correctness model permits (they are
+// indistinguishable from network drops).
+func (s *Switch) dropLease(key packet.FiveTuple, fc *flowCtl) {
+	for _, pr := range fc.pending {
+		s.bufBytes -= pr.bytes
+	}
+	delete(s.flows, key)
+	delete(s.held, key)
+}
+
+// startRenewLoop periodically renews live leases (§5.3: the prototype
+// renews every 0.5 s). Only flows with traffic since the previous round
+// renew: a flow whose packets have moved to another switch (or stopped)
+// lets its lease lapse so the store can hand it over — which is what
+// bounds the paper's recovery time by the lease period.
+func (s *Switch) startRenewLoop() {
+	period := netsim.Duration(s.cfg.RenewInterval)
+	s.sim.Every(period, period, func() bool {
+		if !s.alive {
+			return true
+		}
+		now := s.sim.Now()
+		for key, fc := range s.flows {
+			if fc.haveLease && now < fc.leaseExpiry && now-fc.lastUsed <= period {
+				s.sendToStore(key, &wire.Message{Type: wire.MsgLeaseRenew, Key: key}, false)
+			}
+		}
+		return true
+	})
+}
+
+// snapshotPacketGap paces the packet generator's snapshot batch (one
+// replication packet per this interval), keeping the store's queue from
+// absorbing the whole structure at one instant.
+const snapshotPacketGap = netsim.Time(2000) // 2 µs
+
+// snapshotBatch is how many consecutive slots one replication packet
+// carries; batching keeps the per-snapshot message count (and Fig. 11's
+// bandwidth) proportional to the structure size rather than paying full
+// per-slot framing.
+const snapshotBatch = 16
+
+// startSnapshotLoop drives periodic snapshot replication (§5.4): every
+// SnapshotPeriod the ASIC's packet generator emits one replication packet
+// per slot batch of each snapshot partition, paced rather than burst, so
+// the lazy snapshot keeps the image consistent while updates continue in
+// between.
+func (s *Switch) startSnapshotLoop(app SnapshotApp) {
+	type job struct {
+		part  SnapshotPartition
+		base  int
+		epoch uint32
+	}
+	gen := pipeline.NewPacketGenerator(s.sim,
+		netsim.Duration(s.cfg.SnapshotPeriod), snapshotPacketGap)
+	gen.Start(func() (int, func(int)) {
+		if !s.alive {
+			return 0, nil
+		}
+		s.snapEpoch++
+		// A fresh job list per tick: emissions are paced into the
+		// future and must not alias the next tick's batch.
+		var jobs []job
+		for _, part := range app.Snapshots() {
+			if part.Src.SnapshotInProgress() {
+				// The previous snapshot has not finished reading out;
+				// §5.4 requires waiting for it.
+				continue
+			}
+			if err := part.Src.BeginSnapshot(); err != nil {
+				continue
+			}
+			for base := 0; base < part.Src.Slots(); base += snapshotBatch {
+				jobs = append(jobs, job{part: part, base: base, epoch: s.snapEpoch})
+			}
+		}
+		return len(jobs), func(id int) {
+			if !s.alive {
+				return
+			}
+			j := jobs[id]
+			end := j.base + snapshotBatch
+			if slots := j.part.Src.Slots(); end > slots {
+				end = slots
+			}
+			vals := make([]uint64, 0, end-j.base)
+			for slot := j.base; slot < end; slot++ {
+				v, err := j.part.Src.SnapshotRead(slot)
+				if err != nil {
+					return
+				}
+				vals = append(vals, v)
+			}
+			fc := s.flow(j.part.Key)
+			fc.seq++
+			s.Stats.SnapshotPackets++
+			s.sendToStore(j.part.Key, &wire.Message{
+				Type: wire.MsgSnapshot, Seq: fc.seq, Key: j.part.Key,
+				Slot: uint32(j.base), Epoch: j.epoch, Vals: vals,
+			}, true)
+		}
+	})
+}

@@ -1,0 +1,744 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+	"redplane/internal/store"
+	"redplane/internal/topo"
+)
+
+// counterApp is the paper's per-flow counter: every packet increments the
+// flow's counter and the output exposes the new value — the worst-case,
+// write-per-packet application (§6 app 6).
+type counterApp struct{}
+
+func (counterApp) Name() string { return "sync-counter" }
+func (counterApp) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	return p.Flow(), true
+}
+func (counterApp) Process(p *packet.Packet, state []uint64) ([]*packet.Packet, []uint64) {
+	n := uint64(0)
+	if len(state) > 0 {
+		n = state[0]
+	}
+	return []*packet.Packet{p}, []uint64{n + 1}
+}
+func (counterApp) InstallVia() InstallPath { return InstallRegister }
+
+// readerApp reads state without writing: forwards every packet, state
+// untouched (a stand-in for the read path of NAT-like apps).
+type readerApp struct{}
+
+func (readerApp) Name() string { return "reader" }
+func (readerApp) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	return p.Flow(), true
+}
+func (readerApp) Process(p *packet.Packet, state []uint64) ([]*packet.Packet, []uint64) {
+	return []*packet.Packet{p}, nil
+}
+func (readerApp) InstallVia() InstallPath { return InstallRegister }
+
+// env is a full paper-testbed deployment: two RedPlane switches in the
+// aggregation layer, a store cluster on rack servers, and traffic
+// endpoints.
+type env struct {
+	sim     *netsim.Sim
+	tb      *topo.Testbed
+	sw      []*Switch
+	cluster *store.Cluster
+	src     *topo.Host
+	dst     *topo.Host
+	hist    *History
+
+	received []*packet.Packet
+}
+
+type envOpts struct {
+	seed      int64
+	app       func(switchIdx int) App
+	mode      Mode
+	cfg       Config
+	shards    int
+	replicas  int
+	storeCfg  store.Config
+	protoLoss float64 // loss on switch<->store fabric links (applied to all fabric)
+	jitter    time.Duration
+}
+
+func newEnv(t *testing.T, o envOpts) *env {
+	t.Helper()
+	if o.app == nil {
+		o.app = func(int) App { return counterApp{} }
+	}
+	if o.shards == 0 {
+		o.shards = 1
+	}
+	if o.replicas == 0 {
+		o.replicas = 3
+	}
+	if o.cfg.LeasePeriod == 0 {
+		o.cfg = DefaultConfig()
+	}
+	if o.storeCfg.LeasePeriod == 0 {
+		o.storeCfg.LeasePeriod = o.cfg.LeasePeriod
+	}
+	sim := netsim.New(o.seed)
+	hist := &History{}
+	o.cfg.History = hist
+
+	cluster := store.NewCluster(sim, o.shards, o.replicas, o.storeCfg,
+		2*time.Microsecond, func(shard, replica int) packet.Addr {
+			return packet.MakeAddr(10, 100, byte(shard+1), byte(replica+1))
+		})
+
+	swIPs := []packet.Addr{packet.MakeAddr(10, 254, 0, 1), packet.MakeAddr(10, 254, 0, 2)}
+	var sws []*Switch
+	for i := 0; i < 2; i++ {
+		sws = append(sws, NewSwitch(sim, i, "rp"+string(rune('0'+i)), swIPs[i],
+			o.app(i), o.mode, cluster, o.cfg))
+	}
+
+	fabric := netsim.LinkConfig{Delay: 800 * time.Nanosecond, Bandwidth: 100e9,
+		Loss: o.protoLoss, Jitter: o.jitter}
+	tb := topo.NewTestbed(sim, topo.TestbedConfig{Fabric: fabric, Cores: 2, ToRs: 2},
+		[]topo.RoutedNode{sws[0], sws[1]})
+	for i, ip := range swIPs {
+		tb.RegisterAggIP(i, ip)
+	}
+	for si, srv := range cluster.All() {
+		// Spread chain replicas across racks ("located in different
+		// racks"); All() returns rows, so si%replicas is the replica idx.
+		rack := (si % o.replicas) % 2
+		srv.SetPort(tb.AddRackNode(rack, srv, srv.IP))
+		srv.SwitchAddr = func(id int) packet.Addr { return swIPs[id] }
+	}
+
+	e := &env{sim: sim, tb: tb, sw: sws, cluster: cluster, hist: hist}
+	e.src = tb.AddExternalHost(0, "src", packet.MakeAddr(100, 0, 0, 1))
+	e.dst = tb.AddRackHost(0, "dst", packet.MakeAddr(10, 0, 0, 100))
+	e.dst.Handler = func(f *netsim.Frame) {
+		if f.Pkt != nil {
+			e.received = append(e.received, f.Pkt)
+		}
+	}
+	return e
+}
+
+// sendFlow injects n packets of one TCP flow from src toward dst, spaced
+// by gap.
+func (e *env) sendFlow(sport uint16, n int, gap time.Duration) {
+	for i := 0; i < n; i++ {
+		i := i
+		e.sim.After(time.Duration(i)*gap, func() {
+			p := packet.NewTCP(e.src.IP, e.dst.IP, sport, 80, packet.FlagACK, 0)
+			p.Seq = uint64(i + 1)
+			p.SentAt = int64(e.sim.Now())
+			e.src.SendPacket(p)
+		})
+	}
+}
+
+func flowKey(e *env, sport uint16) packet.FiveTuple {
+	return packet.FiveTuple{Src: e.src.IP, Dst: e.dst.IP, SrcPort: sport, DstPort: 80,
+		Proto: packet.ProtoTCP}
+}
+
+// owningSwitch returns the switch the testbed's ECMP maps the flow to.
+func (e *env) owningSwitch(sport uint16) *Switch {
+	key := flowKey(e, sport)
+	return e.sw[key.SymmetricHash()%2]
+}
+
+func TestLeaseAcquireAndCount(t *testing.T) {
+	e := newEnv(t, envOpts{seed: 1})
+	e.sendFlow(1000, 5, 10*time.Microsecond)
+	e.sim.RunUntil(netsim.Duration(400 * time.Millisecond))
+
+	if len(e.received) != 5 {
+		t.Fatalf("delivered %d/5", len(e.received))
+	}
+	// Outputs carry strictly increasing counter values 1..5.
+	for i, p := range e.received {
+		if p.Observed != uint64(i+1) {
+			t.Errorf("packet %d observed %d", i, p.Observed)
+		}
+	}
+	// The store has the final state, durable on every chain replica.
+	key := flowKey(e, 1000)
+	sh := e.cluster.ShardFor(key)
+	for r := 0; r < 3; r++ {
+		vals, seq, ok := e.cluster.Server(sh, r).Shard().State(key)
+		if !ok || seq != 5 || vals[0] != 5 {
+			t.Errorf("replica %d: vals=%v seq=%d ok=%v", r, vals, seq, ok)
+		}
+	}
+	if err := e.hist.CheckCounterLinearizable(); err != nil {
+		t.Errorf("history: %v", err)
+	}
+}
+
+func TestWriteOutputHeldUntilAck(t *testing.T) {
+	e := newEnv(t, envOpts{seed: 2})
+	// One packet: its output cannot arrive before a full round trip to
+	// the store (through the chain) has completed.
+	e.sendFlow(1000, 1, 0)
+	var arrival netsim.Time
+	e.dst.Handler = func(f *netsim.Frame) { arrival = e.sim.Now() }
+	e.sim.RunUntil(netsim.Duration(100 * time.Millisecond))
+	if arrival == 0 {
+		t.Fatal("packet never delivered")
+	}
+	// Direct path is 4 hops (~3.2 µs); with lease round trip, chain
+	// replication and service times the paper-shaped floor is >10 µs.
+	if arrival < netsim.Duration(10*time.Microsecond) {
+		t.Errorf("arrival at %v too fast to have waited for replication", arrival)
+	}
+}
+
+func TestReadPathNoProtocolTraffic(t *testing.T) {
+	e := newEnv(t, envOpts{seed: 3, app: func(int) App { return readerApp{} }})
+	e.sendFlow(1000, 100, time.Microsecond)
+	e.sim.RunUntil(netsim.Duration(400 * time.Millisecond))
+	if len(e.received) != 100 {
+		t.Fatalf("delivered %d/100", len(e.received))
+	}
+	sw := e.owningSwitch(1000)
+	// Protocol frames: lease acquisition for the first packets in flight
+	// plus periodic renewals; far fewer than packets (the read-centric
+	// fast path of §7.1/7.2).
+	if sw.Stats.ProtoTxFrames > 30 {
+		t.Errorf("proto frames = %d for read-centric app", sw.Stats.ProtoTxFrames)
+	}
+	if sw.Stats.LeaseAcquired != 1 {
+		t.Errorf("leases = %d", sw.Stats.LeaseAcquired)
+	}
+}
+
+func TestRetransmissionUnderLoss(t *testing.T) {
+	e := newEnv(t, envOpts{seed: 4, protoLoss: 0.05})
+	e.sendFlow(1000, 50, 20*time.Microsecond)
+	e.sim.RunUntil(netsim.Duration(900 * time.Millisecond))
+
+	sw := e.owningSwitch(1000)
+	if sw.Stats.Retransmits == 0 {
+		t.Error("no retransmissions under 5% loss")
+	}
+	// Loss applies to every fabric link, so some input packets never
+	// reach the switch. The property retransmission guarantees: every
+	// update the switch DID apply becomes durable at the store.
+	key := flowKey(e, 1000)
+	sh := e.cluster.ShardFor(key)
+	_, seq, ok := e.cluster.Head(sh).Shard().State(key)
+	applied := sw.Stats.PacketsIn
+	if !ok || seq != applied {
+		t.Errorf("store seq = %d ok=%v, want %d (all applied updates durable)", seq, ok, applied)
+	}
+	if applied < 30 {
+		t.Fatalf("only %d/50 inputs survived 5%% loss; seed pathological", applied)
+	}
+	// Some outputs may be lost (piggybacks dropped), but those delivered
+	// are linearizable.
+	if err := e.hist.CheckCounterLinearizable(); err != nil {
+		t.Errorf("history: %v", err)
+	}
+	if len(e.received) == 0 {
+		t.Error("no packets delivered at all")
+	}
+}
+
+func TestReorderingSerializedBySequencing(t *testing.T) {
+	e := newEnv(t, envOpts{seed: 5, jitter: 5 * time.Microsecond})
+	e.sendFlow(1000, 50, time.Microsecond) // tight spacing + jitter → reordering
+	e.sim.RunUntil(netsim.Duration(900 * time.Millisecond))
+
+	key := flowKey(e, 1000)
+	sh := e.cluster.ShardFor(key)
+	vals, seq, ok := e.cluster.Head(sh).Shard().State(key)
+	if !ok || seq != 50 || vals[0] != 50 {
+		t.Errorf("store state = %v seq=%d ok=%v, want 50 (Fig. 6b)", vals, seq, ok)
+	}
+	if err := e.hist.CheckCounterLinearizable(); err != nil {
+		t.Errorf("history: %v", err)
+	}
+}
+
+func TestFailoverMigratesState(t *testing.T) {
+	e := newEnv(t, envOpts{seed: 6})
+	key := flowKey(e, 1000)
+	owner := e.owningSwitch(1000)
+	other := e.sw[1-owner.ID()]
+
+	// Phase 1: 10 packets through the owner.
+	e.sendFlow(1000, 10, 10*time.Microsecond)
+	e.sim.RunUntil(netsim.Duration(100 * time.Millisecond))
+	if !owner.HasLease(key) {
+		t.Fatal("owner has no lease")
+	}
+
+	// Fail the owner; the fabric detects it 50 ms later and reroutes.
+	e.tb.FailAgg(owner.ID())
+	owner.Fail()
+	e.sim.After(50*time.Millisecond, func() { e.tb.DetectAggFailure(owner.ID(), true) })
+
+	// Phase 2: 10 more packets after detection; they reach the sibling,
+	// which must acquire the lease (waiting out the old one) and resume
+	// from the replicated counter value. Sample while the flow is fresh:
+	// idle flows let their lease lapse.
+	e.sim.RunUntil(netsim.Duration(200 * time.Millisecond))
+	e.sendFlow(1000, 10, 10*time.Microsecond)
+	e.sim.RunUntil(netsim.Duration(1500 * time.Millisecond))
+
+	if !other.HasLease(key) {
+		t.Fatal("sibling did not take over the flow")
+	}
+	st, _ := other.FlowState(key)
+	if len(st) == 0 || st[0] != 20 {
+		t.Errorf("sibling state = %v, want counter 20 (10 pre + 10 post)", st)
+	}
+	e.sim.RunUntil(netsim.Duration(3 * time.Second))
+	// Every delivered output is linearizable across the failover.
+	if err := e.hist.CheckCounterLinearizable(); err != nil {
+		t.Errorf("history: %v", err)
+	}
+	// Post-failover outputs observed values > 10: state was not lost.
+	var last uint64
+	for _, p := range e.received {
+		last = p.Observed
+	}
+	if last != 20 {
+		t.Errorf("last observed = %d, want 20", last)
+	}
+}
+
+func TestRecoveredSwitchCannotServeStaleState(t *testing.T) {
+	// Fig. 7 scenario: switch recovers from a link failure WITHOUT
+	// losing local state; leases must prevent it serving stale state.
+	e := newEnv(t, envOpts{seed: 7})
+	key := flowKey(e, 1000)
+	owner := e.owningSwitch(1000)
+	other := e.sw[1-owner.ID()]
+
+	e.sendFlow(1000, 5, 10*time.Microsecond)
+	e.sim.RunUntil(netsim.Duration(100 * time.Millisecond))
+
+	// Link failure only: the owner keeps its memory but traffic reroutes.
+	e.tb.FailAgg(owner.ID())
+	e.tb.DetectAggFailure(owner.ID(), true)
+	e.sim.RunUntil(netsim.Duration(200 * time.Millisecond))
+	e.sendFlow(1000, 5, 10*time.Microsecond)
+	e.sim.RunUntil(netsim.Duration(1500 * time.Millisecond))
+	if !other.HasLease(key) {
+		t.Fatal("sibling did not take over")
+	}
+	e.sim.RunUntil(netsim.Duration(3 * time.Second))
+
+	// The owner's links recover. Its lease has long expired; when its
+	// stale flow entry sees traffic again it must re-acquire, and the
+	// store will queue it behind the sibling's active lease rather than
+	// let both serve.
+	e.tb.RecoverAgg(owner.ID())
+	e.tb.DetectAggFailure(owner.ID(), false)
+	e.sim.RunUntil(netsim.Duration(3500 * time.Millisecond))
+
+	now := int64(e.sim.Now())
+	sh := e.cluster.ShardFor(key)
+	storeOwner := e.cluster.Head(sh).Shard().Owner(key, now)
+	if storeOwner == owner.ID() && other.HasLease(key) {
+		t.Error("two switches believe they own the flow")
+	}
+	if err := e.hist.CheckCounterLinearizable(); err != nil {
+		t.Errorf("history: %v", err)
+	}
+}
+
+func TestBufferedReadsHoldBehindWrites(t *testing.T) {
+	// Alternate writes and reads on one flow with a mixed app: reads
+	// arriving while a write is in flight must not be released before
+	// the write's ack.
+	e := newEnv(t, envOpts{seed: 8, app: func(int) App { return mixedApp{} }})
+	e.sendFlow(1000, 20, 500*time.Nanosecond) // much faster than store RTT
+	e.sim.RunUntil(netsim.Duration(500 * time.Millisecond))
+
+	sw := e.owningSwitch(1000)
+	if sw.Stats.BufferedReads == 0 {
+		t.Error("no buffered reads despite reads racing writes")
+	}
+	// All 20 packets must still be delivered (held reads release on ack).
+	if len(e.received) != 20 {
+		t.Errorf("delivered %d/20", len(e.received))
+	}
+}
+
+// mixedApp writes on odd packets (by flow pkt seq) and reads on even,
+// exposing the counter value either way.
+type mixedApp struct{}
+
+func (mixedApp) Name() string { return "mixed" }
+func (mixedApp) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	return p.Flow(), true
+}
+func (mixedApp) Process(p *packet.Packet, state []uint64) ([]*packet.Packet, []uint64) {
+	n := uint64(0)
+	if len(state) > 0 {
+		n = state[0]
+	}
+	if p.Seq%2 == 1 {
+		return []*packet.Packet{p}, []uint64{n + 1}
+	}
+	return []*packet.Packet{p}, nil
+}
+func (mixedApp) InstallVia() InstallPath { return InstallRegister }
+
+func TestLeaseRenewalKeepsActiveFlowAlive(t *testing.T) {
+	e := newEnv(t, envOpts{seed: 9, app: func(int) App { return readerApp{} }})
+	// A flow with steady traffic over 2+ lease periods renews rather
+	// than re-acquiring.
+	e.sendFlow(1000, 10, 250*time.Millisecond)
+	e.sim.RunUntil(netsim.Duration(3 * time.Second))
+	sw := e.owningSwitch(1000)
+	if sw.Stats.LeaseAcquired != 1 {
+		t.Errorf("leases acquired = %d, want 1 (renewals should cover)", sw.Stats.LeaseAcquired)
+	}
+	if len(e.received) != 10 {
+		t.Errorf("delivered %d/10", len(e.received))
+	}
+}
+
+func TestIdleFlowLeaseLapses(t *testing.T) {
+	e := newEnv(t, envOpts{seed: 19, app: func(int) App { return readerApp{} }})
+	// One packet, then silence past the lease period: the lease must
+	// lapse at the store so another switch could claim the flow.
+	e.sendFlow(1000, 1, 0)
+	e.sim.RunUntil(netsim.Duration(2200 * time.Millisecond))
+	key := flowKey(e, 1000)
+	sh := e.cluster.ShardFor(key)
+	if got := e.cluster.Head(sh).Shard().Owner(key, int64(e.sim.Now())); got != store.NoOwner {
+		t.Errorf("idle flow still owned by %d", got)
+	}
+}
+
+func TestBufferOccupancyTracksPending(t *testing.T) {
+	e := newEnv(t, envOpts{seed: 10})
+	e.sendFlow(1000, 20, 200*time.Nanosecond)
+	e.sim.RunUntil(netsim.Duration(500 * time.Millisecond))
+	sw := e.owningSwitch(1000)
+	if sw.MaxBufBytes == 0 {
+		t.Error("no buffer occupancy recorded for write-per-packet app")
+	}
+	if sw.BufBytes() != 0 {
+		t.Errorf("buffer not drained: %d bytes", sw.BufBytes())
+	}
+}
+
+func TestSwitchFailDropsEverything(t *testing.T) {
+	e := newEnv(t, envOpts{seed: 11})
+	e.sendFlow(1000, 1, 0)
+	e.sim.RunUntil(netsim.Duration(50 * time.Millisecond))
+	sw := e.owningSwitch(1000)
+	sw.Fail()
+	if sw.Alive() || sw.Flows() != 0 || sw.BufBytes() != 0 {
+		t.Error("failed switch retained state")
+	}
+	before := sw.Stats.DroppedDead
+	e.sendFlow(1000, 3, time.Microsecond)
+	e.sim.RunUntil(netsim.Duration(100 * time.Millisecond))
+	if sw.Stats.DroppedDead == before {
+		t.Error("dead switch processed frames")
+	}
+	sw.Recover()
+	if !sw.Alive() {
+		t.Error("recover failed")
+	}
+}
+
+func TestSnapshotModeReplicatesImages(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SnapshotPeriod = time.Millisecond
+	e := newEnv(t, envOpts{
+		seed: 12,
+		app:  newSnapCounterApp,
+		mode: BoundedInconsistency,
+		cfg:  cfg,
+		storeCfg: store.Config{
+			LeasePeriod:   time.Second,
+			SnapshotSlots: 4,
+		},
+	})
+	e.sendFlow(1000, 100, 50*time.Microsecond)
+	e.sim.RunUntil(netsim.Duration(20 * time.Millisecond))
+
+	// Data packets were never delayed by replication.
+	if len(e.received) != 100 {
+		t.Fatalf("delivered %d/100", len(e.received))
+	}
+	// Both switches snapshot their partitions; the one carrying traffic
+	// has non-zero images in the store.
+	sw := e.owningSwitch(1000)
+	app := sw.App().(*snapCounterApp)
+	img, at := e.cluster.Head(e.cluster.ShardFor(app.part)).Shard().LastSnapshot(app.part)
+	if img == nil {
+		t.Fatal("no snapshot image in store")
+	}
+	if at == 0 {
+		t.Error("image timestamp missing")
+	}
+	var total uint64
+	for _, v := range img {
+		total += v
+	}
+	if total == 0 || total > 100 {
+		t.Errorf("image total = %d, want in (0,100]", total)
+	}
+	if sw.Stats.SnapshotPackets == 0 {
+		t.Error("no snapshot packets sent")
+	}
+}
+
+// snapCounterApp is a bounded-inconsistency app: a 4-slot lazily
+// snapshotted array counting packets by source-port bucket.
+type snapCounterApp struct {
+	arr  *testLazyArray
+	part packet.FiveTuple
+}
+
+func newSnapCounterApp(switchIdx int) App {
+	return &snapCounterApp{
+		arr: newTestLazyArray(4),
+		// Partition key includes the switch, as per-switch sketch state
+		// would in a real deployment.
+		part: packet.FiveTuple{Src: packet.MakeAddr(0, 0, 0, byte(switchIdx+1)),
+			Proto: packet.ProtoUDP},
+	}
+}
+
+func (a *snapCounterApp) Name() string { return "snap-counter" }
+func (a *snapCounterApp) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	return a.part, true
+}
+func (a *snapCounterApp) Process(p *packet.Packet, _ []uint64) ([]*packet.Packet, []uint64) {
+	a.arr.Update(int(p.Flow().SrcPort)%4, 1)
+	return []*packet.Packet{p}, nil
+}
+func (a *snapCounterApp) InstallVia() InstallPath { return InstallRegister }
+func (a *snapCounterApp) Snapshots() []SnapshotPartition {
+	return []SnapshotPartition{{Key: a.part, Src: a.arr}}
+}
+
+// testLazyArray is a minimal SnapshotSource for core tests (the real one
+// lives in internal/sketch; duplicating 30 lines avoids a test-only
+// dependency direction).
+type testLazyArray struct {
+	cur, snap  []uint64
+	inProgress bool
+	unread     int
+}
+
+func newTestLazyArray(n int) *testLazyArray {
+	return &testLazyArray{cur: make([]uint64, n), snap: make([]uint64, n)}
+}
+func (a *testLazyArray) Update(i int, d uint64) { a.cur[i] += d }
+func (a *testLazyArray) BeginSnapshot() error {
+	copy(a.snap, a.cur)
+	a.inProgress = true
+	a.unread = len(a.cur)
+	return nil
+}
+func (a *testLazyArray) SnapshotRead(slot int) (uint64, error) {
+	a.unread--
+	if a.unread == 0 {
+		a.inProgress = false
+	}
+	return a.snap[slot], nil
+}
+func (a *testLazyArray) SnapshotInProgress() bool { return a.inProgress }
+func (a *testLazyArray) Slots() int               { return len(a.cur) }
+
+func TestControlPlaneInstallAddsLatency(t *testing.T) {
+	// InstallTable apps pay the control-plane insertion latency on the
+	// first packet of a flow (the §7.1 99th-percentile story).
+	measure := func(path InstallPath) netsim.Time {
+		cfg := DefaultConfig()
+		e := newEnv(t, envOpts{seed: 13, cfg: cfg,
+			app: func(int) App { return installApp{path} }})
+		var arrival netsim.Time
+		e.dst.Handler = func(f *netsim.Frame) {
+			if arrival == 0 {
+				arrival = e.sim.Now()
+			}
+		}
+		e.sendFlow(1000, 1, 0)
+		e.sim.RunUntil(netsim.Duration(100 * time.Millisecond))
+		return arrival
+	}
+	reg := measure(InstallRegister)
+	tab := measure(InstallTable)
+	if tab < reg+netsim.Duration(90*time.Microsecond) {
+		t.Errorf("table install %v not ~100µs slower than register install %v", tab, reg)
+	}
+}
+
+type installApp struct{ path InstallPath }
+
+func (installApp) Name() string { return "install" }
+func (installApp) Key(p *packet.Packet) (packet.FiveTuple, bool) {
+	return p.Flow(), true
+}
+func (installApp) Process(p *packet.Packet, state []uint64) ([]*packet.Packet, []uint64) {
+	return []*packet.Packet{p}, nil
+}
+func (a installApp) InstallVia() InstallPath { return a.path }
+
+func TestHistoryCheckerCatchesViolations(t *testing.T) {
+	key := packet.FiveTuple{Src: 1, Dst: 2, Proto: packet.ProtoTCP}
+	// Stale state: packet 3 arrives AFTER value 2 was exposed, yet
+	// observes 1 — a failed-over switch serving pre-failure state.
+	h := &History{}
+	h.RecordInput(0, 0, key, 1)
+	h.RecordInput(1, 0, key, 2)
+	h.RecordOutput(2, 0, key, 2, 2)
+	h.RecordInput(3, 1, key, 3)
+	h.RecordOutput(4, 1, key, 3, 1)
+	if err := h.CheckCounterLinearizable(); err == nil {
+		t.Error("stale-state history accepted")
+	}
+	// Duplicate application: two outputs observe the same value.
+	hd := &History{}
+	hd.RecordInput(0, 0, key, 1)
+	hd.RecordInput(1, 0, key, 2)
+	hd.RecordOutput(2, 0, key, 1, 1)
+	hd.RecordOutput(3, 0, key, 2, 1)
+	if err := hd.CheckCounterLinearizable(); err == nil {
+		t.Error("duplicate-value history accepted")
+	}
+	// Concurrent out-of-order completion is linearizable and must pass.
+	hc := &History{}
+	hc.RecordInput(0, 0, key, 1)
+	hc.RecordInput(1, 0, key, 2)
+	hc.RecordOutput(2, 0, key, 2, 2)
+	hc.RecordOutput(3, 0, key, 1, 1)
+	if err := hc.CheckCounterLinearizable(); err != nil {
+		t.Errorf("out-of-order completion rejected: %v", err)
+	}
+	// Phantom updates: output exceeds inputs received.
+	h2 := &History{}
+	h2.RecordInput(0, 0, key, 1)
+	h2.RecordOutput(1, 0, key, 1, 5)
+	if err := h2.CheckCounterLinearizable(); err == nil {
+		t.Error("phantom-update history accepted")
+	}
+	// Lost inputs/outputs are fine.
+	h3 := &History{}
+	h3.RecordInput(0, 0, key, 1)
+	h3.RecordInput(1, 0, key, 2)
+	h3.RecordInput(2, 0, key, 3)
+	h3.RecordOutput(3, 0, key, 3, 3)
+	if err := h3.CheckCounterLinearizable(); err != nil {
+		t.Errorf("valid lossy history rejected: %v", err)
+	}
+	if h3.InputCount() != 3 || h3.OutputCount() != 1 {
+		t.Error("event counts wrong")
+	}
+	if Linearizable.String() == BoundedInconsistency.String() {
+		t.Error("mode strings")
+	}
+}
+
+func TestEmulatedRequestLossDropsAtSwitch(t *testing.T) {
+	// Space packets beyond the retransmission timeout so a dropped
+	// request cannot be repaired by its successor's cumulative ack — the
+	// mirror loop must resend it.
+	cfg := DefaultConfig()
+	cfg.EmulatedRequestLoss = 0.5
+	e := newEnv(t, envOpts{seed: 30, cfg: cfg})
+	e.sendFlow(1000, 20, 3*time.Millisecond)
+	e.sim.RunUntil(netsim.Duration(800 * time.Millisecond))
+	sw := e.owningSwitch(1000)
+	if sw.Stats.EmulatedDrops == 0 {
+		t.Error("no emulated drops at 50% request loss")
+	}
+	if sw.Stats.Retransmits == 0 {
+		t.Error("no retransmissions despite emulated loss")
+	}
+	// The store still converges on every update the switch applied.
+	key := flowKey(e, 1000)
+	sh := e.cluster.ShardFor(key)
+	_, seq, ok := e.cluster.Head(sh).Shard().State(key)
+	if !ok || seq != sw.Stats.PacketsIn {
+		t.Errorf("store seq %d vs applied %d", seq, sw.Stats.PacketsIn)
+	}
+}
+
+func TestMirrorBufferLimitBoundsOccupancy(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MirrorBufferLimit = 512 // tiny: a handful of truncated requests
+	e := newEnv(t, envOpts{seed: 31, cfg: cfg})
+	e.sendFlow(1000, 100, 200*time.Nanosecond) // burst far beyond the buffer
+	e.sim.RunUntil(netsim.Duration(500 * time.Millisecond))
+	sw := e.owningSwitch(1000)
+	if sw.MaxBufBytes > 512 {
+		t.Errorf("buffer exceeded its limit: %d", sw.MaxBufBytes)
+	}
+	if sw.Stats.MirrorOverflow == 0 {
+		t.Error("no overflow recorded for a burst beyond the buffer")
+	}
+}
+
+func TestDisableRetransmitLosesUpdatesUnderLoss(t *testing.T) {
+	// With retransmission off and 30% request loss, a flow whose LAST
+	// update was dropped stays behind forever (successors repair earlier
+	// losses via full-state cumulative writes, but nothing repairs the
+	// tail). Across many flows, a substantial fraction must lag.
+	cfg := DefaultConfig()
+	cfg.DisableRetransmit = true
+	cfg.EmulatedRequestLoss = 0.3
+	e := newEnv(t, envOpts{seed: 32, cfg: cfg})
+	const flows = 30
+	for f := 0; f < flows; f++ {
+		e.sendFlow(uint16(1000+f), 5, 2*time.Millisecond)
+	}
+	e.sim.RunUntil(netsim.Duration(800 * time.Millisecond))
+	lagging := 0
+	for f := 0; f < flows; f++ {
+		key := flowKey(e, uint16(1000+f))
+		sw := e.owningSwitch(uint16(1000 + f))
+		swVals, ok := sw.FlowState(key)
+		if !ok || len(swVals) == 0 {
+			continue
+		}
+		sh := e.cluster.ShardFor(key)
+		stVals, _, ok2 := e.cluster.Head(sh).Shard().State(key)
+		if !ok2 || len(stVals) == 0 || stVals[0] < swVals[0] {
+			lagging++
+		}
+	}
+	if lagging < flows/10 {
+		t.Errorf("only %d/%d flows lag without retransmission at 30%% loss", lagging, flows)
+	}
+}
+
+func TestSnapshotBatchingReducesMessages(t *testing.T) {
+	// 4 slots fit one batch: a snapshot round is a single protocol
+	// message, not four.
+	cfg := DefaultConfig()
+	cfg.SnapshotPeriod = time.Millisecond
+	e := newEnv(t, envOpts{
+		seed: 33, app: newSnapCounterApp, mode: BoundedInconsistency,
+		cfg:      cfg,
+		storeCfg: store.Config{LeasePeriod: time.Second, SnapshotSlots: 4},
+	})
+	e.sim.RunUntil(netsim.Duration(10 * time.Millisecond))
+	for i := 0; i < 2; i++ {
+		sw := e.sw[i]
+		if sw.Stats.SnapshotPackets == 0 {
+			t.Fatalf("switch %d sent no snapshots", i)
+		}
+		// ~10 rounds, 1 batched message each (plus up to one in flight).
+		if sw.Stats.SnapshotPackets > 12 {
+			t.Errorf("switch %d sent %d snapshot messages for 10 rounds of 4 slots",
+				i, sw.Stats.SnapshotPackets)
+		}
+	}
+}

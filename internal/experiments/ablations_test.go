@@ -1,0 +1,56 @@
+package experiments
+
+import "testing"
+
+func TestAblationSequencing(t *testing.T) {
+	res := AblationSequencing(1)
+	if res.With != 0 {
+		t.Errorf("with sequencing, %.1f regressions per 1000 applied", res.With)
+	}
+	if res.Without < 10 {
+		t.Errorf("sequencing ablation shows no effect: without=%.1f", res.Without)
+	}
+}
+
+func TestAblationRetransmission(t *testing.T) {
+	res := AblationRetransmission(2)
+	if res.With > 1 {
+		t.Errorf("with retransmission, %.1f%% updates lost", res.With)
+	}
+	if res.Without < 2 {
+		t.Errorf("without retransmission at 5%% loss, only %.1f%% lost", res.Without)
+	}
+}
+
+func TestAblationChainLength(t *testing.T) {
+	rows := AblationChainLength(3)
+	one, two := rows[0].Without, rows[0].With
+	three := rows[1].With
+	if !(one < two && two < three) {
+		t.Errorf("chain latency not monotone: %v %v %v", one, two, three)
+	}
+}
+
+func TestAblationSnapshotPeriod(t *testing.T) {
+	rows := AblationSnapshotPeriod(4)
+	for _, r := range rows {
+		if r.With < 0 || r.With > 100 {
+			t.Errorf("%s out of range: %v", r.Name, r.With)
+		}
+	}
+	// Exposure must grow with the snapshot period (ε bounds the loss).
+	if rows[1].With <= rows[0].With {
+		t.Errorf("exposure not monotone in ε: 1ms=%.1f%% 10ms=%.1f%%",
+			rows[0].With, rows[1].With)
+	}
+}
+
+func TestAblationMirrorBuffer(t *testing.T) {
+	res := AblationMirrorBuffer(5)
+	if res.Without <= res.With {
+		t.Errorf("small buffer overflowed less (%v) than large (%v)", res.Without, res.With)
+	}
+	if res.String() == "" {
+		t.Error("empty row")
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"redplane"
+	"redplane/internal/apps"
+	"redplane/internal/trace"
+)
+
+// BandwidthRow is one application's traffic breakdown.
+type BandwidthRow struct {
+	App string
+	// OriginalBytes is data-packet traffic entering the switches;
+	// ReqBytes and RespBytes are RedPlane protocol traffic.
+	OriginalBytes, ReqBytes, RespBytes uint64
+}
+
+// OverheadPercent returns the share of total bandwidth consumed by
+// RedPlane messages (Fig. 10's stacked bars).
+func (r BandwidthRow) OverheadPercent() float64 {
+	total := r.OriginalBytes + r.ReqBytes + r.RespBytes
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.ReqBytes+r.RespBytes) / float64(total)
+}
+
+// String renders the row.
+func (r BandwidthRow) String() string {
+	return fmt.Sprintf("%-16s original=%5.1f%%  redplane=%5.1f%%",
+		r.App, 100-r.OverheadPercent(), r.OverheadPercent())
+}
+
+// Fig10Result is the Fig. 10 reproduction: replication bandwidth overhead
+// per application under minimum-size-packet traffic.
+type Fig10Result struct {
+	Rows []BandwidthRow
+}
+
+// Fig10 measures per-app bandwidth overheads with 64-byte packets and
+// byte counters instrumented at the switches (§7.2).
+func Fig10(seed int64, packets int) Fig10Result {
+	// Long-lived flows: the paper's bandwidth runs blast minimum-size
+	// packets continuously, so per-flow setup cost is fully amortized.
+	flows := packets / 1000
+	if flows < 4 {
+		flows = 4
+	}
+	gap := 2 * time.Microsecond
+	dur := time.Duration(packets)*gap + 100*time.Millisecond
+	tiny := func() int { return 0 } // 64-byte frames after padding
+
+	var out Fig10Result
+	run := func(name string, cfg redplane.DeploymentConfig, items []trace.Item) {
+		cfg.Seed = seed
+		d := redplane.NewDeployment(cfg)
+		d.RegisterServiceIP(natPublicIP)
+		d.RegisterServiceIP(lbVIP)
+		client := d.AddServer(0, "client", intClientIP)
+		d.AddClient(0, "sink", extServerIP) // one-way sink
+		replayStaggered(d.Sim, client, items, dur/2, gap, name == "Firewall", seed)
+		d.RunFor(dur + 200*time.Millisecond)
+		row := BandwidthRow{App: name}
+		for i := 0; i < d.Switches(); i++ {
+			st := d.Switch(i).Stats
+			row.OriginalBytes += st.DataBytesIn
+			row.ReqBytes += st.ProtoTxBytes
+			row.RespBytes += st.ProtoRxBytes
+		}
+		out.Rows = append(out.Rows, row)
+	}
+
+	tinyFlows := func() []trace.Item {
+		return trace.Flows(randSource(seed), trace.FlowConfig{
+			Flows: flows, Packets: packets, ZipfS: 0.9, PayloadFn: tiny,
+			Src: intClientIP, Dst: extServerIP, DstPort: 80, BasePort: 2000,
+		})
+	}
+
+	{
+		nat := newNAT()
+		alloc := apps.NewNATAllocator(nat)
+		run("NAT", redplane.DeploymentConfig{InitState: alloc.Init,
+			NewApp: func(int) redplane.App { return newNAT() }}, tinyFlows())
+	}
+	run("Firewall", redplane.DeploymentConfig{
+		NewApp: func(int) redplane.App {
+			return &apps.Firewall{InternalPrefix: intPrefix, InternalMask: intMask}
+		}}, tinyFlows())
+	{
+		pool := apps.NewLBPool(lbVIP, []redplane.Addr{extServerIP})
+		run("Load balancer", redplane.DeploymentConfig{InitState: pool.Init,
+			NewApp: func(int) redplane.App { return &apps.LoadBalancer{VIP: lbVIP} }},
+			trace.Flows(randSource(seed), trace.FlowConfig{
+				Flows: flows, Packets: packets, ZipfS: 0.9, PayloadFn: tiny,
+				Src: intClientIP, Dst: lbVIP, DstPort: 443, BasePort: 3000,
+			}))
+	}
+	run("EPC-SGW", redplane.DeploymentConfig{
+		NewApp: func(int) redplane.App { return &apps.EPCSGW{} }},
+		trace.EPC(randSource(seed), trace.EPCConfig{
+			Users: flows, Packets: packets, SignalingEvery: 17,
+			Src: intClientIP, Dst: extServerIP,
+		}))
+	{
+		// The fabric here runs ~1000x below the paper's 207 Mpps, so the
+		// snapshot period scales with it (see EXPERIMENTS.md): the ratio
+		// of snapshot bandwidth to data bandwidth is what Fig. 10 shows.
+		proto := redplane.DefaultProtocolConfig()
+		proto.SnapshotPeriod = 100 * time.Millisecond
+		run("HH-detector", redplane.DeploymentConfig{
+			Mode: redplane.BoundedInconsistency, SnapshotSlots: 192,
+			StoreService: time.Microsecond, Protocol: proto,
+			NewApp: func(i int) redplane.App {
+				return apps.NewHeavyHitter(i, 1, 0, func(*redplane.Packet) int { return 0 })
+			}}, tinyFlows())
+	}
+	run("Sync-Counter", redplane.DeploymentConfig{
+		NewApp: func(int) redplane.App { return apps.SyncCounter{} }}, tinyFlows())
+	return out
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"redplane"
+	"redplane/internal/apps"
+)
+
+// Fig11Point is one (snapshot frequency, sketch count) measurement.
+type Fig11Point struct {
+	FrequencyHz int
+	Sketches    int
+	Mbps        float64
+}
+
+// String renders the point.
+func (p Fig11Point) String() string {
+	return fmt.Sprintf("freq=%4d Hz sketches=%d  %.2f Mbps", p.FrequencyHz, p.Sketches, p.Mbps)
+}
+
+// Fig11Result is the Fig. 11 reproduction: absolute replication bandwidth
+// of the heavy-hitter detector versus snapshot frequency and sketch
+// count.
+type Fig11Result struct {
+	Points []Fig11Point
+}
+
+// Fig11 sweeps snapshot frequency (32–1024 Hz) and sketch count (3–5
+// rows per the paper's figure), measuring protocol bandwidth over a
+// fixed window. Only one switch carries traffic; its protocol bytes are
+// the replication bandwidth.
+func Fig11(seed int64) Fig11Result {
+	var out Fig11Result
+	const window = 250 * time.Millisecond
+	for _, sketches := range []int{3, 4, 5} {
+		for _, freq := range []int{32, 64, 128, 256, 512, 1024} {
+			period := time.Second / time.Duration(freq)
+			proto := redplane.DefaultProtocolConfig()
+			proto.SnapshotPeriod = period
+			sketches := sketches
+			d := redplane.NewDeployment(redplane.DeploymentConfig{
+				Seed: seed, Mode: redplane.BoundedInconsistency,
+				SnapshotSlots: sketches * 64,
+				StoreService:  time.Microsecond,
+				Protocol:      proto,
+				NewApp: func(i int) redplane.App {
+					// "n sketches" in the figure's sense: n hash rows of
+					// 64 slots, replicated each period.
+					return apps.NewHeavyHitterRows(i, 1, sketches, 64, 0,
+						func(*redplane.Packet) int { return 0 })
+				},
+			})
+			client := d.AddServer(0, "client", intClientIP)
+			d.AddClient(0, "sink", extServerIP)
+			// Background traffic keeps the sketches dirty.
+			d.Sim.Every(1, 50_000, func() bool { // one packet per 50 µs
+				p := newTinyPacket(client.IP, extServerIP, uint16(d.Sim.Now()%50000))
+				client.SendPacket(p)
+				return d.Sim.Now() < redplane.Time(window.Nanoseconds())
+			})
+			d.RunFor(window)
+			var bytes uint64
+			for i := 0; i < d.Switches(); i++ {
+				bytes += d.Switch(i).Stats.ProtoTxBytes + d.Switch(i).Stats.ProtoRxBytes
+			}
+			mbps := float64(bytes) * 8 / window.Seconds() / 1e6
+			out.Points = append(out.Points, Fig11Point{
+				FrequencyHz: freq, Sketches: sketches, Mbps: mbps,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+// Package failure schedules fault injection on the simulated testbed:
+// switch fail-stop, link-only failures, fabric failure detection after a
+// configurable delay, and recovery — the event sequence behind the
+// paper's failover experiments (§7.3).
+package failure
+
+import (
+	"time"
+
+	"redplane/internal/netsim"
+	"redplane/internal/topo"
+)
+
+// Switchlike is what failure injection needs from a programmable switch
+// (internal/core.Switch implements it).
+type Switchlike interface {
+	Fail()
+	Recover()
+}
+
+// Plan is a failure/recovery schedule for one aggregation switch.
+type Plan struct {
+	// Agg is the aggregation slot to fail.
+	Agg int
+	// FailAt is when the failure occurs.
+	FailAt time.Duration
+	// DetectDelay is how long the fabric takes to detect and reroute
+	// (the paper's recovery time combines this with the lease period).
+	DetectDelay time.Duration
+	// RecoverAt is when the switch comes back (0 = never).
+	RecoverAt time.Duration
+	// LinkOnly keeps the switch's memory intact (the Fig. 7 scenario);
+	// otherwise the switch fail-stops and loses all state.
+	LinkOnly bool
+}
+
+// Schedule installs the plan's events on the simulation. sw may be nil
+// for plain-router aggregation slots.
+func Schedule(sim *netsim.Sim, tb *topo.Testbed, sw Switchlike, p Plan) {
+	sim.After(p.FailAt, func() {
+		tb.FailAgg(p.Agg)
+		if !p.LinkOnly && sw != nil {
+			sw.Fail()
+		}
+	})
+	sim.After(p.FailAt+p.DetectDelay, func() {
+		tb.DetectAggFailure(p.Agg, true)
+	})
+	if p.RecoverAt > 0 {
+		sim.After(p.RecoverAt, func() {
+			tb.RecoverAgg(p.Agg)
+			if !p.LinkOnly && sw != nil {
+				sw.Recover()
+			}
+		})
+		sim.After(p.RecoverAt+p.DetectDelay, func() {
+			tb.DetectAggFailure(p.Agg, false)
+		})
+	}
+}

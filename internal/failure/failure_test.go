@@ -1,0 +1,107 @@
+package failure
+
+import (
+	"testing"
+	"time"
+
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+	"redplane/internal/topo"
+)
+
+// fakeSwitch records Fail/Recover calls.
+type fakeSwitch struct{ failed, recovered int }
+
+func (f *fakeSwitch) Fail()    { f.failed++ }
+func (f *fakeSwitch) Recover() { f.recovered++ }
+
+func build(sim *netsim.Sim) *topo.Testbed {
+	cfg := topo.TestbedConfig{Fabric: netsim.LinkConfig{Delay: time.Microsecond}}
+	return topo.NewTestbed(sim, cfg, []topo.RoutedNode{topo.NewRouter("agg0"), topo.NewRouter("agg1")})
+}
+
+func TestScheduleFailStopAndRecovery(t *testing.T) {
+	sim := netsim.New(1)
+	tb := build(sim)
+	src := tb.AddExternalHost(0, "src", packet.MakeAddr(100, 0, 0, 1))
+	dst := tb.AddRackHost(0, "dst", packet.MakeAddr(10, 0, 0, 1))
+	got := 0
+	dst.Handler = func(f *netsim.Frame) { got++ }
+	sw := &fakeSwitch{}
+
+	Schedule(sim, tb, sw, Plan{
+		Agg: 0, FailAt: 10 * time.Millisecond, DetectDelay: 5 * time.Millisecond,
+		RecoverAt: 30 * time.Millisecond,
+	})
+
+	send := func() {
+		// A flow pinned (by hash) to agg 0 would black-hole when it is
+		// down; use many flows so some traverse it.
+		for sp := 1; sp <= 20; sp++ {
+			src.SendPacket(packet.NewTCP(src.IP, dst.IP, uint16(sp), 80, 0, 0))
+		}
+	}
+	send()
+	sim.RunUntil(netsim.Duration(5 * time.Millisecond))
+	if got != 20 {
+		t.Fatalf("pre-failure delivered %d/20", got)
+	}
+	if sw.failed != 0 {
+		t.Fatal("failed too early")
+	}
+
+	// Between failure and detection: flows hashed to agg0 black-hole.
+	sim.RunUntil(netsim.Duration(12 * time.Millisecond))
+	if sw.failed != 1 {
+		t.Fatal("switch not failed at FailAt")
+	}
+	got = 0
+	send()
+	sim.RunUntil(netsim.Duration(14 * time.Millisecond))
+	if got == 20 || got == 0 {
+		t.Fatalf("undetected failure should black-hole some flows: %d/20", got)
+	}
+
+	// After detection: everything reroutes to agg1.
+	sim.RunUntil(netsim.Duration(20 * time.Millisecond))
+	got = 0
+	send()
+	sim.RunUntil(netsim.Duration(22 * time.Millisecond))
+	if got != 20 {
+		t.Fatalf("post-detection delivered %d/20", got)
+	}
+
+	// After recovery + detection clears, both paths carry again.
+	sim.RunUntil(netsim.Duration(50 * time.Millisecond))
+	if sw.recovered != 1 {
+		t.Fatal("switch not recovered")
+	}
+	got = 0
+	send()
+	sim.Run()
+	if got != 20 {
+		t.Fatalf("post-recovery delivered %d/20", got)
+	}
+}
+
+func TestScheduleLinkOnlyKeepsSwitchState(t *testing.T) {
+	sim := netsim.New(2)
+	tb := build(sim)
+	sw := &fakeSwitch{}
+	Schedule(sim, tb, sw, Plan{
+		Agg: 1, FailAt: time.Millisecond, DetectDelay: time.Millisecond,
+		RecoverAt: 5 * time.Millisecond, LinkOnly: true,
+	})
+	sim.Run()
+	if sw.failed != 0 || sw.recovered != 0 {
+		t.Error("link-only failure must not fail-stop the switch")
+	}
+}
+
+func TestScheduleNilSwitch(t *testing.T) {
+	sim := netsim.New(3)
+	tb := build(sim)
+	Schedule(sim, tb, nil, Plan{Agg: 0, FailAt: time.Millisecond,
+		DetectDelay: time.Millisecond, RecoverAt: 3 * time.Millisecond})
+	sim.Run() // must not panic
+}

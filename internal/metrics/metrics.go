@@ -1,0 +1,137 @@
+// Package metrics provides the measurement helpers the experiments use:
+// latency sample recorders with percentile/CDF extraction, and windowed
+// throughput time series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Latency collects duration samples (in nanoseconds) and reports order
+// statistics.
+type Latency struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample in nanoseconds.
+func (l *Latency) Add(ns float64) {
+	l.samples = append(l.samples, ns)
+	l.sorted = false
+}
+
+// N returns the sample count.
+func (l *Latency) N() int { return len(l.samples) }
+
+func (l *Latency) sortSamples() {
+	if !l.sorted {
+		sort.Float64s(l.samples)
+		l.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) in nanoseconds,
+// using nearest-rank on the sorted samples. It returns NaN with no data.
+func (l *Latency) Percentile(p float64) float64 {
+	if len(l.samples) == 0 {
+		return math.NaN()
+	}
+	l.sortSamples()
+	rank := int(math.Ceil(p/100*float64(len(l.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(l.samples) {
+		rank = len(l.samples) - 1
+	}
+	return l.samples[rank]
+}
+
+// Mean returns the arithmetic mean in nanoseconds (NaN with no data).
+func (l *Latency) Mean() float64 {
+	if len(l.samples) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range l.samples {
+		sum += v
+	}
+	return sum / float64(len(l.samples))
+}
+
+// Max returns the largest sample (NaN with no data).
+func (l *Latency) Max() float64 {
+	if len(l.samples) == 0 {
+		return math.NaN()
+	}
+	l.sortSamples()
+	return l.samples[len(l.samples)-1]
+}
+
+// CDFPoint is one point of a cumulative distribution.
+type CDFPoint struct {
+	ValueNs  float64
+	Fraction float64
+}
+
+// CDF returns up to points evenly-spaced CDF points over the samples.
+func (l *Latency) CDF(points int) []CDFPoint {
+	if len(l.samples) == 0 || points <= 0 {
+		return nil
+	}
+	l.sortSamples()
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		frac := float64(i) / float64(points)
+		idx := int(frac*float64(len(l.samples))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out = append(out, CDFPoint{ValueNs: l.samples[idx], Fraction: frac})
+	}
+	return out
+}
+
+// SummaryMicros renders p50/p90/p99 in microseconds, the figures §7.1
+// quotes.
+func (l *Latency) SummaryMicros() string {
+	return fmt.Sprintf("p50=%.1fµs p90=%.1fµs p99=%.1fµs",
+		l.Percentile(50)/1e3, l.Percentile(90)/1e3, l.Percentile(99)/1e3)
+}
+
+// Series is a windowed time series: values bucketed by time window, used
+// for the failover throughput timeline (Fig. 14).
+type Series struct {
+	windowNs float64
+	buckets  map[int]float64
+}
+
+// NewSeries creates a series with the given window in nanoseconds.
+func NewSeries(windowNs float64) *Series {
+	return &Series{windowNs: windowNs, buckets: make(map[int]float64)}
+}
+
+// Add accumulates v into the window containing time tNs.
+func (s *Series) Add(tNs float64, v float64) {
+	s.buckets[int(tNs/s.windowNs)] += v
+}
+
+// Points returns (windowStartSeconds, value) pairs in time order, filling
+// empty windows with zero between the first and last.
+func (s *Series) Points() (ts []float64, vs []float64) {
+	if len(s.buckets) == 0 {
+		return nil, nil
+	}
+	keys := make([]int, 0, len(s.buckets))
+	for k := range s.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for k := keys[0]; k <= keys[len(keys)-1]; k++ {
+		ts = append(ts, float64(k)*s.windowNs/1e9)
+		vs = append(vs, s.buckets[k])
+	}
+	return ts, vs
+}

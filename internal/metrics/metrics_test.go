@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentiles(t *testing.T) {
+	var l Latency
+	for i := 1; i <= 100; i++ {
+		l.Add(float64(i))
+	}
+	cases := []struct{ p, want float64 }{{50, 50}, {90, 90}, {99, 99}, {100, 100}, {1, 1}}
+	for _, c := range cases {
+		if got := l.Percentile(c.p); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if l.N() != 100 {
+		t.Errorf("N = %d", l.N())
+	}
+	if got := l.Mean(); got != 50.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := l.Max(); got != 100 {
+		t.Errorf("Max = %v", got)
+	}
+}
+
+func TestEmptyLatencyNaN(t *testing.T) {
+	var l Latency
+	if !math.IsNaN(l.Percentile(50)) || !math.IsNaN(l.Mean()) || !math.IsNaN(l.Max()) {
+		t.Error("empty recorder must return NaN")
+	}
+	if l.CDF(10) != nil {
+		t.Error("empty CDF must be nil")
+	}
+}
+
+func TestAddAfterPercentileResorts(t *testing.T) {
+	var l Latency
+	l.Add(10)
+	_ = l.Percentile(50)
+	l.Add(1)
+	if got := l.Percentile(50); got != 1 {
+		t.Errorf("p50 after new sample = %v, want 1", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	var l Latency
+	for i := 0; i < 1000; i++ {
+		l.Add(float64(i % 37))
+	}
+	cdf := l.CDF(20)
+	if len(cdf) != 20 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].ValueNs < cdf[i-1].ValueNs || cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+	if cdf[len(cdf)-1].Fraction != 1.0 {
+		t.Error("CDF does not reach 1.0")
+	}
+}
+
+func TestSummaryMicros(t *testing.T) {
+	var l Latency
+	l.Add(7000)
+	if s := l.SummaryMicros(); s == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestSeriesWindows(t *testing.T) {
+	s := NewSeries(1e9) // 1-second windows
+	s.Add(0.5e9, 10)
+	s.Add(0.9e9, 5)
+	s.Add(2.5e9, 7) // leaves window 1 empty
+	ts, vs := s.Points()
+	if len(ts) != 3 || len(vs) != 3 {
+		t.Fatalf("points = %d", len(ts))
+	}
+	if vs[0] != 15 || vs[1] != 0 || vs[2] != 7 {
+		t.Errorf("values = %v", vs)
+	}
+	if ts[0] != 0 || ts[1] != 1 || ts[2] != 2 {
+		t.Errorf("times = %v", ts)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := NewSeries(1e9)
+	ts, vs := s.Points()
+	if ts != nil || vs != nil {
+		t.Error("empty series must return nil")
+	}
+}

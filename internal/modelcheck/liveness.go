@@ -1,0 +1,107 @@
+package modelcheck
+
+// Liveness checking: the TLA+ spec states the property
+//
+//	query[sw].type = "request" ~> owner = sw
+//
+// (every pending lease request eventually results in ownership). Under
+// weak fairness this is a temporal property; here we verify the
+// reachability core of it — from every reachable state in which a switch
+// is waiting for a lease, SOME continuation grants it ownership — which
+// is what distinguishes a live protocol from one with unservable
+// requests. (A fair scheduler then realizes one such continuation.)
+
+// LivenessResult reports the reachability check.
+type LivenessResult struct {
+	States int
+	// Checked counts (state, switch) obligations examined.
+	Checked int
+	// Violations counts obligations with no granting continuation.
+	Violations int
+	// Truncated reports the exploration bound was hit (result partial).
+	Truncated bool
+}
+
+// OK reports a clean check.
+func (r LivenessResult) OK() bool { return r.Violations == 0 }
+
+// CheckLiveness explores the state graph and verifies that every state
+// where a switch waits for a lease response can reach a state where that
+// switch owns the lease.
+func CheckLiveness(cfg Config) LivenessResult {
+	if cfg.Switches > MaxSwitches {
+		panic("modelcheck: too many switches")
+	}
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = 1_000_000
+	}
+
+	// Forward exploration, keeping the adjacency this time.
+	init := initState(cfg)
+	index := map[State]int{init: 0}
+	states := []State{init}
+	var succ [][]int32
+	var buf []State
+	res := LivenessResult{}
+	for i := 0; i < len(states); i++ {
+		s := states[i]
+		buf = successors(cfg, s, buf)
+		row := make([]int32, 0, len(buf))
+		for _, t := range buf {
+			j, ok := index[t]
+			if !ok {
+				if len(states) >= maxStates {
+					res.Truncated = true
+					continue
+				}
+				j = len(states)
+				index[t] = j
+				states = append(states, t)
+			}
+			row = append(row, int32(j))
+		}
+		succ = append(succ, row)
+	}
+	res.States = len(states)
+
+	// Reverse adjacency.
+	pred := make([][]int32, len(states))
+	for u, row := range succ {
+		for _, v := range row {
+			pred[v] = append(pred[v], int32(u))
+		}
+	}
+
+	// For each switch, compute the backward closure of {owner == sw}:
+	// the states from which ownership is reachable.
+	for sw := 0; sw < cfg.Switches; sw++ {
+		canReach := make([]bool, len(states))
+		var stack []int32
+		for i, s := range states {
+			if s.Owner == int8(sw) {
+				canReach[i] = true
+				stack = append(stack, int32(i))
+			}
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range pred[v] {
+				if !canReach[u] {
+					canReach[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		for i, s := range states {
+			if s.PC[sw] == WaitLeaseResponse && s.Query[sw].kind != qResponse {
+				res.Checked++
+				if !canReach[i] {
+					res.Violations++
+				}
+			}
+		}
+	}
+	return res
+}

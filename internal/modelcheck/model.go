@@ -1,0 +1,395 @@
+// Package modelcheck is an explicit-state model checker for the RedPlane
+// protocol, porting the paper's TLA+ specification (Appendix C) to Go.
+//
+// The model has four process types, exactly as the spec does: the state
+// store (START_STORE → STORE_PROCESSING → TRANSFER_LEASE / BUFFERING /
+// RENEW_LEASE), one process per switch (START_SWITCH → NO_LEASE →
+// WAIT_LEASE_RESPONSE → HAS_LEASE → WAIT_WRITE_RESPONSE, plus
+// SW_FAILURE), the lease expiration timer, and the packet generator. A
+// breadth-first search over all interleavings checks the spec's
+// invariants: SingleOwnerInvariant (only the lease owner has remaining
+// lease time), the WAIT_WRITE_RESPONSE assertion (a write response
+// acknowledges exactly the written sequence number), and
+// AtLeastOneAliveSwitch.
+package modelcheck
+
+import (
+	"fmt"
+)
+
+// MaxSwitches bounds the model size so states are fixed-size comparable
+// values.
+const MaxSwitches = 3
+
+// Program counters for switch processes.
+type swPC uint8
+
+// Switch process locations, named as in the TLA+ spec.
+const (
+	StartSwitch swPC = iota
+	NoLease          // unused as a resting point; folded into transitions
+	WaitLeaseResponse
+	HasLease
+	WaitWriteResponse
+)
+
+func (p swPC) String() string {
+	switch p {
+	case StartSwitch:
+		return "START_SWITCH"
+	case WaitLeaseResponse:
+		return "WAIT_LEASE_RESPONSE"
+	case HasLease:
+		return "HAS_LEASE"
+	case WaitWriteResponse:
+		return "WAIT_WRITE_RESPONSE"
+	default:
+		return "?"
+	}
+}
+
+// query mirrors the spec's query[sw] channel variable.
+type query struct {
+	// kind: 0 none, 1 request-new, 2 request-renew, 3 response.
+	kind     uint8
+	writeSeq uint8 // request-renew: the sequence number being written
+	lastSeq  uint8 // response: the store's acknowledged sequence number
+}
+
+const (
+	qNone uint8 = iota
+	qReqNew
+	qReqRenew
+	qResponse
+)
+
+// State is one global model state. It is a comparable value so the BFS
+// can dedupe via a map.
+type State struct {
+	N uint8 // switches in play
+
+	PC     [MaxSwitches]swPC
+	Query  [MaxSwitches]query
+	Up     [MaxSwitches]bool
+	Active [MaxSwitches]bool
+	PktQ   [MaxSwitches]uint8 // SwitchPacketQueue
+	Lease  [MaxSwitches]uint8 // RemainingLeasePeriod
+	Seq    [MaxSwitches]uint8 // seqnum
+
+	// Store.
+	Owner     int8 // -1 = NULL
+	GlobalSeq uint8
+	// ReqQueue is the store's request_queue: switch ids in FIFO order,
+	// packed little-end first; length in ReqLen. Each switch has at most
+	// one outstanding request, so MaxSwitches entries suffice.
+	ReqQueue [MaxSwitches]int8
+	ReqLen   uint8
+
+	AliveNum uint8
+	SentPkts uint8
+}
+
+// push/pop on the request queue.
+func (s *State) qPush(sw int8) {
+	s.ReqQueue[s.ReqLen] = sw
+	s.ReqLen++
+}
+
+func (s *State) qPop() int8 {
+	sw := s.ReqQueue[0]
+	copy(s.ReqQueue[:], s.ReqQueue[1:s.ReqLen])
+	s.ReqLen--
+	s.ReqQueue[s.ReqLen] = 0
+	return sw
+}
+
+// Config bounds the model.
+type Config struct {
+	// Switches is the number of switch processes (2 in the paper's
+	// checked configuration).
+	Switches int
+	// LeasePeriod is the lease duration in timer ticks.
+	LeasePeriod int
+	// TotalPkts is the packet generator's budget.
+	TotalPkts int
+	// MaxStates aborts exploration beyond this many states (0 = 5M).
+	MaxStates int
+}
+
+// DefaultConfig matches a tractable TLC run: 2 switches, lease period 2,
+// 3 packets.
+func DefaultConfig() Config {
+	return Config{Switches: 2, LeasePeriod: 2, TotalPkts: 3}
+}
+
+// Violation describes an invariant breach found during exploration.
+type Violation struct {
+	Invariant string
+	Depth     int
+	State     State
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violated at depth %d", v.Invariant, v.Depth)
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	States      int
+	Transitions int
+	Depth       int
+	Violations  []Violation
+	// Deadlocks are non-terminal states with no enabled transition.
+	Deadlocks int
+	// Truncated reports the MaxStates bound was hit.
+	Truncated bool
+}
+
+// OK reports a clean run.
+func (r Result) OK() bool { return len(r.Violations) == 0 && r.Deadlocks == 0 }
+
+// initState builds the spec's Init predicate.
+func initState(cfg Config) State {
+	var s State
+	s.N = uint8(cfg.Switches)
+	s.Owner = -1
+	s.AliveNum = uint8(cfg.Switches)
+	for i := 0; i < cfg.Switches; i++ {
+		s.Up[i] = true
+		s.PC[i] = StartSwitch
+	}
+	return s
+}
+
+// successors enumerates every enabled transition of every process,
+// mirroring the spec's Next relation.
+func successors(cfg Config, s State, out []State) []State {
+	out = out[:0]
+	n := int(s.N)
+
+	// --- statestore: STORE_PROCESSING + its continuations, atomically.
+	// (The spec splits these across pc labels; collapsing a deterministic
+	// chain of store-local steps preserves reachable switch-visible
+	// states while shrinking the space.)
+	if s.ReqLen > 0 {
+		t := s
+		sw := t.qPop()
+		q := t.Query[sw]
+		switch q.kind {
+		case qReqNew:
+			if t.Owner != -1 && t.Owner != sw {
+				// BUFFERING: requeue behind other requests.
+				t.qPush(sw)
+				// Avoid a self-loop when the only queued request keeps
+				// cycling: only emit if the queue actually changed.
+				if t != s {
+					out = append(out, t)
+				}
+			} else {
+				// TRANSFER_LEASE.
+				t.Query[sw] = query{kind: qResponse, lastSeq: t.GlobalSeq}
+				t.Lease[sw] = uint8(cfg.LeasePeriod)
+				t.Owner = sw
+				out = append(out, t)
+			}
+		case qReqRenew:
+			// RENEW_LEASE: commit the write and extend the lease.
+			t.GlobalSeq = q.writeSeq
+			t.Query[sw] = query{kind: qResponse, lastSeq: t.GlobalSeq}
+			t.Lease[sw] = uint8(cfg.LeasePeriod)
+			t.Owner = sw
+			out = append(out, t)
+		}
+	}
+
+	// --- switches.
+	for i := 0; i < n; i++ {
+		sw := int8(i)
+		switch s.PC[i] {
+		case StartSwitch:
+			// Branch 1: process a packet (requires up && queue > 0).
+			if s.Up[i] && s.PktQ[i] > 0 {
+				t := s
+				t.Active[i] = true
+				if t.Lease[i] == 0 {
+					// NO_LEASE: emit the lease request.
+					t.Query[i] = query{kind: qReqNew}
+					t.qPush(sw)
+					t.PC[i] = WaitLeaseResponse
+				} else {
+					t.PC[i] = HasLease
+				}
+				out = append(out, t)
+			}
+			// Branch 2: SW_FAILURE (fail if not last alive; recover if
+			// down).
+			if s.AliveNum > 1 && s.Up[i] {
+				t := s
+				t.Up[i] = false
+				t.AliveNum--
+				out = append(out, t)
+			} else if !s.Up[i] {
+				t := s
+				t.Up[i] = true
+				t.Query[i] = query{}
+				t.AliveNum++
+				out = append(out, t)
+			}
+		case WaitLeaseResponse:
+			if s.Query[i].kind == qResponse {
+				t := s
+				t.Seq[i] = t.Query[i].lastSeq
+				t.Query[i] = query{}
+				t.PC[i] = HasLease
+				out = append(out, t)
+			}
+		case HasLease:
+			t := s
+			t.Seq[i]++
+			t.Query[i] = query{kind: qReqRenew, writeSeq: t.Seq[i]}
+			t.qPush(sw)
+			t.PC[i] = WaitWriteResponse
+			out = append(out, t)
+		case WaitWriteResponse:
+			if s.Query[i].kind == qResponse {
+				t := s
+				// The spec's Assert: the ack must cover exactly the
+				// written sequence number. Checked by the caller via
+				// CheckAssertions.
+				t.Query[i] = query{}
+				t.Active[i] = false
+				t.PktQ[i]--
+				t.PC[i] = StartSwitch
+				out = append(out, t)
+			}
+		}
+	}
+
+	// --- lease expiration timer.
+	if s.Owner != -1 {
+		o := s.Owner
+		if s.Lease[o] > 0 && !s.Active[o] {
+			t := s
+			t.Lease[o]--
+			out = append(out, t)
+		} else if s.Lease[o] == 0 {
+			t := s
+			t.Owner = -1
+			out = append(out, t)
+		}
+	}
+
+	// --- packet generator: deliver to any up switch.
+	if int(s.SentPkts) < cfg.TotalPkts && s.AliveNum >= 1 {
+		for i := 0; i < n; i++ {
+			if s.Up[i] {
+				t := s
+				t.PktQ[i]++
+				t.SentPkts++
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// checkInvariants returns the names of invariants s violates.
+func checkInvariants(s State) []string {
+	var bad []string
+	// SingleOwnerInvariant: every non-owner switch has zero remaining
+	// lease time.
+	for i := 0; i < int(s.N); i++ {
+		if int8(i) != s.Owner && s.Lease[i] != 0 {
+			bad = append(bad, "SingleOwnerInvariant")
+			break
+		}
+	}
+	// AtLeastOneAliveSwitch.
+	alive := 0
+	for i := 0; i < int(s.N); i++ {
+		if s.Up[i] {
+			alive++
+		}
+	}
+	if alive < 1 || s.AliveNum != uint8(alive) {
+		bad = append(bad, "AtLeastOneAliveSwitch")
+	}
+	// WAIT_WRITE_RESPONSE assertion: when a write response is pending,
+	// it must acknowledge the switch's written sequence number.
+	for i := 0; i < int(s.N); i++ {
+		if s.PC[i] == WaitWriteResponse && s.Query[i].kind == qResponse &&
+			s.Query[i].lastSeq != s.Seq[i] {
+			bad = append(bad, "WriteAckMatchesSeq")
+		}
+	}
+	return bad
+}
+
+// terminal reports whether s is an acceptable end state: all packets
+// generated and consumed, all switches idle.
+func terminal(cfg Config, s State) bool {
+	if int(s.SentPkts) < cfg.TotalPkts {
+		return false
+	}
+	for i := 0; i < int(s.N); i++ {
+		if s.PktQ[i] != 0 && s.Up[i] {
+			return false
+		}
+		if s.PC[i] != StartSwitch {
+			return false
+		}
+	}
+	return true
+}
+
+// Run explores the state space breadth-first and checks invariants on
+// every reachable state.
+func Run(cfg Config) Result {
+	if cfg.Switches > MaxSwitches {
+		panic("modelcheck: too many switches")
+	}
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = 5_000_000
+	}
+	init := initState(cfg)
+	seen := map[State]bool{init: true}
+	frontier := []State{init}
+	res := Result{States: 1}
+	var buf []State
+	depth := 0
+	for len(frontier) > 0 {
+		var next []State
+		for _, s := range frontier {
+			buf = successors(cfg, s, buf)
+			if len(buf) == 0 && !terminal(cfg, s) {
+				res.Deadlocks++
+			}
+			for _, t := range buf {
+				res.Transitions++
+				if seen[t] {
+					continue
+				}
+				if res.States >= maxStates {
+					res.Truncated = true
+					return res
+				}
+				seen[t] = true
+				res.States++
+				if bad := checkInvariants(t); len(bad) != 0 {
+					for _, name := range bad {
+						res.Violations = append(res.Violations, Violation{
+							Invariant: name, Depth: depth + 1, State: t,
+						})
+					}
+					continue // don't expand violating states
+				}
+				next = append(next, t)
+			}
+		}
+		frontier = next
+		depth++
+	}
+	res.Depth = depth
+	return res
+}

@@ -1,0 +1,133 @@
+package modelcheck
+
+import (
+	"testing"
+)
+
+func TestDefaultModelHoldsInvariants(t *testing.T) {
+	res := Run(DefaultConfig())
+	if res.Truncated {
+		t.Fatal("state space truncated; raise MaxStates")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Deadlocks != 0 {
+		t.Errorf("deadlocks: %d", res.Deadlocks)
+	}
+	if res.States < 500 {
+		t.Errorf("suspiciously small state space: %d", res.States)
+	}
+	if !res.OK() {
+		t.Error("OK() false on clean run")
+	}
+	t.Logf("states=%d transitions=%d depth=%d", res.States, res.Transitions, res.Depth)
+}
+
+func TestThreeSwitchesLongerLease(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	res := Run(Config{Switches: 3, LeasePeriod: 2, TotalPkts: 2, MaxStates: 3_000_000})
+	if res.Truncated {
+		t.Skip("truncated at bound; invariants held up to the bound")
+	}
+	if len(res.Violations) != 0 || res.Deadlocks != 0 {
+		t.Fatalf("violations=%v deadlocks=%d", res.Violations, res.Deadlocks)
+	}
+	t.Logf("states=%d", res.States)
+}
+
+func TestBrokenLeaseTimerViolatesSingleOwner(t *testing.T) {
+	// Sanity-check the checker itself: a state with two lease holders
+	// must trip SingleOwnerInvariant.
+	s := initState(DefaultConfig())
+	s.Owner = 0
+	s.Lease[0] = 1
+	s.Lease[1] = 1
+	if bad := checkInvariants(s); len(bad) == 0 {
+		t.Fatal("two lease holders accepted")
+	}
+}
+
+func TestWriteAckAssertion(t *testing.T) {
+	s := initState(DefaultConfig())
+	s.PC[0] = WaitWriteResponse
+	s.Query[0] = query{kind: qResponse, lastSeq: 5}
+	s.Seq[0] = 3
+	found := false
+	for _, name := range checkInvariants(s) {
+		if name == "WriteAckMatchesSeq" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("mismatched write ack accepted")
+	}
+}
+
+func TestAliveInvariant(t *testing.T) {
+	s := initState(DefaultConfig())
+	s.Up[0], s.Up[1] = false, false
+	s.AliveNum = 0
+	if bad := checkInvariants(s); len(bad) == 0 {
+		t.Fatal("all-dead state accepted")
+	}
+}
+
+func TestQueueOps(t *testing.T) {
+	var s State
+	s.qPush(2)
+	s.qPush(1)
+	if s.ReqLen != 2 || s.qPop() != 2 || s.qPop() != 1 || s.ReqLen != 0 {
+		t.Fatal("queue FIFO broken")
+	}
+}
+
+func TestPCStrings(t *testing.T) {
+	for _, pc := range []swPC{StartSwitch, WaitLeaseResponse, HasLease, WaitWriteResponse} {
+		if pc.String() == "?" {
+			t.Errorf("missing name for %d", pc)
+		}
+	}
+}
+
+func TestTooManySwitchesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Run(Config{Switches: MaxSwitches + 1})
+}
+
+func BenchmarkModelCheck(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		res := Run(cfg)
+		if !res.OK() {
+			b.Fatal("violation")
+		}
+	}
+}
+
+func TestLivenessDefaultConfig(t *testing.T) {
+	res := CheckLiveness(DefaultConfig())
+	if res.Truncated {
+		t.Fatal("truncated")
+	}
+	if res.Checked == 0 {
+		t.Fatal("no pending-request states examined; model too small")
+	}
+	if !res.OK() {
+		t.Fatalf("liveness violations: %d/%d", res.Violations, res.Checked)
+	}
+	t.Logf("liveness: %d obligations over %d states, all servable", res.Checked, res.States)
+}
+
+func TestLivenessThreeSwitches(t *testing.T) {
+	res := CheckLiveness(Config{Switches: 3, LeasePeriod: 2, TotalPkts: 2})
+	if res.Truncated || !res.OK() {
+		t.Fatalf("violations=%d truncated=%v", res.Violations, res.Truncated)
+	}
+}

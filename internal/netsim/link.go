@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"time"
+
+	"redplane/internal/packet"
+)
+
+// Frame is the unit the simulator moves between nodes. Data traffic
+// carries a *packet.Packet; RedPlane protocol traffic carries an opaque
+// control payload in Msg. Src/Dst/Flow duplicate the addressing fields so
+// routers never have to inspect payloads.
+type Frame struct {
+	Src, Dst packet.Addr
+	Flow     packet.FiveTuple
+	Size     int // on-wire bytes, used for serialization delay and accounting
+
+	Pkt *packet.Packet // nil for control frames
+	Msg any            // nil for data frames (holds *wire.Message in practice)
+}
+
+// DataFrame wraps a packet in a routable frame.
+func DataFrame(p *packet.Packet) *Frame {
+	return &Frame{Src: p.IP.Src, Dst: p.IP.Dst, Flow: p.Flow(), Size: p.WireLen(), Pkt: p}
+}
+
+// Node is anything attachable to a link.
+type Node interface {
+	// Name identifies the node in traces and errors.
+	Name() string
+	// Receive is invoked by the simulator when a frame arrives on one of
+	// the node's ports.
+	Receive(f *Frame, in *Port)
+}
+
+// LinkConfig sets a link's physical properties.
+type LinkConfig struct {
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Bandwidth in bits per second; 0 means infinite (no serialization).
+	Bandwidth float64
+	// Loss is the independent per-frame drop probability in [0,1).
+	Loss float64
+	// Jitter adds a uniform random [0,Jitter) to each frame's arrival,
+	// which can reorder frames relative to transmission order.
+	Jitter time.Duration
+	// QueueLimit bounds the serialization backlog per direction: frames
+	// that would wait longer than this are tail-dropped, as a real
+	// switch's finite packet buffer does. Zero means unbounded.
+	QueueLimit time.Duration
+}
+
+// Link is a full-duplex point-to-point link between two ports.
+type Link struct {
+	sim  *Sim
+	cfg  LinkConfig
+	a, b *Port
+	up   bool
+
+	// Counters for bandwidth accounting.
+	Frames    uint64
+	Bytes     uint64
+	Drops     uint64
+	LossDrop  uint64
+	QueueDrop uint64
+}
+
+// Port is one endpoint of a link.
+type Port struct {
+	link     *Link
+	owner    Node
+	peer     *Port
+	nextFree Time // when this direction's transmitter is idle again
+}
+
+// Connect creates a link between nodes a and b and returns it along with
+// a's and b's ports. The link starts up.
+func Connect(s *Sim, a, b Node, cfg LinkConfig) (*Link, *Port, *Port) {
+	l := &Link{sim: s, cfg: cfg, up: true}
+	pa := &Port{link: l, owner: a}
+	pb := &Port{link: l, owner: b}
+	pa.peer, pb.peer = pb, pa
+	l.a, l.b = pa, pb
+	return l, pa, pb
+}
+
+// Up reports whether the link is operational.
+func (l *Link) Up() bool { return l.up }
+
+// SetUp brings the link up or down. Frames in flight when the link goes
+// down are considered already committed to the wire and still arrive,
+// matching the behaviour of real optics; frames sent while down are lost.
+func (l *Link) SetUp(up bool) { l.up = up }
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Ends returns the two nodes the link connects.
+func (l *Link) Ends() (Node, Node) { return l.a.owner, l.b.owner }
+
+// Owner returns the node this port belongs to.
+func (p *Port) Owner() Node { return p.owner }
+
+// Peer returns the node on the other end of the port's link.
+func (p *Port) Peer() Node { return p.peer.owner }
+
+// Link returns the port's link.
+func (p *Port) Link() *Link { return p.link }
+
+// Send transmits a frame out this port. Loss, serialization delay,
+// propagation delay and jitter are applied; the peer's Receive fires at
+// the computed arrival time. Sending on a down link silently drops (and
+// counts) the frame: that is exactly what happens to packets blasted into
+// a dead transceiver.
+func (p *Port) Send(f *Frame) {
+	l := p.link
+	s := l.sim
+	if !l.up {
+		l.Drops++
+		return
+	}
+	if l.cfg.Loss > 0 && s.rng.Float64() < l.cfg.Loss {
+		l.LossDrop++
+		return
+	}
+	txStart := s.now
+	if p.nextFree > txStart {
+		txStart = p.nextFree
+	}
+	if l.cfg.QueueLimit > 0 && txStart-s.now > Duration(l.cfg.QueueLimit) {
+		l.QueueDrop++
+		return
+	}
+	l.Frames++
+	l.Bytes += uint64(f.Size)
+	txDone := txStart
+	if l.cfg.Bandwidth > 0 {
+		txDone += Time(float64(f.Size*8) / l.cfg.Bandwidth * 1e9)
+	}
+	p.nextFree = txDone
+
+	arrival := txDone + Duration(l.cfg.Delay)
+	if l.cfg.Jitter > 0 {
+		arrival += Time(s.rng.Int63n(int64(l.cfg.Jitter)))
+	}
+	dst := p.peer
+	s.At(arrival, func() {
+		s.Delivered++
+		dst.owner.Receive(f, dst)
+	})
+}

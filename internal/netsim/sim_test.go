@@ -1,0 +1,316 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"redplane/internal/packet"
+)
+
+func TestClockAdvancesInOrder(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(300, func() { order = append(order, 3) })
+	s.At(100, func() { order = append(order, 1) })
+	s.At(200, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 300 {
+		t.Errorf("Now = %d", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(50, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New(1)
+	s.At(100, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for past event")
+		}
+	}()
+	s.At(50, func() {})
+}
+
+func TestAfterAndRunUntil(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.After(time.Millisecond, func() { fired++ })
+	s.After(3*time.Millisecond, func() { fired++ })
+	s.RunUntil(Duration(2 * time.Millisecond))
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if s.Now() != Duration(2*time.Millisecond) {
+		t.Errorf("Now = %d", s.Now())
+	}
+	s.Run()
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.Every(0, Duration(time.Second), func() bool {
+		n++
+		return n < 5
+	})
+	s.Run()
+	if n != 5 {
+		t.Errorf("ticks = %d", n)
+	}
+	if s.Now() != Duration(4*time.Second) {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestEveryBadPeriodPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	s.Every(0, 0, func() bool { return false })
+}
+
+// sink collects frames for link tests.
+type sink struct {
+	name   string
+	frames []*Frame
+	at     []Time
+	sim    *Sim
+	port   *Port
+	// echo, when set, bounces each received frame back out the port.
+	echo bool
+}
+
+func (n *sink) Name() string { return n.name }
+func (n *sink) Receive(f *Frame, in *Port) {
+	n.frames = append(n.frames, f)
+	n.at = append(n.at, n.sim.Now())
+	if n.echo {
+		in.Send(f)
+	}
+}
+
+func testFrame(size int) *Frame {
+	p := packet.NewUDP(packet.MakeAddr(10, 0, 0, 1), packet.MakeAddr(10, 0, 0, 2), 1, 2, size)
+	f := DataFrame(p)
+	f.Size = size
+	return f
+}
+
+func TestLinkDeliversWithDelay(t *testing.T) {
+	s := New(1)
+	a, b := &sink{name: "a", sim: s}, &sink{name: "b", sim: s}
+	_, pa, _ := Connect(s, a, b, LinkConfig{Delay: 10 * time.Microsecond})
+	pa.Send(testFrame(100))
+	s.Run()
+	if len(b.frames) != 1 {
+		t.Fatalf("frames = %d", len(b.frames))
+	}
+	if b.at[0] != Duration(10*time.Microsecond) {
+		t.Errorf("arrival = %d", b.at[0])
+	}
+}
+
+func TestLinkSerializationDelay(t *testing.T) {
+	s := New(1)
+	a, b := &sink{name: "a", sim: s}, &sink{name: "b", sim: s}
+	// 1 Gbps: 1000 bytes = 8 µs serialization.
+	_, pa, _ := Connect(s, a, b, LinkConfig{Bandwidth: 1e9})
+	pa.Send(testFrame(1000))
+	pa.Send(testFrame(1000))
+	s.Run()
+	if len(b.frames) != 2 {
+		t.Fatalf("frames = %d", len(b.frames))
+	}
+	if b.at[0] != Duration(8*time.Microsecond) || b.at[1] != Duration(16*time.Microsecond) {
+		t.Errorf("arrivals = %v", b.at)
+	}
+}
+
+func TestLinkDownDropsAndCounts(t *testing.T) {
+	s := New(1)
+	a, b := &sink{name: "a", sim: s}, &sink{name: "b", sim: s}
+	l, pa, _ := Connect(s, a, b, LinkConfig{})
+	l.SetUp(false)
+	pa.Send(testFrame(64))
+	s.Run()
+	if len(b.frames) != 0 || l.Drops != 1 {
+		t.Errorf("frames=%d drops=%d", len(b.frames), l.Drops)
+	}
+	l.SetUp(true)
+	pa.Send(testFrame(64))
+	s.Run()
+	if len(b.frames) != 1 {
+		t.Errorf("frame not delivered after SetUp(true)")
+	}
+}
+
+func TestLinkLossIsStatistical(t *testing.T) {
+	s := New(42)
+	a, b := &sink{name: "a", sim: s}, &sink{name: "b", sim: s}
+	l, pa, _ := Connect(s, a, b, LinkConfig{Loss: 0.3})
+	const n = 10000
+	for i := 0; i < n; i++ {
+		pa.Send(testFrame(64))
+	}
+	s.Run()
+	got := float64(len(b.frames)) / n
+	if got < 0.65 || got > 0.75 {
+		t.Errorf("delivery ratio = %v, want ~0.7", got)
+	}
+	if l.LossDrop == 0 {
+		t.Error("no loss recorded")
+	}
+}
+
+func TestLinkJitterReorders(t *testing.T) {
+	s := New(7)
+	a, b := &sink{name: "a", sim: s}, &sink{name: "b", sim: s}
+	_, pa, _ := Connect(s, a, b, LinkConfig{Delay: time.Microsecond, Jitter: 50 * time.Microsecond})
+	for i := 0; i < 100; i++ {
+		f := testFrame(64)
+		f.Pkt.Seq = uint64(i)
+		pa.Send(f)
+	}
+	s.Run()
+	reordered := false
+	for i := 1; i < len(b.frames); i++ {
+		if b.frames[i].Pkt.Seq < b.frames[i-1].Pkt.Seq {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Error("jitter produced no reordering in 100 frames")
+	}
+}
+
+func TestBidirectionalEcho(t *testing.T) {
+	s := New(1)
+	a := &sink{name: "a", sim: s}
+	b := &sink{name: "b", sim: s, echo: true}
+	_, pa, _ := Connect(s, a, b, LinkConfig{Delay: 5 * time.Microsecond})
+	pa.Send(testFrame(64))
+	s.Run()
+	if len(a.frames) != 1 {
+		t.Fatalf("echo not received: %d", len(a.frames))
+	}
+	if a.at[0] != Duration(10*time.Microsecond) {
+		t.Errorf("rtt = %d", a.at[0])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, Time) {
+		s := New(99)
+		a, b := &sink{name: "a", sim: s}, &sink{name: "b", sim: s, echo: true}
+		_, pa, _ := Connect(s, a, b, LinkConfig{Delay: time.Microsecond, Loss: 0.1, Jitter: 10 * time.Microsecond})
+		for i := 0; i < 1000; i++ {
+			pa.Send(testFrame(64 + i%1000))
+		}
+		s.Run()
+		return s.Delivered, s.Now()
+	}
+	d1, t1 := run()
+	d2, t2 := run()
+	if d1 != d2 || t1 != t2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", d1, t1, d2, t2)
+	}
+}
+
+func TestPortAccessors(t *testing.T) {
+	s := New(1)
+	a, b := &sink{name: "a", sim: s}, &sink{name: "b", sim: s}
+	l, pa, pb := Connect(s, a, b, LinkConfig{})
+	if pa.Owner() != a || pa.Peer() != b || pb.Owner() != b || pa.Link() != l {
+		t.Error("port accessors wrong")
+	}
+	na, nb := l.Ends()
+	if na != a || nb != b {
+		t.Error("Ends wrong")
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if Duration(time.Second) != 1e9 {
+		t.Error("Duration conversion")
+	}
+	if Time(1500).Micros() != 1.5 {
+		t.Error("Micros")
+	}
+	if Time(2e9).Seconds() != 2.0 {
+		t.Error("Seconds")
+	}
+}
+
+func BenchmarkEventLoop(b *testing.B) {
+	s := New(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			s.At(s.Now()+10, tick)
+		}
+	}
+	s.At(0, tick)
+	s.Run()
+}
+
+func BenchmarkLinkSend(b *testing.B) {
+	s := New(1)
+	a, c := &sink{name: "a", sim: s}, &sink{name: "c", sim: s}
+	_, pa, _ := Connect(s, a, c, LinkConfig{Delay: time.Microsecond, Bandwidth: 100e9})
+	f := testFrame(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pa.Send(f)
+		if s.Pending() > 1024 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+func TestQueueLimitTailDrops(t *testing.T) {
+	s := New(1)
+	a, b := &sink{name: "a", sim: s}, &sink{name: "b", sim: s}
+	// 1 Gbps with a 10 µs queue: ~2 frames of 1000 B fit (8 µs each).
+	l, pa, _ := Connect(s, a, b, LinkConfig{Bandwidth: 1e9, QueueLimit: 10 * time.Microsecond})
+	for i := 0; i < 10; i++ {
+		pa.Send(testFrame(1000))
+	}
+	s.Run()
+	if l.QueueDrop == 0 {
+		t.Fatal("no tail drops at 5x queue capacity")
+	}
+	if len(b.frames)+int(l.QueueDrop) != 10 {
+		t.Errorf("delivered %d + dropped %d != 10", len(b.frames), l.QueueDrop)
+	}
+	if len(b.frames) < 2 {
+		t.Errorf("delivered only %d", len(b.frames))
+	}
+}

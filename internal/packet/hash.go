@@ -1,0 +1,51 @@
+package packet
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash returns a 64-bit FNV-1a hash of the five-tuple. The hash is NOT
+// symmetric: both directions of a conversation hash differently. Use
+// SymmetricHash when bidirectional path affinity is required.
+func (ft FiveTuple) Hash() uint64 {
+	h := uint64(fnvOffset)
+	h = fnvMix32(h, uint32(ft.Src))
+	h = fnvMix32(h, uint32(ft.Dst))
+	h = fnvMix32(h, uint32(ft.SrcPort)<<16|uint32(ft.DstPort))
+	h = fnvMix8(h, uint8(ft.Proto))
+	return h
+}
+
+// SymmetricHash returns a hash that is equal for both directions of a
+// conversation. ECMP configured with a symmetric hash keeps a
+// bidirectional flow on the same path (§2: "best-effort affinity").
+func (ft FiveTuple) SymmetricHash() uint64 {
+	return ft.Canonical().Hash()
+}
+
+func fnvMix32(h uint64, v uint32) uint64 {
+	for i := 0; i < 4; i++ {
+		h ^= uint64(v >> (24 - 8*i) & 0xff)
+		h *= fnvPrime
+	}
+	return h
+}
+
+func fnvMix8(h uint64, v uint8) uint64 {
+	h ^= uint64(v)
+	h *= fnvPrime
+	return h
+}
+
+// HashUint64 is FNV-1a over a uint64 value, used to shard keys (e.g. the
+// key-value store's keys and the state store's flow-key sharding).
+func HashUint64(v uint64) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < 8; i++ {
+		h ^= v >> (56 - 8*i) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}

@@ -1,0 +1,266 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Header lengths in bytes. These are the fixed sizes used by the wire
+// encodings; options are not supported (the data-plane model, like most
+// switch pipelines, parses fixed-format headers).
+const (
+	EthernetLen = 14
+	IPv4Len     = 20
+	UDPLen      = 8
+	TCPLen      = 20
+	GTPLen      = 8
+	KVHeaderLen = 18
+)
+
+// EtherType values.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+)
+
+// ErrTruncated reports a buffer too short for the header being decoded.
+var ErrTruncated = errors.New("packet: truncated header")
+
+// MAC is an Ethernet hardware address.
+type MAC [6]byte
+
+// Ethernet is the L2 header.
+type Ethernet struct {
+	Dst, Src MAC
+	Type     uint16
+}
+
+// Marshal appends the wire form of the header to b and returns the result.
+func (h *Ethernet) Marshal(b []byte) []byte {
+	b = append(b, h.Dst[:]...)
+	b = append(b, h.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, h.Type)
+}
+
+// Unmarshal decodes the header from b and returns the number of bytes read.
+func (h *Ethernet) Unmarshal(b []byte) (int, error) {
+	if len(b) < EthernetLen {
+		return 0, ErrTruncated
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.Type = binary.BigEndian.Uint16(b[12:14])
+	return EthernetLen, nil
+}
+
+// IPv4 is the L3 header (no options).
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // upper 3 bits of the flags/fragment word
+	FragOff  uint16
+	TTL      uint8
+	Proto    Proto
+	Checksum uint16
+	Src, Dst Addr
+}
+
+// Marshal appends the wire form of the header to b, computing the header
+// checksum, and returns the result.
+func (h *IPv4) Marshal(b []byte) []byte {
+	start := len(b)
+	b = append(b, 0x45, h.TOS) // version 4, IHL 5
+	b = binary.BigEndian.AppendUint16(b, h.TotalLen)
+	b = binary.BigEndian.AppendUint16(b, h.ID)
+	b = binary.BigEndian.AppendUint16(b, uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	b = append(b, h.TTL, uint8(h.Proto))
+	b = binary.BigEndian.AppendUint16(b, 0) // checksum placeholder
+	b = binary.BigEndian.AppendUint32(b, uint32(h.Src))
+	b = binary.BigEndian.AppendUint32(b, uint32(h.Dst))
+	cs := ipChecksum(b[start : start+IPv4Len])
+	binary.BigEndian.PutUint16(b[start+10:start+12], cs)
+	return b
+}
+
+// Unmarshal decodes the header from b, verifying version, IHL and checksum,
+// and returns the number of bytes read.
+func (h *IPv4) Unmarshal(b []byte) (int, error) {
+	if len(b) < IPv4Len {
+		return 0, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return 0, errors.New("packet: not IPv4")
+	}
+	if b[0]&0x0f != 5 {
+		return 0, errors.New("packet: IPv4 options unsupported")
+	}
+	if ipChecksum(b[:IPv4Len]) != 0 {
+		return 0, errors.New("packet: bad IPv4 checksum")
+	}
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	fw := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(fw >> 13)
+	h.FragOff = fw & 0x1fff
+	h.TTL = b[8]
+	h.Proto = Proto(b[9])
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	h.Src = Addr(binary.BigEndian.Uint32(b[12:16]))
+	h.Dst = Addr(binary.BigEndian.Uint32(b[16:20]))
+	return IPv4Len, nil
+}
+
+// ipChecksum computes the ones-complement sum checksum over b. Computing it
+// over a header whose checksum field is filled in yields zero when valid.
+func ipChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// UDP is the L4 datagram header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Len              uint16
+	Checksum         uint16
+}
+
+// Marshal appends the wire form of the header to b and returns the result.
+func (h *UDP) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = binary.BigEndian.AppendUint16(b, h.Len)
+	return binary.BigEndian.AppendUint16(b, h.Checksum)
+}
+
+// Unmarshal decodes the header from b and returns the number of bytes read.
+func (h *UDP) Unmarshal(b []byte) (int, error) {
+	if len(b) < UDPLen {
+		return 0, ErrTruncated
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Len = binary.BigEndian.Uint16(b[4:6])
+	h.Checksum = binary.BigEndian.Uint16(b[6:8])
+	return UDPLen, nil
+}
+
+// TCP is the L4 stream header (no options).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            TCPFlags
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+}
+
+// Marshal appends the wire form of the header to b and returns the result.
+func (h *TCP) Marshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, h.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, h.DstPort)
+	b = binary.BigEndian.AppendUint32(b, h.Seq)
+	b = binary.BigEndian.AppendUint32(b, h.Ack)
+	b = append(b, 5<<4, uint8(h.Flags)) // data offset 5 words
+	b = binary.BigEndian.AppendUint16(b, h.Window)
+	b = binary.BigEndian.AppendUint16(b, h.Checksum)
+	return binary.BigEndian.AppendUint16(b, h.Urgent)
+}
+
+// Unmarshal decodes the header from b and returns the number of bytes read.
+func (h *TCP) Unmarshal(b []byte) (int, error) {
+	if len(b) < TCPLen {
+		return 0, ErrTruncated
+	}
+	if off := int(b[12]>>4) * 4; off != TCPLen {
+		return 0, errors.New("packet: TCP options unsupported")
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Seq = binary.BigEndian.Uint32(b[4:8])
+	h.Ack = binary.BigEndian.Uint32(b[8:12])
+	h.Flags = TCPFlags(b[13])
+	h.Window = binary.BigEndian.Uint16(b[14:16])
+	h.Checksum = binary.BigEndian.Uint16(b[16:18])
+	h.Urgent = binary.BigEndian.Uint16(b[18:20])
+	return TCPLen, nil
+}
+
+// GTP is a simplified GTP-U style tunnel header used by the EPC serving
+// gateway application (§6): a tunnel endpoint ID routes user traffic.
+type GTP struct {
+	Version uint8
+	MsgType uint8
+	Len     uint16
+	TEID    uint32
+}
+
+// GTP message types used by the SGW application.
+const (
+	GTPMsgData      uint8 = 0xff // encapsulated user data (G-PDU)
+	GTPMsgSignaling uint8 = 0x01 // simplified signaling (session update)
+)
+
+// Marshal appends the wire form of the header to b and returns the result.
+func (h *GTP) Marshal(b []byte) []byte {
+	b = append(b, h.Version<<5|0x08, h.MsgType)
+	b = binary.BigEndian.AppendUint16(b, h.Len)
+	return binary.BigEndian.AppendUint32(b, h.TEID)
+}
+
+// Unmarshal decodes the header from b and returns the number of bytes read.
+func (h *GTP) Unmarshal(b []byte) (int, error) {
+	if len(b) < GTPLen {
+		return 0, ErrTruncated
+	}
+	h.Version = b[0] >> 5
+	h.MsgType = b[1]
+	h.Len = binary.BigEndian.Uint16(b[2:4])
+	h.TEID = binary.BigEndian.Uint32(b[4:8])
+	return GTPLen, nil
+}
+
+// KVOp is an in-switch key-value store operation code.
+type KVOp uint8
+
+// Key-value operations (Fig. 13's custom header: op, key, value).
+const (
+	KVRead KVOp = iota + 1
+	KVUpdate
+)
+
+// KVHeader is the custom application header of the in-switch key-value
+// store used for the update-ratio experiment (§7.2).
+type KVHeader struct {
+	Op  KVOp
+	_   uint8 // reserved/padding on the wire
+	Key uint64
+	Val uint64
+}
+
+// Marshal appends the wire form of the header to b and returns the result.
+func (h *KVHeader) Marshal(b []byte) []byte {
+	b = append(b, uint8(h.Op), 0)
+	b = binary.BigEndian.AppendUint64(b, h.Key)
+	return binary.BigEndian.AppendUint64(b, h.Val)
+}
+
+// Unmarshal decodes the header from b and returns the number of bytes read.
+func (h *KVHeader) Unmarshal(b []byte) (int, error) {
+	if len(b) < KVHeaderLen {
+		return 0, ErrTruncated
+	}
+	h.Op = KVOp(b[0])
+	h.Key = binary.BigEndian.Uint64(b[2:10])
+	h.Val = binary.BigEndian.Uint64(b[10:18])
+	return KVHeaderLen, nil
+}

@@ -1,0 +1,124 @@
+package packet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Marshal serializes the full packet (Ethernet through application header)
+// to wire bytes, appending to b. Payload bytes are emitted as zeros of
+// PayloadLen, since the simulator tracks payload length, not content.
+// Callers carrying real payloads append them and adjust lengths themselves.
+func (p *Packet) Marshal(b []byte) []byte {
+	b = p.Eth.Marshal(b)
+	// Recompute TotalLen from the layers present so callers cannot emit
+	// inconsistent length fields.
+	ip := p.IP
+	ip.TotalLen = uint16(IPv4Len + p.l4Len())
+	b = ip.Marshal(b)
+	switch {
+	case p.HasTCP:
+		b = p.TCP.Marshal(b)
+	case p.HasUDP:
+		udp := p.UDP
+		udp.Len = uint16(UDPLen + p.l7Len())
+		b = udp.Marshal(b)
+	}
+	if p.HasGTP {
+		b = p.GTP.Marshal(b)
+	}
+	if p.HasKV {
+		b = p.KV.Marshal(b)
+	}
+	for i := 0; i < p.PayloadLen; i++ {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func (p *Packet) l7Len() int {
+	n := p.PayloadLen
+	if p.HasGTP {
+		n += GTPLen
+	}
+	if p.HasKV {
+		n += KVHeaderLen
+	}
+	return n
+}
+
+func (p *Packet) l4Len() int {
+	n := p.l7Len()
+	switch {
+	case p.HasTCP:
+		n += TCPLen
+	case p.HasUDP:
+		n += UDPLen
+	}
+	return n
+}
+
+// Unmarshal decodes a full packet from wire bytes. GTP and KV headers are
+// not self-describing at the UDP layer, so the caller's port conventions
+// decide: UDP destination ports GTPPort and KVPort trigger decoding of the
+// respective application headers.
+func (p *Packet) Unmarshal(b []byte) error {
+	*p = Packet{}
+	n, err := p.Eth.Unmarshal(b)
+	if err != nil {
+		return fmt.Errorf("ethernet: %w", err)
+	}
+	b = b[n:]
+	if p.Eth.Type != EtherTypeIPv4 {
+		return errors.New("packet: non-IPv4 ethertype")
+	}
+	n, err = p.IP.Unmarshal(b)
+	if err != nil {
+		return fmt.Errorf("ipv4: %w", err)
+	}
+	b = b[n:]
+	switch p.IP.Proto {
+	case ProtoTCP:
+		p.HasTCP = true
+		n, err = p.TCP.Unmarshal(b)
+		if err != nil {
+			return fmt.Errorf("tcp: %w", err)
+		}
+		b = b[n:]
+	case ProtoUDP:
+		p.HasUDP = true
+		n, err = p.UDP.Unmarshal(b)
+		if err != nil {
+			return fmt.Errorf("udp: %w", err)
+		}
+		b = b[n:]
+		switch p.UDP.DstPort {
+		case GTPPort:
+			p.HasGTP = true
+			n, err = p.GTP.Unmarshal(b)
+			if err != nil {
+				return fmt.Errorf("gtp: %w", err)
+			}
+			b = b[n:]
+		case KVPort:
+			p.HasKV = true
+			n, err = p.KV.Unmarshal(b)
+			if err != nil {
+				return fmt.Errorf("kv: %w", err)
+			}
+			b = b[n:]
+		}
+	default:
+		return fmt.Errorf("packet: unsupported protocol %v", p.IP.Proto)
+	}
+	p.PayloadLen = len(b)
+	return nil
+}
+
+// Well-known UDP ports for the application headers.
+const (
+	// GTPPort is the GTP-U user-plane port.
+	GTPPort uint16 = 2152
+	// KVPort is the in-switch key-value store's request port.
+	KVPort uint16 = 9700
+)

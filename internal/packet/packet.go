@@ -1,0 +1,252 @@
+// Package packet models network packets for the RedPlane data plane.
+//
+// It provides typed header structs for the protocols the paper's
+// applications touch (Ethernet, IPv4, UDP, TCP, a GTP-like tunnel header
+// for the EPC serving gateway, and a small key-value application header),
+// binary wire encoding for each, comparable flow keys, and the symmetric
+// flow hash used for ECMP routing.
+//
+// Decoding follows the zero-allocation style of gopacket's DecodingLayer:
+// headers decode in place into caller-owned structs, and the decoded
+// header reports its length so the caller can slice off the payload.
+package packet
+
+import (
+	"fmt"
+)
+
+// Proto identifies an IPv4 payload protocol.
+type Proto uint8
+
+// IANA protocol numbers used in this repository.
+const (
+	ProtoICMP Proto = 1
+	ProtoTCP  Proto = 6
+	ProtoUDP  Proto = 17
+)
+
+// String returns the conventional protocol name.
+func (p Proto) String() string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Addr is an IPv4 address in host byte order. The simulator and wire
+// formats use a fixed 32-bit representation so addresses are comparable
+// and hash cheaply as map keys.
+type Addr uint32
+
+// MakeAddr builds an Addr from dotted-quad components.
+func MakeAddr(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// String renders the address in dotted-quad form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// FiveTuple is the canonical per-flow key (§2: "in many cases the key will
+// be the IP 5-tuple"). It is comparable and usable directly as a map key.
+type FiveTuple struct {
+	Src, Dst         Addr
+	SrcPort, DstPort uint16
+	Proto            Proto
+}
+
+// Reverse returns the tuple with source and destination swapped, i.e. the
+// key of the opposite direction of the same conversation.
+func (ft FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{
+		Src: ft.Dst, Dst: ft.Src,
+		SrcPort: ft.DstPort, DstPort: ft.SrcPort,
+		Proto: ft.Proto,
+	}
+}
+
+// String renders the tuple as "src:sport->dst:dport/proto".
+func (ft FiveTuple) String() string {
+	return fmt.Sprintf("%v:%d->%v:%d/%v", ft.Src, ft.SrcPort, ft.Dst, ft.DstPort, ft.Proto)
+}
+
+// Canonical returns the direction-independent form of the tuple: the
+// lexicographically smaller endpoint is placed first. Both directions of a
+// conversation canonicalize to the same value, which is what ECMP needs to
+// keep a bidirectional flow pinned to one path.
+func (ft FiveTuple) Canonical() FiveTuple {
+	if ft.Src > ft.Dst || (ft.Src == ft.Dst && ft.SrcPort > ft.DstPort) {
+		return ft.Reverse()
+	}
+	return ft
+}
+
+// TCPFlags is the TCP flag byte.
+type TCPFlags uint8
+
+// TCP flag bits.
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+)
+
+// Has reports whether all bits in mask are set.
+func (f TCPFlags) Has(mask TCPFlags) bool { return f&mask == mask }
+
+// String lists the set flags, e.g. "SYN|ACK".
+func (f TCPFlags) String() string {
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{
+		{FlagFIN, "FIN"}, {FlagSYN, "SYN"}, {FlagRST, "RST"},
+		{FlagPSH, "PSH"}, {FlagACK, "ACK"}, {FlagURG, "URG"},
+	}
+	out := ""
+	for _, n := range names {
+		if f&n.bit != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// Packet is the simulator's unit of traffic. Headers are embedded by value
+// so a Packet is a single allocation; optional layers are flagged by the
+// Has* booleans. Wire length is accounted explicitly so bandwidth and
+// buffer-occupancy results reflect real packet sizes even though the
+// simulator passes structs rather than bytes on its fast path.
+//
+// The real-UDP mode (cmd/redplane-store, cmd/redplane-switch) uses the
+// Marshal/Unmarshal binary encodings in this package instead.
+type Packet struct {
+	Eth Ethernet
+	IP  IPv4
+
+	HasTCP bool
+	TCP    TCP
+
+	HasUDP bool
+	UDP    UDP
+
+	// HasGTP marks an EPC user-plane packet carrying a tunnel header
+	// between the UDP header and the payload.
+	HasGTP bool
+	GTP    GTP
+
+	// HasKV marks an in-switch key-value store request (§7.2, Fig. 13).
+	HasKV bool
+	KV    KVHeader
+
+	// PayloadLen is the application payload size in bytes. The simulator
+	// does not carry payload bytes, only their length; tests that need
+	// real bytes use the wire encodings.
+	PayloadLen int
+
+	// Seq numbers packets within a flow for history checking; it is
+	// simulator metadata, not an on-wire field.
+	Seq uint64
+
+	// SentAt is the virtual time the packet entered the network, used by
+	// latency experiments. Zero means unset.
+	SentAt int64
+
+	// Observed is simulator metadata: the state value the application
+	// exposed when producing this packet as output (e.g. the counter
+	// value). The history checker validates it against linearizability.
+	Observed uint64
+}
+
+// Flow returns the packet's five-tuple flow key.
+func (p *Packet) Flow() FiveTuple {
+	ft := FiveTuple{Src: p.IP.Src, Dst: p.IP.Dst, Proto: p.IP.Proto}
+	switch {
+	case p.HasTCP:
+		ft.SrcPort, ft.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	case p.HasUDP:
+		ft.SrcPort, ft.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	}
+	return ft
+}
+
+// WireLen returns the total on-wire size in bytes, including Ethernet
+// framing. Minimum Ethernet frame padding (to 64 bytes) is applied, since
+// the paper's bandwidth experiments use 64-byte packets.
+func (p *Packet) WireLen() int {
+	n := EthernetLen + IPv4Len + p.PayloadLen
+	if p.HasTCP {
+		n += TCPLen
+	}
+	if p.HasUDP {
+		n += UDPLen
+	}
+	if p.HasGTP {
+		n += GTPLen
+	}
+	if p.HasKV {
+		n += KVHeaderLen
+	}
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// Clone returns a deep copy of the packet. Headers are values, so a struct
+// copy suffices; Clone exists to make copy sites explicit (the data-plane
+// mirroring primitive clones packets).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	return &q
+}
+
+// NewUDP builds a minimal UDP packet between two endpoints with the given
+// payload length.
+func NewUDP(src, dst Addr, sport, dport uint16, payloadLen int) *Packet {
+	return &Packet{
+		Eth: Ethernet{Type: EtherTypeIPv4},
+		IP: IPv4{
+			TTL: 64, Proto: ProtoUDP, Src: src, Dst: dst,
+			TotalLen: uint16(IPv4Len + UDPLen + payloadLen),
+		},
+		HasUDP: true,
+		UDP: UDP{
+			SrcPort: sport, DstPort: dport,
+			Len: uint16(UDPLen + payloadLen),
+		},
+		PayloadLen: payloadLen,
+	}
+}
+
+// NewTCP builds a minimal TCP packet between two endpoints.
+func NewTCP(src, dst Addr, sport, dport uint16, flags TCPFlags, payloadLen int) *Packet {
+	return &Packet{
+		Eth: Ethernet{Type: EtherTypeIPv4},
+		IP: IPv4{
+			TTL: 64, Proto: ProtoTCP, Src: src, Dst: dst,
+			TotalLen: uint16(IPv4Len + TCPLen + payloadLen),
+		},
+		HasTCP: true,
+		TCP: TCP{
+			SrcPort: sport, DstPort: dport, Flags: flags, Window: 65535,
+		},
+		PayloadLen: payloadLen,
+	}
+}

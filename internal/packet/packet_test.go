@@ -1,0 +1,305 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeAddrString(t *testing.T) {
+	a := MakeAddr(10, 0, 1, 200)
+	if got, want := a.String(), "10.0.1.200"; got != want {
+		t.Errorf("Addr.String() = %q, want %q", got, want)
+	}
+	if a != Addr(0x0a0001c8) {
+		t.Errorf("MakeAddr = %#x, want 0x0a0001c8", uint32(a))
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	cases := map[Proto]string{ProtoTCP: "tcp", ProtoUDP: "udp", ProtoICMP: "icmp", Proto(99): "proto(99)"}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Proto(%d).String() = %q, want %q", uint8(p), got, want)
+		}
+	}
+}
+
+func TestFiveTupleReverse(t *testing.T) {
+	ft := FiveTuple{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20, Proto: ProtoTCP}
+	rev := ft.Reverse()
+	if rev.Src != 2 || rev.Dst != 1 || rev.SrcPort != 20 || rev.DstPort != 10 {
+		t.Errorf("Reverse() = %+v", rev)
+	}
+	if rev.Reverse() != ft {
+		t.Error("Reverse is not an involution")
+	}
+}
+
+func TestFiveTupleCanonicalSymmetric(t *testing.T) {
+	ft := FiveTuple{Src: 9, Dst: 3, SrcPort: 80, DstPort: 443, Proto: ProtoTCP}
+	if ft.Canonical() != ft.Reverse().Canonical() {
+		t.Error("Canonical differs between directions")
+	}
+}
+
+func TestSymmetricHashProperty(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, proto uint8) bool {
+		ft := FiveTuple{Src: Addr(src), Dst: Addr(dst), SrcPort: sp, DstPort: dp, Proto: Proto(proto)}
+		return ft.SymmetricHash() == ft.Reverse().SymmetricHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashDistinguishesFlows(t *testing.T) {
+	a := FiveTuple{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20, Proto: ProtoTCP}
+	b := a
+	b.SrcPort = 11
+	if a.Hash() == b.Hash() {
+		t.Error("distinct flows hash equal")
+	}
+}
+
+func TestTCPFlags(t *testing.T) {
+	f := FlagSYN | FlagACK
+	if !f.Has(FlagSYN) || !f.Has(FlagACK) || f.Has(FlagFIN) {
+		t.Errorf("flag membership wrong for %v", f)
+	}
+	if got := f.String(); got != "SYN|ACK" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := TCPFlags(0).String(); got != "none" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPacketFlow(t *testing.T) {
+	p := NewTCP(MakeAddr(10, 0, 0, 1), MakeAddr(10, 0, 0, 2), 1234, 80, FlagSYN, 0)
+	ft := p.Flow()
+	want := FiveTuple{Src: MakeAddr(10, 0, 0, 1), Dst: MakeAddr(10, 0, 0, 2), SrcPort: 1234, DstPort: 80, Proto: ProtoTCP}
+	if ft != want {
+		t.Errorf("Flow() = %v, want %v", ft, want)
+	}
+
+	u := NewUDP(MakeAddr(1, 1, 1, 1), MakeAddr(2, 2, 2, 2), 53, 5353, 10)
+	if got := u.Flow().Proto; got != ProtoUDP {
+		t.Errorf("UDP flow proto = %v", got)
+	}
+}
+
+func TestWireLenMinimumFrame(t *testing.T) {
+	p := NewUDP(1, 2, 3, 4, 0)
+	if got := p.WireLen(); got != 64 {
+		t.Errorf("WireLen of tiny packet = %d, want padded 64", got)
+	}
+	p.PayloadLen = 1458
+	if got, want := p.WireLen(), EthernetLen+IPv4Len+UDPLen+1458; got != want {
+		t.Errorf("WireLen = %d, want %d", got, want)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := NewTCP(1, 2, 3, 4, FlagACK, 100)
+	q := p.Clone()
+	q.TCP.SrcPort = 999
+	if p.TCP.SrcPort == 999 {
+		t.Error("Clone did not copy")
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	h := Ethernet{Dst: MAC{1, 2, 3, 4, 5, 6}, Src: MAC{7, 8, 9, 10, 11, 12}, Type: EtherTypeIPv4}
+	b := h.Marshal(nil)
+	if len(b) != EthernetLen {
+		t.Fatalf("len = %d", len(b))
+	}
+	var g Ethernet
+	n, err := g.Unmarshal(b)
+	if err != nil || n != EthernetLen || g != h {
+		t.Errorf("round trip: %+v err=%v n=%d", g, err, n)
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	h := IPv4{TOS: 0x10, TotalLen: 100, ID: 42, Flags: 2, FragOff: 0, TTL: 63, Proto: ProtoTCP,
+		Src: MakeAddr(192, 168, 0, 1), Dst: MakeAddr(10, 0, 0, 7)}
+	b := h.Marshal(nil)
+	var g IPv4
+	if _, err := g.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	// Checksum is filled in by Marshal; compare remaining fields.
+	h.Checksum = g.Checksum
+	if g != h {
+		t.Errorf("round trip mismatch: %+v vs %+v", g, h)
+	}
+	// Corrupt a byte: checksum must fail.
+	b[16] ^= 0xff
+	if _, err := g.Unmarshal(b); err == nil {
+		t.Error("corrupted header decoded without error")
+	}
+}
+
+func TestIPv4Truncated(t *testing.T) {
+	var g IPv4
+	if _, err := g.Unmarshal(make([]byte, 10)); err == nil {
+		t.Error("want error on short buffer")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	h := UDP{SrcPort: 9999, DstPort: 53, Len: 28, Checksum: 0xbeef}
+	var g UDP
+	if _, err := g.Unmarshal(h.Marshal(nil)); err != nil || g != h {
+		t.Errorf("round trip: %+v err=%v", g, err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	h := TCP{SrcPort: 80, DstPort: 4242, Seq: 0xdeadbeef, Ack: 7, Flags: FlagSYN | FlagACK,
+		Window: 1024, Checksum: 0x1234, Urgent: 0}
+	var g TCP
+	if _, err := g.Unmarshal(h.Marshal(nil)); err != nil || g != h {
+		t.Errorf("round trip: %+v err=%v", g, err)
+	}
+}
+
+func TestGTPRoundTrip(t *testing.T) {
+	h := GTP{Version: 1, MsgType: GTPMsgData, Len: 52, TEID: 0xfeedf00d}
+	var g GTP
+	if _, err := g.Unmarshal(h.Marshal(nil)); err != nil || g != h {
+		t.Errorf("round trip: %+v err=%v", g, err)
+	}
+}
+
+func TestKVHeaderRoundTrip(t *testing.T) {
+	h := KVHeader{Op: KVUpdate, Key: 123456789, Val: 987654321}
+	var g KVHeader
+	if _, err := g.Unmarshal(h.Marshal(nil)); err != nil || g != h {
+		t.Errorf("round trip: %+v err=%v", g, err)
+	}
+}
+
+func TestPacketMarshalRoundTripTCP(t *testing.T) {
+	p := NewTCP(MakeAddr(10, 1, 2, 3), MakeAddr(10, 4, 5, 6), 1000, 2000, FlagPSH|FlagACK, 37)
+	b := p.Marshal(nil)
+	var q Packet
+	if err := q.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if q.Flow() != p.Flow() || q.PayloadLen != 37 || !q.HasTCP {
+		t.Errorf("round trip: flow=%v payload=%d", q.Flow(), q.PayloadLen)
+	}
+}
+
+func TestPacketMarshalRoundTripGTP(t *testing.T) {
+	p := NewUDP(MakeAddr(10, 1, 1, 1), MakeAddr(10, 2, 2, 2), 40000, GTPPort, 64)
+	p.HasGTP = true
+	p.GTP = GTP{Version: 1, MsgType: GTPMsgData, TEID: 777}
+	b := p.Marshal(nil)
+	var q Packet
+	if err := q.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if !q.HasGTP || q.GTP.TEID != 777 || q.PayloadLen != 64 {
+		t.Errorf("round trip: %+v payload=%d", q.GTP, q.PayloadLen)
+	}
+}
+
+func TestPacketMarshalRoundTripKV(t *testing.T) {
+	p := NewUDP(MakeAddr(10, 1, 1, 1), MakeAddr(10, 2, 2, 2), 40000, KVPort, 0)
+	p.HasKV = true
+	p.KV = KVHeader{Op: KVRead, Key: 55}
+	var q Packet
+	if err := q.Unmarshal(p.Marshal(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !q.HasKV || q.KV.Key != 55 || q.KV.Op != KVRead {
+		t.Errorf("round trip: %+v", q.KV)
+	}
+}
+
+func TestPacketUnmarshalErrors(t *testing.T) {
+	var q Packet
+	if err := q.Unmarshal(nil); err == nil {
+		t.Error("empty buffer must fail")
+	}
+	p := NewUDP(1, 2, 3, 4, 0)
+	b := p.Marshal(nil)
+	b[12], b[13] = 0x86, 0xdd // IPv6 ethertype
+	if err := q.Unmarshal(b); err == nil {
+		t.Error("non-IPv4 must fail")
+	}
+}
+
+func TestPacketMarshalPropertyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		var p *Packet
+		if rng.Intn(2) == 0 {
+			p = NewTCP(Addr(rng.Uint32()), Addr(rng.Uint32()),
+				uint16(rng.Intn(65536)), uint16(rng.Intn(65536)),
+				TCPFlags(rng.Intn(64)), rng.Intn(1400))
+			p.TCP.Seq = rng.Uint32()
+			p.TCP.Ack = rng.Uint32()
+		} else {
+			p = NewUDP(Addr(rng.Uint32()), Addr(rng.Uint32()),
+				uint16(rng.Intn(65536)), uint16(1+rng.Intn(2000)), rng.Intn(1400))
+		}
+		var q Packet
+		if err := q.Unmarshal(p.Marshal(nil)); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if q.Flow() != p.Flow() {
+			t.Fatalf("iter %d: flow %v != %v", i, q.Flow(), p.Flow())
+		}
+		if q.PayloadLen != p.PayloadLen {
+			t.Fatalf("iter %d: payload %d != %d", i, q.PayloadLen, p.PayloadLen)
+		}
+	}
+}
+
+func TestHashUint64Spread(t *testing.T) {
+	// Nearby keys should land in different shards most of the time.
+	buckets := make(map[uint64]int)
+	for k := uint64(0); k < 1000; k++ {
+		buckets[HashUint64(k)%8]++
+	}
+	for b, n := range buckets {
+		if n < 50 {
+			t.Errorf("bucket %d underpopulated: %d", b, n)
+		}
+	}
+}
+
+func BenchmarkPacketMarshal(b *testing.B) {
+	p := NewTCP(1, 2, 3, 4, FlagACK, 64)
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = p.Marshal(buf[:0])
+	}
+}
+
+func BenchmarkPacketUnmarshal(b *testing.B) {
+	p := NewTCP(1, 2, 3, 4, FlagACK, 64)
+	buf := p.Marshal(nil)
+	var q Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := q.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFiveTupleHash(b *testing.B) {
+	ft := FiveTuple{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: ProtoTCP}
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += ft.SymmetricHash()
+	}
+	_ = sink
+}

@@ -1,0 +1,174 @@
+// Package pipeline models the stateful resources of a programmable switch
+// ASIC in the Tofino mold (§2 "Primer on programmable switches"): register
+// arrays accessed by packets in the match-action pipeline, match tables
+// whose insertions must travel through the slow ASIC-to-CPU control-plane
+// channel, and an accounting model of pipeline resource usage that
+// reproduces the paper's Table 2 (Appendix E).
+//
+// The model enforces the architectural constraints RedPlane designs
+// around, rather than gate-level behaviour: a register array allows one
+// entry access per packet, tables are read-only from the data plane, and
+// control-plane operations are serialized behind a channel several orders
+// of magnitude slower than the data plane.
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"redplane/internal/netsim"
+)
+
+// RegisterArray is data-plane stateful memory: a fixed array of 64-bit
+// entries readable and writable at line rate by packets. The Tofino
+// constraint that a packet touches at most one index per array per pass is
+// a usage convention the RedPlane code follows; the array counts accesses
+// so tests can assert it.
+type RegisterArray struct {
+	name string
+	vals []uint64
+
+	// Reads and Writes count entry accesses for resource reporting.
+	Reads, Writes uint64
+}
+
+// NewRegisterArray allocates an array of n zero entries.
+func NewRegisterArray(name string, n int) *RegisterArray {
+	return &RegisterArray{name: name, vals: make([]uint64, n)}
+}
+
+// Name returns the array's identifier.
+func (r *RegisterArray) Name() string { return r.name }
+
+// Len returns the number of entries.
+func (r *RegisterArray) Len() int { return len(r.vals) }
+
+// Get reads entry i.
+func (r *RegisterArray) Get(i int) uint64 {
+	r.Reads++
+	return r.vals[i]
+}
+
+// Set writes entry i.
+func (r *RegisterArray) Set(i int, v uint64) {
+	r.Writes++
+	r.vals[i] = v
+}
+
+// Add increments entry i by delta and returns the new value (the
+// read-modify-write ALU operation every switch ASIC supports).
+func (r *RegisterArray) Add(i int, delta uint64) uint64 {
+	r.Reads++
+	r.Writes++
+	r.vals[i] += delta
+	return r.vals[i]
+}
+
+// Snapshot copies the array contents (a control-plane style bulk read;
+// data-plane consistent snapshots need the lazy mechanism in
+// internal/sketch).
+func (r *RegisterArray) Snapshot() []uint64 {
+	out := make([]uint64, len(r.vals))
+	copy(out, r.vals)
+	return out
+}
+
+// MatchTable is an exact-match table. The data plane can only look up;
+// inserts and deletes are control-plane operations (on Tofino, "updates to
+// match tables ... need to be done through the switch control plane",
+// §5.1). Use ControlPlane.Do to model the insertion latency.
+type MatchTable[K comparable, V any] struct {
+	name    string
+	entries map[K]V
+
+	// Lookups, Hits count data-plane accesses.
+	Lookups, Hits uint64
+	// Inserts counts control-plane mutations.
+	Inserts uint64
+}
+
+// NewMatchTable creates an empty table.
+func NewMatchTable[K comparable, V any](name string) *MatchTable[K, V] {
+	return &MatchTable[K, V]{name: name, entries: make(map[K]V)}
+}
+
+// Name returns the table's identifier.
+func (t *MatchTable[K, V]) Name() string { return t.name }
+
+// Len returns the number of installed entries.
+func (t *MatchTable[K, V]) Len() int { return len(t.entries) }
+
+// Lookup is the data-plane read path.
+func (t *MatchTable[K, V]) Lookup(k K) (V, bool) {
+	t.Lookups++
+	v, ok := t.entries[k]
+	if ok {
+		t.Hits++
+	}
+	return v, ok
+}
+
+// Insert installs an entry. Callers model control-plane latency by
+// invoking this from a ControlPlane.Do callback.
+func (t *MatchTable[K, V]) Insert(k K, v V) {
+	t.Inserts++
+	t.entries[k] = v
+}
+
+// Delete removes an entry.
+func (t *MatchTable[K, V]) Delete(k K) { delete(t.entries, k) }
+
+// ControlPlane models the switch CPU and its PCIe channel to the ASIC.
+// Operations are serialized: each occupies the channel for OpLatency, so a
+// burst of flow setups queues behind itself — the effect visible in the
+// paper's 99th-percentile latencies (§7.1).
+type ControlPlane struct {
+	sim *netsim.Sim
+
+	// OpLatency is the end-to-end time for one control-plane operation
+	// (driver + PCIe + table write). The paper's Switch-NAT shows ~100 µs
+	// of 99th-percentile latency from this path.
+	OpLatency time.Duration
+
+	busyUntil netsim.Time
+
+	// Ops counts completed operations.
+	Ops uint64
+}
+
+// NewControlPlane creates a control plane attached to the simulation.
+func NewControlPlane(sim *netsim.Sim, opLatency time.Duration) *ControlPlane {
+	return &ControlPlane{sim: sim, OpLatency: opLatency}
+}
+
+// Do schedules fn to run after the control-plane channel has serviced this
+// operation (FIFO behind earlier operations) and returns the completion
+// time.
+func (c *ControlPlane) Do(fn func()) netsim.Time {
+	start := c.sim.Now()
+	if c.busyUntil > start {
+		start = c.busyUntil
+	}
+	done := start + netsim.Duration(c.OpLatency)
+	c.busyUntil = done
+	c.sim.At(done, func() {
+		c.Ops++
+		fn()
+	})
+	return done
+}
+
+// QueueDepth returns how far in the future the channel is booked, a proxy
+// for control-plane backlog.
+func (c *ControlPlane) QueueDepth() time.Duration {
+	d := c.busyUntil - c.sim.Now()
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}
+
+// String summarizes the control plane state for traces.
+func (c *ControlPlane) String() string {
+	return fmt.Sprintf("cp{ops=%d backlog=%v}", c.Ops, c.QueueDepth())
+}

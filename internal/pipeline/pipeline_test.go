@@ -1,0 +1,162 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"redplane/internal/netsim"
+)
+
+func TestRegisterArrayBasics(t *testing.T) {
+	r := NewRegisterArray("cnt", 8)
+	if r.Name() != "cnt" || r.Len() != 8 {
+		t.Fatal("metadata wrong")
+	}
+	r.Set(3, 42)
+	if r.Get(3) != 42 {
+		t.Error("Get after Set")
+	}
+	if got := r.Add(3, 8); got != 50 {
+		t.Errorf("Add = %d", got)
+	}
+	if r.Reads != 2 || r.Writes != 2 {
+		t.Errorf("counters reads=%d writes=%d", r.Reads, r.Writes)
+	}
+	snap := r.Snapshot()
+	snap[3] = 0
+	if r.Get(3) != 50 {
+		t.Error("Snapshot aliases storage")
+	}
+}
+
+func TestMatchTable(t *testing.T) {
+	mt := NewMatchTable[string, int]("nat")
+	if _, ok := mt.Lookup("a"); ok {
+		t.Error("hit on empty table")
+	}
+	mt.Insert("a", 1)
+	if v, ok := mt.Lookup("a"); !ok || v != 1 {
+		t.Error("miss after insert")
+	}
+	if mt.Len() != 1 || mt.Lookups != 2 || mt.Hits != 1 || mt.Inserts != 1 {
+		t.Errorf("counters: %+v", mt)
+	}
+	mt.Delete("a")
+	if mt.Len() != 0 {
+		t.Error("delete failed")
+	}
+	if mt.Name() != "nat" {
+		t.Error("name")
+	}
+}
+
+func TestControlPlaneSerializesOps(t *testing.T) {
+	sim := netsim.New(1)
+	cp := NewControlPlane(sim, 100*time.Microsecond)
+	var done []netsim.Time
+	for i := 0; i < 3; i++ {
+		cp.Do(func() { done = append(done, sim.Now()) })
+	}
+	if cp.QueueDepth() != 300*time.Microsecond {
+		t.Errorf("backlog = %v", cp.QueueDepth())
+	}
+	sim.Run()
+	want := []netsim.Time{
+		netsim.Duration(100 * time.Microsecond),
+		netsim.Duration(200 * time.Microsecond),
+		netsim.Duration(300 * time.Microsecond),
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Errorf("op %d done at %v, want %v", i, done[i], want[i])
+		}
+	}
+	if cp.Ops != 3 {
+		t.Errorf("Ops = %d", cp.Ops)
+	}
+	if cp.QueueDepth() != 0 {
+		t.Errorf("backlog after drain = %v", cp.QueueDepth())
+	}
+	if cp.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestResourceReportMatchesPaperShape(t *testing.T) {
+	// At 100k flows the model should land near the paper's Table 2
+	// percentages, with SRAM the largest consumer and all < 14%.
+	reports := ReportUsage(DefaultBudget(), DefaultRedPlaneCost(), 100_000)
+	want := map[Resource]float64{
+		ResMatchCrossbar: 5.3, ResMeterALU: 8.3, ResGateway: 9.9,
+		ResSRAM: 13.2, ResTCAM: 11.8, ResVLIW: 5.5, ResHashBits: 3.7,
+	}
+	var maxPct float64
+	var maxRes Resource
+	for _, r := range reports {
+		if r.Percent > 14.0 {
+			t.Errorf("%s = %.1f%% exceeds 14%%", r.Resource, r.Percent)
+		}
+		if r.Percent > maxPct {
+			maxPct, maxRes = r.Percent, r.Resource
+		}
+		w := want[r.Resource]
+		if diff := r.Percent - w; diff < -1.0 || diff > 1.0 {
+			t.Errorf("%s = %.1f%%, paper reports %.1f%%", r.Resource, r.Percent, w)
+		}
+		if r.String() == "" {
+			t.Error("empty row")
+		}
+	}
+	if maxRes != ResSRAM {
+		t.Errorf("largest consumer = %s, paper says SRAM", maxRes)
+	}
+}
+
+func TestSRAMScalesWithFlows(t *testing.T) {
+	cost := DefaultRedPlaneCost()
+	u100k := cost.Usage(100_000)
+	u1m := cost.Usage(1_000_000)
+	if u1m[ResSRAM] <= u100k[ResSRAM] {
+		t.Error("SRAM does not grow with flow count")
+	}
+	// Only SRAM scales (§7.4: "Scaling up concurrent flows would increase
+	// only SRAM usage").
+	for _, r := range AllResources {
+		if r == ResSRAM {
+			continue
+		}
+		if u1m[r] != u100k[r] {
+			t.Errorf("%s scales with flows but should not", r)
+		}
+	}
+}
+
+func TestReportOrderCanonical(t *testing.T) {
+	reports := ReportUsage(DefaultBudget(), DefaultRedPlaneCost(), 1000)
+	if len(reports) != len(AllResources) {
+		t.Fatalf("rows = %d", len(reports))
+	}
+	for i, r := range reports {
+		if r.Resource != AllResources[i] {
+			t.Errorf("row %d = %s, want %s", i, r.Resource, AllResources[i])
+		}
+	}
+}
+
+func BenchmarkRegisterAdd(b *testing.B) {
+	r := NewRegisterArray("bench", 1024)
+	for i := 0; i < b.N; i++ {
+		r.Add(i&1023, 1)
+	}
+}
+
+func BenchmarkMatchTableLookup(b *testing.B) {
+	mt := NewMatchTable[uint64, uint64]("bench")
+	for i := uint64(0); i < 10000; i++ {
+		mt.Insert(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mt.Lookup(uint64(i) % 10000)
+	}
+}

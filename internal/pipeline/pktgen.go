@@ -1,0 +1,60 @@
+package pipeline
+
+import (
+	"redplane/internal/netsim"
+)
+
+// PacketGenerator models the switch ASIC's packet generator (§5.4:
+// "Replication is achieved using the switch ASIC's packet generator. We
+// configure it to generate a batch of packets every T_snap seconds"):
+// every Period it invokes the batch hook, then emits the batch's packets
+// paced Gap apart — a burst leaves the generator at line rate but the
+// emission loop injects them one per pipeline pass.
+type PacketGenerator struct {
+	sim *netsim.Sim
+	// Period is the batch interval; Gap paces packets within a batch.
+	Period, Gap netsim.Time
+
+	stopped bool
+
+	// Batches and Packets count generator activity.
+	Batches, Packets uint64
+}
+
+// NewPacketGenerator creates a generator; call Start to arm it.
+func NewPacketGenerator(sim *netsim.Sim, period, gap netsim.Time) *PacketGenerator {
+	if period <= 0 {
+		panic("pipeline: non-positive generator period")
+	}
+	return &PacketGenerator{sim: sim, Period: period, Gap: gap}
+}
+
+// Start arms the generator. On each tick, prepare is called once and
+// returns the batch size (0 skips the tick) and the per-packet emit hook,
+// which then runs for ids 0..n-1 at Gap spacing.
+func (g *PacketGenerator) Start(prepare func() (n int, emit func(id int))) {
+	g.sim.Every(g.Period, g.Period, func() bool {
+		if g.stopped {
+			return false
+		}
+		n, emit := prepare()
+		if n <= 0 || emit == nil {
+			return true
+		}
+		g.Batches++
+		for id := 0; id < n; id++ {
+			id := id
+			g.sim.At(g.sim.Now()+netsim.Time(id)*g.Gap, func() {
+				if g.stopped {
+					return
+				}
+				g.Packets++
+				emit(id)
+			})
+		}
+		return true
+	})
+}
+
+// Stop disarms the generator; queued emissions are suppressed.
+func (g *PacketGenerator) Stop() { g.stopped = true }

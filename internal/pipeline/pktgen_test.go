@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"testing"
+
+	"redplane/internal/netsim"
+)
+
+func TestPacketGeneratorPacesBatches(t *testing.T) {
+	sim := netsim.New(1)
+	gen := NewPacketGenerator(sim, 1000, 10) // 1 µs period, 10 ns gap
+	var emitted []netsim.Time
+	var ids []int
+	ticks := 0
+	gen.Start(func() (int, func(int)) {
+		ticks++
+		if ticks > 3 {
+			gen.Stop()
+			return 0, nil
+		}
+		return 4, func(id int) {
+			emitted = append(emitted, sim.Now())
+			ids = append(ids, id)
+		}
+	})
+	sim.RunUntil(10_000)
+
+	if gen.Batches != 3 || gen.Packets != 12 || len(emitted) != 12 {
+		t.Fatalf("batches=%d packets=%d", gen.Batches, gen.Packets)
+	}
+	// Within a batch, packets are spaced by the gap and ids are ordered.
+	for b := 0; b < 3; b++ {
+		for i := 0; i < 4; i++ {
+			k := b*4 + i
+			want := netsim.Time((b+1)*1000 + i*10)
+			if emitted[k] != want {
+				t.Errorf("emission %d at %d, want %d", k, emitted[k], want)
+			}
+			if ids[k] != i {
+				t.Errorf("emission %d id=%d, want %d", k, ids[k], i)
+			}
+		}
+	}
+}
+
+func TestPacketGeneratorSkipsEmptyBatches(t *testing.T) {
+	sim := netsim.New(1)
+	gen := NewPacketGenerator(sim, 100, 1)
+	n := 0
+	gen.Start(func() (int, func(int)) {
+		n++
+		if n >= 5 {
+			gen.Stop()
+		}
+		return 0, nil // nothing to send this tick
+	})
+	sim.RunUntil(1000)
+	if gen.Batches != 0 || gen.Packets != 0 {
+		t.Errorf("empty ticks counted: batches=%d packets=%d", gen.Batches, gen.Packets)
+	}
+	if n < 5 {
+		t.Errorf("ticks = %d", n)
+	}
+}
+
+func TestPacketGeneratorStopSuppressesQueued(t *testing.T) {
+	sim := netsim.New(1)
+	gen := NewPacketGenerator(sim, 100, 50)
+	emitted := 0
+	gen.Start(func() (int, func(int)) {
+		return 10, func(id int) {
+			emitted++
+			if id == 1 {
+				gen.Stop() // mid-batch stop
+			}
+		}
+	})
+	sim.RunUntil(2000)
+	if emitted != 2 {
+		t.Errorf("emitted %d after mid-batch stop, want 2", emitted)
+	}
+}
+
+func TestPacketGeneratorBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewPacketGenerator(netsim.New(1), 0, 1)
+}

@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"fmt"
+)
+
+// Resource identifies one class of match-action pipeline resource tracked
+// by the Tofino-P4 compiler's allocation summary.
+type Resource string
+
+// Resource classes reported in the paper's Table 2 (Appendix E).
+const (
+	ResMatchCrossbar Resource = "Match Crossbar"
+	ResMeterALU      Resource = "Meter ALU"
+	ResGateway       Resource = "Gateway"
+	ResSRAM          Resource = "SRAM"
+	ResTCAM          Resource = "TCAM"
+	ResVLIW          Resource = "VLIW Instruction"
+	ResHashBits      Resource = "Hash Bits"
+)
+
+// AllResources lists the tracked resource classes in report order.
+var AllResources = []Resource{
+	ResMatchCrossbar, ResMeterALU, ResGateway, ResSRAM, ResTCAM, ResVLIW, ResHashBits,
+}
+
+// ASICBudget is the total capacity of each resource class in a pipeline.
+// The defaults approximate a 12-stage Tofino-class pipeline; absolute
+// units are arbitrary as long as costs use the same units, since the
+// reported quantity is a percentage.
+type ASICBudget map[Resource]float64
+
+// DefaultBudget returns a Tofino-like pipeline budget: 12 stages of match
+// crossbar bits, meter ALUs, gateways, SRAM and TCAM blocks, VLIW slots,
+// and hash bits.
+func DefaultBudget() ASICBudget {
+	return ASICBudget{
+		ResMatchCrossbar: 12 * 1536, // bits
+		ResMeterALU:      12 * 4,    // stateful ALUs
+		ResGateway:       12 * 16,   // gateway tables
+		ResSRAM:          12 * 80,   // 16 KB blocks
+		ResTCAM:          12 * 24,   // blocks
+		ResVLIW:          12 * 32,   // instruction slots
+		ResHashBits:      12 * 416,  // bits
+	}
+}
+
+// sramBlockBytes is the size of one SRAM block in the budget's units.
+const sramBlockBytes = 16 * 1024
+
+// perFlowStateBytes is RedPlane's per-flow SRAM footprint: lease
+// expiration time, current sequence number, and last acknowledged sequence
+// number (§7.4), 4 bytes each.
+const perFlowStateBytes = 12
+
+// RedPlaneCost models the additional pipeline resources consumed by the
+// RedPlane data-plane component (lease request generation and management,
+// sequence number generation, ack processing and request timeout
+// management with their TCAM range matches, §6). All classes are fixed
+// costs except SRAM, which also grows with the number of concurrent flows.
+type RedPlaneCost struct {
+	Fixed ASICBudget
+}
+
+// DefaultRedPlaneCost returns the cost model calibrated against the
+// compiler output reported in the paper (Table 2 at 100k flows).
+func DefaultRedPlaneCost() RedPlaneCost {
+	return RedPlaneCost{Fixed: ASICBudget{
+		ResMatchCrossbar: 977, // lease/seq/ack tables' key bits
+		ResMeterALU:      4,   // seq, lease expiry, ack state, timeout stamps
+		ResGateway:       19,  // predication on request/ack/timeout branches
+		ResSRAM:          52,  // protocol tables and headers (flow-independent)
+		ResTCAM:          34,  // range matches: ack covering-seq, timeout compare
+		ResVLIW:          21,  // header rewrite instruction slots
+		ResHashBits:      185, // store-shard selection hash
+	}}
+}
+
+// Usage returns RedPlane's additional usage of each resource, in budget
+// units, for the given number of concurrent flows.
+func (c RedPlaneCost) Usage(flows int) ASICBudget {
+	u := ASICBudget{}
+	for r, v := range c.Fixed {
+		u[r] = v
+	}
+	blocks := float64((flows*perFlowStateBytes + sramBlockBytes - 1) / sramBlockBytes)
+	u[ResSRAM] += blocks
+	return u
+}
+
+// Report is one row of the Table 2 reproduction.
+type Report struct {
+	Resource Resource
+	Used     float64 // budget units
+	Budget   float64
+	Percent  float64
+}
+
+// ReportUsage computes per-resource additional-usage percentages for the
+// given flow count, sorted in canonical order.
+func ReportUsage(budget ASICBudget, cost RedPlaneCost, flows int) []Report {
+	u := cost.Usage(flows)
+	out := make([]Report, 0, len(AllResources))
+	for _, r := range AllResources {
+		b := budget[r]
+		out = append(out, Report{
+			Resource: r, Used: u[r], Budget: b, Percent: 100 * u[r] / b,
+		})
+	}
+	return out
+}
+
+// String renders the row like the paper's table ("SRAM  13.2%").
+func (r Report) String() string {
+	return fmt.Sprintf("%-17s %5.1f%%", r.Resource, r.Percent)
+}

@@ -1,0 +1,166 @@
+package sketch
+
+import (
+	"redplane/internal/packet"
+)
+
+// CountMin is a count-min sketch [Cormode & Hadjieleftheriou] whose rows
+// are lazily-snapshottable register arrays, matching the paper's
+// heavy-hitter detector: d hash rows of w slots each (the evaluation uses
+// 3 rows of 64 slots, §6).
+type CountMin struct {
+	d, w  int
+	rows  []*LazyArray
+	seeds []uint64
+}
+
+// NewCountMin creates a sketch with d rows of w slots.
+func NewCountMin(d, w int) *CountMin {
+	c := &CountMin{d: d, w: w}
+	for i := 0; i < d; i++ {
+		c.rows = append(c.rows, NewLazyArray(w))
+		// Distinct odd seeds decorrelate the rows.
+		c.seeds = append(c.seeds, uint64(i)*0x9e3779b97f4a7c15+1)
+	}
+	return c
+}
+
+// Rows returns d; Width returns w.
+func (c *CountMin) Rows() int { return c.d }
+
+// Width returns the slots per row.
+func (c *CountMin) Width() int { return c.w }
+
+// Slots returns the total slot count, the number of replication packets
+// one snapshot generates.
+func (c *CountMin) Slots() int { return c.d * c.w }
+
+func (c *CountMin) slot(row int, key uint64) int {
+	return int(packet.HashUint64(key^c.seeds[row]) % uint64(c.w))
+}
+
+// Update adds delta to the key's counter in every row.
+func (c *CountMin) Update(key uint64, delta uint64) {
+	for r := 0; r < c.d; r++ {
+		c.rows[r].Update(c.slot(r, key), delta)
+	}
+}
+
+// Estimate returns the count-min estimate for the key: the minimum of its
+// row counters. It never underestimates the true count.
+func (c *CountMin) Estimate(key uint64) uint64 {
+	var min uint64 = ^uint64(0)
+	for r := 0; r < c.d; r++ {
+		if v := c.rows[r].Latest(c.slot(r, key)); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// RowLatest returns the live value of one slot addressed by (row, col),
+// without disturbing snapshot bookkeeping.
+func (c *CountMin) RowLatest(row, col int) uint64 {
+	return c.rows[row].Latest(col)
+}
+
+// BeginSnapshot flips all rows. Either every row flips or none does.
+func (c *CountMin) BeginSnapshot() error {
+	for _, r := range c.rows {
+		if r.SnapshotInProgress() {
+			return ErrSnapshotInProgress
+		}
+	}
+	for _, r := range c.rows {
+		if err := r.BeginSnapshot(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SnapshotRead reads one slot of the in-progress snapshot. Slots are
+// numbered row-major: slot = row*Width + column.
+func (c *CountMin) SnapshotRead(slot int) (uint64, error) {
+	return c.rows[slot/c.w].SnapshotRead(slot % c.w)
+}
+
+// SnapshotInProgress reports whether any row has unread snapshot slots.
+func (c *CountMin) SnapshotInProgress() bool {
+	for _, r := range c.rows {
+		if r.SnapshotInProgress() {
+			return true
+		}
+	}
+	return false
+}
+
+// EstimateFromSnapshot computes the count-min estimate for key over a
+// fully-read snapshot image (a d*w row-major slice), used by the state
+// store to answer queries from replicated state after a failure.
+func EstimateFromSnapshot(snapshot []uint64, d, w int, key uint64) uint64 {
+	c := NewCountMin(d, w) // reuse the hash layout
+	var min uint64 = ^uint64(0)
+	for r := 0; r < d; r++ {
+		if v := snapshot[r*w+c.slot(r, key)]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Bloom is a Bloom filter over a lazily-snapshottable array, one bit per
+// slot (stored as 64-bit registers to keep the one-access-per-packet
+// constraint honest: the switch sets a whole register, not a packed bit).
+type Bloom struct {
+	k     int
+	arr   *LazyArray
+	seeds []uint64
+}
+
+// NewBloom creates a filter with m slots and k hash functions.
+func NewBloom(m, k int) *Bloom {
+	b := &Bloom{k: k, arr: NewLazyArray(m)}
+	for i := 0; i < k; i++ {
+		b.seeds = append(b.seeds, uint64(i)*0xbf58476d1ce4e5b9+0x2545f4914f6cdd1d)
+	}
+	return b
+}
+
+// Slots returns the array length.
+func (b *Bloom) Slots() int { return b.arr.Len() }
+
+func (b *Bloom) slot(i int, key uint64) int {
+	return int(packet.HashUint64(key^b.seeds[i]) % uint64(b.arr.Len()))
+}
+
+// Add inserts the key.
+func (b *Bloom) Add(key uint64) {
+	for i := 0; i < b.k; i++ {
+		s := b.slot(i, key)
+		if b.arr.Latest(s) == 0 {
+			b.arr.Update(s, 1)
+		} else {
+			// Touch the slot so snapshot bookkeeping stays consistent
+			// even when the bit is already set.
+			b.arr.Update(s, 0)
+		}
+	}
+}
+
+// Contains reports whether the key may have been added (no false
+// negatives; false positives possible).
+func (b *Bloom) Contains(key uint64) bool {
+	for i := 0; i < b.k; i++ {
+		if b.arr.Latest(b.slot(i, key)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BeginSnapshot, SnapshotRead and SnapshotInProgress expose the lazy
+// snapshot of the underlying array.
+func (b *Bloom) BeginSnapshot() error                  { return b.arr.BeginSnapshot() }
+func (b *Bloom) SnapshotRead(slot int) (uint64, error) { return b.arr.SnapshotRead(slot) }
+func (b *Bloom) SnapshotInProgress() bool              { return b.arr.SnapshotInProgress() }

@@ -1,0 +1,136 @@
+// Package sketch provides the approximate data structures RedPlane's
+// bounded-inconsistency mode replicates: a count-min sketch and a Bloom
+// filter, both built over a lazily-snapshotted register array that
+// reproduces the paper's Algorithm 1 (Appendix A).
+//
+// The lazy snapshot keeps two interleaved copies of every slot. A 1-bit
+// active flag selects which copy absorbs updates, and a per-slot 1-bit
+// "last updated" marker records which copy a slot last touched. Taking a
+// snapshot flips the flag; the first update to each slot afterwards
+// synchronizes the copies before updating, so the inactive copy preserves
+// a consistent image of the entire structure as of the flip — while
+// updates continue at line rate.
+package sketch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LazyArray is a register array supporting consistent snapshots under
+// concurrent single-slot updates, per Algorithm 1. All operations touch
+// one slot, matching the switch constraint of one register access per
+// array per packet.
+type LazyArray struct {
+	buf  [2][]uint64
+	last []uint8 // which buffer each slot last updated (0 or 1)
+
+	active uint8 // which buffer absorbs updates
+
+	// snapshot progress: slots not yet read by the current snapshot.
+	inProgress  bool
+	unread      []bool
+	unreadCount int
+
+	// Epoch counts completed snapshot flips.
+	Epoch uint32
+}
+
+// NewLazyArray allocates an array of n slots, all zero, with no snapshot
+// in progress.
+func NewLazyArray(n int) *LazyArray {
+	return &LazyArray{
+		buf:    [2][]uint64{make([]uint64, n), make([]uint64, n)},
+		last:   make([]uint8, n),
+		unread: make([]bool, n),
+	}
+}
+
+// Len returns the slot count.
+func (a *LazyArray) Len() int { return len(a.last) }
+
+// Slots returns the slot count; together with the snapshot methods it
+// satisfies the SnapshotSource interface RedPlane replicates through.
+func (a *LazyArray) Slots() int { return len(a.last) }
+
+// Update adds delta to slot i and returns the new value (the
+// SKETCH_UPDATE path of Algorithm 1). The first update to a slot after a
+// snapshot flip copies the slot from the inactive buffer first, preserving
+// the snapshot image there.
+func (a *LazyArray) Update(i int, delta uint64) uint64 {
+	act := a.active
+	lastB := a.last[i]
+	a.last[i] = act
+	if act != lastB {
+		// First touch since the flip: synchronize, then update.
+		a.buf[act][i] = a.buf[1-act][i]
+	}
+	a.buf[act][i] += delta
+	return a.buf[act][i]
+}
+
+// Latest returns the most recent value of slot i without modifying it.
+func (a *LazyArray) Latest(i int) uint64 {
+	return a.buf[a.last[i]][i]
+}
+
+// ErrSnapshotInProgress reports an attempt to begin a snapshot before the
+// previous one has been fully read out ("additional snapshots must wait
+// for the current one to complete", §5.4).
+var ErrSnapshotInProgress = errors.New("sketch: snapshot already in progress")
+
+// BeginSnapshot flips the active buffer, freezing the current contents as
+// the snapshot image. Every slot must then be read exactly once with
+// SnapshotRead before the next snapshot can begin.
+func (a *LazyArray) BeginSnapshot() error {
+	if a.inProgress {
+		return ErrSnapshotInProgress
+	}
+	a.active = 1 - a.active
+	a.inProgress = true
+	a.unreadCount = len(a.unread)
+	for i := range a.unread {
+		a.unread[i] = true
+	}
+	return nil
+}
+
+// SnapshotRead returns the snapshot value of slot i (the SNAPSHOT_READ
+// path of Algorithm 1): the slot's value at the instant of the flip,
+// regardless of updates applied since. Reading a slot twice in one
+// snapshot, or without a snapshot in progress, is an error.
+func (a *LazyArray) SnapshotRead(i int) (uint64, error) {
+	if !a.inProgress {
+		return 0, errors.New("sketch: no snapshot in progress")
+	}
+	if !a.unread[i] {
+		return 0, fmt.Errorf("sketch: slot %d already read in this snapshot", i)
+	}
+	a.unread[i] = false
+	a.unreadCount--
+
+	act := a.active
+	lastB := a.last[i]
+	var v uint64
+	if act != lastB {
+		// Untouched since the flip: the inactive buffer holds the latest
+		// (= snapshot) value. Synchronize as Algorithm 1 does with a
+		// zero update, and return it.
+		a.last[i] = act
+		a.buf[act][i] = a.buf[1-act][i]
+		v = a.buf[act][i]
+	} else {
+		// A data packet already synchronized this slot; the snapshot
+		// image lives in the inactive buffer.
+		v = a.buf[1-act][i]
+	}
+	if a.unreadCount == 0 {
+		a.inProgress = false
+		a.Epoch++
+	}
+	return v, nil
+}
+
+// SnapshotInProgress reports whether slots remain unread in the current
+// snapshot.
+func (a *LazyArray) SnapshotInProgress() bool { return a.inProgress }

@@ -1,0 +1,342 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLazyArrayUpdateAndLatest(t *testing.T) {
+	a := NewLazyArray(4)
+	if a.Len() != 4 {
+		t.Fatal("len")
+	}
+	a.Update(0, 5)
+	a.Update(0, 3)
+	if got := a.Latest(0); got != 8 {
+		t.Errorf("Latest = %d", got)
+	}
+	if got := a.Latest(1); got != 0 {
+		t.Errorf("untouched slot = %d", got)
+	}
+}
+
+func TestSnapshotFreezesImage(t *testing.T) {
+	a := NewLazyArray(3)
+	a.Update(0, 10)
+	a.Update(1, 20)
+	if err := a.BeginSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Updates after the flip must not affect the snapshot image.
+	a.Update(0, 100)
+	a.Update(2, 7)
+	want := []uint64{10, 20, 0}
+	for i, w := range want {
+		v, err := a.SnapshotRead(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != w {
+			t.Errorf("snapshot[%d] = %d, want %d", i, v, w)
+		}
+	}
+	// Latest still sees post-flip updates.
+	if a.Latest(0) != 110 || a.Latest(2) != 7 {
+		t.Errorf("latest = %d, %d", a.Latest(0), a.Latest(2))
+	}
+	if a.Epoch != 1 {
+		t.Errorf("epoch = %d", a.Epoch)
+	}
+}
+
+func TestSnapshotReadBeforeUpdateAfterFlip(t *testing.T) {
+	// Both orders around the flip must give the same snapshot value:
+	// snapshot-read-then-update and update-then-snapshot-read.
+	a := NewLazyArray(2)
+	a.Update(0, 1)
+	a.Update(1, 2)
+	if err := a.BeginSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Slot 0: update first, then snapshot read.
+	a.Update(0, 50)
+	v0, err := a.SnapshotRead(0)
+	if err != nil || v0 != 1 {
+		t.Errorf("slot0 snapshot = %d err=%v, want 1", v0, err)
+	}
+	// Slot 1: snapshot read first, then update.
+	v1, err := a.SnapshotRead(1)
+	if err != nil || v1 != 2 {
+		t.Errorf("slot1 snapshot = %d err=%v, want 2", v1, err)
+	}
+	a.Update(1, 50)
+	if a.Latest(0) != 51 || a.Latest(1) != 52 {
+		t.Errorf("latest = %d, %d", a.Latest(0), a.Latest(1))
+	}
+}
+
+func TestSecondSnapshotMustWait(t *testing.T) {
+	a := NewLazyArray(2)
+	if err := a.BeginSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.BeginSnapshot(); err != ErrSnapshotInProgress {
+		t.Errorf("overlapping snapshot allowed: %v", err)
+	}
+	if _, err := a.SnapshotRead(0); err != nil {
+		t.Fatal(err)
+	}
+	if !a.SnapshotInProgress() {
+		t.Error("snapshot ended early")
+	}
+	if _, err := a.SnapshotRead(1); err != nil {
+		t.Fatal(err)
+	}
+	if a.SnapshotInProgress() {
+		t.Error("snapshot did not complete")
+	}
+	if err := a.BeginSnapshot(); err != nil {
+		t.Errorf("next snapshot refused: %v", err)
+	}
+}
+
+func TestSnapshotReadErrors(t *testing.T) {
+	a := NewLazyArray(2)
+	if _, err := a.SnapshotRead(0); err == nil {
+		t.Error("read without snapshot allowed")
+	}
+	a.BeginSnapshot()
+	a.SnapshotRead(0)
+	if _, err := a.SnapshotRead(0); err == nil {
+		t.Error("double read allowed")
+	}
+}
+
+func TestMultipleSnapshotRounds(t *testing.T) {
+	a := NewLazyArray(1)
+	var snaps []uint64
+	for round := 0; round < 5; round++ {
+		a.Update(0, 1)
+		if err := a.BeginSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		v, err := a.SnapshotRead(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, v)
+	}
+	for i, v := range snaps {
+		if v != uint64(i+1) {
+			t.Errorf("round %d snapshot = %d, want %d", i, v, i+1)
+		}
+	}
+	if a.Epoch != 5 {
+		t.Errorf("epoch = %d", a.Epoch)
+	}
+}
+
+// TestLazySnapshotEquivalentToAtomic is the key property: interleaving
+// updates and snapshot reads arbitrarily must yield exactly the image an
+// atomic copy at flip time would have produced.
+func TestLazySnapshotEquivalentToAtomic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(16)
+		a := NewLazyArray(n)
+		ref := make([]uint64, n)
+		// Random pre-snapshot updates.
+		for i := 0; i < rng.Intn(50); i++ {
+			s, d := rng.Intn(n), uint64(rng.Intn(10))
+			a.Update(s, d)
+			ref[s] += d
+		}
+		atomic := append([]uint64(nil), ref...)
+		if err := a.BeginSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+		// Interleave updates with the snapshot read-out in random order.
+		order := rng.Perm(n)
+		got := make([]uint64, n)
+		for _, s := range order {
+			for i := 0; i < rng.Intn(5); i++ {
+				u, d := rng.Intn(n), uint64(rng.Intn(10))
+				a.Update(u, d)
+				ref[u] += d
+			}
+			v, err := a.SnapshotRead(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[s] = v
+		}
+		for i := range got {
+			if got[i] != atomic[i] {
+				t.Fatalf("trial %d slot %d: snapshot %d, atomic copy %d", trial, i, got[i], atomic[i])
+			}
+			if a.Latest(i) != ref[i] {
+				t.Fatalf("trial %d slot %d: latest %d, ref %d", trial, i, a.Latest(i), ref[i])
+			}
+		}
+	}
+}
+
+func TestCountMinNeverUnderestimates(t *testing.T) {
+	f := func(keys []uint64) bool {
+		if len(keys) > 200 {
+			keys = keys[:200]
+		}
+		c := NewCountMin(3, 64)
+		truth := map[uint64]uint64{}
+		for _, k := range keys {
+			c.Update(k, 1)
+			truth[k]++
+		}
+		for k, n := range truth {
+			if c.Estimate(k) < n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountMinAccurateWhenSparse(t *testing.T) {
+	c := NewCountMin(3, 64)
+	c.Update(42, 100)
+	c.Update(7, 3)
+	if got := c.Estimate(42); got < 100 || got > 103 {
+		t.Errorf("estimate = %d", got)
+	}
+	if got := c.Estimate(99999); got > 103 {
+		t.Errorf("absent key estimate = %d", got)
+	}
+}
+
+func TestCountMinSnapshotRoundTrip(t *testing.T) {
+	c := NewCountMin(3, 64)
+	for k := uint64(0); k < 32; k++ {
+		c.Update(k, k)
+	}
+	if err := c.BeginSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BeginSnapshot(); err == nil {
+		t.Error("overlapping sketch snapshot allowed")
+	}
+	img := make([]uint64, c.Slots())
+	for s := 0; s < c.Slots(); s++ {
+		// Interleave more updates to prove consistency.
+		c.Update(uint64(s), 1000)
+		v, err := c.SnapshotRead(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img[s] = v
+	}
+	if c.SnapshotInProgress() {
+		t.Error("snapshot still in progress")
+	}
+	// The snapshot image must answer queries as the pre-update sketch did.
+	for k := uint64(1); k < 32; k++ {
+		est := EstimateFromSnapshot(img, 3, 64, k)
+		if est < k {
+			t.Errorf("snapshot estimate for %d = %d underestimates", k, est)
+		}
+		if est >= k+1000 {
+			t.Errorf("snapshot estimate for %d = %d saw post-flip updates", k, est)
+		}
+	}
+	if c.Rows() != 3 || c.Width() != 64 || c.Slots() != 192 {
+		t.Error("dimensions")
+	}
+}
+
+func TestBloomBasics(t *testing.T) {
+	b := NewBloom(256, 3)
+	keys := []uint64{1, 42, 31337}
+	for _, k := range keys {
+		b.Add(k)
+	}
+	for _, k := range keys {
+		if !b.Contains(k) {
+			t.Errorf("false negative for %d", k)
+		}
+	}
+	fp := 0
+	for k := uint64(1000); k < 2000; k++ {
+		if b.Contains(k) {
+			fp++
+		}
+	}
+	if fp > 100 {
+		t.Errorf("false positive rate too high: %d/1000", fp)
+	}
+}
+
+func TestBloomSnapshot(t *testing.T) {
+	b := NewBloom(64, 2)
+	b.Add(5)
+	if err := b.BeginSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	b.Add(6) // post-flip
+	var img []uint64
+	for s := 0; s < b.Slots(); s++ {
+		v, err := b.SnapshotRead(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img = append(img, v)
+	}
+	if b.SnapshotInProgress() {
+		t.Error("in progress after full read")
+	}
+	// Rebuild a filter from the image: must contain 5, key 6 arrived
+	// after the flip so the image must not be forced to contain it.
+	restored := NewBloom(64, 2)
+	for s, v := range img {
+		if v != 0 {
+			restored.arr.Update(s, 1)
+		}
+	}
+	if !restored.Contains(5) {
+		t.Error("snapshot lost pre-flip key")
+	}
+	if !b.Contains(6) {
+		t.Error("live filter lost post-flip key")
+	}
+}
+
+func BenchmarkLazyUpdate(b *testing.B) {
+	a := NewLazyArray(1024)
+	for i := 0; i < b.N; i++ {
+		a.Update(i&1023, 1)
+	}
+}
+
+func BenchmarkCountMinUpdate(b *testing.B) {
+	c := NewCountMin(3, 64)
+	for i := 0; i < b.N; i++ {
+		c.Update(uint64(i), 1)
+	}
+}
+
+func BenchmarkSnapshotCycle(b *testing.B) {
+	a := NewLazyArray(192)
+	for i := 0; i < b.N; i++ {
+		if err := a.BeginSnapshot(); err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < a.Len(); s++ {
+			a.Update(s, 1)
+			if _, err := a.SnapshotRead(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package store
+
+import (
+	"time"
+
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+)
+
+// Cluster is a sharded state store: flow keys hash across Shards shards,
+// and each shard is served by a replication chain of Replicas servers.
+// Topology construction places the servers on racks and wires their ports;
+// Cluster only handles shard math and server bookkeeping.
+type Cluster struct {
+	shards   int
+	replicas int
+	// servers[shard][replica]; replica 0 is the chain head, the last is
+	// the tail.
+	servers [][]*Server
+}
+
+// NewCluster builds the servers for a shards x replicas store. Addresses
+// are assigned by the caller via the addr function (shard, replica) →
+// IP. Lease and service parameters apply to every server.
+func NewCluster(sim *netsim.Sim, shards, replicas int, cfg Config,
+	service time.Duration, addr func(shard, replica int) packet.Addr) *Cluster {
+	c := &Cluster{shards: shards, replicas: replicas}
+	for sh := 0; sh < shards; sh++ {
+		var row []*Server
+		for r := 0; r < replicas; r++ {
+			// Every replica gets its own Shard state; the chain keeps
+			// them convergent.
+			srv := NewServer(sim, serverName(sh, r), addr(sh, r), NewShard(cfg), service)
+			row = append(row, srv)
+		}
+		for r := 0; r+1 < replicas; r++ {
+			row[r].SetNext(row[r+1])
+		}
+		c.servers = append(c.servers, row)
+	}
+	return c
+}
+
+func serverName(shard, replica int) string {
+	return "store-" + string(rune('a'+shard)) + "-" + string(rune('0'+replica))
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return c.shards }
+
+// ShardFor maps a flow key to its shard index ("It identifies the
+// corresponding state store server by hashing the flow key", §5.1).
+func (c *Cluster) ShardFor(key packet.FiveTuple) int {
+	return int(key.SymmetricHash() % uint64(c.shards))
+}
+
+// Head returns the chain head server for a shard: the server switches
+// address their requests to.
+func (c *Cluster) Head(shard int) *Server { return c.servers[shard][0] }
+
+// Tail returns the chain tail for a shard.
+func (c *Cluster) Tail(shard int) *Server {
+	row := c.servers[shard]
+	return row[len(row)-1]
+}
+
+// Server returns a specific replica.
+func (c *Cluster) Server(shard, replica int) *Server { return c.servers[shard][replica] }
+
+// All returns every server, row by row.
+func (c *Cluster) All() []*Server {
+	var out []*Server
+	for _, row := range c.servers {
+		out = append(out, row...)
+	}
+	return out
+}
+
+// HeadAddrFor returns the IP a switch should send requests for key to.
+func (c *Cluster) HeadAddrFor(key packet.FiveTuple) (packet.Addr, int) {
+	sh := c.ShardFor(key)
+	return c.Head(sh).IP, sh
+}
+
+// TotalBytes sums traffic counters over all servers, for bandwidth
+// accounting experiments.
+func (c *Cluster) TotalBytes() (rx, tx uint64) {
+	for _, s := range c.All() {
+		rx += s.RxBytes
+		tx += s.TxBytes
+	}
+	return rx, tx
+}

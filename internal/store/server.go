@@ -1,0 +1,201 @@
+package store
+
+import (
+	"time"
+
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+	"redplane/internal/wire"
+)
+
+// chainMsg carries committed updates (and the outputs to release at the
+// tail) down a replication chain.
+type chainMsg struct {
+	Ups  []Update
+	Outs []Output
+}
+
+func (c *chainMsg) wireLen() int {
+	n := packet.EthernetLen + packet.IPv4Len + packet.UDPLen
+	for _, o := range c.Outs {
+		n += o.Msg.WireLen() - packet.EthernetLen
+	}
+	n += 48 * len(c.Ups)
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// chainPort is the UDP port chain members talk to each other on.
+const chainPort uint16 = 9502
+
+// Server is a state store server as a simulator node. A server owns one
+// shard replica and, when part of a chain, forwards committed updates to
+// its successor; the tail releases acks to switches (§6: chain replication
+// with a group size of 3, servers in different racks).
+type Server struct {
+	name string
+	sim  *netsim.Sim
+	IP   packet.Addr
+
+	shard *Shard
+	port  *netsim.Port
+
+	// next is the chain successor; nil for the tail or for unreplicated
+	// deployments.
+	next *Server
+
+	// ServiceTime is the per-message processing cost; requests queue
+	// FIFO behind it, making the store the bottleneck for write-heavy
+	// workloads exactly as in §7.2.
+	ServiceTime time.Duration
+	// QueueLimit bounds the service backlog; requests beyond it are
+	// dropped like packets at a saturated NIC. Zero means 1 ms.
+	QueueLimit time.Duration
+	busyUntil  netsim.Time
+
+	// DroppedRequests counts messages shed at the full queue.
+	DroppedRequests uint64
+
+	// SwitchAddr resolves a switch ID to its protocol IP address.
+	SwitchAddr func(id int) packet.Addr
+
+	wakeArmed bool
+
+	// Traffic counters for bandwidth accounting.
+	RxBytes, TxBytes   uint64
+	RxFrames, TxFrames uint64
+}
+
+// NewServer creates a store server around a shard.
+func NewServer(sim *netsim.Sim, name string, ip packet.Addr, shard *Shard, service time.Duration) *Server {
+	return &Server{name: name, sim: sim, IP: ip, shard: shard, ServiceTime: service}
+}
+
+// Name implements netsim.Node.
+func (s *Server) Name() string { return s.name }
+
+// Shard exposes the server's shard replica (tests, recovery tooling).
+func (s *Server) Shard() *Shard { return s.shard }
+
+// SetPort attaches the server's network port (assigned by topology
+// construction).
+func (s *Server) SetPort(p *netsim.Port) { s.port = p }
+
+// SetNext links the chain successor.
+func (s *Server) SetNext(n *Server) { s.next = n }
+
+// Receive implements netsim.Node: protocol requests from switches and
+// chain traffic from predecessors.
+func (s *Server) Receive(f *netsim.Frame, _ *netsim.Port) {
+	s.RxBytes += uint64(f.Size)
+	s.RxFrames++
+	switch m := f.Msg.(type) {
+	case *wire.Message:
+		s.serve(func() { s.handleRequest(m) })
+	case *chainMsg:
+		s.serve(func() { s.handleChain(m) })
+	default:
+		// Data packets addressed to the store (misrouted) are dropped.
+	}
+}
+
+// serve queues fn behind the server's service time, shedding load beyond
+// the queue bound.
+func (s *Server) serve(fn func()) {
+	limit := s.QueueLimit
+	if limit == 0 {
+		limit = time.Millisecond
+	}
+	start := s.sim.Now()
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	if start-s.sim.Now() > netsim.Duration(limit) {
+		s.DroppedRequests++
+		return
+	}
+	done := start + netsim.Duration(s.ServiceTime)
+	s.busyUntil = done
+	s.sim.At(done, fn)
+}
+
+func (s *Server) handleRequest(m *wire.Message) {
+	outs, ups := s.shard.Process(int64(s.sim.Now()), m)
+	s.commit(outs, ups)
+	s.armWake()
+}
+
+func (s *Server) handleChain(c *chainMsg) {
+	for _, up := range c.Ups {
+		s.shard.Apply(up)
+	}
+	if s.next != nil {
+		s.sendChain(c)
+		return
+	}
+	// Tail: the update is durable on every replica; release the outputs.
+	for _, o := range c.Outs {
+		s.emit(o)
+	}
+}
+
+// commit routes mutating results through the chain (outputs released at
+// the tail) and releases read-only results immediately.
+func (s *Server) commit(outs []Output, ups []Update) {
+	if len(ups) > 0 && s.next != nil {
+		s.sendChain(&chainMsg{Ups: ups, Outs: outs})
+		return
+	}
+	for _, o := range outs {
+		s.emit(o)
+	}
+}
+
+func (s *Server) sendChain(c *chainMsg) {
+	f := &netsim.Frame{
+		Src: s.IP, Dst: s.next.IP,
+		Flow: packet.FiveTuple{Src: s.IP, Dst: s.next.IP,
+			SrcPort: chainPort, DstPort: chainPort, Proto: packet.ProtoUDP},
+		Size: c.wireLen(),
+		Msg:  c,
+	}
+	s.TxBytes += uint64(f.Size)
+	s.TxFrames++
+	s.port.Send(f)
+}
+
+func (s *Server) emit(o Output) {
+	dst := s.SwitchAddr(o.DstSwitch)
+	f := &netsim.Frame{
+		Src: s.IP, Dst: dst,
+		Flow: packet.FiveTuple{Src: s.IP, Dst: dst,
+			SrcPort: wire.StorePort, DstPort: wire.SwitchPort, Proto: packet.ProtoUDP},
+		Size: o.Msg.WireLen(),
+		Msg:  o.Msg,
+	}
+	s.TxBytes += uint64(f.Size)
+	s.TxFrames++
+	s.port.Send(f)
+}
+
+// armWake schedules a Flush at the shard's next lease-expiry wake point so
+// queued lease requests are granted promptly.
+func (s *Server) armWake() {
+	at := s.shard.NextWake()
+	if at == 0 || s.wakeArmed {
+		return
+	}
+	s.wakeArmed = true
+	when := netsim.Time(at)
+	if when <= s.sim.Now() {
+		when = s.sim.Now() + 1
+	}
+	s.sim.At(when, func() {
+		s.wakeArmed = false
+		outs, ups := s.shard.Flush(int64(s.sim.Now()))
+		s.commit(outs, ups)
+		s.armWake()
+	})
+}

@@ -1,0 +1,430 @@
+// Package store implements RedPlane's external state store (§5.1.1): an
+// in-memory key-value service partitioned by flow key across shards, with
+// lease-based state ownership (§5.3), per-flow sequence checking (§5.2),
+// piggyback echo, asynchronous snapshot storage (§5.4), and chain
+// replication across a group of servers (§6 uses a group size of 3).
+//
+// The Shard type is transport-independent: the simulator server
+// (internal/store.Server) and the real-UDP server (cmd/redplane-store)
+// both drive it through Process/Flush.
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"redplane/internal/packet"
+	"redplane/internal/wire"
+)
+
+// NoOwner marks a flow with no active lease holder.
+const NoOwner = -1
+
+// flowState is everything a shard tracks per flow partition.
+type flowState struct {
+	exists  bool // state has been initialized at least once
+	vals    []uint64
+	lastSeq uint64
+
+	owner       int   // switch holding the lease, or NoOwner
+	leaseExpiry int64 // ns timestamp
+
+	// waiting queues lease requests that arrived while another switch
+	// held the lease (the protocol's BUFFERING state).
+	waiting []*wire.Message
+
+	// snapshots holds bounded-inconsistency images: the slots of the
+	// epoch currently being received and the last complete image.
+	snapEpoch    uint32
+	snapSlots    map[uint32]uint64
+	lastSnapshot []uint64
+	lastSnapTime int64
+}
+
+// Output is a message the shard wants delivered to a switch.
+type Output struct {
+	// DstSwitch is the switch ID the message is addressed to.
+	DstSwitch int
+	Msg       *wire.Message
+}
+
+// Update describes a state mutation for chain replication: successors
+// apply it verbatim so every chain member converges.
+type Update struct {
+	Key         packet.FiveTuple
+	Vals        []uint64
+	LastSeq     uint64
+	Owner       int
+	LeaseExpiry int64
+	Exists      bool
+
+	// Snapshot slot writes: SnapVals apply to consecutive slots starting
+	// at SnapSlot (zero HasSnap means none).
+	SnapEpoch uint32
+	SnapSlot  uint32
+	SnapVals  []uint64
+	HasSnap   bool
+}
+
+// Config parameterizes a shard.
+type Config struct {
+	// LeasePeriod is how long a granted lease lasts (1 s in the paper's
+	// prototype).
+	LeasePeriod time.Duration
+
+	// InitState produces the initial state values for a flow the store
+	// has never seen. This is where sharded global state (the NAT port
+	// pool, the load balancer's server IP pool) is managed: the store
+	// allocates from its shard of the pool. Nil means empty state.
+	InitState func(key packet.FiveTuple) []uint64
+
+	// SnapshotSlots is the expected slot count per snapshot epoch for
+	// bounded-inconsistency flows; a complete image is recorded once all
+	// slots of an epoch arrive. Zero disables completeness tracking.
+	SnapshotSlots int
+
+	// IgnoreSeq disables sequence-number serialization: updates apply in
+	// arrival order, recreating the Fig. 6a inconsistency. FOR ABLATION
+	// EXPERIMENTS ONLY.
+	IgnoreSeq bool
+}
+
+// Shard is one state-store partition. It is single-threaded by design:
+// callers serialize access (the simulator is single-threaded; the UDP
+// server runs one goroutine per shard).
+type Shard struct {
+	cfg   Config
+	flows map[packet.FiveTuple]*flowState
+
+	// Stats accumulates observability counters.
+	Stats Stats
+}
+
+// Stats counts shard-level events.
+type Stats struct {
+	LeaseGrants   uint64
+	LeaseRenewals uint64
+	LeaseQueued   uint64
+	LeaseMigrated uint64
+	ReplApplied   uint64
+	ReplStale     uint64
+	ReplGapSkips  uint64
+	// Regressions counts applied updates whose first value is lower than
+	// the value they overwrote — impossible under sequencing for a
+	// monotone application, and exactly what the Fig. 6a ablation
+	// (IgnoreSeq) exposes.
+	Regressions    uint64
+	BufferedReads  uint64
+	SnapshotSlots  uint64
+	SnapshotImages uint64
+}
+
+// NewShard creates an empty shard.
+func NewShard(cfg Config) *Shard {
+	if cfg.LeasePeriod == 0 {
+		cfg.LeasePeriod = time.Second
+	}
+	return &Shard{cfg: cfg, flows: make(map[packet.FiveTuple]*flowState)}
+}
+
+// LeasePeriod returns the configured lease duration.
+func (s *Shard) LeasePeriod() time.Duration { return s.cfg.LeasePeriod }
+
+func (s *Shard) flow(key packet.FiveTuple) *flowState {
+	f, ok := s.flows[key]
+	if !ok {
+		f = &flowState{owner: NoOwner}
+		s.flows[key] = f
+	}
+	return f
+}
+
+// Flows returns the number of flow partitions the shard tracks.
+func (s *Shard) Flows() int { return len(s.flows) }
+
+// Process handles one protocol request at time now (ns) and returns the
+// messages to send plus the state mutations (for chain propagation) it
+// performed. Outputs from mutating requests must not be released to
+// switches until the chain has committed the updates; the transport layer
+// enforces that.
+func (s *Shard) Process(now int64, m *wire.Message) (outs []Output, ups []Update) {
+	switch m.Type {
+	case wire.MsgLeaseNew:
+		return s.processLeaseNew(now, m)
+	case wire.MsgLeaseRenew:
+		return s.processLeaseRenew(now, m)
+	case wire.MsgRepl:
+		return s.processRepl(now, m)
+	case wire.MsgBufferedRead:
+		s.Stats.BufferedReads++
+		// Echo the packet back; the switch holds it until the awaited
+		// write (m.Seq) is acknowledged. Reads do not mutate state.
+		return []Output{{DstSwitch: m.SwitchID, Msg: &wire.Message{
+			Type: wire.MsgBufferedReadAck, Seq: m.Seq, Key: m.Key,
+			SwitchID: m.SwitchID, StoreShard: m.StoreShard, Piggyback: m.Piggyback,
+		}}}, nil
+	case wire.MsgSnapshot:
+		return s.processSnapshot(now, m)
+	default:
+		// Unknown or ack-typed messages are dropped: the store never
+		// receives acks in a correct deployment, and a robust server
+		// does not crash on garbage.
+		return nil, nil
+	}
+}
+
+func (s *Shard) grant(now int64, f *flowState, m *wire.Message) (Output, Update) {
+	newFlow := !f.exists
+	if newFlow {
+		if s.cfg.InitState != nil {
+			f.vals = s.cfg.InitState(m.Key)
+		}
+		f.exists = true
+	} else if f.owner != NoOwner && f.owner != m.SwitchID {
+		s.Stats.LeaseMigrated++
+	}
+	f.owner = m.SwitchID
+	f.leaseExpiry = now + s.cfg.LeasePeriod.Nanoseconds()
+	s.Stats.LeaseGrants++
+	ack := &wire.Message{
+		Type: wire.MsgLeaseNewAck, Seq: f.lastSeq, Key: m.Key,
+		Vals:        append([]uint64(nil), f.vals...),
+		LeaseMillis: uint32(s.cfg.LeasePeriod.Milliseconds()),
+		NewFlow:     newFlow,
+		SwitchID:    m.SwitchID, StoreShard: m.StoreShard,
+		Piggyback: m.Piggyback,
+	}
+	up := Update{
+		Key: m.Key, Vals: ack.Vals, LastSeq: f.lastSeq,
+		Owner: f.owner, LeaseExpiry: f.leaseExpiry, Exists: true,
+	}
+	return Output{DstSwitch: m.SwitchID, Msg: ack}, up
+}
+
+func (s *Shard) processLeaseNew(now int64, m *wire.Message) ([]Output, []Update) {
+	f := s.flow(m.Key)
+	if f.owner != NoOwner && f.owner != m.SwitchID && f.leaseExpiry > now {
+		// Another switch holds an active lease: queue the request (the
+		// TLA+ spec's BUFFERING transition). It will be re-processed
+		// when the lease expires.
+		f.waiting = append(f.waiting, m)
+		s.Stats.LeaseQueued++
+		return nil, nil
+	}
+	out, up := s.grant(now, f, m)
+	return []Output{out}, []Update{up}
+}
+
+func (s *Shard) processLeaseRenew(now int64, m *wire.Message) ([]Output, []Update) {
+	f := s.flow(m.Key)
+	if f.owner != m.SwitchID {
+		// The requester no longer owns the flow (lease lapsed and moved,
+		// or never owned): tell it so it re-acquires via MsgLeaseNew.
+		return []Output{{DstSwitch: m.SwitchID, Msg: &wire.Message{
+			Type: wire.MsgLeaseReject, Key: m.Key, Seq: f.lastSeq,
+			SwitchID: m.SwitchID, StoreShard: m.StoreShard,
+		}}}, nil
+	}
+	f.leaseExpiry = now + s.cfg.LeasePeriod.Nanoseconds()
+	s.Stats.LeaseRenewals++
+	ack := &wire.Message{
+		Type: wire.MsgLeaseRenewAck, Seq: f.lastSeq, Key: m.Key,
+		LeaseMillis: uint32(s.cfg.LeasePeriod.Milliseconds()),
+		SwitchID:    m.SwitchID, StoreShard: m.StoreShard,
+	}
+	up := Update{Key: m.Key, Vals: f.vals, LastSeq: f.lastSeq,
+		Owner: f.owner, LeaseExpiry: f.leaseExpiry, Exists: f.exists}
+	return []Output{{DstSwitch: m.SwitchID, Msg: ack}}, []Update{up}
+}
+
+func (s *Shard) processRepl(now int64, m *wire.Message) ([]Output, []Update) {
+	f := s.flow(m.Key)
+	if f.owner != m.SwitchID || f.leaseExpiry <= now {
+		// Stale owner: reject so the switch re-leases. This is the
+		// §5.3 guard against two switches writing concurrently.
+		return []Output{{DstSwitch: m.SwitchID, Msg: &wire.Message{
+			Type: wire.MsgLeaseReject, Key: m.Key, Seq: f.lastSeq,
+			SwitchID: m.SwitchID, StoreShard: m.StoreShard,
+		}}}, nil
+	}
+	if s.cfg.IgnoreSeq {
+		// Ablation: apply in arrival order. A reordered older update
+		// overwrites a newer one — the inconsistency §5.2 exists to
+		// prevent.
+		if len(f.vals) > 0 && len(m.Vals) > 0 && m.Vals[0] < f.vals[0] {
+			s.Stats.Regressions++
+		}
+		f.vals = append(f.vals[:0], m.Vals...)
+		if m.Seq > f.lastSeq {
+			f.lastSeq = m.Seq
+		}
+		f.exists = true
+		f.leaseExpiry = now + s.cfg.LeasePeriod.Nanoseconds()
+		s.Stats.ReplApplied++
+		return []Output{{DstSwitch: m.SwitchID, Msg: &wire.Message{
+				Type: wire.MsgReplAck, Seq: m.Seq, Key: m.Key,
+				SwitchID: m.SwitchID, StoreShard: m.StoreShard, Piggyback: m.Piggyback,
+			}}}, []Update{{Key: m.Key, Vals: append([]uint64(nil), f.vals...),
+				LastSeq: f.lastSeq, Owner: f.owner, LeaseExpiry: f.leaseExpiry, Exists: true}}
+	}
+	if m.Seq <= f.lastSeq {
+		// Duplicate or reordered-behind: already applied. Ack
+		// cumulatively; return the piggyback (if this copy still has
+		// one) so the output packet is not lost needlessly.
+		s.Stats.ReplStale++
+		return []Output{{DstSwitch: m.SwitchID, Msg: &wire.Message{
+			Type: wire.MsgReplAck, Seq: f.lastSeq, Key: m.Key,
+			SwitchID: m.SwitchID, StoreShard: m.StoreShard, Piggyback: m.Piggyback,
+		}}}, nil
+	}
+	// Newer than anything applied: commit it. Replication requests carry
+	// the flow's full state, so a gap means intervening updates were
+	// superseded — exactly Fig. 6b, where seq 1 arriving after seq 2 is
+	// "not committed". Acks are cumulative: they cover every lower
+	// sequence number, which also drains the switch's retransmission
+	// buffer for skipped updates.
+	if m.Seq > f.lastSeq+1 {
+		s.Stats.ReplGapSkips++
+	}
+	if len(f.vals) > 0 && len(m.Vals) > 0 && m.Vals[0] < f.vals[0] {
+		s.Stats.Regressions++
+	}
+	f.vals = append(f.vals[:0], m.Vals...)
+	f.lastSeq = m.Seq
+	f.exists = true
+	f.leaseExpiry = now + s.cfg.LeasePeriod.Nanoseconds() // writes renew (§5.3)
+	s.Stats.ReplApplied++
+	out := Output{DstSwitch: m.SwitchID, Msg: &wire.Message{
+		Type: wire.MsgReplAck, Seq: f.lastSeq, Key: m.Key,
+		SwitchID: m.SwitchID, StoreShard: m.StoreShard, Piggyback: m.Piggyback,
+	}}
+	up := Update{Key: m.Key, Vals: append([]uint64(nil), f.vals...),
+		LastSeq: f.lastSeq, Owner: f.owner, LeaseExpiry: f.leaseExpiry, Exists: true}
+	return []Output{out}, []Update{up}
+}
+
+func (s *Shard) processSnapshot(now int64, m *wire.Message) ([]Output, []Update) {
+	f := s.flow(m.Key)
+	f.exists = true
+	if m.Epoch > f.snapEpoch || f.snapSlots == nil {
+		f.snapEpoch = m.Epoch
+		f.snapSlots = make(map[uint32]uint64, s.cfg.SnapshotSlots)
+	}
+	if m.Epoch == f.snapEpoch {
+		for i, v := range m.Vals {
+			f.snapSlots[m.Slot+uint32(i)] = v
+			s.Stats.SnapshotSlots++
+		}
+		if s.cfg.SnapshotSlots > 0 && len(f.snapSlots) == s.cfg.SnapshotSlots {
+			img := make([]uint64, s.cfg.SnapshotSlots)
+			for slot, v := range f.snapSlots {
+				img[int(slot)] = v
+			}
+			f.lastSnapshot = img
+			f.lastSnapTime = now
+			s.Stats.SnapshotImages++
+		}
+	}
+	up := Update{Key: m.Key, HasSnap: true, SnapEpoch: m.Epoch, SnapSlot: m.Slot,
+		SnapVals: append([]uint64(nil), m.Vals...), Exists: true,
+		Owner: f.owner, LeaseExpiry: f.leaseExpiry}
+	ack := &wire.Message{
+		Type: wire.MsgSnapshotAck, Seq: m.Seq, Key: m.Key, Slot: m.Slot, Epoch: m.Epoch,
+		SwitchID: m.SwitchID, StoreShard: m.StoreShard,
+	}
+	return []Output{{DstSwitch: m.SwitchID, Msg: ack}}, []Update{up}
+}
+
+// Flush grants queued lease requests whose blocking lease has expired. The
+// transport calls it when a wake timer fires (or periodically). It returns
+// outputs/updates exactly like Process.
+func (s *Shard) Flush(now int64) (outs []Output, ups []Update) {
+	for _, f := range s.flows {
+		if len(f.waiting) == 0 {
+			continue
+		}
+		for len(f.waiting) > 0 && (f.owner == NoOwner || f.leaseExpiry <= now ||
+			f.owner == f.waiting[0].SwitchID) {
+			m := f.waiting[0]
+			f.waiting = f.waiting[1:]
+			out, up := s.grant(now, f, m)
+			outs = append(outs, out)
+			ups = append(ups, up)
+		}
+	}
+	return outs, ups
+}
+
+// NextWake returns the earliest lease expiry that has a queued waiter, or
+// 0 if no wake-up is needed.
+func (s *Shard) NextWake() int64 {
+	var at int64
+	for _, f := range s.flows {
+		if len(f.waiting) == 0 {
+			continue
+		}
+		if at == 0 || f.leaseExpiry < at {
+			at = f.leaseExpiry
+		}
+	}
+	return at
+}
+
+// Apply installs a chain-replication update from a predecessor, verbatim.
+func (s *Shard) Apply(up Update) {
+	f := s.flow(up.Key)
+	if up.HasSnap {
+		if up.SnapEpoch > f.snapEpoch || f.snapSlots == nil {
+			f.snapEpoch = up.SnapEpoch
+			f.snapSlots = make(map[uint32]uint64, s.cfg.SnapshotSlots)
+		}
+		if up.SnapEpoch == f.snapEpoch {
+			for i, v := range up.SnapVals {
+				f.snapSlots[up.SnapSlot+uint32(i)] = v
+			}
+		}
+		f.exists = true
+		return
+	}
+	f.vals = append(f.vals[:0], up.Vals...)
+	f.lastSeq = up.LastSeq
+	f.owner = up.Owner
+	f.leaseExpiry = up.LeaseExpiry
+	f.exists = up.Exists
+}
+
+// State returns a copy of the flow's current values and last applied
+// sequence number (for tests and recovery tooling).
+func (s *Shard) State(key packet.FiveTuple) (vals []uint64, lastSeq uint64, ok bool) {
+	f, found := s.flows[key]
+	if !found || !f.exists {
+		return nil, 0, false
+	}
+	return append([]uint64(nil), f.vals...), f.lastSeq, true
+}
+
+// Owner returns the current lease holder for the flow (NoOwner if none or
+// expired at time now).
+func (s *Shard) Owner(key packet.FiveTuple, now int64) int {
+	f, found := s.flows[key]
+	if !found || f.owner == NoOwner || f.leaseExpiry <= now {
+		return NoOwner
+	}
+	return f.owner
+}
+
+// LastSnapshot returns the most recent complete snapshot image for the
+// flow and the time it completed, or nil.
+func (s *Shard) LastSnapshot(key packet.FiveTuple) ([]uint64, int64) {
+	f, found := s.flows[key]
+	if !found || f.lastSnapshot == nil {
+		return nil, 0
+	}
+	return append([]uint64(nil), f.lastSnapshot...), f.lastSnapTime
+}
+
+// String summarizes the shard for traces.
+func (s *Shard) String() string {
+	return fmt.Sprintf("shard{flows=%d grants=%d repl=%d}", len(s.flows),
+		s.Stats.LeaseGrants, s.Stats.ReplApplied)
+}

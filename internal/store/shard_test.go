@@ -1,0 +1,326 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"redplane/internal/packet"
+	"redplane/internal/wire"
+)
+
+func tkey(n byte) packet.FiveTuple {
+	return packet.FiveTuple{
+		Src: packet.MakeAddr(10, 0, 0, n), Dst: packet.MakeAddr(192, 168, 0, 1),
+		SrcPort: 1000, DstPort: 80, Proto: packet.ProtoTCP,
+	}
+}
+
+const sec = int64(time.Second)
+
+func leaseNew(sw int, key packet.FiveTuple) *wire.Message {
+	return &wire.Message{Type: wire.MsgLeaseNew, Key: key, SwitchID: sw}
+}
+
+func repl(sw int, key packet.FiveTuple, seq uint64, vals ...uint64) *wire.Message {
+	return &wire.Message{Type: wire.MsgRepl, Key: key, SwitchID: sw, Seq: seq, Vals: vals}
+}
+
+func TestLeaseNewGrantsAndInitializes(t *testing.T) {
+	s := NewShard(Config{LeasePeriod: time.Second,
+		InitState: func(packet.FiveTuple) []uint64 { return []uint64{7} }})
+	outs, ups := s.Process(0, leaseNew(1, tkey(1)))
+	if len(outs) != 1 || len(ups) != 1 {
+		t.Fatalf("outs=%d ups=%d", len(outs), len(ups))
+	}
+	ack := outs[0].Msg
+	if ack.Type != wire.MsgLeaseNewAck || !ack.NewFlow || len(ack.Vals) != 1 || ack.Vals[0] != 7 {
+		t.Errorf("ack = %+v", ack)
+	}
+	if ack.LeaseMillis != 1000 {
+		t.Errorf("lease ms = %d", ack.LeaseMillis)
+	}
+	if s.Owner(tkey(1), 0) != 1 {
+		t.Errorf("owner = %d", s.Owner(tkey(1), 0))
+	}
+}
+
+func TestLeaseMigrationReturnsState(t *testing.T) {
+	s := NewShard(Config{LeasePeriod: time.Second})
+	s.Process(0, leaseNew(1, tkey(1)))
+	s.Process(0, repl(1, tkey(1), 1, 42))
+	// Switch 1's lease expires; switch 2 asks for the flow.
+	outs, _ := s.Process(2*sec, leaseNew(2, tkey(1)))
+	if len(outs) != 1 {
+		t.Fatalf("no grant after expiry")
+	}
+	ack := outs[0].Msg
+	if ack.NewFlow {
+		t.Error("migration flagged as new flow")
+	}
+	if len(ack.Vals) != 1 || ack.Vals[0] != 42 || ack.Seq != 1 {
+		t.Errorf("migrated state = %v seq=%d", ack.Vals, ack.Seq)
+	}
+	if s.Stats.LeaseMigrated != 1 {
+		t.Errorf("migrations = %d", s.Stats.LeaseMigrated)
+	}
+}
+
+func TestLeaseQueuedWhileHeld(t *testing.T) {
+	s := NewShard(Config{LeasePeriod: time.Second})
+	s.Process(0, leaseNew(1, tkey(1)))
+	outs, ups := s.Process(sec/2, leaseNew(2, tkey(1)))
+	if len(outs) != 0 || len(ups) != 0 {
+		t.Fatal("lease granted while held by another switch")
+	}
+	if s.Stats.LeaseQueued != 1 {
+		t.Errorf("queued = %d", s.Stats.LeaseQueued)
+	}
+	if s.NextWake() == 0 {
+		t.Error("no wake scheduled for queued lease")
+	}
+	// Nothing flushes before expiry...
+	outs, _ = s.Flush(sec - 1)
+	if len(outs) != 0 {
+		t.Error("flush granted early")
+	}
+	// ...but after the writes' lease expires, switch 2 gets the flow.
+	outs, _ = s.Flush(sec + 1)
+	if len(outs) != 1 || outs[0].DstSwitch != 2 {
+		t.Fatalf("flush outs = %+v", outs)
+	}
+	if s.Owner(tkey(1), sec+1) != 2 {
+		t.Errorf("owner = %d", s.Owner(tkey(1), sec+1))
+	}
+}
+
+func TestSameSwitchReacquiresImmediately(t *testing.T) {
+	s := NewShard(Config{LeasePeriod: time.Second})
+	s.Process(0, leaseNew(1, tkey(1)))
+	outs, _ := s.Process(sec/2, leaseNew(1, tkey(1)))
+	if len(outs) != 1 {
+		t.Fatal("own re-acquire was queued")
+	}
+}
+
+func TestReplInOrderAppliesAndAcks(t *testing.T) {
+	s := NewShard(Config{LeasePeriod: time.Second})
+	s.Process(0, leaseNew(1, tkey(1)))
+	pb := packet.NewTCP(1, 2, 3, 4, packet.FlagACK, 10)
+	m := repl(1, tkey(1), 1, 5)
+	m.Piggyback = pb
+	outs, ups := s.Process(10, m)
+	if len(outs) != 1 || outs[0].Msg.Type != wire.MsgReplAck || outs[0].Msg.Seq != 1 {
+		t.Fatalf("outs = %+v", outs)
+	}
+	if outs[0].Msg.Piggyback != pb {
+		t.Error("piggyback not echoed")
+	}
+	if len(ups) != 1 || ups[0].LastSeq != 1 {
+		t.Errorf("ups = %+v", ups)
+	}
+	vals, seq, ok := s.State(tkey(1))
+	if !ok || seq != 1 || vals[0] != 5 {
+		t.Errorf("state = %v seq=%d ok=%v", vals, seq, ok)
+	}
+}
+
+func TestReplStaleSeqNotApplied(t *testing.T) {
+	s := NewShard(Config{LeasePeriod: time.Second})
+	s.Process(0, leaseNew(1, tkey(1)))
+	s.Process(1, repl(1, tkey(1), 1, 10))
+	s.Process(2, repl(1, tkey(1), 2, 20))
+	// A delayed duplicate of seq 1 must not clobber seq 2's value (the
+	// Fig. 6a inconsistency the sequencing exists to prevent).
+	outs, ups := s.Process(3, repl(1, tkey(1), 1, 10))
+	if len(ups) != 0 {
+		t.Error("stale repl mutated state")
+	}
+	if len(outs) != 1 || outs[0].Msg.Seq != 2 {
+		t.Errorf("stale ack = %+v", outs[0].Msg)
+	}
+	vals, seq, _ := s.State(tkey(1))
+	if seq != 2 || vals[0] != 20 {
+		t.Errorf("state = %v seq=%d", vals, seq)
+	}
+}
+
+func TestReplGapSkipsForward(t *testing.T) {
+	// Fig. 6b semantics: replication requests carry full state, so a
+	// newer sequence number supersedes missing ones; a stale seq arriving
+	// afterwards is "not committed".
+	s := NewShard(Config{LeasePeriod: time.Second})
+	s.Process(0, leaseNew(1, tkey(1)))
+	// seq 2 arrives before seq 1: applied immediately.
+	outs, ups := s.Process(1, repl(1, tkey(1), 2, 20))
+	if len(outs) != 1 || len(ups) != 1 {
+		t.Fatal("gapped repl not applied")
+	}
+	if outs[0].Msg.Seq != 2 {
+		t.Errorf("ack seq = %d", outs[0].Msg.Seq)
+	}
+	if s.Stats.ReplGapSkips != 1 {
+		t.Errorf("gap skips = %d", s.Stats.ReplGapSkips)
+	}
+	// The late seq 1 must NOT clobber seq 2's value.
+	outs, ups = s.Process(2, repl(1, tkey(1), 1, 10))
+	if len(ups) != 0 {
+		t.Fatal("stale repl mutated state")
+	}
+	if len(outs) != 1 || outs[0].Msg.Seq != 2 {
+		t.Errorf("stale ack = %+v", outs[0].Msg)
+	}
+	vals, seq, _ := s.State(tkey(1))
+	if seq != 2 || vals[0] != 20 {
+		t.Errorf("state = %v seq=%d", vals, seq)
+	}
+}
+
+func TestReplFromNonOwnerRejected(t *testing.T) {
+	s := NewShard(Config{LeasePeriod: time.Second})
+	s.Process(0, leaseNew(1, tkey(1)))
+	outs, ups := s.Process(1, repl(2, tkey(1), 1, 99))
+	if len(ups) != 0 {
+		t.Error("non-owner write applied")
+	}
+	if len(outs) != 1 || outs[0].Msg.Type != wire.MsgLeaseReject {
+		t.Errorf("outs = %+v", outs)
+	}
+	// Expired lease also rejects.
+	outs, _ = s.Process(2*sec, repl(1, tkey(1), 1, 99))
+	if len(outs) != 1 || outs[0].Msg.Type != wire.MsgLeaseReject {
+		t.Errorf("expired-lease write not rejected: %+v", outs)
+	}
+}
+
+func TestLeaseRenew(t *testing.T) {
+	s := NewShard(Config{LeasePeriod: time.Second})
+	s.Process(0, leaseNew(1, tkey(1)))
+	outs, ups := s.Process(sec/2, &wire.Message{Type: wire.MsgLeaseRenew, Key: tkey(1), SwitchID: 1})
+	if len(outs) != 1 || outs[0].Msg.Type != wire.MsgLeaseRenewAck {
+		t.Fatalf("outs = %+v", outs)
+	}
+	if len(ups) != 1 {
+		t.Error("renewal not chained")
+	}
+	// Lease now extends past the original expiry.
+	if s.Owner(tkey(1), sec+sec/4) != 1 {
+		t.Error("renewal did not extend lease")
+	}
+	// Renewal from a non-owner is rejected.
+	outs, _ = s.Process(sec/2, &wire.Message{Type: wire.MsgLeaseRenew, Key: tkey(1), SwitchID: 2})
+	if outs[0].Msg.Type != wire.MsgLeaseReject {
+		t.Errorf("non-owner renew = %+v", outs[0].Msg)
+	}
+}
+
+func TestWriteRenewsLease(t *testing.T) {
+	s := NewShard(Config{LeasePeriod: time.Second})
+	s.Process(0, leaseNew(1, tkey(1)))
+	s.Process(sec/2, repl(1, tkey(1), 1, 1))
+	if s.Owner(tkey(1), sec+sec/4) != 1 {
+		t.Error("write did not renew lease (§5.3)")
+	}
+}
+
+func TestBufferedReadEchoed(t *testing.T) {
+	s := NewShard(Config{LeasePeriod: time.Second})
+	pb := packet.NewTCP(1, 2, 3, 4, 0, 5)
+	outs, ups := s.Process(0, &wire.Message{
+		Type: wire.MsgBufferedRead, Key: tkey(1), SwitchID: 1, Seq: 9, Piggyback: pb})
+	if len(ups) != 0 {
+		t.Error("read mutated state")
+	}
+	if len(outs) != 1 || outs[0].Msg.Type != wire.MsgBufferedReadAck ||
+		outs[0].Msg.Seq != 9 || outs[0].Msg.Piggyback != pb {
+		t.Errorf("outs = %+v", outs[0].Msg)
+	}
+}
+
+func TestSnapshotImageAssembly(t *testing.T) {
+	s := NewShard(Config{LeasePeriod: time.Second, SnapshotSlots: 4})
+	key := tkey(1)
+	for slot := uint32(0); slot < 4; slot++ {
+		s.Process(int64(slot), &wire.Message{
+			Type: wire.MsgSnapshot, Key: key, SwitchID: 1,
+			Epoch: 1, Slot: slot, Vals: []uint64{uint64(slot * 10)},
+		})
+	}
+	img, at := s.LastSnapshot(key)
+	if img == nil || at != 3 {
+		t.Fatalf("no image, at=%d", at)
+	}
+	for i, v := range img {
+		if v != uint64(i*10) {
+			t.Errorf("img[%d] = %d", i, v)
+		}
+	}
+	if s.Stats.SnapshotImages != 1 {
+		t.Errorf("images = %d", s.Stats.SnapshotImages)
+	}
+	// A newer epoch resets slot collection; incomplete epochs leave the
+	// old image in place.
+	s.Process(10, &wire.Message{Type: wire.MsgSnapshot, Key: key, SwitchID: 1,
+		Epoch: 2, Slot: 0, Vals: []uint64{999}})
+	img2, _ := s.LastSnapshot(key)
+	if img2[0] != 0 {
+		t.Error("incomplete epoch replaced complete image")
+	}
+}
+
+func TestSnapshotAckCarriesSlotAndEpoch(t *testing.T) {
+	s := NewShard(Config{SnapshotSlots: 2})
+	outs, _ := s.Process(0, &wire.Message{Type: wire.MsgSnapshot, Key: tkey(1),
+		SwitchID: 3, Epoch: 5, Slot: 1, Seq: 77, Vals: []uint64{1}})
+	ack := outs[0].Msg
+	if ack.Type != wire.MsgSnapshotAck || ack.Slot != 1 || ack.Epoch != 5 || ack.Seq != 77 {
+		t.Errorf("ack = %+v", ack)
+	}
+}
+
+func TestApplyConvergesReplica(t *testing.T) {
+	head := NewShard(Config{LeasePeriod: time.Second})
+	tail := NewShard(Config{LeasePeriod: time.Second})
+	head.Process(0, leaseNew(1, tkey(1)))
+	_, ups := head.Process(1, repl(1, tkey(1), 1, 42))
+	for _, up := range ups {
+		tail.Apply(up)
+	}
+	vals, seq, ok := tail.State(tkey(1))
+	if !ok || seq != 1 || vals[0] != 42 {
+		t.Errorf("tail state = %v seq=%d ok=%v", vals, seq, ok)
+	}
+	// Snapshot updates also converge.
+	_, ups = head.Process(2, &wire.Message{Type: wire.MsgSnapshot, Key: tkey(2),
+		SwitchID: 1, Epoch: 1, Slot: 0, Vals: []uint64{7}})
+	for _, up := range ups {
+		tail.Apply(up)
+	}
+}
+
+func TestUnknownMessageIgnored(t *testing.T) {
+	s := NewShard(Config{})
+	outs, ups := s.Process(0, &wire.Message{Type: wire.MsgReplAck, Key: tkey(1)})
+	if len(outs) != 0 || len(ups) != 0 {
+		t.Error("ack-typed message processed")
+	}
+}
+
+func TestStateAbsent(t *testing.T) {
+	s := NewShard(Config{})
+	if _, _, ok := s.State(tkey(9)); ok {
+		t.Error("state reported for unknown flow")
+	}
+	if s.Owner(tkey(9), 0) != NoOwner {
+		t.Error("owner reported for unknown flow")
+	}
+	if img, _ := s.LastSnapshot(tkey(9)); img != nil {
+		t.Error("snapshot reported for unknown flow")
+	}
+	if s.Flows() != 0 {
+		// State/Owner/LastSnapshot queries must not materialize flows.
+		t.Errorf("queries created %d flows", s.Flows())
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}

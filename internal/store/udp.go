@@ -1,0 +1,181 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"redplane/internal/wire"
+)
+
+// UDPServer serves a Shard over a real UDP socket, speaking the RedPlane
+// wire format — the deployment mode of cmd/redplane-store. Chain
+// replication works across processes: the head relays each mutating
+// request to its successor with the original requester's address
+// prepended, and the tail sends the acknowledgment straight back to the
+// switch, exactly as the simulator's chain does.
+type UDPServer struct {
+	shard *Shard
+	conn  *net.UDPConn
+
+	// next is the chain successor's address (nil = tail / no chain).
+	next *net.UDPAddr
+
+	mu     sync.Mutex
+	closed bool
+	// addrs records the last seen UDP address per switch ID so deferred
+	// lease grants can be delivered.
+	addrs map[int]*net.UDPAddr
+
+	// Requests and Replies count datagrams for observability.
+	Requests, Replies uint64
+}
+
+// relayMagic distinguishes chain-relayed datagrams from direct requests.
+const relayMagic byte = 0xC4
+
+// NewUDPServer binds the server to addr (e.g. "127.0.0.1:9500").
+// nextAddr, when non-empty, is the chain successor.
+func NewUDPServer(addr, nextAddr string, cfg Config) (*UDPServer, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("store: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("store: listen: %w", err)
+	}
+	s := &UDPServer{shard: NewShard(cfg), conn: conn, addrs: make(map[int]*net.UDPAddr)}
+	if nextAddr != "" {
+		na, err := net.ResolveUDPAddr("udp", nextAddr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("store: resolve successor %q: %w", nextAddr, err)
+		}
+		s.next = na
+	}
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *UDPServer) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Shard exposes the underlying shard (tests).
+func (s *UDPServer) Shard() *Shard { return s.shard }
+
+// Close shuts the server down.
+func (s *UDPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.conn.Close()
+}
+
+// Serve processes datagrams until Close. It also runs the lease-expiry
+// flusher. Serve is single-goroutine per shard by design: the Shard is
+// not concurrency-safe, and one core per shard matches the paper's
+// store sharding.
+func (s *UDPServer) Serve() error {
+	stop := make(chan struct{})
+	defer close(stop)
+	go s.flushLoop(stop)
+
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("store: read: %w", err)
+		}
+		s.handleDatagram(buf[:n], from)
+	}
+}
+
+func (s *UDPServer) handleDatagram(b []byte, from *net.UDPAddr) {
+	origin := from
+	if len(b) > 7 && b[0] == relayMagic {
+		// Chain relay: recover the original requester's address.
+		ip := make(net.IP, 4)
+		copy(ip, b[1:5])
+		origin = &net.UDPAddr{IP: ip, Port: int(binary.BigEndian.Uint16(b[5:7]))}
+		b = b[7:]
+	}
+	var m wire.Message
+	if err := m.Unmarshal(b); err != nil {
+		log.Printf("store: bad datagram from %v: %v", from, err)
+		return
+	}
+	s.Requests++
+
+	s.mu.Lock()
+	s.addrs[m.SwitchID] = origin
+	outs, ups := s.shard.Process(time.Now().UnixNano(), &m)
+	s.mu.Unlock()
+
+	if len(ups) > 0 && s.next != nil {
+		// Mutation: push it down the chain; the tail will reply.
+		s.relay(b, origin)
+		return
+	}
+	for _, o := range outs {
+		s.reply(o, origin)
+	}
+}
+
+// relay forwards the raw request to the successor, prefixed with the
+// original requester's address.
+func (s *UDPServer) relay(req []byte, origin *net.UDPAddr) {
+	hdr := make([]byte, 0, 7+len(req))
+	hdr = append(hdr, relayMagic)
+	hdr = append(hdr, origin.IP.To4()...)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(origin.Port))
+	hdr = append(hdr, req...)
+	if _, err := s.conn.WriteToUDP(hdr, s.next); err != nil {
+		log.Printf("store: relay: %v", err)
+	}
+}
+
+func (s *UDPServer) reply(o Output, to *net.UDPAddr) {
+	b := o.Msg.Marshal(nil)
+	if _, err := s.conn.WriteToUDP(b, to); err != nil {
+		log.Printf("store: reply: %v", err)
+		return
+	}
+	s.Replies++
+}
+
+// flushLoop periodically grants queued lease requests whose blocking
+// leases expired, replying to the requesters' recorded addresses.
+func (s *UDPServer) flushLoop(stop chan struct{}) {
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			outs, _ := s.shard.Flush(time.Now().UnixNano())
+			grants := make([]Output, len(outs))
+			copy(grants, outs)
+			addr := make(map[int]*net.UDPAddr, len(s.addrs))
+			for k, v := range s.addrs {
+				addr[k] = v
+			}
+			s.mu.Unlock()
+			for _, o := range grants {
+				if a, ok := addr[o.DstSwitch]; ok {
+					s.reply(o, a)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"redplane/internal/wire"
+)
+
+// UDPClient is the switch side of the real-UDP deployment: it sends
+// protocol requests to a store server (the chain head) and awaits the
+// matching acknowledgment, retransmitting on timeout like the switch's
+// mirror mechanism does.
+type UDPClient struct {
+	conn     *net.UDPConn
+	head     *net.UDPAddr
+	switchID int
+
+	// Timeout is the per-attempt ack wait; Retries bounds retransmission.
+	Timeout time.Duration
+	Retries int
+}
+
+// DialUDP creates a client for the given switch ID talking to the store
+// chain head at addr. The socket is unconnected: with chain replication
+// the acknowledgment arrives from the TAIL's address, not the head's.
+func DialUDP(addr string, switchID int) (*UDPClient, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("store: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", nil)
+	if err != nil {
+		return nil, fmt.Errorf("store: bind: %w", err)
+	}
+	return &UDPClient{conn: conn, head: ua, switchID: switchID,
+		Timeout: 200 * time.Millisecond, Retries: 10}, nil
+}
+
+// Close releases the socket.
+func (c *UDPClient) Close() error { return c.conn.Close() }
+
+// ErrTimeout reports that no acknowledgment arrived within the retry
+// budget.
+var ErrTimeout = errors.New("store: request timed out")
+
+// Request sends m and returns the acknowledgment matching its type and
+// covering its sequence number, retransmitting on timeout (§5.2's
+// sequencing makes duplicates harmless).
+func (c *UDPClient) Request(m *wire.Message) (*wire.Message, error) {
+	m.SwitchID = c.switchID
+	wantAck := wire.AckFor(m.Type)
+	if wantAck == 0 {
+		return nil, fmt.Errorf("store: %v is not a request", m.Type)
+	}
+	req := m.Marshal(nil)
+	buf := make([]byte, 65536)
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if _, err := c.conn.WriteToUDP(req, c.head); err != nil {
+			return nil, fmt.Errorf("store: send: %w", err)
+		}
+		deadline := time.Now().Add(c.Timeout)
+		for {
+			if err := c.conn.SetReadDeadline(deadline); err != nil {
+				return nil, err
+			}
+			n, _, err := c.conn.ReadFromUDP(buf)
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					break // retransmit
+				}
+				return nil, fmt.Errorf("store: recv: %w", err)
+			}
+			var ack wire.Message
+			if err := ack.Unmarshal(buf[:n]); err != nil {
+				continue // garbage or stale frame
+			}
+			if ack.Key != m.Key {
+				continue
+			}
+			if ack.Type == wire.MsgLeaseReject {
+				return &ack, nil
+			}
+			if ack.Type == wantAck && ack.Seq >= m.Seq {
+				return &ack, nil
+			}
+			// A stale or foreign ack: keep listening until the deadline.
+		}
+	}
+	return nil, ErrTimeout
+}

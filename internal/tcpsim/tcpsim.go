@@ -1,0 +1,351 @@
+// Package tcpsim provides simplified TCP endpoints for end-to-end
+// experiments on the simulated testbed: an iperf-style bulk sender with
+// slow start, AIMD congestion avoidance, fast retransmit, and retransmit
+// timeouts, and a receiver with cumulative acknowledgments.
+//
+// The model captures what the failover experiment (Fig. 14) depends on —
+// throughput collapsing when packets black-hole, timeout-driven recovery
+// probes, and the window rebuilding after the path heals — without
+// modeling SACK, timestamps, or window scaling.
+package tcpsim
+
+import (
+	"time"
+
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+	"redplane/internal/topo"
+)
+
+// Config tunes a sender.
+type Config struct {
+	// MSS is the segment payload size in bytes.
+	MSS int
+	// InitialRTO is the retransmission timeout before backoff.
+	InitialRTO time.Duration
+	// MaxCwnd caps the congestion window, in segments (0 = no cap).
+	MaxCwnd float64
+}
+
+// DefaultConfig returns jumbo-frame bulk-transfer settings suited to the
+// simulated data center fabric.
+func DefaultConfig() Config {
+	return Config{MSS: 8960, InitialRTO: 10 * time.Millisecond, MaxCwnd: 256}
+}
+
+// Sender is an iperf-style bulk TCP sender bound to a host.
+type Sender struct {
+	sim  *netsim.Sim
+	host *topo.Host
+	cfg  Config
+
+	dst          packet.Addr
+	sport, dport uint16
+
+	established bool
+	nextSeq     uint32 // next byte to transmit
+	ackedHi     uint32 // highest cumulative ack received
+	cwnd        float64
+	ssthresh    float64
+	dupAcks     int
+	rto         time.Duration
+	timerGen    uint64 // invalidates stale RTO timers
+
+	// Loss recovery. Fast retransmit (3 dup acks) resends only the first
+	// missing segment and repairs further holes one per partial ack
+	// (NewReno-style), so spurious duplicates cannot breed more
+	// duplicate acks. An RTO falls back to go-back-N (gbn) from rtxNext.
+	inRecovery   bool
+	gbn          bool
+	recoverPoint uint32
+	rtxNext      uint32
+
+	// Stats.
+	SegmentsSent, Retransmits, Timeouts uint64
+}
+
+// NewSender creates a bulk sender from host toward dst:dport. It chains
+// onto the host's existing Handler for ack processing.
+func NewSender(sim *netsim.Sim, host *topo.Host, dst packet.Addr, sport, dport uint16, cfg Config) *Sender {
+	s := &Sender{
+		sim: sim, host: host, cfg: cfg,
+		dst: dst, sport: sport, dport: dport,
+		cwnd: 1, ssthresh: 64, rto: cfg.InitialRTO,
+	}
+	prev := host.Handler
+	host.Handler = func(f *netsim.Frame) {
+		if f.Pkt != nil && f.Pkt.HasTCP && f.Pkt.TCP.DstPort == sport {
+			s.onAck(f.Pkt)
+			return
+		}
+		if prev != nil {
+			prev(f)
+		}
+	}
+	return s
+}
+
+// Start sends the SYN and begins transmitting when the handshake
+// completes.
+func (s *Sender) Start() {
+	syn := packet.NewTCP(s.host.IP, s.dst, s.sport, s.dport, packet.FlagSYN, 0)
+	s.host.SendPacket(syn)
+	s.armRTO()
+}
+
+// Cwnd returns the current congestion window in segments.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// AckedBytes returns the bytes the receiver has cumulatively acked.
+func (s *Sender) AckedBytes() uint64 { return uint64(s.ackedHi) }
+
+func (s *Sender) onAck(p *packet.Packet) {
+	if p.TCP.Flags.Has(packet.FlagSYN | packet.FlagACK) {
+		if !s.established {
+			s.established = true
+			ack := packet.NewTCP(s.host.IP, s.dst, s.sport, s.dport, packet.FlagACK, 0)
+			s.host.SendPacket(ack)
+			s.armRTO()
+			s.pump()
+		}
+		return
+	}
+	if !p.TCP.Flags.Has(packet.FlagACK) {
+		return
+	}
+	ack := p.TCP.Ack
+	// Serial (wrap-safe) comparisons: bulk transfers exceed 4 GB.
+	if int32(ack-s.ackedHi) > 0 {
+		// New data acknowledged.
+		s.ackedHi = ack
+		s.dupAcks = 0
+		if s.inRecovery {
+			if int32(ack-s.recoverPoint) >= 0 {
+				s.inRecovery = false
+				s.gbn = false
+			} else if s.gbn && int32(ack-s.rtxNext) > 0 {
+				s.rtxNext = ack
+			}
+			// Fast recovery repairs only its initial segment; remaining
+			// holes surface as further dup-ack episodes or the RTO.
+			// Repairing on every partial ack would emit duplicates that
+			// themselves read as loss signals.
+		}
+		if s.cwnd < s.ssthresh {
+			s.cwnd++ // slow start
+		} else {
+			s.cwnd += 1 / s.cwnd // congestion avoidance
+		}
+		if s.cfg.MaxCwnd > 0 && s.cwnd > s.cfg.MaxCwnd {
+			s.cwnd = s.cfg.MaxCwnd
+		}
+		s.rto = s.cfg.InitialRTO
+		s.armRTO()
+		s.pump()
+		return
+	}
+	if ack == s.ackedHi && s.nextSeq != s.ackedHi {
+		s.dupAcks++
+		if s.dupAcks == 3 && !s.inRecovery {
+			// Fast retransmit + multiplicative decrease: resend only
+			// the first missing segment.
+			s.ssthresh = max2(s.cwnd/2, 2)
+			s.cwnd = s.ssthresh
+			s.inRecovery = true
+			s.gbn = false
+			s.recoverPoint = s.nextSeq
+			s.send(s.ackedHi)
+			s.Retransmits++
+		}
+	}
+}
+
+// enterRecovery starts go-back-N loss recovery from the earliest
+// unacknowledged byte (RTO path).
+func (s *Sender) enterRecovery() {
+	s.inRecovery = true
+	s.gbn = true
+	s.recoverPoint = s.nextSeq
+	s.rtxNext = s.ackedHi
+}
+
+// pump transmits while the window allows: go-back-N retransmissions
+// during RTO recovery, new data otherwise.
+func (s *Sender) pump() {
+	if !s.established {
+		return
+	}
+	window := uint32(s.cwnd * float64(s.cfg.MSS))
+	if s.inRecovery {
+		if s.gbn {
+			for s.rtxNext-s.ackedHi < window && int32(s.rtxNext-s.recoverPoint) < 0 {
+				s.send(s.rtxNext)
+				s.rtxNext += uint32(s.cfg.MSS)
+				s.Retransmits++
+			}
+		}
+		return
+	}
+	for s.nextSeq-s.ackedHi < window {
+		s.send(s.nextSeq)
+		s.nextSeq += uint32(s.cfg.MSS)
+		s.SegmentsSent++
+	}
+}
+
+// send emits one MSS-sized segment starting at seq.
+func (s *Sender) send(seq uint32) {
+	seg := packet.NewTCP(s.host.IP, s.dst, s.sport, s.dport, packet.FlagACK|packet.FlagPSH, s.cfg.MSS)
+	seg.TCP.Seq = seq
+	s.host.SendPacket(seg)
+}
+
+func (s *Sender) armRTO() {
+	s.timerGen++
+	gen := s.timerGen
+	s.sim.After(s.rto, func() {
+		if gen != s.timerGen {
+			return // superseded by a newer ack or timer
+		}
+		if !s.established {
+			// Handshake lost: resend the SYN.
+			s.Timeouts++
+			s.rto = backoff(s.rto)
+			syn := packet.NewTCP(s.host.IP, s.dst, s.sport, s.dport, packet.FlagSYN, 0)
+			s.host.SendPacket(syn)
+			s.armRTO()
+			return
+		}
+		if s.nextSeq == s.ackedHi {
+			return // idle: everything acked
+		}
+		// Timeout: collapse the window and probe.
+		s.Timeouts++
+		s.ssthresh = max2(s.cwnd/2, 2)
+		s.cwnd = 1
+		s.dupAcks = 0
+		s.rto = backoff(s.rto)
+		s.enterRecovery()
+		s.pump()
+		s.armRTO()
+	})
+}
+
+func backoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Receiver consumes a bulk stream and acknowledges cumulatively. Out of
+// order segments are buffered (by segment start offset) until the gap
+// fills.
+type Receiver struct {
+	host *topo.Host
+	port uint16
+	mss  int
+
+	// peer locks the connection to the first remote endpoint seen;
+	// segments from any other (IP, port) — e.g. a NAT that lost its
+	// mapping and re-translated — are not part of this connection and
+	// are ignored, exactly as a real TCP stack would treat them.
+	peerSet  bool
+	peerIP   packet.Addr
+	peerPort uint16
+
+	cumAck  uint32
+	pending map[uint32]bool
+
+	// BytesIn counts payload bytes received in order; OnDeliver, if set,
+	// is called with the simulation-observable goodput as it advances.
+	BytesIn   uint64
+	OnDeliver func(bytes int)
+
+	// Diagnostics.
+	PeerMismatch, DupSegments, OutOfOrder uint64
+}
+
+// NewReceiver attaches a receiver for dport on the host, chaining onto
+// its existing Handler.
+func NewReceiver(host *topo.Host, dport uint16, mss int) *Receiver {
+	r := &Receiver{host: host, port: dport, mss: mss, pending: make(map[uint32]bool)}
+	prev := host.Handler
+	host.Handler = func(f *netsim.Frame) {
+		if f.Pkt != nil && f.Pkt.HasTCP && f.Pkt.TCP.DstPort == dport {
+			r.onSegment(f.Pkt)
+			return
+		}
+		if prev != nil {
+			prev(f)
+		}
+	}
+	return r
+}
+
+func (r *Receiver) onSegment(p *packet.Packet) {
+	if !r.peerSet {
+		r.peerSet = true
+		r.peerIP, r.peerPort = p.IP.Src, p.TCP.SrcPort
+	}
+	if p.IP.Src != r.peerIP || p.TCP.SrcPort != r.peerPort {
+		// Not this connection's peer (RST territory in a real stack).
+		r.PeerMismatch++
+		return
+	}
+	if p.TCP.Flags.Has(packet.FlagSYN) {
+		sa := packet.NewTCP(r.host.IP, p.IP.Src, r.port, p.TCP.SrcPort,
+			packet.FlagSYN|packet.FlagACK, 0)
+		r.host.SendPacket(sa)
+		return
+	}
+	if p.PayloadLen == 0 {
+		return // bare ack (of our SYN-ACK)
+	}
+	if int32(p.TCP.Seq-r.cumAck) < 0 {
+		// Stale duplicate below the cumulative ack: the sender missed
+		// our earlier acks (e.g. a black-holed path), so re-ack to
+		// resynchronize — this ack advances the sender, it is not a
+		// duplicate ack there.
+		r.DupSegments++
+		ack := packet.NewTCP(r.host.IP, p.IP.Src, r.port, p.TCP.SrcPort, packet.FlagACK, 0)
+		ack.TCP.Ack = r.cumAck
+		r.host.SendPacket(ack)
+		return
+	}
+	if r.pending[p.TCP.Seq] {
+		// Already-buffered out-of-order duplicate: acking it would look
+		// like a fresh loss signal at the sender and sustain spurious
+		// retransmission loops, so drop it silently (the sender's RTO
+		// covers genuinely lost acks).
+		r.DupSegments++
+		return
+	}
+	if int32(p.TCP.Seq-r.cumAck) > 0 {
+		r.OutOfOrder++
+	}
+	r.pending[p.TCP.Seq] = true
+	advanced := 0
+	for r.pending[r.cumAck] {
+		delete(r.pending, r.cumAck)
+		r.cumAck += uint32(r.mss)
+		advanced += r.mss
+	}
+	if advanced > 0 {
+		r.BytesIn += uint64(advanced)
+		if r.OnDeliver != nil {
+			r.OnDeliver(advanced)
+		}
+	}
+	ack := packet.NewTCP(r.host.IP, p.IP.Src, r.port, p.TCP.SrcPort, packet.FlagACK, 0)
+	ack.TCP.Ack = r.cumAck
+	r.host.SendPacket(ack)
+}

@@ -1,0 +1,156 @@
+// Package topo builds the paper's evaluation testbed (Appendix D): a
+// three-layer network with core switches, two programmable aggregation
+// switches, top-of-rack switches running 5-tuple ECMP, rack servers, and
+// servers outside the data center attached to the core layer.
+//
+// Routers here are plain L3 switches; the programmable aggregation
+// positions are filled by caller-provided nodes (internal/core's Switch)
+// that satisfy RoutedNode so the testbed can program their forwarding
+// tables.
+package topo
+
+import (
+	"fmt"
+
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+)
+
+// RoutedNode is a node whose forwarding table the testbed can program.
+type RoutedNode interface {
+	netsim.Node
+	// AddRoute adds a next-hop port for the exact destination address;
+	// multiple ports for one destination form an ECMP group.
+	AddRoute(dst packet.Addr, via *netsim.Port)
+}
+
+// Router is a non-programmable L3 switch: it forwards frames by exact
+// destination match over ECMP groups hashed on the symmetric flow hash, so
+// both directions of a flow take the same path (§2's best-effort
+// affinity).
+type Router struct {
+	name   string
+	routes map[packet.Addr][]*netsim.Port
+
+	// down marks ports the router has *detected* as failed and excludes
+	// from ECMP groups. An undetected dead link still attracts traffic,
+	// which the link then drops — exactly the black-holing window a real
+	// network has between failure and reroute.
+	down map[*netsim.Port]bool
+
+	// Forwarded and NoRoute count data-plane decisions.
+	Forwarded, NoRoute uint64
+}
+
+// NewRouter creates an empty router.
+func NewRouter(name string) *Router {
+	return &Router{
+		name:   name,
+		routes: make(map[packet.Addr][]*netsim.Port),
+		down:   make(map[*netsim.Port]bool),
+	}
+}
+
+// Name implements netsim.Node.
+func (r *Router) Name() string { return r.name }
+
+// AddRoute implements RoutedNode.
+func (r *Router) AddRoute(dst packet.Addr, via *netsim.Port) {
+	r.routes[dst] = append(r.routes[dst], via)
+}
+
+// SetPortDown marks a port as detected-failed (true) or recovered (false).
+// Failure injection calls this after its detection delay elapses.
+func (r *Router) SetPortDown(p *netsim.Port, isDown bool) {
+	if isDown {
+		r.down[p] = true
+	} else {
+		delete(r.down, p)
+	}
+}
+
+// PortsTo returns the ECMP group for a destination (for failure injection
+// to find which port a router reaches a neighbor through).
+func (r *Router) PortsTo(dst packet.Addr) []*netsim.Port { return r.routes[dst] }
+
+// Receive implements netsim.Node by forwarding.
+func (r *Router) Receive(f *netsim.Frame, in *netsim.Port) { r.Forward(f, in) }
+
+// Forward picks the next hop for f and transmits it. ECMP selection
+// hashes the symmetric flow hash over the live members of the group; when
+// membership changes, flows rehash — the reshuffling that sends a failed
+// switch's flows to an alternative switch in the paper's failover story.
+func (r *Router) Forward(f *netsim.Frame, in *netsim.Port) {
+	group := r.routes[f.Dst]
+	alive := group
+	if len(r.down) > 0 {
+		alive = nil
+		for _, p := range group {
+			if !r.down[p] {
+				alive = append(alive, p)
+			}
+		}
+	}
+	if len(alive) == 0 {
+		r.NoRoute++
+		return
+	}
+	var p *netsim.Port
+	if len(alive) == 1 {
+		p = alive[0]
+	} else {
+		p = alive[f.Flow.SymmetricHash()%uint64(len(alive))]
+	}
+	// Never hairpin a frame back where it came from if an alternative
+	// exists; with exact-host routes this only matters for ECMP bounce.
+	if p == in && len(alive) > 1 {
+		p = alive[(f.Flow.SymmetricHash()+1)%uint64(len(alive))]
+	}
+	r.Forwarded++
+	p.Send(f)
+}
+
+// Host is an end server: a single-homed node delivering received frames to
+// a handler and sending everything out its one port.
+type Host struct {
+	name string
+	IP   packet.Addr
+	port *netsim.Port
+
+	// Handler processes frames addressed to this host. Nil drops them.
+	Handler func(f *netsim.Frame)
+
+	// Rx counts delivered frames.
+	Rx uint64
+}
+
+// NewHost creates a host with the given address.
+func NewHost(name string, ip packet.Addr) *Host {
+	return &Host{name: name, IP: ip}
+}
+
+// Name implements netsim.Node.
+func (h *Host) Name() string { return h.name }
+
+// SetPort attaches the host's uplink.
+func (h *Host) SetPort(p *netsim.Port) { h.port = p }
+
+// Port returns the host's uplink.
+func (h *Host) Port() *netsim.Port { return h.port }
+
+// Receive implements netsim.Node.
+func (h *Host) Receive(f *netsim.Frame, _ *netsim.Port) {
+	h.Rx++
+	if h.Handler != nil {
+		h.Handler(f)
+	}
+}
+
+// Send transmits a frame out the host's uplink.
+func (h *Host) Send(f *netsim.Frame) { h.port.Send(f) }
+
+// SendPacket wraps a data packet in a frame and transmits it.
+func (h *Host) SendPacket(p *packet.Packet) { h.Send(netsim.DataFrame(p)) }
+
+// String describes the host.
+func (h *Host) String() string { return fmt.Sprintf("%s(%v)", h.name, h.IP) }

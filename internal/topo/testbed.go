@@ -1,0 +1,276 @@
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+)
+
+// TestbedConfig parameterizes the testbed's links.
+type TestbedConfig struct {
+	// Fabric is the link configuration between switches and to servers
+	// (the paper's testbed uses 100 Gbps links throughout).
+	Fabric netsim.LinkConfig
+	// Cores, ToRs set the layer widths; the default testbed is 2 and 2.
+	Cores, ToRs int
+}
+
+// DefaultTestbedConfig returns the paper-shaped testbed: 2 core switches,
+// 2 ToRs, 100 Gbps links with sub-microsecond per-hop delay chosen so a
+// 4-hop path gives the ~7 µs baseline RTT reported in §7.1.
+func DefaultTestbedConfig() TestbedConfig {
+	return TestbedConfig{
+		Fabric: netsim.LinkConfig{
+			Delay:     800 * time.Nanosecond,
+			Bandwidth: 100e9,
+		},
+		Cores: 2,
+		ToRs:  2,
+	}
+}
+
+// Testbed is the assembled network. Aggregation slots are filled by
+// caller-provided RoutedNodes (RedPlane switches, baseline switches, or
+// plain Routers).
+type Testbed struct {
+	Sim   *netsim.Sim
+	Cfg   TestbedConfig
+	Cores []*Router
+	ToRs  []*Router
+	Aggs  []RoutedNode
+
+	// Port matrices, indexed [from][to].
+	corePortToAgg [][]*netsim.Port
+	aggPortToCore [][]*netsim.Port
+	aggPortToTor  [][]*netsim.Port
+	torPortToAgg  [][]*netsim.Port
+
+	// Link matrices for failure injection, indexed [core][agg] and
+	// [agg][tor].
+	CoreAggLinks [][]*netsim.Link
+	AggTorLinks  [][]*netsim.Link
+
+	hostsByIP map[packet.Addr]*Host
+	// rack[i] lists hosts under ToR i; external lists hosts on cores.
+	rackHosts [][]*Host
+	external  []*Host
+}
+
+// NewTestbed wires cores, the given aggregation nodes, and ToRs. Hosts are
+// added afterwards with AddRackHost/AddExternalHost.
+func NewTestbed(sim *netsim.Sim, cfg TestbedConfig, aggs []RoutedNode) *Testbed {
+	if cfg.Cores == 0 {
+		cfg.Cores = 2
+	}
+	if cfg.ToRs == 0 {
+		cfg.ToRs = 2
+	}
+	tb := &Testbed{Sim: sim, Cfg: cfg, Aggs: aggs, hostsByIP: make(map[packet.Addr]*Host)}
+	for c := 0; c < cfg.Cores; c++ {
+		tb.Cores = append(tb.Cores, NewRouter(fmt.Sprintf("core%d", c)))
+	}
+	for t := 0; t < cfg.ToRs; t++ {
+		tb.ToRs = append(tb.ToRs, NewRouter(fmt.Sprintf("tor%d", t)))
+	}
+	tb.rackHosts = make([][]*Host, cfg.ToRs)
+
+	na := len(aggs)
+	tb.corePortToAgg = mat(cfg.Cores, na)
+	tb.aggPortToCore = mat(na, cfg.Cores)
+	tb.aggPortToTor = mat(na, cfg.ToRs)
+	tb.torPortToAgg = mat(cfg.ToRs, na)
+	tb.CoreAggLinks = linkMat(cfg.Cores, na)
+	tb.AggTorLinks = linkMat(na, cfg.ToRs)
+
+	for c, core := range tb.Cores {
+		for a, agg := range aggs {
+			l, pc, pa := netsim.Connect(sim, core, agg, cfg.Fabric)
+			tb.corePortToAgg[c][a] = pc
+			tb.aggPortToCore[a][c] = pa
+			tb.CoreAggLinks[c][a] = l
+		}
+	}
+	for a, agg := range aggs {
+		for t, tor := range tb.ToRs {
+			l, pa, pt := netsim.Connect(sim, agg, tor, cfg.Fabric)
+			tb.aggPortToTor[a][t] = pa
+			tb.torPortToAgg[t][a] = pt
+			tb.AggTorLinks[a][t] = l
+		}
+	}
+	return tb
+}
+
+func mat(r, c int) [][]*netsim.Port {
+	m := make([][]*netsim.Port, r)
+	for i := range m {
+		m[i] = make([]*netsim.Port, c)
+	}
+	return m
+}
+
+func linkMat(r, c int) [][]*netsim.Link {
+	m := make([][]*netsim.Link, r)
+	for i := range m {
+		m[i] = make([]*netsim.Link, c)
+	}
+	return m
+}
+
+// AddRackNode attaches an arbitrary node (e.g. a state store server)
+// under ToR rack, programs routes to its address throughout the fabric,
+// and returns the node's uplink port.
+func (tb *Testbed) AddRackNode(rack int, node netsim.Node, ip packet.Addr) *netsim.Port {
+	return tb.AddRackNodeLink(rack, node, ip, tb.Cfg.Fabric)
+}
+
+// AddRackNodeLink is AddRackNode with an explicit link configuration for
+// the node's uplink (e.g. a faster NIC than the fabric).
+func (tb *Testbed) AddRackNodeLink(rack int, node netsim.Node, ip packet.Addr, link netsim.LinkConfig) *netsim.Port {
+	_, pn, pt := netsim.Connect(tb.Sim, node, tb.ToRs[rack], link)
+	tb.ToRs[rack].AddRoute(ip, pt)
+	for a, agg := range tb.Aggs {
+		agg.AddRoute(ip, tb.aggPortToTor[a][rack])
+	}
+	for c, core := range tb.Cores {
+		for a := range tb.Aggs {
+			core.AddRoute(ip, tb.corePortToAgg[c][a])
+		}
+	}
+	for t, tor := range tb.ToRs {
+		if t == rack {
+			continue
+		}
+		for a := range tb.Aggs {
+			tor.AddRoute(ip, tb.torPortToAgg[t][a])
+		}
+	}
+	return pn
+}
+
+// AddRackHost attaches a server under ToR rack and programs routes to it
+// throughout the fabric: direct at its ToR, via that ToR at the aggs, via
+// the agg ECMP group at cores and the other ToRs.
+func (tb *Testbed) AddRackHost(rack int, name string, ip packet.Addr) *Host {
+	h := NewHost(name, ip)
+	h.SetPort(tb.AddRackNode(rack, h, ip))
+	tb.hostsByIP[ip] = h
+	tb.rackHosts[rack] = append(tb.rackHosts[rack], h)
+	return h
+}
+
+// AddExternalHost attaches a server outside the data center to core c and
+// programs routes: direct at that core, via that core at the aggs, via the
+// agg uplinks elsewhere.
+func (tb *Testbed) AddExternalHost(core int, name string, ip packet.Addr) *Host {
+	h := NewHost(name, ip)
+	_, ph, pc := netsim.Connect(tb.Sim, h, tb.Cores[core], tb.Cfg.Fabric)
+	h.SetPort(ph)
+	tb.Cores[core].AddRoute(ip, pc)
+	for a, agg := range tb.Aggs {
+		agg.AddRoute(ip, tb.aggPortToCore[a][core])
+	}
+	for c, other := range tb.Cores {
+		if c == core {
+			continue
+		}
+		for a := range tb.Aggs {
+			other.AddRoute(ip, tb.corePortToAgg[c][a])
+		}
+	}
+	for t, tor := range tb.ToRs {
+		for a := range tb.Aggs {
+			tor.AddRoute(ip, tb.torPortToAgg[t][a])
+		}
+	}
+	tb.hostsByIP[ip] = h
+	tb.external = append(tb.external, h)
+	return h
+}
+
+// RegisterAggIP programs routes so protocol traffic addressed to
+// aggregation switch a's own IP (the per-switch RedPlane address of §5.1)
+// reaches it from anywhere in the fabric.
+func (tb *Testbed) RegisterAggIP(a int, ip packet.Addr) {
+	for c, core := range tb.Cores {
+		core.AddRoute(ip, tb.corePortToAgg[c][a])
+	}
+	for t, tor := range tb.ToRs {
+		tor.AddRoute(ip, tb.torPortToAgg[t][a])
+	}
+	for o, other := range tb.Aggs {
+		if o == a {
+			continue
+		}
+		// Reach a sibling aggregation switch via core 0.
+		other.AddRoute(ip, tb.aggPortToCore[o][0])
+		tb.Cores[0].AddRoute(ip, tb.corePortToAgg[0][a])
+	}
+}
+
+// RegisterServiceIP programs routes for a virtual service address (a NAT
+// public IP or load-balancer VIP) terminating at the aggregation layer:
+// traffic to it ECMPs across all aggregation switches from both the core
+// and ToR sides.
+func (tb *Testbed) RegisterServiceIP(ip packet.Addr) {
+	for c, core := range tb.Cores {
+		for a := range tb.Aggs {
+			core.AddRoute(ip, tb.corePortToAgg[c][a])
+		}
+	}
+	for t, tor := range tb.ToRs {
+		for a := range tb.Aggs {
+			tor.AddRoute(ip, tb.torPortToAgg[t][a])
+		}
+	}
+}
+
+// HostByIP returns the host owning the address, or nil.
+func (tb *Testbed) HostByIP(ip packet.Addr) *Host { return tb.hostsByIP[ip] }
+
+// RackHosts returns the hosts under ToR rack.
+func (tb *Testbed) RackHosts(rack int) []*Host { return tb.rackHosts[rack] }
+
+// ExternalHosts returns the hosts attached to the core layer.
+func (tb *Testbed) ExternalHosts() []*Host { return tb.external }
+
+// AggUplinkPorts returns agg a's ports toward the cores, and
+// AggDownlinkPorts its ports toward the ToRs. RedPlane switches use them
+// to source protocol traffic.
+func (tb *Testbed) AggUplinkPorts(a int) []*netsim.Port   { return tb.aggPortToCore[a] }
+func (tb *Testbed) AggDownlinkPorts(a int) []*netsim.Port { return tb.aggPortToTor[a] }
+
+// FailAgg takes aggregation switch a fully offline (fail-stop): all its
+// links drop. Detection is separate — call DetectAggFailure after the
+// network's detection delay to reroute.
+func (tb *Testbed) FailAgg(a int) {
+	for c := range tb.Cores {
+		tb.CoreAggLinks[c][a].SetUp(false)
+	}
+	for t := range tb.ToRs {
+		tb.AggTorLinks[a][t].SetUp(false)
+	}
+}
+
+// RecoverAgg brings aggregation switch a's links back.
+func (tb *Testbed) RecoverAgg(a int) {
+	for c := range tb.Cores {
+		tb.CoreAggLinks[c][a].SetUp(true)
+	}
+	for t := range tb.ToRs {
+		tb.AggTorLinks[a][t].SetUp(true)
+	}
+}
+
+// DetectAggFailure marks agg a's ports down at the cores and ToRs so ECMP
+// excludes it; isDown=false re-includes it after recovery.
+func (tb *Testbed) DetectAggFailure(a int, isDown bool) {
+	for c, core := range tb.Cores {
+		core.SetPortDown(tb.corePortToAgg[c][a], isDown)
+	}
+	for t, tor := range tb.ToRs {
+		tor.SetPortDown(tb.torPortToAgg[t][a], isDown)
+	}
+}

@@ -1,0 +1,196 @@
+// Package trace generates the workloads the evaluation replays: packet
+// traces with data-center-like size and flow-size distributions (standing
+// in for the public traces the paper replays), the EPC signaling/data mix
+// (1 signaling message per 17 data packets, after [56, 62]), and
+// key-value operation streams with a configurable update ratio.
+package trace
+
+import (
+	"math"
+	"math/rand"
+
+	"redplane/internal/packet"
+)
+
+// SizeDist draws packet payload sizes. The default approximates the
+// bimodal mix of real data center and enterprise traces (§7.1 replays
+// traces with 64–1500 byte packets): heavy concentrations at the minimum
+// and maximum frame sizes with a spread in between.
+type SizeDist struct {
+	rng *rand.Rand
+}
+
+// NewSizeDist creates the distribution over the given RNG.
+func NewSizeDist(rng *rand.Rand) *SizeDist { return &SizeDist{rng: rng} }
+
+// Sample returns a payload length such that the wire size lands in
+// [64, 1500].
+func (d *SizeDist) Sample() int {
+	r := d.rng.Float64()
+	switch {
+	case r < 0.45:
+		return 0 // minimum frame (64 B on the wire after padding)
+	case r < 0.75:
+		return 1458 // full-size frame (1500 B with Ethernet+IP+TCP)
+	default:
+		// Mid-size packets, roughly uniform.
+		return d.rng.Intn(1200) + 100
+	}
+}
+
+// FlowConfig parameterizes a synthetic multi-flow trace.
+type FlowConfig struct {
+	// Flows is the number of distinct 5-tuples.
+	Flows int
+	// Packets is the total packet budget.
+	Packets int
+	// ZipfS skews packets across flows (0 = uniform; 1.1 ≈ heavy
+	// hitters dominating, as real traces show).
+	ZipfS float64
+	// Src/Dst endpoints; flows differ by source port.
+	Src, Dst packet.Addr
+	// DstPort is the service port.
+	DstPort uint16
+	// BasePort is the first flow's source port.
+	BasePort uint16
+	// Proto selects TCP (default) or UDP packets.
+	UDP bool
+	// PayloadFn overrides the size distribution (nil = SizeDist).
+	PayloadFn func() int
+}
+
+// Item is one generated packet with its position in the trace.
+type Item struct {
+	Pkt *packet.Packet
+	// FlowIdx identifies which generated flow the packet belongs to.
+	FlowIdx int
+}
+
+// Flows generates a shuffled packet trace per the config. Packet Seq
+// numbers count per flow from 1, as the history checker expects.
+func Flows(rng *rand.Rand, cfg FlowConfig) []Item {
+	if cfg.Flows <= 0 || cfg.Packets <= 0 {
+		return nil
+	}
+	sizes := cfg.PayloadFn
+	if sizes == nil {
+		d := NewSizeDist(rng)
+		sizes = d.Sample
+	}
+	// Packets per flow: uniform or Zipf-weighted.
+	weights := make([]float64, cfg.Flows)
+	var total float64
+	for i := range weights {
+		if cfg.ZipfS > 0 {
+			weights[i] = 1 / math.Pow(float64(i+1), cfg.ZipfS)
+		} else {
+			weights[i] = 1
+		}
+		total += weights[i]
+	}
+	var items []Item
+	seqs := make([]uint64, cfg.Flows)
+	for i := range weights {
+		n := int(math.Round(weights[i] / total * float64(cfg.Packets)))
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			items = append(items, Item{FlowIdx: i})
+		}
+	}
+	// Shuffle to interleave flows like a real trace.
+	rng.Shuffle(len(items), func(a, b int) { items[a], items[b] = items[b], items[a] })
+	if len(items) > cfg.Packets {
+		items = items[:cfg.Packets]
+	}
+	for k := range items {
+		i := items[k].FlowIdx
+		sport := cfg.BasePort + uint16(i)
+		seqs[i]++
+		var p *packet.Packet
+		if cfg.UDP {
+			p = packet.NewUDP(cfg.Src, cfg.Dst, sport, cfg.DstPort, sizes())
+		} else {
+			p = packet.NewTCP(cfg.Src, cfg.Dst, sport, cfg.DstPort, packet.FlagACK, sizes())
+		}
+		p.Seq = seqs[i]
+		items[k].Pkt = p
+	}
+	return items
+}
+
+// EPCConfig parameterizes an EPC user-plane trace.
+type EPCConfig struct {
+	// Users is the number of distinct TEIDs.
+	Users int
+	// Packets is the total budget.
+	Packets int
+	// SignalingEvery inserts one signaling message per this many data
+	// packets (17 in the paper's evaluation, §7.1).
+	SignalingEvery int
+	Src, Dst       packet.Addr
+}
+
+// EPC generates a GTP trace: per-user signaling first (session setup),
+// then interleaved data with periodic signaling updates.
+func EPC(rng *rand.Rand, cfg EPCConfig) []Item {
+	if cfg.SignalingEvery <= 0 {
+		cfg.SignalingEvery = 17
+	}
+	var items []Item
+	mk := func(teid uint32, msgType uint8, val uint16) *packet.Packet {
+		p := packet.NewUDP(cfg.Src, cfg.Dst, 40000, packet.GTPPort, 64)
+		p.HasGTP = true
+		p.GTP = packet.GTP{Version: 1, MsgType: msgType, TEID: teid, Len: val}
+		return p
+	}
+	// Attach every user.
+	for u := 0; u < cfg.Users; u++ {
+		items = append(items, Item{FlowIdx: u, Pkt: mk(uint32(u+1), packet.GTPMsgSignaling, uint16(u+1000))})
+	}
+	for len(items) < cfg.Packets {
+		u := rng.Intn(cfg.Users)
+		if len(items)%(cfg.SignalingEvery+1) == cfg.SignalingEvery {
+			items = append(items, Item{FlowIdx: u, Pkt: mk(uint32(u+1), packet.GTPMsgSignaling, uint16(rng.Intn(60000)))})
+		} else {
+			items = append(items, Item{FlowIdx: u, Pkt: mk(uint32(u+1), packet.GTPMsgData, 0)})
+		}
+	}
+	seq := make(map[int]uint64)
+	for k := range items {
+		seq[items[k].FlowIdx]++
+		items[k].Pkt.Seq = seq[items[k].FlowIdx]
+	}
+	return items
+}
+
+// KVConfig parameterizes the key-value workload of Fig. 13.
+type KVConfig struct {
+	// Ops is the number of requests.
+	Ops int
+	// Keys is the key space size (uniform random keys, per §7.2).
+	Keys uint64
+	// UpdateRatio is the fraction of requests that are updates.
+	UpdateRatio float64
+	Src, Dst    packet.Addr
+}
+
+// KV generates the request stream.
+func KV(rng *rand.Rand, cfg KVConfig) []Item {
+	items := make([]Item, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		p := packet.NewUDP(cfg.Src, cfg.Dst, uint16(30000+i%1000), packet.KVPort, 0)
+		p.HasKV = true
+		p.KV.Key = uint64(rng.Int63n(int64(cfg.Keys)))
+		if rng.Float64() < cfg.UpdateRatio {
+			p.KV.Op = packet.KVUpdate
+			p.KV.Val = rng.Uint64()
+		} else {
+			p.KV.Op = packet.KVRead
+		}
+		p.Seq = uint64(i + 1)
+		items = append(items, Item{FlowIdx: int(p.KV.Key), Pkt: p})
+	}
+	return items
+}

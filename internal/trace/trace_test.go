@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+
+	"redplane/internal/packet"
+)
+
+func TestSizeDistBounds(t *testing.T) {
+	d := NewSizeDist(rand.New(rand.NewSource(1)))
+	sawMin, sawMax, sawMid := false, false, false
+	for i := 0; i < 1000; i++ {
+		n := d.Sample()
+		p := packet.NewTCP(1, 2, 3, 4, 0, n)
+		w := p.WireLen()
+		if w < 64 || w > 1514 {
+			t.Fatalf("wire size %d out of [64,1514]", w)
+		}
+		switch {
+		case w == 64:
+			sawMin = true
+		case w >= 1500:
+			sawMax = true
+		default:
+			sawMid = true
+		}
+	}
+	if !sawMin || !sawMax || !sawMid {
+		t.Errorf("distribution not trimodal: min=%v max=%v mid=%v", sawMin, sawMax, sawMid)
+	}
+}
+
+func TestFlowsGeneration(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := Flows(rng, FlowConfig{
+		Flows: 10, Packets: 1000, Src: 1, Dst: 2, DstPort: 80, BasePort: 1000,
+	})
+	if len(items) == 0 || len(items) > 1100 {
+		t.Fatalf("items = %d", len(items))
+	}
+	perFlowSeq := map[int]uint64{}
+	flows := map[packet.FiveTuple]bool{}
+	for _, it := range items {
+		if it.Pkt.Seq != perFlowSeq[it.FlowIdx]+1 {
+			t.Fatalf("flow %d seq %d after %d", it.FlowIdx, it.Pkt.Seq, perFlowSeq[it.FlowIdx])
+		}
+		perFlowSeq[it.FlowIdx] = it.Pkt.Seq
+		flows[it.Pkt.Flow()] = true
+		if !it.Pkt.HasTCP {
+			t.Fatal("default trace should be TCP")
+		}
+	}
+	if len(flows) != 10 {
+		t.Errorf("distinct flows = %d", len(flows))
+	}
+}
+
+func TestFlowsZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := Flows(rng, FlowConfig{
+		Flows: 50, Packets: 5000, ZipfS: 1.2, Src: 1, Dst: 2, DstPort: 80, BasePort: 1000,
+	})
+	counts := map[int]int{}
+	for _, it := range items {
+		counts[it.FlowIdx]++
+	}
+	if counts[0] < 5*counts[40] {
+		t.Errorf("no heavy-hitter skew: flow0=%d flow40=%d", counts[0], counts[40])
+	}
+}
+
+func TestFlowsUDPAndEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if Flows(rng, FlowConfig{}) != nil {
+		t.Error("empty config should return nil")
+	}
+	items := Flows(rng, FlowConfig{Flows: 2, Packets: 10, UDP: true, BasePort: 5})
+	for _, it := range items {
+		if !it.Pkt.HasUDP {
+			t.Fatal("UDP flag ignored")
+		}
+	}
+}
+
+func TestEPCSignalingRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := EPC(rng, EPCConfig{Users: 10, Packets: 1800, Src: 1, Dst: 2})
+	var sig, data int
+	for _, it := range items {
+		if !it.Pkt.HasGTP {
+			t.Fatal("non-GTP packet in EPC trace")
+		}
+		if it.Pkt.GTP.MsgType == packet.GTPMsgSignaling {
+			sig++
+		} else {
+			data++
+		}
+	}
+	ratio := float64(sig) / float64(data)
+	// 1 per 17 plus initial attaches: allow a generous band around ~6%.
+	if ratio < 0.04 || ratio > 0.09 {
+		t.Errorf("signaling ratio = %.3f, want ~1/17", ratio)
+	}
+}
+
+func TestKVUpdateRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	items := KV(rng, KVConfig{Ops: 2000, Keys: 100, UpdateRatio: 0.25, Src: 1, Dst: 2})
+	if len(items) != 2000 {
+		t.Fatalf("ops = %d", len(items))
+	}
+	var upd int
+	keys := map[uint64]bool{}
+	for _, it := range items {
+		if !it.Pkt.HasKV {
+			t.Fatal("non-KV packet")
+		}
+		if it.Pkt.KV.Op == packet.KVUpdate {
+			upd++
+		}
+		if it.Pkt.KV.Key >= 100 {
+			t.Fatal("key out of range")
+		}
+		keys[it.Pkt.KV.Key] = true
+	}
+	got := float64(upd) / 2000
+	if got < 0.2 || got > 0.3 {
+		t.Errorf("update ratio = %.3f", got)
+	}
+	if len(keys) < 80 {
+		t.Errorf("key coverage = %d/100", len(keys))
+	}
+}

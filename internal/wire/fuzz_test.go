@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestUnmarshalNeverPanics feeds random byte soup into the decoder: a
+// store server must survive any datagram off the wire.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		var m Message
+		_ = m.Unmarshal(b) // error or success, never panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnmarshalTruncationsOfValid truncates valid encodings at every
+// length: each prefix must decode cleanly or error, never panic or
+// produce a piggyback that aliases out of bounds.
+func TestUnmarshalTruncationsOfValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		m := &Message{
+			Type: MsgType(1 + rng.Intn(10)), Seq: rng.Uint64(), Key: key(),
+			Vals: make([]uint64, rng.Intn(6)),
+		}
+		for i := range m.Vals {
+			m.Vals[i] = rng.Uint64()
+		}
+		b := m.Marshal(nil)
+		for cut := 0; cut <= len(b); cut++ {
+			var g Message
+			_ = g.Unmarshal(b[:cut])
+		}
+	}
+}
+
+// TestBitflipsNeverPanic corrupts single bytes of valid messages.
+func TestBitflipsNeverPanic(t *testing.T) {
+	m := &Message{Type: MsgRepl, Seq: 7, Key: key(), Vals: []uint64{1, 2}}
+	b := m.Marshal(nil)
+	for i := range b {
+		for _, x := range []byte{0x01, 0x80, 0xff} {
+			c := append([]byte(nil), b...)
+			c[i] ^= x
+			var g Message
+			_ = g.Unmarshal(c)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+
+	"redplane/internal/packet"
+)
+
+func key() packet.FiveTuple {
+	return packet.FiveTuple{
+		Src: packet.MakeAddr(10, 0, 0, 1), Dst: packet.MakeAddr(10, 0, 0, 2),
+		SrcPort: 1234, DstPort: 80, Proto: packet.ProtoTCP,
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for mt := MsgLeaseNew; mt <= MsgLeaseReject; mt++ {
+		if s := mt.String(); s == "" || s[0] == 'M' && s != "MsgType(99)" && len(s) > 20 {
+			t.Errorf("suspicious String for %d: %q", mt, s)
+		}
+	}
+	if MsgType(99).String() != "MsgType(99)" {
+		t.Error("unknown type string")
+	}
+}
+
+func TestRequestAckClassification(t *testing.T) {
+	reqs := []MsgType{MsgLeaseNew, MsgLeaseRenew, MsgRepl, MsgBufferedRead, MsgSnapshot}
+	for _, r := range reqs {
+		if !r.IsRequest() || r.IsAck() {
+			t.Errorf("%v misclassified", r)
+		}
+		a := AckFor(r)
+		if a == 0 || !a.IsAck() || a.IsRequest() {
+			t.Errorf("AckFor(%v) = %v misclassified", r, a)
+		}
+	}
+	if AckFor(MsgReplAck) != 0 {
+		t.Error("AckFor of an ack should be 0")
+	}
+}
+
+func TestMessageRoundTripPlain(t *testing.T) {
+	m := &Message{
+		Type: MsgRepl, Seq: 42, Key: key(), Vals: []uint64{7, 9},
+		Slot: 3, Epoch: 2, LeaseMillis: 1000, SwitchID: 1, StoreShard: 2,
+	}
+	var g Message
+	if err := g.Unmarshal(m.Marshal(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if g.Type != m.Type || g.Seq != m.Seq || g.Key != m.Key || g.Slot != 3 ||
+		g.Epoch != 2 || g.LeaseMillis != 1000 || g.SwitchID != 1 || g.StoreShard != 2 {
+		t.Errorf("round trip: %+v", g)
+	}
+	if len(g.Vals) != 2 || g.Vals[0] != 7 || g.Vals[1] != 9 {
+		t.Errorf("vals: %v", g.Vals)
+	}
+}
+
+func TestMessageRoundTripPiggyback(t *testing.T) {
+	pkt := packet.NewTCP(packet.MakeAddr(1, 1, 1, 1), packet.MakeAddr(2, 2, 2, 2), 5, 6, packet.FlagACK, 33)
+	m := &Message{Type: MsgLeaseNew, Seq: 1, Key: key(), Piggyback: pkt, NewFlow: true}
+	var g Message
+	if err := g.Unmarshal(m.Marshal(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !g.NewFlow || g.Piggyback == nil {
+		t.Fatal("flags or piggyback lost")
+	}
+	if g.Piggyback.Flow() != pkt.Flow() || g.Piggyback.PayloadLen != 33 {
+		t.Errorf("piggyback: %+v", g.Piggyback.Flow())
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var g Message
+	if err := g.Unmarshal(make([]byte, headerLen-1)); err == nil {
+		t.Error("short header accepted")
+	}
+	m := &Message{Type: MsgRepl, Vals: []uint64{1, 2, 3}}
+	b := m.Marshal(nil)
+	if err := g.Unmarshal(b[:headerLen+4]); err == nil {
+		t.Error("truncated vals accepted")
+	}
+	mp := &Message{Type: MsgRepl, Piggyback: packet.NewUDP(1, 2, 3, 4, 0)}
+	bp := mp.Marshal(nil)
+	if err := g.Unmarshal(bp[:len(bp)-3]); err == nil {
+		t.Error("truncated piggyback accepted")
+	}
+}
+
+func TestTruncatedLenStripsPiggyback(t *testing.T) {
+	pkt := packet.NewTCP(1, 2, 3, 4, packet.FlagACK, 1000)
+	m := &Message{Type: MsgRepl, Vals: []uint64{1}, Piggyback: pkt}
+	if m.TruncatedLen() >= m.WireLen() {
+		t.Errorf("TruncatedLen %d should be < WireLen %d", m.TruncatedLen(), m.WireLen())
+	}
+	if m.TruncatedLen() != overheadLen+8 {
+		t.Errorf("TruncatedLen = %d", m.TruncatedLen())
+	}
+}
+
+func TestWireLenMinimum(t *testing.T) {
+	m := &Message{Type: MsgLeaseRenew}
+	if m.WireLen() < 64 {
+		t.Errorf("WireLen = %d < 64", m.WireLen())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := &Message{Type: MsgRepl, Vals: []uint64{1}, Piggyback: packet.NewUDP(1, 2, 3, 4, 0)}
+	c := m.Clone()
+	c.Vals[0] = 99
+	c.Piggyback.UDP.SrcPort = 999
+	if m.Vals[0] == 99 || m.Piggyback.UDP.SrcPort == 999 {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestMessageRoundTripFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		m := &Message{
+			Type: MsgType(1 + rng.Intn(10)),
+			Seq:  rng.Uint64(),
+			Key: packet.FiveTuple{
+				Src: packet.Addr(rng.Uint32()), Dst: packet.Addr(rng.Uint32()),
+				SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+				Proto: packet.ProtoUDP,
+			},
+			Slot: rng.Uint32(), Epoch: rng.Uint32(), LeaseMillis: rng.Uint32(),
+			SwitchID: rng.Intn(100), StoreShard: rng.Intn(100),
+		}
+		for j := 0; j < rng.Intn(5); j++ {
+			m.Vals = append(m.Vals, rng.Uint64())
+		}
+		var g Message
+		if err := g.Unmarshal(m.Marshal(nil)); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if g.Seq != m.Seq || g.Key != m.Key || len(g.Vals) != len(m.Vals) {
+			t.Fatalf("iter %d mismatch", i)
+		}
+	}
+}
+
+func BenchmarkMessageMarshal(b *testing.B) {
+	m := &Message{Type: MsgRepl, Seq: 1, Key: key(), Vals: []uint64{1, 2, 3}}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = m.Marshal(buf[:0])
+	}
+}

@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race check bench fmt
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with cross-goroutine surface:
+# internal/obs (registries read while the simulator writes) and
+# internal/core (hot-path atomic counters).
+race:
+	$(GO) test -race ./internal/obs/... ./internal/core/...
+
+# The CI gate: gofmt, vet, build, full tests, race pass.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+fmt:
+	gofmt -w .

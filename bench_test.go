@@ -17,9 +17,21 @@ import (
 	"redplane/internal/packet"
 )
 
+// skipUnderRace skips the full-evaluation benchmarks when the race
+// detector is on: the single-threaded simulator cannot race, and the
+// 10-20x slowdown makes these runs time out in CI. The short unit and
+// packet-path benches still run under -race.
+func skipUnderRace(b *testing.B) {
+	b.Helper()
+	if raceEnabled {
+		b.Skip("full-evaluation benchmark skipped under -race (single-threaded simulator; see scripts/check.sh)")
+	}
+}
+
 // BenchmarkFig8LatencyNAT reproduces Fig. 8: RTT for RedPlane-NAT vs the
 // five baseline NATs. Reports RedPlane-NAT's median RTT.
 func BenchmarkFig8LatencyNAT(b *testing.B) {
+	skipUnderRace(b)
 	for i := 0; i < b.N; i++ {
 		res := experiments.Fig8(int64(i+1), 10_000)
 		for _, r := range res.Rows {
@@ -34,6 +46,7 @@ func BenchmarkFig8LatencyNAT(b *testing.B) {
 // BenchmarkFig9LatencyApps reproduces Fig. 9: per-application RTT.
 // Reports the worst case (Sync-Counter with chain replication).
 func BenchmarkFig9LatencyApps(b *testing.B) {
+	skipUnderRace(b)
 	for i := 0; i < b.N; i++ {
 		res := experiments.Fig9(int64(i+1), 5_000)
 		last := res.Rows[len(res.Rows)-1]
@@ -44,6 +57,7 @@ func BenchmarkFig9LatencyApps(b *testing.B) {
 // BenchmarkFig10Bandwidth reproduces Fig. 10: replication bandwidth
 // overhead per application. Reports the Sync-Counter overhead share.
 func BenchmarkFig10Bandwidth(b *testing.B) {
+	skipUnderRace(b)
 	for i := 0; i < b.N; i++ {
 		res := experiments.Fig10(int64(i+1), 10_000)
 		for _, r := range res.Rows {
@@ -61,6 +75,7 @@ func BenchmarkFig10Bandwidth(b *testing.B) {
 // vs frequency and sketch count. Reports the 1 kHz / 3-sketch point the
 // paper quotes (34.16 Mbps on their testbed).
 func BenchmarkFig11SnapshotBandwidth(b *testing.B) {
+	skipUnderRace(b)
 	for i := 0; i < b.N; i++ {
 		res := experiments.Fig11(int64(i + 1))
 		for _, p := range res.Points {
@@ -74,6 +89,7 @@ func BenchmarkFig11SnapshotBandwidth(b *testing.B) {
 // BenchmarkFig12Throughput reproduces Fig. 12: data-plane throughput with
 // and without RedPlane. Reports Sync-Counter's retained fraction.
 func BenchmarkFig12Throughput(b *testing.B) {
+	skipUnderRace(b)
 	for i := 0; i < b.N; i++ {
 		res := experiments.Fig12(int64(i+1), 10*time.Millisecond)
 		for _, r := range res.Rows {
@@ -91,6 +107,7 @@ func BenchmarkFig12Throughput(b *testing.B) {
 // update ratio and store count. Reports the hardest point (all updates,
 // one store) and the easiest (all updates, three stores).
 func BenchmarkFig13KVUpdateRatio(b *testing.B) {
+	skipUnderRace(b)
 	for i := 0; i < b.N; i++ {
 		res := experiments.Fig13(int64(i+1), 10*time.Millisecond)
 		for _, p := range res.Points {
@@ -107,6 +124,7 @@ func BenchmarkFig13KVUpdateRatio(b *testing.B) {
 // BenchmarkFig14Failover reproduces Fig. 14: TCP goodput through failover
 // and recovery. Reports steady-state goodput and the post-failure dip.
 func BenchmarkFig14Failover(b *testing.B) {
+	skipUnderRace(b)
 	for i := 0; i < b.N; i++ {
 		res := experiments.Fig14(int64(i+1), 24*time.Second)
 		for _, s := range res.Series {
@@ -121,6 +139,7 @@ func BenchmarkFig14Failover(b *testing.B) {
 // BenchmarkFig15BufferOccupancy reproduces Fig. 15: retransmission buffer
 // occupancy vs rate and request loss. Reports the worst corner.
 func BenchmarkFig15BufferOccupancy(b *testing.B) {
+	skipUnderRace(b)
 	for i := 0; i < b.N; i++ {
 		res := experiments.Fig15(int64(i+1), 5*time.Millisecond)
 		var maxKB float64
@@ -150,6 +169,7 @@ func BenchmarkTable2Resources(b *testing.B) {
 // sequencing, retransmission, chain length, snapshot period, mirror
 // buffer sizing.
 func BenchmarkAblations(b *testing.B) {
+	skipUnderRace(b)
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Ablations(int64(i + 1))
 		for _, r := range rows {
@@ -163,6 +183,7 @@ func BenchmarkAblations(b *testing.B) {
 // BenchmarkModelCheck explores the protocol's full state space (Appendix
 // C) and reports its size.
 func BenchmarkModelCheck(b *testing.B) {
+	skipUnderRace(b)
 	for i := 0; i < b.N; i++ {
 		res := modelcheck.Run(modelcheck.DefaultConfig())
 		if !res.OK() {

@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	redplane-bench [-seed N] [-scale F] [-only fig8,fig12,...]
+//	redplane-bench [-seed N] [-scale F] [-only fig8,fig12,...] [-trace file] [-stats]
 //
 // -scale multiplies workload sizes (1.0 reproduces the shipped defaults;
 // smaller values give quicker, noisier runs). -only selects a subset.
+// -trace appends every deployment's protocol event timeline to the given
+// file as JSON lines (one "run" label per deployment); -stats prints a
+// counter summary for each deployment built.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"redplane"
 	"redplane/internal/experiments"
 	"redplane/internal/modelcheck"
 )
@@ -24,7 +28,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	only := flag.String("only", "", "comma-separated subset (fig8..fig15,table2,atscale,ablations,modelcheck)")
+	traceFile := flag.String("trace", "", "append protocol event timelines (JSONL) to this file")
+	stats := flag.Bool("stats", false, "print per-deployment counter summaries")
 	flag.Parse()
+
+	flush := func() {}
+	if *traceFile != "" || *stats {
+		flush = installObserver(*traceFile, *stats)
+		defer flush()
+	}
 
 	sel := map[string]bool{}
 	for _, s := range strings.Split(*only, ",") {
@@ -138,6 +150,7 @@ func main() {
 			res.States, res.Transitions, res.Depth, len(res.Violations), res.Deadlocks)
 		if !res.OK() {
 			fmt.Fprintln(os.Stderr, "MODEL CHECK FAILED")
+			flush()
 			os.Exit(1)
 		}
 	}
@@ -145,4 +158,62 @@ func main() {
 
 func section(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
+}
+
+// installObserver hooks deployment construction so -trace and -stats see
+// every deployment the experiments build. A deployment's counters and
+// trace are only final once the experiment finished driving it, which is
+// the moment the *next* deployment appears (or the process exits) — so
+// each flush is one deployment behind, and the returned func flushes the
+// last one.
+func installObserver(traceFile string, stats bool) (flush func()) {
+	var out *os.File
+	if traceFile != "" {
+		var err error
+		out, err = os.Create(traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "redplane-bench:", err)
+			os.Exit(1)
+		}
+	}
+	var prev *redplane.Deployment
+	runID := 0
+	emit := func() {
+		if prev == nil {
+			return
+		}
+		if out != nil {
+			if tr := prev.Observe().Tracer(); tr != nil {
+				if err := tr.WriteJSONL(out, fmt.Sprintf("run%d", runID)); err != nil {
+					fmt.Fprintln(os.Stderr, "redplane-bench: trace:", err)
+				}
+			}
+		}
+		if stats {
+			t := prev.Snapshot().Totals
+			fmt.Fprintf(os.Stderr,
+				"[stats run%d t=%.3fs] in=%d out=%d repl=%d retx=%d drops=%d "+
+					"lease_acq=%d grants=%d renews=%d migr=%d applied=%d stale=%d shed=%d\n",
+				runID, prev.Now().Seconds(), t.PacketsIn, t.PacketsOut, t.ReplSends,
+				t.Retransmits, t.EmulatedDrops, t.LeaseAcquired, t.LeaseGrants,
+				t.LeaseRenewals, t.LeaseMigrated, t.ReplApplied, t.ReplStale,
+				t.StoreDroppedRequests)
+		}
+		prev = nil
+		runID++
+	}
+	var forced redplane.ObsConfig
+	if traceFile != "" {
+		forced.TraceEvents = redplane.DefaultTraceEvents
+	}
+	redplane.SetDeploymentObserver(forced, func(d *redplane.Deployment) {
+		emit()
+		prev = d
+	})
+	return func() {
+		emit()
+		if out != nil {
+			out.Close()
+		}
+	}
 }

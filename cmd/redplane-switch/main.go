@@ -3,16 +3,18 @@
 // sequenced state updates, renews, and reports per-request latency. Use
 // it to validate a store deployment end-to-end.
 //
-//	redplane-switch -store 127.0.0.1:9500 -id 1 -flows 100 -writes 50
+//	redplane-switch -store 127.0.0.1:9500 -id 1 -flows 100 -writes 50 [-trace file] [-stats]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"time"
 
+	"redplane/internal/obs"
 	"redplane/internal/packet"
 	"redplane/internal/store"
 	"redplane/internal/wire"
@@ -23,6 +25,8 @@ func main() {
 	id := flag.Int("id", 1, "switch ID")
 	flows := flag.Int("flows", 10, "number of flows to drive")
 	writes := flag.Int("writes", 20, "state updates per flow")
+	traceFile := flag.String("trace", "", "write the request/ack event timeline (JSONL) to this file")
+	stats := flag.Bool("stats", false, "print the request counter summary")
 	flag.Parse()
 
 	c, err := store.DialUDP(*addr, *id)
@@ -31,18 +35,54 @@ func main() {
 	}
 	defer c.Close()
 
+	// The same observability layer the simulator uses, against the real
+	// store: events are stamped with wall-clock nanoseconds since start.
+	reg := obs.NewRegistry()
+	var tr *obs.Tracer
+	if *traceFile != "" {
+		tr = obs.NewTracer(1 << 20)
+	}
+	met := reg.NS("switch/udp")
+	leases := met.Counter("lease_acquired")
+	repls := met.Counter("repl_sends")
+	renews := met.Counter("lease_renewals")
+	comp := fmt.Sprintf("udp-switch-%d", *id)
+
+	start := time.Now()
 	var lats []time.Duration
 	do := func(m *wire.Message) *wire.Message {
-		start := time.Now()
+		reqStart := time.Now()
 		ack, err := c.Request(m)
 		if err != nil {
 			log.Fatalf("redplane-switch: %v request: %v", m.Type, err)
 		}
-		lats = append(lats, time.Since(start))
+		lats = append(lats, time.Since(reqStart))
+		if tr.Active() {
+			var et obs.EventType
+			switch m.Type {
+			case wire.MsgLeaseNew:
+				et = obs.EvLeaseGrant
+			case wire.MsgRepl:
+				et = obs.EvReplSend
+			default:
+				et = obs.EvLeaseRenew
+			}
+			tr.Emit(obs.Event{T: int64(reqStart.Sub(start)), Type: et,
+				Comp: comp, Flow: m.Key.String(), Seq: m.Seq})
+			tr.Emit(obs.Event{T: int64(time.Since(start)), Type: obs.EvReplAck,
+				Comp: comp, Flow: m.Key.String(), Seq: ack.Seq})
+		}
+		switch m.Type {
+		case wire.MsgLeaseNew:
+			leases.Inc()
+		case wire.MsgRepl:
+			repls.Inc()
+		case wire.MsgLeaseRenew:
+			renews.Inc()
+		}
 		return ack
 	}
 
-	start := time.Now()
 	for f := 0; f < *flows; f++ {
 		key := packet.FiveTuple{
 			Src: packet.MakeAddr(10, 0, 0, 1), Dst: packet.MakeAddr(100, 0, 0, 1),
@@ -75,4 +115,21 @@ func main() {
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
 	fmt.Printf("latency: p50=%v p90=%v p99=%v\n", pct(0.50), pct(0.90), pct(0.99))
 	fmt.Println("all leases acquired, all writes acknowledged in order")
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "[stats] lease_acquired=%d repl_sends=%d lease_renewals=%d\n",
+			leases.Value(), repls.Value(), renews.Value())
+	}
+	if *traceFile != "" {
+		out, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatalf("redplane-switch: trace: %v", err)
+		}
+		if err := tr.WriteJSONL(out, fmt.Sprintf("udp-switch-%d", *id)); err != nil {
+			log.Fatalf("redplane-switch: trace: %v", err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatalf("redplane-switch: trace: %v", err)
+		}
+	}
 }

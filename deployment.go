@@ -1,15 +1,67 @@
 package redplane
 
 import (
+	"fmt"
 	"time"
 
 	"redplane/internal/core"
 	"redplane/internal/failure"
 	"redplane/internal/netsim"
+	"redplane/internal/obs"
 	"redplane/internal/packet"
 	"redplane/internal/store"
 	"redplane/internal/topo"
 )
+
+// BaselineConfig selects non-fault-tolerant baseline operation: the
+// paper's comparison points, where state lives only on the switch.
+type BaselineConfig struct {
+	// NoStore disables the state store entirely: switches run the
+	// application without fault tolerance.
+	NoStore bool
+
+	// LocalInit seeds per-flow state in NoStore mode; the switch ID
+	// allows per-switch pools (baseline state is switch-local).
+	LocalInit func(switchID int, key FiveTuple) []uint64
+
+	// LocalInitExtraDelay models an external controller on baseline
+	// flow setup.
+	LocalInitExtraDelay time.Duration
+}
+
+// AblationConfig degrades the protocol for ablation experiments only;
+// production deployments leave it zero.
+type AblationConfig struct {
+	// StoreIgnoreSeq disables the store's sequence serialization — the
+	// Fig. 6a ablation.
+	StoreIgnoreSeq bool
+
+	// DisableRetransmit turns off the mirroring-based retransmission of
+	// replication requests (§5.2).
+	DisableRetransmit bool
+
+	// EmulatedRequestLoss drops outgoing protocol requests at the
+	// switch with this probability (the §7.4 methodology).
+	EmulatedRequestLoss float64
+}
+
+// DefaultTraceEvents is the event-ring capacity ObsConfig.TraceEvents
+// selects when callers just want tracing on.
+const DefaultTraceEvents = 65536
+
+// ObsConfig tunes the deployment's observability: counters are always
+// on (they are single atomic adds); event tracing and gauge sampling
+// are opt-in because they cost memory proportional to run length.
+type ObsConfig struct {
+	// TraceEvents, when positive, enables the protocol event tracer
+	// with a bounded ring of that many events (DefaultTraceEvents is a
+	// reasonable choice). Zero disables tracing.
+	TraceEvents int
+
+	// SamplePeriod, when positive, samples every registered gauge into
+	// a time series at this virtual-time period.
+	SamplePeriod time.Duration
+}
 
 // DeploymentConfig describes a RedPlane deployment on the simulated
 // testbed: how many programmable switches fill the aggregation layer,
@@ -57,21 +109,14 @@ type DeploymentConfig struct {
 	// linearizability checker.
 	RecordHistory bool
 
-	// NoStore disables the state store entirely: switches run the
-	// application without fault tolerance (the paper's baselines).
-	NoStore bool
+	// Baseline selects non-fault-tolerant baseline operation.
+	Baseline BaselineConfig
 
-	// LocalInit seeds per-flow state in NoStore mode; the switch ID
-	// allows per-switch pools (baseline state is switch-local).
-	LocalInit func(switchID int, key FiveTuple) []uint64
+	// Ablation degrades the protocol for ablation experiments.
+	Ablation AblationConfig
 
-	// LocalInitExtraDelay models an external controller on baseline
-	// flow setup.
-	LocalInitExtraDelay time.Duration
-
-	// StoreIgnoreSeq disables the store's sequence serialization — the
-	// Fig. 6a ablation. Experiments only.
-	StoreIgnoreSeq bool
+	// Obs tunes tracing and time-series sampling.
+	Obs ObsConfig
 }
 
 // Deployment is a running RedPlane testbed: simulator, topology,
@@ -85,12 +130,38 @@ type Deployment struct {
 
 	switches []*core.Switch
 	swIPs    []packet.Addr
+	reg      *obs.Registry
+}
+
+// deploymentObserver is the package-level hook installed by
+// SetDeploymentObserver.
+var deploymentObserver struct {
+	obs ObsConfig
+	fn  func(*Deployment)
+}
+
+// SetDeploymentObserver installs a process-wide observability hook for
+// tooling (the bench CLI's -trace/-stats flags): every subsequently
+// built Deployment has forced merged into its Obs config (keeping the
+// stronger of the two settings) and is handed to fn after construction.
+// Pass a zero ObsConfig and nil fn to uninstall. Not safe against
+// concurrent NewDeployment calls.
+func SetDeploymentObserver(forced ObsConfig, fn func(*Deployment)) {
+	deploymentObserver.obs = forced
+	deploymentObserver.fn = fn
 }
 
 // NewDeployment builds and wires the testbed.
 func NewDeployment(cfg DeploymentConfig) *Deployment {
 	if cfg.NewApp == nil {
 		panic("redplane: DeploymentConfig.NewApp is required")
+	}
+	if o := deploymentObserver.obs; o.TraceEvents > cfg.Obs.TraceEvents {
+		cfg.Obs.TraceEvents = o.TraceEvents
+	}
+	if o := deploymentObserver.obs; o.SamplePeriod > 0 &&
+		(cfg.Obs.SamplePeriod == 0 || o.SamplePeriod < cfg.Obs.SamplePeriod) {
+		cfg.Obs.SamplePeriod = o.SamplePeriod
 	}
 	if cfg.Switches == 0 {
 		cfg.Switches = 2
@@ -112,22 +183,41 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 	}
 
 	sim := netsim.New(cfg.Seed)
-	d := &Deployment{Sim: sim}
+	d := &Deployment{Sim: sim, reg: obs.NewRegistry()}
+	if cfg.Obs.TraceEvents > 0 {
+		d.reg.SetTracer(obs.NewTracer(cfg.Obs.TraceEvents))
+	}
+	// The registry must be installed before topology construction: links
+	// and servers cache their counters when they are built.
+	sim.SetObserver(d.reg)
+	if cfg.Obs.SamplePeriod > 0 {
+		period := netsim.Duration(cfg.Obs.SamplePeriod)
+		sim.Every(period, period, func() bool {
+			d.reg.SampleAll(int64(sim.Now()))
+			return true
+		})
+	}
 	if cfg.RecordHistory {
 		d.Hist = &History{}
 		cfg.Protocol.History = d.Hist
 	}
-	cfg.Protocol.LocalInit = cfg.LocalInit
-	cfg.Protocol.LocalInitExtraDelay = cfg.LocalInitExtraDelay
+	cfg.Protocol.LocalInit = cfg.Baseline.LocalInit
+	cfg.Protocol.LocalInitExtraDelay = cfg.Baseline.LocalInitExtraDelay
+	if cfg.Ablation.DisableRetransmit {
+		cfg.Protocol.DisableRetransmit = true
+	}
+	if cfg.Ablation.EmulatedRequestLoss > 0 {
+		cfg.Protocol.EmulatedRequestLoss = cfg.Ablation.EmulatedRequestLoss
+	}
 
 	var locator core.StoreLocator
-	if !cfg.NoStore {
+	if !cfg.Baseline.NoStore {
 		d.Cluster = store.NewCluster(sim, cfg.StoreShards, cfg.StoreReplicas,
 			store.Config{
 				LeasePeriod:   cfg.Protocol.LeasePeriod,
 				InitState:     cfg.InitState,
 				SnapshotSlots: cfg.SnapshotSlots,
-				IgnoreSeq:     cfg.StoreIgnoreSeq,
+				IgnoreSeq:     cfg.Ablation.StoreIgnoreSeq,
 			},
 			cfg.StoreService,
 			func(shard, replica int) packet.Addr {
@@ -140,7 +230,7 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 	for i := 0; i < cfg.Switches; i++ {
 		ip := packet.MakeAddr(10, 254, 0, byte(i+1))
 		d.swIPs = append(d.swIPs, ip)
-		sw := core.NewSwitch(sim, i, "redplane-sw"+string(rune('0'+i)), ip,
+		sw := core.NewSwitch(sim, i, fmt.Sprintf("redplane-sw%d", i), ip,
 			cfg.NewApp(i), cfg.Mode, locator, cfg.Protocol)
 		d.switches = append(d.switches, sw)
 		aggs = append(aggs, sw)
@@ -165,6 +255,9 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 			srv.SetPort(d.Testbed.AddRackNodeLink(rack, srv, srv.IP, storeLink))
 			srv.SwitchAddr = d.SwitchIP
 		}
+	}
+	if deploymentObserver.fn != nil {
+		deploymentObserver.fn(d)
 	}
 	return d
 }
@@ -203,10 +296,16 @@ func (d *Deployment) RegisterServiceIP(ip Addr) { d.Testbed.RegisterServiceIP(ip
 func (d *Deployment) RunFor(dur time.Duration) { d.Sim.RunUntil(netsim.Duration(dur)) }
 
 // Run drains all pending events. With a state store attached, periodic
-// protocol timers (lease renewal) reschedule themselves indefinitely, so
-// prefer RunFor with an explicit horizon; Run only terminates for
-// NoStore deployments.
+// protocol timers (lease renewal) reschedule themselves indefinitely —
+// as does gauge sampling when Obs.SamplePeriod is set — so prefer
+// RunFor with an explicit horizon; Run only terminates for NoStore
+// deployments without sampling.
 func (d *Deployment) Run() { d.Sim.Run() }
+
+// Observe returns the deployment's observability registry: every
+// counter, gauge, sampled series, and the event tracer (nil unless
+// Obs.TraceEvents enabled it).
+func (d *Deployment) Observe() *obs.Registry { return d.reg }
 
 // Now returns the current virtual time.
 func (d *Deployment) Now() Time { return d.Sim.Now() }

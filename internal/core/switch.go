@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"redplane/internal/netsim"
+	"redplane/internal/obs"
 	"redplane/internal/packet"
 	"redplane/internal/pipeline"
 	"redplane/internal/topo"
@@ -81,8 +82,24 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats counts switch-side protocol and traffic events.
-type Stats struct {
+// SwitchStats is a point-in-time snapshot of one switch's protocol and
+// traffic state: the single public view that replaces the former
+// scattered getters (BufBytes, Flows, MaxBufBytes field). Counters are
+// cumulative since boot; Flows/Leases/PendingRequests/BufBytes are
+// instantaneous; MaxBufBytes is the buffer gauge's high-water mark.
+type SwitchStats struct {
+	// Flows is the number of flows with protocol state on the switch.
+	Flows int
+	// Leases is how many of those hold a live (unexpired) lease.
+	Leases int
+	// PendingRequests counts unacknowledged replication requests held
+	// for retransmission.
+	PendingRequests int
+	// BufBytes is the current mirror-buffer occupancy in truncated
+	// request bytes; MaxBufBytes is its high-water mark (Fig. 15).
+	BufBytes    int
+	MaxBufBytes int
+
 	PacketsIn, PacketsOut uint64
 	DataBytesIn           uint64
 	DataBytesOut          uint64
@@ -92,12 +109,57 @@ type Stats struct {
 	ProtoRxFrames         uint64
 	LeaseAcquired         uint64
 	LeaseRejected         uint64
+	ReplSends             uint64
 	Retransmits           uint64
 	BufferedReads         uint64
 	SnapshotPackets       uint64
 	DroppedDead           uint64
 	EmulatedDrops         uint64
 	MirrorOverflow        uint64
+}
+
+// swMetrics caches the switch's registry handles so the data path pays a
+// single atomic op per count — no map lookups, no allocation.
+type swMetrics struct {
+	packetsIn, packetsOut        *obs.Counter
+	dataBytesIn, dataBytesOut    *obs.Counter
+	protoTxBytes, protoRxBytes   *obs.Counter
+	protoTxFrames, protoRxFrames *obs.Counter
+	leaseAcquired, leaseRejected *obs.Counter
+	replSends, retransmits       *obs.Counter
+	bufferedReads, snapPackets   *obs.Counter
+	droppedDead, emulatedDrops   *obs.Counter
+	mirrorOverflow               *obs.Counter
+
+	// bufBytes mirrors the ASIC packet-buffer occupancy; flows and
+	// inflight track per-flow state and unacked requests. All three are
+	// sampled into time series when the deployment enables sampling.
+	bufBytes, flows, inflight *obs.Gauge
+}
+
+func newSwMetrics(ns *obs.Scope) swMetrics {
+	return swMetrics{
+		packetsIn:      ns.Counter("packets_in"),
+		packetsOut:     ns.Counter("packets_out"),
+		dataBytesIn:    ns.Counter("data_bytes_in"),
+		dataBytesOut:   ns.Counter("data_bytes_out"),
+		protoTxBytes:   ns.Counter("proto_tx_bytes"),
+		protoRxBytes:   ns.Counter("proto_rx_bytes"),
+		protoTxFrames:  ns.Counter("proto_tx_frames"),
+		protoRxFrames:  ns.Counter("proto_rx_frames"),
+		leaseAcquired:  ns.Counter("lease_acquired"),
+		leaseRejected:  ns.Counter("lease_rejected"),
+		replSends:      ns.Counter("repl_sends"),
+		retransmits:    ns.Counter("retransmits"),
+		bufferedReads:  ns.Counter("buffered_reads"),
+		snapPackets:    ns.Counter("snapshot_packets"),
+		droppedDead:    ns.Counter("dropped_dead"),
+		emulatedDrops:  ns.Counter("emulated_drops"),
+		mirrorOverflow: ns.Counter("mirror_overflow"),
+		bufBytes:       ns.Gauge("buf_bytes"),
+		flows:          ns.Gauge("flows"),
+		inflight:       ns.Gauge("inflight_requests"),
+	}
 }
 
 // pendingReq is an unacknowledged replication request held (truncated) in
@@ -164,13 +226,12 @@ type Switch struct {
 
 	snapEpoch uint32
 
-	// Buffer occupancy of the mirroring-based retransmission mechanism,
-	// in bytes of truncated requests (Fig. 15).
-	bufBytes    int
-	MaxBufBytes int
-
-	// Stats accumulates counters.
-	Stats Stats
+	// met holds the cached observability handles (scope
+	// "switch/<name>"); tr is the shared event tracer, nil-safe when
+	// tracing is off. The mirror-buffer occupancy of Fig. 15 lives in
+	// met.bufBytes with its high-water mark.
+	met swMetrics
+	tr  *obs.Tracer
 }
 
 // NewSwitch creates a RedPlane switch. The store locator may be nil for
@@ -186,6 +247,14 @@ func NewSwitch(sim *netsim.Sim, id int, name string, ip packet.Addr,
 		flows: make(map[packet.FiveTuple]*flowCtl),
 		held:  make(map[packet.FiveTuple][]heldRead),
 	}
+	reg := sim.Observer()
+	if reg == nil {
+		// Standalone construction (unit tests): a private registry keeps
+		// Stats() meaningful without a deployment.
+		reg = obs.NewRegistry()
+	}
+	s.met = newSwMetrics(reg.NS("switch/" + name))
+	s.tr = reg.Tracer()
 	s.cp = pipeline.NewControlPlane(sim, cfg.CPOpLatency)
 	if store != nil {
 		s.startRenewLoop()
@@ -215,21 +284,82 @@ func (s *Switch) Router() *topo.Router { return s.router }
 func (s *Switch) Alive() bool { return s.alive }
 
 // Fail crashes the switch (fail-stop): all data-plane and protocol state
-// is lost; frames are dropped until Recover.
+// is lost; frames are dropped until Recover. The buffer gauge resets to
+// zero but keeps its high-water mark: the pre-crash peak is still the
+// run's peak.
 func (s *Switch) Fail() {
 	s.alive = false
 	s.flows = make(map[packet.FiveTuple]*flowCtl)
 	s.held = make(map[packet.FiveTuple][]heldRead)
-	s.bufBytes = 0
+	s.met.bufBytes.Set(0)
+	s.met.flows.Set(0)
+	s.met.inflight.Set(0)
+	s.trace(obs.EvFailure, packet.FiveTuple{}, 0, 0)
 }
 
 // Recover boots the switch with empty state, as after a reload.
-func (s *Switch) Recover() { s.alive = true }
+func (s *Switch) Recover() {
+	s.alive = true
+	s.trace(obs.EvRecovery, packet.FiveTuple{}, 0, 0)
+}
+
+// Stats returns a point-in-time snapshot of the switch's counters and
+// state. This is the single inspection surface; the scattered getters it
+// replaced remain as deprecated wrappers.
+func (s *Switch) Stats() SwitchStats {
+	st := SwitchStats{
+		Flows:           len(s.flows),
+		BufBytes:        int(s.met.bufBytes.Value()),
+		MaxBufBytes:     int(s.met.bufBytes.High()),
+		PacketsIn:       s.met.packetsIn.Value(),
+		PacketsOut:      s.met.packetsOut.Value(),
+		DataBytesIn:     s.met.dataBytesIn.Value(),
+		DataBytesOut:    s.met.dataBytesOut.Value(),
+		ProtoTxBytes:    s.met.protoTxBytes.Value(),
+		ProtoRxBytes:    s.met.protoRxBytes.Value(),
+		ProtoTxFrames:   s.met.protoTxFrames.Value(),
+		ProtoRxFrames:   s.met.protoRxFrames.Value(),
+		LeaseAcquired:   s.met.leaseAcquired.Value(),
+		LeaseRejected:   s.met.leaseRejected.Value(),
+		ReplSends:       s.met.replSends.Value(),
+		Retransmits:     s.met.retransmits.Value(),
+		BufferedReads:   s.met.bufferedReads.Value(),
+		SnapshotPackets: s.met.snapPackets.Value(),
+		DroppedDead:     s.met.droppedDead.Value(),
+		EmulatedDrops:   s.met.emulatedDrops.Value(),
+		MirrorOverflow:  s.met.mirrorOverflow.Value(),
+	}
+	now := s.sim.Now()
+	for _, fc := range s.flows {
+		if fc.haveLease && now < fc.leaseExpiry {
+			st.Leases++
+		}
+		st.PendingRequests += len(fc.pending)
+	}
+	return st
+}
+
+// trace emits a protocol event when tracing is active. The flow key is
+// only formatted (one allocation) on the active path.
+func (s *Switch) trace(t obs.EventType, key packet.FiveTuple, seq uint64, v int64) {
+	if !s.tr.Active() {
+		return
+	}
+	var flow string
+	if key != (packet.FiveTuple{}) {
+		flow = key.String()
+	}
+	s.tr.Emit(obs.Event{T: int64(s.sim.Now()), Type: t, Comp: s.name, Flow: flow, Seq: seq, V: v})
+}
 
 // BufBytes returns the current retransmission buffer occupancy.
-func (s *Switch) BufBytes() int { return s.bufBytes }
+//
+// Deprecated: use Stats().BufBytes.
+func (s *Switch) BufBytes() int { return int(s.met.bufBytes.Value()) }
 
 // Flows returns the number of flows with protocol state on the switch.
+//
+// Deprecated: use Stats().Flows.
 func (s *Switch) Flows() int { return len(s.flows) }
 
 // HasLease reports whether the switch currently holds a live lease on the
@@ -253,6 +383,7 @@ func (s *Switch) flow(key packet.FiveTuple) *flowCtl {
 	if !ok {
 		fc = &flowCtl{pending: make(map[uint64]*pendingReq)}
 		s.flows[key] = fc
+		s.met.flows.Set(int64(len(s.flows)))
 	}
 	return fc
 }
@@ -261,13 +392,13 @@ func (s *Switch) flow(key packet.FiveTuple) *flowCtl {
 // are consumed; everything else is application traffic or transit.
 func (s *Switch) Receive(f *netsim.Frame, in *netsim.Port) {
 	if !s.alive {
-		s.Stats.DroppedDead++
+		s.met.droppedDead.Inc()
 		return
 	}
 	if m, ok := f.Msg.(*wire.Message); ok {
 		if f.Dst == s.IP {
-			s.Stats.ProtoRxBytes += uint64(f.Size)
-			s.Stats.ProtoRxFrames++
+			s.met.protoRxBytes.Add(uint64(f.Size))
+			s.met.protoRxFrames.Inc()
 			s.handleAck(m)
 			return
 		}
@@ -289,8 +420,8 @@ func (s *Switch) handlePacket(f *netsim.Frame, in *netsim.Port) {
 		s.router.Forward(f, in)
 		return
 	}
-	s.Stats.PacketsIn++
-	s.Stats.DataBytesIn += uint64(p.WireLen())
+	s.met.packetsIn.Inc()
+	s.met.dataBytesIn.Add(uint64(p.WireLen()))
 	s.cfg.History.RecordInput(s.sim.Now(), s.id, key, p.Seq)
 
 	if s.store == nil {
@@ -312,6 +443,7 @@ func (s *Switch) handlePacket(f *netsim.Frame, in *netsim.Port) {
 	fc := s.flow(key)
 	fc.lastUsed = s.sim.Now()
 	if fc.haveLease && s.sim.Now() >= fc.leaseExpiry {
+		s.trace(obs.EvLeaseExpire, key, fc.seq, 0)
 		s.dropLease(key, fc)
 		fc = s.flow(key)
 		fc.lastUsed = s.sim.Now()
@@ -409,7 +541,8 @@ func (s *Switch) processWithLease(key packet.FiveTuple, fc *flowCtl, p *packet.P
 		// In-flight writes: outputs must not overtake them; buffer the
 		// outputs through the network (§5.1, special request type).
 		for _, o := range out {
-			s.Stats.BufferedReads++
+			s.met.bufferedReads.Inc()
+			s.trace(obs.EvBufferedRead, key, fc.seq, 0)
 			s.sendToStore(key, &wire.Message{
 				Type: wire.MsgBufferedRead, Seq: fc.seq, Key: key, Piggyback: o,
 			}, false)
@@ -439,8 +572,8 @@ func stampObserved(out []*packet.Packet, newState, cur []uint64) {
 func (s *Switch) release(key packet.FiveTuple, out []*packet.Packet) {
 	for _, o := range out {
 		s.cfg.History.RecordOutput(s.sim.Now(), s.id, key, o.Seq, o.Observed)
-		s.Stats.PacketsOut++
-		s.Stats.DataBytesOut += uint64(o.WireLen())
+		s.met.packetsOut.Inc()
+		s.met.dataBytesOut.Add(uint64(o.WireLen()))
 		s.router.Forward(netsim.DataFrame(o), nil)
 	}
 }
@@ -459,11 +592,19 @@ func (s *Switch) sendToStore(key packet.FiveTuple, m *wire.Message, track bool) 
 			SrcPort: wire.SwitchPort, DstPort: wire.StorePort, Proto: packet.ProtoUDP},
 		Size: m.WireLen(), Msg: m,
 	}
+	if m.Type == wire.MsgRepl {
+		// A replication send is counted (and traced) when it is
+		// initiated, whether or not the frame survives emulated loss:
+		// the drop is traced separately.
+		s.met.replSends.Inc()
+		s.trace(obs.EvReplSend, key, m.Seq, int64(f.Size))
+	}
 	if s.cfg.EmulatedRequestLoss > 0 && s.sim.Rand().Float64() < s.cfg.EmulatedRequestLoss {
-		s.Stats.EmulatedDrops++
+		s.met.emulatedDrops.Inc()
+		s.trace(obs.EvReplDrop, key, m.Seq, int64(f.Size))
 	} else {
-		s.Stats.ProtoTxBytes += uint64(f.Size)
-		s.Stats.ProtoTxFrames++
+		s.met.protoTxBytes.Add(uint64(f.Size))
+		s.met.protoTxFrames.Inc()
 		s.router.Forward(f, nil)
 	}
 	if track && !s.cfg.DisableRetransmit {
@@ -475,20 +616,19 @@ func (s *Switch) sendToStore(key packet.FiveTuple, m *wire.Message, track bool) 
 // buffer and arms its retransmission timer (§5.2).
 func (s *Switch) trackPending(key packet.FiveTuple, m *wire.Message) {
 	fc := s.flow(key)
-	if s.cfg.MirrorBufferLimit > 0 && s.bufBytes+m.TruncatedLen() > s.cfg.MirrorBufferLimit {
+	if s.cfg.MirrorBufferLimit > 0 && int(s.met.bufBytes.Value())+m.TruncatedLen() > s.cfg.MirrorBufferLimit {
 		// Mirror buffer full: the request goes out unbuffered and will
 		// not be retransmitted if lost.
-		s.Stats.MirrorOverflow++
+		s.met.mirrorOverflow.Inc()
+		s.trace(obs.EvMirrorOverflow, key, m.Seq, int64(m.TruncatedLen()))
 		return
 	}
 	trunc := m.Clone()
 	trunc.Piggyback = nil // buffering truncates the piggybacked payload
 	pr := &pendingReq{msg: trunc, sentAt: s.sim.Now(), bytes: trunc.TruncatedLen()}
 	fc.pending[m.Seq] = pr
-	s.bufBytes += pr.bytes
-	if s.bufBytes > s.MaxBufBytes {
-		s.MaxBufBytes = s.bufBytes
-	}
+	s.met.bufBytes.Add(int64(pr.bytes))
+	s.met.inflight.Add(1)
 	s.armRetransmit(key, fc, m.Seq)
 }
 
@@ -517,7 +657,8 @@ func (s *Switch) armRetransmit(key packet.FiveTuple, fc *flowCtl, seq uint64) {
 		if !ok {
 			return // acknowledged
 		}
-		s.Stats.Retransmits++
+		s.met.retransmits.Inc()
+		s.trace(obs.EvReplRetransmit, key, seq, int64(pr.attempts))
 		pr.attempts++
 		pr.sentAt = s.sim.Now()
 		resend := pr.msg.Clone()
@@ -529,10 +670,11 @@ func (s *Switch) armRetransmit(key packet.FiveTuple, fc *flowCtl, seq uint64) {
 			Size: resend.WireLen(), Msg: resend,
 		}
 		if s.cfg.EmulatedRequestLoss > 0 && s.sim.Rand().Float64() < s.cfg.EmulatedRequestLoss {
-			s.Stats.EmulatedDrops++
+			s.met.emulatedDrops.Inc()
+			s.trace(obs.EvReplDrop, key, seq, int64(f.Size))
 		} else {
-			s.Stats.ProtoTxBytes += uint64(f.Size)
-			s.Stats.ProtoTxFrames++
+			s.met.protoTxBytes.Add(uint64(f.Size))
+			s.met.protoTxFrames.Inc()
 			s.router.Forward(f, nil)
 		}
 		s.armRetransmit(key, fc, seq)
@@ -546,6 +688,7 @@ func (s *Switch) handleAck(m *wire.Message) {
 	case wire.MsgLeaseRenewAck:
 		if fc, ok := s.flows[m.Key]; ok && fc.haveLease {
 			fc.leaseExpiry = s.sim.Now() + netsim.Duration(time.Duration(m.LeaseMillis)*time.Millisecond)
+			s.trace(obs.EvLeaseRenew, m.Key, 0, int64(m.LeaseMillis))
 		}
 	case wire.MsgReplAck, wire.MsgSnapshotAck:
 		s.handleReplAck(m)
@@ -560,7 +703,8 @@ func (s *Switch) handleAck(m *wire.Message) {
 			s.held[m.Key] = append(s.held[m.Key], heldRead{awaitSeq: m.Seq, pkt: m.Piggyback})
 		}
 	case wire.MsgLeaseReject:
-		s.Stats.LeaseRejected++
+		s.met.leaseRejected.Inc()
+		s.trace(obs.EvLeaseReject, m.Key, m.Seq, 0)
 		if fc, ok := s.flows[m.Key]; ok {
 			s.dropLease(m.Key, fc)
 		}
@@ -602,7 +746,8 @@ func (s *Switch) handleLeaseNewAck(m *wire.Message) {
 		fc.state = append([]uint64(nil), m.Vals...)
 		fc.seq = m.Seq
 		fc.lastAcked = m.Seq
-		s.Stats.LeaseAcquired++
+		s.met.leaseAcquired.Inc()
+		s.trace(obs.EvLeaseGrant, m.Key, m.Seq, int64(m.LeaseMillis))
 		q := fc.initQ
 		fc.initQ = nil
 		if m.Piggyback != nil {
@@ -629,10 +774,12 @@ func (s *Switch) handleReplAck(m *wire.Message) {
 	if m.Seq > fc.lastAcked {
 		fc.lastAcked = m.Seq
 	}
+	s.trace(obs.EvReplAck, m.Key, m.Seq, 0)
 	// Acks cover cumulatively: drop every buffered request at or below.
 	for seq, pr := range fc.pending {
 		if seq <= m.Seq {
-			s.bufBytes -= pr.bytes
+			s.met.bufBytes.Add(-int64(pr.bytes))
+			s.met.inflight.Add(-1)
 			delete(fc.pending, seq)
 		}
 	}
@@ -669,10 +816,12 @@ func (s *Switch) releaseHeld(key packet.FiveTuple, fc *flowCtl) {
 // indistinguishable from network drops).
 func (s *Switch) dropLease(key packet.FiveTuple, fc *flowCtl) {
 	for _, pr := range fc.pending {
-		s.bufBytes -= pr.bytes
+		s.met.bufBytes.Add(-int64(pr.bytes))
 	}
+	s.met.inflight.Add(-int64(len(fc.pending)))
 	delete(s.flows, key)
 	delete(s.held, key)
+	s.met.flows.Set(int64(len(s.flows)))
 }
 
 // startRenewLoop periodically renews live leases (§5.3: the prototype
@@ -760,7 +909,8 @@ func (s *Switch) startSnapshotLoop(app SnapshotApp) {
 			}
 			fc := s.flow(j.part.Key)
 			fc.seq++
-			s.Stats.SnapshotPackets++
+			s.met.snapPackets.Inc()
+			s.trace(obs.EvSnapshotFlush, j.part.Key, fc.seq, int64(len(vals)))
 			s.sendToStore(j.part.Key, &wire.Message{
 				Type: wire.MsgSnapshot, Seq: fc.seq, Key: j.part.Key,
 				Slot: uint32(j.base), Epoch: j.epoch, Vals: vals,

@@ -209,11 +209,11 @@ func TestReadPathNoProtocolTraffic(t *testing.T) {
 	// Protocol frames: lease acquisition for the first packets in flight
 	// plus periodic renewals; far fewer than packets (the read-centric
 	// fast path of §7.1/7.2).
-	if sw.Stats.ProtoTxFrames > 30 {
-		t.Errorf("proto frames = %d for read-centric app", sw.Stats.ProtoTxFrames)
+	if sw.Stats().ProtoTxFrames > 30 {
+		t.Errorf("proto frames = %d for read-centric app", sw.Stats().ProtoTxFrames)
 	}
-	if sw.Stats.LeaseAcquired != 1 {
-		t.Errorf("leases = %d", sw.Stats.LeaseAcquired)
+	if sw.Stats().LeaseAcquired != 1 {
+		t.Errorf("leases = %d", sw.Stats().LeaseAcquired)
 	}
 }
 
@@ -223,7 +223,7 @@ func TestRetransmissionUnderLoss(t *testing.T) {
 	e.sim.RunUntil(netsim.Duration(900 * time.Millisecond))
 
 	sw := e.owningSwitch(1000)
-	if sw.Stats.Retransmits == 0 {
+	if sw.Stats().Retransmits == 0 {
 		t.Error("no retransmissions under 5% loss")
 	}
 	// Loss applies to every fabric link, so some input packets never
@@ -232,7 +232,7 @@ func TestRetransmissionUnderLoss(t *testing.T) {
 	key := flowKey(e, 1000)
 	sh := e.cluster.ShardFor(key)
 	_, seq, ok := e.cluster.Head(sh).Shard().State(key)
-	applied := sw.Stats.PacketsIn
+	applied := sw.Stats().PacketsIn
 	if !ok || seq != applied {
 		t.Errorf("store seq = %d ok=%v, want %d (all applied updates durable)", seq, ok, applied)
 	}
@@ -363,7 +363,7 @@ func TestBufferedReadsHoldBehindWrites(t *testing.T) {
 	e.sim.RunUntil(netsim.Duration(500 * time.Millisecond))
 
 	sw := e.owningSwitch(1000)
-	if sw.Stats.BufferedReads == 0 {
+	if sw.Stats().BufferedReads == 0 {
 		t.Error("no buffered reads despite reads racing writes")
 	}
 	// All 20 packets must still be delivered (held reads release on ack).
@@ -399,8 +399,8 @@ func TestLeaseRenewalKeepsActiveFlowAlive(t *testing.T) {
 	e.sendFlow(1000, 10, 250*time.Millisecond)
 	e.sim.RunUntil(netsim.Duration(3 * time.Second))
 	sw := e.owningSwitch(1000)
-	if sw.Stats.LeaseAcquired != 1 {
-		t.Errorf("leases acquired = %d, want 1 (renewals should cover)", sw.Stats.LeaseAcquired)
+	if sw.Stats().LeaseAcquired != 1 {
+		t.Errorf("leases acquired = %d, want 1 (renewals should cover)", sw.Stats().LeaseAcquired)
 	}
 	if len(e.received) != 10 {
 		t.Errorf("delivered %d/10", len(e.received))
@@ -425,11 +425,11 @@ func TestBufferOccupancyTracksPending(t *testing.T) {
 	e.sendFlow(1000, 20, 200*time.Nanosecond)
 	e.sim.RunUntil(netsim.Duration(500 * time.Millisecond))
 	sw := e.owningSwitch(1000)
-	if sw.MaxBufBytes == 0 {
+	if sw.Stats().MaxBufBytes == 0 {
 		t.Error("no buffer occupancy recorded for write-per-packet app")
 	}
-	if sw.BufBytes() != 0 {
-		t.Errorf("buffer not drained: %d bytes", sw.BufBytes())
+	if got := sw.Stats().BufBytes; got != 0 {
+		t.Errorf("buffer not drained: %d bytes", got)
 	}
 }
 
@@ -439,13 +439,13 @@ func TestSwitchFailDropsEverything(t *testing.T) {
 	e.sim.RunUntil(netsim.Duration(50 * time.Millisecond))
 	sw := e.owningSwitch(1000)
 	sw.Fail()
-	if sw.Alive() || sw.Flows() != 0 || sw.BufBytes() != 0 {
+	if st := sw.Stats(); sw.Alive() || st.Flows != 0 || st.BufBytes != 0 {
 		t.Error("failed switch retained state")
 	}
-	before := sw.Stats.DroppedDead
+	before := sw.Stats().DroppedDead
 	e.sendFlow(1000, 3, time.Microsecond)
 	e.sim.RunUntil(netsim.Duration(100 * time.Millisecond))
-	if sw.Stats.DroppedDead == before {
+	if sw.Stats().DroppedDead == before {
 		t.Error("dead switch processed frames")
 	}
 	sw.Recover()
@@ -492,7 +492,7 @@ func TestSnapshotModeReplicatesImages(t *testing.T) {
 	if total == 0 || total > 100 {
 		t.Errorf("image total = %d, want in (0,100]", total)
 	}
-	if sw.Stats.SnapshotPackets == 0 {
+	if sw.Stats().SnapshotPackets == 0 {
 		t.Error("no snapshot packets sent")
 	}
 }
@@ -656,18 +656,18 @@ func TestEmulatedRequestLossDropsAtSwitch(t *testing.T) {
 	e.sendFlow(1000, 20, 3*time.Millisecond)
 	e.sim.RunUntil(netsim.Duration(800 * time.Millisecond))
 	sw := e.owningSwitch(1000)
-	if sw.Stats.EmulatedDrops == 0 {
+	if sw.Stats().EmulatedDrops == 0 {
 		t.Error("no emulated drops at 50% request loss")
 	}
-	if sw.Stats.Retransmits == 0 {
+	if sw.Stats().Retransmits == 0 {
 		t.Error("no retransmissions despite emulated loss")
 	}
 	// The store still converges on every update the switch applied.
 	key := flowKey(e, 1000)
 	sh := e.cluster.ShardFor(key)
 	_, seq, ok := e.cluster.Head(sh).Shard().State(key)
-	if !ok || seq != sw.Stats.PacketsIn {
-		t.Errorf("store seq %d vs applied %d", seq, sw.Stats.PacketsIn)
+	if !ok || seq != sw.Stats().PacketsIn {
+		t.Errorf("store seq %d vs applied %d", seq, sw.Stats().PacketsIn)
 	}
 }
 
@@ -678,10 +678,10 @@ func TestMirrorBufferLimitBoundsOccupancy(t *testing.T) {
 	e.sendFlow(1000, 100, 200*time.Nanosecond) // burst far beyond the buffer
 	e.sim.RunUntil(netsim.Duration(500 * time.Millisecond))
 	sw := e.owningSwitch(1000)
-	if sw.MaxBufBytes > 512 {
-		t.Errorf("buffer exceeded its limit: %d", sw.MaxBufBytes)
+	if sw.Stats().MaxBufBytes > 512 {
+		t.Errorf("buffer exceeded its limit: %d", sw.Stats().MaxBufBytes)
 	}
-	if sw.Stats.MirrorOverflow == 0 {
+	if sw.Stats().MirrorOverflow == 0 {
 		t.Error("no overflow recorded for a burst beyond the buffer")
 	}
 }
@@ -732,13 +732,13 @@ func TestSnapshotBatchingReducesMessages(t *testing.T) {
 	e.sim.RunUntil(netsim.Duration(10 * time.Millisecond))
 	for i := 0; i < 2; i++ {
 		sw := e.sw[i]
-		if sw.Stats.SnapshotPackets == 0 {
+		if sw.Stats().SnapshotPackets == 0 {
 			t.Fatalf("switch %d sent no snapshots", i)
 		}
 		// ~10 rounds, 1 batched message each (plus up to one in flight).
-		if sw.Stats.SnapshotPackets > 12 {
+		if sw.Stats().SnapshotPackets > 12 {
 			t.Errorf("switch %d sent %d snapshot messages for 10 rounds of 4 slots",
-				i, sw.Stats.SnapshotPackets)
+				i, sw.Stats().SnapshotPackets)
 		}
 	}
 }

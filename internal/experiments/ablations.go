@@ -32,9 +32,9 @@ func (a AblationResult) String() string {
 func AblationSequencing(seed int64) AblationResult {
 	run := func(ignoreSeq bool) float64 {
 		d := redplane.NewDeployment(redplane.DeploymentConfig{
-			Seed:           seed,
-			NewApp:         func(int) redplane.App { return apps.SyncCounter{} },
-			StoreIgnoreSeq: ignoreSeq,
+			Seed:     seed,
+			NewApp:   func(int) redplane.App { return apps.SyncCounter{} },
+			Ablation: redplane.AblationConfig{StoreIgnoreSeq: ignoreSeq},
 			// Heavy jitter on the fabric reorders protocol messages.
 			Fabric: netsim.LinkConfig{Delay: 800 * time.Nanosecond,
 				Bandwidth: 100e9, Jitter: 20 * time.Microsecond},
@@ -72,13 +72,13 @@ func AblationSequencing(seed int64) AblationResult {
 // switch.
 func AblationRetransmission(seed int64) AblationResult {
 	run := func(disable bool) float64 {
-		proto := redplane.DefaultProtocolConfig()
-		proto.DisableRetransmit = disable
-		proto.EmulatedRequestLoss = 0.05
 		d := redplane.NewDeployment(redplane.DeploymentConfig{
-			Seed:     seed,
-			NewApp:   func(int) redplane.App { return apps.SyncCounter{} },
-			Protocol: proto,
+			Seed:   seed,
+			NewApp: func(int) redplane.App { return apps.SyncCounter{} },
+			Ablation: redplane.AblationConfig{
+				DisableRetransmit:   disable,
+				EmulatedRequestLoss: 0.05,
+			},
 		})
 		client := d.AddServer(0, "client", intClientIP)
 		d.AddClient(0, "sink", extServerIP)
@@ -224,11 +224,11 @@ func AblationMirrorBuffer(seed int64) AblationResult {
 	run := func(limit int) float64 {
 		proto := redplane.DefaultProtocolConfig()
 		proto.MirrorBufferLimit = limit
-		proto.EmulatedRequestLoss = 0.02
 		d := redplane.NewDeployment(redplane.DeploymentConfig{
 			Seed:     seed,
 			NewApp:   func(int) redplane.App { return apps.SyncCounter{} },
 			Protocol: proto,
+			Ablation: redplane.AblationConfig{EmulatedRequestLoss: 0.02},
 			Fabric:   fig12Fabric,
 		})
 		client := d.AddServer(0, "client", intClientIP)
@@ -242,7 +242,7 @@ func AblationMirrorBuffer(seed int64) AblationResult {
 		d.RunFor(2 * time.Second)
 		var overflow uint64
 		for i := 0; i < d.Switches(); i++ {
-			overflow += d.Switch(i).Stats.MirrorOverflow
+			overflow += d.Switch(i).Stats().MirrorOverflow
 		}
 		return float64(overflow)
 	}

@@ -64,7 +64,7 @@ func Fig10(seed int64, packets int) Fig10Result {
 		d.RunFor(dur + 200*time.Millisecond)
 		row := BandwidthRow{App: name}
 		for i := 0; i < d.Switches(); i++ {
-			st := d.Switch(i).Stats
+			st := d.Switch(i).Stats()
 			row.OriginalBytes += st.DataBytesIn
 			row.ReqBytes += st.ProtoTxBytes
 			row.RespBytes += st.ProtoRxBytes

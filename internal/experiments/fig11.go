@@ -63,7 +63,7 @@ func Fig11(seed int64) Fig11Result {
 			d.RunFor(window)
 			var bytes uint64
 			for i := 0; i < d.Switches(); i++ {
-				bytes += d.Switch(i).Stats.ProtoTxBytes + d.Switch(i).Stats.ProtoRxBytes
+				bytes += d.Switch(i).Stats().ProtoTxBytes + d.Switch(i).Stats().ProtoRxBytes
 			}
 			mbps := float64(bytes) * 8 / window.Seconds() / 1e6
 			out.Points = append(out.Points, Fig11Point{

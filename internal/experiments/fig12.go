@@ -67,8 +67,8 @@ func Fig12(seed int64, window time.Duration) Fig12Result {
 			if ft {
 				cfg.InitState = natAlloc.Init
 			} else {
-				cfg.NoStore = true
-				cfg.LocalInit = localInit(natAllocLocal)
+				cfg.Baseline.NoStore = true
+				cfg.Baseline.LocalInit = localInit(natAllocLocal)
 			}
 			return cfg
 		}},
@@ -76,7 +76,7 @@ func Fig12(seed int64, window time.Duration) Fig12Result {
 			cfg := redplane.DeploymentConfig{NewApp: func(int) redplane.App {
 				return &apps.Firewall{InternalPrefix: intPrefix, InternalMask: intMask}
 			}}
-			cfg.NoStore = !ft
+			cfg.Baseline.NoStore = !ft
 			return cfg
 		}},
 		{name: "Load balancer", toVIP: true, mk: func(ft bool) redplane.DeploymentConfig {
@@ -86,14 +86,14 @@ func Fig12(seed int64, window time.Duration) Fig12Result {
 			if ft {
 				cfg.InitState = pool.Init
 			} else {
-				cfg.NoStore = true
-				cfg.LocalInit = localInitLB(poolLocal)
+				cfg.Baseline.NoStore = true
+				cfg.Baseline.LocalInit = localInitLB(poolLocal)
 			}
 			return cfg
 		}},
 		{name: "EPC-SGW", useGTP: true, mk: func(ft bool) redplane.DeploymentConfig {
 			cfg := redplane.DeploymentConfig{NewApp: func(int) redplane.App { return &apps.EPCSGW{} }}
-			cfg.NoStore = !ft
+			cfg.Baseline.NoStore = !ft
 			return cfg
 		}},
 		{name: "HH-detector", mk: func(ft bool) redplane.DeploymentConfig {
@@ -106,13 +106,13 @@ func Fig12(seed int64, window time.Duration) Fig12Result {
 				cfg.Mode = redplane.BoundedInconsistency
 				cfg.SnapshotSlots = 192
 			} else {
-				cfg.NoStore = true
+				cfg.Baseline.NoStore = true
 			}
 			return cfg
 		}},
 		{name: "Sync-Counter", mk: func(ft bool) redplane.DeploymentConfig {
 			cfg := redplane.DeploymentConfig{NewApp: func(int) redplane.App { return apps.SyncCounter{} }}
-			cfg.NoStore = !ft
+			cfg.Baseline.NoStore = !ft
 			return cfg
 		}},
 	}

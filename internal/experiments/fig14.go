@@ -83,8 +83,8 @@ func fig14Run(label string, seed int64, dur, failAt, recoverAt time.Duration, ft
 	if ft {
 		cfg.InitState = alloc.Init
 	} else {
-		cfg.NoStore = true
-		cfg.LocalInit = func(sw int, key redplane.FiveTuple) []uint64 {
+		cfg.Baseline.NoStore = true
+		cfg.Baseline.LocalInit = func(sw int, key redplane.FiveTuple) []uint64 {
 			a, ok := locals[sw]
 			if !ok {
 				a = apps.NewNATAllocatorBase(nat, nextBase)

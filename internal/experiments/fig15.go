@@ -19,14 +19,18 @@ type Fig15Point struct {
 	PaperGbps float64
 	// LossPercent is the emulated protocol request loss.
 	LossPercent float64
-	// MaxBufferKB is the peak retransmission-buffer occupancy observed.
+	// MaxBufferKB is the peak retransmission-buffer occupancy observed
+	// (the buf_bytes gauge's high-water mark).
 	MaxBufferKB float64
+	// MeanBufferKB is the time-averaged occupancy over the run, from the
+	// sampled buf_bytes series.
+	MeanBufferKB float64
 }
 
 // String renders the point.
 func (p Fig15Point) String() string {
-	return fmt.Sprintf("rate=%.2f Gbps (paper: %3.0f Gbps) loss=%.0f%%  buffer=%.2f KB",
-		p.RateGbps, p.PaperGbps, p.LossPercent, p.MaxBufferKB)
+	return fmt.Sprintf("rate=%.2f Gbps (paper: %3.0f Gbps) loss=%.0f%%  buffer=%.2f KB (mean %.2f KB)",
+		p.RateGbps, p.PaperGbps, p.LossPercent, p.MaxBufferKB, p.MeanBufferKB)
 }
 
 // Fig15Result is the Fig. 15 reproduction: switch packet-buffer occupancy
@@ -54,7 +58,6 @@ func Fig15(seed int64, window time.Duration) Fig15Result {
 
 func fig15Run(seed int64, frac, lossPct float64, window time.Duration) Fig15Point {
 	proto := redplane.DefaultProtocolConfig()
-	proto.EmulatedRequestLoss = lossPct / 100
 	proto.RetransTimeout = 5 * time.Millisecond
 	// The occupancy measurement must not clip against the buffer bound
 	// (the paper's ASIC has "a few tens of MB" of packet buffer).
@@ -63,6 +66,8 @@ func fig15Run(seed int64, frac, lossPct float64, window time.Duration) Fig15Poin
 		Seed:         seed,
 		NewApp:       func(int) redplane.App { return apps.SyncCounter{} },
 		Protocol:     proto,
+		Ablation:     redplane.AblationConfig{EmulatedRequestLoss: lossPct / 100},
+		Obs:          redplane.ObsConfig{SamplePeriod: 250 * time.Microsecond},
 		Fabric:       fig12Fabric,
 		StoreService: time.Microsecond,
 	})
@@ -84,17 +89,28 @@ func fig15Run(seed int64, frac, lossPct float64, window time.Duration) Fig15Poin
 	})
 	d.RunFor(window + 10*time.Millisecond)
 
+	// Both occupancy figures come from the observability layer: the peak
+	// from the snapshot's gauge high-water mark, the mean from the
+	// periodically sampled buf_bytes series.
 	maxBuf := 0
+	for _, st := range d.Snapshot().Switches {
+		if st.MaxBufBytes > maxBuf {
+			maxBuf = st.MaxBufBytes
+		}
+	}
+	var meanBuf float64
 	for i := 0; i < d.Switches(); i++ {
-		if b := d.Switch(i).MaxBufBytes; b > maxBuf {
-			maxBuf = b
+		name := fmt.Sprintf("switch/redplane-sw%d/buf_bytes", i)
+		if s := d.Observe().Series(name); s != nil {
+			meanBuf += s.Mean()
 		}
 	}
 	return Fig15Point{
-		RateGbps:    frac * maxData / 1e9,
-		PaperGbps:   frac * 100,
-		LossPercent: lossPct,
-		MaxBufferKB: float64(maxBuf) / 1024,
+		RateGbps:     frac * maxData / 1e9,
+		PaperGbps:    frac * 100,
+		LossPercent:  lossPct,
+		MaxBufferKB:  float64(maxBuf) / 1024,
+		MeanBufferKB: meanBuf / 1024,
 	}
 }
 

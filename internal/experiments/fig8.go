@@ -60,8 +60,9 @@ func Fig8(seed int64, packets int) Fig8Result {
 		alloc := apps.NewNATAllocator(nat)
 		sc := &latencyScenario{
 			cfg: redplane.DeploymentConfig{
-				Seed: seed, NoStore: true, LocalInit: localInit(alloc),
-				NewApp: func(int) redplane.App { return newNAT() },
+				Seed:     seed,
+				Baseline: redplane.BaselineConfig{NoStore: true, LocalInit: localInit(alloc)},
+				NewApp:   func(int) redplane.App { return newNAT() },
 			},
 			items: natTrace(seed, packets, flows), gap: gap, span: span, seed: seed,
 			serviceIPs: []redplane.Addr{natPublicIP},
@@ -77,9 +78,10 @@ func Fig8(seed int64, packets int) Fig8Result {
 		alloc := apps.NewNATAllocator(nat)
 		sc := &latencyScenario{
 			cfg: redplane.DeploymentConfig{
-				Seed: seed, NoStore: true, LocalInit: localInit(alloc),
-				LocalInitExtraDelay: 75 * time.Microsecond,
-				NewApp:              func(int) redplane.App { return newNAT() },
+				Seed: seed,
+				Baseline: redplane.BaselineConfig{NoStore: true, LocalInit: localInit(alloc),
+					LocalInitExtraDelay: 75 * time.Microsecond},
+				NewApp: func(int) redplane.App { return newNAT() },
 			},
 			items: natTrace(seed, packets, flows), gap: gap, span: span, seed: seed,
 			serviceIPs: []redplane.Addr{natPublicIP},

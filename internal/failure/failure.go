@@ -5,9 +5,11 @@
 package failure
 
 import (
+	"fmt"
 	"time"
 
 	"redplane/internal/netsim"
+	"redplane/internal/obs"
 	"redplane/internal/topo"
 )
 
@@ -37,11 +39,31 @@ type Plan struct {
 // Schedule installs the plan's events on the simulation. sw may be nil
 // for plain-router aggregation slots.
 func Schedule(sim *netsim.Sim, tb *topo.Testbed, sw Switchlike, p Plan) {
+	comp := fmt.Sprintf("agg%d", p.Agg)
+	var injected, recovered *obs.Counter
+	var tr *obs.Tracer
+	if reg := sim.Observer(); reg != nil {
+		ns := reg.NS("failure")
+		injected = ns.Counter("injected")
+		recovered = ns.Counter("recovered")
+		tr = reg.Tracer()
+	}
+	trace := func(t obs.EventType) {
+		if tr.Active() {
+			tr.Emit(obs.Event{T: int64(sim.Now()), Type: t, Comp: comp})
+		}
+	}
 	sim.After(p.FailAt, func() {
 		tb.FailAgg(p.Agg)
 		if !p.LinkOnly && sw != nil {
 			sw.Fail()
 		}
+		if injected != nil {
+			injected.Inc()
+		}
+		// The switch traces its own EvFailure on Fail(); the fabric-level
+		// event records link-only failures too.
+		trace(obs.EvLinkDown)
 	})
 	sim.After(p.FailAt+p.DetectDelay, func() {
 		tb.DetectAggFailure(p.Agg, true)
@@ -52,6 +74,10 @@ func Schedule(sim *netsim.Sim, tb *topo.Testbed, sw Switchlike, p Plan) {
 			if !p.LinkOnly && sw != nil {
 				sw.Recover()
 			}
+			if recovered != nil {
+				recovered.Inc()
+			}
+			trace(obs.EvLinkUp)
 		})
 		sim.After(p.RecoverAt+p.DetectDelay, func() {
 			tb.DetectAggFailure(p.Agg, false)

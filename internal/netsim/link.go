@@ -3,6 +3,7 @@ package netsim
 import (
 	"time"
 
+	"redplane/internal/obs"
 	"redplane/internal/packet"
 )
 
@@ -63,6 +64,18 @@ type Link struct {
 	Drops     uint64
 	LossDrop  uint64
 	QueueDrop uint64
+
+	// Observability mirrors of the counters above, registered under
+	// "link/<a>~<b>" when the simulation carries a registry; nil
+	// otherwise. queueNs tracks the serialization backlog per send.
+	oFrames, oBytes, oDrops *obs.Counter
+	queueNs                 *obs.Gauge
+}
+
+func (l *Link) countDrop() {
+	if l.oDrops != nil {
+		l.oDrops.Inc()
+	}
 }
 
 // Port is one endpoint of a link.
@@ -81,6 +94,13 @@ func Connect(s *Sim, a, b Node, cfg LinkConfig) (*Link, *Port, *Port) {
 	pb := &Port{link: l, owner: b}
 	pa.peer, pb.peer = pb, pa
 	l.a, l.b = pa, pb
+	if reg := s.Observer(); reg != nil {
+		ns := reg.NS("link/" + a.Name() + "~" + b.Name())
+		l.oFrames = ns.Counter("frames")
+		l.oBytes = ns.Counter("bytes")
+		l.oDrops = ns.Counter("drops")
+		l.queueNs = ns.Gauge("queue_ns")
+	}
 	return l, pa, pb
 }
 
@@ -117,22 +137,32 @@ func (p *Port) Send(f *Frame) {
 	s := l.sim
 	if !l.up {
 		l.Drops++
+		l.countDrop()
 		return
 	}
 	if l.cfg.Loss > 0 && s.rng.Float64() < l.cfg.Loss {
 		l.LossDrop++
+		l.countDrop()
 		return
 	}
 	txStart := s.now
 	if p.nextFree > txStart {
 		txStart = p.nextFree
 	}
+	if l.queueNs != nil {
+		l.queueNs.Set(int64(txStart - s.now))
+	}
 	if l.cfg.QueueLimit > 0 && txStart-s.now > Duration(l.cfg.QueueLimit) {
 		l.QueueDrop++
+		l.countDrop()
 		return
 	}
 	l.Frames++
 	l.Bytes += uint64(f.Size)
+	if l.oFrames != nil {
+		l.oFrames.Inc()
+		l.oBytes.Add(uint64(f.Size))
+	}
 	txDone := txStart
 	if l.cfg.Bandwidth > 0 {
 		txDone += Time(float64(f.Size*8) / l.cfg.Bandwidth * 1e9)

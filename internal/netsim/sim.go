@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"math/rand"
 	"time"
+
+	"redplane/internal/obs"
 )
 
 // Time is virtual time in nanoseconds since simulation start.
@@ -53,6 +55,7 @@ type Sim struct {
 	events eventHeap
 	seq    uint64
 	rng    *rand.Rand
+	obs    *obs.Registry
 
 	// Delivered counts frames handed to node Receive methods; useful as a
 	// cheap progress/sanity metric in tests.
@@ -69,6 +72,16 @@ func (s *Sim) Now() Time { return s.now }
 
 // Rand returns the simulation's deterministic RNG.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// SetObserver installs the observability registry every component built
+// on this simulation instruments itself against. Install it before
+// constructing the topology: links cache their counters at Connect time.
+func (s *Sim) SetObserver(r *obs.Registry) { s.obs = r }
+
+// Observer returns the installed registry, or nil. Components treat a
+// nil observer as "create a private registry" (so their Stats remain
+// meaningful) or skip instrumentation entirely (links).
+func (s *Sim) Observer() *obs.Registry { return s.obs }
 
 // At schedules fn at absolute time t. Scheduling in the past panics: it
 // would silently corrupt causality.

@@ -1,0 +1,206 @@
+// Package obs is the deployment-wide observability layer: a cheap,
+// allocation-conscious counter/gauge registry with per-component
+// namespaces (switches, store shards/replicas, netsim links), a bounded
+// structured tracer of typed protocol events stamped with virtual time
+// (see trace.go), and periodic time-series sampling of gauges on the
+// simulator clock (see sample.go).
+//
+// The package is dependency-free so every layer of the system — core,
+// store, netsim, failure — can instrument itself without import cycles.
+// Components cache *Counter/*Gauge pointers at construction, so the hot
+// path is a single atomic add: no map lookups, no allocation, and safe
+// under -race even though the simulator itself is single-threaded (the
+// real-UDP store server is not).
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (buffer bytes, flow count, in-flight
+// requests). It tracks its high-water mark.
+type Gauge struct {
+	v  atomic.Int64
+	hi atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	g.raiseHigh(v)
+}
+
+// Add shifts the gauge by d and returns the new value.
+func (g *Gauge) Add(d int64) int64 {
+	v := g.v.Add(d)
+	g.raiseHigh(v)
+	return v
+}
+
+func (g *Gauge) raiseHigh(v int64) {
+	for {
+		hi := g.hi.Load()
+		if v <= hi || g.hi.CompareAndSwap(hi, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// High returns the highest level the gauge ever reached.
+func (g *Gauge) High() int64 { return g.hi.Load() }
+
+// Scope is one component's namespace within a registry. Metric names are
+// flat within a scope; the registry addresses them as "<scope>/<name>".
+type Scope struct {
+	name string
+	reg  *Registry
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// Name returns the scope's namespace.
+func (s *Scope) Name() string { return s.name }
+
+// Counter returns the named counter, creating it on first use. Cache the
+// pointer; do not call this on a hot path.
+func (s *Scope) Counter(name string) *Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Cache the
+// pointer; do not call this on a hot path.
+func (s *Scope) Gauge(name string) *Gauge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Registry is a deployment's metric tree: scopes by component name, the
+// event tracer, and the sampled gauge series. One registry per
+// Deployment; components reach it through the simulator they already
+// hold.
+type Registry struct {
+	mu     sync.Mutex
+	scopes map[string]*Scope
+	tracer *Tracer
+	series map[string]*Series
+}
+
+// NewRegistry creates an empty registry with no tracer (Tracer() returns
+// an inactive one; SetTracer installs a real ring).
+func NewRegistry() *Registry {
+	return &Registry{
+		scopes: make(map[string]*Scope),
+		series: make(map[string]*Series),
+	}
+}
+
+// NS returns the scope for a component namespace (e.g.
+// "switch/redplane-sw0", "store/store-0-1", "link/agg0~tor1"), creating
+// it on first use.
+func (r *Registry) NS(name string) *Scope {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.scopes[name]
+	if !ok {
+		s = &Scope{name: name, reg: r,
+			counters: make(map[string]*Counter),
+			gauges:   make(map[string]*Gauge)}
+		r.scopes[name] = s
+	}
+	return s
+}
+
+// SetTracer installs the event tracer (nil uninstalls).
+func (r *Registry) SetTracer(t *Tracer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracer = t
+}
+
+// Tracer returns the installed tracer; it is nil-safe to use (an
+// uninstalled tracer is inactive and Emit is a no-op).
+func (r *Registry) Tracer() *Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
+}
+
+// Counters snapshots every counter as "<scope>/<name>" → value.
+func (r *Registry) Counters() map[string]uint64 {
+	out := make(map[string]uint64)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for sn, s := range r.scopes {
+		s.mu.Lock()
+		for n, c := range s.counters {
+			out[sn+"/"+n] = c.Value()
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Gauges snapshots every gauge as "<scope>/<name>" → current value.
+func (r *Registry) Gauges() map[string]int64 {
+	out := make(map[string]int64)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for sn, s := range r.scopes {
+		s.mu.Lock()
+		for n, g := range s.gauges {
+			out[sn+"/"+n] = g.Value()
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// MetricNames returns every counter and gauge name, sorted, for stable
+// reports.
+func (r *Registry) MetricNames() []string {
+	seen := map[string]bool{}
+	for n := range r.Counters() {
+		seen[n] = true
+	}
+	for n := range r.Gauges() {
+		seen[n] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	sc := r.NS("switch/sw0")
+	c := sc.Counter("packets_in")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if sc.Counter("packets_in") != c {
+		t.Error("counter not cached per name")
+	}
+	g := sc.Gauge("buf_bytes")
+	g.Add(100)
+	g.Add(200)
+	g.Add(-250)
+	if g.Value() != 50 {
+		t.Errorf("gauge = %d, want 50", g.Value())
+	}
+	if g.High() != 300 {
+		t.Errorf("high-water = %d, want 300", g.High())
+	}
+	g.Set(10)
+	if g.Value() != 10 || g.High() != 300 {
+		t.Errorf("after Set: value=%d high=%d", g.Value(), g.High())
+	}
+	if r.NS("switch/sw0") != sc {
+		t.Error("scope not cached per name")
+	}
+	if got := r.Counters()["switch/sw0/packets_in"]; got != 5 {
+		t.Errorf("registry counter snapshot = %d", got)
+	}
+	if got := r.Gauges()["switch/sw0/buf_bytes"]; got != 10 {
+		t.Errorf("registry gauge snapshot = %d", got)
+	}
+}
+
+// TestCounterConcurrency exercises counters and gauges from many
+// goroutines; run under -race it proves the registry is safe for the
+// real-UDP store server's concurrent use.
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.NS("store/shard0").Counter("repl_applied")
+			g := r.NS("store/shard0").Gauge("queue")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.NS("store/shard0").Counter("repl_applied").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if g := r.NS("store/shard0").Gauge("queue"); g.Value() != 0 || g.High() < 1 {
+		t.Errorf("gauge value=%d high=%d", g.Value(), g.High())
+	}
+}
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{T: int64(i), Type: EvReplSend, Comp: "sw0", Seq: uint64(i)})
+	}
+	if tr.Emitted() != 10 {
+		t.Errorf("emitted = %d", tr.Emitted())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("surviving events = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := int64(6 + i); e.T != want {
+			t.Errorf("event %d at t=%d, want %d (oldest-first order)", i, e.T, want)
+		}
+	}
+}
+
+func TestTracerInactive(t *testing.T) {
+	var tr *Tracer
+	if tr.Active() {
+		t.Error("nil tracer active")
+	}
+	tr.Emit(Event{Type: EvFailure}) // must not panic
+	if tr.Events() != nil || tr.Emitted() != 0 {
+		t.Error("nil tracer recorded something")
+	}
+	if NewTracer(0) != nil {
+		t.Error("zero-capacity tracer should be nil/inactive")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	in := []Event{
+		{T: 100, Type: EvLeaseGrant, Comp: "store-0-0", Flow: "10.0.0.1:80->10.0.0.2:99/TCP", V: 1000},
+		{T: 250, Type: EvReplSend, Comp: "redplane-sw0", Flow: "f", Seq: 7, V: 64},
+		{T: 300, Type: EvFailure, Comp: "redplane-sw1"},
+	}
+	for _, e := range in {
+		tr.Emit(e)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf, "run0"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty JSONL output")
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("event %d: got %+v want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestJSONLRejectsUnknownEvent(t *testing.T) {
+	if _, err := ReadJSONL(bytes.NewBufferString(`{"t":1,"ev":"nonsense","comp":"x"}` + "\n")); err == nil {
+		t.Error("unknown event type accepted")
+	}
+}
+
+func TestEventTypeNamesUnique(t *testing.T) {
+	for typ, name := range eventNames {
+		if back := eventTypes[name]; back != typ {
+			t.Errorf("name %q maps back to %v, not %v", name, back, typ)
+		}
+	}
+}
+
+func TestSampling(t *testing.T) {
+	r := NewRegistry()
+	g := r.NS("switch/sw0").Gauge("buf_bytes")
+	for i := 0; i < 5; i++ {
+		g.Set(int64(i * 10))
+		r.SampleAll(int64(i) * 1000)
+	}
+	s := r.Series("switch/sw0/buf_bytes")
+	if s == nil {
+		t.Fatal("series missing")
+	}
+	if len(s.T) != 5 || len(s.V) != 5 {
+		t.Fatalf("samples = %d/%d, want 5", len(s.T), len(s.V))
+	}
+	if s.T[4] != 4000 || s.V[4] != 40 {
+		t.Errorf("last sample (%d, %d)", s.T[4], s.V[4])
+	}
+	if s.Max() != 40 {
+		t.Errorf("max = %d", s.Max())
+	}
+	if m := s.Mean(); m != 20 {
+		t.Errorf("mean = %v", m)
+	}
+	if r.Series("no/such") != nil {
+		t.Error("phantom series")
+	}
+	if names := r.SeriesNames(); len(names) != 1 || names[0] != "switch/sw0/buf_bytes" {
+		t.Errorf("series names = %v", names)
+	}
+}
+
+func TestMetricNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.NS("b").Counter("z")
+	r.NS("a").Gauge("y")
+	names := r.MetricNames()
+	if len(names) != 2 || names[0] != "a/y" || names[1] != "b/z" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestEventTypeString(t *testing.T) {
+	if EvLeaseGrant.String() != "lease_grant" {
+		t.Error(EvLeaseGrant.String())
+	}
+	if s := EventType(200).String(); s != fmt.Sprintf("event(%d)", 200) {
+		t.Error(s)
+	}
+}

@@ -1,0 +1,77 @@
+package obs
+
+import "sort"
+
+// Series is a sampled gauge timeline: parallel virtual-time (ns) and
+// value slices, appended by Registry.SampleAll on the simulator clock.
+type Series struct {
+	Name string
+	T    []int64
+	V    []int64
+}
+
+// Max returns the largest sampled value (0 with no samples).
+func (s *Series) Max() int64 {
+	var max int64
+	for _, v := range s.V {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Mean returns the arithmetic mean of the samples (0 with no samples).
+func (s *Series) Mean() float64 {
+	if len(s.V) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.V {
+		sum += float64(v)
+	}
+	return sum / float64(len(s.V))
+}
+
+// SampleAll appends every registered gauge's current value to its series
+// at virtual time nowNs. The deployment drives this periodically on the
+// simulator clock; gauges registered after sampling began simply start
+// their series late.
+func (r *Registry) SampleAll(nowNs int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for sn, s := range r.scopes {
+		s.mu.Lock()
+		for n, g := range s.gauges {
+			key := sn + "/" + n
+			ser, ok := r.series[key]
+			if !ok {
+				ser = &Series{Name: key}
+				r.series[key] = ser
+			}
+			ser.T = append(ser.T, nowNs)
+			ser.V = append(ser.V, g.Value())
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Series returns the sampled timeline for "<scope>/<gauge>", or nil if
+// that gauge was never sampled.
+func (r *Registry) Series(name string) *Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.series[name]
+}
+
+// SeriesNames lists every sampled series, sorted.
+func (r *Registry) SeriesNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.series))
+	for n := range r.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventType identifies a protocol event in the trace.
+type EventType uint8
+
+// Protocol events. The set mirrors what the paper's evaluation measures:
+// lease lifecycle (§5.3, failover timelines), replication and its
+// retransmission (§5.2, buffer occupancy), snapshots (§5.4), and
+// failure/recovery injection (§7.3).
+const (
+	EvLeaseGrant EventType = iota + 1
+	EvLeaseRenew
+	EvLeaseExpire
+	EvLeaseReject
+	EvLeaseMigrate
+	EvReplSend
+	EvReplAck
+	EvReplRetransmit
+	EvReplDrop
+	EvBufferedRead
+	EvSnapshotFlush
+	EvMirrorOverflow
+	EvFailure
+	EvRecovery
+	EvLinkDown
+	EvLinkUp
+)
+
+var eventNames = map[EventType]string{
+	EvLeaseGrant:     "lease_grant",
+	EvLeaseRenew:     "lease_renew",
+	EvLeaseExpire:    "lease_expire",
+	EvLeaseReject:    "lease_reject",
+	EvLeaseMigrate:   "lease_migrate",
+	EvReplSend:       "repl_send",
+	EvReplAck:        "repl_ack",
+	EvReplRetransmit: "repl_retransmit",
+	EvReplDrop:       "repl_drop",
+	EvBufferedRead:   "buffered_read",
+	EvSnapshotFlush:  "snapshot_flush",
+	EvMirrorOverflow: "mirror_overflow",
+	EvFailure:        "failure",
+	EvRecovery:       "recovery",
+	EvLinkDown:       "link_down",
+	EvLinkUp:         "link_up",
+}
+
+var eventTypes = func() map[string]EventType {
+	m := make(map[string]EventType, len(eventNames))
+	for t, n := range eventNames {
+		m[n] = t
+	}
+	return m
+}()
+
+// String returns the event's wire name.
+func (t EventType) String() string {
+	if n, ok := eventNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("event(%d)", uint8(t))
+}
+
+// Event is one traced protocol event, stamped with virtual time.
+type Event struct {
+	// T is the virtual time in nanoseconds.
+	T int64
+	// Type is the event kind.
+	Type EventType
+	// Comp is the emitting component ("redplane-sw0", "store-0-1").
+	Comp string
+	// Flow is the flow key, when the event is per-flow.
+	Flow string
+	// Seq is the protocol sequence number, when meaningful.
+	Seq uint64
+	// V is an event-specific magnitude (bytes buffered, snapshot slots,
+	// lease milliseconds), zero when unused.
+	V int64
+}
+
+// jsonEvent is the JSON-lines wire form; Type travels by name so the
+// timeline is self-describing.
+type jsonEvent struct {
+	T    int64  `json:"t"`
+	Ev   string `json:"ev"`
+	Comp string `json:"comp"`
+	Flow string `json:"flow,omitempty"`
+	Seq  uint64 `json:"seq,omitempty"`
+	V    int64  `json:"v,omitempty"`
+	Run  string `json:"run,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of events. A nil tracer is valid and
+// inactive: Emit is a no-op and Active reports false, so instrumented
+// code needs no nil checks beyond the one Active() it uses to skip
+// formatting flow keys.
+type Tracer struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever emitted
+}
+
+// NewTracer creates a tracer holding the most recent capacity events;
+// capacity <= 0 returns an inactive (nil) tracer.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		return nil
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Active reports whether emitted events are recorded. Callers use it to
+// skip building Event fields (flow-key formatting allocates).
+func (t *Tracer) Active() bool { return t != nil }
+
+// Emit records one event, overwriting the oldest once the ring is full.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next%uint64(cap(t.buf))] = e
+	}
+	t.next++
+	t.mu.Unlock()
+}
+
+// Emitted returns the total number of events ever emitted (including
+// those the ring has since overwritten).
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Dropped returns how many events were overwritten by wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next - uint64(len(t.buf))
+}
+
+// Events returns the surviving events in emission order (oldest first).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if t.next > uint64(len(t.buf)) { // wrapped: oldest is at next%cap
+		start := int(t.next % uint64(cap(t.buf)))
+		out = append(out, t.buf[start:]...)
+		out = append(out, t.buf[:start]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// WriteJSONL writes the surviving events as JSON lines. A non-empty run
+// label is attached to every record, letting one file hold timelines
+// from several simulation runs (each with its own virtual clock).
+func (t *Tracer) WriteJSONL(w io.Writer, run string) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Events() {
+		je := jsonEvent{T: e.T, Ev: e.Type.String(), Comp: e.Comp,
+			Flow: e.Flow, Seq: e.Seq, V: e.V, Run: run}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON-lines timeline back into events, dropping the
+// run label (callers that need it can decode jsonEvent themselves).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var je jsonEvent
+		if err := dec.Decode(&je); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+		typ, ok := eventTypes[je.Ev]
+		if !ok {
+			return out, fmt.Errorf("obs: unknown event type %q", je.Ev)
+		}
+		out = append(out, Event{T: je.T, Type: typ, Comp: je.Comp,
+			Flow: je.Flow, Seq: je.Seq, V: je.V})
+	}
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"time"
 
 	"redplane/internal/netsim"
@@ -42,7 +43,7 @@ func NewCluster(sim *netsim.Sim, shards, replicas int, cfg Config,
 }
 
 func serverName(shard, replica int) string {
-	return "store-" + string(rune('a'+shard)) + "-" + string(rune('0'+replica))
+	return fmt.Sprintf("store-%d-%d", shard, replica)
 }
 
 // Shards returns the shard count.
@@ -86,8 +87,18 @@ func (c *Cluster) HeadAddrFor(key packet.FiveTuple) (packet.Addr, int) {
 // accounting experiments.
 func (c *Cluster) TotalBytes() (rx, tx uint64) {
 	for _, s := range c.All() {
-		rx += s.RxBytes
-		tx += s.TxBytes
+		st := s.Stats()
+		rx += st.RxBytes
+		tx += st.TxBytes
 	}
 	return rx, tx
+}
+
+// Stats snapshots every server, row by row (chain head first).
+func (c *Cluster) Stats() []ServerStats {
+	out := make([]ServerStats, 0, c.shards*c.replicas)
+	for _, s := range c.All() {
+		out = append(out, s.Stats())
+	}
+	return out
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"redplane/internal/netsim"
+	"redplane/internal/obs"
 	"redplane/internal/packet"
 	"redplane/internal/wire"
 )
@@ -55,22 +56,86 @@ type Server struct {
 	QueueLimit time.Duration
 	busyUntil  netsim.Time
 
-	// DroppedRequests counts messages shed at the full queue.
-	DroppedRequests uint64
-
 	// SwitchAddr resolves a switch ID to its protocol IP address.
 	SwitchAddr func(id int) packet.Addr
 
 	wakeArmed bool
 
-	// Traffic counters for bandwidth accounting.
-	RxBytes, TxBytes   uint64
-	RxFrames, TxFrames uint64
+	// Observability handles, cached at construction under scope
+	// "store/<name>"; the tracer is shared and nil-safe.
+	rxBytes, txBytes   *obs.Counter
+	rxFrames, txFrames *obs.Counter
+	dropped            *obs.Counter
+	queueNs            *obs.Gauge
+	flowsGauge         *obs.Gauge
+	tr                 *obs.Tracer
 }
 
 // NewServer creates a store server around a shard.
 func NewServer(sim *netsim.Sim, name string, ip packet.Addr, shard *Shard, service time.Duration) *Server {
-	return &Server{name: name, sim: sim, IP: ip, shard: shard, ServiceTime: service}
+	s := &Server{name: name, sim: sim, IP: ip, shard: shard, ServiceTime: service}
+	reg := sim.Observer()
+	if reg == nil {
+		reg = obs.NewRegistry() // standalone use keeps Stats() meaningful
+	}
+	ns := reg.NS("store/" + name)
+	s.rxBytes = ns.Counter("rx_bytes")
+	s.txBytes = ns.Counter("tx_bytes")
+	s.rxFrames = ns.Counter("rx_frames")
+	s.txFrames = ns.Counter("tx_frames")
+	s.dropped = ns.Counter("dropped_requests")
+	s.queueNs = ns.Gauge("queue_ns")
+	s.flowsGauge = ns.Gauge("flows")
+	s.tr = reg.Tracer()
+	return s
+}
+
+// ServerStats is a point-in-time snapshot of one store server: its
+// traffic counters plus its shard replica's protocol stats and flow
+// count.
+type ServerStats struct {
+	Name               string
+	RxBytes, TxBytes   uint64
+	RxFrames, TxFrames uint64
+	DroppedRequests    uint64
+	Flows              int
+	Shard              Stats
+}
+
+// Stats snapshots the server's counters and its shard's stats.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Name:            s.name,
+		RxBytes:         s.rxBytes.Value(),
+		TxBytes:         s.txBytes.Value(),
+		RxFrames:        s.rxFrames.Value(),
+		TxFrames:        s.txFrames.Value(),
+		DroppedRequests: s.dropped.Value(),
+		Flows:           s.shard.Flows(),
+		Shard:           s.shard.Stats,
+	}
+}
+
+// traceLeases compares shard stats around a Process/Flush call and emits
+// one event per lease transition the call performed.
+func (s *Server) traceLeases(before Stats, key packet.FiveTuple, haveKey bool) {
+	if !s.tr.Active() {
+		return
+	}
+	after := s.shard.Stats
+	now := int64(s.sim.Now())
+	var flow string
+	if haveKey {
+		flow = key.String()
+	}
+	emit := func(t obs.EventType, n uint64) {
+		for i := uint64(0); i < n; i++ {
+			s.tr.Emit(obs.Event{T: now, Type: t, Comp: s.name, Flow: flow})
+		}
+	}
+	emit(obs.EvLeaseGrant, after.LeaseGrants-before.LeaseGrants)
+	emit(obs.EvLeaseRenew, after.LeaseRenewals-before.LeaseRenewals)
+	emit(obs.EvLeaseMigrate, after.LeaseMigrated-before.LeaseMigrated)
 }
 
 // Name implements netsim.Node.
@@ -89,8 +154,8 @@ func (s *Server) SetNext(n *Server) { s.next = n }
 // Receive implements netsim.Node: protocol requests from switches and
 // chain traffic from predecessors.
 func (s *Server) Receive(f *netsim.Frame, _ *netsim.Port) {
-	s.RxBytes += uint64(f.Size)
-	s.RxFrames++
+	s.rxBytes.Add(uint64(f.Size))
+	s.rxFrames.Inc()
 	switch m := f.Msg.(type) {
 	case *wire.Message:
 		s.serve(func() { s.handleRequest(m) })
@@ -112,8 +177,9 @@ func (s *Server) serve(fn func()) {
 	if s.busyUntil > start {
 		start = s.busyUntil
 	}
+	s.queueNs.Set(int64(start - s.sim.Now()))
 	if start-s.sim.Now() > netsim.Duration(limit) {
-		s.DroppedRequests++
+		s.dropped.Inc()
 		return
 	}
 	done := start + netsim.Duration(s.ServiceTime)
@@ -122,7 +188,10 @@ func (s *Server) serve(fn func()) {
 }
 
 func (s *Server) handleRequest(m *wire.Message) {
+	before := s.shard.Stats
 	outs, ups := s.shard.Process(int64(s.sim.Now()), m)
+	s.traceLeases(before, m.Key, true)
+	s.flowsGauge.Set(int64(s.shard.Flows()))
 	s.commit(outs, ups)
 	s.armWake()
 }
@@ -161,8 +230,8 @@ func (s *Server) sendChain(c *chainMsg) {
 		Size: c.wireLen(),
 		Msg:  c,
 	}
-	s.TxBytes += uint64(f.Size)
-	s.TxFrames++
+	s.txBytes.Add(uint64(f.Size))
+	s.txFrames.Inc()
 	s.port.Send(f)
 }
 
@@ -175,8 +244,8 @@ func (s *Server) emit(o Output) {
 		Size: o.Msg.WireLen(),
 		Msg:  o.Msg,
 	}
-	s.TxBytes += uint64(f.Size)
-	s.TxFrames++
+	s.txBytes.Add(uint64(f.Size))
+	s.txFrames.Inc()
 	s.port.Send(f)
 }
 
@@ -194,7 +263,9 @@ func (s *Server) armWake() {
 	}
 	s.sim.At(when, func() {
 		s.wakeArmed = false
+		before := s.shard.Stats
 		outs, ups := s.shard.Flush(int64(s.sim.Now()))
+		s.traceLeases(before, packet.FiveTuple{}, false)
 		s.commit(outs, ups)
 		s.armWake()
 	})

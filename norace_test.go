@@ -1,0 +1,7 @@
+//go:build !race
+
+package redplane_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// full-evaluation benchmarks skip themselves under it (see bench_test.go).
+const raceEnabled = false

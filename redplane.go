@@ -29,7 +29,9 @@ package redplane
 import (
 	"redplane/internal/core"
 	"redplane/internal/netsim"
+	"redplane/internal/obs"
 	"redplane/internal/packet"
+	"redplane/internal/store"
 )
 
 // App is a stateful in-switch application; see internal/core.App for the
@@ -101,3 +103,29 @@ func MakeAddr(a, b, c, d byte) Addr { return packet.MakeAddr(a, b, c, d) }
 
 // Time is virtual simulation time in nanoseconds.
 type Time = netsim.Time
+
+// SwitchStats is the per-switch counter snapshot returned by
+// Switch.Stats().
+type SwitchStats = core.SwitchStats
+
+// StoreServerStats is the per-store-server counter snapshot returned by
+// Cluster.Stats().
+type StoreServerStats = store.ServerStats
+
+// Registry is the observability registry returned by
+// Deployment.Observe(): namespaced counters and gauges, sampled series,
+// and the event tracer.
+type Registry = obs.Registry
+
+// Tracer is the bounded ring buffer of protocol events.
+type Tracer = obs.Tracer
+
+// TraceEvent is one traced protocol event, stamped with virtual time.
+type TraceEvent = obs.Event
+
+// TraceEventType discriminates protocol events (lease grant, replication
+// send, retransmit, failure, ...).
+type TraceEventType = obs.EventType
+
+// Series is a sampled gauge timeline (virtual-time/value pairs).
+type Series = obs.Series

@@ -98,9 +98,9 @@ func TestDeploymentDefaultsAndAccessors(t *testing.T) {
 
 func TestDeploymentNoStoreBaseline(t *testing.T) {
 	d := NewDeployment(DeploymentConfig{
-		Seed:    2,
-		NewApp:  func(i int) App { return apps.SyncCounter{} },
-		NoStore: true,
+		Seed:     2,
+		NewApp:   func(i int) App { return apps.SyncCounter{} },
+		Baseline: BaselineConfig{NoStore: true},
 	})
 	src := d.AddClient(0, "client", MakeAddr(100, 0, 0, 1))
 	dst := d.AddServer(0, "server", MakeAddr(10, 0, 0, 50))

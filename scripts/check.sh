@@ -1,0 +1,31 @@
+#!/bin/sh
+# check.sh — the repo's CI gate: formatting, vet, the full test suite,
+# and a race-detector pass over the concurrency-sensitive packages
+# (internal/obs is read from test goroutines while the simulator writes;
+# internal/core holds the hot-path atomics). The full-evaluation
+# benchmarks skip themselves under -race (bench_test.go), so the race
+# pass stays fast.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (obs, core) =="
+go test -race ./internal/obs/... ./internal/core/...
+
+echo "OK"

@@ -1,0 +1,68 @@
+package redplane
+
+// DeploymentSnapshot is a point-in-time view of the whole testbed: one
+// SwitchStats per programmable switch, one StoreServerStats per store
+// replica (chain order, head first), and cross-component totals. It is
+// the deployment-level counterpart of Switch.Stats().
+type DeploymentSnapshot struct {
+	// At is the virtual time the snapshot was taken.
+	At Time
+
+	Switches []SwitchStats
+	Store    []StoreServerStats
+
+	Totals SnapshotTotals
+}
+
+// SnapshotTotals aggregates the counters experiments usually want
+// whole-deployment answers for. Store-side lease and replication
+// counters only advance on the chain head (replicas apply updates
+// without reprocessing), so summing over all servers does not double
+// count.
+type SnapshotTotals struct {
+	// Switch-side.
+	PacketsIn, PacketsOut  uint64
+	ReplSends, Retransmits uint64
+	EmulatedDrops          uint64
+	LeaseAcquired          uint64
+	BufferedReads          uint64
+	SnapshotPackets        uint64
+	MirrorOverflow         uint64
+
+	// Store-side.
+	LeaseGrants, LeaseRenewals uint64
+	LeaseMigrated              uint64
+	ReplApplied, ReplStale     uint64
+	StoreDroppedRequests       uint64
+}
+
+// Snapshot captures the current counters of every switch and store
+// server plus deployment-wide totals.
+func (d *Deployment) Snapshot() DeploymentSnapshot {
+	snap := DeploymentSnapshot{At: d.Sim.Now()}
+	for _, sw := range d.switches {
+		st := sw.Stats()
+		snap.Switches = append(snap.Switches, st)
+		snap.Totals.PacketsIn += st.PacketsIn
+		snap.Totals.PacketsOut += st.PacketsOut
+		snap.Totals.ReplSends += st.ReplSends
+		snap.Totals.Retransmits += st.Retransmits
+		snap.Totals.EmulatedDrops += st.EmulatedDrops
+		snap.Totals.LeaseAcquired += st.LeaseAcquired
+		snap.Totals.BufferedReads += st.BufferedReads
+		snap.Totals.SnapshotPackets += st.SnapshotPackets
+		snap.Totals.MirrorOverflow += st.MirrorOverflow
+	}
+	if d.Cluster != nil {
+		for _, st := range d.Cluster.Stats() {
+			snap.Store = append(snap.Store, st)
+			snap.Totals.LeaseGrants += st.Shard.LeaseGrants
+			snap.Totals.LeaseRenewals += st.Shard.LeaseRenewals
+			snap.Totals.LeaseMigrated += st.Shard.LeaseMigrated
+			snap.Totals.ReplApplied += st.Shard.ReplApplied
+			snap.Totals.ReplStale += st.Shard.ReplStale
+			snap.Totals.StoreDroppedRequests += st.DroppedRequests
+		}
+	}
+	return snap
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check bench fmt
+.PHONY: all build test race check bench fmt lint chaos
 
 all: build
 
@@ -25,3 +25,13 @@ bench:
 
 fmt:
 	gofmt -w .
+
+# The CI gate plus the optional lint pass (staticcheck + govulncheck,
+# installed on demand; skipped gracefully when offline).
+lint:
+	CI_LINT=1 sh scripts/check.sh
+
+# A quick chaos campaign sweep: 20 seeds, both consistency modes, the
+# default fault profile. Violations dump chaos-<seed>.json repros.
+chaos:
+	$(GO) run ./cmd/redplane-chaos -campaigns 20 -seed 1

@@ -1,0 +1,148 @@
+// Command redplane-chaos runs seeded randomized fault campaigns against
+// the RedPlane deployment and checks linearizability, bounded staleness,
+// and the standing protocol invariants (single lease holder, no
+// acknowledged write lost, monotonic sequence numbers, store chain
+// agreement after quiescence).
+//
+// Usage:
+//
+//	redplane-chaos [-seed N] [-campaigns N] [-profile default|flap|storm]
+//	               [-mode both|linearizable|bounded] [-duration D]
+//	               [-out dir] [-break-norevoke] [-v]
+//	redplane-chaos -replay chaos-<seed>.json [-break-norevoke]
+//
+// Campaign i runs with seed+i. Each campaign is fully reproducible: the
+// same seed yields a byte-identical schedule and verdict. On violation
+// the engine shrinks the schedule by greedy deletion and writes
+// chaos-<seed>.json (the minimal replayable repro) plus
+// chaos-<seed>.trace.jsonl (the obs event timeline of the minimal run)
+// to -out. Exit status is 1 if any campaign failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"redplane/internal/chaos"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base seed (campaign i uses seed+i)")
+	campaigns := flag.Int("campaigns", 1, "campaigns per mode")
+	profile := flag.String("profile", "default", "fault-rate profile: default, flap, storm")
+	mode := flag.String("mode", "both", "consistency mode: both, linearizable, bounded")
+	duration := flag.Duration("duration", 0, "active phase per campaign (0 = default 1.5s)")
+	out := flag.String("out", ".", "directory for violation dumps")
+	replay := flag.String("replay", "", "replay a chaos-<seed>.json repro instead of running campaigns")
+	breakKnob := flag.Bool("break-norevoke", false, "intentionally break store lease revocation (harness self-test)")
+	verbose := flag.Bool("v", false, "print every campaign, not just failures")
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(replayRepro(*replay, *breakKnob))
+	}
+
+	prof, ok := chaos.Profiles[*profile]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	var bounded []bool
+	switch *mode {
+	case "both":
+		bounded = []bool{false, true}
+	case "linearizable":
+		bounded = []bool{false}
+	case "bounded":
+		bounded = []bool{true}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	failed := 0
+	for i := 0; i < *campaigns; i++ {
+		for _, b := range bounded {
+			cfg := chaos.Config{
+				Seed: *seed + int64(i), Bounded: b,
+				Duration: *duration, Profile: prof, BreakNoRevoke: *breakKnob,
+			}
+			r := chaos.Run(cfg)
+			if r.Passed() {
+				if *verbose {
+					fmt.Printf("PASS seed=%d mode=%s profile=%s ops=%d faults=%d\n",
+						r.Seed, r.Mode, r.Profile, r.Ops, len(r.Faults))
+				}
+				continue
+			}
+			failed++
+			fmt.Printf("FAIL seed=%d mode=%s profile=%s ops=%d faults=%d shrunk=%d\n",
+				r.Seed, r.Mode, r.Profile, r.Ops, len(r.Faults), len(r.Shrunk))
+			for _, v := range r.Violations {
+				fmt.Printf("  %s\n", v)
+			}
+			dump(cfg, r, *out)
+		}
+	}
+	total := *campaigns * len(bounded)
+	fmt.Printf("%d/%d campaigns passed in %v\n", total-failed, total, time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// dump writes the minimal repro and its obs trace next to each other.
+func dump(cfg chaos.Config, r chaos.Result, dir string) {
+	path := filepath.Join(dir, fmt.Sprintf("chaos-%d.json", r.Seed))
+	if err := chaos.WriteRepro(path, r); err != nil {
+		fmt.Fprintf(os.Stderr, "  repro dump failed: %v\n", err)
+		return
+	}
+	fmt.Printf("  repro: %s\n", path)
+
+	faults := r.Shrunk
+	if faults == nil {
+		faults = r.Faults
+	}
+	tracePath := filepath.Join(dir, fmt.Sprintf("chaos-%d.trace.jsonl", r.Seed))
+	f, err := os.Create(tracePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "  trace dump failed: %v\n", err)
+		return
+	}
+	defer f.Close()
+	run := fmt.Sprintf("chaos-%d-%s", r.Seed, r.Mode)
+	if err := chaos.DumpTrace(cfg, faults, f, run); err != nil {
+		fmt.Fprintf(os.Stderr, "  trace dump failed: %v\n", err)
+		return
+	}
+	fmt.Printf("  trace: %s\n", tracePath)
+}
+
+func replayRepro(path string, breakKnob bool) int {
+	rep, err := chaos.LoadRepro(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	cfg := rep.ReplayConfig()
+	cfg.BreakNoRevoke = breakKnob
+	fmt.Printf("replaying %s: seed=%d mode=%s faults=%d\n", path, rep.Seed, rep.Mode, len(rep.Faults))
+	for _, f := range rep.Faults {
+		fmt.Printf("  %s\n", f)
+	}
+	r := chaos.Replay(cfg, rep.Faults)
+	if r.Passed() {
+		fmt.Printf("PASS ops=%d (no violation reproduced)\n", r.Ops)
+		return 0
+	}
+	fmt.Printf("FAIL ops=%d\n", r.Ops)
+	for _, v := range r.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	return 1
+}

@@ -43,6 +43,11 @@ type AblationConfig struct {
 	// EmulatedRequestLoss drops outgoing protocol requests at the
 	// switch with this probability (the §7.4 methodology).
 	EmulatedRequestLoss float64
+
+	// StoreNoRevoke disables lease revocation on failover at the store —
+	// the intentionally-broken protocol knob the chaos harness must
+	// catch (see store.Config.UnsafeNoRevoke).
+	StoreNoRevoke bool
 }
 
 // DefaultTraceEvents is the event-ring capacity ObsConfig.TraceEvents
@@ -109,6 +114,11 @@ type DeploymentConfig struct {
 	// linearizability checker.
 	RecordHistory bool
 
+	// RecordJournal enables the acknowledged-write journal shared by all
+	// switches, exposed as Deployment.Journal (the chaos harness's
+	// no-lost-write checker input).
+	RecordJournal bool
+
 	// Baseline selects non-fault-tolerant baseline operation.
 	Baseline BaselineConfig
 
@@ -127,6 +137,7 @@ type Deployment struct {
 	Testbed *topo.Testbed
 	Cluster *store.Cluster
 	Hist    *History
+	Journal *WriteJournal
 
 	switches []*core.Switch
 	swIPs    []packet.Addr
@@ -201,6 +212,10 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 		d.Hist = &History{}
 		cfg.Protocol.History = d.Hist
 	}
+	if cfg.RecordJournal {
+		d.Journal = &WriteJournal{}
+		cfg.Protocol.Journal = d.Journal
+	}
 	cfg.Protocol.LocalInit = cfg.Baseline.LocalInit
 	cfg.Protocol.LocalInitExtraDelay = cfg.Baseline.LocalInitExtraDelay
 	if cfg.Ablation.DisableRetransmit {
@@ -214,10 +229,11 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 	if !cfg.Baseline.NoStore {
 		d.Cluster = store.NewCluster(sim, cfg.StoreShards, cfg.StoreReplicas,
 			store.Config{
-				LeasePeriod:   cfg.Protocol.LeasePeriod,
-				InitState:     cfg.InitState,
-				SnapshotSlots: cfg.SnapshotSlots,
-				IgnoreSeq:     cfg.Ablation.StoreIgnoreSeq,
+				LeasePeriod:    cfg.Protocol.LeasePeriod,
+				InitState:      cfg.InitState,
+				SnapshotSlots:  cfg.SnapshotSlots,
+				IgnoreSeq:      cfg.Ablation.StoreIgnoreSeq,
+				UnsafeNoRevoke: cfg.Ablation.StoreNoRevoke,
 			},
 			cfg.StoreService,
 			func(shard, replica int) packet.Addr {
@@ -313,9 +329,40 @@ func (d *Deployment) Now() Time { return d.Sim.Now() }
 // FailurePlan re-exports the failure injection schedule.
 type FailurePlan = failure.Plan
 
+// FaultEvent and FaultSchedule re-export the generalized multi-event
+// fault schedule used by the chaos harness.
+type (
+	FaultEvent    = failure.Event
+	FaultSchedule = failure.Schedule
+)
+
 // ScheduleFailure installs a failure/recovery schedule for switch i.
 func (d *Deployment) ScheduleFailure(p FailurePlan) {
-	failure.Schedule(d.Sim, d.Testbed, d.switches[p.Agg], p)
+	failure.ApplyPlan(d.Sim, d.Testbed, d.switches[p.Agg], p)
+}
+
+// ScheduleFaultEvents installs a multi-event fault schedule covering
+// aggregation switches and store-chain servers.
+func (d *Deployment) ScheduleFaultEvents(sched FaultSchedule) {
+	t := failure.Targets{
+		Testbed: d.Testbed,
+		Agg: func(i int) failure.Switchlike {
+			if i < 0 || i >= len(d.switches) {
+				return nil
+			}
+			return d.switches[i]
+		},
+	}
+	if d.Cluster != nil {
+		t.Store = func(shard, replica int) failure.Switchlike {
+			if shard < 0 || shard >= d.Cluster.Shards() ||
+				replica < 0 || replica >= d.Cluster.Replicas() {
+				return nil
+			}
+			return d.Cluster.Server(shard, replica)
+		}
+	}
+	failure.Install(d.Sim, t, sched)
 }
 
 // CheckLinearizable validates the recorded history against the per-flow

@@ -1,0 +1,240 @@
+// Package chaos is a seeded randomized fault-campaign engine for the
+// RedPlane deployment: it generates schedules of overlapping switch
+// fail-stops, link-only failures, delayed detection, flap storms, and
+// store-server failovers, drives known-answer client workloads through
+// the full simulator, and checks the protocol's correctness claims —
+// per-flow linearizability in the strict mode, bounded staleness
+// otherwise, plus standing invariants (single lease holder, no
+// acknowledged write lost, monotonic sequence numbers, store chain
+// agreement after quiescence).
+//
+// A campaign is {seed, duration, fault-rate profile} and is fully
+// reproducible: the same seed yields a byte-identical schedule and
+// verdict. On violation the engine shrinks the fault schedule by greedy
+// deletion and dumps a minimal repro for replay via cmd/redplane-chaos.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Fault is one injected failure with its optional recovery: the unit the
+// generator emits and the shrinker deletes. Times are offsets from the
+// start of the run.
+type Fault struct {
+	// Store selects a store-server fault; otherwise the fault targets an
+	// aggregation switch.
+	Store bool `json:"store,omitempty"`
+
+	// Agg is the aggregation slot (switch faults).
+	Agg int `json:"agg,omitempty"`
+	// LinkOnly fails only the slot's links, preserving switch memory.
+	LinkOnly bool `json:"link_only,omitempty"`
+	// DetectDelay is the fabric's failure-detection lag (switch faults).
+	DetectDelay time.Duration `json:"detect_delay,omitempty"`
+
+	// Shard, Replica select the store server (store faults).
+	Shard   int `json:"shard,omitempty"`
+	Replica int `json:"replica,omitempty"`
+
+	// FailAt is when the failure occurs; RecoverAt zero means never
+	// (generation only leaves switches unrecovered — store faults always
+	// recover so the chain can re-converge before quiescence checks).
+	FailAt    time.Duration `json:"fail_at"`
+	RecoverAt time.Duration `json:"recover_at,omitempty"`
+}
+
+func (f Fault) String() string {
+	if f.Store {
+		return fmt.Sprintf("store(%d,%d) fail@%v recover@%v", f.Shard, f.Replica, f.FailAt, f.RecoverAt)
+	}
+	kind := "fail-stop"
+	if f.LinkOnly {
+		kind = "link-only"
+	}
+	rec := "never"
+	if f.RecoverAt > 0 {
+		rec = f.RecoverAt.String()
+	}
+	return fmt.Sprintf("agg%d %s fail@%v detect+%v recover@%s", f.Agg, kind, f.FailAt, f.DetectDelay, rec)
+}
+
+// Profile shapes the fault-rate distribution of generated schedules.
+type Profile struct {
+	Name string `json:"name"`
+
+	// MinFaults..MaxFaults bounds the fault count per campaign.
+	MinFaults int `json:"min_faults"`
+	MaxFaults int `json:"max_faults"`
+
+	// PStore is the probability a fault targets a store replica.
+	PStore float64 `json:"p_store"`
+	// PLinkOnly is the probability a switch fault is link-only.
+	PLinkOnly float64 `json:"p_link_only"`
+	// PNoRecover is the probability a switch fault never recovers (at
+	// most one per campaign, so a switch survives to serve traffic).
+	PNoRecover float64 `json:"p_no_recover"`
+
+	// DetectMin..DetectMax bounds the fabric detection delay.
+	DetectMin time.Duration `json:"detect_min"`
+	DetectMax time.Duration `json:"detect_max"`
+	// DownMin..DownMax bounds the fail→recover interval.
+	DownMin time.Duration `json:"down_min"`
+	DownMax time.Duration `json:"down_max"`
+}
+
+// Profiles are the named fault-rate profiles selectable from the CLI.
+var Profiles = map[string]Profile{
+	"default": {
+		Name: "default", MinFaults: 2, MaxFaults: 6,
+		PStore: 0.25, PLinkOnly: 0.35, PNoRecover: 0.1,
+		DetectMin: 2 * time.Millisecond, DetectMax: 40 * time.Millisecond,
+		DownMin: 20 * time.Millisecond, DownMax: 400 * time.Millisecond,
+	},
+	// flap: storms of short link-only outages with slow detection — the
+	// regime where routing converges on stale observations and leases
+	// ping-pong between switches.
+	"flap": {
+		Name: "flap", MinFaults: 6, MaxFaults: 14,
+		PStore: 0.1, PLinkOnly: 0.9, PNoRecover: 0,
+		DetectMin: 5 * time.Millisecond, DetectMax: 60 * time.Millisecond,
+		DownMin: 5 * time.Millisecond, DownMax: 60 * time.Millisecond,
+	},
+	// storm: everything at once — overlapping switch and store failures.
+	"storm": {
+		Name: "storm", MinFaults: 6, MaxFaults: 12,
+		PStore: 0.45, PLinkOnly: 0.25, PNoRecover: 0.1,
+		DetectMin: time.Millisecond, DetectMax: 50 * time.Millisecond,
+		DownMin: 10 * time.Millisecond, DownMax: 300 * time.Millisecond,
+	},
+}
+
+// Config describes one campaign.
+type Config struct {
+	// Seed drives both schedule generation and the simulation.
+	Seed int64
+	// Bounded selects the bounded-inconsistency workload and checkers;
+	// default is the linearizable known-answer KV workload.
+	Bounded bool
+	// Duration is the active (traffic + fault) phase length; warm-up and
+	// quiescence are added around it. Zero means DefaultDuration.
+	Duration time.Duration
+	// Profile is the fault-rate profile (zero value means "default").
+	Profile Profile
+
+	// BreakNoRevoke enables the intentionally-broken protocol knob (the
+	// store grants leases without revoking the previous holder's) to
+	// demonstrate the harness catches and shrinks real violations.
+	BreakNoRevoke bool
+}
+
+// DefaultDuration is the active-phase length when Config.Duration is 0.
+const DefaultDuration = 1500 * time.Millisecond
+
+func (c Config) withDefaults() Config {
+	if c.Duration == 0 {
+		c.Duration = DefaultDuration
+	}
+	if c.Profile.Name == "" {
+		c.Profile = Profiles["default"]
+	}
+	return c
+}
+
+// ModeName names the campaign's consistency mode for reports.
+func (c Config) ModeName() string {
+	if c.Bounded {
+		return "bounded"
+	}
+	return "linearizable"
+}
+
+// Violation is one failed invariant.
+type Violation struct {
+	// Invariant names the check: "linearizability", "lease-exclusion",
+	// "lost-write", "monotonic-seq", "chain-agreement", "staleness",
+	// "overlapping-grant", "progress".
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Result is one campaign's verdict. Marshaling it yields a byte-stable
+// report: every field is derived deterministically from the seed.
+type Result struct {
+	Seed     int64         `json:"seed"`
+	Mode     string        `json:"mode"`
+	Profile  string        `json:"profile"`
+	Duration time.Duration `json:"duration"`
+
+	// Faults is the generated schedule.
+	Faults []Fault `json:"faults"`
+	// Ops counts completed workload operations (a progress floor guards
+	// against vacuously-passing runs).
+	Ops int `json:"ops"`
+
+	// Violations is empty for a clean campaign. When non-empty, Shrunk
+	// is the minimal fault subset that still reproduces a violation.
+	Violations []Violation `json:"violations,omitempty"`
+	Shrunk     []Fault     `json:"shrunk,omitempty"`
+}
+
+// Passed reports whether the campaign was clean.
+func (r Result) Passed() bool { return len(r.Violations) == 0 }
+
+// Repro is the replayable violation dump written as chaos-<seed>.json.
+type Repro struct {
+	Seed     int64         `json:"seed"`
+	Mode     string        `json:"mode"`
+	Profile  string        `json:"profile"`
+	Duration time.Duration `json:"duration"`
+	Faults   []Fault       `json:"faults"`
+
+	Violations []Violation `json:"violations"`
+}
+
+// WriteRepro dumps the shrunk schedule and its violations to path.
+func WriteRepro(path string, r Result) error {
+	rep := Repro{
+		Seed: r.Seed, Mode: r.Mode, Profile: r.Profile, Duration: r.Duration,
+		Faults: r.Shrunk, Violations: r.Violations,
+	}
+	if rep.Faults == nil {
+		rep.Faults = r.Faults
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadRepro reads a violation dump for replay.
+func LoadRepro(path string) (Repro, error) {
+	var rep Repro
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// ReplayConfig converts a repro back into the campaign config that
+// reproduces it (the faults are passed explicitly to Replay).
+func (rep Repro) ReplayConfig() Config {
+	cfg := Config{
+		Seed: rep.Seed, Duration: rep.Duration,
+		Bounded: rep.Mode == "bounded",
+	}
+	if p, ok := Profiles[rep.Profile]; ok {
+		cfg.Profile = p
+	}
+	return cfg.withDefaults()
+}

@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Op is one register operation in a per-key history: a write of Val or a
+// read returning Val, with its invocation and return times in virtual
+// nanoseconds. The checker treats the key as a single register with
+// unique write values (the workload writes opID+1, never repeating and
+// never the initial value 0).
+type Op struct {
+	Inv, Ret int64
+	Write    bool
+	Val      uint64
+}
+
+// CheckRegister decides whether the completed history is linearizable
+// for an atomic register initialized to init: there must exist a total
+// order of the operations, consistent with real time (if a returns
+// before b invokes, a precedes b), in which every read returns the value
+// of the latest preceding write (or init). It is a Wing–Gong style
+// search made tractable by two tricks:
+//
+//   - Time-window partition: the simulator's total event order means ops
+//     separated by a quiescent point — every earlier op returned before
+//     every later op invoked — can never be reordered across it, so the
+//     history splits into independent windows. Each window is checked
+//     alone; the only state crossing a cut is the set of possible
+//     register values, which seeds the next window.
+//
+//   - Memoized DFS inside a window on (linearized-set, register value):
+//     two search paths that linearized the same subset and left the same
+//     value are interchangeable, so each state is explored once. Windows
+//     can be long — one op buffered at the store through a failover
+//     overlaps every op the surviving switch completes meanwhile — but
+//     the reachable state count stays near-linear in window length when
+//     true concurrency is small, which a one-outstanding-op-per-key
+//     workload guarantees.
+//
+// Windows are capped at 4096 ops as a runaway guard; overlap that deep
+// would mean the workload driver is broken, not the protocol.
+func CheckRegister(ops []Op, init uint64) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	sorted := append([]Op(nil), ops...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Inv != sorted[b].Inv {
+			return sorted[a].Inv < sorted[b].Inv
+		}
+		return sorted[a].Ret < sorted[b].Ret
+	})
+
+	vals := map[uint64]bool{init: true}
+	start := 0
+	maxRet := int64(math.MinInt64)
+	for i, o := range sorted {
+		if i > start && o.Inv > maxRet {
+			// Quiescent cut: every op in [start, i) returned before o
+			// invoked (ties are treated as concurrent, staying in the
+			// same window).
+			next, err := searchWindow(sorted[start:i], vals)
+			if err != nil {
+				return fmt.Errorf("window [%d,%d): %w", start, i, err)
+			}
+			vals = next
+			start = i
+		}
+		if o.Ret > maxRet {
+			maxRet = o.Ret
+		}
+	}
+	if _, err := searchWindow(sorted[start:], vals); err != nil {
+		return fmt.Errorf("window [%d,%d): %w", start, len(sorted), err)
+	}
+	return nil
+}
+
+// searchWindow returns the set of register values a full linearization
+// of the window can end with, starting from any of the initial values,
+// or an error if no linearization exists from any of them.
+func searchWindow(ops []Op, inits map[uint64]bool) (map[uint64]bool, error) {
+	if len(ops) > 4096 {
+		return nil, fmt.Errorf("window of %d concurrent ops exceeds checker capacity", len(ops))
+	}
+	finals := make(map[uint64]bool)
+	w := &window{
+		ops:  ops,
+		mask: make([]uint64, (len(ops)+63)/64),
+		memo: make(map[memoKey]map[uint64]bool),
+	}
+	for v := range inits {
+		for f := range w.search(0, v) {
+			finals[f] = true
+		}
+	}
+	if len(finals) == 0 {
+		return nil, fmt.Errorf("no linearization of %d ops from values %v (first: %+v, last: %+v)",
+			len(ops), keysOf(inits), ops[0], ops[len(ops)-1])
+	}
+	return finals, nil
+}
+
+type memoKey struct {
+	mask string // linearized-set bitset bytes
+	val  uint64
+}
+
+type window struct {
+	ops  []Op
+	mask []uint64 // current linearized set, mutated with backtracking
+	memo map[memoKey]map[uint64]bool
+}
+
+func (w *window) has(i int) bool { return w.mask[i/64]&(1<<(i%64)) != 0 }
+func (w *window) set(i int)      { w.mask[i/64] |= 1 << (i % 64) }
+func (w *window) clear(i int)    { w.mask[i/64] &^= 1 << (i % 64) }
+func (w *window) maskKey() string {
+	b := make([]byte, 8*len(w.mask))
+	for i, word := range w.mask {
+		for j := 0; j < 8; j++ {
+			b[8*i+j] = byte(word >> (8 * j))
+		}
+	}
+	return string(b)
+}
+
+// search returns the final register values reachable by linearizing the
+// ops outside the current mask, starting from value val (done counts
+// linearized ops). Empty means stuck.
+func (w *window) search(done int, val uint64) map[uint64]bool {
+	if done == len(w.ops) {
+		return map[uint64]bool{val: true}
+	}
+	k := memoKey{w.maskKey(), val}
+	if r, ok := w.memo[k]; ok {
+		return r
+	}
+	out := make(map[uint64]bool)
+	// minRet over unlinearized ops: o may go next only if no unlinearized
+	// p returned strictly before o invoked (p would have to precede it).
+	minRet := int64(math.MaxInt64)
+	for i, o := range w.ops {
+		if !w.has(i) && o.Ret < minRet {
+			minRet = o.Ret
+		}
+	}
+	for i, o := range w.ops {
+		if w.has(i) || o.Inv > minRet {
+			continue
+		}
+		next := val
+		if o.Write {
+			next = o.Val
+		} else if o.Val != val {
+			continue
+		}
+		w.set(i)
+		for f := range w.search(done+1, next) {
+			out[f] = true
+		}
+		w.clear(i)
+	}
+	w.memo[k] = out
+	return out
+}
+
+func keysOf(m map[uint64]bool) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	return ks
+}

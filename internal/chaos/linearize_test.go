@@ -1,0 +1,121 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+func w(inv, ret int64, val uint64) Op { return Op{Inv: inv, Ret: ret, Write: true, Val: val} }
+func r(inv, ret int64, val uint64) Op { return Op{Inv: inv, Ret: ret, Val: val} }
+
+func TestCheckRegisterSequential(t *testing.T) {
+	ops := []Op{
+		r(0, 1, 0), // initial value
+		w(2, 3, 7),
+		r(4, 5, 7),
+		w(6, 7, 9),
+		r(8, 9, 9),
+	}
+	if err := CheckRegister(ops, 0); err != nil {
+		t.Fatalf("sequential history rejected: %v", err)
+	}
+}
+
+func TestCheckRegisterStaleRead(t *testing.T) {
+	ops := []Op{
+		w(0, 1, 7),
+		r(2, 3, 0), // reads the initial value after the write returned
+	}
+	err := CheckRegister(ops, 0)
+	if err == nil {
+		t.Fatal("stale read accepted")
+	}
+}
+
+func TestCheckRegisterLostUpdate(t *testing.T) {
+	ops := []Op{
+		w(0, 1, 7),
+		w(2, 3, 9),
+		r(4, 5, 7), // 9 must be the latest write
+	}
+	if err := CheckRegister(ops, 0); err == nil {
+		t.Fatal("lost update accepted")
+	}
+}
+
+func TestCheckRegisterConcurrentWriteEitherOrder(t *testing.T) {
+	// Two overlapping writes: a subsequent read may see either.
+	for _, seen := range []uint64{7, 9} {
+		ops := []Op{
+			w(0, 10, 7),
+			w(1, 9, 9),
+			r(20, 21, seen),
+		}
+		if err := CheckRegister(ops, 0); err != nil {
+			t.Fatalf("concurrent writes, read %d rejected: %v", seen, err)
+		}
+	}
+	// But it cannot see a value never written.
+	if err := CheckRegister([]Op{w(0, 10, 7), w(1, 9, 9), r(20, 21, 3)}, 0); err == nil {
+		t.Fatal("phantom value accepted")
+	}
+}
+
+func TestCheckRegisterReadConcurrentWithWrite(t *testing.T) {
+	// A read overlapping a write may return old or new value.
+	for _, seen := range []uint64{0, 7} {
+		ops := []Op{w(0, 10, 7), r(5, 6, seen)}
+		if err := CheckRegister(ops, 0); err != nil {
+			t.Fatalf("read %d during write rejected: %v", seen, err)
+		}
+	}
+}
+
+// TestCheckRegisterWindowPartition exercises the time-window cut: value
+// possibilities must chain across windows, and a violation in a later
+// window must still be caught.
+func TestCheckRegisterWindowPartition(t *testing.T) {
+	// Window 1 ends ambiguously (two concurrent writes); window 2 reads
+	// one of the possible finals — fine either way.
+	ok := []Op{
+		w(0, 10, 7), w(1, 9, 9), // window 1: final ∈ {7, 9}
+		r(100, 101, 9), // window 2
+	}
+	if err := CheckRegister(ok, 0); err != nil {
+		t.Fatalf("cross-window chain rejected: %v", err)
+	}
+	bad := []Op{
+		w(0, 10, 7), w(1, 9, 9),
+		r(100, 101, 9),
+		r(200, 201, 7), // window 3: 7 is no longer possible once 9 was read
+	}
+	err := CheckRegister(bad, 0)
+	if err == nil {
+		t.Fatal("impossible cross-window read accepted")
+	}
+	if !strings.Contains(err.Error(), "window") {
+		t.Errorf("error does not locate the window: %v", err)
+	}
+}
+
+// TestCheckRegisterLongWindow covers the buffered-op shape from real
+// campaigns: one write outstanding across hundreds of sequential ops.
+// The memoized search must stay near-linear.
+func TestCheckRegisterLongWindow(t *testing.T) {
+	var ops []Op
+	const n = 500
+	ops = append(ops, Op{Inv: 0, Ret: int64(10 * n), Write: true, Val: 999})
+	last := uint64(0)
+	for i := 1; i < n; i++ {
+		t0 := int64(10 * i)
+		if i%2 == 0 {
+			ops = append(ops, w(t0, t0+5, uint64(i)))
+			last = uint64(i)
+		} else {
+			ops = append(ops, r(t0, t0+5, last))
+		}
+	}
+	if err := CheckRegister(ops, 0); err != nil {
+		t.Fatalf("long window rejected: %v", err)
+	}
+}

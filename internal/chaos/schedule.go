@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"math/rand"
+	"time"
+
+	"redplane/internal/failure"
+)
+
+// Deployment shape the campaigns run against: two programmable
+// aggregation switches over one store shard with 3-way chain replication,
+// matching the paper's testbed.
+const (
+	numSwitches   = 2
+	storeShards   = 1
+	storeReplicas = 3
+)
+
+// Generate derives the campaign's fault schedule from its seed alone:
+// the same (seed, profile, duration) always yields the identical
+// schedule, byte for byte. Fault times land inside the active phase;
+// store faults always recover before it ends so the chain can converge
+// for the quiescence checks, and at most one switch fault is permanent
+// so traffic always has somewhere to land.
+func Generate(cfg Config) []Fault {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := cfg.Profile
+	active := cfg.Duration
+
+	n := p.MinFaults
+	if p.MaxFaults > p.MinFaults {
+		n += rng.Intn(p.MaxFaults - p.MinFaults + 1)
+	}
+	durBetween := func(lo, hi time.Duration) time.Duration {
+		if hi <= lo {
+			return lo
+		}
+		return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+	}
+
+	var faults []Fault
+	permanentUsed := false
+	for i := 0; i < n; i++ {
+		failAt := warmup + durBetween(0, active)
+		if rng.Float64() < p.PStore {
+			recoverAt := failAt + durBetween(p.DownMin, p.DownMax)
+			if max := warmup + active; recoverAt > max {
+				recoverAt = max
+			}
+			faults = append(faults, Fault{
+				Store: true, Shard: rng.Intn(storeShards), Replica: rng.Intn(storeReplicas),
+				FailAt: failAt, RecoverAt: recoverAt,
+			})
+			continue
+		}
+		f := Fault{
+			Agg:         rng.Intn(numSwitches),
+			LinkOnly:    rng.Float64() < p.PLinkOnly,
+			DetectDelay: durBetween(p.DetectMin, p.DetectMax),
+			FailAt:      failAt,
+		}
+		if !permanentUsed && rng.Float64() < p.PNoRecover {
+			permanentUsed = true // RecoverAt stays 0: down for good
+		} else {
+			f.RecoverAt = failAt + durBetween(p.DownMin, p.DownMax)
+		}
+		faults = append(faults, f)
+	}
+	return faults
+}
+
+// compile lowers the fault list to the failure package's event schedule.
+func compile(faults []Fault) failure.Schedule {
+	var sched failure.Schedule
+	for _, f := range faults {
+		if f.Store {
+			sched.Events = append(sched.Events, failure.Event{
+				At: f.FailAt, Kind: failure.StoreFail, Shard: f.Shard, Replica: f.Replica,
+			})
+			if f.RecoverAt > 0 {
+				sched.Events = append(sched.Events, failure.Event{
+					At: f.RecoverAt, Kind: failure.StoreRecover, Shard: f.Shard, Replica: f.Replica,
+				})
+			}
+			continue
+		}
+		sched.Events = append(sched.Events, failure.Event{
+			At: f.FailAt, Kind: failure.AggFail, Agg: f.Agg,
+			DetectDelay: f.DetectDelay, LinkOnly: f.LinkOnly,
+		})
+		if f.RecoverAt > 0 {
+			sched.Events = append(sched.Events, failure.Event{
+				At: f.RecoverAt, Kind: failure.AggRecover, Agg: f.Agg,
+				DetectDelay: f.DetectDelay, LinkOnly: f.LinkOnly,
+			})
+		}
+	}
+	return sched
+}
+
+// Shrink minimizes a violating fault schedule by greedy deletion: drop
+// one fault at a time, re-run, and keep any drop that preserves some
+// violation. The result is 1-minimal — removing any single remaining
+// fault yields a clean run.
+func Shrink(cfg Config, faults []Fault) ([]Fault, []Violation) {
+	cfg = cfg.withDefaults()
+	vio := runOnce(cfg, faults).Violations
+	if len(vio) == 0 {
+		return faults, nil
+	}
+	for {
+		dropped := false
+		for i := range faults {
+			cand := make([]Fault, 0, len(faults)-1)
+			cand = append(cand, faults[:i]...)
+			cand = append(cand, faults[i+1:]...)
+			if v := runOnce(cfg, cand).Violations; len(v) > 0 {
+				faults, vio = cand, v
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return faults, vio
+		}
+	}
+}

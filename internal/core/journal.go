@@ -1,0 +1,55 @@
+package core
+
+import (
+	"redplane/internal/packet"
+)
+
+// JournalEntry records one acknowledged write: the store's chain tail
+// confirmed durability for the flow's state at this sequence number, so
+// the protocol promises the write survives any subsequent switch failure.
+type JournalEntry struct {
+	// Key is the flow whose state was replicated.
+	Key packet.FiveTuple
+	// Seq is the acknowledged per-flow sequence number.
+	Seq uint64
+	// Vals is the replicated state at Seq, as sent in the request.
+	Vals []uint64
+	// At is the virtual time the ack arrived at the switch (ns).
+	At int64
+	// SwitchID is the switch that observed the ack.
+	SwitchID int
+}
+
+// WriteJournal accumulates acknowledged writes across every switch it is
+// attached to (via Config.Journal). The chaos harness's no-lost-write
+// checker compares it against store tail state after quiescence: every
+// journaled write must be covered there — an acknowledged write that the
+// store cannot produce was lost across a failover. A nil *WriteJournal is
+// inert, so the hook costs nothing when unused.
+type WriteJournal struct {
+	entries []JournalEntry
+}
+
+// Record appends an acknowledged write. Nil-safe.
+func (j *WriteJournal) Record(e JournalEntry) {
+	if j == nil {
+		return
+	}
+	j.entries = append(j.entries, e)
+}
+
+// Entries returns the journal in ack-arrival order.
+func (j *WriteJournal) Entries() []JournalEntry {
+	if j == nil {
+		return nil
+	}
+	return j.entries
+}
+
+// Len returns the number of journaled writes.
+func (j *WriteJournal) Len() int {
+	if j == nil {
+		return 0
+	}
+	return len(j.entries)
+}

@@ -46,9 +46,21 @@ type Config struct {
 	// (the paper's "FT Switch-NAT w/ controller" baseline: a 1 Gbps
 	// management channel plus controller chain replication).
 	LocalInitExtraDelay time.Duration
+	// LeaseGuard shortens the switch's view of its lease: the switch
+	// treats the lease as expired LeaseGuard before the store-granted
+	// period elapses. The store starts the period when it processes the
+	// grant, the switch when the ack arrives — one way-delay later — so
+	// without a guard the switch's lease outlives the store's and a
+	// failover in that window lets two switches serve the same flow. Any
+	// guard larger than the maximum one-way protocol delay closes the
+	// window. Clamped to half the granted period.
+	LeaseGuard time.Duration
 	// History, when non-nil, records input/output events for offline
 	// linearizability checking.
 	History *History
+	// Journal, when non-nil, records every acknowledged replicated write
+	// for the chaos harness's no-lost-write checker.
+	Journal *WriteJournal
 	// EmulatedRequestLoss drops outgoing protocol requests at the switch
 	// with this probability — the methodology §7.4 uses to measure
 	// buffer occupancy under request loss ("we emulate the request loss
@@ -77,6 +89,9 @@ func DefaultConfig() Config {
 		RetransTimeout: time.Millisecond,
 		SnapshotPeriod: time.Millisecond,
 		CPOpLatency:    100 * time.Microsecond,
+		// Far above the simulated fabric's one-way protocol delay
+		// (tens of µs), far below the lease period.
+		LeaseGuard: 10 * time.Millisecond,
 		// A slice of the ASIC's packet buffer for mirrored requests.
 		MirrorBufferLimit: 256 * 1024,
 	}
@@ -687,7 +702,7 @@ func (s *Switch) handleAck(m *wire.Message) {
 		s.handleLeaseNewAck(m)
 	case wire.MsgLeaseRenewAck:
 		if fc, ok := s.flows[m.Key]; ok && fc.haveLease {
-			fc.leaseExpiry = s.sim.Now() + netsim.Duration(time.Duration(m.LeaseMillis)*time.Millisecond)
+			fc.leaseExpiry = s.sim.Now() + s.leaseDuration(m.LeaseMillis)
 			s.trace(obs.EvLeaseRenew, m.Key, 0, int64(m.LeaseMillis))
 		}
 	case wire.MsgReplAck, wire.MsgSnapshotAck:
@@ -742,7 +757,7 @@ func (s *Switch) handleLeaseNewAck(m *wire.Message) {
 		}
 		fc.initializing = false
 		fc.haveLease = true
-		fc.leaseExpiry = s.sim.Now() + netsim.Duration(time.Duration(m.LeaseMillis)*time.Millisecond)
+		fc.leaseExpiry = s.sim.Now() + s.leaseDuration(m.LeaseMillis)
 		fc.state = append([]uint64(nil), m.Vals...)
 		fc.seq = m.Seq
 		fc.lastAcked = m.Seq
@@ -766,6 +781,18 @@ func (s *Switch) handleLeaseNewAck(m *wire.Message) {
 	}
 }
 
+// leaseDuration converts a granted lease period to the switch's local
+// expiry horizon, shortened by the configured guard (clamped to half the
+// period so a misconfigured guard cannot zero the lease).
+func (s *Switch) leaseDuration(leaseMillis uint32) netsim.Time {
+	period := time.Duration(leaseMillis) * time.Millisecond
+	guard := s.cfg.LeaseGuard
+	if guard > period/2 {
+		guard = period / 2
+	}
+	return netsim.Duration(period - guard)
+}
+
 func (s *Switch) handleReplAck(m *wire.Message) {
 	fc, ok := s.flows[m.Key]
 	if !ok {
@@ -775,9 +802,17 @@ func (s *Switch) handleReplAck(m *wire.Message) {
 		fc.lastAcked = m.Seq
 	}
 	s.trace(obs.EvReplAck, m.Key, m.Seq, 0)
-	// Acks cover cumulatively: drop every buffered request at or below.
+	// Acks cover cumulatively: drop every buffered request at or below,
+	// journaling each acknowledged replication as durable.
 	for seq, pr := range fc.pending {
 		if seq <= m.Seq {
+			if pr.msg.Type == wire.MsgRepl {
+				s.cfg.Journal.Record(JournalEntry{
+					Key: m.Key, Seq: seq,
+					Vals: append([]uint64(nil), pr.msg.Vals...),
+					At:   int64(s.sim.Now()), SwitchID: s.id,
+				})
+			}
 			s.met.bufBytes.Add(-int64(pr.bytes))
 			s.met.inflight.Add(-1)
 			delete(fc.pending, seq)

@@ -94,6 +94,39 @@ func (c *Cluster) TotalBytes() (rx, tx uint64) {
 	return rx, tx
 }
 
+// Replicas returns the chain length.
+func (c *Cluster) Replicas() int { return c.replicas }
+
+// ChainDigests returns the per-replica state digests of every shard's
+// chain, [shard][replica] with replica 0 the head. After quiescence a
+// healthy chain's digests are all equal; see (*Shard).Digest.
+func (c *Cluster) ChainDigests() [][]uint64 {
+	out := make([][]uint64, c.shards)
+	for sh, row := range c.servers {
+		ds := make([]uint64, len(row))
+		for r, srv := range row {
+			ds[r] = srv.Shard().Digest()
+		}
+		out[sh] = ds
+	}
+	return out
+}
+
+// ChainAgreement checks that every replica of every chain digests
+// identically, returning a descriptive error for the first divergent
+// chain found. Valid only after quiescence with all servers recovered.
+func (c *Cluster) ChainAgreement() error {
+	for sh, ds := range c.ChainDigests() {
+		for r := 1; r < len(ds); r++ {
+			if ds[r] != ds[0] {
+				return fmt.Errorf("store chain %d diverged: replica %d digest %#x != head digest %#x",
+					sh, r, ds[r], ds[0])
+			}
+		}
+	}
+	return nil
+}
+
 // Stats snapshots every server, row by row (chain head first).
 func (c *Cluster) Stats() []ServerStats {
 	out := make([]ServerStats, 0, c.shards*c.replicas)

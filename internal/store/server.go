@@ -42,6 +42,7 @@ type Server struct {
 
 	shard *Shard
 	port  *netsim.Port
+	dead  bool
 
 	// next is the chain successor; nil for the tail or for unreplicated
 	// deployments.
@@ -141,6 +142,31 @@ func (s *Server) traceLeases(before Stats, key packet.FiveTuple, haveKey bool) {
 // Name implements netsim.Node.
 func (s *Server) Name() string { return s.name }
 
+// Alive reports whether the server is processing requests.
+func (s *Server) Alive() bool { return !s.dead }
+
+// Fail crashes the server: frames are dropped and queued work is
+// abandoned until Recover. The shard state survives the crash (a warm
+// restart, as for a disk-backed or peer-resynced store server); chain
+// convergence is restored by the switches' retransmissions, which the
+// head re-propagates down the chain (see Shard.Process stale handling).
+func (s *Server) Fail() {
+	s.dead = true
+	if s.tr.Active() {
+		s.tr.Emit(obs.Event{T: int64(s.sim.Now()), Type: obs.EvFailure, Comp: s.name})
+	}
+}
+
+// Recover restarts a crashed server.
+func (s *Server) Recover() {
+	s.dead = false
+	s.busyUntil = s.sim.Now()
+	if s.tr.Active() {
+		s.tr.Emit(obs.Event{T: int64(s.sim.Now()), Type: obs.EvRecovery, Comp: s.name})
+	}
+	s.armWake() // lease-expiry wakes skipped while dead are re-armed
+}
+
 // Shard exposes the server's shard replica (tests, recovery tooling).
 func (s *Server) Shard() *Shard { return s.shard }
 
@@ -154,6 +180,10 @@ func (s *Server) SetNext(n *Server) { s.next = n }
 // Receive implements netsim.Node: protocol requests from switches and
 // chain traffic from predecessors.
 func (s *Server) Receive(f *netsim.Frame, _ *netsim.Port) {
+	if s.dead {
+		s.dropped.Inc()
+		return
+	}
 	s.rxBytes.Add(uint64(f.Size))
 	s.rxFrames.Inc()
 	switch m := f.Msg.(type) {
@@ -184,7 +214,12 @@ func (s *Server) serve(fn func()) {
 	}
 	done := start + netsim.Duration(s.ServiceTime)
 	s.busyUntil = done
-	s.sim.At(done, fn)
+	s.sim.At(done, func() {
+		if s.dead {
+			return // crashed while the request was queued
+		}
+		fn()
+	})
 }
 
 func (s *Server) handleRequest(m *wire.Message) {
@@ -263,6 +298,9 @@ func (s *Server) armWake() {
 	}
 	s.sim.At(when, func() {
 		s.wakeArmed = false
+		if s.dead {
+			return // Recover re-arms the wake timer
+		}
 		before := s.shard.Stats
 		outs, ups := s.shard.Flush(int64(s.sim.Now()))
 		s.traceLeases(before, packet.FiveTuple{}, false)

@@ -10,7 +10,10 @@
 package store
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"time"
 
 	"redplane/internal/packet"
@@ -87,6 +90,14 @@ type Config struct {
 	// arrival order, recreating the Fig. 6a inconsistency. FOR ABLATION
 	// EXPERIMENTS ONLY.
 	IgnoreSeq bool
+
+	// UnsafeNoRevoke disables lease exclusion: lease requests are granted
+	// immediately even while another switch holds an active lease, and
+	// replication from a stale owner is still accepted — the "skip
+	// revocation on failover" protocol bug. FOR CHAOS-HARNESS
+	// FAULT-FINDING DEMONSTRATIONS ONLY: the chaos campaign's
+	// linearizability and lease-invariant checkers must catch it.
+	UnsafeNoRevoke bool
 }
 
 // Shard is one state-store partition. It is single-threaded by design:
@@ -117,6 +128,12 @@ type Stats struct {
 	BufferedReads  uint64
 	SnapshotSlots  uint64
 	SnapshotImages uint64
+	// OverlappingGrants counts leases granted while another switch still
+	// held an unexpired lease on the flow — impossible under the §5.3
+	// exclusion protocol, and exactly what the UnsafeNoRevoke chaos knob
+	// (or a future protocol regression) exposes. The chaos harness
+	// asserts it stays zero.
+	OverlappingGrants uint64
 }
 
 // NewShard creates an empty shard.
@@ -175,6 +192,9 @@ func (s *Shard) Process(now int64, m *wire.Message) (outs []Output, ups []Update
 
 func (s *Shard) grant(now int64, f *flowState, m *wire.Message) (Output, Update) {
 	newFlow := !f.exists
+	if f.owner != NoOwner && f.owner != m.SwitchID && f.leaseExpiry > now {
+		s.Stats.OverlappingGrants++
+	}
 	if newFlow {
 		if s.cfg.InitState != nil {
 			f.vals = s.cfg.InitState(m.Key)
@@ -203,7 +223,8 @@ func (s *Shard) grant(now int64, f *flowState, m *wire.Message) (Output, Update)
 
 func (s *Shard) processLeaseNew(now int64, m *wire.Message) ([]Output, []Update) {
 	f := s.flow(m.Key)
-	if f.owner != NoOwner && f.owner != m.SwitchID && f.leaseExpiry > now {
+	if !s.cfg.UnsafeNoRevoke &&
+		f.owner != NoOwner && f.owner != m.SwitchID && f.leaseExpiry > now {
 		// Another switch holds an active lease: queue the request (the
 		// TLA+ spec's BUFFERING transition). It will be re-processed
 		// when the lease expires.
@@ -239,7 +260,7 @@ func (s *Shard) processLeaseRenew(now int64, m *wire.Message) ([]Output, []Updat
 
 func (s *Shard) processRepl(now int64, m *wire.Message) ([]Output, []Update) {
 	f := s.flow(m.Key)
-	if f.owner != m.SwitchID || f.leaseExpiry <= now {
+	if !s.cfg.UnsafeNoRevoke && (f.owner != m.SwitchID || f.leaseExpiry <= now) {
 		// Stale owner: reject so the switch re-leases. This is the
 		// §5.3 guard against two switches writing concurrently.
 		return []Output{{DstSwitch: m.SwitchID, Msg: &wire.Message{
@@ -270,12 +291,20 @@ func (s *Shard) processRepl(now int64, m *wire.Message) ([]Output, []Update) {
 	if m.Seq <= f.lastSeq {
 		// Duplicate or reordered-behind: already applied. Ack
 		// cumulatively; return the piggyback (if this copy still has
-		// one) so the output packet is not lost needlessly.
+		// one) so the output packet is not lost needlessly. The current
+		// state re-propagates down the chain with the ack: a duplicate
+		// usually means an earlier chain message may have been lost at a
+		// crashed replica, and riding the ack through the chain both
+		// restores replica convergence and keeps the ack from being
+		// released while the chain is still broken.
 		s.Stats.ReplStale++
-		return []Output{{DstSwitch: m.SwitchID, Msg: &wire.Message{
+		out := Output{DstSwitch: m.SwitchID, Msg: &wire.Message{
 			Type: wire.MsgReplAck, Seq: f.lastSeq, Key: m.Key,
 			SwitchID: m.SwitchID, StoreShard: m.StoreShard, Piggyback: m.Piggyback,
-		}}}, nil
+		}}
+		up := Update{Key: m.Key, Vals: append([]uint64(nil), f.vals...),
+			LastSeq: f.lastSeq, Owner: f.owner, LeaseExpiry: f.leaseExpiry, Exists: f.exists}
+		return []Output{out}, []Update{up}
 	}
 	// Newer than anything applied: commit it. Replication requests carry
 	// the flow's full state, so a gap means intervening updates were
@@ -421,6 +450,59 @@ func (s *Shard) LastSnapshot(key packet.FiveTuple) ([]uint64, int64) {
 		return nil, 0
 	}
 	return append([]uint64(nil), f.lastSnapshot...), f.lastSnapTime
+}
+
+// Digest returns an order-independent FNV-1a hash of the shard's durable
+// replicated state: for every initialized flow, its key, last applied
+// sequence number, and values, iterated in sorted key order. Lease
+// metadata and snapshot images are excluded — leases are soft state and
+// snapshot slot maps are only assembled where the image completes — so
+// after quiescence every replica of a healthy chain digests identically.
+// The chaos harness uses this for the chain-agreement invariant.
+func (s *Shard) Digest() uint64 {
+	keys := make([]packet.FiveTuple, 0, len(s.flows))
+	for k, f := range s.flows {
+		// Skip flows with no replicated write state (lease-only or
+		// snapshot-only): whether their creation reached a given replica
+		// is not part of the durability promise.
+		if !f.exists || (len(f.vals) == 0 && f.lastSeq == 0) {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
+		switch {
+		case ka.Src != kb.Src:
+			return ka.Src < kb.Src
+		case ka.Dst != kb.Dst:
+			return ka.Dst < kb.Dst
+		case ka.SrcPort != kb.SrcPort:
+			return ka.SrcPort < kb.SrcPort
+		case ka.DstPort != kb.DstPort:
+			return ka.DstPort < kb.DstPort
+		default:
+			return ka.Proto < kb.Proto
+		}
+	})
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, k := range keys {
+		f := s.flows[k]
+		put(uint64(k.Src))
+		put(uint64(k.Dst))
+		put(uint64(k.SrcPort)<<24 | uint64(k.DstPort)<<8 | uint64(k.Proto))
+		put(f.lastSeq)
+		put(uint64(len(f.vals)))
+		for _, v := range f.vals {
+			put(v)
+		}
+	}
+	return h.Sum64()
 }
 
 // String summarizes the shard for traces.

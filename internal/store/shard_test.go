@@ -130,10 +130,11 @@ func TestReplStaleSeqNotApplied(t *testing.T) {
 	s.Process(1, repl(1, tkey(1), 1, 10))
 	s.Process(2, repl(1, tkey(1), 2, 20))
 	// A delayed duplicate of seq 1 must not clobber seq 2's value (the
-	// Fig. 6a inconsistency the sequencing exists to prevent).
+	// Fig. 6a inconsistency the sequencing exists to prevent). The dup
+	// re-propagates the CURRENT state down the chain for convergence.
 	outs, ups := s.Process(3, repl(1, tkey(1), 1, 10))
-	if len(ups) != 0 {
-		t.Error("stale repl mutated state")
+	if len(ups) != 1 || ups[0].LastSeq != 2 || ups[0].Vals[0] != 20 {
+		t.Errorf("stale repl should re-propagate current state, ups = %+v", ups)
 	}
 	if len(outs) != 1 || outs[0].Msg.Seq != 2 {
 		t.Errorf("stale ack = %+v", outs[0].Msg)
@@ -161,10 +162,11 @@ func TestReplGapSkipsForward(t *testing.T) {
 	if s.Stats.ReplGapSkips != 1 {
 		t.Errorf("gap skips = %d", s.Stats.ReplGapSkips)
 	}
-	// The late seq 1 must NOT clobber seq 2's value.
+	// The late seq 1 must NOT clobber seq 2's value; the chain update it
+	// triggers carries the current state, not the stale one.
 	outs, ups = s.Process(2, repl(1, tkey(1), 1, 10))
-	if len(ups) != 0 {
-		t.Fatal("stale repl mutated state")
+	if len(ups) != 1 || ups[0].LastSeq != 2 || ups[0].Vals[0] != 20 {
+		t.Fatalf("stale repl should re-propagate current state, ups = %+v", ups)
 	}
 	if len(outs) != 1 || outs[0].Msg.Seq != 2 {
 		t.Errorf("stale ack = %+v", outs[0].Msg)

@@ -89,6 +89,15 @@ func DefaultProtocolConfig() ProtocolConfig { return core.DefaultConfig() }
 // histories (Definitions 2-4 of the paper).
 type History = core.History
 
+// WriteJournal records acknowledged replicated writes across all
+// switches; JournalEntry is one such write. Enabled by
+// DeploymentConfig.RecordJournal and consumed by internal/chaos's
+// no-lost-write checker.
+type (
+	WriteJournal = core.WriteJournal
+	JournalEntry = core.JournalEntry
+)
+
 // Packet is the simulated network packet.
 type Packet = packet.Packet
 

@@ -34,6 +34,10 @@ type SnapshotTotals struct {
 	LeaseMigrated              uint64
 	ReplApplied, ReplStale     uint64
 	StoreDroppedRequests       uint64
+	// StoreOverlappingGrants counts leases granted while another
+	// unexpired lease existed — always zero for a correct protocol (the
+	// chaos harness asserts this).
+	StoreOverlappingGrants uint64
 }
 
 // Snapshot captures the current counters of every switch and store
@@ -62,7 +66,28 @@ func (d *Deployment) Snapshot() DeploymentSnapshot {
 			snap.Totals.ReplApplied += st.Shard.ReplApplied
 			snap.Totals.ReplStale += st.Shard.ReplStale
 			snap.Totals.StoreDroppedRequests += st.DroppedRequests
+			snap.Totals.StoreOverlappingGrants += st.Shard.OverlappingGrants
 		}
 	}
 	return snap
+}
+
+// ChainDigests returns the per-replica state digests of every store
+// chain, [shard][replica] (head first); nil without a store. After
+// quiescence a healthy chain's digests all agree.
+func (d *Deployment) ChainDigests() [][]uint64 {
+	if d.Cluster == nil {
+		return nil
+	}
+	return d.Cluster.ChainDigests()
+}
+
+// ChainAgreement checks that every store chain's replicas digest
+// identically (nil without a store). Meaningful only after quiescence
+// with all store servers recovered.
+func (d *Deployment) ChainAgreement() error {
+	if d.Cluster == nil {
+		return nil
+	}
+	return d.Cluster.ChainAgreement()
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race check bench fmt lint chaos
+.PHONY: all build test race check bench bench-json fmt lint chaos
 
 all: build
 
@@ -11,10 +11,11 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages with cross-goroutine surface:
-# internal/obs (registries read while the simulator writes) and
-# internal/core (hot-path atomic counters).
+# internal/obs (registries read while the simulator writes),
+# internal/core (hot-path atomic counters), and internal/runner (the
+# parallel trial executor; its determinism tests double as race proof).
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/runner/...
 
 # The CI gate: gofmt, vet, build, full tests, race pass.
 check:
@@ -22,6 +23,13 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# The full baseline pipeline: micro + figure benches + the
+# sequential-vs-parallel wall-clock comparison, folded into a
+# benchstat-friendly BENCH_<date>.json (see EXPERIMENTS.md). Set
+# BASELINE=BENCH_old.json to embed deltas against a previous snapshot.
+bench-json:
+	sh scripts/bench.sh
 
 fmt:
 	gofmt -w .
@@ -32,6 +40,8 @@ lint:
 	CI_LINT=1 sh scripts/check.sh
 
 # A quick chaos campaign sweep: 20 seeds, both consistency modes, the
-# default fault profile. Violations dump chaos-<seed>.json repros.
+# default fault profile, fanned across every core (-parallel 0); the
+# verdicts are byte-identical to a sequential run. Violations dump
+# chaos-<seed>.json repros.
 chaos:
-	$(GO) run ./cmd/redplane-chaos -campaigns 20 -seed 1
+	$(GO) run ./cmd/redplane-chaos -campaigns 20 -seed 1 -parallel 0

@@ -1,0 +1,193 @@
+// Command benchjson converts `go test -bench` text output into the
+// repo's BENCH_<date>.json format: one JSON document holding every
+// benchmark's metrics, the raw benchstat-compatible lines, and —
+// when a baseline file is given — the baseline numbers and the
+// percentage deltas against them. scripts/bench.sh drives it; see
+// EXPERIMENTS.md ("Benchmark baselines") for how to read and refresh
+// the checked-in snapshots.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchjson -date 2026-08-06 -out BENCH_2026-08-06.json
+//	benchjson -baseline BENCH_old.json -out BENCH_new.json bench1.txt bench2.txt
+//
+// Input is read from the file arguments, or stdin when none are given.
+// Lines not starting with "Benchmark" are ignored, so raw `go test`
+// output can be piped straight in. To feed the raw lines back into
+// benchstat, extract them with: jq -r '.benchmarks[].raw' BENCH_x.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	// Name is the benchmark name with the trailing -<procs> suffix
+	// stripped (it is recorded separately so renaming GOMAXPROCS does
+	// not break baseline matching).
+	Name  string `json:"name"`
+	Procs int    `json:"procs,omitempty"`
+	Iters int64  `json:"iters"`
+	// Metrics maps unit → value, e.g. "ns/op": 89.76, "allocs/op": 0.
+	Metrics map[string]float64 `json:"metrics"`
+	// Raw is the original benchstat-compatible line.
+	Raw string `json:"raw"`
+	// Baseline and DeltaPct are filled when -baseline is given and the
+	// baseline file has a benchmark with the same name: DeltaPct is
+	// 100*(new-old)/old per shared metric (negative = improvement for
+	// cost metrics like ns/op and allocs/op).
+	Baseline map[string]float64 `json:"baseline,omitempty"`
+	DeltaPct map[string]float64 `json:"delta_pct,omitempty"`
+}
+
+// File is the BENCH_<date>.json document.
+type File struct {
+	Date       string  `json:"date"`
+	Go         string  `json:"go"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Note       string  `json:"note,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+var procSuffix = regexp.MustCompile(`-(\d+)$`)
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	date := flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the document")
+	note := flag.String("note", "", "free-form note recorded in the document")
+	baseline := flag.String("baseline", "", "previous BENCH_*.json to diff against")
+	flag.Parse()
+
+	var base map[string]Entry
+	if *baseline != "" {
+		b, err := loadBaseline(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base = b
+	}
+
+	doc := File{Date: *date, Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Note: *note}
+	readInput(func(line string) {
+		e, ok := parseLine(line)
+		if !ok {
+			return
+		}
+		if old, found := base[e.Name]; found {
+			e.Baseline = old.Metrics
+			e.DeltaPct = map[string]float64{}
+			for unit, v := range e.Metrics {
+				if ov, ok := old.Metrics[unit]; ok && ov != 0 {
+					e.DeltaPct[unit] = 100 * (v - ov) / ov
+				}
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, e)
+	})
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in input"))
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// readInput feeds every line of the argument files (or stdin) to fn.
+func readInput(fn func(string)) {
+	paths := flag.Args()
+	if len(paths) == 0 {
+		scan(os.Stdin, fn)
+		return
+	}
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			fatal(err)
+		}
+		scan(f, fn)
+		f.Close()
+	}
+}
+
+func scan(r io.Reader, fn func(string)) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fn(sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkName-8   12345   89.76 ns/op   0 B/op   0 allocs/op   1.5 extra-unit
+func parseLine(line string) (Entry, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Entry{}, false
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: f[0], Iters: iters, Metrics: map[string]float64{}, Raw: line}
+	if m := procSuffix.FindStringSubmatch(e.Name); m != nil {
+		e.Procs, _ = strconv.Atoi(m[1])
+		e.Name = strings.TrimSuffix(e.Name, m[0])
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		e.Metrics[f[i+1]] = v
+	}
+	return e, true
+}
+
+func loadBaseline(path string) (map[string]Entry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc File
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Entry, len(doc.Benchmarks))
+	for _, e := range doc.Benchmarks {
+		m[e.Name] = e
+	}
+	return m, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

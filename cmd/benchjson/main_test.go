@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	e, ok := parseLine("BenchmarkSimAtStep-8 \t 3870598\t       294.3 ns/op\t      48 B/op\t       2 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if e.Name != "BenchmarkSimAtStep" || e.Procs != 8 || e.Iters != 3870598 {
+		t.Fatalf("header parsed as %+v", e)
+	}
+	for unit, want := range map[string]float64{"ns/op": 294.3, "B/op": 48, "allocs/op": 2} {
+		if got := e.Metrics[unit]; got != want {
+			t.Errorf("%s = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestParseLineCustomMetric(t *testing.T) {
+	e, ok := parseLine("BenchmarkFig8LatencyNAT 	1	123456 ns/op	 14.5 p50-µs")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if e.Procs != 0 {
+		t.Fatalf("procs = %d for suffix-less name", e.Procs)
+	}
+	if e.Metrics["p50-µs"] != 14.5 {
+		t.Fatalf("custom metric lost: %+v", e.Metrics)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tredplane\t6.117s",
+		"Benchmark", // header fragment, no fields
+		"BenchmarkX 12 notanumber ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parsed noise line %q", line)
+		}
+	}
+}

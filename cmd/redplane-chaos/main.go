@@ -6,17 +6,23 @@
 //
 // Usage:
 //
-//	redplane-chaos [-seed N] [-campaigns N] [-profile default|flap|storm]
+//	redplane-chaos [-seed N] [-campaigns N] [-parallel N]
+//	               [-profile default|flap|storm]
 //	               [-mode both|linearizable|bounded] [-duration D]
 //	               [-out dir] [-break-norevoke] [-v]
+//	               [-cpuprofile file] [-memprofile file]
 //	redplane-chaos -replay chaos-<seed>.json [-break-norevoke]
 //
 // Campaign i runs with seed+i. Each campaign is fully reproducible: the
-// same seed yields a byte-identical schedule and verdict. On violation
-// the engine shrinks the schedule by greedy deletion and writes
-// chaos-<seed>.json (the minimal replayable repro) plus
-// chaos-<seed>.trace.jsonl (the obs event timeline of the minimal run)
-// to -out. Exit status is 1 if any campaign failed.
+// same seed yields a byte-identical schedule and verdict, and because
+// every campaign owns a private simulator, -parallel N runs campaigns
+// on N worker goroutines (0 = one per core) with verdicts reported in
+// seed order — the output and exit status are byte-identical to
+// -parallel 1. On violation the engine shrinks the schedule by greedy
+// deletion and writes chaos-<seed>.json (the minimal replayable repro)
+// plus chaos-<seed>.trace.jsonl (the obs event timeline of the minimal
+// run) to -out; repro dumps happen sequentially after the parallel
+// phase. Exit status is 1 if any campaign failed.
 package main
 
 import (
@@ -27,11 +33,14 @@ import (
 	"time"
 
 	"redplane/internal/chaos"
+	"redplane/internal/profiling"
+	"redplane/internal/runner"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "base seed (campaign i uses seed+i)")
 	campaigns := flag.Int("campaigns", 1, "campaigns per mode")
+	parallel := flag.Int("parallel", 1, "worker goroutines for campaigns (0 = one per core)")
 	profile := flag.String("profile", "default", "fault-rate profile: default, flap, storm")
 	mode := flag.String("mode", "both", "consistency mode: both, linearizable, bounded")
 	duration := flag.Duration("duration", 0, "active phase per campaign (0 = default 1.5s)")
@@ -39,10 +48,21 @@ func main() {
 	replay := flag.String("replay", "", "replay a chaos-<seed>.json repro instead of running campaigns")
 	breakKnob := flag.Bool("break-norevoke", false, "intentionally break store lease revocation (harness self-test)")
 	verbose := flag.Bool("v", false, "print every campaign, not just failures")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "redplane-chaos:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+
 	if *replay != "" {
-		os.Exit(replayRepro(*replay, *breakKnob))
+		code := replayRepro(*replay, *breakKnob)
+		stopProf()
+		os.Exit(code)
 	}
 
 	prof, ok := chaos.Profiles[*profile]
@@ -63,34 +83,48 @@ func main() {
 		os.Exit(2)
 	}
 
-	start := time.Now()
-	failed := 0
+	// One unit per (seed, mode) campaign, fanned across the worker pool;
+	// each campaign builds its own deployment, so they share nothing.
+	// Verdicts are collected and reported in canonical seed order.
+	var cfgs []chaos.Config
 	for i := 0; i < *campaigns; i++ {
 		for _, b := range bounded {
-			cfg := chaos.Config{
+			cfgs = append(cfgs, chaos.Config{
 				Seed: *seed + int64(i), Bounded: b,
 				Duration: *duration, Profile: prof, BreakNoRevoke: *breakKnob,
-			}
-			r := chaos.Run(cfg)
-			if r.Passed() {
-				if *verbose {
-					fmt.Printf("PASS seed=%d mode=%s profile=%s ops=%d faults=%d\n",
-						r.Seed, r.Mode, r.Profile, r.Ops, len(r.Faults))
-				}
-				continue
-			}
-			failed++
-			fmt.Printf("FAIL seed=%d mode=%s profile=%s ops=%d faults=%d shrunk=%d\n",
-				r.Seed, r.Mode, r.Profile, r.Ops, len(r.Faults), len(r.Shrunk))
-			for _, v := range r.Violations {
-				fmt.Printf("  %s\n", v)
-			}
-			dump(cfg, r, *out)
+			})
 		}
 	}
-	total := *campaigns * len(bounded)
+	units := make([]func() chaos.Result, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg := cfg
+		units[i] = func() chaos.Result { return chaos.Run(cfg) }
+	}
+
+	start := time.Now()
+	results := runner.Map(runner.Workers(*parallel), units)
+
+	failed := 0
+	for i, r := range results {
+		if r.Passed() {
+			if *verbose {
+				fmt.Printf("PASS seed=%d mode=%s profile=%s ops=%d faults=%d\n",
+					r.Seed, r.Mode, r.Profile, r.Ops, len(r.Faults))
+			}
+			continue
+		}
+		failed++
+		fmt.Printf("FAIL seed=%d mode=%s profile=%s ops=%d faults=%d shrunk=%d\n",
+			r.Seed, r.Mode, r.Profile, r.Ops, len(r.Faults), len(r.Shrunk))
+		for _, v := range r.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		dump(cfgs[i], r, *out)
+	}
+	total := len(results)
 	fmt.Printf("%d/%d campaigns passed in %v\n", total-failed, total, time.Since(start).Round(time.Millisecond))
 	if failed > 0 {
+		stopProf()
 		os.Exit(1)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"redplane/internal/netsim"
@@ -638,8 +639,7 @@ func (s *Switch) trackPending(key packet.FiveTuple, m *wire.Message) {
 		s.trace(obs.EvMirrorOverflow, key, m.Seq, int64(m.TruncatedLen()))
 		return
 	}
-	trunc := m.Clone()
-	trunc.Piggyback = nil // buffering truncates the piggybacked payload
+	trunc := m.CloneTruncated() // buffering truncates the piggybacked payload
 	pr := &pendingReq{msg: trunc, sentAt: s.sim.Now(), bytes: trunc.TruncatedLen()}
 	fc.pending[m.Seq] = pr
 	s.met.bufBytes.Add(int64(pr.bytes))
@@ -866,15 +866,24 @@ func (s *Switch) dropLease(key packet.FiveTuple, fc *flowCtl) {
 // bounds the paper's recovery time by the lease period.
 func (s *Switch) startRenewLoop() {
 	period := netsim.Duration(s.cfg.RenewInterval)
+	var due []packet.FiveTuple // reused scratch; sorted for a canonical send order
 	s.sim.Every(period, period, func() bool {
 		if !s.alive {
 			return true
 		}
 		now := s.sim.Now()
+		due = due[:0]
 		for key, fc := range s.flows {
 			if fc.haveLease && now < fc.leaseExpiry && now-fc.lastUsed <= period {
-				s.sendToStore(key, &wire.Message{Type: wire.MsgLeaseRenew, Key: key}, false)
+				due = append(due, key)
 			}
+		}
+		// Renewals for one round all fire at the same virtual instant, so
+		// map iteration order would otherwise leak into the event sequence
+		// (and the trace dumps) — sort to keep runs byte-identical.
+		sort.Slice(due, func(i, j int) bool { return due[i].Less(due[j]) })
+		for _, key := range due {
+			s.sendToStore(key, &wire.Message{Type: wire.MsgLeaseRenew, Key: key}, false)
 		}
 		return true
 	})

@@ -33,14 +33,16 @@ var (
 
 // echoServer makes a host bounce application traffic back to its sender,
 // preserving the RedPlane-relevant headers so the reverse direction
-// exercises the switch too.
+// exercises the switch too. Replies come from the packet reuse pool:
+// the echo loop is the experiments' hottest clone site, and every reply
+// terminates at the client's rttRecorder, which releases it.
 func echoServer(h *topo.Host) {
 	h.Handler = func(f *netsim.Frame) {
 		p := f.Pkt
 		if p == nil {
 			return
 		}
-		r := p.Clone()
+		r := p.ClonePooled()
 		r.IP.Src, r.IP.Dst = p.IP.Dst, p.IP.Src
 		switch {
 		case r.HasTCP:
@@ -60,12 +62,21 @@ func echoServer(h *topo.Host) {
 	}
 }
 
-// rttRecorder records round-trip latency of echoed packets at the client.
+// rttRecorder records round-trip latency of echoed packets at the
+// client. The client is the terminal consumer of every echoed reply, so
+// after recording it returns the packet to the reuse pool (replies
+// originate in echoServer as pooled clones; nothing downstream retains
+// them).
 func rttRecorder(sim *netsim.Sim, h *topo.Host, lat *metrics.Latency) {
 	h.Handler = func(f *netsim.Frame) {
-		if f.Pkt != nil && f.Pkt.SentAt > 0 {
+		if f.Pkt == nil {
+			return
+		}
+		if f.Pkt.SentAt > 0 {
 			lat.Add(float64(int64(sim.Now()) - f.Pkt.SentAt))
 		}
+		f.Pkt.Release()
+		f.Pkt = nil
 	}
 }
 

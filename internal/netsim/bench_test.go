@@ -1,0 +1,43 @@
+package netsim
+
+import "testing"
+
+// nopEvent is hoisted so the benchmarks measure scheduling, not closure
+// construction.
+var nopEvent = func() {}
+
+// BenchmarkSimAtStep measures the core schedule/dispatch cycle at a
+// realistic standing queue depth (a busy deployment keeps hundreds of
+// timers and in-flight frames queued).
+func BenchmarkSimAtStep(b *testing.B) {
+	s := New(1)
+	const depth = 1024
+	for i := 0; i < depth; i++ {
+		s.At(Time(1<<40)+Time(i), nopEvent)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now()+1, nopEvent)
+		s.Step()
+	}
+}
+
+// BenchmarkSimBurst measures scheduling a burst of near-simultaneous
+// events and draining them — the packet-generator and trace-replay
+// pattern.
+func BenchmarkSimBurst(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	const burst = 256
+	for i := 0; i < b.N; i += burst {
+		at := s.Now() + 1
+		for j := 0; j < burst; j++ {
+			s.At(at+Time(j%7), nopEvent)
+		}
+		for j := 0; j < burst; j++ {
+			s.Step()
+		}
+	}
+}

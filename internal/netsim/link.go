@@ -173,9 +173,5 @@ func (p *Port) Send(f *Frame) {
 	if l.cfg.Jitter > 0 {
 		arrival += Time(s.rng.Int63n(int64(l.cfg.Jitter)))
 	}
-	dst := p.peer
-	s.At(arrival, func() {
-		s.Delivered++
-		dst.owner.Receive(f, dst)
-	})
+	s.deliver(arrival, f, p.peer)
 }

@@ -8,7 +8,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 
@@ -27,32 +26,98 @@ func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 // Micros renders a Time as float microseconds.
 func (t Time) Micros() float64 { return float64(t) / 1e3 }
 
-// event is a scheduled callback. Events at the same instant fire in
-// scheduling order (seq breaks ties) so runs are deterministic.
+// event is a scheduled occurrence. Most events are callbacks (fn); frame
+// deliveries — the per-hop fast path — carry the frame and destination
+// port directly so links never allocate a closure per hop. Events at the
+// same instant fire in scheduling order (seq breaks ties) so runs are
+// deterministic.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at    Time
+	seq   uint64
+	fn    func()
+	frame *Frame // non-nil for direct frame delivery
+	port  *Port  // destination port of a frame delivery
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventBefore is the queue's strict total order: time, then scheduling
+// sequence. seq is unique per simulation, so no two events ever compare
+// equal and pop order is independent of the heap's internal layout.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// eventQueue is a 4-ary min-heap of events stored by value. It replaces
+// container/heap to keep the simulator's hottest path allocation-free:
+// no interface boxing on push/pop, and sift operations hole-copy instead
+// of swapping 40-byte elements. A 4-ary layout halves tree depth versus
+// binary, trading slightly wider sibling scans (which stay within one
+// cache line) for fewer cache-missing levels.
+type eventQueue []event
+
+// push inserts e, sifting it up from the tail.
+func (q *eventQueue) push(e event) {
+	h := append(*q, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventBefore(&e, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+	*q = h
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so popped closures and frames do not stay reachable through the
+// backing array (long campaigns would otherwise retain every dead
+// event's captures until the slice happens to regrow over them).
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // drop fn/frame references held by the backing array
+	h = h[:n]
+	*q = h
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if eventBefore(&h[j], &h[m]) {
+					m = j
+				}
+			}
+			if !eventBefore(&h[m], &last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
+}
 
 // Sim is a discrete-event simulation instance. It is not safe for
 // concurrent use: the whole point is a single deterministic timeline.
 type Sim struct {
 	now    Time
-	events eventHeap
+	events eventQueue
 	seq    uint64
 	rng    *rand.Rand
 	obs    *obs.Registry
@@ -90,7 +155,18 @@ func (s *Sim) At(t Time, fn func()) {
 		panic("netsim: scheduling event in the past")
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	s.events.push(event{at: t, seq: s.seq, fn: fn})
+}
+
+// deliver schedules a direct frame delivery at absolute time t: the
+// per-hop fast path links use instead of At, avoiding one closure
+// allocation per transmitted frame.
+func (s *Sim) deliver(t Time, f *Frame, dst *Port) {
+	if t < s.now {
+		panic("netsim: scheduling event in the past")
+	}
+	s.seq++
+	s.events.push(event{at: t, seq: s.seq, frame: f, port: dst})
 }
 
 // After schedules fn d after the current time.
@@ -119,9 +195,14 @@ func (s *Sim) Step() bool {
 	if len(s.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(event)
+	e := s.events.pop()
 	s.now = e.at
-	e.fn()
+	if e.port != nil {
+		s.Delivered++
+		e.port.owner.Receive(e.frame, e.port)
+	} else {
+		e.fn()
+	}
 	return true
 }
 

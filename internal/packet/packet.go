@@ -62,6 +62,26 @@ type FiveTuple struct {
 	Proto            Proto
 }
 
+// Less orders tuples lexicographically by field. It gives map-keyed
+// collections of flows a canonical iteration order, so anything that
+// fans out per-flow work at one instant (lease renewals, dumps) stays
+// byte-reproducible run to run.
+func (ft FiveTuple) Less(o FiveTuple) bool {
+	if ft.Src != o.Src {
+		return ft.Src < o.Src
+	}
+	if ft.Dst != o.Dst {
+		return ft.Dst < o.Dst
+	}
+	if ft.SrcPort != o.SrcPort {
+		return ft.SrcPort < o.SrcPort
+	}
+	if ft.DstPort != o.DstPort {
+		return ft.DstPort < o.DstPort
+	}
+	return ft.Proto < o.Proto
+}
+
 // Reverse returns the tuple with source and destination swapped, i.e. the
 // key of the opposite direction of the same conversation.
 func (ft FiveTuple) Reverse() FiveTuple {

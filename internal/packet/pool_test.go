@@ -1,0 +1,35 @@
+package packet
+
+import "testing"
+
+func TestClonePooledMatchesClone(t *testing.T) {
+	p := NewTCP(MakeAddr(10, 0, 0, 1), MakeAddr(10, 0, 0, 2), 1000, 80, FlagSYN, 120)
+	p.Seq = 7
+	p.Observed = 42
+	p.SentAt = 99
+	c := p.ClonePooled()
+	if *c != *p {
+		t.Fatalf("ClonePooled = %+v, want %+v", *c, *p)
+	}
+	c.Release()
+}
+
+func TestReleaseZeroesBeforeReuse(t *testing.T) {
+	p := NewUDP(MakeAddr(1, 2, 3, 4), MakeAddr(5, 6, 7, 8), 9, 10, 64)
+	p.Release()
+	q := Get()
+	// The pool may or may not hand back the same object; either way a
+	// Get must observe a zero value.
+	if *q != (Packet{}) {
+		t.Fatalf("Get returned non-zero packet: %+v", *q)
+	}
+	q.Release()
+}
+
+func BenchmarkClonePooled(b *testing.B) {
+	p := NewTCP(MakeAddr(10, 0, 0, 1), MakeAddr(10, 0, 0, 2), 1000, 80, FlagACK, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ClonePooled().Release()
+	}
+}

@@ -1,0 +1,22 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"redplane/internal/netsim"
+)
+
+// BenchmarkControlPlaneDo measures the control-plane insertion path: a
+// serialized Do plus its simulator event dispatch.
+func BenchmarkControlPlaneDo(b *testing.B) {
+	sim := netsim.New(1)
+	cp := NewControlPlane(sim, 100*time.Microsecond)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp.Do(fn)
+		sim.Step()
+	}
+}

@@ -1,0 +1,175 @@
+package runner
+
+// Determinism regression tests for the parallel runner: for a fixed
+// seed set, the merged output of a parallel run must be byte-identical
+// to the sequential run — experiment rows, chaos verdicts, and obs
+// counter totals alike. Each unit owns a private Sim and obs registry,
+// so the only way these can diverge is a unit accidentally sharing
+// mutable state; these tests are the tripwire. The package is part of
+// scripts/check.sh's -race set, so they double as the data-race proof.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"redplane"
+	"redplane/internal/chaos"
+	"redplane/internal/experiments"
+	"redplane/internal/packet"
+)
+
+// parallelWorkers is the worker count exercised against sequential.
+const parallelWorkers = 8
+
+func chaosSeeds(t *testing.T) []int64 {
+	t.Helper()
+	if testing.Short() {
+		return []int64{101, 102}
+	}
+	return []int64{101, 102, 103}
+}
+
+// chaosVerdicts renders the full Result (schedule, ops, violations) of
+// every campaign for the seed set, campaigns in canonical order.
+func chaosVerdicts(workers int, seeds []int64) string {
+	type unit struct {
+		seed    int64
+		bounded bool
+	}
+	var us []unit
+	for _, s := range seeds {
+		us = append(us, unit{s, false}, unit{s, true})
+	}
+	fns := make([]func() string, len(us))
+	for i, u := range us {
+		u := u
+		fns[i] = func() string {
+			r := chaos.Run(chaos.Config{
+				Seed: u.seed, Bounded: u.bounded,
+				Duration: 400 * time.Millisecond,
+			})
+			return fmt.Sprintf("%+v", r)
+		}
+	}
+	return strings.Join(Map(workers, fns), "\n")
+}
+
+func TestChaosVerdictsParallelMatchesSequential(t *testing.T) {
+	seeds := chaosSeeds(t)
+	seq := chaosVerdicts(1, seeds)
+	par := chaosVerdicts(parallelWorkers, seeds)
+	if seq != par {
+		t.Fatalf("chaos verdicts diverge between -parallel 1 and -parallel %d:\nsequential:\n%s\nparallel:\n%s",
+			parallelWorkers, seq, par)
+	}
+	// The sequential render must itself equal direct invocation (the
+	// runner's workers<=1 path must not be a third behavior).
+	direct := make([]string, 0, len(seeds)*2)
+	for _, s := range seeds {
+		for _, b := range []bool{false, true} {
+			r := chaos.Run(chaos.Config{Seed: s, Bounded: b, Duration: 400 * time.Millisecond})
+			direct = append(direct, fmt.Sprintf("%+v", r))
+		}
+	}
+	if want := strings.Join(direct, "\n"); seq != want {
+		t.Fatalf("runner sequential path diverges from direct calls:\n%s\nvs\n%s", seq, want)
+	}
+}
+
+// experimentRows renders a seed sweep of two cheap experiment drivers.
+func experimentRows(workers int, seeds []int64) string {
+	fns := make([]func() string, len(seeds))
+	for i, s := range seeds {
+		s := s
+		fns[i] = func() string {
+			var b strings.Builder
+			res := experiments.Fig10(s, 600)
+			for _, r := range res.Rows {
+				fmt.Fprintf(&b, "fig10 seed=%d %s\n", s, r)
+			}
+			fmt.Fprintf(&b, "abl seed=%d %s\n", s, experiments.AblationSequencing(s))
+			return b.String()
+		}
+	}
+	return strings.Join(Map(workers, fns), "")
+}
+
+func TestExperimentRowsParallelMatchesSequential(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	seq := experimentRows(1, seeds)
+	par := experimentRows(parallelWorkers, seeds)
+	if seq != par {
+		t.Fatalf("experiment rows diverge between -parallel 1 and -parallel %d:\nsequential:\n%s\nparallel:\n%s",
+			parallelWorkers, seq, par)
+	}
+}
+
+// obsTotals runs one small deployment per seed and returns each unit's
+// whole-deployment counter totals in canonical order.
+func obsTotals(workers int, seeds []int64) []redplane.SnapshotTotals {
+	fns := make([]func() redplane.SnapshotTotals, len(seeds))
+	for i, s := range seeds {
+		s := s
+		fns[i] = func() redplane.SnapshotTotals {
+			d := redplane.NewDeployment(redplane.DeploymentConfig{
+				Seed:   s,
+				NewApp: func(int) redplane.App { return echoApp{} },
+			})
+			src := d.AddClient(0, "src", redplane.MakeAddr(100, 0, 0, 1))
+			d.AddServer(0, "dst", redplane.MakeAddr(10, 0, 0, 50))
+			for j := 0; j < 50; j++ {
+				sport := uint16(5000 + 13*int(s) + j%4) // a few flows per seed
+				d.Sim.At(d.Now()+redplane.Time(j)*redplane.Time(time.Microsecond)+1, func() {
+					src.SendPacket(packet.NewTCP(src.IP, redplane.MakeAddr(10, 0, 0, 50),
+						sport, 80, packet.FlagACK, 0))
+				})
+			}
+			d.RunFor(50 * time.Millisecond)
+			return d.Snapshot().Totals
+		}
+	}
+	return Map(workers, fns)
+}
+
+func TestObsTotalsParallelMatchesSequential(t *testing.T) {
+	seeds := []int64{11, 12, 13, 14, 15}
+	seq := obsTotals(1, seeds)
+	par := obsTotals(parallelWorkers, seeds)
+	var seqSum, parSum redplane.SnapshotTotals
+	for i := range seeds {
+		if seq[i] != par[i] {
+			t.Errorf("seed %d: totals diverge:\nsequential: %+v\nparallel:   %+v", seeds[i], seq[i], par[i])
+		}
+		seqSum.PacketsIn += seq[i].PacketsIn
+		seqSum.PacketsOut += seq[i].PacketsOut
+		seqSum.ReplSends += seq[i].ReplSends
+		seqSum.LeaseAcquired += seq[i].LeaseAcquired
+		parSum.PacketsIn += par[i].PacketsIn
+		parSum.PacketsOut += par[i].PacketsOut
+		parSum.ReplSends += par[i].ReplSends
+		parSum.LeaseAcquired += par[i].LeaseAcquired
+	}
+	if seqSum != parSum {
+		t.Fatalf("merged totals diverge: sequential %+v, parallel %+v", seqSum, parSum)
+	}
+	if seqSum.PacketsIn == 0 || seqSum.LeaseAcquired == 0 {
+		t.Fatalf("vacuous run: merged totals %+v", seqSum)
+	}
+}
+
+// echoApp is a minimal pass-through app for the obs-totals units.
+type echoApp struct{}
+
+func (echoApp) Name() string { return "echo" }
+func (echoApp) Key(p *redplane.Packet) (redplane.FiveTuple, bool) {
+	return p.Flow(), true
+}
+func (echoApp) Process(p *redplane.Packet, state []uint64) ([]*redplane.Packet, []uint64) {
+	return []*redplane.Packet{p}, nil
+}
+func (echoApp) InstallVia() redplane.InstallPath { return redplane.InstallRegister }

@@ -1,0 +1,81 @@
+// Package runner fans independent deterministic work units across a
+// bounded pool of goroutines and merges their results in canonical unit
+// order. It exists so the experiment and chaos drivers can use every
+// core without giving up reproducibility: each unit (one seed, one
+// sweep point, one campaign) owns a private simulator and observability
+// registry, so units share no mutable state, and because Map returns
+// results indexed exactly like its input the merged output is
+// byte-identical to a sequential run regardless of worker count or
+// scheduling order.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count flag: values >= 1 are used as
+// given; zero or negative means "one worker per available core"
+// (GOMAXPROCS).
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map executes the units on up to workers goroutines (normalized via
+// Workers, capped at len(units)) and returns their results indexed
+// exactly like units — result[i] is units[i]()'s return value, whatever
+// order the units actually finished in. With workers <= 1 the units run
+// sequentially on the calling goroutine.
+//
+// Units must be independent: they run concurrently and in arbitrary
+// order, so any state shared between them must be read-only. If a unit
+// panics, Map waits for the remaining units and then re-panics with the
+// lowest-indexed unit's panic value.
+func Map[T any](workers int, units []func() T) []T {
+	results := make([]T, len(units))
+	workers = Workers(workers)
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers <= 1 {
+		for i, u := range units {
+			results[i] = u()
+		}
+		return results
+	}
+
+	panics := make([]any, len(units))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(units) {
+					return
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							panics[i] = p
+						}
+					}()
+					results[i] = units[i]()
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	return results
+}

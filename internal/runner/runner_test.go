@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-7); got != want {
+		t.Fatalf("Workers(-7) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 2, 8, 64, 200} {
+		units := make([]func() int, n)
+		for i := range units {
+			i := i
+			units[i] = func() int { return i * i }
+		}
+		got := Map(workers, units)
+		if len(got) != n {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map[int](8, nil); len(got) != 0 {
+		t.Fatalf("Map(8, nil) = %v", got)
+	}
+	if got := Map(0, []func() string{}); len(got) != 0 {
+		t.Fatalf("Map of empty slice = %v", got)
+	}
+}
+
+// TestMapPoolSize proves the pool really runs units concurrently: four
+// units rendezvous at a barrier that only opens once all four have
+// arrived, so Map can only complete if at least four units are in
+// flight at once.
+func TestMapPoolSize(t *testing.T) {
+	const workers = 4
+	var barrier sync.WaitGroup
+	barrier.Add(workers)
+	units := make([]func() bool, workers)
+	for i := range units {
+		units[i] = func() bool {
+			barrier.Done()
+			barrier.Wait()
+			return true
+		}
+	}
+	done := make(chan []bool, 1)
+	go func() { done <- Map(workers, units) }()
+	got := <-done
+	for i, v := range got {
+		if !v {
+			t.Fatalf("unit %d did not run", i)
+		}
+	}
+}
+
+// TestMapPanic checks a panicking unit surfaces on the caller after the
+// other units have finished, and that the lowest-indexed panic wins.
+func TestMapPanic(t *testing.T) {
+	units := make([]func() int, 8)
+	for i := range units {
+		i := i
+		units[i] = func() int {
+			if i == 3 || i == 6 {
+				panic(i)
+			}
+			return i
+		}
+	}
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("Map did not re-panic")
+		}
+		if v, ok := p.(int); !ok || v != 3 {
+			t.Fatalf("re-panicked with %v, want lowest-indexed unit's value 3", p)
+		}
+	}()
+	Map(4, units)
+}

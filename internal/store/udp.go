@@ -84,6 +84,9 @@ func (s *UDPServer) Serve() error {
 	go s.flushLoop(stop)
 
 	buf := make([]byte, 65536)
+	// enc is the Serve goroutine's reusable encode/relay scratch buffer;
+	// the flush loop keeps its own, so neither allocates per datagram.
+	var enc []byte
 	for {
 		n, from, err := s.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -95,11 +98,11 @@ func (s *UDPServer) Serve() error {
 			}
 			return fmt.Errorf("store: read: %w", err)
 		}
-		s.handleDatagram(buf[:n], from)
+		s.handleDatagram(buf[:n], from, &enc)
 	}
 }
 
-func (s *UDPServer) handleDatagram(b []byte, from *net.UDPAddr) {
+func (s *UDPServer) handleDatagram(b []byte, from *net.UDPAddr, enc *[]byte) {
 	origin := from
 	if len(b) > 7 && b[0] == relayMagic {
 		// Chain relay: recover the original requester's address.
@@ -122,29 +125,32 @@ func (s *UDPServer) handleDatagram(b []byte, from *net.UDPAddr) {
 
 	if len(ups) > 0 && s.next != nil {
 		// Mutation: push it down the chain; the tail will reply.
-		s.relay(b, origin)
+		s.relay(b, origin, enc)
 		return
 	}
 	for _, o := range outs {
-		s.reply(o, origin)
+		s.reply(o, origin, enc)
 	}
 }
 
 // relay forwards the raw request to the successor, prefixed with the
-// original requester's address.
-func (s *UDPServer) relay(req []byte, origin *net.UDPAddr) {
-	hdr := make([]byte, 0, 7+len(req))
-	hdr = append(hdr, relayMagic)
+// original requester's address, encoding into the caller's scratch
+// buffer.
+func (s *UDPServer) relay(req []byte, origin *net.UDPAddr, enc *[]byte) {
+	hdr := append((*enc)[:0], relayMagic)
 	hdr = append(hdr, origin.IP.To4()...)
 	hdr = binary.BigEndian.AppendUint16(hdr, uint16(origin.Port))
 	hdr = append(hdr, req...)
+	*enc = hdr
 	if _, err := s.conn.WriteToUDP(hdr, s.next); err != nil {
 		log.Printf("store: relay: %v", err)
 	}
 }
 
-func (s *UDPServer) reply(o Output, to *net.UDPAddr) {
-	b := o.Msg.Marshal(nil)
+// reply encodes o into the caller's scratch buffer and sends it.
+func (s *UDPServer) reply(o Output, to *net.UDPAddr, enc *[]byte) {
+	b := o.Msg.Marshal((*enc)[:0])
+	*enc = b
 	if _, err := s.conn.WriteToUDP(b, to); err != nil {
 		log.Printf("store: reply: %v", err)
 		return
@@ -157,6 +163,7 @@ func (s *UDPServer) reply(o Output, to *net.UDPAddr) {
 func (s *UDPServer) flushLoop(stop chan struct{}) {
 	t := time.NewTicker(50 * time.Millisecond)
 	defer t.Stop()
+	var enc []byte // this goroutine's private encode scratch
 	for {
 		select {
 		case <-stop:
@@ -173,7 +180,7 @@ func (s *UDPServer) flushLoop(stop chan struct{}) {
 			s.mu.Unlock()
 			for _, o := range grants {
 				if a, ok := addr[o.DstSwitch]; ok {
-					s.reply(o, a)
+					s.reply(o, a, &enc)
 				}
 			}
 		}

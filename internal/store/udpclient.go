@@ -12,7 +12,9 @@ import (
 // UDPClient is the switch side of the real-UDP deployment: it sends
 // protocol requests to a store server (the chain head) and awaits the
 // matching acknowledgment, retransmitting on timeout like the switch's
-// mirror mechanism does.
+// mirror mechanism does. A client serializes its requests (concurrent
+// Requests on one socket would steal each other's acks), so the encode
+// and receive buffers are reused across calls.
 type UDPClient struct {
 	conn     *net.UDPConn
 	head     *net.UDPAddr
@@ -21,6 +23,9 @@ type UDPClient struct {
 	// Timeout is the per-attempt ack wait; Retries bounds retransmission.
 	Timeout time.Duration
 	Retries int
+
+	enc []byte // reusable request encode buffer
+	rcv []byte // reusable datagram receive buffer
 }
 
 // DialUDP creates a client for the given switch ID talking to the store
@@ -55,8 +60,12 @@ func (c *UDPClient) Request(m *wire.Message) (*wire.Message, error) {
 	if wantAck == 0 {
 		return nil, fmt.Errorf("store: %v is not a request", m.Type)
 	}
-	req := m.Marshal(nil)
-	buf := make([]byte, 65536)
+	req := m.Marshal(c.enc[:0])
+	c.enc = req
+	if c.rcv == nil {
+		c.rcv = make([]byte, 65536)
+	}
+	buf := c.rcv
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if _, err := c.conn.WriteToUDP(req, c.head); err != nil {
 			return nil, fmt.Errorf("store: send: %w", err)

@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"testing"
+
+	"redplane/internal/packet"
+)
+
+func benchMessage() *Message {
+	return &Message{
+		Type: MsgRepl, Seq: 123456, Key: packet.FiveTuple{
+			Src: packet.MakeAddr(10, 0, 0, 50), Dst: packet.MakeAddr(100, 0, 0, 9),
+			SrcPort: 2001, DstPort: 80, Proto: packet.ProtoTCP,
+		},
+		Vals:     []uint64{7, 8, 9, 10},
+		SwitchID: 1, StoreShard: 0,
+		Piggyback: packet.NewTCP(packet.MakeAddr(10, 0, 0, 50),
+			packet.MakeAddr(100, 0, 0, 9), 2001, 80, packet.FlagACK, 64),
+	}
+}
+
+// BenchmarkMessageMarshalPiggyback measures encoding a full replication
+// request (values + piggybacked packet) with an amortized buffer, the
+// pattern the UDP server and client hot paths use.
+func BenchmarkMessageMarshalPiggyback(b *testing.B) {
+	m := benchMessage()
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = m.Marshal(buf[:0])
+	}
+}
+
+// BenchmarkMessageUnmarshal measures decoding a full message (header,
+// values, piggybacked packet).
+func BenchmarkMessageUnmarshal(b *testing.B) {
+	buf := benchMessage().Marshal(nil)
+	var m Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessageCloneTruncated measures the mirror-buffer copy path:
+// the switch buffers a truncated (piggyback-stripped) copy of every
+// tracked replication request.
+func BenchmarkMessageCloneTruncated(b *testing.B) {
+	m := benchMessage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := m.CloneTruncated()
+		if c.Piggyback != nil {
+			b.Fatal("piggyback not stripped")
+		}
+	}
+}

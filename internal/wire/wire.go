@@ -185,6 +185,20 @@ func (m *Message) Clone() *Message {
 	return &c
 }
 
+// CloneTruncated returns a copy of the message with the piggybacked
+// packet stripped — the form the mirroring-based retransmission buffer
+// stores (§5.2: "RedPlane buffers only state updates ... by truncating
+// the packet"). Unlike Clone, it never copies the piggybacked packet,
+// so the mirror path stays one small allocation per tracked request.
+func (m *Message) CloneTruncated() *Message {
+	c := *m
+	c.Piggyback = nil
+	if m.Vals != nil {
+		c.Vals = append([]uint64(nil), m.Vals...)
+	}
+	return &c
+}
+
 // flag bits in the wire encoding.
 const (
 	flagNewFlow   = 1 << 0
@@ -224,9 +238,12 @@ func (m *Message) Marshal(b []byte) []byte {
 		b = binary.BigEndian.AppendUint64(b, v)
 	}
 	if m.Piggyback != nil {
-		inner := m.Piggyback.Marshal(nil)
-		b = binary.BigEndian.AppendUint16(b, uint16(len(inner)))
-		b = append(b, inner...)
+		// Marshal the inner packet straight into b (no intermediate
+		// buffer), then back-patch its length prefix.
+		lenAt := len(b)
+		b = append(b, 0, 0)
+		b = m.Piggyback.Marshal(b)
+		binary.BigEndian.PutUint16(b[lenAt:], uint16(len(b)-lenAt-2))
 	}
 	return b
 }

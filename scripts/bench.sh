@@ -1,0 +1,85 @@
+#!/bin/sh
+# bench.sh — the benchmark baseline pipeline. Runs the hot-path
+# micro-benchmarks (simulator event loop, wire encode/decode, packet
+# pool, pipeline primitives, deployment packet path), the figure
+# benchmarks, and a sequential-vs-parallel wall-clock comparison of the
+# experiment and chaos drivers, then folds everything into a
+# benchstat-friendly BENCH_<date>.json via cmd/benchjson.
+#
+# Usage:
+#   scripts/bench.sh           # full run, writes BENCH_<today>.json
+#   scripts/bench.sh -short    # CI smoke: micro benches + small wall clock
+#
+# Environment:
+#   BASELINE=BENCH_old.json    # embed baseline numbers + % deltas
+#   OUT=path.json              # override the output path
+#
+# To compare two snapshots with benchstat:
+#   jq -r '.benchmarks[].raw' BENCH_a.json > a.txt
+#   jq -r '.benchmarks[].raw' BENCH_b.json > b.txt
+#   benchstat a.txt b.txt
+set -eu
+cd "$(dirname "$0")/.."
+
+short=0
+if [ "${1:-}" = "-short" ]; then
+    short=1
+fi
+date=$(date +%F)
+out="${OUT:-BENCH_${date}.json}"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== micro-benchmarks (hot paths) =="
+go test -run '^$' -benchmem \
+    -bench 'SimAtStep|SimBurst|EventLoop|LinkSend|MessageMarshal|MessageUnmarshal|MessageCloneTruncated|ClonePooled|RegisterAdd|MatchTableLookup|ControlPlaneDo' \
+    ./internal/netsim ./internal/wire ./internal/packet ./internal/pipeline \
+    | tee "$tmp/micro.txt"
+go test -run '^$' -benchmem -bench 'DeploymentPacketPath' . | tee "$tmp/path.txt"
+
+if [ $short -eq 0 ]; then
+    echo "== figure benchmarks =="
+    go test -run '^$' -benchtime 1x -bench 'Fig8|Fig10|Fig13' . | tee "$tmp/figs.txt"
+fi
+
+echo "== wall clock: sequential vs parallel drivers =="
+go build -o "$tmp/rpchaos" ./cmd/redplane-chaos
+go build -o "$tmp/rpbench" ./cmd/redplane-bench
+campaigns=10
+scale=0.05
+if [ $short -eq 1 ]; then
+    campaigns=3
+    scale=0.02
+fi
+# -parallel 1 is the sequential reference; -parallel 0 uses every core.
+# The outputs must be byte-identical (the determinism tests in
+# internal/runner assert the same property); the wall-clock ratio is the
+# parallel runner's speedup on this machine.
+for par in 1 0; do
+    t0=$(date +%s%N)
+    "$tmp/rpchaos" -seed 1 -campaigns $campaigns -parallel $par >"$tmp/chaos-$par.txt"
+    t1=$(date +%s%N)
+    printf 'BenchmarkWallClockChaos/campaigns=%d/parallel=%d \t1\t%d ns/op\n' \
+        "$campaigns" "$par" "$((t1 - t0))" | tee -a "$tmp/wall.txt"
+
+    t0=$(date +%s%N)
+    "$tmp/rpbench" -scale $scale -parallel $par >"$tmp/bench-$par.txt"
+    t1=$(date +%s%N)
+    printf 'BenchmarkWallClockBench/scale=%s/parallel=%d \t1\t%d ns/op\n' \
+        "$scale" "$par" "$((t1 - t0))" | tee -a "$tmp/wall.txt"
+done
+if ! cmp -s "$tmp/bench-1.txt" "$tmp/bench-0.txt"; then
+    echo "FATAL: redplane-bench output differs between -parallel 1 and -parallel 0" >&2
+    exit 1
+fi
+if ! grep -h 'campaigns passed' "$tmp/chaos-1.txt" >/dev/null; then
+    echo "FATAL: chaos run did not complete" >&2
+    exit 1
+fi
+
+echo "== writing $out =="
+cat "$tmp"/micro.txt "$tmp"/path.txt "$tmp"/figs.txt "$tmp"/wall.txt 2>/dev/null |
+    go run ./cmd/benchjson -date "$date" -out "$out" \
+        ${BASELINE:+-baseline "$BASELINE"} \
+        -note "scripts/bench.sh$([ $short -eq 1 ] && echo ' -short' || true)"
+echo "wrote $out"

@@ -2,9 +2,10 @@
 # check.sh — the repo's CI gate: formatting, vet, the full test suite,
 # and a race-detector pass over the concurrency-sensitive packages
 # (internal/obs is read from test goroutines while the simulator writes;
-# internal/core holds the hot-path atomics). The full-evaluation
-# benchmarks skip themselves under -race (bench_test.go), so the race
-# pass stays fast.
+# internal/core holds the hot-path atomics; internal/runner is the
+# parallel trial executor, whose determinism tests double as its race
+# proof). The full-evaluation benchmarks skip themselves under -race
+# (bench_test.go), so the race pass stays fast.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -25,8 +26,8 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (obs, core) =="
-go test -race ./internal/obs/... ./internal/core/...
+echo "== go test -race (obs, core, runner) =="
+go test -race ./internal/obs/... ./internal/core/... ./internal/runner/...
 
 # Optional lint pass, gated behind CI_LINT=1 so the default gate needs
 # nothing beyond the Go toolchain. Tools are installed on demand; if the

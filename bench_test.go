@@ -103,6 +103,31 @@ func BenchmarkFig12Throughput(b *testing.B) {
 	}
 }
 
+// BenchmarkThroughputBatching runs the open-loop sustained-throughput
+// sweep over the egress batch window and reports goodput with batching
+// off and at the default chaos window, plus the ratio — the headline
+// number for the batched store pipeline.
+func BenchmarkThroughputBatching(b *testing.B) {
+	skipUnderRace(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.Throughput(int64(i+1), 5*time.Millisecond)
+		var off, on float64
+		for _, p := range res.Points {
+			switch p.Window {
+			case 0:
+				off = p.GoodputMpps
+			case 10 * time.Microsecond:
+				on = p.GoodputMpps
+			}
+		}
+		b.ReportMetric(off, "unbatched-Mpps")
+		b.ReportMetric(on, "batched-10µs-Mpps")
+		if off > 0 {
+			b.ReportMetric(on/off, "speedup-x")
+		}
+	}
+}
+
 // BenchmarkFig13KVUpdateRatio reproduces Fig. 13: key-value throughput vs
 // update ratio and store count. Reports the hardest point (all updates,
 // one store) and the easiest (all updates, three stores).

@@ -4,10 +4,13 @@
 // Usage:
 //
 //	redplane-bench [-seed N] [-scale F] [-only fig8,fig12,...] [-parallel N]
-//	               [-trace file] [-stats] [-cpuprofile file] [-memprofile file]
+//	               [-section throughput,...] [-trace file] [-stats]
+//	               [-cpuprofile file] [-memprofile file]
 //
 // -scale multiplies workload sizes (1.0 reproduces the shipped defaults;
-// smaller values give quicker, noisier runs). -only selects a subset.
+// smaller values give quicker, noisier runs). -only selects a subset;
+// -section is an alias for -only (both select from the same section
+// names, and the selections merge).
 // -parallel runs the selected sections on N worker goroutines (0 = one
 // per core); each section owns a private simulator, and the results are
 // printed in canonical section order, so the output is byte-identical
@@ -37,7 +40,8 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
-	only := flag.String("only", "", "comma-separated subset (fig8..fig15,table2,atscale,ablations,modelcheck)")
+	only := flag.String("only", "", "comma-separated subset (fig8..fig15,table2,atscale,ablations,modelcheck,throughput)")
+	sectionSel := flag.String("section", "", "alias for -only (selections merge)")
 	parallel := flag.Int("parallel", 1, "worker goroutines for independent sections (0 = one per core)")
 	traceFile := flag.String("trace", "", "append protocol event timelines (JSONL) to this file")
 	stats := flag.Bool("stats", false, "print per-deployment counter summaries")
@@ -64,7 +68,7 @@ func main() {
 	}
 
 	sel := map[string]bool{}
-	for _, s := range strings.Split(*only, ",") {
+	for _, s := range strings.Split(*only+","+*sectionSel, ",") {
 		if s = strings.TrimSpace(s); s != "" {
 			sel[strings.ToLower(s)] = true
 		}
@@ -154,6 +158,15 @@ func main() {
 		{"fig15", func(w io.Writer) {
 			section(w, "Figure 15 — switch packet buffer occupancy (request buffering)")
 			res := experiments.Fig15(*seed, win(20*time.Millisecond))
+			for _, p := range res.Points {
+				fmt.Fprintln(w, "  ", p)
+			}
+		}},
+		{"throughput", func(w io.Writer) {
+			section(w, "Sustained throughput — open-loop write path vs egress batch window")
+			res := experiments.Throughput(*seed, win(20*time.Millisecond))
+			fmt.Fprintf(w, "   offered load %.3f Mpps (Sync-Counter, store service %v)\n",
+				res.OfferedMpps, time.Microsecond)
 			for _, p := range res.Points {
 				fmt.Fprintln(w, "  ", p)
 			}

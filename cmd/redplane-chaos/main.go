@@ -9,7 +9,7 @@
 //	redplane-chaos [-seed N] [-campaigns N] [-parallel N]
 //	               [-profile default|flap|storm]
 //	               [-mode both|linearizable|bounded] [-duration D]
-//	               [-out dir] [-break-norevoke] [-v]
+//	               [-batch-window D] [-out dir] [-break-norevoke] [-v]
 //	               [-cpuprofile file] [-memprofile file]
 //	redplane-chaos -replay chaos-<seed>.json [-break-norevoke]
 //
@@ -47,6 +47,8 @@ func main() {
 	out := flag.String("out", ".", "directory for violation dumps")
 	replay := flag.String("replay", "", "replay a chaos-<seed>.json repro instead of running campaigns")
 	breakKnob := flag.Bool("break-norevoke", false, "intentionally break store lease revocation (harness self-test)")
+	batchWindow := flag.Duration("batch-window", chaos.DefaultBatchWindow,
+		"switch egress coalescing window (0 disables batching)")
 	verbose := flag.Bool("v", false, "print every campaign, not just failures")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -86,12 +88,19 @@ func main() {
 	// One unit per (seed, mode) campaign, fanned across the worker pool;
 	// each campaign builds its own deployment, so they share nothing.
 	// Verdicts are collected and reported in canonical seed order.
+	// The flag's 0 means "batching off"; chaos.Config expresses that as a
+	// negative window (its own zero selects the default-on window).
+	bw := *batchWindow
+	if bw == 0 {
+		bw = -1
+	}
 	var cfgs []chaos.Config
 	for i := 0; i < *campaigns; i++ {
 		for _, b := range bounded {
 			cfgs = append(cfgs, chaos.Config{
 				Seed: *seed + int64(i), Bounded: b,
 				Duration: *duration, Profile: prof, BreakNoRevoke: *breakKnob,
+				BatchWindow: bw,
 			})
 		}
 	}

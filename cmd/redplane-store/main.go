@@ -21,11 +21,14 @@ func main() {
 	next := flag.String("next", "", "chain successor address (empty = tail)")
 	lease := flag.Duration("lease", time.Second, "lease period")
 	snapshotSlots := flag.Int("snapshot-slots", 0, "expected snapshot image size (0 = untracked)")
+	maxWaiting := flag.Int("max-waiting", 0,
+		"per-flow buffered lease-request queue bound (0 = default)")
 	flag.Parse()
 
 	srv, err := store.NewUDPServer(*listen, *next, store.Config{
 		LeasePeriod:   *lease,
 		SnapshotSlots: *snapshotSlots,
+		MaxWaiting:    *maxWaiting,
 	})
 	if err != nil {
 		log.Fatalf("redplane-store: %v", err)

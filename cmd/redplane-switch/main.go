@@ -25,6 +25,7 @@ func main() {
 	id := flag.Int("id", 1, "switch ID")
 	flows := flag.Int("flows", 10, "number of flows to drive")
 	writes := flag.Int("writes", 20, "state updates per flow")
+	batch := flag.Int("batch", 1, "writes packed per batch datagram (1 = one request per datagram)")
 	traceFile := flag.String("trace", "", "write the request/ack event timeline (JSONL) to this file")
 	stats := flag.Bool("stats", false, "print the request counter summary")
 	flag.Parse()
@@ -93,13 +94,41 @@ func main() {
 			log.Fatalf("redplane-switch: flow %d lease rejected (another switch owns it)", f)
 		}
 		seq := ack.Seq
-		for w := 1; w <= *writes; w++ {
-			seq++
-			wack := do(&wire.Message{Type: wire.MsgRepl, Key: key, Seq: seq,
-				Vals: []uint64{uint64(w)}})
-			if wack.Type != wire.MsgReplAck || wack.Seq < seq {
-				log.Fatalf("redplane-switch: flow %d write %d: unexpected ack %v seq=%d",
-					f, w, wack.Type, wack.Seq)
+		for w := 1; w <= *writes; w += *batch {
+			n := *batch
+			if w+n-1 > *writes {
+				n = *writes - w + 1
+			}
+			msgs := make([]*wire.Message, n)
+			for i := range msgs {
+				seq++
+				msgs[i] = &wire.Message{Type: wire.MsgRepl, Key: key, Seq: seq,
+					Vals: []uint64{uint64(w + i)}}
+			}
+			if n == 1 {
+				wack := do(msgs[0])
+				if wack.Type != wire.MsgReplAck || wack.Seq < msgs[0].Seq {
+					log.Fatalf("redplane-switch: flow %d write %d: unexpected ack %v seq=%d",
+						f, w, wack.Type, wack.Seq)
+				}
+				continue
+			}
+			reqStart := time.Now()
+			acks, err := c.RequestBatch(msgs)
+			if err != nil {
+				log.Fatalf("redplane-switch: flow %d batch at write %d: %v", f, w, err)
+			}
+			lats = append(lats, time.Since(reqStart))
+			repls.Add(uint64(n))
+			for i, wack := range acks {
+				if wack.Type != wire.MsgReplAck || wack.Seq < msgs[i].Seq {
+					log.Fatalf("redplane-switch: flow %d write %d: unexpected ack %v seq=%d",
+						f, w+i, wack.Type, wack.Seq)
+				}
+			}
+			if tr.Active() {
+				tr.Emit(obs.Event{T: int64(reqStart.Sub(start)), Type: obs.EvBatchFlush,
+					Comp: comp, Flow: key.String(), Seq: seq, V: int64(n)})
 			}
 		}
 		do(&wire.Message{Type: wire.MsgLeaseRenew, Key: key})

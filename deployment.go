@@ -94,6 +94,15 @@ type DeploymentConfig struct {
 	// (default 2 µs, approximating the kernel-bypass server).
 	StoreService time.Duration
 
+	// StoreQueueMaxMsgs bounds each store server's service backlog by
+	// message count (zero means store.DefaultQueueMaxMsgs); overload
+	// beyond it is shed and counted rather than queued without bound.
+	StoreQueueMaxMsgs int
+
+	// StoreMaxWaiting caps each flow's buffered-lease-request queue at
+	// the store (zero means store.DefaultMaxWaiting).
+	StoreMaxWaiting int
+
 	// InitState is the store-side state initializer for new flows (the
 	// place shared pools live; see internal/apps allocators).
 	InitState func(key FiveTuple) []uint64
@@ -232,6 +241,7 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 				LeasePeriod:    cfg.Protocol.LeasePeriod,
 				InitState:      cfg.InitState,
 				SnapshotSlots:  cfg.SnapshotSlots,
+				MaxWaiting:     cfg.StoreMaxWaiting,
 				IgnoreSeq:      cfg.Ablation.StoreIgnoreSeq,
 				UnsafeNoRevoke: cfg.Ablation.StoreNoRevoke,
 			},
@@ -239,6 +249,9 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 			func(shard, replica int) packet.Addr {
 				return packet.MakeAddr(10, 100, byte(shard+1), byte(replica+1))
 			})
+		if cfg.StoreQueueMaxMsgs > 0 {
+			d.Cluster.SetQueueMaxMsgs(cfg.StoreQueueMaxMsgs)
+		}
 		locator = d.Cluster
 	}
 

@@ -129,14 +129,27 @@ type Config struct {
 	// store grants leases without revoking the previous holder's) to
 	// demonstrate the harness catches and shrinks real violations.
 	BreakNoRevoke bool
+
+	// BatchWindow is the switches' egress coalescing window. Zero means
+	// DefaultBatchWindow — campaigns exercise the batched pipeline by
+	// default, so the protocol checkers hold with batching on. Negative
+	// disables batching (one datagram per request).
+	BatchWindow time.Duration
 }
 
 // DefaultDuration is the active-phase length when Config.Duration is 0.
 const DefaultDuration = 1500 * time.Millisecond
 
+// DefaultBatchWindow is the egress coalescing window campaigns run with
+// when Config.BatchWindow is zero.
+const DefaultBatchWindow = 10 * time.Microsecond
+
 func (c Config) withDefaults() Config {
 	if c.Duration == 0 {
 		c.Duration = DefaultDuration
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = DefaultBatchWindow
 	}
 	if c.Profile.Name == "" {
 		c.Profile = Profiles["default"]

@@ -109,6 +109,9 @@ func runLinearizable(cfg Config, faults []Fault) runResult {
 	proto := redplane.DefaultProtocolConfig()
 	proto.LeasePeriod = leasePeriod
 	proto.RenewInterval = leasePeriod / 2
+	if cfg.BatchWindow > 0 {
+		proto.FlushWindow = cfg.BatchWindow
+	}
 
 	d := redplane.NewDeployment(redplane.DeploymentConfig{
 		Seed:          cfg.Seed,
@@ -283,7 +286,7 @@ func checkStoreInvariants(d *redplane.Deployment) []Violation {
 }
 
 func runBounded(cfg Config, faults []Fault) runResult {
-	drv, d := newBoundedDriver(cfg.Seed, faults, snapshotPeriod, leasePeriod)
+	drv, d := newBoundedDriver(cfg.Seed, faults, snapshotPeriod, leasePeriod, cfg.BatchWindow)
 	activeEnd := netsim.Duration(warmup + cfg.Duration)
 	end := activeEnd + netsim.Duration(quiesce)
 	drv.start(activeEnd)

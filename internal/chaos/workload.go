@@ -205,12 +205,16 @@ type boundedDriver struct {
 
 const boundedFlows = 8
 
-func newBoundedDriver(seed int64, faults []Fault, snapshotPeriod time.Duration, leasePeriod time.Duration) (*boundedDriver, *redplane.Deployment) {
+func newBoundedDriver(seed int64, faults []Fault, snapshotPeriod, leasePeriod,
+	batchWindow time.Duration) (*boundedDriver, *redplane.Deployment) {
 	b := &boundedDriver{}
 	proto := redplane.DefaultProtocolConfig()
 	proto.LeasePeriod = leasePeriod
 	proto.RenewInterval = leasePeriod / 2
 	proto.SnapshotPeriod = snapshotPeriod
+	if batchWindow > 0 {
+		proto.FlushWindow = batchWindow
+	}
 	d := redplane.NewDeployment(redplane.DeploymentConfig{
 		Seed: seed,
 		Mode: redplane.BoundedInconsistency,

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"redplane/internal/netsim"
+)
+
+// With a flush window configured, a burst of concurrent write-path flows
+// coalesces its replication requests into wire.Batch datagrams — fewer
+// protocol frames than messages — without perturbing the application:
+// every packet still delivers with linearizable counter outputs and the
+// chain still converges to the final per-flow state.
+func TestEgressCoalescingBatchesBurst(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlushWindow = 10 * time.Microsecond
+	e := newEnv(t, envOpts{seed: 7, cfg: cfg})
+
+	// 8 flows × 4 packets arriving back to back: many repls share each
+	// flush window.
+	const flows, pkts = 8, 4
+	for f := 0; f < flows; f++ {
+		e.sendFlow(uint16(2000+f), pkts, time.Microsecond)
+	}
+	e.sim.RunUntil(netsim.Duration(400 * time.Millisecond))
+
+	if len(e.received) != flows*pkts {
+		t.Fatalf("delivered %d/%d", len(e.received), flows*pkts)
+	}
+	var batches, msgs, frames, sends uint64
+	for _, sw := range e.sw {
+		st := sw.Stats()
+		batches += st.EgressBatches
+		msgs += st.EgressMsgs
+		frames += st.ProtoTxFrames
+		sends += st.ReplSends
+	}
+	if batches == 0 {
+		t.Error("no egress batches despite a concurrent burst")
+	}
+	if msgs < 2*batches {
+		t.Errorf("EgressMsgs %d < 2×EgressBatches %d: batches must pack ≥2", msgs, batches)
+	}
+	// Coalescing exists to send fewer datagrams than replication sends.
+	if frames >= sends {
+		t.Errorf("proto frames %d >= repl sends %d: coalescing saved nothing", frames, sends)
+	}
+	for f := 0; f < flows; f++ {
+		key := flowKey(e, uint16(2000+f))
+		sh := e.cluster.ShardFor(key)
+		for r := 0; r < 3; r++ {
+			vals, seq, ok := e.cluster.Server(sh, r).Shard().State(key)
+			if !ok || seq != pkts || vals[0] != pkts {
+				t.Errorf("flow %d replica %d: vals=%v seq=%d ok=%v", f, r, vals, seq, ok)
+			}
+		}
+	}
+	if err := e.hist.CheckCounterLinearizable(); err != nil {
+		t.Errorf("history: %v", err)
+	}
+}
+
+// A lone request inside a flush window leaves as a plain frame — light
+// traffic must stay byte-identical to the unbatched pipeline.
+func TestEgressSingleMessageStaysPlain(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlushWindow = 10 * time.Microsecond
+	e := newEnv(t, envOpts{seed: 8, cfg: cfg})
+	// Packets spaced far beyond the window: every window holds one
+	// message at most.
+	e.sendFlow(1000, 3, 10*time.Millisecond)
+	e.sim.RunUntil(netsim.Duration(400 * time.Millisecond))
+
+	if len(e.received) != 3 {
+		t.Fatalf("delivered %d/3", len(e.received))
+	}
+	for _, sw := range e.sw {
+		if st := sw.Stats(); st.EgressBatches != 0 || st.EgressMsgs != 0 {
+			t.Errorf("spaced traffic batched: batches=%d msgs=%d",
+				st.EgressBatches, st.EgressMsgs)
+		}
+	}
+}
+
+// With the window disabled (the default) the egress queue is never
+// engaged and the batch counters stay zero under the same burst.
+func TestEgressWindowZeroNeverBatches(t *testing.T) {
+	e := newEnv(t, envOpts{seed: 7})
+	for f := 0; f < 8; f++ {
+		e.sendFlow(uint16(2000+f), 4, time.Microsecond)
+	}
+	e.sim.RunUntil(netsim.Duration(400 * time.Millisecond))
+	if len(e.received) != 32 {
+		t.Fatalf("delivered %d/32", len(e.received))
+	}
+	for _, sw := range e.sw {
+		if st := sw.Stats(); st.EgressBatches != 0 || st.EgressMsgs != 0 {
+			t.Errorf("batching off but batches=%d msgs=%d", st.EgressBatches, st.EgressMsgs)
+		}
+	}
+}

@@ -77,6 +77,15 @@ type Config struct {
 	// updates can be lost under extreme overload — which the correctness
 	// model treats as packet loss. Zero means the default.
 	MirrorBufferLimit int
+	// FlushWindow is the egress coalescing window: protocol requests
+	// addressed to the same store head within the window leave as one
+	// wire.Batch datagram, amortizing per-datagram service cost at the
+	// store (the batching half of the sustained-throughput story; see
+	// the throughput experiment). Retransmissions bypass the window —
+	// they are rare and already delayed. Zero disables coalescing:
+	// every request is its own datagram, byte-identical to the
+	// pre-batching pipeline.
+	FlushWindow time.Duration
 }
 
 // DefaultConfig returns the paper's protocol parameters.
@@ -132,6 +141,11 @@ type SwitchStats struct {
 	DroppedDead           uint64
 	EmulatedDrops         uint64
 	MirrorOverflow        uint64
+	// EgressBatches counts coalesced protocol datagrams sent (flushes
+	// that packed ≥ 2 messages); EgressMsgs counts the messages they
+	// carried.
+	EgressBatches uint64
+	EgressMsgs    uint64
 }
 
 // swMetrics caches the switch's registry handles so the data path pays a
@@ -146,6 +160,7 @@ type swMetrics struct {
 	bufferedReads, snapPackets   *obs.Counter
 	droppedDead, emulatedDrops   *obs.Counter
 	mirrorOverflow               *obs.Counter
+	egressBatches, egressMsgs    *obs.Counter
 
 	// bufBytes mirrors the ASIC packet-buffer occupancy; flows and
 	// inflight track per-flow state and unacked requests. All three are
@@ -172,6 +187,8 @@ func newSwMetrics(ns *obs.Scope) swMetrics {
 		droppedDead:    ns.Counter("dropped_dead"),
 		emulatedDrops:  ns.Counter("emulated_drops"),
 		mirrorOverflow: ns.Counter("mirror_overflow"),
+		egressBatches:  ns.Counter("egress_batches"),
+		egressMsgs:     ns.Counter("egress_msgs"),
 		bufBytes:       ns.Gauge("buf_bytes"),
 		flows:          ns.Gauge("flows"),
 		inflight:       ns.Gauge("inflight_requests"),
@@ -240,6 +257,15 @@ type Switch struct {
 	flows map[packet.FiveTuple]*flowCtl
 	held  map[packet.FiveTuple][]heldRead
 
+	// Egress coalescing (Config.FlushWindow): requests queue per store
+	// head and flush as one batch datagram when the window closes or the
+	// queue fills. egressOrder preserves first-enqueue order across
+	// heads so the flush sequence is deterministic.
+	egressQ     map[packet.Addr][]*wire.Message
+	egressOrder []packet.Addr
+	egressCount int
+	egressTimer *netsim.Timer
+
 	snapEpoch uint32
 
 	// met holds the cached observability handles (scope
@@ -272,6 +298,8 @@ func NewSwitch(sim *netsim.Sim, id int, name string, ip packet.Addr,
 	s.met = newSwMetrics(reg.NS("switch/" + name))
 	s.tr = reg.Tracer()
 	s.cp = pipeline.NewControlPlane(sim, cfg.CPOpLatency)
+	s.egressQ = make(map[packet.Addr][]*wire.Message)
+	s.egressTimer = netsim.NewTimer(sim, s.flushEgress)
 	if store != nil {
 		s.startRenewLoop()
 		if sa, ok := app.(SnapshotApp); ok && mode == BoundedInconsistency {
@@ -307,6 +335,12 @@ func (s *Switch) Fail() {
 	s.alive = false
 	s.flows = make(map[packet.FiveTuple]*flowCtl)
 	s.held = make(map[packet.FiveTuple][]heldRead)
+	// Unflushed egress requests die with the switch like any in-ASIC
+	// packet.
+	s.egressQ = make(map[packet.Addr][]*wire.Message)
+	s.egressOrder = nil
+	s.egressCount = 0
+	s.egressTimer.Stop()
 	s.met.bufBytes.Set(0)
 	s.met.flows.Set(0)
 	s.met.inflight.Set(0)
@@ -344,6 +378,8 @@ func (s *Switch) Stats() SwitchStats {
 		DroppedDead:     s.met.droppedDead.Value(),
 		EmulatedDrops:   s.met.emulatedDrops.Value(),
 		MirrorOverflow:  s.met.mirrorOverflow.Value(),
+		EgressBatches:   s.met.egressBatches.Value(),
+		EgressMsgs:      s.met.egressMsgs.Value(),
 	}
 	now := s.sim.Now()
 	for _, fc := range s.flows {
@@ -419,6 +455,20 @@ func (s *Switch) Receive(f *netsim.Frame, in *netsim.Port) {
 			return
 		}
 		// Protocol traffic for someone else transits like any frame.
+		s.router.Forward(f, in)
+		return
+	}
+	if b, ok := f.Msg.(*wire.Batch); ok {
+		if f.Dst == s.IP {
+			// Batched acks from a chain tail: each member settles like a
+			// separately delivered ack, in batch order.
+			s.met.protoRxBytes.Add(uint64(f.Size))
+			s.met.protoRxFrames.Inc()
+			for _, m := range b.Msgs {
+				s.handleAck(m)
+			}
+			return
+		}
 		s.router.Forward(f, in)
 		return
 	}
@@ -618,6 +668,12 @@ func (s *Switch) sendToStore(key packet.FiveTuple, m *wire.Message, track bool) 
 	if s.cfg.EmulatedRequestLoss > 0 && s.sim.Rand().Float64() < s.cfg.EmulatedRequestLoss {
 		s.met.emulatedDrops.Inc()
 		s.trace(obs.EvReplDrop, key, m.Seq, int64(f.Size))
+	} else if s.cfg.FlushWindow > 0 {
+		// Egress coalescing: the request joins the current flush window
+		// instead of leaving as its own datagram. Loss emulation applies
+		// per message (above), as the methodology drops requests, not
+		// datagrams.
+		s.enqueueEgress(addr, m)
 	} else {
 		s.met.protoTxBytes.Add(uint64(f.Size))
 		s.met.protoTxFrames.Inc()
@@ -625,6 +681,60 @@ func (s *Switch) sendToStore(key packet.FiveTuple, m *wire.Message, track bool) 
 	}
 	if track && !s.cfg.DisableRetransmit {
 		s.trackPending(key, m)
+	}
+}
+
+// egressMaxBatch flushes the window early once this many messages are
+// queued, bounding both batch datagram size and the latency a full
+// window adds.
+const egressMaxBatch = 64
+
+func (s *Switch) enqueueEgress(addr packet.Addr, m *wire.Message) {
+	q, ok := s.egressQ[addr]
+	if !ok {
+		s.egressOrder = append(s.egressOrder, addr)
+	}
+	s.egressQ[addr] = append(q, m)
+	s.egressCount++
+	if s.egressCount >= egressMaxBatch {
+		s.flushEgress()
+		return
+	}
+	s.egressTimer.Arm(s.sim.Now() + netsim.Duration(s.cfg.FlushWindow))
+}
+
+// flushEgress sends every queued request, one datagram per store head in
+// first-enqueue order: a single message keeps the plain frame (so light
+// traffic is byte-identical to the unbatched pipeline), two or more pack
+// into a wire.Batch.
+func (s *Switch) flushEgress() {
+	s.egressTimer.Stop()
+	order := s.egressOrder
+	s.egressOrder = nil
+	s.egressCount = 0
+	for _, addr := range order {
+		msgs := s.egressQ[addr]
+		delete(s.egressQ, addr)
+		if len(msgs) == 0 {
+			continue
+		}
+		ft := packet.FiveTuple{Src: s.IP, Dst: addr,
+			SrcPort: wire.SwitchPort, DstPort: wire.StorePort, Proto: packet.ProtoUDP}
+		var f *netsim.Frame
+		if len(msgs) == 1 {
+			f = &netsim.Frame{Src: s.IP, Dst: addr, Flow: ft,
+				Size: msgs[0].WireLen(), Msg: msgs[0]}
+		} else {
+			b := &wire.Batch{Msgs: msgs}
+			f = &netsim.Frame{Src: s.IP, Dst: addr, Flow: ft,
+				Size: b.WireLen(), Msg: b}
+			s.met.egressBatches.Inc()
+			s.met.egressMsgs.Add(uint64(len(msgs)))
+			s.trace(obs.EvBatchFlush, packet.FiveTuple{}, 0, int64(len(msgs)))
+		}
+		s.met.protoTxBytes.Add(uint64(f.Size))
+		s.met.protoTxFrames.Inc()
+		s.router.Forward(f, nil)
 	}
 }
 

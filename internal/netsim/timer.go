@@ -1,0 +1,57 @@
+package netsim
+
+// Timer is a re-armable one-shot wake-up on the simulation clock: the
+// shared wake plumbing behind the store's lease-expiry flusher and the
+// switch's egress-coalescing flush window. The event queue cannot cancel
+// scheduled events, so the timer invalidates stale firings with a
+// generation counter — each Arm/Stop bumps the generation and an event
+// whose generation no longer matches does nothing.
+type Timer struct {
+	sim   *Sim
+	fn    func()
+	at    Time
+	armed bool
+	gen   uint64
+}
+
+// NewTimer creates a timer that runs fn when it fires. fn runs at most
+// once per Arm.
+func NewTimer(sim *Sim, fn func()) *Timer {
+	return &Timer{sim: sim, fn: fn}
+}
+
+// Arm schedules the timer to fire at t. If the timer is already armed
+// for an earlier-or-equal instant the call is a no-op (the pending
+// firing covers it); arming for an earlier instant reschedules. An
+// instant not after the current time fires on the next event step.
+func (t *Timer) Arm(at Time) {
+	if at <= t.sim.Now() {
+		at = t.sim.Now() + 1
+	}
+	if t.armed && t.at <= at {
+		return
+	}
+	t.gen++
+	t.at = at
+	t.armed = true
+	gen := t.gen
+	t.sim.At(at, func() {
+		if t.gen != gen || !t.armed {
+			return
+		}
+		t.armed = false
+		t.fn()
+	})
+}
+
+// Stop cancels any pending firing.
+func (t *Timer) Stop() {
+	t.gen++
+	t.armed = false
+}
+
+// Armed reports whether a firing is pending.
+func (t *Timer) Armed() bool { return t.armed }
+
+// When returns the pending fire time (meaningful only while Armed).
+func (t *Timer) When() Time { return t.at }

@@ -1,0 +1,112 @@
+package netsim
+
+import "testing"
+
+func TestTimerFiresOnceAtArmedInstant(t *testing.T) {
+	sim := New(1)
+	var fired []Time
+	tm := NewTimer(sim, func() { fired = append(fired, sim.Now()) })
+	tm.Arm(100)
+	if !tm.Armed() || tm.When() != 100 {
+		t.Fatalf("armed=%v when=%d", tm.Armed(), tm.When())
+	}
+	sim.Run()
+	if len(fired) != 1 || fired[0] != 100 {
+		t.Fatalf("fired = %v, want [100]", fired)
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after firing")
+	}
+}
+
+func TestTimerArmEarlierReschedules(t *testing.T) {
+	sim := New(1)
+	var fired []Time
+	tm := NewTimer(sim, func() { fired = append(fired, sim.Now()) })
+	tm.Arm(200)
+	tm.Arm(50) // earlier wins
+	sim.Run()
+	if len(fired) != 1 || fired[0] != 50 {
+		t.Fatalf("fired = %v, want [50] (earlier arm reschedules)", fired)
+	}
+}
+
+func TestTimerArmLaterIsNoOp(t *testing.T) {
+	sim := New(1)
+	var fired []Time
+	tm := NewTimer(sim, func() { fired = append(fired, sim.Now()) })
+	tm.Arm(50)
+	tm.Arm(200) // pending earlier firing covers it
+	if tm.When() != 50 {
+		t.Fatalf("When = %d, want 50", tm.When())
+	}
+	sim.Run()
+	if len(fired) != 1 || fired[0] != 50 {
+		t.Fatalf("fired = %v, want [50]", fired)
+	}
+}
+
+func TestTimerStopCancelsPendingFiring(t *testing.T) {
+	sim := New(1)
+	fired := 0
+	tm := NewTimer(sim, func() { fired++ })
+	tm.Arm(100)
+	tm.Stop()
+	if tm.Armed() {
+		t.Error("armed after Stop")
+	}
+	sim.Run()
+	if fired != 0 {
+		t.Fatalf("fired %d times after Stop", fired)
+	}
+}
+
+// Stop-then-rearm must not let the stale scheduled event fire the timer a
+// second time: the generation counter invalidates it.
+func TestTimerGenerationInvalidatesStaleEvents(t *testing.T) {
+	sim := New(1)
+	var fired []Time
+	tm := NewTimer(sim, func() { fired = append(fired, sim.Now()) })
+	tm.Arm(100)
+	tm.Stop()
+	tm.Arm(300)
+	sim.Run()
+	if len(fired) != 1 || fired[0] != 300 {
+		t.Fatalf("fired = %v, want [300] only", fired)
+	}
+}
+
+func TestTimerPastInstantFiresNext(t *testing.T) {
+	sim := New(1)
+	sim.At(500, func() {})
+	fired := Time(0)
+	tm := NewTimer(sim, func() { fired = sim.Now() })
+	sim.At(200, func() { tm.Arm(100) }) // already in the past
+	sim.Run()
+	if fired != 201 {
+		t.Fatalf("fired at %d, want 201 (now+1)", fired)
+	}
+}
+
+func TestTimerRearmAfterFire(t *testing.T) {
+	sim := New(1)
+	var fired []Time
+	var tm *Timer
+	tm = NewTimer(sim, func() {
+		fired = append(fired, sim.Now())
+		if len(fired) < 3 {
+			tm.Arm(sim.Now() + 10)
+		}
+	})
+	tm.Arm(10)
+	sim.Run()
+	want := []Time{10, 20, 30}
+	if len(fired) != 3 {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}

@@ -32,6 +32,13 @@ const (
 	EvRecovery
 	EvLinkDown
 	EvLinkUp
+	// EvBatchFlush marks an egress-coalescing flush (switch side) or a
+	// batched datagram's processing (store side); V carries the batch's
+	// message count.
+	EvBatchFlush
+	// EvQueueShed marks a bounded queue dropping work under overload; V
+	// carries how many messages were shed.
+	EvQueueShed
 )
 
 var eventNames = map[EventType]string{
@@ -51,6 +58,8 @@ var eventNames = map[EventType]string{
 	EvRecovery:       "recovery",
 	EvLinkDown:       "link_down",
 	EvLinkUp:         "link_up",
+	EvBatchFlush:     "batch_flush",
+	EvQueueShed:      "queue_shed",
 }
 
 var eventTypes = func() map[string]EventType {

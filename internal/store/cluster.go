@@ -46,6 +46,25 @@ func serverName(shard, replica int) string {
 	return fmt.Sprintf("store-%d-%d", shard, replica)
 }
 
+// SetQueueMaxMsgs bounds every server's service backlog by message
+// count (zero restores DefaultQueueMaxMsgs). Deployment construction
+// uses it to plumb the backpressure knob cluster-wide.
+func (c *Cluster) SetQueueMaxMsgs(n int) {
+	for _, s := range c.All() {
+		s.QueueMaxMsgs = n
+	}
+}
+
+// ShedMsgs sums the shed-message counters over all servers — the
+// cluster-wide measure of load the bounded queues refused.
+func (c *Cluster) ShedMsgs() uint64 {
+	var n uint64
+	for _, s := range c.All() {
+		n += s.Stats().ShedMsgs
+	}
+	return n
+}
+
 // Shards returns the shard count.
 func (c *Cluster) Shards() int { return c.shards }
 

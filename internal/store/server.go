@@ -31,6 +31,13 @@ func (c *chainMsg) wireLen() int {
 // chainPort is the UDP port chain members talk to each other on.
 const chainPort uint16 = 9502
 
+// DefaultQueueMaxMsgs bounds the service backlog by message count when
+// Server.QueueMaxMsgs is zero. It sits above anything the time-based
+// QueueLimit admits for single-message traffic (1 ms / 500 ns = 2000),
+// so it only bites when large batches would otherwise pile up unbounded
+// memory behind a slow shard.
+const DefaultQueueMaxMsgs = 4096
+
 // Server is a state store server as a simulator node. A server owns one
 // shard replica and, when part of a chain, forwards committed updates to
 // its successor; the tail releases acks to switches (§6: chain replication
@@ -55,19 +62,28 @@ type Server struct {
 	// QueueLimit bounds the service backlog; requests beyond it are
 	// dropped like packets at a saturated NIC. Zero means 1 ms.
 	QueueLimit time.Duration
-	busyUntil  netsim.Time
+	// QueueMaxMsgs additionally bounds the backlog by message count —
+	// the knob that keeps batched overload from growing memory without
+	// bound while the time-based limit still admits it. Zero means
+	// DefaultQueueMaxMsgs.
+	QueueMaxMsgs int
+	busyUntil    netsim.Time
+	queued       int // messages admitted but not yet served
 
 	// SwitchAddr resolves a switch ID to its protocol IP address.
 	SwitchAddr func(id int) packet.Addr
 
-	wakeArmed bool
+	wake *netsim.Timer
 
 	// Observability handles, cached at construction under scope
 	// "store/<name>"; the tracer is shared and nil-safe.
 	rxBytes, txBytes   *obs.Counter
 	rxFrames, txFrames *obs.Counter
 	dropped            *obs.Counter
+	sheds              *obs.Counter
 	queueNs            *obs.Gauge
+	queueDepth         *obs.Gauge
+	batchSize          *obs.Gauge
 	flowsGauge         *obs.Gauge
 	tr                 *obs.Tracer
 }
@@ -85,9 +101,13 @@ func NewServer(sim *netsim.Sim, name string, ip packet.Addr, shard *Shard, servi
 	s.rxFrames = ns.Counter("rx_frames")
 	s.txFrames = ns.Counter("tx_frames")
 	s.dropped = ns.Counter("dropped_requests")
+	s.sheds = ns.Counter("sheds")
 	s.queueNs = ns.Gauge("queue_ns")
+	s.queueDepth = ns.Gauge("queue_depth")
+	s.batchSize = ns.Gauge("batch_size")
 	s.flowsGauge = ns.Gauge("flows")
 	s.tr = reg.Tracer()
+	s.wake = netsim.NewTimer(sim, s.fireWake)
 	return s
 }
 
@@ -99,6 +119,7 @@ type ServerStats struct {
 	RxBytes, TxBytes   uint64
 	RxFrames, TxFrames uint64
 	DroppedRequests    uint64
+	ShedMsgs           uint64
 	Flows              int
 	Shard              Stats
 }
@@ -112,6 +133,7 @@ func (s *Server) Stats() ServerStats {
 		RxFrames:        s.rxFrames.Value(),
 		TxFrames:        s.txFrames.Value(),
 		DroppedRequests: s.dropped.Value(),
+		ShedMsgs:        s.sheds.Value(),
 		Flows:           s.shard.Flows(),
 		Shard:           s.shard.Stats,
 	}
@@ -188,33 +210,56 @@ func (s *Server) Receive(f *netsim.Frame, _ *netsim.Port) {
 	s.rxFrames.Inc()
 	switch m := f.Msg.(type) {
 	case *wire.Message:
-		s.serve(func() { s.handleRequest(m) })
+		s.serve(1, func() { s.handleRequest(m) })
+	case *wire.Batch:
+		s.serve(m.Len(), func() { s.handleBatch(m) })
 	case *chainMsg:
-		s.serve(func() { s.handleChain(m) })
+		s.serve(1, func() { s.handleChain(m) })
 	default:
 		// Data packets addressed to the store (misrouted) are dropped.
 	}
 }
 
-// serve queues fn behind the server's service time, shedding load beyond
-// the queue bound.
-func (s *Server) serve(fn func()) {
+// serve queues fn — carrying n protocol messages — behind the server's
+// service time, shedding load beyond the queue bounds. A single message
+// costs exactly ServiceTime; a batch costs half a ServiceTime for the
+// datagram (receive/dispatch amortization) plus half per message, which
+// is where batching wins sustained throughput: n messages in one
+// datagram cost (n+1)/2 service times instead of n.
+func (s *Server) serve(n int, fn func()) {
 	limit := s.QueueLimit
 	if limit == 0 {
 		limit = time.Millisecond
+	}
+	maxMsgs := s.QueueMaxMsgs
+	if maxMsgs == 0 {
+		maxMsgs = DefaultQueueMaxMsgs
 	}
 	start := s.sim.Now()
 	if s.busyUntil > start {
 		start = s.busyUntil
 	}
 	s.queueNs.Set(int64(start - s.sim.Now()))
-	if start-s.sim.Now() > netsim.Duration(limit) {
+	if start-s.sim.Now() > netsim.Duration(limit) || s.queued+n > maxMsgs {
 		s.dropped.Inc()
+		s.sheds.Add(uint64(n))
+		if s.tr.Active() {
+			s.tr.Emit(obs.Event{T: int64(s.sim.Now()), Type: obs.EvQueueShed,
+				Comp: s.name, V: int64(n)})
+		}
 		return
 	}
-	done := start + netsim.Duration(s.ServiceTime)
+	cost := netsim.Duration(s.ServiceTime)
+	if n > 1 {
+		cost = cost/2 + netsim.Time(n)*(cost/2)
+	}
+	done := start + cost
 	s.busyUntil = done
+	s.queued += n
+	s.queueDepth.Set(int64(s.queued))
 	s.sim.At(done, func() {
+		s.queued -= n
+		s.queueDepth.Set(int64(s.queued))
 		if s.dead {
 			return // crashed while the request was queued
 		}
@@ -231,6 +276,20 @@ func (s *Server) handleRequest(m *wire.Message) {
 	s.armWake()
 }
 
+func (s *Server) handleBatch(b *wire.Batch) {
+	before := s.shard.Stats
+	outs, ups := s.shard.ProcessBatch(int64(s.sim.Now()), b.Msgs)
+	s.traceLeases(before, packet.FiveTuple{}, false)
+	s.batchSize.Set(int64(b.Len()))
+	if s.tr.Active() {
+		s.tr.Emit(obs.Event{T: int64(s.sim.Now()), Type: obs.EvBatchFlush,
+			Comp: s.name, V: int64(b.Len())})
+	}
+	s.flowsGauge.Set(int64(s.shard.Flows()))
+	s.commit(outs, ups)
+	s.armWake()
+}
+
 func (s *Server) handleChain(c *chainMsg) {
 	for _, up := range c.Ups {
 		s.shard.Apply(up)
@@ -240,9 +299,7 @@ func (s *Server) handleChain(c *chainMsg) {
 		return
 	}
 	// Tail: the update is durable on every replica; release the outputs.
-	for _, o := range c.Outs {
-		s.emit(o)
-	}
+	s.emitAll(c.Outs)
 }
 
 // commit routes mutating results through the chain (outputs released at
@@ -252,9 +309,57 @@ func (s *Server) commit(outs []Output, ups []Update) {
 		s.sendChain(&chainMsg{Ups: ups, Outs: outs})
 		return
 	}
-	for _, o := range outs {
-		s.emit(o)
+	s.emitAll(outs)
+}
+
+// emitAll releases outputs to switches. When a batched commit produced
+// several acks for the same switch, they leave as one batch datagram —
+// the return half of the amortization; single acks keep the plain frame
+// so unbatched traffic is byte-identical to the pre-batching pipeline.
+func (s *Server) emitAll(outs []Output) {
+	if len(outs) <= 1 {
+		for _, o := range outs {
+			s.emit(o)
+		}
+		return
 	}
+	counts := make(map[int]int, 4)
+	for _, o := range outs {
+		counts[o.DstSwitch]++
+	}
+	done := make(map[int]bool, len(counts))
+	for _, o := range outs {
+		if counts[o.DstSwitch] == 1 {
+			s.emit(o)
+			continue
+		}
+		if done[o.DstSwitch] {
+			continue
+		}
+		done[o.DstSwitch] = true
+		msgs := make([]*wire.Message, 0, counts[o.DstSwitch])
+		for _, o2 := range outs {
+			if o2.DstSwitch == o.DstSwitch {
+				msgs = append(msgs, o2.Msg)
+			}
+		}
+		s.emitBatch(o.DstSwitch, msgs)
+	}
+}
+
+func (s *Server) emitBatch(dstSwitch int, msgs []*wire.Message) {
+	b := &wire.Batch{Msgs: msgs}
+	dst := s.SwitchAddr(dstSwitch)
+	f := &netsim.Frame{
+		Src: s.IP, Dst: dst,
+		Flow: packet.FiveTuple{Src: s.IP, Dst: dst,
+			SrcPort: wire.StorePort, DstPort: wire.SwitchPort, Proto: packet.ProtoUDP},
+		Size: b.WireLen(),
+		Msg:  b,
+	}
+	s.txBytes.Add(uint64(f.Size))
+	s.txFrames.Inc()
+	s.port.Send(f)
 }
 
 func (s *Server) sendChain(c *chainMsg) {
@@ -285,26 +390,25 @@ func (s *Server) emit(o Output) {
 }
 
 // armWake schedules a Flush at the shard's next lease-expiry wake point so
-// queued lease requests are granted promptly.
+// queued lease requests are granted promptly. The netsim.Timer re-arms
+// for an earlier instant when a newly queued waiter's blocking lease
+// expires before the pending wake — the old one-shot flag would have
+// slept through it.
 func (s *Server) armWake() {
 	at := s.shard.NextWake()
-	if at == 0 || s.wakeArmed {
+	if at == 0 {
 		return
 	}
-	s.wakeArmed = true
-	when := netsim.Time(at)
-	if when <= s.sim.Now() {
-		when = s.sim.Now() + 1
+	s.wake.Arm(netsim.Time(at))
+}
+
+func (s *Server) fireWake() {
+	if s.dead {
+		return // Recover re-arms the wake timer
 	}
-	s.sim.At(when, func() {
-		s.wakeArmed = false
-		if s.dead {
-			return // Recover re-arms the wake timer
-		}
-		before := s.shard.Stats
-		outs, ups := s.shard.Flush(int64(s.sim.Now()))
-		s.traceLeases(before, packet.FiveTuple{}, false)
-		s.commit(outs, ups)
-		s.armWake()
-	})
+	before := s.shard.Stats
+	outs, ups := s.shard.Flush(int64(s.sim.Now()))
+	s.traceLeases(before, packet.FiveTuple{}, false)
+	s.commit(outs, ups)
+	s.armWake()
 }

@@ -22,18 +22,24 @@ func (h *hub) Receive(f *netsim.Frame, _ *netsim.Port) {
 	}
 }
 
-// fakeSwitch records protocol messages addressed to it.
+// fakeSwitch records protocol messages addressed to it, unwrapping
+// batched ack datagrams (gotBatches counts them).
 type fakeSwitch struct {
-	id   int
-	ip   packet.Addr
-	got  []*wire.Message
-	port *netsim.Port
+	id         int
+	ip         packet.Addr
+	got        []*wire.Message
+	gotBatches int
+	port       *netsim.Port
 }
 
 func (s *fakeSwitch) Name() string { return "fake-switch" }
 func (s *fakeSwitch) Receive(f *netsim.Frame, _ *netsim.Port) {
-	if m, ok := f.Msg.(*wire.Message); ok {
+	switch m := f.Msg.(type) {
+	case *wire.Message:
 		s.got = append(s.got, m)
+	case *wire.Batch:
+		s.gotBatches++
+		s.got = append(s.got, m.Msgs...)
 	}
 }
 

@@ -1,0 +1,174 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+	"redplane/internal/wire"
+)
+
+// sendBatch injects a batch datagram from the fake switch.
+func (s *fakeSwitch) sendBatch(msgs []*wire.Message, dst packet.Addr) {
+	for _, m := range msgs {
+		m.SwitchID = s.id
+	}
+	b := &wire.Batch{Msgs: msgs}
+	s.port.Send(&netsim.Frame{
+		Src: s.ip, Dst: dst,
+		Flow: packet.FiveTuple{Src: s.ip, Dst: dst, SrcPort: wire.SwitchPort,
+			DstPort: wire.StorePort, Proto: packet.ProtoUDP},
+		Size: b.WireLen(), Msg: b,
+	})
+}
+
+// A batched commit must behave exactly like its member messages: every
+// replica converges before the acks release at the tail, and the acks
+// for one switch come back as one batch datagram.
+func TestBatchedCommitChainAgreement(t *testing.T) {
+	sim := netsim.New(1)
+	sw, servers := buildChainNet(t, sim, 2*time.Microsecond, time.Microsecond)
+	k1, k2 := tkey(1), tkey(2)
+
+	sw.sendBatch([]*wire.Message{leaseNew(1, k1), leaseNew(1, k2)}, servers[0].IP)
+	sim.Run()
+	if len(sw.got) != 2 || sw.gotBatches != 1 {
+		t.Fatalf("got %d msgs in %d batches, want 2 in 1", len(sw.got), sw.gotBatches)
+	}
+
+	// Two writes to k1 (coalesced down the chain) and one to k2.
+	sw.sendBatch([]*wire.Message{
+		repl(1, k1, 1, 10), repl(1, k2, 1, 100), repl(1, k1, 2, 20),
+	}, servers[0].IP)
+	sim.Run()
+	if len(sw.got) != 5 {
+		t.Fatalf("acks = %d, want one per batched message", len(sw.got))
+	}
+	for i, srv := range servers {
+		vals, seq, ok := srv.Shard().State(k1)
+		if !ok || seq != 2 || vals[0] != 20 {
+			t.Errorf("replica %d k1 state = %v seq=%d ok=%v", i, vals, seq, ok)
+		}
+	}
+	d := servers[0].Shard().Digest()
+	for i, srv := range servers[1:] {
+		if srv.Shard().Digest() != d {
+			t.Errorf("replica %d digest disagrees after batched commit", i+1)
+		}
+	}
+	if servers[0].Shard().Stats.CoalescedUps == 0 {
+		t.Error("batched writes to one flow were not coalesced")
+	}
+}
+
+// After a mid-chain replica crash loses a batched commit, retransmitting
+// the batch (the switch's recovery path) must re-propagate current state
+// through the recovered chain until every replica digests identically —
+// the chain-agreement invariant the chaos harness checks, here driven
+// through the batched pipeline.
+func TestBatchedCommitReplicaFailoverConverges(t *testing.T) {
+	sim := netsim.New(1)
+	sw, servers := buildChainNet(t, sim, 2*time.Microsecond, time.Microsecond)
+	key := tkey(1)
+
+	sw.send(leaseNew(1, key), servers[0].IP)
+	sim.Run()
+
+	// Mid replica crashes; a batched write commits on the head but dies
+	// at the mid, so no ack releases and the tail never learns of it.
+	servers[1].Fail()
+	batch := []*wire.Message{repl(1, key, 1, 10), repl(1, key, 2, 20)}
+	sw.sendBatch(batch, servers[0].IP)
+	sim.Run()
+	acksBefore := len(sw.got)
+	if _, seq, _ := servers[2].Shard().State(key); seq != 0 {
+		t.Fatalf("tail applied a write the dead mid never relayed (seq=%d)", seq)
+	}
+
+	// The mid recovers (warm restart, stale shard) and the switch
+	// retransmits: stale-seq handling re-propagates the current state
+	// down the chain and the cumulative acks finally release.
+	servers[1].Recover()
+	retx := []*wire.Message{repl(1, key, 1, 10), repl(1, key, 2, 20)}
+	sw.sendBatch(retx, servers[0].IP)
+	sim.Run()
+	if len(sw.got) <= acksBefore {
+		t.Fatal("no acks released after recovery retransmit")
+	}
+	d := servers[0].Shard().Digest()
+	for i, srv := range servers[1:] {
+		if srv.Shard().Digest() != d {
+			t.Errorf("replica %d digest disagrees after failover", i+1)
+		}
+	}
+	for i, srv := range servers {
+		vals, seq, ok := srv.Shard().State(key)
+		if !ok || seq != 2 || vals[0] != 20 {
+			t.Errorf("replica %d state = %v seq=%d ok=%v", i, vals, seq, ok)
+		}
+	}
+}
+
+// The message-count queue bound sheds whole datagrams whose messages
+// would overflow it, counting every shed message.
+func TestServerQueueMaxMsgsSheds(t *testing.T) {
+	sim := netsim.New(1)
+	sw, servers := buildChainNet(t, sim, 0, 100*time.Microsecond)
+	srv := servers[0]
+	srv.SetNext(nil)
+	srv.QueueLimit = time.Hour // only the message-count bound applies
+	srv.QueueMaxMsgs = 8
+
+	var msgs []*wire.Message
+	for i := byte(0); i < 6; i++ {
+		msgs = append(msgs, leaseNew(1, tkey(i)))
+	}
+	sw.sendBatch(msgs[:6], servers[0].IP) // queued: 6
+	sw.sendBatch(msgs[:6], servers[0].IP) // 6+6 > 8: shed
+	sim.Run()
+	st := srv.Stats()
+	if st.ShedMsgs != 6 {
+		t.Errorf("ShedMsgs = %d, want 6", st.ShedMsgs)
+	}
+	if st.DroppedRequests != 1 {
+		t.Errorf("DroppedRequests = %d, want 1 (one datagram)", st.DroppedRequests)
+	}
+	if len(sw.got) != 6 {
+		t.Errorf("acks = %d, want 6 from the admitted batch", len(sw.got))
+	}
+}
+
+// A batch of n messages costs (n+1)/2 service times, so a batched burst
+// drains faster than the same messages as single datagrams.
+func TestBatchServiceCostAmortized(t *testing.T) {
+	drain := func(batched bool) netsim.Time {
+		sim := netsim.New(1)
+		sw, servers := buildChainNet(t, sim, 0, 10*time.Microsecond)
+		servers[0].SetNext(nil)
+		var msgs []*wire.Message
+		for i := byte(0); i < 8; i++ {
+			msgs = append(msgs, leaseNew(1, tkey(i)))
+		}
+		if batched {
+			sw.sendBatch(msgs, servers[0].IP)
+		} else {
+			for _, m := range msgs {
+				sw.send(m, servers[0].IP)
+			}
+		}
+		sim.Run()
+		if len(sw.got) != 8 {
+			t.Fatalf("acks = %d", len(sw.got))
+		}
+		return sim.Now()
+	}
+	single, batched := drain(false), drain(true)
+	if batched >= single {
+		t.Errorf("batched drain %v >= single-message drain %v", batched, single)
+	}
+	// 8 messages: 8T single vs (1+8)/2 = 4.5T batched.
+	if batched < netsim.Duration(45*time.Microsecond) {
+		t.Errorf("batched drain %v cheaper than the (n+1)/2 cost model", batched)
+	}
+}

@@ -23,6 +23,12 @@ import (
 // NoOwner marks a flow with no active lease holder.
 const NoOwner = -1
 
+// DefaultMaxWaiting is the per-flow buffered-lease-request queue bound
+// when Config.MaxWaiting is zero. Retransmissions dedupe in place, so
+// the bound is on distinct buffered packets per flow; it is sized well
+// above a burst that arrives within one lease handover.
+const DefaultMaxWaiting = 64
+
 // flowState is everything a shard tracks per flow partition.
 type flowState struct {
 	exists  bool // state has been initialized at least once
@@ -86,6 +92,14 @@ type Config struct {
 	// slots of an epoch arrive. Zero disables completeness tracking.
 	SnapshotSlots int
 
+	// MaxWaiting caps each flow's queue of buffered lease requests.
+	// Retransmitted requests (same switch, same buffered packet)
+	// replace their older copy instead of growing the queue; requests
+	// beyond the cap are shed and counted in Stats.WaitShed — the
+	// requester retries on its next packet, which the correctness model
+	// treats as request loss. Zero means DefaultMaxWaiting.
+	MaxWaiting int
+
 	// IgnoreSeq disables sequence-number serialization: updates apply in
 	// arrival order, recreating the Fig. 6a inconsistency. FOR ABLATION
 	// EXPERIMENTS ONLY.
@@ -128,6 +142,15 @@ type Stats struct {
 	BufferedReads  uint64
 	SnapshotSlots  uint64
 	SnapshotImages uint64
+	// WaitDeduped counts retransmitted lease requests that replaced an
+	// older copy from the same switch in a flow's waiting queue instead
+	// of growing it; WaitShed counts lease requests dropped because the
+	// queue was at its MaxWaiting bound.
+	WaitDeduped uint64
+	WaitShed    uint64
+	// CoalescedUps counts chain updates eliminated by per-flow
+	// last-write-wins coalescing of batched commits.
+	CoalescedUps uint64
 	// OverlappingGrants counts leases granted while another switch still
 	// held an unexpired lease on the flow — impossible under the §5.3
 	// exclusion protocol, and exactly what the UnsafeNoRevoke chaos knob
@@ -190,6 +213,52 @@ func (s *Shard) Process(now int64, m *wire.Message) (outs []Output, ups []Update
 	}
 }
 
+// ProcessBatch handles every message of a batched datagram in arrival
+// order and coalesces the resulting chain updates per flow (last write
+// wins) so one chain message carries the batch's net effect — the
+// NetChain-style packing that keeps chain bandwidth proportional to
+// touched flows, not to packets.
+func (s *Shard) ProcessBatch(now int64, msgs []*wire.Message) (outs []Output, ups []Update) {
+	if len(msgs) == 1 {
+		return s.Process(now, msgs[0])
+	}
+	for _, m := range msgs {
+		o, u := s.Process(now, m)
+		outs = append(outs, o...)
+		ups = append(ups, u...)
+	}
+	before := len(ups)
+	ups = CoalesceUpdates(ups)
+	s.Stats.CoalescedUps += uint64(before - len(ups))
+	return outs, ups
+}
+
+// CoalesceUpdates collapses a batch's chain updates per flow, keeping
+// the last write for each key at its first-occurrence position (stable
+// order, so identical-seed runs propagate identically). Snapshot slot
+// updates are never coalesced — each carries distinct slots of an
+// epoch's image. The slice is filtered in place.
+func CoalesceUpdates(ups []Update) []Update {
+	if len(ups) < 2 {
+		return ups
+	}
+	out := ups[:0]
+	idx := make(map[packet.FiveTuple]int, len(ups))
+	for _, up := range ups {
+		if up.HasSnap {
+			out = append(out, up)
+			continue
+		}
+		if i, ok := idx[up.Key]; ok {
+			out[i] = up
+			continue
+		}
+		idx[up.Key] = len(out)
+		out = append(out, up)
+	}
+	return out
+}
+
 func (s *Shard) grant(now int64, f *flowState, m *wire.Message) (Output, Update) {
 	newFlow := !f.exists
 	if f.owner != NoOwner && f.owner != m.SwitchID && f.leaseExpiry > now {
@@ -227,13 +296,44 @@ func (s *Shard) processLeaseNew(now int64, m *wire.Message) ([]Output, []Update)
 		f.owner != NoOwner && f.owner != m.SwitchID && f.leaseExpiry > now {
 		// Another switch holds an active lease: queue the request (the
 		// TLA+ spec's BUFFERING transition). It will be re-processed
-		// when the lease expires.
+		// when the lease expires. A retransmission — same switch, same
+		// buffered packet — replaces its older copy in place instead of
+		// growing the queue and replaying duplicate grants at Flush.
+		// Requests carrying distinct piggybacked packets are NOT
+		// duplicates: the queue is the network-side packet buffer of
+		// §5.1, and each entry releases one buffered packet at grant.
+		// The queue is bounded; excess requests are shed.
+		for i, w := range f.waiting {
+			if w.SwitchID == m.SwitchID && samePiggyback(w.Piggyback, m.Piggyback) {
+				f.waiting[i] = m
+				s.Stats.WaitDeduped++
+				return nil, nil
+			}
+		}
+		max := s.cfg.MaxWaiting
+		if max == 0 {
+			max = DefaultMaxWaiting
+		}
+		if len(f.waiting) >= max {
+			s.Stats.WaitShed++
+			return nil, nil
+		}
 		f.waiting = append(f.waiting, m)
 		s.Stats.LeaseQueued++
 		return nil, nil
 	}
 	out, up := s.grant(now, f, m)
 	return []Output{out}, []Update{up}
+}
+
+// samePiggyback reports whether two lease requests buffer the same
+// packet (retransmissions do; requests triggered by different packets
+// of a flow do not).
+func samePiggyback(a, b *packet.Packet) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Seq == b.Seq
 }
 
 func (s *Shard) processLeaseRenew(now int64, m *wire.Message) ([]Output, []Update) {
@@ -332,10 +432,17 @@ func (s *Shard) processRepl(now int64, m *wire.Message) ([]Output, []Update) {
 	return []Output{out}, []Update{up}
 }
 
+// epochNewer reports whether snapshot epoch a is newer than b under
+// serial-number arithmetic (RFC 1982 with a 32-bit window): the switch's
+// epoch counter wraps at 2³²−1, and a plain `a > b` comparison would
+// treat the post-wrap epoch 0 as ancient, freezing the
+// bounded-inconsistency image forever after the wrap.
+func epochNewer(a, b uint32) bool { return int32(a-b) > 0 }
+
 func (s *Shard) processSnapshot(now int64, m *wire.Message) ([]Output, []Update) {
 	f := s.flow(m.Key)
 	f.exists = true
-	if m.Epoch > f.snapEpoch || f.snapSlots == nil {
+	if f.snapSlots == nil || epochNewer(m.Epoch, f.snapEpoch) {
 		f.snapEpoch = m.Epoch
 		f.snapSlots = make(map[uint32]uint64, s.cfg.SnapshotSlots)
 	}
@@ -367,11 +474,22 @@ func (s *Shard) processSnapshot(now int64, m *wire.Message) ([]Output, []Update)
 // Flush grants queued lease requests whose blocking lease has expired. The
 // transport calls it when a wake timer fires (or periodically). It returns
 // outputs/updates exactly like Process.
+//
+// Waiting flows are visited in sorted five-tuple order, never map order:
+// several flows' leases routinely expire inside one wake, and the grant
+// order decides the order of outputs, chain updates, and trace events —
+// iterating the map would make identical-seed runs diverge byte-for-byte
+// through any lease-buffering window.
 func (s *Shard) Flush(now int64) (outs []Output, ups []Update) {
-	for _, f := range s.flows {
-		if len(f.waiting) == 0 {
-			continue
+	var keys []packet.FiveTuple
+	for k, f := range s.flows {
+		if len(f.waiting) > 0 {
+			keys = append(keys, k)
 		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	for _, k := range keys {
+		f := s.flows[k]
 		for len(f.waiting) > 0 && (f.owner == NoOwner || f.leaseExpiry <= now ||
 			f.owner == f.waiting[0].SwitchID) {
 			m := f.waiting[0]
@@ -403,7 +521,7 @@ func (s *Shard) NextWake() int64 {
 func (s *Shard) Apply(up Update) {
 	f := s.flow(up.Key)
 	if up.HasSnap {
-		if up.SnapEpoch > f.snapEpoch || f.snapSlots == nil {
+		if f.snapSlots == nil || epochNewer(up.SnapEpoch, f.snapEpoch) {
 			f.snapEpoch = up.SnapEpoch
 			f.snapSlots = make(map[uint32]uint64, s.cfg.SnapshotSlots)
 		}

@@ -111,6 +111,29 @@ func (s *UDPServer) handleDatagram(b []byte, from *net.UDPAddr, enc *[]byte) {
 		origin = &net.UDPAddr{IP: ip, Port: int(binary.BigEndian.Uint16(b[5:7]))}
 		b = b[7:]
 	}
+	if wire.IsBatch(b) {
+		// Batched requests: process every member in one shard pass and
+		// relay the raw batch down the chain unchanged — successors
+		// re-process it just like a relayed single request.
+		var bt wire.Batch
+		if err := bt.Unmarshal(b); err != nil {
+			log.Printf("store: bad batch from %v: %v", from, err)
+			return
+		}
+		s.Requests++
+		s.mu.Lock()
+		for _, m := range bt.Msgs {
+			s.addrs[m.SwitchID] = origin
+		}
+		outs, ups := s.shard.ProcessBatch(time.Now().UnixNano(), bt.Msgs)
+		s.mu.Unlock()
+		if len(ups) > 0 && s.next != nil {
+			s.relay(b, origin, enc)
+			return
+		}
+		s.replyAll(outs, origin, enc)
+		return
+	}
 	var m wire.Message
 	if err := m.Unmarshal(b); err != nil {
 		log.Printf("store: bad datagram from %v: %v", from, err)
@@ -131,6 +154,29 @@ func (s *UDPServer) handleDatagram(b []byte, from *net.UDPAddr, enc *[]byte) {
 	for _, o := range outs {
 		s.reply(o, origin, enc)
 	}
+}
+
+// replyAll sends a batch's acknowledgments back to the requester: one
+// plain frame for a single ack, one batch datagram otherwise.
+func (s *UDPServer) replyAll(outs []Output, to *net.UDPAddr, enc *[]byte) {
+	switch len(outs) {
+	case 0:
+		return
+	case 1:
+		s.reply(outs[0], to, enc)
+		return
+	}
+	bt := wire.Batch{Msgs: make([]*wire.Message, len(outs))}
+	for i, o := range outs {
+		bt.Msgs[i] = o.Msg
+	}
+	b := bt.Marshal((*enc)[:0])
+	*enc = b
+	if _, err := s.conn.WriteToUDP(b, to); err != nil {
+		log.Printf("store: reply: %v", err)
+		return
+	}
+	s.Replies++
 }
 
 // relay forwards the raw request to the successor, prefixed with the

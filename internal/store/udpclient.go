@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -20,9 +21,16 @@ type UDPClient struct {
 	head     *net.UDPAddr
 	switchID int
 
-	// Timeout is the per-attempt ack wait; Retries bounds retransmission.
-	Timeout time.Duration
-	Retries int
+	// Timeout is the first attempt's ack wait; Retries bounds
+	// retransmission. Each retry doubles the wait up to Timeout <<
+	// BackoffCap, with ±25% jitter from a per-client deterministic seed
+	// — under sustained loss the contending switches desynchronize
+	// instead of re-firing in lockstep every cadence.
+	Timeout    time.Duration
+	Retries    int
+	BackoffCap uint
+
+	rng *rand.Rand // deterministic jitter source (seeded by switch ID)
 
 	enc []byte // reusable request encode buffer
 	rcv []byte // reusable datagram receive buffer
@@ -41,15 +49,43 @@ func DialUDP(addr string, switchID int) (*UDPClient, error) {
 		return nil, fmt.Errorf("store: bind: %w", err)
 	}
 	return &UDPClient{conn: conn, head: ua, switchID: switchID,
-		Timeout: 200 * time.Millisecond, Retries: 10}, nil
+		Timeout: 200 * time.Millisecond, Retries: 10, BackoffCap: 5,
+		rng: rand.New(rand.NewSource(0x5EED + int64(switchID)))}, nil
+}
+
+// backoffWait returns the jittered ack wait for the given attempt.
+func (c *UDPClient) backoffWait(attempt int) time.Duration {
+	shift := uint(attempt)
+	if shift > c.BackoffCap {
+		shift = c.BackoffCap
+	}
+	d := c.Timeout << shift
+	return time.Duration(float64(d) * (0.75 + 0.5*c.rng.Float64()))
 }
 
 // Close releases the socket.
 func (c *UDPClient) Close() error { return c.conn.Close() }
 
 // ErrTimeout reports that no acknowledgment arrived within the retry
-// budget.
+// budget. Returned errors are *TimeoutError values wrapping it, so
+// errors.Is(err, ErrTimeout) matches and errors.As recovers the attempt
+// count and final deadline.
 var ErrTimeout = errors.New("store: request timed out")
+
+// TimeoutError carries how a request's retry budget was spent.
+type TimeoutError struct {
+	// Attempts is how many datagrams were sent (1 + retransmissions).
+	Attempts int
+	// LastDeadline is the wall-clock instant the final wait expired.
+	LastDeadline time.Time
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("store: request timed out after %d attempts (last deadline %s)",
+		e.Attempts, e.LastDeadline.Format(time.RFC3339Nano))
+}
+
+func (e *TimeoutError) Unwrap() error { return ErrTimeout }
 
 // Request sends m and returns the acknowledgment matching its type and
 // covering its sequence number, retransmitting on timeout (§5.2's
@@ -66,11 +102,12 @@ func (c *UDPClient) Request(m *wire.Message) (*wire.Message, error) {
 		c.rcv = make([]byte, 65536)
 	}
 	buf := c.rcv
+	var deadline time.Time
 	for attempt := 0; attempt <= c.Retries; attempt++ {
 		if _, err := c.conn.WriteToUDP(req, c.head); err != nil {
 			return nil, fmt.Errorf("store: send: %w", err)
 		}
-		deadline := time.Now().Add(c.Timeout)
+		deadline = time.Now().Add(c.backoffWait(attempt))
 		for {
 			if err := c.conn.SetReadDeadline(deadline); err != nil {
 				return nil, err
@@ -83,21 +120,110 @@ func (c *UDPClient) Request(m *wire.Message) (*wire.Message, error) {
 				}
 				return nil, fmt.Errorf("store: recv: %w", err)
 			}
-			var ack wire.Message
-			if err := ack.Unmarshal(buf[:n]); err != nil {
-				continue // garbage or stale frame
+			for _, ack := range decodeAcks(buf[:n]) {
+				if matchAck(ack, m, wantAck) {
+					return ack, nil
+				}
+				// A stale or foreign ack: keep listening until the
+				// deadline.
 			}
-			if ack.Key != m.Key {
-				continue
-			}
-			if ack.Type == wire.MsgLeaseReject {
-				return &ack, nil
-			}
-			if ack.Type == wantAck && ack.Seq >= m.Seq {
-				return &ack, nil
-			}
-			// A stale or foreign ack: keep listening until the deadline.
 		}
 	}
-	return nil, ErrTimeout
+	return nil, &TimeoutError{Attempts: c.Retries + 1, LastDeadline: deadline}
+}
+
+// decodeAcks parses a received datagram into its acknowledgment
+// messages: one for a plain frame, several for a batch reply from a
+// chain tail. Garbage decodes to nothing.
+func decodeAcks(b []byte) []*wire.Message {
+	if wire.IsBatch(b) {
+		var bt wire.Batch
+		if err := bt.Unmarshal(b); err != nil {
+			return nil
+		}
+		return bt.Msgs
+	}
+	m := new(wire.Message)
+	if err := m.Unmarshal(b); err != nil {
+		return nil
+	}
+	return []*wire.Message{m}
+}
+
+// matchAck reports whether ack settles request m (which awaits wantAck).
+func matchAck(ack, m *wire.Message, wantAck wire.MsgType) bool {
+	if ack.Key != m.Key {
+		return false
+	}
+	if ack.Type == wire.MsgLeaseReject {
+		return true
+	}
+	return ack.Type == wantAck && ack.Seq >= m.Seq
+}
+
+// RequestBatch sends msgs as one batch datagram and waits until every
+// member is acknowledged, retransmitting the whole batch on timeout
+// (§5.2's sequencing makes the duplicates harmless). Acks are returned
+// positionally: acks[i] settles msgs[i].
+func (c *UDPClient) RequestBatch(msgs []*wire.Message) ([]*wire.Message, error) {
+	if len(msgs) == 0 {
+		return nil, nil
+	}
+	if len(msgs) == 1 {
+		ack, err := c.Request(msgs[0])
+		if err != nil {
+			return nil, err
+		}
+		return []*wire.Message{ack}, nil
+	}
+	wants := make([]wire.MsgType, len(msgs))
+	for i, m := range msgs {
+		m.SwitchID = c.switchID
+		wants[i] = wire.AckFor(m.Type)
+		if wants[i] == 0 {
+			return nil, fmt.Errorf("store: %v is not a request", m.Type)
+		}
+	}
+	bt := wire.Batch{Msgs: msgs}
+	req := bt.Marshal(c.enc[:0])
+	c.enc = req
+	if c.rcv == nil {
+		c.rcv = make([]byte, 65536)
+	}
+	buf := c.rcv
+	acks := make([]*wire.Message, len(msgs))
+	remaining := len(msgs)
+	var deadline time.Time
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if _, err := c.conn.WriteToUDP(req, c.head); err != nil {
+			return nil, fmt.Errorf("store: send: %w", err)
+		}
+		deadline = time.Now().Add(c.backoffWait(attempt))
+		for {
+			if err := c.conn.SetReadDeadline(deadline); err != nil {
+				return nil, err
+			}
+			n, _, err := c.conn.ReadFromUDP(buf)
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					break // retransmit
+				}
+				return nil, fmt.Errorf("store: recv: %w", err)
+			}
+			for _, ack := range decodeAcks(buf[:n]) {
+				for i, m := range msgs {
+					if acks[i] == nil && matchAck(ack, m, wants[i]) {
+						acks[i] = ack
+						remaining--
+						break
+					}
+				}
+			}
+			if remaining == 0 {
+				return acks, nil
+			}
+		}
+	}
+	return nil, &TimeoutError{Attempts: c.Retries + 1, LastDeadline: deadline}
 }

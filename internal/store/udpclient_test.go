@@ -1,0 +1,303 @@
+package store
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"redplane/internal/packet"
+	"redplane/internal/wire"
+)
+
+// The retry backoff doubles up to BackoffCap and jitters ±25% from a
+// per-switch deterministic seed: two clients with the same switch ID
+// draw identical waits, so a sim replay of the real-UDP path stays
+// reproducible, while every wait lands inside the documented envelope.
+func TestBackoffDeterministicJitter(t *testing.T) {
+	servers := startUDPChain(t, 1, Config{})
+	mk := func() *UDPClient {
+		c, err := DialUDP(servers[0].Addr().String(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		c.Timeout = 10 * time.Millisecond
+		return c
+	}
+	a, b := mk(), mk()
+	for attempt := 0; attempt < 10; attempt++ {
+		wa, wb := a.backoffWait(attempt), b.backoffWait(attempt)
+		if wa != wb {
+			t.Fatalf("attempt %d: same-seed clients diverge: %v vs %v", attempt, wa, wb)
+		}
+		shift := uint(attempt)
+		if shift > a.BackoffCap {
+			shift = a.BackoffCap
+		}
+		base := a.Timeout << shift
+		lo := time.Duration(float64(base) * 0.75)
+		hi := time.Duration(float64(base) * 1.25)
+		if wa < lo || wa > hi {
+			t.Errorf("attempt %d: wait %v outside [%v, %v]", attempt, wa, lo, hi)
+		}
+	}
+	// A different switch ID draws a different jitter stream — that is
+	// the desynchronization the backoff exists for.
+	c3, c4 := mk(), func() *UDPClient {
+		c, err := DialUDP(servers[0].Addr().String(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		c.Timeout = 10 * time.Millisecond
+		return c
+	}()
+	same := true
+	for attempt := 0; attempt < 10; attempt++ {
+		if c3.backoffWait(attempt) != c4.backoffWait(attempt) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different switch IDs produced identical jitter streams")
+	}
+}
+
+// With nothing listening, Request must exhaust its retry budget and
+// surface a *TimeoutError wrapping ErrTimeout with the attempt count
+// and the final deadline.
+func TestRequestTimeoutError(t *testing.T) {
+	// A bound-but-unread socket: datagrams arrive and rot.
+	dead, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dead.Close()
+
+	c, err := DialUDP(dead.LocalAddr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Timeout = 2 * time.Millisecond
+	c.Retries = 3
+
+	before := time.Now()
+	_, err = c.Request(&wire.Message{Type: wire.MsgLeaseNew, Key: udpKey()})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err %T does not unwrap to *TimeoutError", err)
+	}
+	if te.Attempts != c.Retries+1 {
+		t.Errorf("Attempts = %d, want %d", te.Attempts, c.Retries+1)
+	}
+	if te.LastDeadline.Before(before) {
+		t.Errorf("LastDeadline %v predates the request", te.LastDeadline)
+	}
+	if te.Error() == "" {
+		t.Error("empty error string")
+	}
+
+	// RequestBatch shares the budget semantics.
+	_, err = c.RequestBatch([]*wire.Message{
+		{Type: wire.MsgLeaseNew, Key: udpKey()},
+		{Type: wire.MsgLeaseRenew, Key: udpKey()},
+	})
+	if !errors.As(err, &te) || te.Attempts != c.Retries+1 {
+		t.Fatalf("batch err = %v", err)
+	}
+}
+
+// An adversarial responder feeds the client garbage, foreign-key acks,
+// wrong-type acks, and stale-seq acks before the real one. The discard
+// loop must keep listening within one deadline window and return only
+// the genuine ack.
+func TestRequestDiscardsStaleAndForeignAcks(t *testing.T) {
+	resp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Close()
+
+	c, err := DialUDP(resp.LocalAddr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Timeout = 2 * time.Second // one window: no retransmit should be needed
+	c.Retries = 0
+
+	key := udpKey()
+	foreign := packet.FiveTuple{Src: packet.MakeAddr(9, 9, 9, 9),
+		Dst: packet.MakeAddr(9, 9, 9, 8), SrcPort: 7, DstPort: 8, Proto: packet.ProtoUDP}
+
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 65536)
+		_, from, err := resp.ReadFromUDP(buf)
+		if err != nil {
+			done <- err
+			return
+		}
+		send := func(b []byte) {
+			_, _ = resp.WriteToUDP(b, from)
+			time.Sleep(time.Millisecond)
+		}
+		send([]byte{0xDE, 0xAD, 0xBE, 0xEF})                                                           // garbage
+		send((&wire.Message{Type: wire.MsgReplAck, Key: foreign, Seq: 5}).Marshal(nil))                // foreign key
+		send((&wire.Message{Type: wire.MsgLeaseNewAck, Key: key, Seq: 5}).Marshal(nil))                // wrong type
+		send((&wire.Message{Type: wire.MsgReplAck, Key: key, Seq: 4}).Marshal(nil))                    // stale seq
+		send((&wire.Message{Type: wire.MsgReplAck, Key: key, Seq: 5, Vals: []uint64{1}}).Marshal(nil)) // real
+		done <- nil
+	}()
+
+	ack, err := c.Request(&wire.Message{Type: wire.MsgRepl, Key: key, Seq: 5, Vals: []uint64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Type != wire.MsgReplAck || ack.Seq != 5 {
+		t.Fatalf("ack = %+v, want the genuine seq-5 repl ack", ack)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RequestBatch aligns acks positionally with the requests, even when
+// the tail's reply batch arrives in a different order, and a cumulative
+// (higher-seq) ack settles an older request.
+func TestRequestBatchPositionalAlignment(t *testing.T) {
+	resp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Close()
+
+	c, err := DialUDP(resp.LocalAddr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Timeout = 2 * time.Second
+	c.Retries = 0
+
+	k1, k2 := udpKey(), packet.FiveTuple{Src: packet.MakeAddr(10, 0, 0, 3),
+		Dst: packet.MakeAddr(10, 0, 0, 4), SrcPort: 3, DstPort: 4, Proto: packet.ProtoUDP}
+
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 65536)
+		n, from, err := resp.ReadFromUDP(buf)
+		if err != nil {
+			done <- err
+			return
+		}
+		var req wire.Batch
+		if err := req.Unmarshal(buf[:n]); err != nil {
+			done <- err
+			return
+		}
+		// Reply with one batch, acks reversed relative to the request.
+		reply := &wire.Batch{Msgs: []*wire.Message{
+			{Type: wire.MsgReplAck, Key: k2, Seq: 9}, // cumulative: covers seq 2
+			{Type: wire.MsgReplAck, Key: k1, Seq: 1},
+		}}
+		_, _ = resp.WriteToUDP(reply.Marshal(nil), from)
+		done <- nil
+	}()
+
+	acks, err := c.RequestBatch([]*wire.Message{
+		{Type: wire.MsgRepl, Key: k1, Seq: 1, Vals: []uint64{1}},
+		{Type: wire.MsgRepl, Key: k2, Seq: 2, Vals: []uint64{2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acks) != 2 {
+		t.Fatalf("acks = %d", len(acks))
+	}
+	if acks[0].Key != k1 || acks[0].Seq != 1 {
+		t.Errorf("acks[0] = %+v, want k1 seq 1", acks[0])
+	}
+	if acks[1].Key != k2 || acks[1].Seq != 9 {
+		t.Errorf("acks[1] = %+v, want cumulative k2 ack", acks[1])
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RequestBatch degenerate sizes: empty is a no-op; a single message
+// delegates to Request (one plain datagram on the wire).
+func TestRequestBatchDegenerateSizes(t *testing.T) {
+	servers := startUDPChain(t, 1, Config{LeasePeriod: time.Second})
+	c, err := DialUDP(servers[0].Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	acks, err := c.RequestBatch(nil)
+	if err != nil || acks != nil {
+		t.Fatalf("empty batch: acks=%v err=%v", acks, err)
+	}
+	acks, err = c.RequestBatch([]*wire.Message{{Type: wire.MsgLeaseNew, Key: udpKey()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acks) != 1 || acks[0].Type != wire.MsgLeaseNewAck {
+		t.Fatalf("single-message batch acks = %+v", acks)
+	}
+	if _, err := c.RequestBatch([]*wire.Message{{Type: wire.MsgReplAck, Key: udpKey()}, {Type: wire.MsgRepl, Key: udpKey()}}); err == nil {
+		t.Error("ack-typed member accepted in batch")
+	}
+}
+
+// End to end over loopback: a batched write-burst commits through a
+// 3-server chain, every replica converges, and the digests agree.
+func TestUDPRequestBatchThroughChain(t *testing.T) {
+	servers := startUDPChain(t, 3, Config{LeasePeriod: time.Second})
+	c, err := DialUDP(servers[0].Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Request(&wire.Message{Type: wire.MsgLeaseNew, Key: udpKey()}); err != nil {
+		t.Fatal(err)
+	}
+	acks, err := c.RequestBatch([]*wire.Message{
+		{Type: wire.MsgRepl, Key: udpKey(), Seq: 1, Vals: []uint64{10}},
+		{Type: wire.MsgRepl, Key: udpKey(), Seq: 2, Vals: []uint64{20}},
+		{Type: wire.MsgRepl, Key: udpKey(), Seq: 3, Vals: []uint64{30}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acks) != 3 {
+		t.Fatalf("acks = %d", len(acks))
+	}
+	deadline := time.Now().Add(time.Second)
+	for _, srv := range servers {
+		for {
+			vals, seq, ok := srv.Shard().State(udpKey())
+			if ok && seq == 3 && vals[0] == 30 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %v never converged", srv.Addr())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	d := servers[0].Shard().Digest()
+	for i, srv := range servers[1:] {
+		if srv.Shard().Digest() != d {
+			t.Errorf("replica %d digest disagrees", i+1)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 #!/bin/sh
 # bench.sh — the benchmark baseline pipeline. Runs the hot-path
 # micro-benchmarks (simulator event loop, wire encode/decode, packet
-# pool, pipeline primitives, deployment packet path), the figure
-# benchmarks, and a sequential-vs-parallel wall-clock comparison of the
-# experiment and chaos drivers, then folds everything into a
-# benchstat-friendly BENCH_<date>.json via cmd/benchjson.
+# pool, pipeline primitives, deployment packet path), the sustained-
+# throughput batching sweep, the figure benchmarks, and a
+# sequential-vs-parallel wall-clock comparison of the experiment and
+# chaos drivers, then folds everything into a benchstat-friendly
+# BENCH_<date>.json via cmd/benchjson. It also asserts that chaos
+# verdicts are byte-identical with egress batching on and off.
 #
 # Usage:
 #   scripts/bench.sh           # full run, writes BENCH_<today>.json
@@ -36,6 +38,9 @@ go test -run '^$' -benchmem \
     ./internal/netsim ./internal/wire ./internal/packet ./internal/pipeline \
     | tee "$tmp/micro.txt"
 go test -run '^$' -benchmem -bench 'DeploymentPacketPath' . | tee "$tmp/path.txt"
+
+echo "== throughput sweep (egress batching on vs off) =="
+go test -run '^$' -benchtime 1x -bench 'ThroughputBatching' . | tee "$tmp/tput.txt"
 
 if [ $short -eq 0 ]; then
     echo "== figure benchmarks =="
@@ -77,8 +82,24 @@ if ! grep -h 'campaigns passed' "$tmp/chaos-1.txt" >/dev/null; then
     exit 1
 fi
 
+echo "== chaos verdict equivalence: batching on vs off =="
+# Same seeds, batching on (default window) vs off: every verdict must be
+# byte-identical — coalescing may only change packet framing and timing,
+# never protocol outcomes. The completed-op count (timing-dependent
+# throughput, not a verdict) and the trailing wall-clock summary are the
+# only permitted differences.
+"$tmp/rpchaos" -seed 1 -campaigns $campaigns -parallel 0 -v \
+    | sed '$d; s/ ops=[0-9]*//' >"$tmp/chaos-batch-on.txt"
+"$tmp/rpchaos" -seed 1 -campaigns $campaigns -parallel 0 -v -batch-window 0 \
+    | sed '$d; s/ ops=[0-9]*//' >"$tmp/chaos-batch-off.txt"
+if ! cmp -s "$tmp/chaos-batch-on.txt" "$tmp/chaos-batch-off.txt"; then
+    echo "FATAL: chaos verdicts differ between batching on and off" >&2
+    diff "$tmp/chaos-batch-on.txt" "$tmp/chaos-batch-off.txt" >&2 || true
+    exit 1
+fi
+
 echo "== writing $out =="
-cat "$tmp"/micro.txt "$tmp"/path.txt "$tmp"/figs.txt "$tmp"/wall.txt 2>/dev/null |
+cat "$tmp"/micro.txt "$tmp"/path.txt "$tmp"/tput.txt "$tmp"/figs.txt "$tmp"/wall.txt 2>/dev/null |
     go run ./cmd/benchjson -date "$date" -out "$out" \
         ${BASELINE:+-baseline "$BASELINE"} \
         -note "scripts/bench.sh$([ $short -eq 1 ] && echo ' -short' || true)"

@@ -28,12 +28,19 @@ type SnapshotTotals struct {
 	BufferedReads          uint64
 	SnapshotPackets        uint64
 	MirrorOverflow         uint64
+	// EgressBatches/EgressMsgs count coalesced protocol datagrams and
+	// the messages they carried (zero with batching off).
+	EgressBatches, EgressMsgs uint64
 
 	// Store-side.
 	LeaseGrants, LeaseRenewals uint64
 	LeaseMigrated              uint64
 	ReplApplied, ReplStale     uint64
 	StoreDroppedRequests       uint64
+	// StoreShedMsgs counts messages shed by the bounded store ingress
+	// queue (a subset of StoreDroppedRequests' causes, counted per
+	// message even when a whole batch is shed).
+	StoreShedMsgs uint64
 	// StoreOverlappingGrants counts leases granted while another
 	// unexpired lease existed — always zero for a correct protocol (the
 	// chaos harness asserts this).
@@ -56,6 +63,8 @@ func (d *Deployment) Snapshot() DeploymentSnapshot {
 		snap.Totals.BufferedReads += st.BufferedReads
 		snap.Totals.SnapshotPackets += st.SnapshotPackets
 		snap.Totals.MirrorOverflow += st.MirrorOverflow
+		snap.Totals.EgressBatches += st.EgressBatches
+		snap.Totals.EgressMsgs += st.EgressMsgs
 	}
 	if d.Cluster != nil {
 		for _, st := range d.Cluster.Stats() {
@@ -66,6 +75,7 @@ func (d *Deployment) Snapshot() DeploymentSnapshot {
 			snap.Totals.ReplApplied += st.Shard.ReplApplied
 			snap.Totals.ReplStale += st.Shard.ReplStale
 			snap.Totals.StoreDroppedRequests += st.DroppedRequests
+			snap.Totals.StoreShedMsgs += st.ShedMsgs
 			snap.Totals.StoreOverlappingGrants += st.Shard.OverlappingGrants
 		}
 	}

@@ -128,6 +128,24 @@ func BenchmarkThroughputBatching(b *testing.B) {
 	}
 }
 
+// BenchmarkThroughputDurability runs the same open-loop write-heavy load
+// with the store volatile vs durable (WAL + group-commit fsync) and
+// reports the goodput retained and the durable log volume — the cost of
+// surviving a kill -9.
+func BenchmarkThroughputDurability(b *testing.B) {
+	skipUnderRace(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.ThroughputDurability(int64(i+1), 5*time.Millisecond)
+		b.ReportMetric(res.Off.GoodputMpps, "volatile-Mpps")
+		b.ReportMetric(res.On.GoodputMpps, "durable-Mpps")
+		if res.Off.GoodputMpps > 0 {
+			b.ReportMetric(100*res.On.GoodputMpps/res.Off.GoodputMpps, "retained-%")
+		}
+		b.ReportMetric(res.On.P99Us-res.Off.P99Us, "p99-delta-µs")
+		b.ReportMetric(float64(res.On.WALBytes)/(1<<20), "wal-MB")
+	}
+}
+
 // BenchmarkFig13KVUpdateRatio reproduces Fig. 13: key-value throughput vs
 // update ratio and store count. Reports the hardest point (all updates,
 // one store) and the easiest (all updates, three stores).

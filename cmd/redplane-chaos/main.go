@@ -7,7 +7,7 @@
 // Usage:
 //
 //	redplane-chaos [-seed N] [-campaigns N] [-parallel N]
-//	               [-profile default|flap|storm]
+//	               [-profile default|flap|storm|coldrestart]
 //	               [-mode both|linearizable|bounded] [-duration D]
 //	               [-batch-window D] [-out dir] [-break-norevoke] [-v]
 //	               [-cpuprofile file] [-memprofile file]
@@ -41,7 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed (campaign i uses seed+i)")
 	campaigns := flag.Int("campaigns", 1, "campaigns per mode")
 	parallel := flag.Int("parallel", 1, "worker goroutines for campaigns (0 = one per core)")
-	profile := flag.String("profile", "default", "fault-rate profile: default, flap, storm")
+	profile := flag.String("profile", "default", "fault-rate profile: default, flap, storm, coldrestart")
 	mode := flag.String("mode", "both", "consistency mode: both, linearizable, bounded")
 	duration := flag.Duration("duration", 0, "active phase per campaign (0 = default 1.5s)")
 	out := flag.String("out", ".", "directory for violation dumps")
@@ -164,6 +164,18 @@ func dump(cfg chaos.Config, r chaos.Result, dir string) {
 		return
 	}
 	fmt.Printf("  trace: %s\n", tracePath)
+
+	// Durable campaigns also get the post-mortem WAL + checkpoint state of
+	// every store server, for offline inspection of what each replica
+	// would recover to.
+	if chaos.NeedsDurability(cfg, faults) {
+		durDir := filepath.Join(dir, fmt.Sprintf("chaos-%d-durable", r.Seed))
+		if err := chaos.DumpDurable(cfg, faults, durDir); err != nil {
+			fmt.Fprintf(os.Stderr, "  durable dump failed: %v\n", err)
+			return
+		}
+		fmt.Printf("  durable state: %s\n", durDir)
+	}
 }
 
 func replayRepro(path string, breakKnob bool) int {

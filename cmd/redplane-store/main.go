@@ -6,6 +6,15 @@
 //	redplane-store -listen 127.0.0.1:9502                       # tail
 //	redplane-store -listen 127.0.0.1:9501 -next 127.0.0.1:9502  # middle
 //	redplane-store -listen 127.0.0.1:9500 -next 127.0.0.1:9501  # head
+//
+// With -wal-dir the server is durable: every mutation is written to a
+// segmented write-ahead log and fsynced before its acknowledgment or
+// chain relay leaves the process, and checkpoints bound the log. Kill
+// the process (kill -9 included) and restart it with the same -wal-dir
+// and it recovers its shard from the newest checkpoint plus the WAL
+// tail — no acknowledged write is lost.
+//
+//	redplane-store -listen 127.0.0.1:9502 -wal-dir /var/lib/redplane/tail
 package main
 
 import (
@@ -13,6 +22,7 @@ import (
 	"log"
 	"time"
 
+	"redplane/internal/durable"
 	"redplane/internal/store"
 )
 
@@ -23,6 +33,12 @@ func main() {
 	snapshotSlots := flag.Int("snapshot-slots", 0, "expected snapshot image size (0 = untracked)")
 	maxWaiting := flag.Int("max-waiting", 0,
 		"per-flow buffered lease-request queue bound (0 = default)")
+	walDir := flag.String("wal-dir", "",
+		"directory for the write-ahead log and checkpoints (empty = volatile, in-memory only)")
+	segmentBytes := flag.Int("segment-bytes", 0,
+		"WAL segment roll threshold in bytes (0 = default)")
+	checkpointBytes := flag.Int("checkpoint-bytes", 0,
+		"WAL growth between checkpoints in bytes (0 = default)")
 	flag.Parse()
 
 	srv, err := store.NewUDPServer(*listen, *next, store.Config{
@@ -32,6 +48,21 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("redplane-store: %v", err)
+	}
+	if *walDir != "" {
+		be, err := durable.NewDirBackend(*walDir)
+		if err != nil {
+			log.Fatalf("redplane-store: wal dir: %v", err)
+		}
+		replayed, err := srv.EnableDurability(be, store.DurabilityConfig{
+			Enabled:         true,
+			SegmentBytes:    *segmentBytes,
+			CheckpointBytes: *checkpointBytes,
+		})
+		if err != nil {
+			log.Fatalf("redplane-store: recover %s: %v", *walDir, err)
+		}
+		log.Printf("redplane-store: durable in %s (replayed %d WAL records)", *walDir, replayed)
 	}
 	role := "tail"
 	if *next != "" {

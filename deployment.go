@@ -5,7 +5,9 @@ import (
 	"time"
 
 	"redplane/internal/core"
+	"redplane/internal/durable"
 	"redplane/internal/failure"
+	"redplane/internal/member"
 	"redplane/internal/netsim"
 	"redplane/internal/obs"
 	"redplane/internal/packet"
@@ -103,6 +105,22 @@ type DeploymentConfig struct {
 	// the store (zero means store.DefaultMaxWaiting).
 	StoreMaxWaiting int
 
+	// StoreDurability enables the store's persistence layer: each server
+	// gets an in-memory durable backend (a "disk" that survives cold
+	// restarts), WAL-logs every mutation, and holds chain forwards and
+	// acks behind a group-commit fsync elapsing in virtual time. See
+	// store.DurabilityConfig.
+	StoreDurability store.DurabilityConfig
+
+	// StoreMembership enables the chain membership coordinator: dead
+	// replicas are spliced out of their chain (head/tail promotion),
+	// stale views are fenced, and recovered replicas resync and rejoin
+	// as tail. Without it the chain topology is fixed at construction.
+	StoreMembership bool
+
+	// StoreMember tunes the coordinator (zero values mean defaults).
+	StoreMember member.Config
+
 	// InitState is the store-side state initializer for new flows (the
 	// place shared pools live; see internal/apps allocators).
 	InitState func(key FiveTuple) []uint64
@@ -148,9 +166,17 @@ type Deployment struct {
 	Hist    *History
 	Journal *WriteJournal
 
+	// Coordinator is the chain membership coordinator (nil unless
+	// StoreMembership is set).
+	Coordinator *member.Coordinator
+
 	switches []*core.Switch
 	swIPs    []packet.Addr
 	reg      *obs.Registry
+
+	// storeBEs[shard][replica] are the store servers' durable backends
+	// (nil unless StoreDurability.Enabled).
+	storeBEs [][]*durable.MemBackend
 }
 
 // deploymentObserver is the package-level hook installed by
@@ -252,6 +278,23 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 		if cfg.StoreQueueMaxMsgs > 0 {
 			d.Cluster.SetQueueMaxMsgs(cfg.StoreQueueMaxMsgs)
 		}
+		if cfg.StoreDurability.Enabled {
+			d.storeBEs = make([][]*durable.MemBackend, cfg.StoreShards)
+			for sh := 0; sh < cfg.StoreShards; sh++ {
+				d.storeBEs[sh] = make([]*durable.MemBackend, cfg.StoreReplicas)
+				for r := 0; r < cfg.StoreReplicas; r++ {
+					be := durable.NewMemBackend()
+					d.storeBEs[sh][r] = be
+					if err := d.Cluster.Server(sh, r).EnableDurability(be, cfg.StoreDurability); err != nil {
+						panic(fmt.Sprintf("redplane: enable durability: %v", err))
+					}
+				}
+			}
+		}
+		if cfg.StoreMembership {
+			d.Coordinator = member.New(sim, d.Cluster, cfg.StoreMember)
+			d.Coordinator.Start()
+		}
 		locator = d.Cluster
 	}
 
@@ -293,6 +336,16 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 
 // Switch returns programmable switch i.
 func (d *Deployment) Switch(i int) *core.Switch { return d.switches[i] }
+
+// StoreBackend returns the durable backend behind the store server at
+// (shard, replica), or nil when durability is off. The chaos harness
+// dumps these alongside violation repros.
+func (d *Deployment) StoreBackend(shard, replica int) *durable.MemBackend {
+	if d.storeBEs == nil {
+		return nil
+	}
+	return d.storeBEs[shard][replica]
+}
 
 // Switches returns the switch count.
 func (d *Deployment) Switches() int { return len(d.switches) }

@@ -39,6 +39,9 @@ type Fault struct {
 	// Shard, Replica select the store server (store faults).
 	Shard   int `json:"shard,omitempty"`
 	Replica int `json:"replica,omitempty"`
+	// Cold makes a store fault lose the server's memory: recovery
+	// rebuilds solely from the durable backend (checkpoint + WAL).
+	Cold bool `json:"cold,omitempty"`
 
 	// FailAt is when the failure occurs; RecoverAt zero means never
 	// (generation only leaves switches unrecovered — store faults always
@@ -49,7 +52,11 @@ type Fault struct {
 
 func (f Fault) String() string {
 	if f.Store {
-		return fmt.Sprintf("store(%d,%d) fail@%v recover@%v", f.Shard, f.Replica, f.FailAt, f.RecoverAt)
+		kind := "warm"
+		if f.Cold {
+			kind = "cold"
+		}
+		return fmt.Sprintf("store(%d,%d) %s fail@%v recover@%v", f.Shard, f.Replica, kind, f.FailAt, f.RecoverAt)
 	}
 	kind := "fail-stop"
 	if f.LinkOnly {
@@ -72,6 +79,10 @@ type Profile struct {
 
 	// PStore is the probability a fault targets a store replica.
 	PStore float64 `json:"p_store"`
+	// PCold is the probability a store fault is a cold crash (memory
+	// lost; recovery from durable state). Any PCold > 0 makes campaigns
+	// deploy with store durability and chain membership enabled.
+	PCold float64 `json:"p_cold,omitempty"`
 	// PLinkOnly is the probability a switch fault is link-only.
 	PLinkOnly float64 `json:"p_link_only"`
 	// PNoRecover is the probability a switch fault never recovers (at
@@ -109,6 +120,18 @@ var Profiles = map[string]Profile{
 		PStore: 0.45, PLinkOnly: 0.25, PNoRecover: 0.1,
 		DetectMin: time.Millisecond, DetectMax: 50 * time.Millisecond,
 		DownMin: 10 * time.Millisecond, DownMax: 300 * time.Millisecond,
+	},
+	// coldrestart: store-heavy faults where crashed servers lose memory
+	// and must recover from checkpoint + WAL, with the membership
+	// coordinator splicing chains around the dead and re-admitting the
+	// recovered. This is the profile that exercises the durability
+	// subsystem end to end (including head cold-restarts that force a
+	// promotion and a later rejoin).
+	"coldrestart": {
+		Name: "coldrestart", MinFaults: 3, MaxFaults: 9,
+		PStore: 0.7, PCold: 1.0, PLinkOnly: 0.3, PNoRecover: 0,
+		DetectMin: 2 * time.Millisecond, DetectMax: 30 * time.Millisecond,
+		DownMin: 20 * time.Millisecond, DownMax: 300 * time.Millisecond,
 	},
 }
 

@@ -1,0 +1,113 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestColdRestartCampaignClean: campaigns under the coldrestart profile
+// — where every store fault loses the server's memory — must hold every
+// invariant, with recovery driven solely by checkpoint + WAL and the
+// membership coordinator's splice/rejoin.
+func TestColdRestartCampaignClean(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := Config{Seed: seed, Duration: 500 * time.Millisecond, Profile: Profiles["coldrestart"]}
+		faults := Generate(cfg.withDefaults())
+		r := runOnceKeep(cfg.withDefaults(), faults)
+		if len(r.Violations) > 0 {
+			t.Errorf("seed %d: %v", seed, r.Violations[0])
+			continue
+		}
+		tot := r.dep.Snapshot().Totals
+		if tot.StoreWALBytes == 0 {
+			t.Errorf("seed %d: durability not deployed (no WAL bytes)", seed)
+		}
+		cold := false
+		for _, f := range faults {
+			if f.Store && f.Cold {
+				cold = true
+			}
+		}
+		if cold && tot.MemberViewChanges == 0 {
+			t.Errorf("seed %d: cold faults but no view changes", seed)
+		}
+	}
+}
+
+// TestColdRestartHeadSpliceAndRejoin pins the acceptance scenario: a
+// schedule whose cold crash hits the chain head (replica 0) must pass
+// with the coordinator both splicing the head out and rejoining it.
+func TestColdRestartHeadSpliceAndRejoin(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		cfg := Config{Seed: seed, Duration: 500 * time.Millisecond, Profile: Profiles["coldrestart"]}
+		cfg = cfg.withDefaults()
+		faults := Generate(cfg)
+		headCold := false
+		for _, f := range faults {
+			if f.Store && f.Cold && f.Replica == 0 && f.RecoverAt > 0 {
+				headCold = true
+			}
+		}
+		if !headCold {
+			continue
+		}
+		r := runOnceKeep(cfg, faults)
+		if len(r.Violations) > 0 {
+			t.Fatalf("seed %d (head cold-restart): %v", seed, r.Violations[0])
+		}
+		tot := r.dep.Snapshot().Totals
+		if tot.MemberSpliceOuts == 0 {
+			t.Fatalf("seed %d: head died cold but was never spliced out", seed)
+		}
+		if tot.MemberRejoins == 0 {
+			t.Fatalf("seed %d: head recovered but never rejoined", seed)
+		}
+		return // one confirmed head cold-restart + re-splice is the point
+	}
+	t.Fatal("no seed in 1..40 generated a recovering cold head fault")
+}
+
+// TestColdRestartReplayFromRepro: a repro whose faults carry Cold must
+// redeploy durability on replay even without the profile (the shrunk
+// dump may drop it), keeping replays faithful.
+func TestColdRestartReplayFromRepro(t *testing.T) {
+	cfg := Config{Seed: 2, Duration: 500 * time.Millisecond}
+	cfg = cfg.withDefaults() // default profile: PCold = 0
+	faults := []Fault{{
+		Store: true, Shard: 0, Replica: 0, Cold: true,
+		FailAt: warmup + 100*time.Millisecond, RecoverAt: warmup + 250*time.Millisecond,
+	}}
+	if !NeedsDurability(cfg, faults) {
+		t.Fatal("cold fault did not trigger durability")
+	}
+	r := runOnceKeep(cfg, faults)
+	if len(r.Violations) > 0 {
+		t.Fatalf("replay with explicit cold fault: %v", r.Violations[0])
+	}
+	if r.dep.Snapshot().Totals.StoreWALBytes == 0 {
+		t.Fatal("replay did not deploy durability")
+	}
+}
+
+// TestDumpDurableWritesBackends: the post-mortem dump materializes every
+// server's WAL segments and checkpoints on disk.
+func TestDumpDurableWritesBackends(t *testing.T) {
+	cfg := Config{Seed: 1, Duration: 500 * time.Millisecond, Profile: Profiles["coldrestart"]}
+	faults := Generate(cfg.withDefaults())
+	dir := t.TempDir()
+	if err := DumpDurable(cfg, faults, dir); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < storeReplicas; r++ {
+		sub := filepath.Join(dir, "store-0-"+string(rune('0'+r)))
+		ents, err := os.ReadDir(sub)
+		if err != nil {
+			t.Fatalf("replica %d: %v", r, err)
+		}
+		if len(ents) == 0 {
+			t.Errorf("replica %d: no durable files dumped", r)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package chaos
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"redplane/internal/netsim"
 	"redplane/internal/obs"
 	"redplane/internal/packet"
+	"redplane/internal/store"
 )
 
 // Campaign phase timing. The active phase (faults + traffic) sits
@@ -96,6 +99,57 @@ func runOnce(cfg Config, faults []Fault) runResult {
 	return r
 }
 
+// NeedsDurability decides whether a run deploys the store's persistence
+// layer and membership coordinator: any cold-crash exposure requires
+// them (servers would otherwise recover empty-handed). Scanning the
+// faults — not just the profile — keeps replays of shrunk repros
+// faithful even when the profile is unknown. Exported so callers know
+// when DumpDurable applies to a campaign.
+func NeedsDurability(cfg Config, faults []Fault) bool {
+	if cfg.Profile.PCold > 0 {
+		return true
+	}
+	for _, f := range faults {
+		if f.Store && f.Cold {
+			return true
+		}
+	}
+	return false
+}
+
+// DumpDurable re-runs the schedule and writes every store server's
+// durable backend — WAL segments and checkpoints — under dir, one
+// subdirectory per server. It is the post-mortem companion to a
+// violation dump for durable campaigns.
+func DumpDurable(cfg Config, faults []Fault, dir string) error {
+	cfg = cfg.withDefaults()
+	r := runOnceKeep(cfg, faults)
+	d := r.dep
+	if d.Cluster == nil || d.StoreBackend(0, 0) == nil {
+		return fmt.Errorf("run has no durable backends (durability off)")
+	}
+	for sh := 0; sh < d.Cluster.Shards(); sh++ {
+		for rep := 0; rep < d.Cluster.Replicas(); rep++ {
+			files := d.StoreBackend(sh, rep).Files()
+			sub := filepath.Join(dir, fmt.Sprintf("store-%d-%d", sh, rep))
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				return err
+			}
+			names := make([]string, 0, len(files))
+			for n := range files {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				if err := os.WriteFile(filepath.Join(sub, n), files[n], 0o644); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // runOnceKeep is the deterministic heart of the engine: (cfg, faults) →
 // verdict, with the deployment retained for trace extraction.
 func runOnceKeep(cfg Config, faults []Fault) runResult {
@@ -113,14 +167,17 @@ func runLinearizable(cfg Config, faults []Fault) runResult {
 		proto.FlushWindow = cfg.BatchWindow
 	}
 
+	durableRun := NeedsDurability(cfg, faults)
 	d := redplane.NewDeployment(redplane.DeploymentConfig{
-		Seed:          cfg.Seed,
-		NewApp:        func(int) redplane.App { return &apps.KVStore{} },
-		Mode:          redplane.Linearizable,
-		Protocol:      proto,
-		RecordJournal: true,
-		Obs:           redplane.ObsConfig{TraceEvents: traceCap},
-		Ablation:      redplane.AblationConfig{StoreNoRevoke: cfg.BreakNoRevoke},
+		Seed:            cfg.Seed,
+		NewApp:          func(int) redplane.App { return &apps.KVStore{} },
+		Mode:            redplane.Linearizable,
+		Protocol:        proto,
+		RecordJournal:   true,
+		Obs:             redplane.ObsConfig{TraceEvents: traceCap},
+		Ablation:        redplane.AblationConfig{StoreNoRevoke: cfg.BreakNoRevoke},
+		StoreDurability: store.DurabilityConfig{Enabled: durableRun},
+		StoreMembership: durableRun,
 	})
 	d.ScheduleFaultEvents(compile(faults))
 
@@ -286,7 +343,8 @@ func checkStoreInvariants(d *redplane.Deployment) []Violation {
 }
 
 func runBounded(cfg Config, faults []Fault) runResult {
-	drv, d := newBoundedDriver(cfg.Seed, faults, snapshotPeriod, leasePeriod, cfg.BatchWindow)
+	drv, d := newBoundedDriver(cfg.Seed, faults, snapshotPeriod, leasePeriod, cfg.BatchWindow,
+		NeedsDurability(cfg, faults))
 	activeEnd := netsim.Duration(warmup + cfg.Duration)
 	end := activeEnd + netsim.Duration(quiesce)
 	drv.start(activeEnd)

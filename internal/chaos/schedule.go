@@ -48,8 +48,13 @@ func Generate(cfg Config) []Fault {
 			if max := warmup + active; recoverAt > max {
 				recoverAt = max
 			}
+			// The cold draw only happens for profiles that use it, so the
+			// rng stream — and thus every schedule — of the pre-existing
+			// warm profiles is unchanged for a given seed.
+			cold := p.PCold > 0 && rng.Float64() < p.PCold
 			faults = append(faults, Fault{
 				Store: true, Shard: rng.Intn(storeShards), Replica: rng.Intn(storeReplicas),
+				Cold:   cold,
 				FailAt: failAt, RecoverAt: recoverAt,
 			})
 			continue
@@ -77,6 +82,7 @@ func compile(faults []Fault) failure.Schedule {
 		if f.Store {
 			sched.Events = append(sched.Events, failure.Event{
 				At: f.FailAt, Kind: failure.StoreFail, Shard: f.Shard, Replica: f.Replica,
+				Cold: f.Cold,
 			})
 			if f.RecoverAt > 0 {
 				sched.Events = append(sched.Events, failure.Event{

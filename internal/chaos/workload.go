@@ -8,6 +8,7 @@ import (
 	"redplane/internal/apps"
 	"redplane/internal/netsim"
 	"redplane/internal/packet"
+	"redplane/internal/store"
 	"redplane/internal/topo"
 )
 
@@ -206,7 +207,7 @@ type boundedDriver struct {
 const boundedFlows = 8
 
 func newBoundedDriver(seed int64, faults []Fault, snapshotPeriod, leasePeriod,
-	batchWindow time.Duration) (*boundedDriver, *redplane.Deployment) {
+	batchWindow time.Duration, durableRun bool) (*boundedDriver, *redplane.Deployment) {
 	b := &boundedDriver{}
 	proto := redplane.DefaultProtocolConfig()
 	proto.LeasePeriod = leasePeriod
@@ -223,9 +224,11 @@ func newBoundedDriver(seed int64, faults []Fault, snapshotPeriod, leasePeriod,
 			b.counters = append(b.counters, c)
 			return c
 		},
-		SnapshotSlots: apps.NewAsyncCounter(0).Slots(),
-		Protocol:      proto,
-		Obs:           redplane.ObsConfig{TraceEvents: traceCap},
+		SnapshotSlots:   apps.NewAsyncCounter(0).Slots(),
+		Protocol:        proto,
+		Obs:             redplane.ObsConfig{TraceEvents: traceCap},
+		StoreDurability: store.DurabilityConfig{Enabled: durableRun},
+		StoreMembership: durableRun,
 	})
 	b.d = d
 	b.sink = d.AddServer(1, "chaos-sink", redplane.MakeAddr(10, 1, 0, 88))

@@ -1,0 +1,113 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Checkpoint files hold a point-in-time image of a shard at a WAL
+// sequence number: recovery loads the newest valid checkpoint and
+// replays the WAL tail past its sequence number. Frame:
+//
+//	u32 payload length | u32 crc32(seq ‖ payload) | u64 seq | payload
+//
+// (the same framing as WAL records, one frame per file). A checkpoint
+// that fails its CRC — a crash mid-checkpoint — is skipped; the
+// previous one still recovers, which is why old checkpoints are removed
+// only after the new one is durable.
+const ckptPrefix = "ckpt-"
+
+func ckptName(seq uint64) string {
+	return fmt.Sprintf("%s%016x", ckptPrefix, seq)
+}
+
+func parseCkptName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, ckptPrefix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(name, ckptPrefix), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// WriteCheckpoint durably writes a checkpoint image covering every WAL
+// record with sequence number <= seq, then removes older checkpoint
+// files.
+func WriteCheckpoint(be Backend, seq uint64, payload []byte) error {
+	frame := make([]byte, recHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(frame[8:], seq)
+	copy(frame[recHeaderLen:], payload)
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(frame[8:]))
+
+	f, err := be.Create(ckptName(seq))
+	if err != nil {
+		return fmt.Errorf("durable: checkpoint: %w", err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: checkpoint write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: checkpoint sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	names, err := be.List()
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		if s, ok := parseCkptName(n); ok && s < seq {
+			if err := be.Remove(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LatestCheckpoint returns the newest valid checkpoint's sequence number
+// and payload. ok is false when no valid checkpoint exists (recovery
+// then replays the WAL from the beginning).
+func LatestCheckpoint(be Backend) (seq uint64, payload []byte, ok bool, err error) {
+	names, err := be.List()
+	if err != nil {
+		return 0, nil, false, err
+	}
+	var seqs []uint64
+	for _, n := range names {
+		if s, ok := parseCkptName(n); ok {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(a, b int) bool { return seqs[a] > seqs[b] }) // newest first
+	for _, s := range seqs {
+		b, err := be.ReadFile(ckptName(s))
+		if err != nil {
+			continue
+		}
+		if len(b) < recHeaderLen {
+			continue
+		}
+		plen := int(binary.LittleEndian.Uint32(b[0:]))
+		if len(b) < recHeaderLen+plen {
+			continue
+		}
+		if crc32.ChecksumIEEE(b[8:recHeaderLen+plen]) != binary.LittleEndian.Uint32(b[4:]) {
+			continue
+		}
+		fseq := binary.LittleEndian.Uint64(b[8:])
+		return fseq, append([]byte(nil), b[recHeaderLen:recHeaderLen+plen]...), true, nil
+	}
+	return 0, nil, false, nil
+}

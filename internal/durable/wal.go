@@ -1,0 +1,318 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WAL record framing, per record:
+//
+//	u32 payload length | u32 crc32(seq ‖ payload) | u64 seq | payload
+//
+// The CRC covers the sequence number and the payload; a torn tail (a
+// crash mid-write) fails either the length bound or the CRC, and replay
+// stops at the last frame that verifies. Records carry monotonically
+// increasing sequence numbers assigned at Append.
+const recHeaderLen = 4 + 4 + 8
+
+// DefaultSegmentBytes is the segment roll threshold when WALConfig
+// leaves it zero.
+const DefaultSegmentBytes = 1 << 20
+
+// segPrefix names WAL segment files: wal-<first seq, %016x>.
+const segPrefix = "wal-"
+
+// WAL is a segmented write-ahead log over a Backend. It is not safe for
+// concurrent use; callers (the single-threaded simulator, the UDP
+// server's shard goroutine) serialize access.
+type WAL struct {
+	be       Backend
+	segBytes int
+
+	// segs are the durable segments in order; the last is the active one.
+	segs []walSegment
+	out  File // open handle on the active segment
+
+	// staged holds appended-but-unsynced frames: the group-commit window.
+	staged      []byte
+	stagedCount int
+
+	nextSeq    uint64
+	totalBytes uint64 // durable bytes appended over the WAL's lifetime
+
+	// torn reports whether opening found a torn tail (recovery truncated
+	// replay at the last valid frame).
+	torn bool
+}
+
+type walSegment struct {
+	name     string
+	firstSeq uint64
+	bytes    int // durable (synced) bytes
+}
+
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%s%016x", segPrefix, firstSeq)
+}
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(name, segPrefix), 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// OpenWAL scans the backend for existing segments, validates them frame
+// by frame, and positions the log after the last valid record. A torn
+// tail — a final frame that is short or fails its CRC — is expected
+// after a crash: everything before it replays, everything at and after
+// it is discarded (Torn reports that this happened). segBytes controls
+// segment rolling (0 = DefaultSegmentBytes).
+func OpenWAL(be Backend, segBytes int) (*WAL, error) {
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	w := &WAL{be: be, segBytes: segBytes, nextSeq: 1}
+
+	names, err := be.List()
+	if err != nil {
+		return nil, fmt.Errorf("durable: list: %w", err)
+	}
+	var segs []walSegment
+	for _, n := range names {
+		if first, ok := parseSegName(n); ok {
+			segs = append(segs, walSegment{name: n, firstSeq: first})
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].firstSeq < segs[b].firstSeq })
+
+	// Walk every segment's frames; the first invalid frame ends the log.
+	for i := range segs {
+		b, err := be.ReadFile(segs[i].name)
+		if err != nil {
+			return nil, fmt.Errorf("durable: read %s: %w", segs[i].name, err)
+		}
+		valid, lastSeq, torn := scanFrames(b, func(uint64, []byte) error { return nil })
+		segs[i].bytes = valid
+		w.totalBytes += uint64(valid)
+		if lastSeq >= w.nextSeq {
+			w.nextSeq = lastSeq + 1
+		}
+		if torn {
+			w.torn = true
+			// A torn frame ends the log: later segments (if any) are
+			// post-crash garbage and are dropped so replay never skips a
+			// sequence gap.
+			for _, s := range segs[i+1:] {
+				_ = be.Remove(s.name)
+			}
+			segs = segs[:i+1]
+			break
+		}
+	}
+	w.segs = segs
+	return w, w.reopenActive()
+}
+
+// reopenActive opens the active segment handle, rewriting the segment to
+// its valid length when recovery truncated a torn tail (backends only
+// support truncating creates, so the rewrite is the truncation).
+func (w *WAL) reopenActive() error {
+	if len(w.segs) == 0 {
+		return w.roll()
+	}
+	seg := &w.segs[len(w.segs)-1]
+	b, err := w.be.ReadFile(seg.name)
+	if err != nil {
+		return fmt.Errorf("durable: read %s: %w", seg.name, err)
+	}
+	f, err := w.be.Create(seg.name)
+	if err != nil {
+		return fmt.Errorf("durable: reopen %s: %w", seg.name, err)
+	}
+	if seg.bytes > 0 {
+		if _, err := f.Write(b[:seg.bytes]); err != nil {
+			return fmt.Errorf("durable: rewrite %s: %w", seg.name, err)
+		}
+	}
+	w.out = f
+	return nil
+}
+
+// roll starts a new active segment beginning at the next sequence
+// number.
+func (w *WAL) roll() error {
+	if w.out != nil {
+		if err := w.out.Close(); err != nil {
+			return err
+		}
+	}
+	seg := walSegment{name: segName(w.nextSeq), firstSeq: w.nextSeq}
+	f, err := w.be.Create(seg.name)
+	if err != nil {
+		return fmt.Errorf("durable: create %s: %w", seg.name, err)
+	}
+	w.segs = append(w.segs, seg)
+	w.out = f
+	return nil
+}
+
+// scanFrames walks b frame by frame calling fn for each valid record. It
+// returns the byte length of the valid prefix, the last valid sequence
+// number (0 if none), and whether a torn/corrupt frame cut the scan
+// short.
+func scanFrames(b []byte, fn func(seq uint64, payload []byte) error) (valid int, lastSeq uint64, torn bool) {
+	off := 0
+	for off < len(b) {
+		if len(b)-off < recHeaderLen {
+			return off, lastSeq, true
+		}
+		plen := int(binary.LittleEndian.Uint32(b[off:]))
+		crc := binary.LittleEndian.Uint32(b[off+4:])
+		if len(b)-off < recHeaderLen+plen {
+			return off, lastSeq, true
+		}
+		body := b[off+8 : off+recHeaderLen+plen] // seq ‖ payload
+		if crc32.ChecksumIEEE(body) != crc {
+			return off, lastSeq, true
+		}
+		seq := binary.LittleEndian.Uint64(body)
+		if fn != nil {
+			if err := fn(seq, body[8:]); err != nil {
+				return off, lastSeq, false
+			}
+		}
+		lastSeq = seq
+		off += recHeaderLen + plen
+	}
+	return off, lastSeq, false
+}
+
+// Append stages one record and returns its sequence number. The record
+// is durable only after the next Sync.
+func (w *WAL) Append(payload []byte) uint64 {
+	seq := w.nextSeq
+	w.nextSeq++
+	var hdr [recHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:], seq)
+	// CRC covers seq ‖ payload; build it over the staged bytes in place.
+	start := len(w.staged)
+	w.staged = append(w.staged, hdr[:]...)
+	w.staged = append(w.staged, payload...)
+	crc := crc32.ChecksumIEEE(w.staged[start+8:])
+	binary.LittleEndian.PutUint32(w.staged[start+4:], crc)
+	w.stagedCount++
+	return seq
+}
+
+// StagedRecords reports how many appended records the next Sync will
+// cover.
+func (w *WAL) StagedRecords() int { return w.stagedCount }
+
+// Sync makes every staged record durable (the group commit) and rolls
+// the segment when it crossed the size threshold. It is a no-op with
+// nothing staged.
+func (w *WAL) Sync() error {
+	if len(w.staged) > 0 {
+		if _, err := w.out.Write(w.staged); err != nil {
+			return fmt.Errorf("durable: append: %w", err)
+		}
+		if err := w.out.Sync(); err != nil {
+			return fmt.Errorf("durable: sync: %w", err)
+		}
+		seg := &w.segs[len(w.segs)-1]
+		seg.bytes += len(w.staged)
+		w.totalBytes += uint64(len(w.staged))
+		w.staged = w.staged[:0]
+		w.stagedCount = 0
+		if seg.bytes >= w.segBytes {
+			return w.roll()
+		}
+	}
+	return nil
+}
+
+// DiscardStaged drops staged records without making them durable — the
+// simulator's cold-restart model calls this for a crash that loses the
+// process's memory before the covering fsync.
+func (w *WAL) DiscardStaged() {
+	w.staged = w.staged[:0]
+	w.stagedCount = 0
+}
+
+// Replay calls fn for every durable record with sequence number >= from,
+// in order. Staged (unsynced) records are not replayed. A torn tail in
+// the last segment ends replay silently (those records were never
+// durable); returning an error from fn aborts.
+func (w *WAL) Replay(from uint64, fn func(seq uint64, payload []byte) error) error {
+	for _, seg := range w.segs {
+		b, err := w.be.ReadFile(seg.name)
+		if err != nil {
+			return fmt.Errorf("durable: read %s: %w", seg.name, err)
+		}
+		if len(b) > seg.bytes {
+			b = b[:seg.bytes]
+		}
+		var ferr error
+		scanFrames(b, func(seq uint64, payload []byte) error {
+			if seq < from || ferr != nil {
+				return ferr
+			}
+			ferr = fn(seq, payload)
+			return ferr
+		})
+		if ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
+// TruncateThrough removes whole segments whose records are all <= seq —
+// the space reclaim after a checkpoint at seq. The active segment is
+// never removed.
+func (w *WAL) TruncateThrough(seq uint64) error {
+	cut := 0
+	for cut+1 < len(w.segs) && w.segs[cut+1].firstSeq <= seq+1 {
+		cut++
+	}
+	for _, s := range w.segs[:cut] {
+		if err := w.be.Remove(s.name); err != nil {
+			return err
+		}
+	}
+	w.segs = append([]walSegment(nil), w.segs[cut:]...)
+	return nil
+}
+
+// NextSeq returns the sequence number the next Append will get.
+func (w *WAL) NextSeq() uint64 { return w.nextSeq }
+
+// Bytes returns durable bytes appended over the WAL's lifetime.
+func (w *WAL) Bytes() uint64 { return w.totalBytes }
+
+// Segments returns the current segment count.
+func (w *WAL) Segments() int { return len(w.segs) }
+
+// Torn reports whether opening this WAL truncated a torn tail.
+func (w *WAL) Torn() bool { return w.torn }
+
+// Close releases the active segment handle without syncing staged
+// records.
+func (w *WAL) Close() error {
+	if w.out == nil {
+		return nil
+	}
+	err := w.out.Close()
+	w.out = nil
+	return err
+}

@@ -8,6 +8,7 @@ import (
 	"redplane/internal/apps"
 	"redplane/internal/metrics"
 	"redplane/internal/netsim"
+	"redplane/internal/store"
 	"redplane/internal/topo"
 )
 
@@ -32,6 +33,8 @@ type ThroughputPoint struct {
 	// StoreSheds counts messages shed by the store's bounded ingress
 	// queue during the run.
 	StoreSheds uint64
+	// WALBytes is the durable log volume (zero for volatile runs).
+	WALBytes uint64
 }
 
 // String renders the point as one sweep row.
@@ -58,6 +61,60 @@ type ThroughputResult struct {
 // thing batching accelerates — is the explicit bottleneck.
 const throughputService = time.Microsecond
 
+// ThroughputDurabilityPoint is one durability setting of the comparison.
+type ThroughputDurabilityPoint struct {
+	// Durable is whether the store ran with the WAL + group-commit
+	// pipeline on.
+	Durable bool
+	// GoodputMpps and P99Us mirror ThroughputPoint.
+	GoodputMpps float64
+	P99Us       float64
+	// WALBytes is the durable log volume the run produced (zero when
+	// volatile).
+	WALBytes uint64
+}
+
+// String renders the point as one comparison row.
+func (p ThroughputDurabilityPoint) String() string {
+	mode := "volatile"
+	if p.Durable {
+		mode = "durable"
+	}
+	return fmt.Sprintf("store=%-8s goodput=%.3f Mpps p99=%.1fµs wal_bytes=%d",
+		mode, p.GoodputMpps, p.P99Us, p.WALBytes)
+}
+
+// ThroughputDurabilityResult is the durability cost experiment: the same
+// open-loop write-heavy load, batched at the chaos-default egress
+// window, with the store volatile vs durable.
+type ThroughputDurabilityResult struct {
+	Off, On     ThroughputDurabilityPoint
+	OfferedMpps float64
+}
+
+// ThroughputDurability measures what the durable store costs in
+// sustained goodput and tail latency. The WAL append itself is on the
+// shard's critical path, but the fsync is a group commit: all mutations
+// inside one FsyncDelay window share a single sync, and only the
+// release of their outputs (chain forwards, acks) waits on it — so the
+// expected cost is a latency shift of roughly the fsync delay and a
+// goodput dent from the deeper store pipeline, not a per-write sync
+// collapse.
+func ThroughputDurability(seed int64, window time.Duration) ThroughputDurabilityResult {
+	if window == 0 {
+		window = 20 * time.Millisecond
+	}
+	const egress = 10 * time.Microsecond // chaos-default batching for both sides
+	var out ThroughputDurabilityResult
+	off, offered := throughputRun(seed, egress, window, false)
+	on, _ := throughputRun(seed, egress, window, true)
+	out.Off = ThroughputDurabilityPoint{GoodputMpps: off.GoodputMpps, P99Us: off.P99Us}
+	out.On = ThroughputDurabilityPoint{Durable: true, GoodputMpps: on.GoodputMpps,
+		P99Us: on.P99Us, WALBytes: on.WALBytes}
+	out.OfferedMpps = offered
+	return out
+}
+
 // Throughput measures sustained goodput of the synchronous write path
 // (Sync-Counter: every packet is a store write) under open-loop overload,
 // sweeping the switch egress batch window. With batching off the store
@@ -71,7 +128,7 @@ func Throughput(seed int64, window time.Duration) ThroughputResult {
 	}
 	var out ThroughputResult
 	for _, w := range ThroughputWindows {
-		pt, offered := throughputRun(seed, w, window)
+		pt, offered := throughputRun(seed, w, window, false)
 		out.Points = append(out.Points, pt)
 		out.OfferedMpps = offered
 	}
@@ -81,15 +138,16 @@ func Throughput(seed int64, window time.Duration) ThroughputResult {
 // throughputRun drives the open-loop load through one deployment with the
 // given egress window and returns the measured point plus the offered
 // rate in Mpps.
-func throughputRun(seed int64, egress, window time.Duration) (ThroughputPoint, float64) {
+func throughputRun(seed int64, egress, window time.Duration, durable bool) (ThroughputPoint, float64) {
 	proto := redplane.DefaultProtocolConfig()
 	proto.FlushWindow = egress
 	cfg := redplane.DeploymentConfig{
-		Seed:         seed,
-		Fabric:       fig12Fabric,
-		StoreService: throughputService,
-		Protocol:     proto,
-		NewApp:       func(int) redplane.App { return apps.SyncCounter{} },
+		Seed:            seed,
+		Fabric:          fig12Fabric,
+		StoreService:    throughputService,
+		Protocol:        proto,
+		NewApp:          func(int) redplane.App { return apps.SyncCounter{} },
+		StoreDurability: store.DurabilityConfig{Enabled: durable},
 	}
 	d := redplane.NewDeployment(cfg)
 
@@ -150,6 +208,7 @@ func throughputRun(seed int64, egress, window time.Duration) (ThroughputPoint, f
 		Batches:     snap.Totals.EgressBatches,
 		BatchedMsgs: snap.Totals.EgressMsgs,
 		StoreSheds:  snap.Totals.StoreShedMsgs,
+		WALBytes:    snap.Totals.StoreWALBytes,
 	}
 	offered := float64(len(senders)) * 1e3 / gapNs // Mpps
 	return pt, offered

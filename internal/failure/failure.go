@@ -22,6 +22,13 @@ type Switchlike interface {
 	Recover()
 }
 
+// ColdFailer is implemented by components that can crash losing their
+// memory (internal/store.Server): recovery must rebuild state from
+// durable storage instead of reusing what the process held.
+type ColdFailer interface {
+	FailCold()
+}
+
 // Plan is the legacy single-failure schedule for one aggregation switch:
 // one failure, one detection, an optional recovery. It remains the
 // convenient form for the paper's hand-built failover scenarios; richer
@@ -68,8 +75,10 @@ const (
 	// switch) back.
 	AggRecover
 	// StoreFail crashes a store server: it stops processing frames until
-	// recovery. Its shard state survives (warm restart), as a
-	// disk-backed or peer-resynced store server's would.
+	// recovery. By default the crash is warm (shard memory survives);
+	// Event.Cold makes it a process death — memory is lost and recovery
+	// rebuilds solely from durable state (or from nothing when
+	// durability is off).
 	StoreFail
 	// StoreRecover restarts a crashed store server.
 	StoreRecover
@@ -111,6 +120,8 @@ type Event struct {
 
 	// Shard, Replica select the store server for StoreFail/StoreRecover.
 	Shard, Replica int
+	// Cold makes a StoreFail lose the server's memory (see StoreFail).
+	Cold bool
 }
 
 // Schedule is a multi-event fault schedule: overlapping failures on any
@@ -210,7 +221,11 @@ func (j *injector) apply(e Event) {
 	case StoreFail:
 		// The store server traces its own EvFailure on Fail(); only count.
 		if srv := j.t.Store(e.Shard, e.Replica); srv != nil {
-			srv.Fail()
+			if cf, ok := srv.(ColdFailer); ok && e.Cold {
+				cf.FailCold()
+			} else {
+				srv.Fail()
+			}
 		}
 		j.note(j.injected, 0, "")
 	case StoreRecover:

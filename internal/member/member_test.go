@@ -1,0 +1,198 @@
+package member
+
+import (
+	"testing"
+	"time"
+
+	"redplane/internal/durable"
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+	"redplane/internal/store"
+	"redplane/internal/wire"
+)
+
+// hub is a toy star router: frames go to the port registered for the
+// destination address.
+type hub struct {
+	ports map[packet.Addr]*netsim.Port
+}
+
+func (h *hub) Name() string { return "hub" }
+func (h *hub) Receive(f *netsim.Frame, _ *netsim.Port) {
+	if p, ok := h.ports[f.Dst]; ok {
+		p.Send(f)
+	}
+}
+
+// fakeSwitch collects protocol acks addressed to it.
+type fakeSwitch struct {
+	id   int
+	ip   packet.Addr
+	got  []*wire.Message
+	port *netsim.Port
+}
+
+func (s *fakeSwitch) Name() string { return "fake-switch" }
+func (s *fakeSwitch) Receive(f *netsim.Frame, _ *netsim.Port) {
+	switch m := f.Msg.(type) {
+	case *wire.Message:
+		s.got = append(s.got, m)
+	case *wire.Batch:
+		s.got = append(s.got, m.Msgs...)
+	}
+}
+
+func (s *fakeSwitch) send(m *wire.Message, dst packet.Addr) {
+	m.SwitchID = s.id
+	s.port.Send(&netsim.Frame{
+		Src: s.ip, Dst: dst,
+		Flow: packet.FiveTuple{Src: s.ip, Dst: dst, SrcPort: wire.SwitchPort,
+			DstPort: wire.StorePort, Proto: packet.ProtoUDP},
+		Size: m.WireLen(), Msg: m,
+	})
+}
+
+func tkey(n byte) packet.FiveTuple {
+	return packet.FiveTuple{Src: packet.MakeAddr(10, 0, 0, n), Dst: packet.MakeAddr(10, 0, 1, n),
+		SrcPort: 1000, DstPort: 2000, Proto: packet.ProtoUDP}
+}
+
+// buildCluster wires a 1-shard, 3-replica durable cluster and a fake
+// switch through a hub and returns the pieces plus a started
+// coordinator.
+func buildCluster(t *testing.T, sim *netsim.Sim) (*fakeSwitch, *store.Cluster, *Coordinator) {
+	t.Helper()
+	h := &hub{ports: make(map[packet.Addr]*netsim.Port)}
+	sw := &fakeSwitch{id: 1, ip: packet.MakeAddr(10, 9, 9, 1)}
+	_, swPort, hubSwPort := netsim.Connect(sim, sw, h, netsim.LinkConfig{Delay: 2 * time.Microsecond})
+	sw.port = swPort
+	h.ports[sw.ip] = hubSwPort
+
+	cluster := store.NewCluster(sim, 1, 3, store.Config{LeasePeriod: time.Second},
+		time.Microsecond, func(shard, replica int) packet.Addr {
+			return packet.MakeAddr(10, 8, byte(shard), byte(replica+1))
+		})
+	for _, srv := range cluster.All() {
+		srv.SwitchAddr = func(int) packet.Addr { return sw.ip }
+		_, sp, hp := netsim.Connect(sim, srv, h, netsim.LinkConfig{Delay: 2 * time.Microsecond})
+		srv.SetPort(sp)
+		h.ports[srv.IP] = hp
+		if err := srv.EnableDurability(durable.NewMemBackend(), store.DurabilityConfig{Enabled: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	co := New(sim, cluster, Config{})
+	co.Start()
+	return sw, cluster, co
+}
+
+func TestCoordinatorSplicesOutDeadHeadAndRejoins(t *testing.T) {
+	sim := netsim.New(1)
+	sw, cluster, co := buildCluster(t, sim)
+	key := tkey(1)
+
+	// Healthy chain: lease + first write through replica 0 (the head).
+	sw.send(&wire.Message{Type: wire.MsgLeaseNew, Key: key}, cluster.Head(0).IP)
+	sw.send(&wire.Message{Type: wire.MsgRepl, Key: key, Seq: 1, Vals: []uint64{11}}, cluster.Head(0).IP)
+	sim.RunUntil(netsim.Duration(time.Millisecond))
+	if len(sw.got) != 2 {
+		t.Fatalf("healthy acks = %d", len(sw.got))
+	}
+	if cluster.ViewNum(0) != 1 {
+		t.Fatalf("initial view = %d", cluster.ViewNum(0))
+	}
+
+	// The head dies cold. Within a probe interval the coordinator must
+	// splice it out and promote replica 1.
+	cluster.Server(0, 0).FailCold()
+	sim.RunUntil(netsim.Duration(6 * time.Millisecond))
+	if cluster.ViewNum(0) != 2 {
+		t.Fatalf("view after head death = %d, want 2", cluster.ViewNum(0))
+	}
+	if cluster.Head(0) != cluster.Server(0, 1) {
+		t.Fatal("head not promoted")
+	}
+	if got := co.Stats().SpliceOuts; got != 1 {
+		t.Fatalf("splice-outs = %d", got)
+	}
+
+	// The shortened chain keeps serving: a second write through the new
+	// head is acked by the two survivors.
+	sw.send(&wire.Message{Type: wire.MsgRepl, Key: key, Seq: 2, Vals: []uint64{22}}, cluster.Head(0).IP)
+	sim.RunUntil(netsim.Duration(8 * time.Millisecond))
+	if len(sw.got) != 3 {
+		t.Fatalf("acks through shortened chain = %d", len(sw.got))
+	}
+
+	// The old head recovers (cold: it rebuilds from its checkpoint + WAL,
+	// which lack write 2). The coordinator resyncs it from the tail and
+	// splices it back in as the new tail.
+	cluster.Server(0, 0).Recover()
+	sim.RunUntil(netsim.Duration(20 * time.Millisecond))
+	st := co.Stats()
+	if st.Rejoins != 1 {
+		t.Fatalf("rejoins = %d, want 1", st.Rejoins)
+	}
+	members := cluster.ViewMembers(0)
+	if len(members) != 3 || members[0] != 1 || members[1] != 2 || members[2] != 0 {
+		t.Fatalf("members after rejoin = %v, want [1 2 0]", members)
+	}
+	if err := cluster.ChainAgreement(); err != nil {
+		t.Fatalf("chain agreement: %v", err)
+	}
+	// No acked write lost: the rejoined replica has both writes.
+	vals, seq, ok := cluster.Server(0, 0).Shard().State(key)
+	if !ok || seq != 2 || vals[0] != 22 {
+		t.Fatalf("rejoined state vals=%v seq=%d ok=%v", vals, seq, ok)
+	}
+
+	// The three-node chain works end to end again, tail releasing acks.
+	sw.send(&wire.Message{Type: wire.MsgRepl, Key: key, Seq: 3, Vals: []uint64{33}}, cluster.Head(0).IP)
+	sim.RunUntil(netsim.Duration(22 * time.Millisecond))
+	if len(sw.got) != 4 {
+		t.Fatalf("acks after rejoin = %d", len(sw.got))
+	}
+	if err := cluster.ChainAgreement(); err != nil {
+		t.Fatalf("post-rejoin agreement: %v", err)
+	}
+}
+
+func TestCoordinatorHoldsViewWithAllMembersDead(t *testing.T) {
+	sim := netsim.New(1)
+	sw, cluster, co := buildCluster(t, sim)
+	key := tkey(2)
+
+	sw.send(&wire.Message{Type: wire.MsgLeaseNew, Key: key}, cluster.Head(0).IP)
+	sw.send(&wire.Message{Type: wire.MsgRepl, Key: key, Seq: 1, Vals: []uint64{5}}, cluster.Head(0).IP)
+	sim.RunUntil(netsim.Duration(time.Millisecond))
+	if len(sw.got) != 2 {
+		t.Fatalf("acks = %d", len(sw.got))
+	}
+
+	// Everybody dies: there is no one to promote, so the view must stand
+	// (a never-member cannot be conjured into a chain).
+	for _, srv := range cluster.All() {
+		srv.FailCold()
+	}
+	viewAtCrash := cluster.ViewNum(0)
+	sim.RunUntil(netsim.Duration(10 * time.Millisecond))
+	if cluster.ViewNum(0) != viewAtCrash {
+		t.Fatalf("view moved with all members dead: %d", cluster.ViewNum(0))
+	}
+
+	// One member recovers from durable state; the chain shrinks around it
+	// and serves with every acked write intact.
+	cluster.Server(0, 2).Recover()
+	sim.RunUntil(netsim.Duration(16 * time.Millisecond))
+	members := cluster.ViewMembers(0)
+	if len(members) != 1 || members[0] != 2 {
+		t.Fatalf("members = %v, want [2]", members)
+	}
+	vals, seq, ok := cluster.Server(0, 2).Shard().State(key)
+	if !ok || seq != 1 || vals[0] != 5 {
+		t.Fatalf("sole survivor state vals=%v seq=%d ok=%v", vals, seq, ok)
+	}
+	if co.Stats().ViewChanges == 0 {
+		t.Fatal("no view change recorded")
+	}
+}

@@ -39,6 +39,16 @@ const (
 	// EvQueueShed marks a bounded queue dropping work under overload; V
 	// carries how many messages were shed.
 	EvQueueShed
+	// EvViewChange marks a chain membership change (splice-out or
+	// rejoin); V carries the new view number.
+	EvViewChange
+	// EvResync marks a recovered replica pulling the chain's current
+	// state before re-splicing; V carries the number of flows copied.
+	EvResync
+	// EvColdRestore marks a server rebuilding its shard from durable
+	// state (checkpoint + WAL replay) after losing memory; V carries the
+	// number of WAL records replayed.
+	EvColdRestore
 )
 
 var eventNames = map[EventType]string{
@@ -60,6 +70,9 @@ var eventNames = map[EventType]string{
 	EvLinkUp:         "link_up",
 	EvBatchFlush:     "batch_flush",
 	EvQueueShed:      "queue_shed",
+	EvViewChange:     "view_change",
+	EvResync:         "resync",
+	EvColdRestore:    "cold_restore",
 }
 
 var eventTypes = func() map[string]EventType {

@@ -15,9 +15,26 @@ import (
 type Cluster struct {
 	shards   int
 	replicas int
-	// servers[shard][replica]; replica 0 is the chain head, the last is
-	// the tail.
+	// servers[shard][replica]; the replica order is the construction-time
+	// chain order. Which replicas currently form the chain — and who is
+	// head and tail — is the shard's view.
 	servers [][]*Server
+	// all caches the flattened servers slice: it is rebuilt never (the
+	// server set is immutable; only views change), so per-interval stats
+	// and shed polling don't reallocate it on every call.
+	all []*Server
+	// views[shard] is the current chain view: a monotonically increasing
+	// view number plus the member replica indices in chain order.
+	views []chainView
+}
+
+// chainView is one shard's chain configuration. Members lists replica
+// indices in chain order (head first); Num fences stale senders — every
+// chainMsg carries the sender's view number and receivers drop other
+// views' messages.
+type chainView struct {
+	num     uint64
+	members []int
 }
 
 // NewCluster builds the servers for a shards x replicas store. Addresses
@@ -38,6 +55,17 @@ func NewCluster(sim *netsim.Sim, shards, replicas int, cfg Config,
 			row[r].SetNext(row[r+1])
 		}
 		c.servers = append(c.servers, row)
+		c.all = append(c.all, row...)
+	}
+	c.views = make([]chainView, shards)
+	for sh := 0; sh < shards; sh++ {
+		members := make([]int, replicas)
+		for r := range members {
+			members[r] = r
+		}
+		// Install the initial view (number 1) so every server is fenced
+		// to it from the start.
+		c.SetView(sh, members)
 	}
 	return c
 }
@@ -74,27 +102,63 @@ func (c *Cluster) ShardFor(key packet.FiveTuple) int {
 	return int(key.SymmetricHash() % uint64(c.shards))
 }
 
-// Head returns the chain head server for a shard: the server switches
-// address their requests to.
-func (c *Cluster) Head(shard int) *Server { return c.servers[shard][0] }
-
-// Tail returns the chain tail for a shard.
-func (c *Cluster) Tail(shard int) *Server {
+// SetView installs a new chain view for a shard: members are the
+// replica indices forming the chain, head first. The view number bumps,
+// every member is relinked and fenced to the new number, and
+// non-members are unlinked and marked out-of-chain (their requests and
+// chain messages drop until they rejoin). Returns the new view number.
+func (c *Cluster) SetView(shard int, members []int) uint64 {
+	v := &c.views[shard]
+	v.num++
+	v.members = append(v.members[:0], members...)
 	row := c.servers[shard]
-	return row[len(row)-1]
+	inView := make(map[int]bool, len(members))
+	for i, m := range members {
+		inView[m] = true
+		var next *Server
+		if i+1 < len(members) {
+			next = row[members[i+1]]
+		}
+		row[m].SetNext(next)
+		row[m].SetView(v.num, true)
+	}
+	for r, srv := range row {
+		if !inView[r] {
+			srv.SetNext(nil)
+			srv.SetView(v.num, false)
+		}
+	}
+	return v.num
+}
+
+// ViewNum returns a shard's current view number.
+func (c *Cluster) ViewNum(shard int) uint64 { return c.views[shard].num }
+
+// ViewMembers returns a copy of a shard's current chain membership,
+// head first.
+func (c *Cluster) ViewMembers(shard int) []int {
+	return append([]int(nil), c.views[shard].members...)
+}
+
+// Head returns the chain head server for a shard under the current
+// view: the server switches address their requests to.
+func (c *Cluster) Head(shard int) *Server {
+	return c.servers[shard][c.views[shard].members[0]]
+}
+
+// Tail returns the chain tail for a shard under the current view.
+func (c *Cluster) Tail(shard int) *Server {
+	m := c.views[shard].members
+	return c.servers[shard][m[len(m)-1]]
 }
 
 // Server returns a specific replica.
 func (c *Cluster) Server(shard, replica int) *Server { return c.servers[shard][replica] }
 
-// All returns every server, row by row.
-func (c *Cluster) All() []*Server {
-	var out []*Server
-	for _, row := range c.servers {
-		out = append(out, row...)
-	}
-	return out
-}
+// All returns every server, row by row — members of the current views
+// and spliced-out replicas alike. The slice is shared and cached;
+// callers must not mutate it.
+func (c *Cluster) All() []*Server { return c.all }
 
 // HeadAddrFor returns the IP a switch should send requests for key to.
 func (c *Cluster) HeadAddrFor(key packet.FiveTuple) (packet.Addr, int) {

@@ -1,0 +1,241 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"redplane/internal/durable"
+	"redplane/internal/netsim"
+	"redplane/internal/obs"
+	"redplane/internal/wire"
+)
+
+func testScope() *obs.Scope { return obs.NewRegistry().NS("test") }
+
+// buildDurableChain is buildChainNet plus a MemBackend-backed durability
+// layer on every server, returning the backends alongside.
+func buildDurableChain(t *testing.T, sim *netsim.Sim, delay, service time.Duration) (*fakeSwitch, []*Server, []*durable.MemBackend) {
+	t.Helper()
+	sw, servers := buildChainNet(t, sim, delay, service)
+	var bes []*durable.MemBackend
+	for _, srv := range servers {
+		be := durable.NewMemBackend()
+		if err := srv.EnableDurability(be, DurabilityConfig{Enabled: true}); err != nil {
+			t.Fatal(err)
+		}
+		bes = append(bes, be)
+	}
+	return sw, servers, bes
+}
+
+func TestDurableChainColdRestartRecoversAckedState(t *testing.T) {
+	sim := netsim.New(1)
+	sw, servers, _ := buildDurableChain(t, sim, 2*time.Microsecond, time.Microsecond)
+	key := tkey(1)
+
+	sw.send(leaseNew(1, key), servers[0].IP)
+	sw.send(repl(1, key, 1, 42), servers[0].IP)
+	sim.Run()
+	if len(sw.got) != 2 {
+		t.Fatalf("acks = %d, want 2", len(sw.got))
+	}
+
+	// Every replica cold-restarts: memory gone, recovery from its own
+	// checkpoint + WAL only. The acked write must survive on all of them.
+	want := servers[0].Shard().Digest()
+	for i, srv := range servers {
+		srv.FailCold()
+		srv.Recover()
+		vals, seq, ok := srv.Shard().State(key)
+		if !ok || seq != 1 || vals[0] != 42 {
+			t.Errorf("replica %d after cold restart: vals=%v seq=%d ok=%v", i, vals, seq, ok)
+		}
+		if got := srv.Shard().Digest(); got != want {
+			t.Errorf("replica %d digest %#x != pre-crash %#x", i, got, want)
+		}
+	}
+}
+
+func TestHeadColdFailMidBatchCommit(t *testing.T) {
+	sim := netsim.New(1)
+	sw, servers, _ := buildDurableChain(t, sim, 2*time.Microsecond, time.Microsecond)
+	k1, k2 := tkey(1), tkey(2)
+
+	sw.send(leaseNew(1, k1), servers[0].IP)
+	sw.send(leaseNew(1, k2), servers[0].IP)
+	sim.Run()
+	if len(sw.got) != 2 {
+		t.Fatalf("lease acks = %d", len(sw.got))
+	}
+
+	// A batch of two writes reaches the head, which stages the updates
+	// and arms its group-commit fsync (+20 µs). The head dies cold before
+	// the fsync fires: the staged records are discarded, nothing was
+	// forwarded, nothing was acked.
+	sw.sendBatch([]*wire.Message{repl(1, k1, 1, 100), repl(1, k2, 1, 200)}, servers[0].IP)
+	sim.After(10*time.Microsecond, func() { servers[0].FailCold() })
+	sim.Run()
+	if len(sw.got) != 2 {
+		t.Fatalf("acks after mid-commit crash = %d, want no new ones", len(sw.got))
+	}
+	// The lease grant already created the flow everywhere; the batch's
+	// write would have bumped its seq past 0.
+	if _, seq, _ := servers[1].Shard().State(k1); seq != 0 {
+		t.Fatal("unfsynced batch leaked down the chain")
+	}
+
+	// The coordinator's splice: view 2 is mid -> tail. The switch
+	// retransmits the whole batch to the new head.
+	servers[0].SetView(2, false)
+	servers[0].SetNext(nil)
+	servers[1].SetView(2, true)
+	servers[2].SetView(2, true)
+	sw.sendBatch([]*wire.Message{repl(1, k1, 1, 100), repl(1, k2, 1, 200)}, servers[1].IP)
+	sim.Run()
+	if len(sw.got) != 4 {
+		t.Fatalf("acks after retransmit = %d, want 4", len(sw.got))
+	}
+	if servers[1].Shard().Digest() != servers[2].Shard().Digest() {
+		t.Fatal("view-2 chain diverged")
+	}
+
+	// The old head recovers cold from its own durable state: the leases
+	// it synced are back, the unfsynced batch is not (it was never acked).
+	servers[0].Recover()
+	if _, seq, _ := servers[0].Shard().State(k1); seq != 0 {
+		t.Fatal("old head resurrected an unfsynced write")
+	}
+
+	// Rejoin as tail: clone from the current tail, agree on digests,
+	// install view 3 = mid -> tail -> old head, checkpoint the clone.
+	if n := servers[0].Shard().CloneFrom(servers[2].Shard()); n == 0 {
+		t.Fatal("clone copied nothing")
+	}
+	if servers[0].Shard().Digest() != servers[2].Shard().Digest() {
+		t.Fatal("digest disagreement after clone")
+	}
+	servers[2].SetNext(servers[0])
+	servers[0].SetNext(nil)
+	for _, srv := range servers {
+		srv.SetView(3, true)
+	}
+	if err := servers[0].Durability().ForceCheckpoint(int64(sim.Now())); err != nil {
+		t.Fatal(err)
+	}
+
+	// No acked write lost: both batch writes are on every replica, and a
+	// further write flows through the full three-node chain again.
+	for i, srv := range servers {
+		if vals, seq, ok := srv.Shard().State(k1); !ok || seq != 1 || vals[0] != 100 {
+			t.Errorf("replica %d lost acked write k1: vals=%v seq=%d ok=%v", i, vals, seq, ok)
+		}
+	}
+	sw.send(repl(1, k2, 2, 300), servers[1].IP)
+	sim.Run()
+	if len(sw.got) != 5 {
+		t.Fatalf("acks after rejoin write = %d, want 5", len(sw.got))
+	}
+	d0 := servers[0].Shard().Digest()
+	if servers[1].Shard().Digest() != d0 || servers[2].Shard().Digest() != d0 {
+		t.Fatal("rejoined chain diverged")
+	}
+}
+
+func TestViewFencingDropsStaleChainMsg(t *testing.T) {
+	sim := netsim.New(1)
+	sw, servers := buildChainNet(t, sim, 2*time.Microsecond, time.Microsecond)
+	key := tkey(3)
+
+	sw.send(leaseNew(1, key), servers[0].IP)
+	sim.Run()
+
+	// Mid and tail move to view 2 (head spliced out) but the head never
+	// hears: it still believes view 1 and still points at mid — the
+	// classic stale-primary hazard.
+	servers[1].SetView(2, true)
+	servers[2].SetView(2, true)
+
+	before := servers[1].Stats().StaleViewDrops
+	sw.send(repl(1, key, 1, 7), servers[0].IP)
+	sim.Run()
+
+	if got := servers[1].Stats().StaleViewDrops; got != before+1 {
+		t.Errorf("mid stale-view drops = %d, want %d", got, before+1)
+	}
+	if len(sw.got) != 1 {
+		t.Errorf("acks = %d: the stale chain must not release an ack", len(sw.got))
+	}
+	if _, seq, _ := servers[1].Shard().State(key); seq != 0 {
+		t.Error("stale view's update applied at mid")
+	}
+
+	// A spliced-out replica also fences direct switch requests.
+	servers[0].SetView(2, false)
+	beforeHead := servers[0].Stats().StaleViewDrops
+	sw.send(repl(1, key, 1, 7), servers[0].IP)
+	sim.Run()
+	if got := servers[0].Stats().StaleViewDrops; got != beforeHead+1 {
+		t.Errorf("spliced-out head served a direct request (drops=%d)", got)
+	}
+}
+
+func TestShardTornWALDigestMatchesCommitPoint(t *testing.T) {
+	be := durable.NewMemBackend()
+	cfg := Config{LeasePeriod: time.Second}
+	d, err := NewDurability(be, DurabilityConfig{Enabled: true}, testScope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewShard(cfg)
+	d.Attach(sh)
+
+	// Commit writes one by one, snapshotting the digest and the active
+	// segment length at every covered sync — each length is a valid
+	// commit point.
+	key := tkey(9)
+	sh.Process(1, leaseNew(1, key))
+	var digests []uint64
+	var lens []int
+	var segName string
+	for seq := uint64(1); seq <= 4; seq++ {
+		sh.Process(int64(seq), repl(1, key, seq, 10*seq))
+		if err := d.Sync(int64(seq)); err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, sh.Digest())
+		for name, b := range be.Files() {
+			segName = name // single small segment: never rolls
+			lens = append(lens, len(b))
+		}
+	}
+
+	// Tear the tail mid-record: keep the bytes of commit point 2 plus a
+	// few bytes of record 3's frame, as a crash mid-write would.
+	full := be.Files()[segName]
+	torn := append([]byte(nil), full[:lens[1]+7]...)
+	f, err := be.Create(segName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Recovery must stop at the last intact frame: the shard digest is
+	// exactly the commit point 2 digest, not a corrupted in-between.
+	d2, err := NewDurability(be, DurabilityConfig{Enabled: true}, testScope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2, _, err := d2.Restore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sh2.Digest(); got != digests[1] {
+		t.Errorf("recovered digest %#x != commit point digest %#x", got, digests[1])
+	}
+	if vals, seq, ok := sh2.State(key); !ok || seq != 2 || vals[0] != 20 {
+		t.Errorf("recovered state vals=%v seq=%d ok=%v, want seq 2 val 20", vals, seq, ok)
+	}
+}

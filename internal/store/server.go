@@ -3,6 +3,7 @@ package store
 import (
 	"time"
 
+	"redplane/internal/durable"
 	"redplane/internal/netsim"
 	"redplane/internal/obs"
 	"redplane/internal/packet"
@@ -10,8 +11,11 @@ import (
 )
 
 // chainMsg carries committed updates (and the outputs to release at the
-// tail) down a replication chain.
+// tail) down a replication chain. View is the sender's chain view
+// number: receivers drop messages from any other view, which fences a
+// replica that was spliced out of the chain but doesn't know it yet.
 type chainMsg struct {
+	View uint64
 	Ups  []Update
 	Outs []Output
 }
@@ -51,9 +55,28 @@ type Server struct {
 	port  *netsim.Port
 	dead  bool
 
+	// cold marks a FailCold crash: Recover must rebuild the shard from
+	// durable state (or from nothing) instead of reusing its memory.
+	cold bool
+
 	// next is the chain successor; nil for the tail or for unreplicated
 	// deployments.
 	next *Server
+
+	// view is the chain view this server believes it is in; inChain is
+	// false while the server is spliced out (failed and not yet
+	// re-admitted). Chain messages from any other view are dropped.
+	view    uint64
+	inChain bool
+
+	// dur is the persistence layer (nil when durability is off). pend
+	// queues output releases — chain forwards and switch acks — behind
+	// the group-commit fsync that makes their updates durable.
+	dur    *Durability
+	durBE  durable.Backend
+	durCfg DurabilityConfig
+	pend   []func()
+	fsync  *netsim.Timer
 
 	// ServiceTime is the per-message processing cost; requests queue
 	// FIFO behind it, making the store the bottleneck for write-heavy
@@ -77,10 +100,12 @@ type Server struct {
 
 	// Observability handles, cached at construction under scope
 	// "store/<name>"; the tracer is shared and nil-safe.
+	ns                 *obs.Scope
 	rxBytes, txBytes   *obs.Counter
 	rxFrames, txFrames *obs.Counter
 	dropped            *obs.Counter
 	sheds              *obs.Counter
+	staleViewDrops     *obs.Counter
 	queueNs            *obs.Gauge
 	queueDepth         *obs.Gauge
 	batchSize          *obs.Gauge
@@ -90,18 +115,21 @@ type Server struct {
 
 // NewServer creates a store server around a shard.
 func NewServer(sim *netsim.Sim, name string, ip packet.Addr, shard *Shard, service time.Duration) *Server {
-	s := &Server{name: name, sim: sim, IP: ip, shard: shard, ServiceTime: service}
+	s := &Server{name: name, sim: sim, IP: ip, shard: shard, ServiceTime: service,
+		inChain: true}
 	reg := sim.Observer()
 	if reg == nil {
 		reg = obs.NewRegistry() // standalone use keeps Stats() meaningful
 	}
 	ns := reg.NS("store/" + name)
+	s.ns = ns
 	s.rxBytes = ns.Counter("rx_bytes")
 	s.txBytes = ns.Counter("tx_bytes")
 	s.rxFrames = ns.Counter("rx_frames")
 	s.txFrames = ns.Counter("tx_frames")
 	s.dropped = ns.Counter("dropped_requests")
 	s.sheds = ns.Counter("sheds")
+	s.staleViewDrops = ns.Counter("stale_view_drops")
 	s.queueNs = ns.Gauge("queue_ns")
 	s.queueDepth = ns.Gauge("queue_depth")
 	s.batchSize = ns.Gauge("batch_size")
@@ -120,13 +148,15 @@ type ServerStats struct {
 	RxFrames, TxFrames uint64
 	DroppedRequests    uint64
 	ShedMsgs           uint64
+	StaleViewDrops     uint64
+	WALBytes           uint64
 	Flows              int
 	Shard              Stats
 }
 
 // Stats snapshots the server's counters and its shard's stats.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{
+	st := ServerStats{
 		Name:            s.name,
 		RxBytes:         s.rxBytes.Value(),
 		TxBytes:         s.txBytes.Value(),
@@ -134,9 +164,14 @@ func (s *Server) Stats() ServerStats {
 		TxFrames:        s.txFrames.Value(),
 		DroppedRequests: s.dropped.Value(),
 		ShedMsgs:        s.sheds.Value(),
+		StaleViewDrops:  s.staleViewDrops.Value(),
 		Flows:           s.shard.Flows(),
 		Shard:           s.shard.Stats,
 	}
+	if s.dur != nil {
+		st.WALBytes = s.dur.WALBytes()
+	}
+	return st
 }
 
 // traceLeases compares shard stats around a Process/Flush call and emits
@@ -167,27 +202,122 @@ func (s *Server) Name() string { return s.name }
 // Alive reports whether the server is processing requests.
 func (s *Server) Alive() bool { return !s.dead }
 
-// Fail crashes the server: frames are dropped and queued work is
-// abandoned until Recover. The shard state survives the crash (a warm
-// restart, as for a disk-backed or peer-resynced store server); chain
-// convergence is restored by the switches' retransmissions, which the
-// head re-propagates down the chain (see Shard.Process stale handling).
+// Fail crashes the server warm: frames are dropped and queued work is
+// abandoned until Recover, but the shard's memory survives the crash.
+// Outputs waiting on an fsync are lost (never released — the switches'
+// retransmissions re-drive them), and WAL records staged but not yet
+// synced are discarded: nothing was ever forwarded or acknowledged on
+// their behalf, so discarding them is invisible.
 func (s *Server) Fail() {
+	s.crash(false)
+}
+
+// FailCold crashes the server and loses its memory: on Recover the
+// shard is rebuilt solely from durable state (checkpoint + WAL), or
+// from nothing when durability is off. This is the process-death model
+// the warm Fail only approximates.
+func (s *Server) FailCold() {
+	s.crash(true)
+}
+
+func (s *Server) crash(cold bool) {
 	s.dead = true
+	s.cold = s.cold || cold
+	s.pend = nil
+	if s.fsync != nil {
+		s.fsync.Stop()
+	}
+	if s.dur != nil {
+		s.dur.DiscardStaged()
+	}
 	if s.tr.Active() {
 		s.tr.Emit(obs.Event{T: int64(s.sim.Now()), Type: obs.EvFailure, Comp: s.name})
 	}
 }
 
-// Recover restarts a crashed server.
+// Recover restarts a crashed server. After a cold crash the shard is
+// rebuilt from the durable backend (empty when durability is off); a
+// warm crash reuses the shard's memory.
 func (s *Server) Recover() {
 	s.dead = false
 	s.busyUntil = s.sim.Now()
+	if s.cold {
+		s.cold = false
+		s.restoreCold()
+	}
 	if s.tr.Active() {
 		s.tr.Emit(obs.Event{T: int64(s.sim.Now()), Type: obs.EvRecovery, Comp: s.name})
 	}
 	s.armWake() // lease-expiry wakes skipped while dead are re-armed
 }
+
+// restoreCold rebuilds the shard after a memory-losing crash. With
+// durability on, the backend outlived the process: reopen the WAL
+// (recovering any torn tail) and replay from the newest checkpoint.
+// Without durability the state is simply gone.
+func (s *Server) restoreCold() {
+	cfg := s.shard.cfg
+	if s.dur == nil {
+		s.shard = NewShard(cfg)
+		return
+	}
+	d, err := NewDurability(s.durBE, s.durCfg, s.ns)
+	if err != nil {
+		// A backend that cannot even be opened leaves the server with
+		// empty state; the chain coordinator will resync it.
+		s.shard = NewShard(cfg)
+		return
+	}
+	sh, replayed, err := d.Restore(cfg)
+	if err != nil {
+		s.shard = NewShard(cfg)
+		return
+	}
+	s.dur = d
+	s.shard = sh
+	if s.tr.Active() {
+		s.tr.Emit(obs.Event{T: int64(s.sim.Now()), Type: obs.EvColdRestore,
+			Comp: s.name, V: int64(replayed)})
+	}
+}
+
+// EnableDurability attaches a persistence layer over be: every shard
+// mutation is WAL-logged, outputs are group-committed behind a
+// virtual-time fsync, and cold restarts recover from be's checkpoint +
+// WAL.
+func (s *Server) EnableDurability(be durable.Backend, cfg DurabilityConfig) error {
+	d, err := NewDurability(be, cfg, s.ns)
+	if err != nil {
+		return err
+	}
+	d.Attach(s.shard)
+	s.dur = d
+	s.durBE = be
+	s.durCfg = d.cfg // with defaults filled in
+	s.fsync = netsim.NewTimer(s.sim, s.fireFsync)
+	return nil
+}
+
+// Durability returns the server's persistence layer (nil when off).
+func (s *Server) Durability() *Durability { return s.dur }
+
+// SetView installs the server's chain view: the view number its chain
+// messages carry and the only view it accepts, plus whether it is a
+// chain member at all. Cluster.SetView fans this out to a shard row.
+func (s *Server) SetView(view uint64, inChain bool) {
+	rejoined := inChain && !s.inChain
+	s.view = view
+	s.inChain = inChain
+	if rejoined && !s.dead {
+		s.armWake() // lease-expiry wakes skipped while out of chain
+	}
+}
+
+// View returns the server's current chain view number.
+func (s *Server) View() uint64 { return s.view }
+
+// InChain reports whether the server believes it is a chain member.
+func (s *Server) InChain() bool { return s.inChain }
 
 // Shard exposes the server's shard replica (tests, recovery tooling).
 func (s *Server) Shard() *Shard { return s.shard }
@@ -268,6 +398,12 @@ func (s *Server) serve(n int, fn func()) {
 }
 
 func (s *Server) handleRequest(m *wire.Message) {
+	if !s.inChain {
+		// Spliced out: serving would mutate (and acknowledge) outside
+		// the chain. The switch retransmits to the current head.
+		s.staleViewDrops.Inc()
+		return
+	}
 	before := s.shard.Stats
 	outs, ups := s.shard.Process(int64(s.sim.Now()), m)
 	s.traceLeases(before, m.Key, true)
@@ -277,6 +413,10 @@ func (s *Server) handleRequest(m *wire.Message) {
 }
 
 func (s *Server) handleBatch(b *wire.Batch) {
+	if !s.inChain {
+		s.staleViewDrops.Inc()
+		return
+	}
 	before := s.shard.Stats
 	outs, ups := s.shard.ProcessBatch(int64(s.sim.Now()), b.Msgs)
 	s.traceLeases(before, packet.FiveTuple{}, false)
@@ -291,25 +431,73 @@ func (s *Server) handleBatch(b *wire.Batch) {
 }
 
 func (s *Server) handleChain(c *chainMsg) {
+	if !s.inChain || c.View != s.view {
+		// A message from a different chain view: either this server was
+		// spliced out and a peer still routed to it, or a spliced-out
+		// replica is still forwarding. Both are fenced here — applying
+		// would let a stale chain mutate or release acks.
+		s.staleViewDrops.Inc()
+		return
+	}
 	for _, up := range c.Ups {
 		s.shard.Apply(up)
 	}
-	if s.next != nil {
-		s.sendChain(c)
-		return
-	}
-	// Tail: the update is durable on every replica; release the outputs.
-	s.emitAll(c.Outs)
+	s.release(func() {
+		if s.next != nil {
+			s.sendChain(c)
+			return
+		}
+		// Tail: the update is durable on every replica; release the
+		// outputs.
+		s.emitAll(c.Outs)
+	})
 }
 
 // commit routes mutating results through the chain (outputs released at
 // the tail) and releases read-only results immediately.
 func (s *Server) commit(outs []Output, ups []Update) {
-	if len(ups) > 0 && s.next != nil {
-		s.sendChain(&chainMsg{Ups: ups, Outs: outs})
+	if len(ups) == 0 {
+		s.emitAll(outs) // read-only: nothing to make durable
 		return
 	}
-	s.emitAll(outs)
+	s.release(func() {
+		if s.next != nil {
+			s.sendChain(&chainMsg{Ups: ups, Outs: outs})
+			return
+		}
+		s.emitAll(outs)
+	})
+}
+
+// release runs fn immediately when durability is off; otherwise it
+// queues fn behind the group-commit fsync covering the updates just
+// logged. Chain forwards and switch acks thus never outrun the fsync
+// that makes their updates durable — each replica's durable state is a
+// superset of everything it has forwarded or acknowledged.
+func (s *Server) release(fn func()) {
+	if s.dur == nil {
+		fn()
+		return
+	}
+	s.pend = append(s.pend, fn)
+	s.fsync.Arm(s.sim.Now() + netsim.Duration(s.durCfg.FsyncDelay))
+}
+
+func (s *Server) fireFsync() {
+	if s.dead {
+		return
+	}
+	if err := s.dur.Sync(int64(s.sim.Now())); err != nil {
+		// If the log cannot be persisted, acknowledging would be lying;
+		// crash cold so recovery re-derives state from what did persist.
+		s.crash(true)
+		return
+	}
+	pend := s.pend
+	s.pend = nil
+	for _, fn := range pend {
+		fn()
+	}
 }
 
 // emitAll releases outputs to switches. When a batched commit produced
@@ -363,6 +551,7 @@ func (s *Server) emitBatch(dstSwitch int, msgs []*wire.Message) {
 }
 
 func (s *Server) sendChain(c *chainMsg) {
+	c.View = s.view // stamp (and re-stamp on forward) with the sender's view
 	f := &netsim.Frame{
 		Src: s.IP, Dst: s.next.IP,
 		Flow: packet.FiveTuple{Src: s.IP, Dst: s.next.IP,
@@ -405,6 +594,9 @@ func (s *Server) armWake() {
 func (s *Server) fireWake() {
 	if s.dead {
 		return // Recover re-arms the wake timer
+	}
+	if !s.inChain {
+		return // rejoin re-arms via SetView
 	}
 	before := s.shard.Stats
 	outs, ups := s.shard.Flush(int64(s.sim.Now()))

@@ -121,6 +121,13 @@ type Shard struct {
 	cfg   Config
 	flows map[packet.FiveTuple]*flowState
 
+	// walHook, when set, observes every state mutation the shard performs
+	// — one call per Update, in apply order, before the mutation's
+	// outputs reach the transport. The durability layer appends these to
+	// the write-ahead log; the transport then holds the outputs until the
+	// covering fsync (group commit).
+	walHook func(Update)
+
 	// Stats accumulates observability counters.
 	Stats Stats
 }
@@ -170,6 +177,20 @@ func NewShard(cfg Config) *Shard {
 // LeasePeriod returns the configured lease duration.
 func (s *Shard) LeasePeriod() time.Duration { return s.cfg.LeasePeriod }
 
+// SetWALHook installs (or clears, with nil) the apply-log hook. Restore
+// paths install it only after WAL replay so replayed updates are not
+// re-logged.
+func (s *Shard) SetWALHook(fn func(Update)) { s.walHook = fn }
+
+func (s *Shard) logUps(ups []Update) {
+	if s.walHook == nil {
+		return
+	}
+	for _, up := range ups {
+		s.walHook(up)
+	}
+}
+
 func (s *Shard) flow(key packet.FiveTuple) *flowState {
 	f, ok := s.flows[key]
 	if !ok {
@@ -188,6 +209,12 @@ func (s *Shard) Flows() int { return len(s.flows) }
 // switches until the chain has committed the updates; the transport layer
 // enforces that.
 func (s *Shard) Process(now int64, m *wire.Message) (outs []Output, ups []Update) {
+	outs, ups = s.process(now, m)
+	s.logUps(ups)
+	return outs, ups
+}
+
+func (s *Shard) process(now int64, m *wire.Message) (outs []Output, ups []Update) {
 	switch m.Type {
 	case wire.MsgLeaseNew:
 		return s.processLeaseNew(now, m)
@@ -499,6 +526,7 @@ func (s *Shard) Flush(now int64) (outs []Output, ups []Update) {
 			ups = append(ups, up)
 		}
 	}
+	s.logUps(ups)
 	return outs, ups
 }
 
@@ -519,6 +547,9 @@ func (s *Shard) NextWake() int64 {
 
 // Apply installs a chain-replication update from a predecessor, verbatim.
 func (s *Shard) Apply(up Update) {
+	if s.walHook != nil {
+		s.walHook(up)
+	}
 	f := s.flow(up.Key)
 	if up.HasSnap {
 		if f.snapSlots == nil || epochNewer(up.SnapEpoch, f.snapEpoch) {
@@ -538,6 +569,38 @@ func (s *Shard) Apply(up Update) {
 	f.owner = up.Owner
 	f.leaseExpiry = up.LeaseExpiry
 	f.exists = up.Exists
+}
+
+// CloneFrom replaces this shard's flow table with a deep copy of src's —
+// the rejoin resync: a re-splicing replica adopts the chain's current
+// truth wholesale. Waiting queues are not cloned (they hold the source
+// transport's buffered lease requests; requesters retransmit). The copy
+// bypasses the WAL hook by design — after a clone the WAL no longer
+// reflects the shard, so the caller MUST take a fresh checkpoint before
+// relying on durability again. Returns the number of flows copied.
+func (s *Shard) CloneFrom(src *Shard) int {
+	flows := make(map[packet.FiveTuple]*flowState, len(src.flows))
+	for k, f := range src.flows {
+		nf := &flowState{
+			exists:       f.exists,
+			vals:         append([]uint64(nil), f.vals...),
+			lastSeq:      f.lastSeq,
+			owner:        f.owner,
+			leaseExpiry:  f.leaseExpiry,
+			snapEpoch:    f.snapEpoch,
+			lastSnapshot: append([]uint64(nil), f.lastSnapshot...),
+			lastSnapTime: f.lastSnapTime,
+		}
+		if f.snapSlots != nil {
+			nf.snapSlots = make(map[uint32]uint64, len(f.snapSlots))
+			for slot, v := range f.snapSlots {
+				nf.snapSlots[slot] = v
+			}
+		}
+		flows[k] = nf
+	}
+	s.flows = flows
+	return len(flows)
 }
 
 // State returns a copy of the flow's current values and last applied

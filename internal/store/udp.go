@@ -8,6 +8,9 @@ import (
 	"sync"
 	"time"
 
+	"redplane/internal/durable"
+	"redplane/internal/obs"
+	"redplane/internal/packet"
 	"redplane/internal/wire"
 )
 
@@ -20,6 +23,13 @@ import (
 type UDPServer struct {
 	shard *Shard
 	conn  *net.UDPConn
+
+	// dur, when non-nil, persists every mutation to a write-ahead log and
+	// syncs it before the mutation's effect leaves the process (chain
+	// relay or switch reply) — kill -9 then restart with the same -wal-dir
+	// recovers the shard from checkpoint + WAL tail. The real server syncs
+	// synchronously instead of group-committing behind a virtual timer.
+	dur *Durability
 
 	// next is the chain successor's address (nil = tail / no chain).
 	next *net.UDPAddr
@@ -60,11 +70,46 @@ func NewUDPServer(addr, nextAddr string, cfg Config) (*UDPServer, error) {
 	return s, nil
 }
 
+// EnableDurability attaches a durable backend (typically a DirBackend
+// over -wal-dir) to the server: the current shard is replaced by one
+// recovered from the backend's newest checkpoint plus the WAL tail, and
+// every later mutation is logged and fsynced before its ack or chain
+// relay escapes. Call before Serve. Returns the number of WAL records
+// replayed past the checkpoint.
+func (s *UDPServer) EnableDurability(be durable.Backend, cfg DurabilityConfig) (int, error) {
+	d, err := NewDurability(be, cfg, obs.NewRegistry().NS("store"))
+	if err != nil {
+		return 0, err
+	}
+	sh, replayed, err := d.Restore(s.shard.cfg)
+	if err != nil {
+		return 0, err
+	}
+	s.shard = sh
+	s.dur = d
+	return replayed, nil
+}
+
 // Addr returns the bound address.
 func (s *UDPServer) Addr() net.Addr { return s.conn.LocalAddr() }
 
-// Shard exposes the underlying shard (tests).
+// Shard exposes the underlying shard. The shard is not concurrency-safe:
+// while Serve runs, use State/Digest instead, which take the server lock.
 func (s *UDPServer) Shard() *Shard { return s.shard }
+
+// State reads a flow's state under the server lock.
+func (s *UDPServer) State(key packet.FiveTuple) (vals []uint64, lastSeq uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shard.State(key)
+}
+
+// Digest hashes the shard's committed state under the server lock.
+func (s *UDPServer) Digest() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shard.Digest()
+}
 
 // Close shuts the server down.
 func (s *UDPServer) Close() error {
@@ -126,7 +171,11 @@ func (s *UDPServer) handleDatagram(b []byte, from *net.UDPAddr, enc *[]byte) {
 			s.addrs[m.SwitchID] = origin
 		}
 		outs, ups := s.shard.ProcessBatch(time.Now().UnixNano(), bt.Msgs)
+		durableOK := len(ups) == 0 || s.syncDur()
 		s.mu.Unlock()
+		if !durableOK {
+			return // never ack or relay what isn't durable; the switch retransmits
+		}
 		if len(ups) > 0 && s.next != nil {
 			s.relay(b, origin, enc)
 			return
@@ -144,7 +193,11 @@ func (s *UDPServer) handleDatagram(b []byte, from *net.UDPAddr, enc *[]byte) {
 	s.mu.Lock()
 	s.addrs[m.SwitchID] = origin
 	outs, ups := s.shard.Process(time.Now().UnixNano(), &m)
+	durableOK := len(ups) == 0 || s.syncDur()
 	s.mu.Unlock()
+	if !durableOK {
+		return
+	}
 
 	if len(ups) > 0 && s.next != nil {
 		// Mutation: push it down the chain; the tail will reply.
@@ -204,6 +257,21 @@ func (s *UDPServer) reply(o Output, to *net.UDPAddr, enc *[]byte) {
 	s.Replies++
 }
 
+// syncDur fsyncs every staged WAL record (checkpointing when the log
+// has grown enough) and reports whether the mutation batch may escape.
+// Caller holds s.mu; a failed sync keeps the records staged so the next
+// attempt retries them.
+func (s *UDPServer) syncDur() bool {
+	if s.dur == nil {
+		return true
+	}
+	if err := s.dur.Sync(time.Now().UnixNano()); err != nil {
+		log.Printf("store: wal sync: %v", err)
+		return false
+	}
+	return true
+}
+
 // flushLoop periodically grants queued lease requests whose blocking
 // leases expired, replying to the requesters' recorded addresses.
 func (s *UDPServer) flushLoop(stop chan struct{}) {
@@ -216,7 +284,10 @@ func (s *UDPServer) flushLoop(stop chan struct{}) {
 			return
 		case <-t.C:
 			s.mu.Lock()
-			outs, _ := s.shard.Flush(time.Now().UnixNano())
+			outs, ups := s.shard.Flush(time.Now().UnixNano())
+			// Deferred grants mutate lease ownership, so they too must be
+			// durable before the grant escapes.
+			durableOK := len(ups) == 0 || s.syncDur()
 			grants := make([]Output, len(outs))
 			copy(grants, outs)
 			addr := make(map[int]*net.UDPAddr, len(s.addrs))
@@ -224,6 +295,9 @@ func (s *UDPServer) flushLoop(stop chan struct{}) {
 				addr[k] = v
 			}
 			s.mu.Unlock()
+			if !durableOK {
+				continue
+			}
 			for _, o := range grants {
 				if a, ok := addr[o.DstSwitch]; ok {
 					s.reply(o, a, &enc)

@@ -63,7 +63,7 @@ func TestUDPLeaseAndReplicate(t *testing.T) {
 	if ack.Type != wire.MsgReplAck || ack.Seq != 1 {
 		t.Fatalf("repl ack = %+v", ack)
 	}
-	vals, seq, ok := servers[0].Shard().State(udpKey())
+	vals, seq, ok := servers[0].State(udpKey())
 	if !ok || seq != 1 || vals[0] != 42 {
 		t.Fatalf("state = %v seq=%d ok=%v", vals, seq, ok)
 	}
@@ -91,7 +91,7 @@ func TestUDPChainTailReplies(t *testing.T) {
 	deadline := time.Now().Add(time.Second)
 	for _, srv := range servers {
 		for {
-			_, seq, ok := srv.Shard().State(udpKey())
+			_, seq, ok := srv.State(udpKey())
 			if ok && seq == 1 {
 				break
 			}
@@ -146,7 +146,7 @@ func TestUDPStaleWriteRejected(t *testing.T) {
 	if ack.Seq != 2 {
 		t.Fatalf("cumulative ack seq = %d", ack.Seq)
 	}
-	vals, _, _ := servers[0].Shard().State(udpKey())
+	vals, _, _ := servers[0].State(udpKey())
 	if vals[0] != 20 {
 		t.Fatalf("stale write applied: %v", vals)
 	}

@@ -284,7 +284,7 @@ func TestUDPRequestBatchThroughChain(t *testing.T) {
 	deadline := time.Now().Add(time.Second)
 	for _, srv := range servers {
 		for {
-			vals, seq, ok := srv.Shard().State(udpKey())
+			vals, seq, ok := srv.State(udpKey())
 			if ok && seq == 3 && vals[0] == 30 {
 				break
 			}
@@ -294,9 +294,9 @@ func TestUDPRequestBatchThroughChain(t *testing.T) {
 			time.Sleep(5 * time.Millisecond)
 		}
 	}
-	d := servers[0].Shard().Digest()
+	d := servers[0].Digest()
 	for i, srv := range servers[1:] {
-		if srv.Shard().Digest() != d {
+		if srv.Digest() != d {
 			t.Errorf("replica %d digest disagrees", i+1)
 		}
 	}

@@ -42,6 +42,9 @@ go test -run '^$' -benchmem -bench 'DeploymentPacketPath' . | tee "$tmp/path.txt
 echo "== throughput sweep (egress batching on vs off) =="
 go test -run '^$' -benchtime 1x -bench 'ThroughputBatching' . | tee "$tmp/tput.txt"
 
+echo "== durability cost (store volatile vs WAL + group commit) =="
+go test -run '^$' -benchtime 1x -bench 'ThroughputDurability' . | tee "$tmp/dur.txt"
+
 if [ $short -eq 0 ]; then
     echo "== figure benchmarks =="
     go test -run '^$' -benchtime 1x -bench 'Fig8|Fig10|Fig13' . | tee "$tmp/figs.txt"
@@ -99,7 +102,7 @@ if ! cmp -s "$tmp/chaos-batch-on.txt" "$tmp/chaos-batch-off.txt"; then
 fi
 
 echo "== writing $out =="
-cat "$tmp"/micro.txt "$tmp"/path.txt "$tmp"/tput.txt "$tmp"/figs.txt "$tmp"/wall.txt 2>/dev/null |
+cat "$tmp"/micro.txt "$tmp"/path.txt "$tmp"/tput.txt "$tmp"/dur.txt "$tmp"/figs.txt "$tmp"/wall.txt 2>/dev/null |
     go run ./cmd/benchjson -date "$date" -out "$out" \
         ${BASELINE:+-baseline "$BASELINE"} \
         -note "scripts/bench.sh$([ $short -eq 1 ] && echo ' -short' || true)"

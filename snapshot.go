@@ -45,6 +45,18 @@ type SnapshotTotals struct {
 	// unexpired lease existed — always zero for a correct protocol (the
 	// chaos harness asserts this).
 	StoreOverlappingGrants uint64
+	// StoreWALBytes sums durable write-ahead-log bytes over all servers
+	// (zero with durability off).
+	StoreWALBytes uint64
+	// StoreStaleViewDrops counts chain/request messages fenced for
+	// carrying a stale view number or arriving at a spliced-out replica.
+	StoreStaleViewDrops uint64
+	// Membership reflects the chain coordinator's activity (zero values
+	// without StoreMembership).
+	MemberViewChanges uint64
+	MemberSpliceOuts  uint64
+	MemberRejoins     uint64
+	MemberResyncFlows uint64
 }
 
 // Snapshot captures the current counters of every switch and store
@@ -77,7 +89,16 @@ func (d *Deployment) Snapshot() DeploymentSnapshot {
 			snap.Totals.StoreDroppedRequests += st.DroppedRequests
 			snap.Totals.StoreShedMsgs += st.ShedMsgs
 			snap.Totals.StoreOverlappingGrants += st.Shard.OverlappingGrants
+			snap.Totals.StoreWALBytes += st.WALBytes
+			snap.Totals.StoreStaleViewDrops += st.StaleViewDrops
 		}
+	}
+	if d.Coordinator != nil {
+		ms := d.Coordinator.Stats()
+		snap.Totals.MemberViewChanges = ms.ViewChanges
+		snap.Totals.MemberSpliceOuts = ms.SpliceOuts
+		snap.Totals.MemberRejoins = ms.Rejoins
+		snap.Totals.MemberResyncFlows = ms.ResyncFlows
 	}
 	return snap
 }

@@ -179,6 +179,22 @@ func BenchmarkFig14Failover(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineFailover compares the chain and quorum replication
+// engines on the same synchronous write workload: healthy goodput, p50
+// commit latency, and the delivery stall across a store head (= quorum
+// leader) cold crash with the membership coordinator splicing.
+func BenchmarkEngineFailover(b *testing.B) {
+	skipUnderRace(b)
+	for i := 0; i < b.N; i++ {
+		rows := experiments.EngineFailover(int64(i+1), 1200*time.Millisecond)
+		for _, r := range rows {
+			b.ReportMetric(r.GoodputKpps, r.Engine+"-goodput-kpps")
+			b.ReportMetric(float64(r.P50Latency)/1e3, r.Engine+"-p50-µs")
+			b.ReportMetric(float64(r.FailoverStall)/1e3, r.Engine+"-failover-µs")
+		}
+	}
+}
+
 // BenchmarkFig15BufferOccupancy reproduces Fig. 15: retransmission buffer
 // occupancy vs rate and request loss. Reports the worst corner.
 func BenchmarkFig15BufferOccupancy(b *testing.B) {

@@ -8,8 +8,9 @@
 //
 //	redplane-chaos [-seed N] [-campaigns N] [-parallel N]
 //	               [-profile default|flap|storm|coldrestart]
-//	               [-mode both|linearizable|bounded] [-duration D]
-//	               [-batch-window D] [-out dir] [-break-norevoke] [-v]
+//	               [-mode both|linearizable|bounded] [-engine chain|quorum]
+//	               [-duration D] [-batch-window D] [-out dir]
+//	               [-break-norevoke] [-v]
 //	               [-cpuprofile file] [-memprofile file]
 //	redplane-chaos -replay chaos-<seed>.json [-break-norevoke]
 //
@@ -34,6 +35,7 @@ import (
 
 	"redplane/internal/chaos"
 	"redplane/internal/profiling"
+	"redplane/internal/repl"
 	"redplane/internal/runner"
 )
 
@@ -43,6 +45,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker goroutines for campaigns (0 = one per core)")
 	profile := flag.String("profile", "default", "fault-rate profile: default, flap, storm, coldrestart")
 	mode := flag.String("mode", "both", "consistency mode: both, linearizable, bounded")
+	engine := flag.String("engine", "chain", "store replication engine: chain or quorum")
 	duration := flag.Duration("duration", 0, "active phase per campaign (0 = default 1.5s)")
 	out := flag.String("out", ".", "directory for violation dumps")
 	replay := flag.String("replay", "", "replay a chaos-<seed>.json repro instead of running campaigns")
@@ -72,6 +75,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
 		os.Exit(2)
 	}
+	// The default engine is recorded as "" so default-engine reports and
+	// repro dumps stay byte-identical to pre-engine releases.
+	eng := *engine
+	if eng == repl.EngineChain {
+		eng = ""
+	}
+	if err := (repl.Config{Engine: eng}).Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
 	var bounded []bool
 	switch *mode {
 	case "both":
@@ -98,7 +111,7 @@ func main() {
 	for i := 0; i < *campaigns; i++ {
 		for _, b := range bounded {
 			cfgs = append(cfgs, chaos.Config{
-				Seed: *seed + int64(i), Bounded: b,
+				Seed: *seed + int64(i), Engine: eng, Bounded: b,
 				Duration: *duration, Profile: prof, BreakNoRevoke: *breakKnob,
 				BatchWindow: bw,
 			})
@@ -117,14 +130,14 @@ func main() {
 	for i, r := range results {
 		if r.Passed() {
 			if *verbose {
-				fmt.Printf("PASS seed=%d mode=%s profile=%s ops=%d faults=%d\n",
-					r.Seed, r.Mode, r.Profile, r.Ops, len(r.Faults))
+				fmt.Printf("PASS seed=%d mode=%s profile=%s%s ops=%d faults=%d\n",
+					r.Seed, r.Mode, r.Profile, engTag(r.Engine), r.Ops, len(r.Faults))
 			}
 			continue
 		}
 		failed++
-		fmt.Printf("FAIL seed=%d mode=%s profile=%s ops=%d faults=%d shrunk=%d\n",
-			r.Seed, r.Mode, r.Profile, r.Ops, len(r.Faults), len(r.Shrunk))
+		fmt.Printf("FAIL seed=%d mode=%s profile=%s%s ops=%d faults=%d shrunk=%d\n",
+			r.Seed, r.Mode, r.Profile, engTag(r.Engine), r.Ops, len(r.Faults), len(r.Shrunk))
 		for _, v := range r.Violations {
 			fmt.Printf("  %s\n", v)
 		}
@@ -136,6 +149,15 @@ func main() {
 		stopProf()
 		os.Exit(1)
 	}
+}
+
+// engTag renders the non-default engine as a report-line suffix; the
+// chain default renders empty so default output is unchanged.
+func engTag(e string) string {
+	if e == "" {
+		return ""
+	}
+	return " engine=" + e
 }
 
 // dump writes the minimal repro and its obs trace next to each other.
@@ -186,7 +208,8 @@ func replayRepro(path string, breakKnob bool) int {
 	}
 	cfg := rep.ReplayConfig()
 	cfg.BreakNoRevoke = breakKnob
-	fmt.Printf("replaying %s: seed=%d mode=%s faults=%d\n", path, rep.Seed, rep.Mode, len(rep.Faults))
+	fmt.Printf("replaying %s: seed=%d mode=%s%s faults=%d\n",
+		path, rep.Seed, rep.Mode, engTag(rep.Engine), len(rep.Faults))
 	for _, f := range rep.Faults {
 		fmt.Printf("  %s\n", f)
 	}

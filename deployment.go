@@ -88,8 +88,20 @@ type DeploymentConfig struct {
 	// (default 2, as on the paper's testbed).
 	Switches int
 
+	// Replication groups the replication knobs — engine name (EngineChain,
+	// EngineQuorum), group size, store queue bound, switch flush window,
+	// group-commit fsync delay — in one sub-struct, mirroring Baseline and
+	// Ablation. Zero fields fall back to the flat legacy knobs
+	// (StoreReplicas, StoreQueueMaxMsgs, Protocol.FlushWindow,
+	// StoreDurability.FsyncDelay) for one release; a set field wins over
+	// its alias.
+	Replication ReplicationConfig
+
 	// StoreShards and StoreReplicas shape the state store (defaults 1
-	// shard, 3-way chain replication, as in the prototype).
+	// shard, 3-way replication, as in the prototype).
+	//
+	// Deprecated: set Replication.Replicas instead of StoreReplicas; this
+	// alias is honored for one release.
 	StoreShards, StoreReplicas int
 
 	// StoreService is the per-request service time at a store server
@@ -99,6 +111,9 @@ type DeploymentConfig struct {
 	// StoreQueueMaxMsgs bounds each store server's service backlog by
 	// message count (zero means store.DefaultQueueMaxMsgs); overload
 	// beyond it is shed and counted rather than queued without bound.
+	//
+	// Deprecated: set Replication.QueueMaxMsgs; this alias is honored for
+	// one release.
 	StoreQueueMaxMsgs int
 
 	// StoreMaxWaiting caps each flow's buffered-lease-request queue at
@@ -112,10 +127,11 @@ type DeploymentConfig struct {
 	// store.DurabilityConfig.
 	StoreDurability store.DurabilityConfig
 
-	// StoreMembership enables the chain membership coordinator: dead
-	// replicas are spliced out of their chain (head/tail promotion),
-	// stale views are fenced, and recovered replicas resync and rejoin
-	// as tail. Without it the chain topology is fixed at construction.
+	// StoreMembership enables the group membership coordinator: dead
+	// replicas are spliced out of their replication group (preserving
+	// survivor order), stale views are fenced, and recovered replicas
+	// resync and rejoin. Without it the group topology is fixed at
+	// construction.
 	StoreMembership bool
 
 	// StoreMember tunes the coordinator (zero values mean defaults).
@@ -215,6 +231,20 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 	if cfg.StoreShards == 0 {
 		cfg.StoreShards = 1
 	}
+	// One release of aliases: the grouped Replication knobs win over the
+	// flat legacy fields when set; legacy fields keep working otherwise.
+	if err := cfg.Replication.Validate(); err != nil {
+		panic("redplane: " + err.Error())
+	}
+	if cfg.Replication.Replicas != 0 {
+		cfg.StoreReplicas = cfg.Replication.Replicas
+	}
+	if cfg.Replication.QueueMaxMsgs != 0 {
+		cfg.StoreQueueMaxMsgs = cfg.Replication.QueueMaxMsgs
+	}
+	if cfg.Replication.FsyncDelay != 0 {
+		cfg.StoreDurability.FsyncDelay = cfg.Replication.FsyncDelay
+	}
 	if cfg.StoreReplicas == 0 {
 		cfg.StoreReplicas = 3
 	}
@@ -223,6 +253,9 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 	}
 	if cfg.Protocol.LeasePeriod == 0 {
 		cfg.Protocol = DefaultProtocolConfig()
+	}
+	if cfg.Replication.FlushWindow != 0 {
+		cfg.Protocol.FlushWindow = cfg.Replication.FlushWindow
 	}
 	if cfg.Fabric.Delay == 0 && cfg.Fabric.Bandwidth == 0 {
 		cfg.Fabric = netsim.LinkConfig{Delay: 800 * time.Nanosecond, Bandwidth: 100e9}
@@ -262,6 +295,22 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 
 	var locator core.StoreLocator
 	if !cfg.Baseline.NoStore {
+		opts := []store.Option{store.WithEngine(cfg.Replication.Engine)}
+		if cfg.StoreQueueMaxMsgs > 0 {
+			opts = append(opts, store.WithQueueMaxMsgs(cfg.StoreQueueMaxMsgs))
+		}
+		if cfg.StoreDurability.Enabled {
+			d.storeBEs = make([][]*durable.MemBackend, cfg.StoreShards)
+			for sh := range d.storeBEs {
+				d.storeBEs[sh] = make([]*durable.MemBackend, cfg.StoreReplicas)
+			}
+			opts = append(opts, store.WithDurability(cfg.StoreDurability,
+				func(shard, replica int) durable.Backend {
+					be := durable.NewMemBackend()
+					d.storeBEs[shard][replica] = be
+					return be
+				}))
+		}
 		d.Cluster = store.NewCluster(sim, cfg.StoreShards, cfg.StoreReplicas,
 			store.Config{
 				LeasePeriod:    cfg.Protocol.LeasePeriod,
@@ -274,23 +323,8 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 			cfg.StoreService,
 			func(shard, replica int) packet.Addr {
 				return packet.MakeAddr(10, 100, byte(shard+1), byte(replica+1))
-			})
-		if cfg.StoreQueueMaxMsgs > 0 {
-			d.Cluster.SetQueueMaxMsgs(cfg.StoreQueueMaxMsgs)
-		}
-		if cfg.StoreDurability.Enabled {
-			d.storeBEs = make([][]*durable.MemBackend, cfg.StoreShards)
-			for sh := 0; sh < cfg.StoreShards; sh++ {
-				d.storeBEs[sh] = make([]*durable.MemBackend, cfg.StoreReplicas)
-				for r := 0; r < cfg.StoreReplicas; r++ {
-					be := durable.NewMemBackend()
-					d.storeBEs[sh][r] = be
-					if err := d.Cluster.Server(sh, r).EnableDurability(be, cfg.StoreDurability); err != nil {
-						panic(fmt.Sprintf("redplane: enable durability: %v", err))
-					}
-				}
-			}
-		}
+			},
+			opts...)
 		if cfg.StoreMembership {
 			d.Coordinator = member.New(sim, d.Cluster, cfg.StoreMember)
 			d.Coordinator.Start()

@@ -139,6 +139,11 @@ var Profiles = map[string]Profile{
 type Config struct {
 	// Seed drives both schedule generation and the simulation.
 	Seed int64
+	// Engine selects the store's replication engine (repl.EngineChain,
+	// repl.EngineQuorum); empty means the chain default. Every checker
+	// must reach the same verdict whichever engine a seed runs on — the
+	// equivalence the engines test suite asserts.
+	Engine string
 	// Bounded selects the bounded-inconsistency workload and checkers;
 	// default is the linearizable known-answer KV workload.
 	Bounded bool
@@ -202,7 +207,11 @@ func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
 // Result is one campaign's verdict. Marshaling it yields a byte-stable
 // report: every field is derived deterministically from the seed.
 type Result struct {
-	Seed     int64         `json:"seed"`
+	Seed int64 `json:"seed"`
+	// Engine is the replication engine the campaign ran on; empty means
+	// the chain default (omitted from reports so default-engine output is
+	// byte-identical to pre-engine releases).
+	Engine   string        `json:"engine,omitempty"`
 	Mode     string        `json:"mode"`
 	Profile  string        `json:"profile"`
 	Duration time.Duration `json:"duration"`
@@ -225,6 +234,7 @@ func (r Result) Passed() bool { return len(r.Violations) == 0 }
 // Repro is the replayable violation dump written as chaos-<seed>.json.
 type Repro struct {
 	Seed     int64         `json:"seed"`
+	Engine   string        `json:"engine,omitempty"`
 	Mode     string        `json:"mode"`
 	Profile  string        `json:"profile"`
 	Duration time.Duration `json:"duration"`
@@ -236,8 +246,9 @@ type Repro struct {
 // WriteRepro dumps the shrunk schedule and its violations to path.
 func WriteRepro(path string, r Result) error {
 	rep := Repro{
-		Seed: r.Seed, Mode: r.Mode, Profile: r.Profile, Duration: r.Duration,
-		Faults: r.Shrunk, Violations: r.Violations,
+		Seed: r.Seed, Engine: r.Engine, Mode: r.Mode, Profile: r.Profile,
+		Duration: r.Duration,
+		Faults:   r.Shrunk, Violations: r.Violations,
 	}
 	if rep.Faults == nil {
 		rep.Faults = r.Faults
@@ -266,7 +277,7 @@ func LoadRepro(path string) (Repro, error) {
 // reproduces it (the faults are passed explicitly to Replay).
 func (rep Repro) ReplayConfig() Config {
 	cfg := Config{
-		Seed: rep.Seed, Duration: rep.Duration,
+		Seed: rep.Seed, Engine: rep.Engine, Duration: rep.Duration,
 		Bounded: rep.Mode == "bounded",
 	}
 	if p, ok := Profiles[rep.Profile]; ok {

@@ -1,0 +1,130 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"redplane/internal/repl"
+	"redplane/internal/runner"
+)
+
+// violationStrings renders a campaign's violations for cross-engine
+// comparison. Only the verdict is compared — op counts and fault timing
+// interleave differently per engine, but every checker must reach the
+// same conclusion about the same seed whichever engine replicates the
+// store.
+func violationStrings(r Result) []string {
+	out := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// TestEngineVerdictEquivalence runs the same seeded campaigns on the
+// chain and quorum engines and asserts the violation verdicts are
+// identical — the contract that lets the chaos suite certify a new
+// engine without new checkers. Clean seeds must be clean on both.
+func TestEngineVerdictEquivalence(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 6
+	}
+	type campaign struct {
+		seed    int64
+		bounded bool
+	}
+	var cases []campaign
+	for s := int64(1); s <= int64(seeds); s++ {
+		cases = append(cases, campaign{s, false}, campaign{s, true})
+	}
+
+	// Each (seed, mode, engine) campaign owns a private simulator, so the
+	// whole matrix fans across the worker pool.
+	units := make([]func() [2]Result, len(cases))
+	for i, c := range cases {
+		c := c
+		units[i] = func() [2]Result {
+			base := Config{Seed: c.seed, Bounded: c.bounded, Duration: 500 * time.Millisecond}
+			chainCfg := base
+			quorumCfg := base
+			quorumCfg.Engine = repl.EngineQuorum
+			return [2]Result{Run(chainCfg), Run(quorumCfg)}
+		}
+	}
+	results := runner.Map(0, units)
+
+	for i, pair := range results {
+		c := cases[i]
+		chain, quorum := pair[0], pair[1]
+		cv, qv := violationStrings(chain), violationStrings(quorum)
+		if len(cv) != len(qv) {
+			t.Errorf("seed %d %s: chain %d violations %v, quorum %d violations %v",
+				c.seed, modeName(c.bounded), len(cv), cv, len(qv), qv)
+			continue
+		}
+		for j := range cv {
+			if cv[j] != qv[j] {
+				t.Errorf("seed %d %s violation %d: chain %q vs quorum %q",
+					c.seed, modeName(c.bounded), j, cv[j], qv[j])
+			}
+		}
+		if !chain.Passed() {
+			t.Errorf("seed %d %s: chain engine not clean: %v", c.seed, modeName(c.bounded), cv)
+		}
+		if chain.Ops < minOps || quorum.Ops < minOps {
+			t.Errorf("seed %d %s: progress floor: chain %d ops, quorum %d ops",
+				c.seed, modeName(c.bounded), chain.Ops, quorum.Ops)
+		}
+	}
+}
+
+func modeName(bounded bool) string {
+	if bounded {
+		return "bounded"
+	}
+	return "linearizable"
+}
+
+// TestEngineEquivalenceCatchesBrokenKnob: verdict equivalence includes
+// failing verdicts — the intentionally-broken no-revoke knob must be
+// caught on the quorum engine exactly as it is on chain, and the shrunk
+// repro must replay to a failure on the same engine.
+func TestEngineEquivalenceCatchesBrokenKnob(t *testing.T) {
+	cfg := Config{
+		Seed: 5, Engine: repl.EngineQuorum, Duration: 800 * time.Millisecond,
+		Profile: Profiles["flap"], BreakNoRevoke: true,
+	}
+	r := Run(cfg)
+	if r.Passed() {
+		t.Fatal("broken no-revoke knob not caught on the quorum engine")
+	}
+	if len(r.Shrunk) == 0 {
+		t.Fatal("violating quorum campaign was not shrunk")
+	}
+	if r.Engine != repl.EngineQuorum {
+		t.Fatalf("result engine = %q", r.Engine)
+	}
+	if Replay(cfg, r.Shrunk).Passed() {
+		t.Fatal("shrunk schedule does not reproduce on the quorum engine")
+	}
+}
+
+// TestQuorumProfilesClean: the storm and coldrestart profiles (the
+// fault mixes that exercise promotion, cold recovery, and rejoin) stay
+// clean on the quorum engine.
+func TestQuorumProfilesClean(t *testing.T) {
+	profiles := []string{"flap", "storm", "coldrestart"}
+	if testing.Short() {
+		profiles = profiles[:1]
+	}
+	for _, name := range profiles {
+		cfg := Config{
+			Seed: 2, Engine: repl.EngineQuorum,
+			Duration: 500 * time.Millisecond, Profile: Profiles[name],
+		}
+		if r := Run(cfg); !r.Passed() {
+			t.Errorf("quorum profile %s: %v", name, r.Violations[0])
+		}
+	}
+}

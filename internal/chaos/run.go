@@ -56,7 +56,8 @@ func Run(cfg Config) Result {
 	cfg = cfg.withDefaults()
 	faults := Generate(cfg)
 	res := Result{
-		Seed: cfg.Seed, Mode: cfg.ModeName(), Profile: cfg.Profile.Name,
+		Seed: cfg.Seed, Engine: cfg.Engine, Mode: cfg.ModeName(),
+		Profile:  cfg.Profile.Name,
 		Duration: cfg.Duration, Faults: faults,
 	}
 	r := runOnce(cfg, faults)
@@ -75,7 +76,8 @@ func Replay(cfg Config, faults []Fault) Result {
 	cfg = cfg.withDefaults()
 	r := runOnce(cfg, faults)
 	return Result{
-		Seed: cfg.Seed, Mode: cfg.ModeName(), Profile: cfg.Profile.Name,
+		Seed: cfg.Seed, Engine: cfg.Engine, Mode: cfg.ModeName(),
+		Profile:  cfg.Profile.Name,
 		Duration: cfg.Duration, Faults: faults,
 		Ops: r.Ops, Violations: r.Violations,
 	}
@@ -173,6 +175,7 @@ func runLinearizable(cfg Config, faults []Fault) runResult {
 		NewApp:          func(int) redplane.App { return &apps.KVStore{} },
 		Mode:            redplane.Linearizable,
 		Protocol:        proto,
+		Replication:     redplane.ReplicationConfig{Engine: cfg.Engine},
 		RecordJournal:   true,
 		Obs:             redplane.ObsConfig{TraceEvents: traceCap},
 		Ablation:        redplane.AblationConfig{StoreNoRevoke: cfg.BreakNoRevoke},
@@ -343,8 +346,8 @@ func checkStoreInvariants(d *redplane.Deployment) []Violation {
 }
 
 func runBounded(cfg Config, faults []Fault) runResult {
-	drv, d := newBoundedDriver(cfg.Seed, faults, snapshotPeriod, leasePeriod, cfg.BatchWindow,
-		NeedsDurability(cfg, faults))
+	drv, d := newBoundedDriver(cfg.Seed, cfg.Engine, faults, snapshotPeriod, leasePeriod,
+		cfg.BatchWindow, NeedsDurability(cfg, faults))
 	activeEnd := netsim.Duration(warmup + cfg.Duration)
 	end := activeEnd + netsim.Duration(quiesce)
 	drv.start(activeEnd)

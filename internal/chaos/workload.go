@@ -206,7 +206,7 @@ type boundedDriver struct {
 
 const boundedFlows = 8
 
-func newBoundedDriver(seed int64, faults []Fault, snapshotPeriod, leasePeriod,
+func newBoundedDriver(seed int64, engine string, faults []Fault, snapshotPeriod, leasePeriod,
 	batchWindow time.Duration, durableRun bool) (*boundedDriver, *redplane.Deployment) {
 	b := &boundedDriver{}
 	proto := redplane.DefaultProtocolConfig()
@@ -226,6 +226,7 @@ func newBoundedDriver(seed int64, faults []Fault, snapshotPeriod, leasePeriod,
 		},
 		SnapshotSlots:   apps.NewAsyncCounter(0).Slots(),
 		Protocol:        proto,
+		Replication:     redplane.ReplicationConfig{Engine: engine},
 		Obs:             redplane.ObsConfig{TraceEvents: traceCap},
 		StoreDurability: store.DurabilityConfig{Enabled: durableRun},
 		StoreMembership: durableRun,

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"redplane/internal/repl"
+)
+
+// TestEngineFailoverShape: both engines must sustain the offered load
+// through warm-up, commit in tens of microseconds, and recover from the
+// head/leader cold crash within a handful of probe intervals. Quorum's
+// parallel majority round must not be slower than the chain's serial
+// hop path by more than a small factor.
+func TestEngineFailoverShape(t *testing.T) {
+	rows := EngineFailover(1, 600*time.Millisecond)
+	if len(rows) != 2 || rows[0].Engine != repl.EngineChain || rows[1].Engine != repl.EngineQuorum {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.GoodputKpps < 15 {
+			t.Errorf("%s: goodput %.1f kpps, want ~20 (offered load)", r.Engine, r.GoodputKpps)
+		}
+		if r.P50Latency <= 0 || r.P50Latency > time.Millisecond {
+			t.Errorf("%s: p50 commit latency %v out of range", r.Engine, r.P50Latency)
+		}
+		if r.FailoverStall < 200*time.Microsecond || r.FailoverStall > 20*time.Millisecond {
+			t.Errorf("%s: failover stall %v not in the detection-dominated range", r.Engine, r.FailoverStall)
+		}
+		if r.Delivered == 0 {
+			t.Errorf("%s: nothing delivered", r.Engine)
+		}
+	}
+	chain, quorum := rows[0], rows[1]
+	// One parallel majority round should beat two serial chain hops.
+	if quorum.P50Latency > chain.P50Latency {
+		t.Errorf("quorum p50 %v slower than chain %v", quorum.P50Latency, chain.P50Latency)
+	}
+}

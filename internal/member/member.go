@@ -1,23 +1,28 @@
-// Package member is the chain membership coordinator: the paper's
-// trusted configuration service (the role Zookeeper plays for NetChain)
-// that keeps each shard's replication chain made of live servers.
+// Package member is the replication-group membership coordinator: the
+// paper's trusted configuration service (the role Zookeeper plays for
+// NetChain) that keeps each shard's replication group made of live
+// servers, whichever engine (chain or quorum; see internal/repl) the
+// group runs.
 //
 // The coordinator probes replica liveness on a fixed interval (the
-// probe interval is its detection latency). When a chain member is
+// probe interval is its detection latency). When a group member is
 // dead it issues a new view that splices the member out, preserving the
 // order of the survivors — losing the head promotes the next replica,
 // losing the tail promotes its predecessor. Views are fenced by number:
-// every chainMsg carries its sender's view and receivers drop other
-// views' messages, so a spliced-out replica that is still draining its
-// queues cannot mutate the chain or release acknowledgments.
+// every engine message carries its sender's view (repl.Msg.ViewNum) and
+// receivers drop other views' messages, so a spliced-out replica that
+// is still draining its queues cannot mutate the group or release
+// acknowledgments.
 //
-// A recovered replica rejoins as the new tail. After a resync delay
-// (modeling the state transfer) it clones the current tail's shard —
-// adopting the chain's truth wholesale, which may discard updates the
-// rejoiner logged but the chain never acknowledged (legal: unacked
-// writes carry no durability promise) — and is spliced in only once its
-// digest agrees with the tail's. Rejoining resets the replica's
-// checkpoint, because a clone bypasses the WAL.
+// A recovered replica rejoins at the end of the member list. After a
+// resync delay (modeling the state transfer) it clones the engine's
+// resync source — the tail for chain, the leader for quorum (see
+// Cluster.ResyncSource) — adopting the group's truth wholesale, which
+// may discard updates the rejoiner logged but the group never
+// acknowledged (legal: unacked writes carry no durability promise) —
+// and is spliced in only once its digest agrees with the source's.
+// Rejoining resets the replica's checkpoint, because a clone bypasses
+// the WAL.
 //
 // Safety leans on the store's group-commit ordering: every replica
 // fsyncs before forwarding downstream or acknowledging, so any
@@ -170,9 +175,9 @@ func (co *Coordinator) probeShard(sh int) {
 }
 
 func (co *Coordinator) startResync(sh, r int) {
-	// A rejoin only makes sense against a live tail.
+	// A rejoin only makes sense against a live resync source.
 	members := co.cluster.ViewMembers(sh)
-	if len(members) == 0 || !co.cluster.Server(sh, members[len(members)-1]).Alive() {
+	if len(members) == 0 || !co.cluster.ResyncSource(sh).Alive() {
 		return
 	}
 	co.resyncing[sh][r] = true
@@ -185,10 +190,11 @@ func (co *Coordinator) startResync(sh, r int) {
 }
 
 // finishResync completes a rejoin: the recovered replica adopts the
-// current tail's state and is spliced in as the new tail, but only if
-// the world held still — the replica stayed up, the view did not move —
-// and its digest agrees with the tail's after the transfer. Any failed
-// precondition simply aborts; the next probe retries.
+// resync source's state and is spliced in at the end of the member
+// list, but only if the world held still — the replica stayed up, the
+// view did not move — and its digest agrees with the source's after the
+// transfer. Any failed precondition simply aborts; the next probe
+// retries.
 func (co *Coordinator) finishResync(sh, r int, viewAtStart uint64) {
 	if co.cluster.ViewNum(sh) != viewAtStart {
 		return
@@ -201,19 +207,19 @@ func (co *Coordinator) finishResync(sh, r int, viewAtStart uint64) {
 	if len(members) == 0 {
 		return
 	}
-	tail := co.cluster.Server(sh, members[len(members)-1])
-	if !tail.Alive() {
+	src := co.cluster.ResyncSource(sh)
+	if !src.Alive() {
 		return
 	}
 	// The clone is the resync transfer (ResyncDelay modeled its
 	// duration); cloning discards any state the rejoiner logged that the
-	// chain never acknowledged.
-	flows := srv.Shard().CloneFrom(tail.Shard())
-	if srv.Shard().Digest() != tail.Shard().Digest() {
+	// group never acknowledged.
+	flows := srv.Shard().CloneFrom(src.Shard())
+	if srv.Shard().Digest() != src.Shard().Digest() {
 		// Digest agreement is the splice-in gate. With an atomic clone it
 		// holds by construction; a real implementation transfers deltas
 		// and this check is what keeps a botched transfer out of the
-		// chain.
+		// group.
 		return
 	}
 	num := co.cluster.SetView(sh, append(members, r))

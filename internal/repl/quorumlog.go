@@ -1,0 +1,97 @@
+package repl
+
+// QuorumLog is the quorum leader's commit state machine, transport
+// independent so it can be tested exhaustively on its own. The leader
+// appends one entry per Commit, collects acknowledgments (its own after
+// its fsync, one per follower after theirs), and releases entries'
+// outputs in log order once each reaches its quorum.
+//
+// Entries release in strictly increasing sequence order. An entry that
+// never reaches its quorum — a follower missed the append while
+// crashed, or its acknowledgments were fenced across a view change — is
+// dropped the moment a later entry commits: its outputs were never
+// released, so nothing was promised, and the switch's retransmission
+// re-drives the write as a fresh entry. Dropping (rather than blocking
+// on) stragglers is what keeps one lost append from wedging the release
+// pipeline forever in membership-less deployments.
+//
+// The caller guarantees at most one acknowledgment per (replica, entry):
+// the simulator's links are reliable FIFO and followers acknowledge each
+// append exactly once.
+type QuorumLog struct {
+	next    uint64 // next sequence number to assign (first entry gets 1)
+	floor   uint64 // lowest sequence number not yet released or dropped
+	pending map[uint64]*quorumEntry
+}
+
+type quorumEntry struct {
+	outs []Output
+	acks int
+	need int
+}
+
+// Append assigns the next log sequence number to an entry holding outs,
+// requiring need acknowledgments (counting the leader's own) to commit.
+// Sequence numbers are never reused, even across Reset.
+func (l *QuorumLog) Append(outs []Output, need int) uint64 {
+	if l.pending == nil {
+		l.pending = make(map[uint64]*quorumEntry)
+		l.floor = l.next + 1
+	}
+	l.next++
+	if need < 1 {
+		need = 1
+	}
+	l.pending[l.next] = &quorumEntry{outs: outs, need: need}
+	return l.next
+}
+
+// Has reports whether seq is still a pending entry (not released,
+// dropped, or reset away).
+func (l *QuorumLog) Has(seq uint64) bool {
+	_, ok := l.pending[seq]
+	return ok
+}
+
+// Ack records one acknowledgment for seq. When that completes the
+// entry's quorum, it returns the output sets now releasable — the
+// entry's own plus any lower committed entries — in log order; entries
+// below seq still short of their quorum are dropped (see the type
+// comment). Acknowledgments for unknown sequence numbers (released,
+// dropped, or from before a Reset) are ignored.
+func (l *QuorumLog) Ack(seq uint64) [][]Output {
+	e, ok := l.pending[seq]
+	if !ok {
+		return nil
+	}
+	e.acks++
+	if e.acks < e.need {
+		return nil
+	}
+	var rel [][]Output
+	for s := l.floor; s <= seq; s++ {
+		e2, ok := l.pending[s]
+		if !ok {
+			continue
+		}
+		if e2.acks >= e2.need {
+			rel = append(rel, e2.outs)
+		}
+		delete(l.pending, s)
+	}
+	l.floor = seq + 1
+	return rel
+}
+
+// Reset drops every pending entry: the view moved or the leader
+// crashed, so nothing in flight carries an acknowledgment promise.
+// Sequence numbering continues where it left off.
+func (l *QuorumLog) Reset() {
+	for s := range l.pending {
+		delete(l.pending, s)
+	}
+	l.floor = l.next + 1
+}
+
+// Pending returns the number of entries awaiting their quorum.
+func (l *QuorumLog) Pending() int { return len(l.pending) }

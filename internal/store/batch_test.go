@@ -16,10 +16,10 @@ func TestProcessBatchCoalescesPerFlow(t *testing.T) {
 	s.Process(0, leaseNew(1, tkey(1)))
 	s.Process(0, leaseNew(1, tkey(2)))
 	batch := []*wire.Message{
-		repl(1, tkey(1), 1, 10),
-		repl(1, tkey(2), 1, 100),
-		repl(1, tkey(1), 2, 20),
-		repl(1, tkey(1), 3, 30),
+		replMsg(1, tkey(1), 1, 10),
+		replMsg(1, tkey(2), 1, 100),
+		replMsg(1, tkey(1), 2, 20),
+		replMsg(1, tkey(1), 3, 30),
 	}
 	outs, ups := s.ProcessBatch(1, batch)
 	if len(outs) != 4 {
@@ -77,7 +77,7 @@ func TestCoalesceUpdatesKeepsSnapshots(t *testing.T) {
 func TestProcessBatchSingleDelegates(t *testing.T) {
 	s := NewShard(Config{LeasePeriod: time.Second})
 	s.Process(0, leaseNew(1, tkey(1)))
-	outs, ups := s.ProcessBatch(1, []*wire.Message{repl(1, tkey(1), 1, 5)})
+	outs, ups := s.ProcessBatch(1, []*wire.Message{replMsg(1, tkey(1), 1, 5)})
 	if len(outs) != 1 || len(ups) != 1 || s.Stats.CoalescedUps != 0 {
 		t.Errorf("outs=%d ups=%d coalesced=%d", len(outs), len(ups), s.Stats.CoalescedUps)
 	}

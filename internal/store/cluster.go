@@ -2,36 +2,44 @@ package store
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"redplane/internal/netsim"
 	"redplane/internal/packet"
+	"redplane/internal/repl"
 )
 
 // Cluster is a sharded state store: flow keys hash across Shards shards,
-// and each shard is served by a replication chain of Replicas servers.
-// Topology construction places the servers on racks and wires their ports;
-// Cluster only handles shard math and server bookkeeping.
+// and each shard is served by a replication group of Replicas servers
+// (a chain by default; see internal/repl). Topology construction places
+// the servers on racks and wires their ports; Cluster only handles shard
+// math and server bookkeeping.
 type Cluster struct {
 	shards   int
 	replicas int
+	// engine names the replication engine every server runs (a
+	// repl.Engine* constant), recorded at construction for
+	// engine-dependent bookkeeping (resync source, view reconcile).
+	engine string
 	// servers[shard][replica]; the replica order is the construction-time
-	// chain order. Which replicas currently form the chain — and who is
-	// head and tail — is the shard's view.
+	// group order. Which replicas currently form the group — and who
+	// serves — is the shard's view.
 	servers [][]*Server
 	// all caches the flattened servers slice: it is rebuilt never (the
 	// server set is immutable; only views change), so per-interval stats
 	// and shed polling don't reallocate it on every call.
 	all []*Server
-	// views[shard] is the current chain view: a monotonically increasing
-	// view number plus the member replica indices in chain order.
+	// views[shard] is the current replication view: a monotonically
+	// increasing view number plus the member replica indices in group
+	// order. The number fences stale senders; see repl.Msg.ViewNum.
 	views []chainView
 }
 
-// chainView is one shard's chain configuration. Members lists replica
-// indices in chain order (head first); Num fences stale senders — every
-// chainMsg carries the sender's view number and receivers drop other
-// views' messages.
+// chainView is one shard's replication-group configuration: member
+// replica indices in group order (serving replica first) under a fencing
+// view number.
 type chainView struct {
 	num     uint64
 	members []int
@@ -39,16 +47,20 @@ type chainView struct {
 
 // NewCluster builds the servers for a shards x replicas store. Addresses
 // are assigned by the caller via the addr function (shard, replica) →
-// IP. Lease and service parameters apply to every server.
+// IP. Lease and service parameters apply to every server; opts select
+// the replication engine, queue bounds, and durability for all of them.
 func NewCluster(sim *netsim.Sim, shards, replicas int, cfg Config,
-	service time.Duration, addr func(shard, replica int) packet.Addr) *Cluster {
+	service time.Duration, addr func(shard, replica int) packet.Addr,
+	opts ...Option) *Cluster {
 	c := &Cluster{shards: shards, replicas: replicas}
+	o := applyOptions(opts)
 	for sh := 0; sh < shards; sh++ {
 		var row []*Server
 		for r := 0; r < replicas; r++ {
-			// Every replica gets its own Shard state; the chain keeps
+			// Every replica gets its own Shard state; the engine keeps
 			// them convergent.
-			srv := NewServer(sim, serverName(sh, r), addr(sh, r), NewShard(cfg), service)
+			srv := newServerRaw(sim, serverName(sh, r), addr(sh, r), NewShard(cfg), service)
+			o.configure(srv, sh, r)
 			row = append(row, srv)
 		}
 		for r := 0; r+1 < replicas; r++ {
@@ -57,6 +69,7 @@ func NewCluster(sim *netsim.Sim, shards, replicas int, cfg Config,
 		c.servers = append(c.servers, row)
 		c.all = append(c.all, row...)
 	}
+	c.engine = c.all[0].eng.Name()
 	c.views = make([]chainView, shards)
 	for sh := 0; sh < shards; sh++ {
 		members := make([]int, replicas)
@@ -102,16 +115,20 @@ func (c *Cluster) ShardFor(key packet.FiveTuple) int {
 	return int(key.SymmetricHash() % uint64(c.shards))
 }
 
-// SetView installs a new chain view for a shard: members are the
-// replica indices forming the chain, head first. The view number bumps,
-// every member is relinked and fenced to the new number, and
-// non-members are unlinked and marked out-of-chain (their requests and
-// chain messages drop until they rejoin). Returns the new view number.
+// SetView installs a new replication view for a shard: members are the
+// replica indices forming the group, serving replica first. The view
+// number bumps, every member is relinked and fenced to the new number,
+// and non-members are unlinked and marked out (their requests and engine
+// messages drop until they rejoin). Returns the new view number.
 func (c *Cluster) SetView(shard int, members []int) uint64 {
 	v := &c.views[shard]
 	v.num++
 	v.members = append(v.members[:0], members...)
 	row := c.servers[shard]
+	group := make([]*Server, len(members))
+	for i, m := range members {
+		group[i] = row[m]
+	}
 	inView := make(map[int]bool, len(members))
 	for i, m := range members {
 		inView[m] = true
@@ -120,15 +137,80 @@ func (c *Cluster) SetView(shard int, members []int) uint64 {
 			next = row[members[i+1]]
 		}
 		row[m].SetNext(next)
+		row[m].SetGroup(group, i)
 		row[m].SetView(v.num, true)
 	}
 	for r, srv := range row {
 		if !inView[r] {
 			srv.SetNext(nil)
+			srv.SetGroup(nil, -1)
 			srv.SetView(v.num, false)
 		}
 	}
+	if c.engine == repl.EngineQuorum {
+		c.reconcile(shard)
+	}
 	return v.num
+}
+
+// reconcile converges a quorum shard's members on view change: for every
+// flow any member holds, the per-flow state with the highest sequence
+// number — taken over ALL members, not just the new leader — is copied
+// to members that lag it. This is the new-leader catch-up a full Raft
+// would get from log transfer: a majority-acknowledged write lives on at
+// least one surviving member of any majority, so the max-sequence sweep
+// finds it even when the member the switches will now address missed it.
+// Chain views skip this — chain propagation already orders replicas'
+// states by prefix.
+func (c *Cluster) reconcile(shard int) {
+	row := c.servers[shard]
+	members := c.views[shard].members
+	if len(members) < 2 {
+		return
+	}
+	var keys []packet.FiveTuple
+	seen := make(map[packet.FiveTuple]bool)
+	for _, m := range members {
+		for _, k := range row[m].Shard().ReplicatedKeys() {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].Less(keys[b]) })
+	for _, k := range keys {
+		var best Update
+		have := false
+		for _, m := range members {
+			if up, ok := row[m].Shard().ExportUpdate(k); ok {
+				if !have || up.LastSeq > best.LastSeq {
+					best, have = up, true
+				}
+			}
+		}
+		if !have {
+			continue
+		}
+		for _, m := range members {
+			up, ok := row[m].Shard().ExportUpdate(k)
+			if !ok || up.LastSeq < best.LastSeq {
+				row[m].applyReconciled(best)
+			}
+		}
+	}
+}
+
+// Engine returns the name of the replication engine the cluster runs.
+func (c *Cluster) Engine() string { return c.engine }
+
+// ResyncSource returns the member a rejoining replica should clone from
+// under the current view: the tail for chain (the replica guaranteed to
+// hold only released state), the leader for quorum (the only replica
+// guaranteed to hold every released write).
+func (c *Cluster) ResyncSource(shard int) *Server {
+	m := c.views[shard].members
+	return c.servers[shard][m[repl.ResyncSourcePos(c.engine, len(m))]]
 }
 
 // ViewNum returns a shard's current view number.
@@ -195,16 +277,21 @@ func (c *Cluster) ChainDigests() [][]uint64 {
 	return out
 }
 
-// ChainAgreement checks that every replica of every chain digests
-// identically, returning a descriptive error for the first divergent
-// chain found. Valid only after quiescence with all servers recovered.
+// ChainAgreement checks that every replica of every shard digests
+// identically, returning an error for the first divergent shard found
+// that names every diverging replica and both digests. Valid only after
+// quiescence with all servers recovered.
 func (c *Cluster) ChainAgreement() error {
 	for sh, ds := range c.ChainDigests() {
+		var div []string
 		for r := 1; r < len(ds); r++ {
 			if ds[r] != ds[0] {
-				return fmt.Errorf("store chain %d diverged: replica %d digest %#x != head digest %#x",
-					sh, r, ds[r], ds[0])
+				div = append(div, fmt.Sprintf("replica %d digest %#x", r, ds[r]))
 			}
+		}
+		if div != nil {
+			return fmt.Errorf("store shard %d (%s engine) diverged from replica 0 digest %#x: %s",
+				sh, c.engine, ds[0], strings.Join(div, ", "))
 		}
 	}
 	return nil

@@ -34,7 +34,7 @@ func TestDurableChainColdRestartRecoversAckedState(t *testing.T) {
 	key := tkey(1)
 
 	sw.send(leaseNew(1, key), servers[0].IP)
-	sw.send(repl(1, key, 1, 42), servers[0].IP)
+	sw.send(replMsg(1, key, 1, 42), servers[0].IP)
 	sim.Run()
 	if len(sw.got) != 2 {
 		t.Fatalf("acks = %d, want 2", len(sw.got))
@@ -72,7 +72,7 @@ func TestHeadColdFailMidBatchCommit(t *testing.T) {
 	// and arms its group-commit fsync (+20 µs). The head dies cold before
 	// the fsync fires: the staged records are discarded, nothing was
 	// forwarded, nothing was acked.
-	sw.sendBatch([]*wire.Message{repl(1, k1, 1, 100), repl(1, k2, 1, 200)}, servers[0].IP)
+	sw.sendBatch([]*wire.Message{replMsg(1, k1, 1, 100), replMsg(1, k2, 1, 200)}, servers[0].IP)
 	sim.After(10*time.Microsecond, func() { servers[0].FailCold() })
 	sim.Run()
 	if len(sw.got) != 2 {
@@ -90,7 +90,7 @@ func TestHeadColdFailMidBatchCommit(t *testing.T) {
 	servers[0].SetNext(nil)
 	servers[1].SetView(2, true)
 	servers[2].SetView(2, true)
-	sw.sendBatch([]*wire.Message{repl(1, k1, 1, 100), repl(1, k2, 1, 200)}, servers[1].IP)
+	sw.sendBatch([]*wire.Message{replMsg(1, k1, 1, 100), replMsg(1, k2, 1, 200)}, servers[1].IP)
 	sim.Run()
 	if len(sw.got) != 4 {
 		t.Fatalf("acks after retransmit = %d, want 4", len(sw.got))
@@ -130,7 +130,7 @@ func TestHeadColdFailMidBatchCommit(t *testing.T) {
 			t.Errorf("replica %d lost acked write k1: vals=%v seq=%d ok=%v", i, vals, seq, ok)
 		}
 	}
-	sw.send(repl(1, k2, 2, 300), servers[1].IP)
+	sw.send(replMsg(1, k2, 2, 300), servers[1].IP)
 	sim.Run()
 	if len(sw.got) != 5 {
 		t.Fatalf("acks after rejoin write = %d, want 5", len(sw.got))
@@ -156,7 +156,7 @@ func TestViewFencingDropsStaleChainMsg(t *testing.T) {
 	servers[2].SetView(2, true)
 
 	before := servers[1].Stats().StaleViewDrops
-	sw.send(repl(1, key, 1, 7), servers[0].IP)
+	sw.send(replMsg(1, key, 1, 7), servers[0].IP)
 	sim.Run()
 
 	if got := servers[1].Stats().StaleViewDrops; got != before+1 {
@@ -172,7 +172,7 @@ func TestViewFencingDropsStaleChainMsg(t *testing.T) {
 	// A spliced-out replica also fences direct switch requests.
 	servers[0].SetView(2, false)
 	beforeHead := servers[0].Stats().StaleViewDrops
-	sw.send(repl(1, key, 1, 7), servers[0].IP)
+	sw.send(replMsg(1, key, 1, 7), servers[0].IP)
 	sim.Run()
 	if got := servers[0].Stats().StaleViewDrops; got != beforeHead+1 {
 		t.Errorf("spliced-out head served a direct request (drops=%d)", got)
@@ -198,7 +198,7 @@ func TestShardTornWALDigestMatchesCommitPoint(t *testing.T) {
 	var lens []int
 	var segName string
 	for seq := uint64(1); seq <= 4; seq++ {
-		sh.Process(int64(seq), repl(1, key, seq, 10*seq))
+		sh.Process(int64(seq), replMsg(1, key, seq, 10*seq))
 		if err := d.Sync(int64(seq)); err != nil {
 			t.Fatal(err)
 		}

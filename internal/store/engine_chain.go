@@ -1,0 +1,74 @@
+package store
+
+import "redplane/internal/repl"
+
+// chainEngine is the paper's chain replication (§6) behind the
+// repl.Replicator seam: the head applies and forwards committed updates
+// to its successor, each replica forwards after its own durability
+// barrier, and the tail — where the update is durable on every replica —
+// releases the outputs. View fencing and the durable ⊇ forwarded ⊇
+// acked ordering live in Server.handleRepl and Server.release; this
+// type only decides where a committed update goes next.
+type chainEngine struct {
+	s *Server
+}
+
+// Name implements repl.Replicator.
+func (e *chainEngine) Name() string { return repl.EngineChain }
+
+// CanServe implements repl.Replicator: every chain member serves
+// protocol traffic (the switch addresses the head; fencing handles the
+// rest).
+func (e *chainEngine) CanServe() bool { return e.s.inChain }
+
+// Commit implements repl.Replicator: forward down the chain, or release
+// immediately when this server is the tail (or unreplicated).
+func (e *chainEngine) Commit(ups []repl.Update, outs []repl.Output) {
+	s := e.s
+	s.release(func() {
+		if s.next != nil {
+			e.forward(&repl.ChainMsg{Ups: ups, Outs: outs})
+			return
+		}
+		s.emitAll(outs)
+	})
+}
+
+// Handle implements repl.Replicator: apply a predecessor's updates, then
+// forward (or, at the tail, release the outputs) behind this replica's
+// own durability barrier.
+func (e *chainEngine) Handle(m repl.Msg) {
+	c, ok := m.(*repl.ChainMsg)
+	if !ok {
+		return // another engine's traffic (mixed-engine misconfiguration)
+	}
+	s := e.s
+	for _, up := range c.Ups {
+		s.shard.Apply(up)
+	}
+	s.release(func() {
+		if s.next != nil {
+			e.forward(c)
+			return
+		}
+		// Tail: the update is durable on every replica; release the
+		// outputs.
+		s.emitAll(c.Outs)
+	})
+}
+
+// forward stamps the message with the sender's current view — and
+// re-stamps on every hop, so a replica that changed views between
+// receive and send fences itself — then transmits to the successor.
+func (e *chainEngine) forward(c *repl.ChainMsg) {
+	c.View = e.s.view
+	e.s.sendPeer(e.s.next, c)
+}
+
+// ViewChanged implements repl.Replicator: chain replication keeps no
+// per-view commit state outside the shard.
+func (e *chainEngine) ViewChanged(view uint64, member bool) {}
+
+// Crashed implements repl.Replicator: in-flight forwards died with the
+// server's pend queue.
+func (e *chainEngine) Crashed() {}

@@ -1,0 +1,112 @@
+package store
+
+import "redplane/internal/repl"
+
+// quorumEngine is a leader-based majority-acknowledgment engine over the
+// same per-flow update stream chain replication carries — etcd/Raft-style
+// log semantics shrunk to what the RedPlane protocol needs. The group's
+// first member (the replica switches address) is the leader: it appends
+// each commit to a sequenced log, broadcasts the updates to every
+// follower, and releases the entry's outputs once a majority of the
+// group — counting its own post-fsync self-acknowledgment — holds them.
+// Followers apply and acknowledge behind their own durability barrier,
+// preserving durable ⊇ acked per replica; the leader releases in log
+// order, preserving the switch-visible ack ordering.
+//
+// Entries that never reach a majority are dropped, not retried (see
+// repl.QuorumLog): their outputs were never released, so the switch's
+// retransmission re-drives the write. Followers that missed an append
+// are healed by the view-change reconcile (Cluster.SetView), by lease
+// re-grants re-driving flow state, and — on rejoin after a crash — by
+// cloning from the leader.
+type quorumEngine struct {
+	s   *Server
+	log repl.QuorumLog
+}
+
+// Name implements repl.Replicator.
+func (e *quorumEngine) Name() string { return repl.EngineQuorum }
+
+// CanServe implements repl.Replicator: only the leader serves protocol
+// traffic; followers fence it like a spliced-out chain replica would.
+func (e *quorumEngine) CanServe() bool { return e.s.inChain && e.s.self == 0 }
+
+// quorumSize is the replication-group size the majority is computed
+// over; a server without group wiring (standalone NewServer) is a group
+// of one and self-commits.
+func (e *quorumEngine) quorumSize() int {
+	if len(e.s.group) == 0 {
+		return 1
+	}
+	return len(e.s.group)
+}
+
+// Commit implements repl.Replicator: append to the leader's log, then —
+// behind the leader's own durability barrier — broadcast to followers
+// and count the leader's self-acknowledgment.
+func (e *quorumEngine) Commit(ups []repl.Update, outs []repl.Output) {
+	s := e.s
+	need := e.quorumSize()/2 + 1
+	seq := e.log.Append(outs, need)
+	s.release(func() {
+		if !s.inChain || s.self != 0 || !e.log.Has(seq) {
+			return // fenced, demoted, or reset between append and fsync
+		}
+		msg := &repl.QuorumAppend{View: s.view, Seq: seq, Ups: ups}
+		for i, p := range s.group {
+			if i == s.self {
+				continue
+			}
+			s.sendPeer(p, msg)
+		}
+		e.deliver(e.log.Ack(seq)) // self-ack: the leader's copy is durable
+	})
+}
+
+// Handle implements repl.Replicator (view fencing already done by
+// Server.handleRepl).
+func (e *quorumEngine) Handle(m repl.Msg) {
+	s := e.s
+	switch q := m.(type) {
+	case *repl.QuorumAppend:
+		if s.self == 0 {
+			return // a stale leader's broadcast caught us post-promotion
+		}
+		for _, up := range q.Ups {
+			s.shard.Apply(up)
+		}
+		seq := q.Seq
+		s.release(func() {
+			if !s.inChain || s.self <= 0 {
+				return
+			}
+			s.sendPeer(s.group[0], &repl.QuorumAck{View: s.view, Seq: seq})
+		})
+	case *repl.QuorumAck:
+		if s.self != 0 {
+			return // we are no longer the leader; the entry was reset away
+		}
+		e.deliver(e.log.Ack(q.Seq))
+	}
+}
+
+// deliver releases committed entries' outputs in log order.
+func (e *quorumEngine) deliver(rel [][]repl.Output) {
+	for _, outs := range rel {
+		e.s.emitAll(outs)
+	}
+}
+
+// ViewChanged implements repl.Replicator: in-flight entries carry
+// acknowledgment promises from the old view only; drop them (the
+// view-change reconcile and switch retransmission re-drive anything
+// that mattered).
+func (e *quorumEngine) ViewChanged(view uint64, member bool) {
+	e.log.Reset()
+}
+
+// Crashed implements repl.Replicator: the leader's volatile commit
+// state did not survive.
+func (e *quorumEngine) Crashed() {
+	e.log.Reset()
+}

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"redplane/internal/durable"
+	"redplane/internal/repl"
+)
+
+// Option configures a Server (or every server of a Cluster) at
+// construction: which replication engine it runs, its queue bounds, and
+// whether a durability layer is attached before the server sees traffic.
+type Option func(*options)
+
+type options struct {
+	engine       string
+	newEngine    func(*Server) repl.Replicator
+	queueLimit   time.Duration
+	queueMaxMsgs int
+	durCfg       DurabilityConfig
+	newBackend   func(shard, replica int) durable.Backend
+}
+
+func applyOptions(opts []Option) *options {
+	o := &options{}
+	for _, fn := range opts {
+		fn(o)
+	}
+	return o
+}
+
+// configure finishes a freshly built server: queue knobs, durability (if
+// requested), then the replication engine — in that order, so the engine
+// is born into a server whose persistence layer already exists.
+func (o *options) configure(s *Server, shard, replica int) {
+	if o.queueLimit != 0 {
+		s.QueueLimit = o.queueLimit
+	}
+	if o.queueMaxMsgs != 0 {
+		s.QueueMaxMsgs = o.queueMaxMsgs
+	}
+	if o.newBackend != nil {
+		if err := s.EnableDurability(o.newBackend(shard, replica), o.durCfg); err != nil {
+			// A backend that cannot be opened at construction is a
+			// misconfiguration, not a runtime fault.
+			panic(fmt.Sprintf("store: durability for %s: %v", s.name, err))
+		}
+	}
+	s.eng = o.buildEngine(s)
+}
+
+func (o *options) buildEngine(s *Server) repl.Replicator {
+	if o.newEngine != nil {
+		return o.newEngine(s)
+	}
+	switch o.engine {
+	case "", repl.EngineChain:
+		return &chainEngine{s: s}
+	case repl.EngineQuorum:
+		return &quorumEngine{s: s}
+	default:
+		panic(fmt.Sprintf("store: unknown replication engine %q", o.engine))
+	}
+}
+
+// WithEngine selects a built-in replication engine by name
+// (repl.EngineChain, repl.EngineQuorum). Empty means chain.
+func WithEngine(name string) Option {
+	return func(o *options) { o.engine = name }
+}
+
+// WithReplicator installs a custom replication engine: fn is called once
+// per server, after durability is attached, and overrides WithEngine.
+func WithReplicator(fn func(*Server) repl.Replicator) Option {
+	return func(o *options) { o.newEngine = fn }
+}
+
+// WithQueueLimit bounds the service backlog by queueing delay (see
+// Server.QueueLimit).
+func WithQueueLimit(d time.Duration) Option {
+	return func(o *options) { o.queueLimit = d }
+}
+
+// WithQueueMaxMsgs bounds the service backlog by message count (see
+// Server.QueueMaxMsgs).
+func WithQueueMaxMsgs(n int) Option {
+	return func(o *options) { o.queueMaxMsgs = n }
+}
+
+// WithDurability attaches a persistence layer to every server built:
+// newBackend is called with the server's (shard, replica) coordinates —
+// (0, 0) for a standalone NewServer — so each replica gets its own
+// backend, and cfg governs WAL/checkpoint/fsync behavior.
+func WithDurability(cfg DurabilityConfig, newBackend func(shard, replica int) durable.Backend) Option {
+	return func(o *options) {
+		o.durCfg = cfg
+		o.newBackend = newBackend
+	}
+}

@@ -48,7 +48,7 @@ func TestShardInvariantsUnderRandomOps(t *testing.T) {
 				} else {
 					swSeq[sw] = seq
 				}
-				outs, _ = s.Process(now, repl(sw, key, seq, rng.Uint64()))
+				outs, _ = s.Process(now, replMsg(sw, key, seq, rng.Uint64()))
 			case 4:
 				outs, _ = s.Process(now, &wire.Message{Type: wire.MsgBufferedRead,
 					Key: key, SwitchID: sw, Seq: rng.Uint64() % 10,
@@ -110,9 +110,9 @@ func TestShardOwnerExclusiveWrites(t *testing.T) {
 	s := NewShard(Config{LeasePeriod: time.Hour}) // never expires in-test
 	key := tkey(7)
 	s.Process(0, leaseNew(1, key))
-	s.Process(1, repl(1, key, 1, 100))
+	s.Process(1, replMsg(1, key, 1, 100))
 	for i := 0; i < 500; i++ {
-		s.Process(int64(i+2), repl(2, key, uint64(rng.Intn(1000)), rng.Uint64()))
+		s.Process(int64(i+2), replMsg(2, key, uint64(rng.Intn(1000)), rng.Uint64()))
 		vals, _, _ := s.State(key)
 		if vals[0] != 100 {
 			t.Fatalf("non-owner write took effect at step %d", i)

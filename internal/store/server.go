@@ -7,33 +7,13 @@ import (
 	"redplane/internal/netsim"
 	"redplane/internal/obs"
 	"redplane/internal/packet"
+	"redplane/internal/repl"
 	"redplane/internal/wire"
 )
 
-// chainMsg carries committed updates (and the outputs to release at the
-// tail) down a replication chain. View is the sender's chain view
-// number: receivers drop messages from any other view, which fences a
-// replica that was spliced out of the chain but doesn't know it yet.
-type chainMsg struct {
-	View uint64
-	Ups  []Update
-	Outs []Output
-}
-
-func (c *chainMsg) wireLen() int {
-	n := packet.EthernetLen + packet.IPv4Len + packet.UDPLen
-	for _, o := range c.Outs {
-		n += o.Msg.WireLen() - packet.EthernetLen
-	}
-	n += 48 * len(c.Ups)
-	if n < 64 {
-		n = 64
-	}
-	return n
-}
-
-// chainPort is the UDP port chain members talk to each other on.
-const chainPort uint16 = 9502
+// replPort is the UDP port replication-group members talk to each other
+// on (historically the chain port; every engine's peer traffic uses it).
+const replPort uint16 = 9502
 
 // DefaultQueueMaxMsgs bounds the service backlog by message count when
 // Server.QueueMaxMsgs is zero. It sits above anything the time-based
@@ -43,9 +23,10 @@ const chainPort uint16 = 9502
 const DefaultQueueMaxMsgs = 4096
 
 // Server is a state store server as a simulator node. A server owns one
-// shard replica and, when part of a chain, forwards committed updates to
-// its successor; the tail releases acks to switches (§6: chain replication
-// with a group size of 3, servers in different racks).
+// shard replica and drives a replication engine (repl.Replicator) to
+// make committed updates fault tolerant — by default the paper's chain
+// replication (§6: a group size of 3, servers in different racks), where
+// updates forward to the successor and the tail releases acks.
 type Server struct {
 	name string
 	sim  *netsim.Sim
@@ -59,13 +40,24 @@ type Server struct {
 	// durable state (or from nothing) instead of reusing its memory.
 	cold bool
 
+	// eng is the replication engine; every Server has one (chain unless
+	// construction options said otherwise).
+	eng repl.Replicator
+
 	// next is the chain successor; nil for the tail or for unreplicated
 	// deployments.
 	next *Server
 
-	// view is the chain view this server believes it is in; inChain is
-	// false while the server is spliced out (failed and not yet
-	// re-admitted). Chain messages from any other view are dropped.
+	// group holds the replication-group peers under the current view, in
+	// view order, and self this server's position among them (-1 when
+	// not a member). Engines that address peers beyond the chain
+	// successor (quorum) read these; Cluster.SetView maintains them.
+	group []*Server
+	self  int
+
+	// view is the replication view this server believes it is in;
+	// inChain is false while the server is spliced out (failed and not
+	// yet re-admitted). Engine messages from any other view are dropped.
 	view    uint64
 	inChain bool
 
@@ -113,8 +105,20 @@ type Server struct {
 	tr                 *obs.Tracer
 }
 
-// NewServer creates a store server around a shard.
-func NewServer(sim *netsim.Sim, name string, ip packet.Addr, shard *Shard, service time.Duration) *Server {
+// NewServer creates a store server around a shard. Options select the
+// replication engine, queue bounds, and durability; the default is an
+// unbounded-release chain member (see Option).
+func NewServer(sim *netsim.Sim, name string, ip packet.Addr, shard *Shard,
+	service time.Duration, opts ...Option) *Server {
+	s := newServerRaw(sim, name, ip, shard, service)
+	applyOptions(opts).configure(s, 0, 0)
+	return s
+}
+
+// newServerRaw builds a server without applying options — the engine is
+// not yet installed; every construction path must call options.configure
+// before the server sees traffic.
+func newServerRaw(sim *netsim.Sim, name string, ip packet.Addr, shard *Shard, service time.Duration) *Server {
 	s := &Server{name: name, sim: sim, IP: ip, shard: shard, ServiceTime: service,
 		inChain: true}
 	reg := sim.Observer()
@@ -138,6 +142,9 @@ func NewServer(sim *netsim.Sim, name string, ip packet.Addr, shard *Shard, servi
 	s.wake = netsim.NewTimer(sim, s.fireWake)
 	return s
 }
+
+// Replicator returns the server's replication engine.
+func (s *Server) Replicator() repl.Replicator { return s.eng }
 
 // ServerStats is a point-in-time snapshot of one store server: its
 // traffic counters plus its shard replica's protocol stats and flow
@@ -224,6 +231,9 @@ func (s *Server) crash(cold bool) {
 	s.dead = true
 	s.cold = s.cold || cold
 	s.pend = nil
+	if s.eng != nil {
+		s.eng.Crashed() // volatile commit state (pending quorum entries) is gone
+	}
 	if s.fsync != nil {
 		s.fsync.Stop()
 	}
@@ -301,13 +311,17 @@ func (s *Server) EnableDurability(be durable.Backend, cfg DurabilityConfig) erro
 // Durability returns the server's persistence layer (nil when off).
 func (s *Server) Durability() *Durability { return s.dur }
 
-// SetView installs the server's chain view: the view number its chain
-// messages carry and the only view it accepts, plus whether it is a
-// chain member at all. Cluster.SetView fans this out to a shard row.
+// SetView installs the server's replication view: the view number its
+// engine messages carry and the only view it accepts, plus whether it
+// is a group member at all. Cluster.SetView fans this out to a shard
+// row. The engine is notified so it can drop in-flight commit state.
 func (s *Server) SetView(view uint64, inChain bool) {
 	rejoined := inChain && !s.inChain
 	s.view = view
 	s.inChain = inChain
+	if s.eng != nil {
+		s.eng.ViewChanged(view, inChain)
+	}
 	if rejoined && !s.dead {
 		s.armWake() // lease-expiry wakes skipped while out of chain
 	}
@@ -329,8 +343,17 @@ func (s *Server) SetPort(p *netsim.Port) { s.port = p }
 // SetNext links the chain successor.
 func (s *Server) SetNext(n *Server) { s.next = n }
 
+// SetGroup installs the server's replication-group peers under the
+// current view (members in view order, this server included) and its
+// own position among them; self -1 marks a non-member. Call before
+// SetView so the engine's view-change hook sees the new group.
+func (s *Server) SetGroup(peers []*Server, self int) {
+	s.group = peers
+	s.self = self
+}
+
 // Receive implements netsim.Node: protocol requests from switches and
-// chain traffic from predecessors.
+// replication-engine traffic from group peers.
 func (s *Server) Receive(f *netsim.Frame, _ *netsim.Port) {
 	if s.dead {
 		s.dropped.Inc()
@@ -343,8 +366,8 @@ func (s *Server) Receive(f *netsim.Frame, _ *netsim.Port) {
 		s.serve(1, func() { s.handleRequest(m) })
 	case *wire.Batch:
 		s.serve(m.Len(), func() { s.handleBatch(m) })
-	case *chainMsg:
-		s.serve(1, func() { s.handleChain(m) })
+	case repl.Msg:
+		s.serve(1, func() { s.handleRepl(m) })
 	default:
 		// Data packets addressed to the store (misrouted) are dropped.
 	}
@@ -398,9 +421,10 @@ func (s *Server) serve(n int, fn func()) {
 }
 
 func (s *Server) handleRequest(m *wire.Message) {
-	if !s.inChain {
-		// Spliced out: serving would mutate (and acknowledge) outside
-		// the chain. The switch retransmits to the current head.
+	if !s.eng.CanServe() {
+		// Spliced out of the group (or not this engine's serving replica):
+		// serving would mutate (and acknowledge) outside the replicated
+		// path. The switch retransmits to the current serving replica.
 		s.staleViewDrops.Inc()
 		return
 	}
@@ -413,7 +437,7 @@ func (s *Server) handleRequest(m *wire.Message) {
 }
 
 func (s *Server) handleBatch(b *wire.Batch) {
-	if !s.inChain {
+	if !s.eng.CanServe() {
 		s.staleViewDrops.Inc()
 		return
 	}
@@ -430,43 +454,28 @@ func (s *Server) handleBatch(b *wire.Batch) {
 	s.armWake()
 }
 
-func (s *Server) handleChain(c *chainMsg) {
-	if !s.inChain || c.View != s.view {
-		// A message from a different chain view: either this server was
-		// spliced out and a peer still routed to it, or a spliced-out
-		// replica is still forwarding. Both are fenced here — applying
-		// would let a stale chain mutate or release acks.
+// handleRepl fences and dispatches replication-engine traffic. A message
+// from a different view means either this server was spliced out and a
+// peer still routed to it, or a spliced-out replica is still sending.
+// Both are fenced here — applying would let a stale group member mutate
+// or release acks.
+func (s *Server) handleRepl(m repl.Msg) {
+	if !s.inChain || m.ViewNum() != s.view {
 		s.staleViewDrops.Inc()
 		return
 	}
-	for _, up := range c.Ups {
-		s.shard.Apply(up)
-	}
-	s.release(func() {
-		if s.next != nil {
-			s.sendChain(c)
-			return
-		}
-		// Tail: the update is durable on every replica; release the
-		// outputs.
-		s.emitAll(c.Outs)
-	})
+	s.eng.Handle(m)
 }
 
-// commit routes mutating results through the chain (outputs released at
-// the tail) and releases read-only results immediately.
+// commit hands mutating results to the replication engine (which
+// releases outputs once replication and durability permit) and releases
+// read-only results immediately.
 func (s *Server) commit(outs []Output, ups []Update) {
 	if len(ups) == 0 {
 		s.emitAll(outs) // read-only: nothing to make durable
 		return
 	}
-	s.release(func() {
-		if s.next != nil {
-			s.sendChain(&chainMsg{Ups: ups, Outs: outs})
-			return
-		}
-		s.emitAll(outs)
-	})
+	s.eng.Commit(ups, outs)
 }
 
 // release runs fn immediately when durability is off; otherwise it
@@ -550,18 +559,27 @@ func (s *Server) emitBatch(dstSwitch int, msgs []*wire.Message) {
 	s.port.Send(f)
 }
 
-func (s *Server) sendChain(c *chainMsg) {
-	c.View = s.view // stamp (and re-stamp on forward) with the sender's view
+// sendPeer transmits an engine message to another group member. Callers
+// stamp the message's view before sending.
+func (s *Server) sendPeer(dst *Server, m repl.Msg) {
 	f := &netsim.Frame{
-		Src: s.IP, Dst: s.next.IP,
-		Flow: packet.FiveTuple{Src: s.IP, Dst: s.next.IP,
-			SrcPort: chainPort, DstPort: chainPort, Proto: packet.ProtoUDP},
-		Size: c.wireLen(),
-		Msg:  c,
+		Src: s.IP, Dst: dst.IP,
+		Flow: packet.FiveTuple{Src: s.IP, Dst: dst.IP,
+			SrcPort: replPort, DstPort: replPort, Proto: packet.ProtoUDP},
+		Size: m.WireLen(),
+		Msg:  m,
 	}
 	s.txBytes.Add(uint64(f.Size))
 	s.txFrames.Inc()
 	s.port.Send(f)
+}
+
+// applyReconciled installs one reconciled flow state (view-change repair
+// for quorum groups: see Cluster.SetView) and logs it through the
+// durability layer like any replicated apply would.
+func (s *Server) applyReconciled(up Update) {
+	s.shard.Apply(up)
+	s.release(func() {})
 }
 
 func (s *Server) emit(o Output) {
@@ -595,7 +613,7 @@ func (s *Server) fireWake() {
 	if s.dead {
 		return // Recover re-arms the wake timer
 	}
-	if !s.inChain {
+	if !s.eng.CanServe() {
 		return // rejoin re-arms via SetView
 	}
 	before := s.shard.Stats

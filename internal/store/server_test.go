@@ -95,7 +95,7 @@ func TestChainCommitBeforeAck(t *testing.T) {
 		}
 	}
 
-	m := repl(1, key, 1, 42)
+	m := replMsg(1, key, 1, 42)
 	m.Piggyback = packet.NewTCP(1, 2, 3, 4, packet.FlagACK, 8)
 	sw.send(m, servers[0].IP)
 	sim.Run()
@@ -125,7 +125,7 @@ func TestChainAckSlowerThanDirect(t *testing.T) {
 		sw.send(leaseNew(1, tkey(1)), servers[0].IP)
 		sim.Run()
 		start := sim.Now()
-		sw.send(repl(1, tkey(1), 1, 1), servers[0].IP)
+		sw.send(replMsg(1, tkey(1), 1, 1), servers[0].IP)
 		sim.Run()
 		return sim.Now() - start
 	}

@@ -39,7 +39,7 @@ func TestBatchedCommitChainAgreement(t *testing.T) {
 
 	// Two writes to k1 (coalesced down the chain) and one to k2.
 	sw.sendBatch([]*wire.Message{
-		repl(1, k1, 1, 10), repl(1, k2, 1, 100), repl(1, k1, 2, 20),
+		replMsg(1, k1, 1, 10), replMsg(1, k2, 1, 100), replMsg(1, k1, 2, 20),
 	}, servers[0].IP)
 	sim.Run()
 	if len(sw.got) != 5 {
@@ -78,7 +78,7 @@ func TestBatchedCommitReplicaFailoverConverges(t *testing.T) {
 	// Mid replica crashes; a batched write commits on the head but dies
 	// at the mid, so no ack releases and the tail never learns of it.
 	servers[1].Fail()
-	batch := []*wire.Message{repl(1, key, 1, 10), repl(1, key, 2, 20)}
+	batch := []*wire.Message{replMsg(1, key, 1, 10), replMsg(1, key, 2, 20)}
 	sw.sendBatch(batch, servers[0].IP)
 	sim.Run()
 	acksBefore := len(sw.got)
@@ -90,7 +90,7 @@ func TestBatchedCommitReplicaFailoverConverges(t *testing.T) {
 	// retransmits: stale-seq handling re-propagates the current state
 	// down the chain and the cumulative acks finally release.
 	servers[1].Recover()
-	retx := []*wire.Message{repl(1, key, 1, 10), repl(1, key, 2, 20)}
+	retx := []*wire.Message{replMsg(1, key, 1, 10), replMsg(1, key, 2, 20)}
 	sw.sendBatch(retx, servers[0].IP)
 	sim.Run()
 	if len(sw.got) <= acksBefore {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"redplane/internal/packet"
+	"redplane/internal/repl"
 	"redplane/internal/wire"
 )
 
@@ -50,30 +51,14 @@ type flowState struct {
 	lastSnapTime int64
 }
 
-// Output is a message the shard wants delivered to a switch.
-type Output struct {
-	// DstSwitch is the switch ID the message is addressed to.
-	DstSwitch int
-	Msg       *wire.Message
-}
+// Output is a message the shard wants delivered to a switch. The
+// canonical definition lives with the replication engines in
+// internal/repl; store re-exports it so shard users never import repl.
+type Output = repl.Output
 
-// Update describes a state mutation for chain replication: successors
-// apply it verbatim so every chain member converges.
-type Update struct {
-	Key         packet.FiveTuple
-	Vals        []uint64
-	LastSeq     uint64
-	Owner       int
-	LeaseExpiry int64
-	Exists      bool
-
-	// Snapshot slot writes: SnapVals apply to consecutive slots starting
-	// at SnapSlot (zero HasSnap means none).
-	SnapEpoch uint32
-	SnapSlot  uint32
-	SnapVals  []uint64
-	HasSnap   bool
-}
+// Update describes a state mutation for replication: peers apply it
+// verbatim so every replica converges. Canonically repl.Update.
+type Update = repl.Update
 
 // Config parameterizes a shard.
 type Config struct {
@@ -633,39 +618,47 @@ func (s *Shard) LastSnapshot(key packet.FiveTuple) ([]uint64, int64) {
 	return append([]uint64(nil), f.lastSnapshot...), f.lastSnapTime
 }
 
-// Digest returns an order-independent FNV-1a hash of the shard's durable
-// replicated state: for every initialized flow, its key, last applied
-// sequence number, and values, iterated in sorted key order. Lease
-// metadata and snapshot images are excluded — leases are soft state and
-// snapshot slot maps are only assembled where the image completes — so
-// after quiescence every replica of a healthy chain digests identically.
-// The chaos harness uses this for the chain-agreement invariant.
-func (s *Shard) Digest() uint64 {
+// ReplicatedKeys returns the keys of every flow carrying replicated
+// write state — the flows Digest hashes — in sorted key order. Flows
+// with no replicated write state (lease-only or snapshot-only) are
+// excluded: whether their creation reached a given replica is not part
+// of the durability promise.
+func (s *Shard) ReplicatedKeys() []packet.FiveTuple {
 	keys := make([]packet.FiveTuple, 0, len(s.flows))
 	for k, f := range s.flows {
-		// Skip flows with no replicated write state (lease-only or
-		// snapshot-only): whether their creation reached a given replica
-		// is not part of the durability promise.
 		if !f.exists || (len(f.vals) == 0 && f.lastSeq == 0) {
 			continue
 		}
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(a, b int) bool {
-		ka, kb := keys[a], keys[b]
-		switch {
-		case ka.Src != kb.Src:
-			return ka.Src < kb.Src
-		case ka.Dst != kb.Dst:
-			return ka.Dst < kb.Dst
-		case ka.SrcPort != kb.SrcPort:
-			return ka.SrcPort < kb.SrcPort
-		case ka.DstPort != kb.DstPort:
-			return ka.DstPort < kb.DstPort
-		default:
-			return ka.Proto < kb.Proto
-		}
-	})
+	sort.Slice(keys, func(a, b int) bool { return keys[a].Less(keys[b]) })
+	return keys
+}
+
+// ExportUpdate returns the flow's replicated write state as an Update
+// (no snapshot payload) — the view-change reconciliation currency. ok
+// is false for flows without replicated write state (the same filter
+// ReplicatedKeys applies).
+func (s *Shard) ExportUpdate(key packet.FiveTuple) (Update, bool) {
+	f, found := s.flows[key]
+	if !found || !f.exists || (len(f.vals) == 0 && f.lastSeq == 0) {
+		return Update{}, false
+	}
+	return Update{
+		Key: key, Vals: append([]uint64(nil), f.vals...), LastSeq: f.lastSeq,
+		Owner: f.owner, LeaseExpiry: f.leaseExpiry, Exists: true,
+	}, true
+}
+
+// Digest returns an order-independent FNV-1a hash of the shard's durable
+// replicated state: for every initialized flow, its key, last applied
+// sequence number, and values, iterated in sorted key order. Lease
+// metadata and snapshot images are excluded — leases are soft state and
+// snapshot slot maps are only assembled where the image completes — so
+// after quiescence every replica of a healthy group digests identically.
+// The chaos harness uses this for the chain-agreement invariant.
+func (s *Shard) Digest() uint64 {
+	keys := s.ReplicatedKeys()
 	h := fnv.New64a()
 	var buf [8]byte
 	put := func(v uint64) {

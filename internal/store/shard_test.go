@@ -21,7 +21,7 @@ func leaseNew(sw int, key packet.FiveTuple) *wire.Message {
 	return &wire.Message{Type: wire.MsgLeaseNew, Key: key, SwitchID: sw}
 }
 
-func repl(sw int, key packet.FiveTuple, seq uint64, vals ...uint64) *wire.Message {
+func replMsg(sw int, key packet.FiveTuple, seq uint64, vals ...uint64) *wire.Message {
 	return &wire.Message{Type: wire.MsgRepl, Key: key, SwitchID: sw, Seq: seq, Vals: vals}
 }
 
@@ -47,7 +47,7 @@ func TestLeaseNewGrantsAndInitializes(t *testing.T) {
 func TestLeaseMigrationReturnsState(t *testing.T) {
 	s := NewShard(Config{LeasePeriod: time.Second})
 	s.Process(0, leaseNew(1, tkey(1)))
-	s.Process(0, repl(1, tkey(1), 1, 42))
+	s.Process(0, replMsg(1, tkey(1), 1, 42))
 	// Switch 1's lease expires; switch 2 asks for the flow.
 	outs, _ := s.Process(2*sec, leaseNew(2, tkey(1)))
 	if len(outs) != 1 {
@@ -106,7 +106,7 @@ func TestReplInOrderAppliesAndAcks(t *testing.T) {
 	s := NewShard(Config{LeasePeriod: time.Second})
 	s.Process(0, leaseNew(1, tkey(1)))
 	pb := packet.NewTCP(1, 2, 3, 4, packet.FlagACK, 10)
-	m := repl(1, tkey(1), 1, 5)
+	m := replMsg(1, tkey(1), 1, 5)
 	m.Piggyback = pb
 	outs, ups := s.Process(10, m)
 	if len(outs) != 1 || outs[0].Msg.Type != wire.MsgReplAck || outs[0].Msg.Seq != 1 {
@@ -127,12 +127,12 @@ func TestReplInOrderAppliesAndAcks(t *testing.T) {
 func TestReplStaleSeqNotApplied(t *testing.T) {
 	s := NewShard(Config{LeasePeriod: time.Second})
 	s.Process(0, leaseNew(1, tkey(1)))
-	s.Process(1, repl(1, tkey(1), 1, 10))
-	s.Process(2, repl(1, tkey(1), 2, 20))
+	s.Process(1, replMsg(1, tkey(1), 1, 10))
+	s.Process(2, replMsg(1, tkey(1), 2, 20))
 	// A delayed duplicate of seq 1 must not clobber seq 2's value (the
 	// Fig. 6a inconsistency the sequencing exists to prevent). The dup
 	// re-propagates the CURRENT state down the chain for convergence.
-	outs, ups := s.Process(3, repl(1, tkey(1), 1, 10))
+	outs, ups := s.Process(3, replMsg(1, tkey(1), 1, 10))
 	if len(ups) != 1 || ups[0].LastSeq != 2 || ups[0].Vals[0] != 20 {
 		t.Errorf("stale repl should re-propagate current state, ups = %+v", ups)
 	}
@@ -152,7 +152,7 @@ func TestReplGapSkipsForward(t *testing.T) {
 	s := NewShard(Config{LeasePeriod: time.Second})
 	s.Process(0, leaseNew(1, tkey(1)))
 	// seq 2 arrives before seq 1: applied immediately.
-	outs, ups := s.Process(1, repl(1, tkey(1), 2, 20))
+	outs, ups := s.Process(1, replMsg(1, tkey(1), 2, 20))
 	if len(outs) != 1 || len(ups) != 1 {
 		t.Fatal("gapped repl not applied")
 	}
@@ -164,7 +164,7 @@ func TestReplGapSkipsForward(t *testing.T) {
 	}
 	// The late seq 1 must NOT clobber seq 2's value; the chain update it
 	// triggers carries the current state, not the stale one.
-	outs, ups = s.Process(2, repl(1, tkey(1), 1, 10))
+	outs, ups = s.Process(2, replMsg(1, tkey(1), 1, 10))
 	if len(ups) != 1 || ups[0].LastSeq != 2 || ups[0].Vals[0] != 20 {
 		t.Fatalf("stale repl should re-propagate current state, ups = %+v", ups)
 	}
@@ -180,7 +180,7 @@ func TestReplGapSkipsForward(t *testing.T) {
 func TestReplFromNonOwnerRejected(t *testing.T) {
 	s := NewShard(Config{LeasePeriod: time.Second})
 	s.Process(0, leaseNew(1, tkey(1)))
-	outs, ups := s.Process(1, repl(2, tkey(1), 1, 99))
+	outs, ups := s.Process(1, replMsg(2, tkey(1), 1, 99))
 	if len(ups) != 0 {
 		t.Error("non-owner write applied")
 	}
@@ -188,7 +188,7 @@ func TestReplFromNonOwnerRejected(t *testing.T) {
 		t.Errorf("outs = %+v", outs)
 	}
 	// Expired lease also rejects.
-	outs, _ = s.Process(2*sec, repl(1, tkey(1), 1, 99))
+	outs, _ = s.Process(2*sec, replMsg(1, tkey(1), 1, 99))
 	if len(outs) != 1 || outs[0].Msg.Type != wire.MsgLeaseReject {
 		t.Errorf("expired-lease write not rejected: %+v", outs)
 	}
@@ -218,7 +218,7 @@ func TestLeaseRenew(t *testing.T) {
 func TestWriteRenewsLease(t *testing.T) {
 	s := NewShard(Config{LeasePeriod: time.Second})
 	s.Process(0, leaseNew(1, tkey(1)))
-	s.Process(sec/2, repl(1, tkey(1), 1, 1))
+	s.Process(sec/2, replMsg(1, tkey(1), 1, 1))
 	if s.Owner(tkey(1), sec+sec/4) != 1 {
 		t.Error("write did not renew lease (§5.3)")
 	}
@@ -283,7 +283,7 @@ func TestApplyConvergesReplica(t *testing.T) {
 	head := NewShard(Config{LeasePeriod: time.Second})
 	tail := NewShard(Config{LeasePeriod: time.Second})
 	head.Process(0, leaseNew(1, tkey(1)))
-	_, ups := head.Process(1, repl(1, tkey(1), 1, 42))
+	_, ups := head.Process(1, replMsg(1, tkey(1), 1, 42))
 	for _, up := range ups {
 		tail.Apply(up)
 	}

@@ -31,6 +31,7 @@ import (
 	"redplane/internal/netsim"
 	"redplane/internal/obs"
 	"redplane/internal/packet"
+	"redplane/internal/repl"
 	"redplane/internal/store"
 )
 
@@ -120,6 +121,25 @@ type SwitchStats = core.SwitchStats
 // StoreServerStats is the per-store-server counter snapshot returned by
 // Cluster.Stats().
 type StoreServerStats = store.ServerStats
+
+// Replicator is the pluggable replication-engine contract the state
+// store drives; see internal/repl for the two built-in engines and
+// store.WithReplicator for installing a custom one.
+type Replicator = repl.Replicator
+
+// ReplicationConfig groups the replication knobs of a deployment —
+// engine name, group size, queue bound, flush window, fsync delay — as
+// DeploymentConfig.Replication.
+type ReplicationConfig = repl.Config
+
+// Replication engine names for ReplicationConfig.Engine and the CLI
+// -engine flags.
+const (
+	// EngineChain is the paper's chain replication (the default).
+	EngineChain = repl.EngineChain
+	// EngineQuorum is the leader-based majority-acknowledgment engine.
+	EngineQuorum = repl.EngineQuorum
+)
 
 // Registry is the observability registry returned by
 // Deployment.Observe(): namespaced counters and gauges, sampled series,

@@ -45,6 +45,9 @@ go test -run '^$' -benchtime 1x -bench 'ThroughputBatching' . | tee "$tmp/tput.t
 echo "== durability cost (store volatile vs WAL + group commit) =="
 go test -run '^$' -benchtime 1x -bench 'ThroughputDurability' . | tee "$tmp/dur.txt"
 
+echo "== replication engines (chain vs quorum: goodput, p50, failover) =="
+go test -run '^$' -benchtime 3x -bench 'EngineFailover' . | tee "$tmp/engines.txt"
+
 if [ $short -eq 0 ]; then
     echo "== figure benchmarks =="
     go test -run '^$' -benchtime 1x -bench 'Fig8|Fig10|Fig13' . | tee "$tmp/figs.txt"
@@ -101,8 +104,20 @@ if ! cmp -s "$tmp/chaos-batch-on.txt" "$tmp/chaos-batch-off.txt"; then
     exit 1
 fi
 
+echo "== chaos verdict equivalence: chain vs quorum engines =="
+# Same seeds on the quorum engine: after stripping the engine tag and the
+# timing-dependent op counts, every verdict line must match the chain
+# run's byte for byte — the Replicator API's cross-engine contract.
+"$tmp/rpchaos" -seed 1 -campaigns $campaigns -parallel 0 -v -engine quorum \
+    | sed '$d; s/ ops=[0-9]*//; s/ engine=[a-z]*//' >"$tmp/chaos-eng-quorum.txt"
+if ! cmp -s "$tmp/chaos-batch-on.txt" "$tmp/chaos-eng-quorum.txt"; then
+    echo "FATAL: chaos verdicts differ between chain and quorum engines" >&2
+    diff "$tmp/chaos-batch-on.txt" "$tmp/chaos-eng-quorum.txt" >&2 || true
+    exit 1
+fi
+
 echo "== writing $out =="
-cat "$tmp"/micro.txt "$tmp"/path.txt "$tmp"/tput.txt "$tmp"/dur.txt "$tmp"/figs.txt "$tmp"/wall.txt 2>/dev/null |
+cat "$tmp"/micro.txt "$tmp"/path.txt "$tmp"/tput.txt "$tmp"/dur.txt "$tmp"/engines.txt "$tmp"/figs.txt "$tmp"/wall.txt 2>/dev/null |
     go run ./cmd/benchjson -date "$date" -out "$out" \
         ${BASELINE:+-baseline "$BASELINE"} \
         -note "scripts/bench.sh$([ $short -eq 1 ] && echo ' -short' || true)"

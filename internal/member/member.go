@@ -8,7 +8,15 @@
 // probe interval is its detection latency). When a group member is
 // dead it issues a new view that splices the member out, preserving the
 // order of the survivors — losing the head promotes the next replica,
-// losing the tail promotes its predecessor. Views are fenced by number:
+// losing the tail promotes its predecessor. How small a view it will
+// install depends on the engine's fault envelope: a chain serves
+// correctly from any non-empty survivor set (every acknowledged write
+// reached every member), but a quorum group only guarantees an
+// acknowledged write on SOME majority, so the coordinator never
+// installs a quorum view smaller than a majority of the full replica
+// set — a minority survivor may simply have missed the write, and
+// seating it as leader would discard the write from the recovering
+// majority members at rejoin. Views are fenced by number:
 // every engine message carries its sender's view (repl.Msg.ViewNum) and
 // receivers drop other views' messages, so a spliced-out replica that
 // is still draining its queues cannot mutate the group or release
@@ -36,6 +44,7 @@ import (
 
 	"redplane/internal/netsim"
 	"redplane/internal/obs"
+	"redplane/internal/repl"
 	"redplane/internal/store"
 )
 
@@ -73,6 +82,15 @@ type Coordinator struct {
 	cluster *store.Cluster
 	cfg     Config
 
+	// minView is the smallest survivor set the coordinator may install as
+	// a view. Chain tolerates n-1 failures, so any non-empty set works
+	// (minView 1); the quorum engine requires a majority of the FULL
+	// replica set (see the package comment): promoting a smaller set
+	// could seat a leader that missed a majority-acknowledged write, and
+	// the rejoin clone would then discard that write from the recovering
+	// majority members that durably hold it.
+	minView int
+
 	// resyncing[shard][replica] marks an in-flight rejoin transfer so a
 	// replica is not resynced twice concurrently.
 	resyncing []map[int]bool
@@ -97,9 +115,13 @@ func New(sim *netsim.Sim, cluster *store.Cluster, cfg Config) *Coordinator {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	minView := 1
+	if cluster.Engine() == repl.EngineQuorum {
+		minView = cluster.Replicas()/2 + 1
+	}
 	ns := reg.NS("member")
 	co := &Coordinator{
-		sim: sim, cluster: cluster, cfg: cfg,
+		sim: sim, cluster: cluster, cfg: cfg, minView: minView,
 		resyncing:   make([]map[int]bool, cluster.Shards()),
 		viewChanges: ns.Counter("view_changes"),
 		spliceOuts:  ns.Counter("splice_outs"),
@@ -145,7 +167,7 @@ func (co *Coordinator) probeShard(sh int) {
 			alive = append(alive, m)
 		}
 	}
-	if len(alive) > 0 && len(alive) < len(members) {
+	if len(alive) >= co.minView && len(alive) < len(members) {
 		// Splice the dead out, preserving survivor order: losing the
 		// head promotes the next member, losing the tail promotes its
 		// predecessor.
@@ -157,10 +179,14 @@ func (co *Coordinator) probeShard(sh int) {
 				Comp: "member", V: int64(num)})
 		}
 	}
-	// With every member dead there is nobody to resync from: the view
-	// stands until a member recovers (its durable state covers all
-	// acknowledged writes), at which point the splice above shrinks the
-	// chain around it.
+	// Below minView the view stands. With every member dead there is
+	// nobody to resync from; the view holds until a member recovers (its
+	// durable state covers all acknowledged writes), at which point the
+	// splice above shrinks the chain around it. For quorum, a sub-majority
+	// survivor set additionally may not be promoted (see minView): the
+	// dead members stay in the view — still fenced to it, unable to ack,
+	// so nothing new commits — and the group resumes, then splices, once
+	// recoveries bring the live count back to a majority.
 	// Recovered non-members rejoin via resync.
 	for r := 0; r < co.cluster.Replicas(); r++ {
 		if co.resyncing[sh][r] {

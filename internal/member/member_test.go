@@ -7,6 +7,7 @@ import (
 	"redplane/internal/durable"
 	"redplane/internal/netsim"
 	"redplane/internal/packet"
+	"redplane/internal/repl"
 	"redplane/internal/store"
 	"redplane/internal/wire"
 )
@@ -59,8 +60,8 @@ func tkey(n byte) packet.FiveTuple {
 
 // buildCluster wires a 1-shard, 3-replica durable cluster and a fake
 // switch through a hub and returns the pieces plus a started
-// coordinator.
-func buildCluster(t *testing.T, sim *netsim.Sim) (*fakeSwitch, *store.Cluster, *Coordinator) {
+// coordinator. opts select the replication engine (default chain).
+func buildCluster(t *testing.T, sim *netsim.Sim, opts ...store.Option) (*fakeSwitch, *store.Cluster, *Coordinator) {
 	t.Helper()
 	h := &hub{ports: make(map[packet.Addr]*netsim.Port)}
 	sw := &fakeSwitch{id: 1, ip: packet.MakeAddr(10, 9, 9, 1)}
@@ -71,7 +72,7 @@ func buildCluster(t *testing.T, sim *netsim.Sim) (*fakeSwitch, *store.Cluster, *
 	cluster := store.NewCluster(sim, 1, 3, store.Config{LeasePeriod: time.Second},
 		time.Microsecond, func(shard, replica int) packet.Addr {
 			return packet.MakeAddr(10, 8, byte(shard), byte(replica+1))
-		})
+		}, opts...)
 	for _, srv := range cluster.All() {
 		srv.SwitchAddr = func(int) packet.Addr { return sw.ip }
 		_, sp, hp := netsim.Connect(sim, srv, h, netsim.LinkConfig{Delay: 2 * time.Microsecond})
@@ -151,6 +152,74 @@ func TestCoordinatorSplicesOutDeadHeadAndRejoins(t *testing.T) {
 	sim.RunUntil(netsim.Duration(22 * time.Millisecond))
 	if len(sw.got) != 4 {
 		t.Fatalf("acks after rejoin = %d", len(sw.got))
+	}
+	if err := cluster.ChainAgreement(); err != nil {
+		t.Fatalf("post-rejoin agreement: %v", err)
+	}
+}
+
+// TestCoordinatorHoldsQuorumMinorityView pins the quorum engine's view
+// floor: a write acknowledged by a majority {leader, follower1} must
+// survive both of them failing before the next probe. Promoting the
+// surviving minority member (as the chain engine legitimately would)
+// would seat a leader that missed the write, and the recovering
+// majority members would later clone over — and so discard — the
+// acknowledged write they durably hold. The coordinator must instead
+// hold the view until a majority of the full replica set is live.
+func TestCoordinatorHoldsQuorumMinorityView(t *testing.T) {
+	sim := netsim.New(1)
+	sw, cluster, co := buildCluster(t, sim, store.WithEngine(repl.EngineQuorum))
+	key := tkey(3)
+
+	// Lease while everyone is up, then fail replica 2 (warm) so the
+	// write that follows is acknowledged by the majority {0, 1} only.
+	sw.send(&wire.Message{Type: wire.MsgLeaseNew, Key: key}, cluster.Head(0).IP)
+	sim.RunUntil(netsim.Duration(500 * time.Microsecond))
+	if len(sw.got) != 1 {
+		t.Fatalf("lease acks = %d", len(sw.got))
+	}
+	cluster.Server(0, 2).Fail()
+	sw.send(&wire.Message{Type: wire.MsgRepl, Key: key, Seq: 1, Vals: []uint64{44}}, cluster.Head(0).IP)
+	sim.RunUntil(netsim.Duration(time.Millisecond))
+	if len(sw.got) != 2 {
+		t.Fatalf("acks with one follower down = %d", len(sw.got))
+	}
+
+	// Before the first probe fires, the acknowledged majority dies cold
+	// and the member that missed the write recovers: the live set {2} is
+	// a minority of the full replica set, so the view must stand — a
+	// 1-member view around replica 2 would self-commit over a leader
+	// that never saw the acknowledged write.
+	cluster.Server(0, 0).FailCold()
+	cluster.Server(0, 1).FailCold()
+	cluster.Server(0, 2).Recover()
+	sim.RunUntil(netsim.Duration(10 * time.Millisecond))
+	if got := cluster.ViewNum(0); got != 1 {
+		t.Fatalf("view moved to %d with only a minority alive", got)
+	}
+
+	// One of the acknowledged majority recovers from its WAL: live set
+	// {0, 2} is a majority, the dead member is spliced out, and the
+	// view-change reconcile copies the acknowledged write to replica 2.
+	cluster.Server(0, 0).Recover()
+	sim.RunUntil(netsim.Duration(20 * time.Millisecond))
+	members := cluster.ViewMembers(0)
+	if len(members) != 2 || members[0] != 0 || members[1] != 2 {
+		t.Fatalf("members = %v, want [0 2]", members)
+	}
+	for _, r := range []int{0, 2} {
+		vals, seq, ok := cluster.Server(0, r).Shard().State(key)
+		if !ok || seq != 1 || vals[0] != 44 {
+			t.Fatalf("replica %d lost acked write: vals=%v seq=%d ok=%v", r, vals, seq, ok)
+		}
+	}
+
+	// The last member rejoins by cloning the leader; the full group
+	// converges with the acknowledged write intact.
+	cluster.Server(0, 1).Recover()
+	sim.RunUntil(netsim.Duration(40 * time.Millisecond))
+	if co.Stats().Rejoins == 0 {
+		t.Fatal("dead member never rejoined")
 	}
 	if err := cluster.ChainAgreement(); err != nil {
 		t.Fatalf("post-rejoin agreement: %v", err)

@@ -18,11 +18,18 @@
 //
 // Both engines preserve the store's durability ordering — each replica's
 // durable state is a superset of everything it has forwarded or
-// acknowledged — and both fence stale views by number, so the chaos
-// harness's invariants (no acknowledged write lost, replica agreement
-// after quiescence, monotonic acks) must hold identically on either.
-// Any verdict divergence between engines on the same seeded campaign is
-// a bug in one of them; the harness asserts equivalence.
+// acknowledged — and both fence stale views by number. Their fault
+// envelopes differ: chain keeps all guarantees with any single live
+// member (an acknowledged write reached every member), while quorum
+// guarantees an acknowledged write only on some majority, so the
+// membership coordinator refuses to seat a quorum view smaller than a
+// majority of the full replica set and the group stalls (never lies)
+// below that. Within the envelope both engines share — every view the
+// coordinator installs — the chaos harness's invariants (no
+// acknowledged write lost, replica agreement after quiescence,
+// monotonic acks) must hold identically on either: any verdict
+// divergence between engines on the same seeded campaign is a bug in
+// one of them, and the harness asserts equivalence.
 package repl
 
 import (

@@ -69,7 +69,15 @@ func NewCluster(sim *netsim.Sim, shards, replicas int, cfg Config,
 		c.servers = append(c.servers, row)
 		c.all = append(c.all, row...)
 	}
-	c.engine = c.all[0].eng.Name()
+	// Record the engine name from the built servers when there are any
+	// (a WithReplicator custom engine only reveals its name once
+	// constructed), falling back to the options for a degenerate
+	// shards=0/replicas=0 cluster rather than panicking on c.all[0].
+	if len(c.all) > 0 {
+		c.engine = c.all[0].eng.Name()
+	} else {
+		c.engine = o.engineName()
+	}
 	c.views = make([]chainView, shards)
 	for sh := 0; sh < shards; sh++ {
 		members := make([]int, replicas)
@@ -162,6 +170,11 @@ func (c *Cluster) SetView(shard int, members []int) uint64 {
 // finds it even when the member the switches will now address missed it.
 // Chain views skip this — chain propagation already orders replicas'
 // states by prefix.
+//
+// Modeling caveat: the sweep runs synchronously inside SetView with
+// zero simulated time and no network cost — an instantaneous state
+// transfer the rejoin path (ResyncDelay) and chain propagation both pay
+// for. EXPERIMENTS.md flags this next to the failover benchmarks.
 func (c *Cluster) reconcile(shard int) {
 	row := c.servers[shard]
 	members := c.views[shard].members

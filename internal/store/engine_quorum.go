@@ -76,11 +76,19 @@ func (e *quorumEngine) Handle(m repl.Msg) {
 			s.shard.Apply(up)
 		}
 		seq := q.Seq
+		// The ack promise belongs to the view the append was fenced
+		// against. Server.pend survives view changes, so the closure must
+		// re-check the view it captured here: stamping whatever view holds
+		// at fsync time would let an ack deferred across a failover pass
+		// the NEW leader's fence and — since every QuorumLog numbers from
+		// 1 — count toward an unrelated in-flight entry in its log,
+		// releasing outputs short of a true majority.
+		view := s.view
 		s.release(func() {
-			if !s.inChain || s.self <= 0 {
+			if !s.inChain || s.self <= 0 || s.view != view {
 				return
 			}
-			s.sendPeer(s.group[0], &repl.QuorumAck{View: s.view, Seq: seq})
+			s.sendPeer(s.group[0], &repl.QuorumAck{View: view, Seq: seq})
 		})
 	case *repl.QuorumAck:
 		if s.self != 0 {

@@ -221,6 +221,78 @@ func TestQuorumHeadColdFailMidBatch(t *testing.T) {
 	}
 }
 
+// TestQuorumDeferredAckFencedAcrossViewChange pins the fence on a
+// follower acknowledgment deferred behind its fsync across a leader
+// failover: the staged ack belongs to the OLD view's log and must not
+// fire into the new leader's log, where its sequence number collides
+// with an unrelated in-flight entry. (Regression: the ack used to be
+// stamped with whatever view held at fsync time, so it passed the new
+// leader's fence and completed a "majority" the group never had —
+// releasing one write held only by the leader and dropping its
+// sibling entry unacknowledged.)
+func TestQuorumDeferredAckFencedAcrossViewChange(t *testing.T) {
+	sim := netsim.New(1)
+	sw, servers, _ := buildDurableQuorum(t, sim, 2*time.Microsecond, time.Microsecond)
+	key := tkey(7)
+
+	sw.send(leaseNew(1, key), servers[0].IP)
+	sim.Run()
+	if len(sw.got) != 1 {
+		t.Fatalf("lease acks = %d", len(sw.got))
+	}
+
+	// W1 reaches the leader, which appends it (seq 2 of its log — the
+	// lease grant was seq 1), fsyncs, and broadcasts. Stop the clock
+	// once the followers have applied the append and STAGED their acks
+	// behind their own group-commit fsyncs (~+30 µs), but before those
+	// fsyncs fire (~+50 µs).
+	t0 := sim.Now()
+	sw.send(replMsg(1, key, 1, 100), servers[0].IP)
+	sim.RunUntil(t0 + netsim.Duration(40*time.Microsecond))
+	if _, seq, _ := servers[1].Shard().State(key); seq != 1 {
+		t.Fatalf("follower has not applied W1 yet (seq=%d); schedule drifted", seq)
+	}
+
+	// Failover before the staged acks release: view 2 promotes replica 2
+	// to leader, keeps replica 1 as a follower, splices the old leader
+	// out. Replica 1 still holds the deferred ack for old-log seq 2.
+	g2 := []*Server{servers[2], servers[1]}
+	servers[0].SetGroup(nil, -1)
+	servers[0].SetView(2, false)
+	servers[2].SetGroup(g2, 0)
+	servers[2].SetView(2, true)
+	servers[1].SetGroup(g2, 1)
+	servers[1].SetView(2, true)
+
+	// Two writes through the new leader append as seqs 1 and 2 of ITS
+	// log, each needing both members. Replica 1's stale deferred ack
+	// (seq 2) fires off its fsync before its genuine acks exist: were it
+	// to pass the fence, it would complete seq 2's "majority" while only
+	// the leader holds the entry — W3 acked unreplicated, W2 dropped as
+	// a straggler and never acknowledged at all.
+	sw.send(replMsg(1, key, 2, 200), servers[2].IP)
+	sw.send(replMsg(1, key, 3, 300), servers[2].IP)
+	sim.Run()
+
+	// With the stale ack fenced, both writes commit on the genuine
+	// follower acknowledgments: lease + W2 + W3. (W1's acks died with
+	// view 1; it was never acknowledged, so no promise is broken.)
+	if len(sw.got) != 3 {
+		t.Fatalf("acks = %d, want 3 (lease, W2, W3)", len(sw.got))
+	}
+	for i, wantSeq := range []uint64{2, 3} {
+		if m := sw.got[i+1]; m.Type != wire.MsgReplAck || m.Seq != wantSeq {
+			t.Errorf("ack %d = type %v seq %d, want repl ack seq %d", i+1, m.Type, m.Seq, wantSeq)
+		}
+	}
+	if servers[1].Shard().Digest() != servers[2].Shard().Digest() {
+		t.Fatal("view-2 group diverged")
+	}
+	if vals, seq, ok := servers[2].Shard().State(key); !ok || seq != 3 || vals[0] != 300 {
+		t.Fatalf("leader state vals=%v seq=%d ok=%v", vals, seq, ok)
+	}
+}
+
 func TestClusterQuorumReconcileOnViewChange(t *testing.T) {
 	sim := netsim.New(1)
 	c := NewCluster(sim, 1, 3, Config{LeasePeriod: time.Second}, time.Microsecond,
@@ -278,6 +350,22 @@ func TestChainAgreementErrorNamesAllDivergers(t *testing.T) {
 		if !strings.Contains(msg, want) {
 			t.Errorf("error %q missing %q", msg, want)
 		}
+	}
+}
+
+// TestNewClusterDegenerateShape: a shards=0 cluster constructs without
+// panicking (the engine name comes from the options, not servers[0]).
+func TestNewClusterDegenerateShape(t *testing.T) {
+	sim := netsim.New(1)
+	c := NewCluster(sim, 0, 0, Config{LeasePeriod: time.Second}, time.Microsecond,
+		func(shard, replica int) packet.Addr { return packet.Addr(0) },
+		WithEngine(repl.EngineQuorum))
+	if c.Engine() != repl.EngineQuorum {
+		t.Fatalf("engine = %q", c.Engine())
+	}
+	if def := NewCluster(sim, 0, 0, Config{LeasePeriod: time.Second}, time.Microsecond,
+		func(shard, replica int) packet.Addr { return packet.Addr(0) }); def.Engine() != repl.EngineChain {
+		t.Fatalf("default engine = %q", def.Engine())
 	}
 }
 

@@ -50,6 +50,19 @@ func (o *options) configure(s *Server, shard, replica int) {
 	s.eng = o.buildEngine(s)
 }
 
+// engineName is the engine the options select, resolvable without
+// building a server. A WithReplicator custom constructor has no name
+// until invoked; its selection is reported as such.
+func (o *options) engineName() string {
+	if o.newEngine != nil {
+		return "custom"
+	}
+	if o.engine == "" {
+		return repl.EngineChain
+	}
+	return o.engine
+}
+
 func (o *options) buildEngine(s *Server) repl.Replicator {
 	if o.newEngine != nil {
 		return o.newEngine(s)

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// regression is one metric that moved the wrong way past the allowed
+// threshold.
+type regression struct {
+	Name, Unit string
+	Old, New   float64
+	// Pct is how far the metric regressed: positive means worse,
+	// regardless of whether the unit is higher- or lower-better.
+	Pct float64
+}
+
+// higherBetter classifies a metric unit's direction: rates (anything
+// per second) and speedups regress when they DROP; cost metrics
+// (ns/op, B/op, allocs/op, ...) regress when they RISE.
+func higherBetter(unit string) bool {
+	return strings.Contains(unit, "/s") || strings.Contains(unit, "speedup")
+}
+
+// parsePct parses a threshold like "10%" or "7.5" into a percentage.
+func parsePct(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "%"), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad threshold %q (want e.g. \"10%%\")", s)
+	}
+	return v, nil
+}
+
+// compareDocs diffs every shared benchmark metric of new against old
+// and returns the metrics that regressed beyond maxRegress percent,
+// plus any benchmarks that disappeared (a vanished benchmark must fail
+// the gate — otherwise deleting a regressing bench "fixes" CI).
+func compareDocs(oldDoc, newDoc File, maxRegress float64) (regs []regression, missing []string, compared int) {
+	byName := make(map[string]Entry, len(newDoc.Benchmarks))
+	for _, e := range newDoc.Benchmarks {
+		byName[e.Name] = e
+	}
+	for _, oe := range oldDoc.Benchmarks {
+		ne, ok := byName[oe.Name]
+		if !ok {
+			missing = append(missing, oe.Name)
+			continue
+		}
+		units := make([]string, 0, len(oe.Metrics))
+		for unit := range oe.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov := oe.Metrics[unit]
+			nv, ok := ne.Metrics[unit]
+			if !ok || ov == 0 {
+				continue
+			}
+			compared++
+			pct := 100 * (nv - ov) / ov
+			if higherBetter(unit) {
+				pct = -pct
+			}
+			if pct > maxRegress {
+				regs = append(regs, regression{Name: oe.Name, Unit: unit, Old: ov, New: nv, Pct: pct})
+			}
+		}
+	}
+	return regs, missing, compared
+}
+
+// runCompare implements `benchjson -compare old.json new.json`: exit
+// status 1 when any shared metric regressed beyond the threshold or a
+// baseline benchmark vanished.
+func runCompare(oldPath, newPath, maxRegress string) int {
+	limit, err := parsePct(maxRegress)
+	if err != nil {
+		fatal(err)
+	}
+	oldDoc, err := loadFile(oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newDoc, err := loadFile(newPath)
+	if err != nil {
+		fatal(err)
+	}
+	regs, missing, compared := compareDocs(oldDoc, newDoc, limit)
+	for _, n := range missing {
+		fmt.Printf("MISSING %s: in %s but not %s\n", n, oldPath, newPath)
+	}
+	for _, r := range regs {
+		dir := "rose"
+		if higherBetter(r.Unit) {
+			dir = "fell"
+		}
+		fmt.Printf("REGRESSION %s %s %s %.4g -> %.4g (%.1f%% worse, limit %.1f%%)\n",
+			r.Name, r.Unit, dir, r.Old, r.New, r.Pct, limit)
+	}
+	if len(regs) > 0 || len(missing) > 0 {
+		fmt.Printf("FAIL: %d regression(s), %d missing benchmark(s) over %d compared metrics\n",
+			len(regs), len(missing), compared)
+		return 1
+	}
+	fmt.Printf("ok: %d metrics within %.1f%% of %s\n", compared, limit, oldPath)
+	return 0
+}
+
+func loadFile(path string) (File, error) {
+	m, err := loadBaseline(path)
+	if err != nil {
+		return File{}, err
+	}
+	doc := File{}
+	for _, e := range m {
+		doc.Benchmarks = append(doc.Benchmarks, e)
+	}
+	return doc, nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import "testing"
+
+func doc(entries ...Entry) File { return File{Benchmarks: entries} }
+
+func entry(name string, metrics map[string]float64) Entry {
+	return Entry{Name: name, Metrics: metrics}
+}
+
+func TestHigherBetter(t *testing.T) {
+	for unit, want := range map[string]bool{
+		"ns/op": false, "B/op": false, "allocs/op": false,
+		"writes/s": true, "ops/s": true, "MB/s": true, "speedup": true,
+	} {
+		if got := higherBetter(unit); got != want {
+			t.Errorf("higherBetter(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	old := doc(entry("BenchmarkUDPGoodput/sharded", map[string]float64{"writes/s": 100000, "ns/op": 5000}))
+	fresh := doc(entry("BenchmarkUDPGoodput/sharded", map[string]float64{"writes/s": 95000, "ns/op": 5400}))
+	regs, missing, compared := compareDocs(old, fresh, 10)
+	if len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("unexpected failures: regs=%v missing=%v", regs, missing)
+	}
+	if compared != 2 {
+		t.Fatalf("compared = %d, want 2", compared)
+	}
+}
+
+// TestCompareGoodputDrop is the local demonstration of the CI gate: an
+// 11% goodput drop against a 10% threshold must fail.
+func TestCompareGoodputDrop(t *testing.T) {
+	old := doc(entry("BenchmarkUDPGoodput/sharded", map[string]float64{"writes/s": 100000}))
+	fresh := doc(entry("BenchmarkUDPGoodput/sharded", map[string]float64{"writes/s": 89000}))
+	regs, _, _ := compareDocs(old, fresh, 10)
+	if len(regs) != 1 {
+		t.Fatalf("regs = %v, want one goodput regression", regs)
+	}
+	if regs[0].Unit != "writes/s" || regs[0].Pct < 10.9 || regs[0].Pct > 11.1 {
+		t.Fatalf("bad regression record: %+v", regs[0])
+	}
+}
+
+func TestCompareNsOpRise(t *testing.T) {
+	old := doc(entry("BenchmarkX", map[string]float64{"ns/op": 1000}))
+	fresh := doc(entry("BenchmarkX", map[string]float64{"ns/op": 1150}))
+	if regs, _, _ := compareDocs(old, fresh, 10); len(regs) != 1 {
+		t.Fatalf("15%% ns/op rise not flagged: %v", regs)
+	}
+	// Improvements never fail, however large.
+	fresh = doc(entry("BenchmarkX", map[string]float64{"ns/op": 100}))
+	if regs, _, _ := compareDocs(old, fresh, 10); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	old := doc(entry("BenchmarkGone", map[string]float64{"ns/op": 1}))
+	fresh := doc()
+	_, missing, _ := compareDocs(old, fresh, 10)
+	if len(missing) != 1 || missing[0] != "BenchmarkGone" {
+		t.Fatalf("missing = %v", missing)
+	}
+}
+
+func TestParsePct(t *testing.T) {
+	for s, want := range map[string]float64{"10%": 10, "7.5": 7.5, " 3% ": 3} {
+		got, err := parsePct(s)
+		if err != nil || got != want {
+			t.Errorf("parsePct(%q) = %v, %v", s, got, err)
+		}
+	}
+	for _, s := range []string{"", "x", "-5%"} {
+		if _, err := parsePct(s); err == nil {
+			t.Errorf("parsePct(%q) did not fail", s)
+		}
+	}
+}
+
+func TestParseLineCustomUnits(t *testing.T) {
+	e, ok := parseLine("BenchmarkUDPGoodput/durable/sharded 	2	 41699684 ns/op	 3200 writes/op	 76824 writes/s")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if e.Metrics["writes/s"] != 76824 || e.Metrics["ns/op"] != 41699684 {
+		t.Fatalf("metrics = %v", e.Metrics)
+	}
+}

@@ -10,11 +10,18 @@
 //
 //	go test -bench . -benchmem ./... | benchjson -date 2026-08-06 -out BENCH_2026-08-06.json
 //	benchjson -baseline BENCH_old.json -out BENCH_new.json bench1.txt bench2.txt
+//	benchjson -compare -max-regress 10% old.json new.json
 //
 // Input is read from the file arguments, or stdin when none are given.
 // Lines not starting with "Benchmark" are ignored, so raw `go test`
 // output can be piped straight in. To feed the raw lines back into
 // benchstat, extract them with: jq -r '.benchmarks[].raw' BENCH_x.json
+//
+// With -compare, the two positional arguments are prior and fresh
+// BENCH_*.json files; benchjson exits 1 when any shared metric moved
+// the wrong way by more than -max-regress (rates like writes/s regress
+// downward, costs like ns/op regress upward), or when a baseline
+// benchmark is missing from the fresh file. CI's perf gate runs this.
 package main
 
 import (
@@ -67,7 +74,16 @@ func main() {
 	date := flag.String("date", time.Now().Format("2006-01-02"), "date stamp for the document")
 	note := flag.String("note", "", "free-form note recorded in the document")
 	baseline := flag.String("baseline", "", "previous BENCH_*.json to diff against")
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json files (old new) and gate on regressions")
+	maxRegress := flag.String("max-regress", "10%", "allowed regression per metric with -compare")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two files: old.json new.json"))
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *maxRegress))
+	}
 
 	var base map[string]Entry
 	if *baseline != "" {

@@ -7,24 +7,43 @@
 //	redplane-store -listen 127.0.0.1:9501 -next 127.0.0.1:9502  # middle
 //	redplane-store -listen 127.0.0.1:9500 -next 127.0.0.1:9501  # head
 //
+// The server shards flows across -shards owner goroutines (default: one
+// per core) fed by batched recvmmsg reads, and egresses through
+// per-shard sendmmsg batches; -rx-batch/-tx-batch size the syscall
+// batches (see DESIGN.md "Per-core sharding on the real-UDP path").
+//
 // With -wal-dir the server is durable: every mutation is written to a
 // segmented write-ahead log and fsynced before its acknowledgment or
-// chain relay leaves the process, and checkpoints bound the log. Kill
-// the process (kill -9 included) and restart it with the same -wal-dir
-// and it recovers its shard from the newest checkpoint plus the WAL
-// tail — no acknowledged write is lost.
+// chain relay leaves the process — one group-commit fsync covers a
+// whole drained batch per shard (-fsync-delay widens the window).
+// Kill the process (kill -9 included) and restart it with the same
+// -wal-dir and it recovers its shards from the newest checkpoints plus
+// the WAL tails — no acknowledged write is lost. Each shard logs into
+// its own subdirectory (shard-000, ...); a SHARDS marker file pins the
+// shard count, since the flow→shard hash must match across restarts.
 //
 //	redplane-store -listen 127.0.0.1:9502 -wal-dir /var/lib/redplane/tail
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"redplane/internal/durable"
 	"redplane/internal/store"
 )
+
+// shardsMarker pins the shard count a WAL directory was written with:
+// restarting with a different -shards value would rehash flows onto the
+// wrong WALs, so the server refuses a mismatch.
+const shardsMarker = "SHARDS"
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9500", "UDP listen address")
@@ -33,43 +52,113 @@ func main() {
 	snapshotSlots := flag.Int("snapshot-slots", 0, "expected snapshot image size (0 = untracked)")
 	maxWaiting := flag.Int("max-waiting", 0,
 		"per-flow buffered lease-request queue bound (0 = default)")
+	shards := flag.Int("shards", 0, "shard-owner goroutines; flows hash to shards (0 = one per core)")
+	rxBatch := flag.Int("rx-batch", 0, "datagrams per batched receive syscall (0 = default 32)")
+	txBatch := flag.Int("tx-batch", 0, "datagrams per batched send syscall (0 = default 32)")
+	ringSize := flag.Int("ring", 0, "receiver→shard queue capacity (0 = default 1024)")
+	portableIO := flag.Bool("portable-io", false,
+		"force one-datagram-per-syscall IO even where recvmmsg/sendmmsg is available")
 	walDir := flag.String("wal-dir", "",
 		"directory for the write-ahead log and checkpoints (empty = volatile, in-memory only)")
+	fsyncDelay := flag.Duration("fsync-delay", 0,
+		"group-commit fsync window: mutations arriving within it share one fsync (0 = default 20µs)")
 	segmentBytes := flag.Int("segment-bytes", 0,
 		"WAL segment roll threshold in bytes (0 = default)")
 	checkpointBytes := flag.Int("checkpoint-bytes", 0,
 		"WAL growth between checkpoints in bytes (0 = default)")
 	flag.Parse()
 
+	if *shards == 0 {
+		*shards = runtime.NumCPU()
+	}
+	opts := []store.UDPOption{
+		store.WithUDPShards(*shards),
+		store.WithUDPBatch(*rxBatch, *txBatch),
+	}
+	if *ringSize > 0 {
+		opts = append(opts, store.WithUDPRing(*ringSize))
+	}
+	if *portableIO {
+		opts = append(opts, store.WithUDPPortableIO())
+	}
 	srv, err := store.NewUDPServer(*listen, *next, store.Config{
 		LeasePeriod:   *lease,
 		SnapshotSlots: *snapshotSlots,
 		MaxWaiting:    *maxWaiting,
-	})
+	}, opts...)
 	if err != nil {
 		log.Fatalf("redplane-store: %v", err)
 	}
 	if *walDir != "" {
-		be, err := durable.NewDirBackend(*walDir)
+		bes, err := shardBackends(*walDir, *shards)
 		if err != nil {
 			log.Fatalf("redplane-store: wal dir: %v", err)
 		}
-		replayed, err := srv.EnableDurability(be, store.DurabilityConfig{
+		replayed, err := srv.EnableDurabilityBackends(bes, store.DurabilityConfig{
 			Enabled:         true,
+			FsyncDelay:      *fsyncDelay,
 			SegmentBytes:    *segmentBytes,
 			CheckpointBytes: *checkpointBytes,
 		})
 		if err != nil {
 			log.Fatalf("redplane-store: recover %s: %v", *walDir, err)
 		}
-		log.Printf("redplane-store: durable in %s (replayed %d WAL records)", *walDir, replayed)
+		log.Printf("redplane-store: durable in %s (%d shards, replayed %d WAL records)",
+			*walDir, *shards, replayed)
 	}
 	role := "tail"
 	if *next != "" {
 		role = "head/middle -> " + *next
 	}
-	log.Printf("redplane-store: serving on %v (%s, lease %v)", srv.Addr(), role, *lease)
+	log.Printf("redplane-store: serving on %v (%s, lease %v, %d shards, %s io)",
+		srv.Addr(), role, *lease, srv.Shards(), srv.IOPath())
 	if err := srv.Serve(); err != nil {
 		log.Fatalf("redplane-store: %v", err)
 	}
+}
+
+// shardBackends opens one WAL backend per shard under dir. A
+// single-shard server keeps the flat pre-sharding layout so existing
+// WAL directories stay recoverable; multi-shard servers use shard-NNN
+// subdirectories plus the SHARDS marker.
+func shardBackends(dir string, shards int) ([]durable.Backend, error) {
+	marker := filepath.Join(dir, shardsMarker)
+	if b, err := os.ReadFile(marker); err == nil {
+		prev, perr := strconv.Atoi(strings.TrimSpace(string(b)))
+		if perr != nil {
+			return nil, fmt.Errorf("corrupt %s: %q", marker, b)
+		}
+		if prev != shards {
+			return nil, fmt.Errorf("%s was written with %d shards; restart with -shards %d (rehashing flows across WALs is not supported)",
+				dir, prev, prev)
+		}
+	} else {
+		// No marker. A non-empty directory is a pre-sharding flat WAL:
+		// only a single-shard server can keep using it.
+		if ents, err := os.ReadDir(dir); err == nil && len(ents) > 0 && shards != 1 {
+			return nil, fmt.Errorf("%s holds a pre-sharding WAL; restart with -shards 1", dir)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(marker, []byte(strconv.Itoa(shards)+"\n"), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	if shards == 1 {
+		be, err := durable.NewDirBackend(dir)
+		if err != nil {
+			return nil, err
+		}
+		return []durable.Backend{be}, nil
+	}
+	bes := make([]durable.Backend, shards)
+	for i := range bes {
+		be, err := durable.NewDirBackend(filepath.Join(dir, fmt.Sprintf("shard-%03d", i)))
+		if err != nil {
+			return nil, err
+		}
+		bes[i] = be
+	}
+	return bes, nil
 }

@@ -90,7 +90,7 @@ func main() {
 
 	// Every chain replica holds the same durable state.
 	for i, srv := range servers {
-		vals, seq, ok := srv.Shard().State(key)
+		vals, seq, ok := srv.State(key)
 		fmt.Printf("replica %d: state=%v seq=%d ok=%v\n", i, vals, seq, ok)
 	}
 	fmt.Println("state survived the switch handover, durable on all replicas")

@@ -1,0 +1,72 @@
+// Package ring provides a bounded single-producer single-consumer queue
+// used to hand datagrams from the UDP receiver goroutines to their
+// owning shard goroutines without locks: one receiver produces into a
+// ring, one shard owner consumes from it, and the only shared state is
+// a pair of atomic positions on separate cache lines. A full ring sheds
+// (Push returns false) instead of blocking — UDP delivery is lossy by
+// contract and the switch retransmits, so backpressure by drop keeps
+// the receive path wait-free.
+package ring
+
+import "sync/atomic"
+
+// pad keeps the producer and consumer positions on separate cache lines
+// so SPSC traffic does not false-share.
+type pad [56]byte
+
+// SPSC is a bounded lock-free single-producer single-consumer ring.
+// Exactly one goroutine may call Push and exactly one may call Pop;
+// Len is safe from anywhere.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    pad
+	head atomic.Uint64 // consumer position (next slot to pop)
+	_    pad
+	tail atomic.Uint64 // producer position (next slot to fill)
+}
+
+// New creates a ring with capacity rounded up to the next power of two
+// (minimum 2).
+func New[T any](capacity int) *SPSC[T] {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring's capacity.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued items (approximate under concurrent
+// access, exact from either endpoint's goroutine).
+func (r *SPSC[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Push enqueues v and reports whether there was room. Producer-only.
+func (r *SPSC[T]) Push(v T) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1) // release: the slot write happens-before this store
+	return true
+}
+
+// Pop dequeues the oldest item. Consumer-only. The vacated slot is
+// zeroed so pooled buffers referenced by T do not leak past consumption.
+func (r *SPSC[T]) Pop() (T, bool) {
+	var zero T
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return zero, false
+	}
+	v := r.buf[h&r.mask]
+	r.buf[h&r.mask] = zero
+	r.head.Store(h + 1)
+	return v, true
+}

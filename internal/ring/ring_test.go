@@ -1,0 +1,91 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestPushPopOrder(t *testing.T) {
+	r := New[int](4)
+	if r.Cap() != 4 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		if !r.Push(i) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if r.Push(99) {
+		t.Fatal("push into full ring accepted")
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+}
+
+func TestCapacityRoundsUp(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{{0, 2}, {1, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024}} {
+		if got := New[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := New[int](2)
+	for round := 0; round < 1000; round++ {
+		if !r.Push(round) {
+			t.Fatalf("push rejected at round %d", round)
+		}
+		v, ok := r.Pop()
+		if !ok || v != round {
+			t.Fatalf("round %d: got %d ok=%v", round, v, ok)
+		}
+	}
+}
+
+// TestConcurrentSPSC drives one producer against one consumer; under
+// -race this doubles as the memory-ordering proof for the hand-off.
+func TestConcurrentSPSC(t *testing.T) {
+	const n = 100_000
+	r := New[int](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; {
+			if r.Push(i) {
+				i++
+			} else {
+				runtime.Gosched() // full: let the consumer run (matters on 1 CPU)
+			}
+		}
+	}()
+	for want := 0; want < n; {
+		if v, ok := r.Pop(); ok {
+			if v != want {
+				t.Errorf("popped %d, want %d", v, want)
+				break
+			}
+			want++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	r := New[uint64](1024)
+	for i := 0; i < b.N; i++ {
+		r.Push(uint64(i))
+		r.Pop()
+	}
+}

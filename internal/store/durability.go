@@ -112,6 +112,11 @@ func (d *Durability) WALBytes() uint64 { return d.wal.Bytes() }
 // StagedRecords reports appends not yet covered by a Sync.
 func (d *Durability) StagedRecords() int { return d.wal.StagedRecords() }
 
+// GroupWindow returns the effective group-commit window (FsyncDelay
+// after defaulting): how long a caller may linger collecting more
+// mutations before a Sync, so they share the fsync.
+func (d *Durability) GroupWindow() time.Duration { return d.cfg.FsyncDelay }
+
 // DiscardStaged models a crash that loses the process's memory before
 // the covering fsync: staged records were never durable.
 func (d *Durability) DiscardStaged() { d.wal.DiscardStaged() }

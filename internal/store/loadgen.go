@@ -1,0 +1,455 @@
+package store
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"redplane/internal/packet"
+	"redplane/internal/wire"
+)
+
+// SweepConfig drives a loopback goodput sweep against a real-UDP store
+// server (cmd/redplane-udpload and BenchmarkUDPGoodput both run one).
+// Each flow leases its key, then streams Writes replication requests
+// through a bounded in-flight window; every request must be
+// acknowledged (cumulatively) before the sweep counts it. The load
+// generator uses the same batched-syscall layer as the server, so on a
+// small machine the client does not become the bottleneck it is
+// measuring.
+type SweepConfig struct {
+	// Addr is the store chain head, e.g. "127.0.0.1:9500".
+	Addr string
+	// Senders is the number of socket-owning sender goroutines
+	// (default 1). Flows are split across them round-robin.
+	Senders int
+	// Flows is the number of distinct five-tuples (default 32).
+	Flows int
+	// Writes is the replication requests per flow (default 100).
+	Writes int
+	// Batch is the messages packed per request datagram (default 16;
+	// 1 = one datagram per write, the per-packet switch pattern).
+	Batch int
+	// SyscallBatch is the datagrams per client send/receive syscall
+	// batch (default max(Batch, 32)); independent of Batch so the
+	// client stays syscall-efficient even with single-message
+	// datagrams.
+	SyscallBatch int
+	// Window is the per-flow unacked-write bound (default
+	// 4*SyscallBatch).
+	Window int
+	// Stall is the retransmission timer (default 100ms): a flow with a
+	// stuck window re-sends its top sequence — the store's cumulative
+	// seq semantics re-ack everything below it.
+	Stall time.Duration
+	// Timeout bounds the whole sweep (default 60s).
+	Timeout time.Duration
+	// SwitchBase offsets the flows' switch IDs (default 1); a restart
+	// verification re-leases with the same IDs.
+	SwitchBase int
+	// FlowBase offsets the flow numbering (key and switch ID), so
+	// back-to-back sweeps against one server use fresh flows.
+	FlowBase int
+	// Portable forces the one-datagram-per-syscall client path.
+	Portable bool
+}
+
+func (c *SweepConfig) fill() {
+	if c.Senders <= 0 {
+		c.Senders = 1
+	}
+	if c.Flows <= 0 {
+		c.Flows = 32
+	}
+	if c.Writes <= 0 {
+		c.Writes = 100
+	}
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+	if c.SyscallBatch <= 0 {
+		c.SyscallBatch = 32
+		if c.Batch > 32 {
+			c.SyscallBatch = c.Batch
+		}
+	}
+	if c.Window <= 0 {
+		c.Window = 4 * c.SyscallBatch
+	}
+	if c.Stall <= 0 {
+		c.Stall = 100 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.SwitchBase <= 0 {
+		c.SwitchBase = 1
+	}
+}
+
+// SweepResult summarizes one sweep.
+type SweepResult struct {
+	Flows, Writes int
+	// AckedWrites is the sum of acked-sequence watermarks: on a
+	// complete sweep, Flows*Writes. The store's acks are cumulative
+	// and tolerate gaps, so the watermark alone says nothing about how
+	// many writes the server actually processed — GoodputPps does.
+	AckedWrites uint64
+	// ProcessedWrites counts Repl acknowledgment messages received:
+	// each is one request message the server processed end to end.
+	ProcessedWrites uint64
+	// SentDgrams / RecvDgrams count request and ack datagrams.
+	SentDgrams, RecvDgrams uint64
+	// Retrans counts retransmitted request datagrams (loss + sheds).
+	Retrans uint64
+	Elapsed time.Duration
+	// GoodputPps is processed (individually acknowledged) writes per
+	// second.
+	GoodputPps float64
+	// Complete reports every flow reached its final watermark before
+	// Timeout.
+	Complete bool
+}
+
+// sweepFlow is one flow's send-side state. acked is written by the
+// sender's reader goroutine and polled by its writer.
+type sweepFlow struct {
+	key      packet.FiveTuple
+	switchID int
+	leased   atomic.Bool
+	acked    atomic.Uint64
+	sent     uint64 // writer-goroutine only
+	lastSend time.Time
+}
+
+// FlowKey returns the five-tuple the sweep assigns to flow i, so a
+// restart verification (or a test) can look the flow up on the server.
+func FlowKey(i int) packet.FiveTuple {
+	return packet.FiveTuple{
+		Src:     packet.Addr(0x0A000001 + i/0x10000),
+		Dst:     packet.Addr(0x0A800001),
+		SrcPort: uint16(1024 + i%0x10000),
+		DstPort: uint16(wire.StorePort),
+		Proto:   17,
+	}
+}
+
+// RunSweep leases cfg.Flows flows and pushes cfg.Writes acknowledged
+// replication requests through each.
+func RunSweep(cfg SweepConfig) (SweepResult, error) {
+	cfg.fill()
+	dst, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return SweepResult{}, fmt.Errorf("loadgen: resolve %q: %w", cfg.Addr, err)
+	}
+	flows := make([]*sweepFlow, cfg.Flows)
+	for i := range flows {
+		flows[i] = &sweepFlow{key: FlowKey(cfg.FlowBase + i),
+			switchID: cfg.SwitchBase + cfg.FlowBase + i}
+	}
+	deadline := time.Now().Add(cfg.Timeout)
+	var wg sync.WaitGroup
+	senders := make([]*sweepSender, cfg.Senders)
+	for s := 0; s < cfg.Senders; s++ {
+		var mine []*sweepFlow
+		for i := s; i < cfg.Flows; i += cfg.Senders {
+			mine = append(mine, flows[i])
+		}
+		sn, err := newSweepSender(dst, mine, cfg)
+		if err != nil {
+			for _, p := range senders[:s] {
+				p.conn.Close()
+			}
+			return SweepResult{}, err
+		}
+		senders[s] = sn
+	}
+	start := time.Now()
+	for _, sn := range senders {
+		wg.Add(2)
+		go func(sn *sweepSender) { defer wg.Done(); sn.readAcks() }(sn)
+		go func(sn *sweepSender) { defer wg.Done(); sn.drive(deadline) }(sn)
+	}
+	wg.Wait()
+	res := SweepResult{
+		Flows: cfg.Flows, Writes: cfg.Writes,
+		Elapsed:  time.Since(start),
+		Complete: true,
+	}
+	for _, f := range flows {
+		res.AckedWrites += f.acked.Load()
+		if f.acked.Load() < uint64(cfg.Writes) {
+			res.Complete = false
+		}
+	}
+	for _, sn := range senders {
+		res.SentDgrams += sn.sentDgrams
+		res.RecvDgrams += sn.recvDgrams.Load()
+		res.ProcessedWrites += sn.processed.Load()
+		res.Retrans += sn.retrans
+	}
+	res.GoodputPps = float64(res.ProcessedWrites) / res.Elapsed.Seconds()
+	return res, nil
+}
+
+// sweepSender owns one socket: a writer goroutine windows requests out
+// through batched sends while a reader goroutine drains acks.
+type sweepSender struct {
+	cfg   SweepConfig
+	conn  *net.UDPConn
+	dst   *net.UDPAddr
+	br    batchReader
+	tx    []txSlot
+	txN   int
+	flows []*sweepFlow
+	byKey map[packet.FiveTuple]*sweepFlow
+
+	sentDgrams uint64 // writer-goroutine only
+	retrans    uint64
+	recvDgrams atomic.Uint64
+	processed  atomic.Uint64
+	bw         batchWriter
+}
+
+// sockBufBytes is the socket buffer size the sweep asks for on both
+// sides (best effort: unprivileged processes are capped by
+// net.core.{r,w}mem_max).
+const sockBufBytes = 4 << 20
+
+func newSweepSender(dst *net.UDPAddr, flows []*sweepFlow, cfg SweepConfig) (*sweepSender, error) {
+	// Bind the socket in the destination's family: sendmmsg needs the
+	// sockaddr family to match, and v4 loopback is the benchmark path.
+	network := "udp"
+	if dst.IP.To4() != nil {
+		network = "udp4"
+	}
+	conn, err := net.ListenUDP(network, nil)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: bind: %w", err)
+	}
+	conn.SetReadBuffer(sockBufBytes)
+	conn.SetWriteBuffer(sockBufBytes)
+	sn := &sweepSender{
+		cfg: cfg, conn: conn, dst: dst, flows: flows,
+		tx:    make([]txSlot, cfg.SyscallBatch),
+		byKey: make(map[packet.FiveTuple]*sweepFlow, len(flows)),
+	}
+	if cfg.Portable {
+		sn.br, sn.bw, _ = newPortableIO(conn)
+	} else {
+		sn.br, sn.bw, _ = newPlatformIO(conn)
+	}
+	for _, f := range flows {
+		sn.byKey[f.key] = f
+	}
+	return sn, nil
+}
+
+// readAcks drains acknowledgment datagrams until the socket closes,
+// advancing per-flow watermarks. Acks are cumulative: Seq covers every
+// earlier write of the flow.
+func (sn *sweepSender) readAcks() {
+	slots := make([]rxSlot, sn.cfg.SyscallBatch)
+	for i := range slots {
+		slots[i].buf = make([]byte, udpBufSize)
+	}
+	var bt wire.Batch
+	for {
+		n, err := sn.br.ReadBatch(slots)
+		if err != nil {
+			return // socket closed by drive()
+		}
+		sn.recvDgrams.Add(uint64(n))
+		for i := 0; i < n; i++ {
+			b := slots[i].buf[:slots[i].n]
+			if wire.IsBatch(b) {
+				if bt.Unmarshal(b) != nil {
+					continue
+				}
+				for _, m := range bt.Msgs {
+					sn.applyAck(m)
+				}
+				continue
+			}
+			var m wire.Message
+			if m.Unmarshal(b) == nil {
+				sn.applyAck(&m)
+			}
+		}
+	}
+}
+
+func (sn *sweepSender) applyAck(m *wire.Message) {
+	f, ok := sn.byKey[m.Key]
+	if !ok {
+		return
+	}
+	switch m.Type {
+	case wire.MsgLeaseNewAck:
+		f.leased.Store(true)
+		// A re-lease ack also reports the flow's persisted watermark.
+		for {
+			cur := f.acked.Load()
+			if m.Seq <= cur || f.acked.CompareAndSwap(cur, m.Seq) {
+				break
+			}
+		}
+	case wire.MsgReplAck:
+		sn.processed.Add(1)
+		for {
+			cur := f.acked.Load()
+			if m.Seq <= cur || f.acked.CompareAndSwap(cur, m.Seq) {
+				break
+			}
+		}
+	}
+}
+
+// drive runs the lease phase then the windowed write phase, closing the
+// socket on exit so readAcks unblocks.
+func (sn *sweepSender) drive(deadline time.Time) {
+	defer sn.conn.Close()
+	if !sn.leaseAll(deadline) {
+		return
+	}
+	writes := uint64(sn.cfg.Writes)
+	for time.Now().Before(deadline) {
+		progress := false
+		done := true
+		now := time.Now()
+		for _, f := range sn.flows {
+			acked := f.acked.Load()
+			if acked >= writes {
+				continue
+			}
+			done = false
+			if f.sent < acked {
+				f.sent = acked // re-lease reported a higher watermark
+			}
+			// Retransmit a stalled window: the top sequence alone
+			// converges the flow (cumulative acks, gaps allowed).
+			if f.sent > acked && now.Sub(f.lastSend) > sn.cfg.Stall {
+				sn.stageWrites(f, f.sent, f.sent)
+				f.lastSend = now
+				sn.retrans++
+				progress = true
+				continue
+			}
+			for f.sent < writes && f.sent-acked < uint64(sn.cfg.Window) {
+				burst := uint64(sn.cfg.Batch)
+				if left := writes - f.sent; left < burst {
+					burst = left
+				}
+				if room := uint64(sn.cfg.Window) - (f.sent - acked); room < burst {
+					burst = room
+				}
+				sn.stageWrites(f, f.sent+1, f.sent+burst)
+				f.sent += burst
+				f.lastSend = now
+				progress = true
+			}
+		}
+		sn.flushTx()
+		if done {
+			return
+		}
+		if !progress {
+			// Window full everywhere: let the reader run (single-core
+			// friendliness matters more than spin latency here).
+			runtime.Gosched()
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// leaseAll acquires every flow's lease, retransmitting until granted.
+func (sn *sweepSender) leaseAll(deadline time.Time) bool {
+	for time.Now().Before(deadline) {
+		pending := 0
+		for _, f := range sn.flows {
+			if f.leased.Load() {
+				continue
+			}
+			pending++
+			sn.stage(func(b []byte) []byte {
+				m := wire.Message{Type: wire.MsgLeaseNew, Key: f.key, SwitchID: f.switchID}
+				return m.Marshal(b)
+			})
+		}
+		sn.flushTx()
+		if pending == 0 {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}
+
+// stageWrites stages one batch datagram carrying flow f's sequences
+// [from, to].
+func (sn *sweepSender) stageWrites(f *sweepFlow, from, to uint64) {
+	sn.stage(func(b []byte) []byte {
+		if from == to {
+			m := wire.Message{Type: wire.MsgRepl, Key: f.key, SwitchID: f.switchID,
+				Seq: from, Vals: []uint64{from}}
+			return m.Marshal(b)
+		}
+		msgs := make([]*wire.Message, 0, to-from+1)
+		for seq := from; seq <= to; seq++ {
+			msgs = append(msgs, &wire.Message{Type: wire.MsgRepl, Key: f.key,
+				SwitchID: f.switchID, Seq: seq, Vals: []uint64{seq}})
+		}
+		bt := wire.Batch{Msgs: msgs}
+		return bt.Marshal(b)
+	})
+}
+
+// stage marshals one datagram into the next tx slot, flushing a full
+// batch.
+func (sn *sweepSender) stage(fn func(b []byte) []byte) {
+	sl := &sn.tx[sn.txN]
+	sl.buf = fn(sl.buf[:0])
+	sl.addr = sn.dst
+	sn.txN++
+	if sn.txN == len(sn.tx) {
+		sn.flushTx()
+	}
+}
+
+func (sn *sweepSender) flushTx() {
+	if sn.txN == 0 {
+		return
+	}
+	if err := sn.bw.WriteBatch(sn.tx[:sn.txN]); err == nil {
+		sn.sentDgrams += uint64(sn.txN)
+	}
+	sn.txN = 0
+}
+
+// VerifySweep re-leases every flow of a finished sweep with its original
+// switch ID and checks the store still holds the final watermark — the
+// crash-recovery assertion of the CI kill -9 smoke. It returns the
+// number of flows whose state matched.
+func VerifySweep(cfg SweepConfig) (int, error) {
+	cfg.fill()
+	ok := 0
+	for i := 0; i < cfg.Flows; i++ {
+		cl, err := DialUDP(cfg.Addr, cfg.SwitchBase+cfg.FlowBase+i)
+		if err != nil {
+			return ok, err
+		}
+		ack, err := cl.Request(&wire.Message{Type: wire.MsgLeaseNew, Key: FlowKey(cfg.FlowBase + i)})
+		cl.Close()
+		if err != nil {
+			return ok, fmt.Errorf("loadgen: verify flow %d: %w", i, err)
+		}
+		if ack.Seq == uint64(cfg.Writes) && !ack.NewFlow &&
+			len(ack.Vals) == 1 && ack.Vals[0] == uint64(cfg.Writes) {
+			ok++
+		}
+	}
+	return ok, nil
+}

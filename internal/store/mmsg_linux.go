@@ -1,0 +1,198 @@
+//go:build linux && (amd64 || arm64) && !portablemmsg
+
+package store
+
+// Batched UDP syscalls via recvmmsg(2)/sendmmsg(2). The frozen stdlib
+// syscall package predates sendmmsg, so the syscall numbers live in the
+// per-arch files and the mmsghdr layout is declared here (64-bit only:
+// struct msghdr is 56 bytes, so mmsghdr pads msg_len to the next 8-byte
+// boundary). Build -tags portablemmsg to force the portable
+// single-datagram fallback on Linux — CI runs the store tests both
+// ways so neither path rots.
+
+import (
+	"fmt"
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+type mmsghdr struct {
+	Hdr syscall.Msghdr
+	Len uint32 // bytes received/sent for this message
+	_   [4]byte
+}
+
+// newPlatformIO returns the batched recvmmsg/sendmmsg implementation,
+// or the portable fallback if the socket does not expose a raw fd.
+func newPlatformIO(conn *net.UDPConn) (batchReader, batchWriter, string) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return newPortableIO(conn)
+	}
+	local, _ := conn.LocalAddr().(*net.UDPAddr)
+	v6 := local != nil && local.IP.To4() == nil
+	return &mmsgReader{rc: rc}, &mmsgWriter{rc: rc, v6: v6}, "mmsg"
+}
+
+// mmsgReader drains up to len(slots) datagrams per recvmmsg call. The
+// header/iovec/name arrays persist across calls; only the iovec bases
+// are re-pointed, since slot buffers are replaced by the receiver when
+// a datagram's ownership moves to a shard ring.
+type mmsgReader struct {
+	rc    syscall.RawConn
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrAny
+}
+
+func (r *mmsgReader) ReadBatch(slots []rxSlot) (int, error) {
+	if len(r.hdrs) < len(slots) {
+		r.hdrs = make([]mmsghdr, len(slots))
+		r.iovs = make([]syscall.Iovec, len(slots))
+		r.names = make([]syscall.RawSockaddrAny, len(slots))
+	}
+	for i := range slots {
+		r.iovs[i].Base = &slots[i].buf[0]
+		r.iovs[i].SetLen(len(slots[i].buf))
+		r.hdrs[i].Hdr.Name = (*byte)(unsafe.Pointer(&r.names[i]))
+		r.hdrs[i].Hdr.Namelen = uint32(unsafe.Sizeof(r.names[i]))
+		r.hdrs[i].Hdr.Iov = &r.iovs[i]
+		r.hdrs[i].Hdr.Iovlen = 1
+		r.hdrs[i].Len = 0
+	}
+	var n int
+	var errno syscall.Errno
+	rerr := r.rc.Read(func(fd uintptr) bool {
+		nn, _, e := syscall.Syscall6(sysRecvmmsg, fd,
+			uintptr(unsafe.Pointer(&r.hdrs[0])), uintptr(len(slots)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false // netpoller parks until readable
+		}
+		n, errno = int(nn), e
+		return true
+	})
+	if rerr != nil {
+		return 0, rerr
+	}
+	if errno != 0 {
+		return 0, fmt.Errorf("store: recvmmsg: %w", errno)
+	}
+	for i := 0; i < n; i++ {
+		slots[i].n = int(r.hdrs[i].Len)
+		slots[i].addr = sockaddrToUDP(&r.names[i])
+	}
+	return n, nil
+}
+
+// mmsgWriter sends up to len(slots) datagrams per sendmmsg call,
+// looping on partial sends and parking on EAGAIN.
+type mmsgWriter struct {
+	rc   syscall.RawConn
+	v6   bool // socket family: v4 destinations need mapping on a v6 socket
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+	sa4  []syscall.RawSockaddrInet4
+	sa6  []syscall.RawSockaddrInet6
+}
+
+func (w *mmsgWriter) WriteBatch(slots []txSlot) error {
+	if len(w.hdrs) < len(slots) {
+		w.hdrs = make([]mmsghdr, len(slots))
+		w.iovs = make([]syscall.Iovec, len(slots))
+		w.sa4 = make([]syscall.RawSockaddrInet4, len(slots))
+		w.sa6 = make([]syscall.RawSockaddrInet6, len(slots))
+	}
+	for i := range slots {
+		w.iovs[i].Base = &slots[i].buf[0]
+		w.iovs[i].SetLen(len(slots[i].buf))
+		name, namelen, err := w.sockaddr(slots[i].addr, i)
+		if err != nil {
+			return err
+		}
+		w.hdrs[i].Hdr.Name = name
+		w.hdrs[i].Hdr.Namelen = namelen
+		w.hdrs[i].Hdr.Iov = &w.iovs[i]
+		w.hdrs[i].Hdr.Iovlen = 1
+		w.hdrs[i].Len = 0
+	}
+	sent := 0
+	for sent < len(slots) {
+		var n int
+		var errno syscall.Errno
+		werr := w.rc.Write(func(fd uintptr) bool {
+			nn, _, e := syscall.Syscall6(sysSendmmsg, fd,
+				uintptr(unsafe.Pointer(&w.hdrs[sent])), uintptr(len(slots)-sent),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN {
+				return false // netpoller parks until writable
+			}
+			n, errno = int(nn), e
+			return true
+		})
+		if werr != nil {
+			return werr
+		}
+		if errno != 0 {
+			return fmt.Errorf("store: sendmmsg: %w", errno)
+		}
+		if n <= 0 {
+			return fmt.Errorf("store: sendmmsg made no progress")
+		}
+		sent += n
+	}
+	return nil
+}
+
+// sockaddr encodes dst into the i-th persistent sockaddr slot, mapping
+// IPv4 destinations to v4-in-v6 when the socket itself is AF_INET6.
+func (w *mmsgWriter) sockaddr(dst *net.UDPAddr, i int) (*byte, uint32, error) {
+	ip4 := dst.IP.To4()
+	if ip4 != nil && !w.v6 {
+		sa := &w.sa4[i]
+		sa.Family = syscall.AF_INET
+		sa.Port = htons(dst.Port)
+		copy(sa.Addr[:], ip4)
+		return (*byte)(unsafe.Pointer(sa)), uint32(unsafe.Sizeof(*sa)), nil
+	}
+	sa := &w.sa6[i]
+	*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6, Port: htons(dst.Port)}
+	if ip4 != nil {
+		// ::ffff:a.b.c.d
+		sa.Addr[10], sa.Addr[11] = 0xff, 0xff
+		copy(sa.Addr[12:], ip4)
+	} else if ip6 := dst.IP.To16(); ip6 != nil {
+		copy(sa.Addr[:], ip6)
+	} else {
+		return nil, 0, fmt.Errorf("store: unroutable destination %v", dst)
+	}
+	return (*byte)(unsafe.Pointer(sa)), uint32(unsafe.Sizeof(*sa)), nil
+}
+
+// htons converts a host-order port to the sockaddr's big-endian field
+// (whose declared Go type is host-order uint16).
+func htons(p int) uint16 { return uint16(p>>8) | uint16(p&0xff)<<8 }
+
+// sockaddrToUDP decodes a received sockaddr into a *net.UDPAddr,
+// unmapping v4-in-v6 so downstream relay prefixes stay 4-byte.
+func sockaddrToUDP(rsa *syscall.RawSockaddrAny) *net.UDPAddr {
+	switch rsa.Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(rsa))
+		ip := make(net.IP, 4)
+		copy(ip, sa.Addr[:])
+		return &net.UDPAddr{IP: ip, Port: int(htons16(sa.Port))}
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(rsa))
+		ip := make(net.IP, 16)
+		copy(ip, sa.Addr[:])
+		if v4 := ip.To4(); v4 != nil {
+			ip = v4
+		}
+		return &net.UDPAddr{IP: ip, Port: int(htons16(sa.Port))}
+	}
+	return &net.UDPAddr{}
+}
+
+func htons16(p uint16) uint16 { return p>>8 | p<<8 }

@@ -1,0 +1,10 @@
+//go:build linux && amd64 && !portablemmsg
+
+package store
+
+// recvmmsg/sendmmsg syscall numbers on linux/amd64; the frozen stdlib
+// syscall package has SYS_RECVMMSG but predates sendmmsg.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,13 @@
+//go:build !linux || (!amd64 && !arm64) || portablemmsg
+
+package store
+
+import "net"
+
+// newPlatformIO falls back to one-datagram-per-syscall IO on platforms
+// without the batched recvmmsg/sendmmsg path (and under the
+// portablemmsg build tag, which forces the fallback on Linux so CI can
+// exercise both implementations).
+func newPlatformIO(conn *net.UDPConn) (batchReader, batchWriter, string) {
+	return newPortableIO(conn)
+}

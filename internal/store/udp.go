@@ -2,54 +2,170 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"redplane/internal/durable"
 	"redplane/internal/obs"
 	"redplane/internal/packet"
+	"redplane/internal/ring"
 	"redplane/internal/wire"
 )
 
-// UDPServer serves a Shard over a real UDP socket, speaking the RedPlane
-// wire format — the deployment mode of cmd/redplane-store. Chain
-// replication works across processes: the head relays each mutating
-// request to its successor with the original requester's address
-// prepended, and the tail sends the acknowledgment straight back to the
-// switch, exactly as the simulator's chain does.
+// UDPServer serves the RedPlane wire protocol over a real UDP socket —
+// the deployment mode of cmd/redplane-store. Chain replication works
+// across processes exactly as in the simulator: the head relays each
+// mutating request to its successor with the original requester's
+// address prepended, and the tail acknowledges straight back to the
+// switch.
+//
+// Internally the server is sharded by flow (DESIGN.md "Per-core
+// sharding on the real-UDP path"): a small set of receiver goroutines
+// drain the socket with batched recvmmsg reads (single-read fallback
+// off Linux), hash each datagram's five-tuple to its owning shard, and
+// hand it over on a lock-free SPSC ring. Every flow's state is touched
+// by exactly one shard goroutine, so the data path needs no per-flow
+// locking; egress leaves through per-shard sendmmsg batches, and with
+// durability enabled one group-commit fsync covers a whole drained
+// batch (durable ⊇ forwarded ⊇ acked, per shard).
 type UDPServer struct {
-	shard *Shard
-	conn  *net.UDPConn
+	conn *net.UDPConn
+	next *net.UDPAddr // chain successor (nil = tail / no chain)
+	cfg  Config
+	opt  UDPOptions
 
-	// dur, when non-nil, persists every mutation to a write-ahead log and
-	// syncs it before the mutation's effect leaves the process (chain
-	// relay or switch reply) — kill -9 then restart with the same -wal-dir
-	// recovers the shard from checkpoint + WAL tail. The real server syncs
-	// synchronously instead of group-committing behind a virtual timer.
-	dur *Durability
+	reg    *obs.Registry
+	ioName string // "mmsg" or "portable"
 
-	// next is the chain successor's address (nil = tail / no chain).
-	next *net.UDPAddr
+	pool sync.Pool // *[]byte datagram buffers, cap udpBufSize
 
-	mu     sync.Mutex
-	closed bool
-	// addrs records the last seen UDP address per switch ID so deferred
-	// lease grants can be delivered.
-	addrs map[int]*net.UDPAddr
+	shards []*udpShard
+	recvs  []*udpReceiver
 
-	// Requests and Replies count datagrams for observability.
-	Requests, Replies uint64
+	rxBatches *obs.Counter
+	rxDgrams  *obs.Counter
+	badDgrams *obs.Counter
+
+	serving  atomic.Bool
+	closed   atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
 }
 
 // relayMagic distinguishes chain-relayed datagrams from direct requests.
 const relayMagic byte = 0xC4
 
+// relayHdrLen is relayMagic + IPv4 + port.
+const relayHdrLen = 7
+
+// leaseFlushTick is how often each shard sweeps expired leases with
+// queued waiters.
+const leaseFlushTick = 50 * time.Millisecond
+
+// maxDrainBurst bounds the datagrams a shard processes per group
+// commit, so acknowledgments are not starved under sustained ingress.
+const maxDrainBurst = 256
+
+// UDPOptions sizes the sharded server. The zero value of each field
+// selects its default.
+type UDPOptions struct {
+	// Shards is the number of shard-owner goroutines; flows hash to
+	// shards by five-tuple. Default 1. cmd/redplane-store defaults its
+	// -shards flag to the core count instead.
+	Shards int
+	// Receivers is the number of goroutines draining the socket.
+	// Default: 1 for a single shard, else 2.
+	Receivers int
+	// RxBatch is the datagrams read per recvmmsg call (default 32).
+	RxBatch int
+	// TxBatch is the datagrams per shard sendmmsg call (default 32).
+	TxBatch int
+	// RingSize is each receiver→shard SPSC ring's capacity (default
+	// 1024, rounded up to a power of two). A full ring sheds — the
+	// switch retransmits, like any other UDP loss.
+	RingSize int
+	// CommitBurst bounds the datagrams a shard processes per group
+	// commit (default 256). 1 reproduces the pre-sharding behavior —
+	// one fsync per mutating datagram — which is what the goodput
+	// benchmark's baseline measures.
+	CommitBurst int
+
+	forcePortable bool
+}
+
+// UDPOption configures NewUDPServer.
+type UDPOption func(*UDPOptions)
+
+// WithUDPShards sets the shard-owner goroutine count.
+func WithUDPShards(n int) UDPOption { return func(o *UDPOptions) { o.Shards = n } }
+
+// WithUDPReceivers sets the socket-draining goroutine count.
+func WithUDPReceivers(n int) UDPOption { return func(o *UDPOptions) { o.Receivers = n } }
+
+// WithUDPBatch sets the rx (recvmmsg) and tx (sendmmsg) syscall batch
+// sizes; 0 keeps a side's default.
+func WithUDPBatch(rx, tx int) UDPOption {
+	return func(o *UDPOptions) { o.RxBatch, o.TxBatch = rx, tx }
+}
+
+// WithUDPRing sets the per-receiver-per-shard ring capacity.
+func WithUDPRing(n int) UDPOption { return func(o *UDPOptions) { o.RingSize = n } }
+
+// WithUDPCommitBurst bounds datagrams per shard group commit.
+func WithUDPCommitBurst(n int) UDPOption { return func(o *UDPOptions) { o.CommitBurst = n } }
+
+// WithUDPPortableIO forces the portable single-datagram syscall path
+// even where the batched recvmmsg/sendmmsg one is available — for
+// debugging and for the CI equivalence tests.
+func WithUDPPortableIO() UDPOption { return func(o *UDPOptions) { o.forcePortable = true } }
+
+func (o *UDPOptions) fill() error {
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
+	if o.Receivers == 0 {
+		if o.Shards == 1 {
+			o.Receivers = 1
+		} else {
+			o.Receivers = 2
+		}
+	}
+	if o.RxBatch == 0 {
+		o.RxBatch = 32
+	}
+	if o.TxBatch == 0 {
+		o.TxBatch = 32
+	}
+	if o.RingSize == 0 {
+		o.RingSize = 1024
+	}
+	if o.CommitBurst == 0 {
+		o.CommitBurst = maxDrainBurst
+	}
+	if o.Shards < 1 || o.Receivers < 1 || o.RxBatch < 1 || o.TxBatch < 1 || o.RingSize < 2 ||
+		o.CommitBurst < 1 {
+		return fmt.Errorf("store: invalid UDP options %+v", *o)
+	}
+	return nil
+}
+
 // NewUDPServer binds the server to addr (e.g. "127.0.0.1:9500").
-// nextAddr, when non-empty, is the chain successor.
-func NewUDPServer(addr, nextAddr string, cfg Config) (*UDPServer, error) {
+// nextAddr, when non-empty, is the chain successor. Goroutines start in
+// Serve.
+func NewUDPServer(addr, nextAddr string, cfg Config, opts ...UDPOption) (*UDPServer, error) {
+	var opt UDPOptions
+	for _, fn := range opts {
+		fn(&opt)
+	}
+	if err := opt.fill(); err != nil {
+		return nil, err
+	}
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("store: resolve %q: %w", addr, err)
@@ -58,7 +174,20 @@ func NewUDPServer(addr, nextAddr string, cfg Config) (*UDPServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: listen: %w", err)
 	}
-	s := &UDPServer{shard: NewShard(cfg), conn: conn, addrs: make(map[int]*net.UDPAddr)}
+	// Best effort: absorb ingress bursts between batched drains
+	// (unprivileged processes are capped by net.core.rmem_max).
+	conn.SetReadBuffer(sockBufBytes)
+	conn.SetWriteBuffer(sockBufBytes)
+	s := &UDPServer{
+		conn: conn, cfg: cfg, opt: opt,
+		reg:  obs.NewRegistry(),
+		stop: make(chan struct{}),
+	}
+	s.pool.New = func() any { b := make([]byte, udpBufSize); return &b }
+	udpNS := s.reg.NS("udp")
+	s.rxBatches = udpNS.Counter("rx_batches")
+	s.rxDgrams = udpNS.Counter("rx_dgrams")
+	s.badDgrams = udpNS.Counter("bad_dgrams")
 	if nextAddr != "" {
 		na, err := net.ResolveUDPAddr("udp", nextAddr)
 		if err != nil {
@@ -67,242 +196,660 @@ func NewUDPServer(addr, nextAddr string, cfg Config) (*UDPServer, error) {
 		}
 		s.next = na
 	}
+
+	// newIO builds one reader/writer pair; each receiver and each shard
+	// gets its own so scratch arrays are never shared across goroutines
+	// (the fd itself is safe to share — the kernel serializes datagrams).
+	newIO := func() (batchReader, batchWriter, string) {
+		if opt.forcePortable {
+			return newPortableIO(conn)
+		}
+		return newPlatformIO(conn)
+	}
+
+	s.shards = make([]*udpShard, opt.Shards)
+	for i := range s.shards {
+		ns := s.reg.NS(fmt.Sprintf("udp-shard%d", i))
+		sh := &udpShard{
+			srv: s, idx: i,
+			sh:    NewShard(cfg),
+			addrs: make(map[int]*net.UDPAddr),
+			wake:  make(chan struct{}, 1),
+			rings: make([]*ring.SPSC[dgram], opt.Receivers),
+			tx: &txBatcher{
+				slots:     make([]txSlot, opt.TxBatch),
+				txBatches: ns.Counter("tx_batches"),
+				txDgrams:  ns.Counter("tx_dgrams"),
+			},
+			queueDepth: ns.Gauge("queue_depth"),
+			dgrams:     ns.Counter("dgrams"),
+			sheds:      ns.Counter("sheds"),
+			replies:    ns.Counter("replies"),
+			relays:     ns.Counter("relays"),
+		}
+		_, sh.tx.bw, s.ioName = newIO()
+		for r := range sh.rings {
+			sh.rings[r] = ring.New[dgram](opt.RingSize)
+		}
+		s.shards[i] = sh
+	}
+
+	s.recvs = make([]*udpReceiver, opt.Receivers)
+	for i := range s.recvs {
+		rbr, _, _ := newIO()
+		rx := &udpReceiver{srv: s, idx: i, br: rbr, slots: make([]rxSlot, opt.RxBatch)}
+		for j := range rx.slots {
+			rx.slots[j].buf = s.getBuf()
+		}
+		s.recvs[i] = rx
+	}
 	return s, nil
 }
 
-// EnableDurability attaches a durable backend (typically a DirBackend
-// over -wal-dir) to the server: the current shard is replaced by one
-// recovered from the backend's newest checkpoint plus the WAL tail, and
-// every later mutation is logged and fsynced before its ack or chain
-// relay escapes. Call before Serve. Returns the number of WAL records
-// replayed past the checkpoint.
+func (s *UDPServer) getBuf() []byte { return *(s.pool.Get().(*[]byte)) }
+func (s *UDPServer) putBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	b = b[:cap(b)]
+	s.pool.Put(&b)
+}
+
+// shardFor routes a flow key to its owning shard. Receivers and the
+// client-side sweep both use it, so a flow's datagrams always land on
+// the same goroutine.
+func (s *UDPServer) shardFor(key packet.FiveTuple) int {
+	return int(key.Hash() % uint64(len(s.shards)))
+}
+
+// Shards returns the configured shard count.
+func (s *UDPServer) Shards() int { return len(s.shards) }
+
+// IOPath reports which batched-syscall implementation the server is
+// using: "mmsg" or "portable".
+func (s *UDPServer) IOPath() string { return s.ioName }
+
+// Obs exposes the server's metric registry (udp/* and udp-shard<i>/*
+// scopes, plus store-shard<i>/* when durability is enabled).
+func (s *UDPServer) Obs() *obs.Registry { return s.reg }
+
+// EnableDurability attaches a durable backend to a single-shard server:
+// the shard is replaced by one recovered from the backend's newest
+// checkpoint plus the WAL tail, and every later mutation is logged and
+// fsynced before its ack or chain relay escapes. Call before Serve.
+// Returns the number of WAL records replayed. Multi-shard servers need
+// one backend per shard; use EnableDurabilityBackends.
 func (s *UDPServer) EnableDurability(be durable.Backend, cfg DurabilityConfig) (int, error) {
-	d, err := NewDurability(be, cfg, obs.NewRegistry().NS("store"))
-	if err != nil {
-		return 0, err
+	if len(s.shards) != 1 {
+		return 0, fmt.Errorf("store: EnableDurability needs one backend per shard (%d shards); use EnableDurabilityBackends", len(s.shards))
 	}
-	sh, replayed, err := d.Restore(s.shard.cfg)
-	if err != nil {
-		return 0, err
+	return s.EnableDurabilityBackends([]durable.Backend{be}, cfg)
+}
+
+// EnableDurabilityBackends attaches one durable backend per shard (the
+// flow→shard hash is stable, so a shard's WAL only ever holds its own
+// flows — provided the shard count does not change between restarts;
+// cmd/redplane-store records the count next to the WAL and refuses a
+// mismatch). Call before Serve. Returns total WAL records replayed.
+func (s *UDPServer) EnableDurabilityBackends(bes []durable.Backend, cfg DurabilityConfig) (int, error) {
+	if s.serving.Load() {
+		return 0, errors.New("store: EnableDurabilityBackends after Serve")
 	}
-	s.shard = sh
-	s.dur = d
-	return replayed, nil
+	if len(bes) != len(s.shards) {
+		return 0, fmt.Errorf("store: %d backends for %d shards", len(bes), len(s.shards))
+	}
+	total := 0
+	for i, be := range bes {
+		d, err := NewDurability(be, cfg, s.reg.NS(fmt.Sprintf("store-shard%d", i)))
+		if err != nil {
+			return 0, err
+		}
+		sh, replayed, err := d.Restore(s.cfg)
+		if err != nil {
+			return 0, err
+		}
+		s.shards[i].sh = sh
+		s.shards[i].dur = d
+		total += replayed
+	}
+	return total, nil
 }
 
 // Addr returns the bound address.
 func (s *UDPServer) Addr() net.Addr { return s.conn.LocalAddr() }
 
-// Shard exposes the underlying shard. The shard is not concurrency-safe:
-// while Serve runs, use State/Digest instead, which take the server lock.
-func (s *UDPServer) Shard() *Shard { return s.shard }
+// Shard exposes shard 0's state shard. Only meaningful before Serve (or
+// after Close): while serving, shard goroutines own their shards — use
+// State/Digest, which fence correctly.
+func (s *UDPServer) Shard() *Shard { return s.shards[0].sh }
 
-// State reads a flow's state under the server lock.
+// State reads a flow's state, fenced against the owning shard goroutine.
 func (s *UDPServer) State(key packet.FiveTuple) (vals []uint64, lastSeq uint64, ok bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.shard.State(key)
+	sh := s.shards[s.shardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sh.State(key)
 }
 
-// Digest hashes the shard's committed state under the server lock.
+// Digest hashes the server's committed state. With one shard it is the
+// shard digest itself (so it stays comparable across restarts and with
+// simulator shards); with several it folds the per-shard digests in
+// shard order.
 func (s *UDPServer) Digest() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.shard.Digest()
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return sh.sh.Digest()
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		d := sh.sh.Digest()
+		sh.mu.Unlock()
+		binary.LittleEndian.PutUint64(buf[:], d)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// UDPStats is a point-in-time snapshot of the server's counters.
+type UDPStats struct {
+	RxBatches, RxDgrams, BadDgrams uint64
+	TxBatches, TxDgrams            uint64
+	Replies, Relays, Sheds         uint64
+	PerShard                       []UDPShardStats
+}
+
+// UDPShardStats is one shard's slice of the counters.
+type UDPShardStats struct {
+	Dgrams, Sheds, Replies, Relays uint64
+	QueueDepth, QueueHigh          int64
+}
+
+// Stats snapshots the server's observability counters.
+func (s *UDPServer) Stats() UDPStats {
+	st := UDPStats{
+		RxBatches: s.rxBatches.Value(),
+		RxDgrams:  s.rxDgrams.Value(),
+		BadDgrams: s.badDgrams.Value(),
+	}
+	for _, sh := range s.shards {
+		ps := UDPShardStats{
+			Dgrams: sh.dgrams.Value(), Sheds: sh.sheds.Value(),
+			Replies: sh.replies.Value(), Relays: sh.relays.Value(),
+			QueueDepth: sh.queueDepth.Value(), QueueHigh: sh.queueDepth.High(),
+		}
+		st.TxBatches += sh.tx.txBatches.Value()
+		st.TxDgrams += sh.tx.txDgrams.Value()
+		st.Replies += ps.Replies
+		st.Relays += ps.Relays
+		st.Sheds += ps.Sheds
+		st.PerShard = append(st.PerShard, ps)
+	}
+	return st
 }
 
 // Close shuts the server down.
 func (s *UDPServer) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
+	s.closed.Store(true)
+	s.stopOnce.Do(func() { close(s.stop) })
 	return s.conn.Close()
 }
 
-// Serve processes datagrams until Close. It also runs the lease-expiry
-// flusher. Serve is single-goroutine per shard by design: the Shard is
-// not concurrency-safe, and one core per shard matches the paper's
-// store sharding.
+// Serve runs the receiver and shard goroutines until Close. It returns
+// nil on a clean shutdown, or the first receiver error.
 func (s *UDPServer) Serve() error {
-	stop := make(chan struct{})
-	defer close(stop)
-	go s.flushLoop(stop)
-
-	buf := make([]byte, 65536)
-	// enc is the Serve goroutine's reusable encode/relay scratch buffer;
-	// the flush loop keeps its own, so neither allocates per datagram.
-	var enc []byte
-	for {
-		n, from, err := s.conn.ReadFromUDP(buf)
-		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if closed {
-				return nil
-			}
-			return fmt.Errorf("store: read: %w", err)
-		}
-		s.handleDatagram(buf[:n], from, &enc)
+	if !s.serving.CompareAndSwap(false, true) {
+		return errors.New("store: Serve called twice")
+	}
+	errCh := make(chan error, len(s.recvs))
+	var wgRecv, wgShard sync.WaitGroup
+	for _, sh := range s.shards {
+		wgShard.Add(1)
+		go func(sh *udpShard) { defer wgShard.Done(); sh.run() }(sh)
+	}
+	for _, r := range s.recvs {
+		wgRecv.Add(1)
+		go func(r *udpReceiver) { defer wgRecv.Done(); r.run(errCh) }(r)
+	}
+	// A dead receiver set (socket closed or failed) ends the server.
+	wgRecv.Wait()
+	s.stopOnce.Do(func() { close(s.stop) })
+	wgShard.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
 	}
 }
 
-func (s *UDPServer) handleDatagram(b []byte, from *net.UDPAddr, enc *[]byte) {
-	origin := from
-	if len(b) > 7 && b[0] == relayMagic {
+// dgram is one routed unit of work handed from a receiver to a shard:
+// the raw payload (single-message or batch framing, relay prefix
+// stripped) plus, for batches, the already-decoded members.
+type dgram struct {
+	base    *[]byte         // pooled backing buffer to recycle (nil = none)
+	payload []byte          // wire payload; relayed down the chain verbatim
+	msgs    []*wire.Message // decoded batch members; nil ⇒ payload is one message
+	origin  *net.UDPAddr    // original requester
+}
+
+// udpReceiver drains the socket and routes datagrams to shard rings.
+type udpReceiver struct {
+	srv   *UDPServer
+	idx   int
+	br    batchReader
+	slots []rxSlot
+	group map[int][]*wire.Message // split-batch scratch
+}
+
+func (r *udpReceiver) run(errCh chan<- error) {
+	s := r.srv
+	for {
+		n, err := r.br.ReadBatch(r.slots)
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			errCh <- fmt.Errorf("store: read: %w", err)
+			// Unblock Serve's shutdown even on a spontaneous failure.
+			s.stopOnce.Do(func() { close(s.stop) })
+			return
+		}
+		s.rxBatches.Inc()
+		s.rxDgrams.Add(uint64(n))
+		for i := 0; i < n; i++ {
+			r.route(&r.slots[i])
+		}
+	}
+}
+
+// route hands one received datagram to its owning shard. Single-message
+// frames are routed by a header peek and decoded by the shard; batch
+// frames are decoded here (splitting them requires it) and re-framed
+// per shard when their members span several.
+func (r *udpReceiver) route(sl *rxSlot) {
+	s := r.srv
+	b := sl.buf[:sl.n]
+	origin := sl.addr
+	payload := b
+	if len(b) > relayHdrLen && b[0] == relayMagic {
 		// Chain relay: recover the original requester's address.
 		ip := make(net.IP, 4)
 		copy(ip, b[1:5])
 		origin = &net.UDPAddr{IP: ip, Port: int(binary.BigEndian.Uint16(b[5:7]))}
-		b = b[7:]
+		payload = b[relayHdrLen:]
 	}
-	if wire.IsBatch(b) {
-		// Batched requests: process every member in one shard pass and
-		// relay the raw batch down the chain unchanged — successors
-		// re-process it just like a relayed single request.
+	if wire.IsBatch(payload) {
 		var bt wire.Batch
-		if err := bt.Unmarshal(b); err != nil {
-			log.Printf("store: bad batch from %v: %v", from, err)
+		if err := bt.Unmarshal(payload); err != nil {
+			s.badDgrams.Inc()
+			log.Printf("store: bad batch from %v: %v", sl.addr, err)
 			return
 		}
-		s.Requests++
-		s.mu.Lock()
+		if len(bt.Msgs) == 0 {
+			return
+		}
+		target := s.shardFor(bt.Msgs[0].Key)
+		same := true
+		for _, m := range bt.Msgs[1:] {
+			if s.shardFor(m.Key) != target {
+				same = false
+				break
+			}
+		}
+		if same {
+			buf := sl.buf
+			r.deliver(target, dgram{base: &buf, payload: payload, msgs: bt.Msgs, origin: origin})
+			sl.buf = s.getBuf() // ownership moved to the ring
+			return
+		}
+		// Split: re-frame each shard's members as their own sub-batch.
+		// The original slot buffer stays with the receiver.
+		if r.group == nil {
+			r.group = make(map[int][]*wire.Message, len(s.shards))
+		}
 		for _, m := range bt.Msgs {
-			s.addrs[m.SwitchID] = origin
+			si := s.shardFor(m.Key)
+			r.group[si] = append(r.group[si], m)
 		}
-		outs, ups := s.shard.ProcessBatch(time.Now().UnixNano(), bt.Msgs)
-		durableOK := len(ups) == 0 || s.syncDur()
-		s.mu.Unlock()
-		if !durableOK {
-			return // never ack or relay what isn't durable; the switch retransmits
+		for si, msgs := range r.group {
+			if len(msgs) == 0 {
+				continue
+			}
+			nb := s.getBuf()
+			sub := wire.Batch{Msgs: msgs}
+			pb := sub.Marshal(nb[:0])
+			r.deliver(si, dgram{base: &nb, payload: pb, msgs: msgs, origin: origin})
+			r.group[si] = nil
 		}
-		if len(ups) > 0 && s.next != nil {
-			s.relay(b, origin, enc)
+		return
+	}
+	key, ok := wire.PeekKey(payload)
+	if !ok {
+		s.badDgrams.Inc()
+		log.Printf("store: bad datagram from %v (%d bytes)", sl.addr, len(payload))
+		return
+	}
+	buf := sl.buf
+	r.deliver(s.shardFor(key), dgram{base: &buf, payload: payload, origin: origin})
+	sl.buf = s.getBuf()
+}
+
+func (r *udpReceiver) deliver(shard int, d dgram) {
+	sh := r.srv.shards[shard]
+	if !sh.rings[r.idx].Push(d) {
+		sh.sheds.Inc()
+		r.srv.putBuf(*d.base)
+		return
+	}
+	sh.queueDepth.Set(int64(sh.ringLen()))
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pendingReply is an acknowledgment datagram held until the covering
+// group commit.
+type pendingReply struct {
+	outs []Output
+	to   *net.UDPAddr
+}
+
+// pendingRelay is a chain forward held until the covering group commit.
+type pendingRelay struct {
+	base    *[]byte
+	payload []byte
+	origin  *net.UDPAddr
+}
+
+// udpShard owns one partition of the flow space: exactly one goroutine
+// (run) touches sh, dur, addrs, and tx while serving. mu fences the
+// rare out-of-band readers (State/Digest/Stats and pre-Serve setup); it
+// is taken once per drained batch, never per datagram.
+type udpShard struct {
+	srv *UDPServer
+	idx int
+
+	mu    sync.Mutex
+	sh    *Shard
+	dur   *Durability
+	addrs map[int]*net.UDPAddr
+
+	rings []*ring.SPSC[dgram]
+	wake  chan struct{}
+	tx    *txBatcher
+
+	pendingOut   []pendingReply
+	pendingRelay []pendingRelay
+
+	queueDepth *obs.Gauge
+	dgrams     *obs.Counter
+	sheds      *obs.Counter
+	replies    *obs.Counter
+	relays     *obs.Counter
+}
+
+func (sh *udpShard) ringLen() int {
+	n := 0
+	for _, r := range sh.rings {
+		n += r.Len()
+	}
+	return n
+}
+
+func (sh *udpShard) run() {
+	tick := time.NewTicker(leaseFlushTick)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sh.srv.stop:
+			return
+		case <-sh.wake:
+			sh.drain()
+		case <-tick.C:
+			sh.flushLeases()
+		}
+	}
+}
+
+// drain services every queued datagram, group-committing at most every
+// maxDrainBurst: process a burst, fsync once for all its mutations,
+// then release the burst's relays and acknowledgments in one egress
+// batch.
+func (sh *udpShard) drain() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	commitBurst := sh.srv.opt.CommitBurst
+	for {
+		processed := 0
+	burst:
+		for _, r := range sh.rings {
+			for processed < commitBurst {
+				d, ok := r.Pop()
+				if !ok {
+					break
+				}
+				sh.handle(d)
+				processed++
+			}
+			if processed >= commitBurst {
+				break burst
+			}
+		}
+		sh.queueDepth.Set(int64(sh.ringLen()))
+		if processed == 0 {
 			return
 		}
-		s.replyAll(outs, origin, enc)
-		return
+		// Group-commit window: if mutations are staged and a fsync delay
+		// is configured, linger briefly so closely-following datagrams
+		// share the fsync. A CommitBurst of 1 means per-datagram commits
+		// (the pre-sharding behavior) — never linger.
+		if commitBurst > 1 && sh.dur != nil && sh.dur.StagedRecords() > 0 {
+			if w := sh.dur.GroupWindow(); w > 0 {
+				t := time.NewTimer(w)
+			linger:
+				for {
+					select {
+					case <-sh.wake:
+						if sh.ringLen() > 0 {
+							break linger // more work arrived; extend the burst
+						}
+					case <-t.C:
+						break linger
+					}
+				}
+				t.Stop()
+			}
+		}
+		sh.commit()
 	}
-	var m wire.Message
-	if err := m.Unmarshal(b); err != nil {
-		log.Printf("store: bad datagram from %v: %v", from, err)
-		return
-	}
-	s.Requests++
+}
 
-	s.mu.Lock()
-	s.addrs[m.SwitchID] = origin
-	outs, ups := s.shard.Process(time.Now().UnixNano(), &m)
-	durableOK := len(ups) == 0 || s.syncDur()
-	s.mu.Unlock()
-	if !durableOK {
+// handle processes one datagram's messages on the shard and stages its
+// effects (relay or replies) for the next commit.
+func (sh *udpShard) handle(d dgram) {
+	now := time.Now().UnixNano()
+	var outs []Output
+	var ups []Update
+	if d.msgs != nil {
+		for _, m := range d.msgs {
+			sh.addrs[m.SwitchID] = d.origin
+		}
+		outs, ups = sh.sh.ProcessBatch(now, d.msgs)
+	} else {
+		m := new(wire.Message)
+		if err := m.Unmarshal(d.payload); err != nil {
+			sh.srv.badDgrams.Inc()
+			log.Printf("store: bad datagram from %v: %v", d.origin, err)
+			sh.srv.putBuf(*d.base)
+			return
+		}
+		sh.addrs[m.SwitchID] = d.origin
+		outs, ups = sh.sh.Process(now, m)
+	}
+	sh.dgrams.Inc()
+	if len(ups) > 0 && sh.srv.next != nil {
+		// Mutation mid-chain: push the raw payload down the chain; the
+		// tail replies. The buffer is recycled after the relay escapes.
+		sh.pendingRelay = append(sh.pendingRelay, pendingRelay{base: d.base, payload: d.payload, origin: d.origin})
 		return
 	}
+	if len(outs) > 0 {
+		sh.pendingOut = append(sh.pendingOut, pendingReply{outs: outs, to: d.origin})
+	}
+	sh.srv.putBuf(*d.base)
+}
 
-	if len(ups) > 0 && s.next != nil {
-		// Mutation: push it down the chain; the tail will reply.
-		s.relay(b, origin, enc)
+// commit makes the staged mutations durable (one fsync for the whole
+// burst), then releases every held relay and acknowledgment through the
+// shard's egress batch. On a failed sync nothing escapes — the staged
+// WAL records remain for the next attempt and the switches retransmit.
+func (sh *udpShard) commit() {
+	if sh.dur != nil && sh.dur.StagedRecords() > 0 {
+		if err := sh.dur.Sync(time.Now().UnixNano()); err != nil {
+			log.Printf("store: wal sync: %v", err)
+			sh.dropPending()
+			return
+		}
+	}
+	for i := range sh.pendingRelay {
+		pr := &sh.pendingRelay[i]
+		sh.stageRelay(pr.payload, pr.origin)
+		sh.srv.putBuf(*pr.base)
+		pr.base = nil
+	}
+	sh.pendingRelay = sh.pendingRelay[:0]
+	for i := range sh.pendingOut {
+		po := &sh.pendingOut[i]
+		sh.stageReply(po.outs, po.to)
+		po.outs = nil
+	}
+	sh.pendingOut = sh.pendingOut[:0]
+	if err := sh.tx.flush(); err != nil {
+		sh.logSendErr(err)
+	}
+}
+
+// dropPending discards staged outputs after a failed sync.
+func (sh *udpShard) dropPending() {
+	for i := range sh.pendingRelay {
+		sh.srv.putBuf(*sh.pendingRelay[i].base)
+		sh.pendingRelay[i].base = nil
+	}
+	sh.pendingRelay = sh.pendingRelay[:0]
+	for i := range sh.pendingOut {
+		sh.pendingOut[i].outs = nil
+	}
+	sh.pendingOut = sh.pendingOut[:0]
+}
+
+// stageRelay frames the raw request for the chain successor: the relay
+// magic plus the original requester's address, then the payload.
+func (sh *udpShard) stageRelay(payload []byte, origin *net.UDPAddr) {
+	ip4 := origin.IP.To4()
+	if ip4 == nil {
+		log.Printf("store: cannot relay for non-IPv4 origin %v", origin)
+		return
+	}
+	err := sh.tx.stage(sh.srv.next, func(b []byte) []byte {
+		b = append(b, relayMagic)
+		b = append(b, ip4...)
+		b = binary.BigEndian.AppendUint16(b, uint16(origin.Port))
+		return append(b, payload...)
+	})
+	if err != nil {
+		sh.logSendErr(err)
+		return
+	}
+	sh.relays.Inc()
+}
+
+// stageReply frames a processed datagram's acknowledgments exactly as
+// the single-goroutine server did: one plain frame for a lone ack, one
+// batch datagram otherwise.
+func (sh *udpShard) stageReply(outs []Output, to *net.UDPAddr) {
+	if len(outs) == 0 {
+		return
+	}
+	var err error
+	if len(outs) == 1 {
+		err = sh.tx.stage(to, func(b []byte) []byte { return outs[0].Msg.Marshal(b) })
+	} else {
+		bt := wire.Batch{Msgs: make([]*wire.Message, len(outs))}
+		for i, o := range outs {
+			bt.Msgs[i] = o.Msg
+		}
+		err = sh.tx.stage(to, func(b []byte) []byte { return bt.Marshal(b) })
+	}
+	if err != nil {
+		sh.logSendErr(err)
+		return
+	}
+	sh.replies.Inc()
+}
+
+// flushLeases grants queued lease requests whose blocking leases
+// expired, with the grants held behind the same durability barrier as
+// any other mutation.
+func (sh *udpShard) flushLeases() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	outs, ups := sh.sh.Flush(time.Now().UnixNano())
+	if len(outs) == 0 && len(ups) == 0 {
 		return
 	}
 	for _, o := range outs {
-		s.reply(o, origin, enc)
-	}
-}
-
-// replyAll sends a batch's acknowledgments back to the requester: one
-// plain frame for a single ack, one batch datagram otherwise.
-func (s *UDPServer) replyAll(outs []Output, to *net.UDPAddr, enc *[]byte) {
-	switch len(outs) {
-	case 0:
-		return
-	case 1:
-		s.reply(outs[0], to, enc)
-		return
-	}
-	bt := wire.Batch{Msgs: make([]*wire.Message, len(outs))}
-	for i, o := range outs {
-		bt.Msgs[i] = o.Msg
-	}
-	b := bt.Marshal((*enc)[:0])
-	*enc = b
-	if _, err := s.conn.WriteToUDP(b, to); err != nil {
-		log.Printf("store: reply: %v", err)
-		return
-	}
-	s.Replies++
-}
-
-// relay forwards the raw request to the successor, prefixed with the
-// original requester's address, encoding into the caller's scratch
-// buffer.
-func (s *UDPServer) relay(req []byte, origin *net.UDPAddr, enc *[]byte) {
-	hdr := append((*enc)[:0], relayMagic)
-	hdr = append(hdr, origin.IP.To4()...)
-	hdr = binary.BigEndian.AppendUint16(hdr, uint16(origin.Port))
-	hdr = append(hdr, req...)
-	*enc = hdr
-	if _, err := s.conn.WriteToUDP(hdr, s.next); err != nil {
-		log.Printf("store: relay: %v", err)
-	}
-}
-
-// reply encodes o into the caller's scratch buffer and sends it.
-func (s *UDPServer) reply(o Output, to *net.UDPAddr, enc *[]byte) {
-	b := o.Msg.Marshal((*enc)[:0])
-	*enc = b
-	if _, err := s.conn.WriteToUDP(b, to); err != nil {
-		log.Printf("store: reply: %v", err)
-		return
-	}
-	s.Replies++
-}
-
-// syncDur fsyncs every staged WAL record (checkpointing when the log
-// has grown enough) and reports whether the mutation batch may escape.
-// Caller holds s.mu; a failed sync keeps the records staged so the next
-// attempt retries them.
-func (s *UDPServer) syncDur() bool {
-	if s.dur == nil {
-		return true
-	}
-	if err := s.dur.Sync(time.Now().UnixNano()); err != nil {
-		log.Printf("store: wal sync: %v", err)
-		return false
-	}
-	return true
-}
-
-// flushLoop periodically grants queued lease requests whose blocking
-// leases expired, replying to the requesters' recorded addresses.
-func (s *UDPServer) flushLoop(stop chan struct{}) {
-	t := time.NewTicker(50 * time.Millisecond)
-	defer t.Stop()
-	var enc []byte // this goroutine's private encode scratch
-	for {
-		select {
-		case <-stop:
-			return
-		case <-t.C:
-			s.mu.Lock()
-			outs, ups := s.shard.Flush(time.Now().UnixNano())
-			// Deferred grants mutate lease ownership, so they too must be
-			// durable before the grant escapes.
-			durableOK := len(ups) == 0 || s.syncDur()
-			grants := make([]Output, len(outs))
-			copy(grants, outs)
-			addr := make(map[int]*net.UDPAddr, len(s.addrs))
-			for k, v := range s.addrs {
-				addr[k] = v
-			}
-			s.mu.Unlock()
-			if !durableOK {
-				continue
-			}
-			for _, o := range grants {
-				if a, ok := addr[o.DstSwitch]; ok {
-					s.reply(o, a, &enc)
-				}
-			}
+		if a, ok := sh.addrs[o.DstSwitch]; ok {
+			sh.pendingOut = append(sh.pendingOut, pendingReply{outs: []Output{o}, to: a})
 		}
 	}
+	sh.commit()
+}
+
+func (sh *udpShard) logSendErr(err error) {
+	if sh.srv.closed.Load() {
+		return
+	}
+	log.Printf("store: send: %v", err)
+}
+
+// txBatcher accumulates marshaled datagrams and sends them in one
+// sendmmsg call (or a write loop on the portable path). Slot buffers
+// are reused across flushes.
+type txBatcher struct {
+	bw    batchWriter
+	slots []txSlot
+	n     int
+
+	txBatches *obs.Counter
+	txDgrams  *obs.Counter
+}
+
+// stage marshals one datagram into the next slot via fn and flushes
+// when the batch is full. fn appends to the given buffer and returns it.
+func (t *txBatcher) stage(to *net.UDPAddr, fn func(b []byte) []byte) error {
+	sl := &t.slots[t.n]
+	sl.buf = fn(sl.buf[:0])
+	sl.addr = to
+	t.n++
+	if t.n == len(t.slots) {
+		return t.flush()
+	}
+	return nil
+}
+
+// flush sends the accumulated batch.
+func (t *txBatcher) flush() error {
+	if t.n == 0 {
+		return nil
+	}
+	err := t.bw.WriteBatch(t.slots[:t.n])
+	t.txBatches.Inc()
+	t.txDgrams.Add(uint64(t.n))
+	t.n = 0
+	return err
 }

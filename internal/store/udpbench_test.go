@@ -1,0 +1,145 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"redplane/internal/durable"
+)
+
+// sweepServer starts a loopback server for sweep tests/benchmarks.
+func sweepServer(tb testing.TB, opts ...UDPOption) *UDPServer {
+	tb.Helper()
+	srv, err := NewUDPServer("127.0.0.1:0", "", Config{LeasePeriod: 10 * time.Second}, opts...)
+	if err != nil {
+		tb.Fatalf("server: %v", err)
+	}
+	go srv.Serve()
+	tb.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestUDPSweepLoopback runs the load generator end to end against a
+// sharded server and checks every write was acknowledged and applied.
+func TestUDPSweepLoopback(t *testing.T) {
+	srv := sweepServer(t, WithUDPShards(2), WithUDPReceivers(2))
+	cfg := SweepConfig{
+		Addr: srv.Addr().String(), Flows: 16, Writes: 50, Batch: 4,
+		Timeout: 30 * time.Second,
+	}
+	res, err := RunSweep(cfg)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if !res.Complete || res.AckedWrites != uint64(cfg.Flows*cfg.Writes) {
+		t.Fatalf("incomplete sweep: %+v", res)
+	}
+	for i := 0; i < cfg.Flows; i++ {
+		vals, seq, ok := srv.State(FlowKey(i))
+		if !ok || seq != uint64(cfg.Writes) || len(vals) != 1 || vals[0] != uint64(cfg.Writes) {
+			t.Fatalf("flow %d: vals=%v seq=%d ok=%v", i, vals, seq, ok)
+		}
+	}
+	if n, err := VerifySweep(cfg); err != nil || n != cfg.Flows {
+		t.Fatalf("verify: %d/%d flows, err=%v", n, cfg.Flows, err)
+	}
+	st := srv.Stats()
+	if st.RxDgrams == 0 || st.TxDgrams == 0 || st.Replies == 0 {
+		t.Fatalf("counters did not move: %+v", st)
+	}
+	if len(st.PerShard) != 2 || st.PerShard[0].Dgrams == 0 || st.PerShard[1].Dgrams == 0 {
+		t.Fatalf("flows did not spread over both shards: %+v", st.PerShard)
+	}
+}
+
+// benchGoodput measures processed-writes-per-second through a loopback
+// server. Single-message datagrams model the per-packet switch pattern,
+// so server-side batching is what's under test; the client always uses
+// batched syscalls so it isn't the bottleneck it is measuring. With
+// durable set, every write is fsynced-before-ack from a tmpdir WAL.
+func benchGoodput(b *testing.B, flows, writes int, durableWAL bool, opts ...UDPOption) {
+	var opt UDPOptions
+	for _, fn := range opts {
+		fn(&opt)
+	}
+	srv, err := NewUDPServer("127.0.0.1:0", "", Config{LeasePeriod: 10 * time.Second}, opts...)
+	if err != nil {
+		b.Fatalf("server: %v", err)
+	}
+	if durableWAL {
+		dir := b.TempDir()
+		bes := make([]durable.Backend, srv.Shards())
+		for i := range bes {
+			be, err := durable.NewDirBackend(filepath.Join(dir, fmt.Sprintf("shard-%03d", i)))
+			if err != nil {
+				b.Fatalf("backend: %v", err)
+			}
+			bes[i] = be
+		}
+		if _, err := srv.EnableDurabilityBackends(bes, DurabilityConfig{Enabled: true}); err != nil {
+			b.Fatalf("durability: %v", err)
+		}
+	}
+	go srv.Serve()
+	b.Cleanup(func() { srv.Close() })
+
+	var processed uint64
+	var busy time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Window 16 keeps aggregate in-flight bytes under the default
+		// socket buffer cap, so kernel drops (not server throughput)
+		// never dominate the measurement.
+		res, err := RunSweep(SweepConfig{
+			Addr: srv.Addr().String(), Flows: flows, Writes: writes,
+			Batch: 1, Window: 16, FlowBase: i * flows, Timeout: 60 * time.Second,
+		})
+		if err != nil {
+			b.Fatalf("sweep: %v", err)
+		}
+		if !res.Complete {
+			b.Fatalf("incomplete sweep: %+v", res)
+		}
+		processed += res.ProcessedWrites
+		busy += res.Elapsed
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(processed)/busy.Seconds(), "writes/s")
+	b.ReportMetric(float64(processed)/float64(b.N), "writes/op")
+}
+
+// baselineOpts reproduce the pre-sharding server: one goroutine's worth
+// of processing, one datagram per syscall, one fsync per mutating
+// datagram.
+func baselineOpts() []UDPOption {
+	return []UDPOption{WithUDPShards(1), WithUDPReceivers(1),
+		WithUDPBatch(1, 1), WithUDPCommitBurst(1), WithUDPPortableIO()}
+}
+
+func shardedOpts() []UDPOption {
+	return []UDPOption{WithUDPShards(runtime.NumCPU())}
+}
+
+// BenchmarkUDPGoodput compares the pre-sharding server shape against
+// the sharded batched path, volatile and durable. The durable pair is
+// the headline: group-commit fsync amortization dominates there even on
+// a single core, where the volatile pair is bounded by total CPU rather
+// than server syscall count. EXPERIMENTS.md tracks the ratios; CI gates
+// on regressions via benchjson -compare.
+func BenchmarkUDPGoodput(b *testing.B) {
+	b.Run("volatile/baseline", func(b *testing.B) {
+		benchGoodput(b, 32, 200, false, baselineOpts()...)
+	})
+	b.Run("volatile/sharded", func(b *testing.B) {
+		benchGoodput(b, 32, 200, false, shardedOpts()...)
+	})
+	b.Run("durable/baseline", func(b *testing.B) {
+		benchGoodput(b, 32, 100, true, baselineOpts()...)
+	})
+	b.Run("durable/sharded", func(b *testing.B) {
+		benchGoodput(b, 32, 100, true, shardedOpts()...)
+	})
+}

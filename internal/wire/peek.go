@@ -1,0 +1,27 @@
+package wire
+
+import (
+	"encoding/binary"
+
+	"redplane/internal/packet"
+)
+
+// PeekKey extracts the flow key from a marshaled single-message frame
+// without decoding the rest of the message — the receive path of the
+// sharded UDP server routes each datagram to its owning shard by this
+// key, and a full Unmarshal (values, piggyback) would be wasted work on
+// the wrong goroutine. Returns false for frames too short to carry a
+// header and for batch-framed datagrams (whose members each carry their
+// own key; decode those with Batch.Unmarshal).
+func PeekKey(b []byte) (packet.FiveTuple, bool) {
+	if len(b) < headerLen || IsBatch(b) {
+		return packet.FiveTuple{}, false
+	}
+	return packet.FiveTuple{
+		Src:     packet.Addr(binary.BigEndian.Uint32(b[10:14])),
+		Dst:     packet.Addr(binary.BigEndian.Uint32(b[14:18])),
+		SrcPort: binary.BigEndian.Uint16(b[18:20]),
+		DstPort: binary.BigEndian.Uint16(b[20:22]),
+		Proto:   packet.Proto(b[22]),
+	}, true
+}

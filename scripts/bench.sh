@@ -11,10 +11,13 @@
 # Usage:
 #   scripts/bench.sh           # full run, writes BENCH_<today>.json
 #   scripts/bench.sh -short    # CI smoke: micro benches + small wall clock
+#   scripts/bench.sh -udp      # real-UDP goodput only, writes
+#                              # BENCH_<today>-udppath.json (CI perf gate)
 #
 # Environment:
 #   BASELINE=BENCH_old.json    # embed baseline numbers + % deltas
 #   OUT=path.json              # override the output path
+#   UDPOUT=path.json           # override the -udp output path
 #
 # To compare two snapshots with benchstat:
 #   jq -r '.benchmarks[].raw' BENCH_a.json > a.txt
@@ -24,13 +27,44 @@ set -eu
 cd "$(dirname "$0")/.."
 
 short=0
-if [ "${1:-}" = "-short" ]; then
-    short=1
-fi
+udponly=0
+case "${1:-}" in
+-short) short=1 ;;
+-udp) udponly=1 ;;
+esac
 date=$(date +%F)
 out="${OUT:-BENCH_${date}.json}"
+udpout="${UDPOUT:-BENCH_${date}-udppath.json}"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
+
+# bench_udp measures the real-UDP server path: the pre-sharding shape
+# (one goroutine, one datagram and one fsync per syscall) against the
+# sharded recvmmsg/sendmmsg + group-commit path, volatile and durable,
+# then derives machine-independent speedup ratios from the same run —
+# CI's perf gate compares those against bench/udppath-floor.json, since
+# absolute writes/s are not comparable across machines.
+bench_udp() {
+    echo "== real-UDP path goodput (sharded batched syscalls vs single-goroutine) =="
+    go test -run '^$' -benchtime 3x -bench 'UDPGoodput' ./internal/store | tee "$tmp/udp.txt"
+    awk '
+    /^BenchmarkUDPGoodput\/durable\/baseline/  { for (i=1; i<NF; i++) if ($(i+1) == "writes/s") db = $i }
+    /^BenchmarkUDPGoodput\/durable\/sharded/   { for (i=1; i<NF; i++) if ($(i+1) == "writes/s") ds = $i }
+    /^BenchmarkUDPGoodput\/volatile\/baseline/ { for (i=1; i<NF; i++) if ($(i+1) == "writes/s") vb = $i }
+    /^BenchmarkUDPGoodput\/volatile\/sharded/  { for (i=1; i<NF; i++) if ($(i+1) == "writes/s") vs = $i }
+    END {
+        if (db > 0 && ds > 0) printf "BenchmarkUDPGoodputSpeedup/durable \t1\t%.3f speedup\n", ds / db
+        if (vb > 0 && vs > 0) printf "BenchmarkUDPGoodputSpeedup/volatile \t1\t%.3f speedup\n", vs / vb
+    }' "$tmp/udp.txt" | tee -a "$tmp/udp.txt"
+    go run ./cmd/benchjson -date "$date" -out "$udpout" \
+        -note "scripts/bench.sh -udp (real-UDP goodput)" "$tmp/udp.txt"
+    echo "wrote $udpout"
+}
+
+if [ $udponly -eq 1 ]; then
+    bench_udp
+    exit 0
+fi
 
 echo "== micro-benchmarks (hot paths) =="
 go test -run '^$' -benchmem \

@@ -4,8 +4,12 @@
 # (internal/obs is read from test goroutines while the simulator writes;
 # internal/core holds the hot-path atomics; internal/runner is the
 # parallel trial executor, whose determinism tests double as its race
-# proof). The full-evaluation benchmarks skip themselves under -race
-# (bench_test.go), so the race pass stays fast.
+# proof; internal/store and internal/ring carry the sharded real-UDP
+# server and its SPSC queues). The full-evaluation benchmarks skip
+# themselves under -race (bench_test.go), so the race pass stays fast.
+# The store/ring tests also run with -tags portablemmsg so the
+# single-datagram syscall fallback cannot rot on Linux dev machines,
+# where the recvmmsg/sendmmsg path is what the default build exercises.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,8 +30,12 @@ go build ./...
 echo "== go test =="
 go test ./...
 
-echo "== go test -race (obs, core, runner) =="
-go test -race ./internal/obs/... ./internal/core/... ./internal/runner/...
+echo "== go test -race (obs, core, runner, store, ring) =="
+go test -race ./internal/obs/... ./internal/core/... ./internal/runner/... \
+    ./internal/store/... ./internal/ring/...
+
+echo "== go test -tags portablemmsg (store, ring) =="
+go test -tags portablemmsg ./internal/store/... ./internal/ring/...
 
 # Optional lint pass, gated behind CI_LINT=1 so the default gate needs
 # nothing beyond the Go toolchain. Tools are installed on demand; if the

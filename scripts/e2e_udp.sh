@@ -1,0 +1,74 @@
+#!/bin/sh
+# e2e_udp.sh — real-UDP loopback smoke with a kill -9 in the middle.
+#
+# Builds redplane-store and redplane-udpload, starts a durable sharded
+# store, drives a windowed replication sweep against it, SIGKILLs the
+# server, restarts it over the same WAL directory, and asserts every
+# flow still holds its final acknowledged watermark — the paper's
+# durability contract (acked => fsynced) across an unclean crash, on
+# the real socket path rather than the simulator.
+#
+# Usage:
+#   scripts/e2e_udp.sh [outdir]
+#
+# Writes goodput-udp.json (the sweep's goodput result, uploaded as a CI
+# artifact) into outdir (default .).
+set -eu
+cd "$(dirname "$0")/.."
+
+outdir="${1:-.}"
+mkdir -p "$outdir"
+port=19507
+flows=32
+writes=200
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$tmp/store" ./cmd/redplane-store
+go build -o "$tmp/load" ./cmd/redplane-udpload
+
+# wait_serving blocks until the store's startup line reaches its log —
+# the socket is bound before the line is printed, so datagrams sent
+# after it queue in the kernel even if Serve has not drained yet.
+wait_serving() {
+    for _ in $(seq 1 100); do
+        grep -q 'serving on' "$1" 2>/dev/null && return 0
+        sleep 0.1
+    done
+    echo "FATAL: store did not come up; log:" >&2
+    cat "$1" >&2
+    return 1
+}
+
+echo "== start durable store (2 shards, WAL in $tmp/wal) =="
+"$tmp/store" -listen 127.0.0.1:$port -shards 2 -wal-dir "$tmp/wal" \
+    >"$tmp/store1.log" 2>&1 &
+pid=$!
+wait_serving "$tmp/store1.log"
+
+echo "== sweep: $flows flows x $writes writes =="
+"$tmp/load" -addr 127.0.0.1:$port -flows $flows -writes $writes \
+    -batch 4 -window 16 -json "$outdir/goodput-udp.json"
+
+echo "== kill -9 the store mid-flight state =="
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+echo "== restart over the same WAL =="
+"$tmp/store" -listen 127.0.0.1:$port -shards 2 -wal-dir "$tmp/wal" \
+    >"$tmp/store2.log" 2>&1 &
+pid=$!
+wait_serving "$tmp/store2.log"
+grep 'replayed' "$tmp/store2.log" || true
+
+echo "== verify watermarks survived the crash =="
+"$tmp/load" -addr 127.0.0.1:$port -flows $flows -writes $writes -verify
+
+echo "OK: acked writes survived kill -9 ($(grep -o 'replayed [0-9]* WAL records' "$tmp/store2.log" || echo 'recovery log missing'))"

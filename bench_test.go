@@ -195,6 +195,23 @@ func BenchmarkEngineFailover(b *testing.B) {
 	}
 }
 
+// BenchmarkFlowspaceScale runs the flow-space sharding weak-scaling
+// sweep: per-chain offered load held constant while the chain count
+// grows 1→8, flows routed by the consistent-hash ring. Reports the
+// single-chain and 8-chain aggregate goodput, the scale-up ratio, and
+// the worst per-chain deviation — the numbers the CI perf gate floors.
+func BenchmarkFlowspaceScale(b *testing.B) {
+	skipUnderRace(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.FlowspaceScale(int64(i+1), 5*time.Millisecond)
+		rows := res.Rows
+		b.ReportMetric(rows[0].GoodputMpps, "1chain-Mpps")
+		b.ReportMetric(rows[len(rows)-1].GoodputMpps, "8chain-Mpps")
+		b.ReportMetric(res.ScaleUp, "scaleup-x")
+		b.ReportMetric(100*(1-res.Flatness), "flatness-%")
+	}
+}
+
 // BenchmarkFig15BufferOccupancy reproduces Fig. 15: retransmission buffer
 // occupancy vs rate and request loss. Reports the worst corner.
 func BenchmarkFig15BufferOccupancy(b *testing.B) {

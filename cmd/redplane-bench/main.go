@@ -40,7 +40,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
-	only := flag.String("only", "", "comma-separated subset (fig8..fig15,table2,atscale,ablations,modelcheck,throughput)")
+	only := flag.String("only", "", "comma-separated subset (fig8..fig15,table2,atscale,ablations,modelcheck,throughput,flowspace)")
 	sectionSel := flag.String("section", "", "alias for -only (selections merge)")
 	parallel := flag.Int("parallel", 1, "worker goroutines for independent sections (0 = one per core)")
 	traceFile := flag.String("trace", "", "append protocol event timelines (JSONL) to this file")
@@ -170,6 +170,15 @@ func main() {
 			for _, p := range res.Points {
 				fmt.Fprintln(w, "  ", p)
 			}
+		}},
+		{"flowspace", func(w io.Writer) {
+			section(w, "Flow-space sharding — weak-scaling sweep over the chain count")
+			res := experiments.FlowspaceScale(*seed, win(6*time.Millisecond))
+			for _, r := range res.Rows {
+				fmt.Fprintln(w, "  ", r)
+			}
+			fmt.Fprintf(w, "   scale-up %.2fx over %d chains, per-chain flatness %.1f%%\n",
+				res.ScaleUp, res.Rows[len(res.Rows)-1].Chains, res.Flatness*100)
 		}},
 		{"table2", func(w io.Writer) {
 			section(w, "Table 2 — additional switch ASIC resource usage (100k flows)")

@@ -7,9 +7,9 @@
 // Usage:
 //
 //	redplane-chaos [-seed N] [-campaigns N] [-parallel N]
-//	               [-profile default|flap|storm|coldrestart]
+//	               [-profile default|flap|storm|coldrestart|migrate]
 //	               [-mode both|linearizable|bounded] [-engine chain|quorum]
-//	               [-duration D] [-batch-window D] [-out dir]
+//	               [-chains N] [-duration D] [-batch-window D] [-out dir]
 //	               [-break-norevoke] [-v]
 //	               [-cpuprofile file] [-memprofile file]
 //	redplane-chaos -replay chaos-<seed>.json [-break-norevoke]
@@ -43,9 +43,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed (campaign i uses seed+i)")
 	campaigns := flag.Int("campaigns", 1, "campaigns per mode")
 	parallel := flag.Int("parallel", 1, "worker goroutines for campaigns (0 = one per core)")
-	profile := flag.String("profile", "default", "fault-rate profile: default, flap, storm, coldrestart")
+	profile := flag.String("profile", "default", "fault-rate profile: default, flap, storm, coldrestart, migrate")
 	mode := flag.String("mode", "both", "consistency mode: both, linearizable, bounded")
 	engine := flag.String("engine", "chain", "store replication engine: chain or quorum")
+	chains := flag.Int("chains", 0, "store chain count (0 = classic single chain; >1 routes by the flow-space ring)")
 	duration := flag.Duration("duration", 0, "active phase per campaign (0 = default 1.5s)")
 	out := flag.String("out", ".", "directory for violation dumps")
 	replay := flag.String("replay", "", "replay a chaos-<seed>.json repro instead of running campaigns")
@@ -111,7 +112,7 @@ func main() {
 	for i := 0; i < *campaigns; i++ {
 		for _, b := range bounded {
 			cfgs = append(cfgs, chaos.Config{
-				Seed: *seed + int64(i), Engine: eng, Bounded: b,
+				Seed: *seed + int64(i), Engine: eng, Bounded: b, Chains: *chains,
 				Duration: *duration, Profile: prof, BreakNoRevoke: *breakKnob,
 				BatchWindow: bw,
 			})

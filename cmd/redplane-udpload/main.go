@@ -7,9 +7,16 @@
 //
 //	redplane-udpload -addr 127.0.0.1:9500 -flows 64 -writes 2000 -batch 16
 //
+// -zipf S skews the per-flow write allocation (flow rank r weighs
+// 1/r^S; the Flows*Writes total is preserved), modeling heavy-hitter
+// flow popularity; with -shards N the report adds the per-shard write
+// counts and their max/mean goodput spread, showing how lopsided the
+// skew leaves a statically-hashed server.
+//
 // With -verify it instead re-leases each flow with its original switch
 // ID and checks the store still reports the sweep's final watermark —
-// the post-restart assertion of the CI kill -9 smoke.
+// the post-restart assertion of the CI kill -9 smoke. -verify knows the
+// -zipf allocation (it is deterministic), so skewed sweeps verify too.
 package main
 
 import (
@@ -34,6 +41,8 @@ func main() {
 	stall := flag.Duration("stall", 100*time.Millisecond, "retransmission timer")
 	timeout := flag.Duration("timeout", 60*time.Second, "overall sweep deadline")
 	portable := flag.Bool("portable-io", false, "force one-datagram-per-syscall client IO")
+	zipf := flag.Float64("zipf", 0, "Zipf skew exponent for the per-flow write allocation (0 = uniform)")
+	shards := flag.Int("shards", 0, "server shard count, for the per-shard goodput spread report (0 = omit)")
 	verify := flag.Bool("verify", false, "verify a prior sweep's watermarks instead of sweeping")
 	jsonOut := flag.String("json", "", "write the sweep result as JSON to this file (- = stdout)")
 	flag.Parse()
@@ -42,6 +51,7 @@ func main() {
 		Addr: *addr, Senders: *senders, Flows: *flows, Writes: *writes,
 		Batch: *batch, SyscallBatch: *syscallBatch, Window: *window,
 		Stall: *stall, Timeout: *timeout, Portable: *portable,
+		Zipf: *zipf, ShardCount: *shards,
 	}
 	if *verify {
 		ok, err := store.VerifySweep(cfg)
@@ -61,6 +71,9 @@ func main() {
 	fmt.Printf("processed %d writes (watermark %d/%d) over %d flows in %v — %.0f writes/s (sent %d dgrams, %d retrans)\n",
 		res.ProcessedWrites, res.AckedWrites, res.Flows*res.Writes, res.Flows,
 		res.Elapsed.Round(time.Millisecond), res.GoodputPps, res.SentDgrams, res.Retrans)
+	if len(res.PerShardProcessed) > 0 {
+		fmt.Printf("per-shard writes %v — spread max/mean %.2f\n", res.PerShardProcessed, res.ShardSpread)
+	}
 	if *jsonOut != "" {
 		b, _ := json.MarshalIndent(res, "", "  ")
 		b = append(b, '\n')

@@ -7,6 +7,7 @@ import (
 	"redplane/internal/core"
 	"redplane/internal/durable"
 	"redplane/internal/failure"
+	"redplane/internal/flowspace"
 	"redplane/internal/member"
 	"redplane/internal/netsim"
 	"redplane/internal/obs"
@@ -68,6 +69,37 @@ type ObsConfig struct {
 	// SamplePeriod, when positive, samples every registered gauge into
 	// a time series at this virtual-time period.
 	SamplePeriod time.Duration
+}
+
+// FlowSpaceConfig enables consistent-hash flow-space routing: instead
+// of the static hash-mod-shards mapping, five-tuples route to chains
+// through an epoch-numbered ring (internal/flowspace), and the
+// membership coordinator gains migration duties — fencing a moving key
+// range, transferring its durable state between chains, and flipping
+// the routing epoch with no acked write lost (see internal/member's
+// migration doc).
+type FlowSpaceConfig struct {
+	// Enabled turns flow-space routing on. It implies StoreMembership:
+	// the coordinator is the only component allowed to mutate the ring.
+	Enabled bool
+
+	// VNodes is the virtual ring points per chain (zero means
+	// flowspace.DefaultVNodes). More points spread key mass more evenly
+	// at the cost of a larger table.
+	VNodes int
+
+	// Chains is how many chains initially own ring arcs (zero means all
+	// StoreShards). With Chains < StoreShards the spare shards start
+	// empty and take flow-space only when a migration moves arcs onto
+	// them — the scale-out experiment's starting shape.
+	Chains int
+
+	// MigrationDrain, RebalanceEvery, and RebalanceTheta forward to
+	// member.Config (zero means that field's default; RebalanceEvery
+	// zero leaves the skew-aware rebalancer off).
+	MigrationDrain time.Duration
+	RebalanceEvery time.Duration
+	RebalanceTheta float64
 }
 
 // DeploymentConfig describes a RedPlane deployment on the simulated
@@ -137,6 +169,10 @@ type DeploymentConfig struct {
 	// StoreMember tunes the coordinator (zero values mean defaults).
 	StoreMember member.Config
 
+	// FlowSpace enables consistent-hash flow-space routing with live
+	// migration (see FlowSpaceConfig).
+	FlowSpace FlowSpaceConfig
+
 	// InitState is the store-side state initializer for new flows (the
 	// place shared pools live; see internal/apps allocators).
 	InitState func(key FiveTuple) []uint64
@@ -185,6 +221,12 @@ type Deployment struct {
 	// Coordinator is the chain membership coordinator (nil unless
 	// StoreMembership is set).
 	Coordinator *member.Coordinator
+
+	// FlowTable is the flow-space routing ring (nil unless
+	// FlowSpace.Enabled). All switches and stores read this one table —
+	// the idealized instantly-consistent routing rollout; the epoch
+	// number is what a real control plane would distribute.
+	FlowTable *flowspace.Table
 
 	switches []*core.Switch
 	swIPs    []packet.Addr
@@ -325,6 +367,25 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 				return packet.MakeAddr(10, 100, byte(shard+1), byte(replica+1))
 			},
 			opts...)
+		if cfg.FlowSpace.Enabled {
+			chains := cfg.FlowSpace.Chains
+			if chains <= 0 || chains > cfg.StoreShards {
+				chains = cfg.StoreShards
+			}
+			d.FlowTable = flowspace.New(chains, cfg.FlowSpace.VNodes)
+			d.Cluster.UseTable(d.FlowTable)
+			cfg.StoreMembership = true
+			cfg.StoreMember.Table = d.FlowTable
+			if cfg.FlowSpace.MigrationDrain != 0 {
+				cfg.StoreMember.MigrationDrain = cfg.FlowSpace.MigrationDrain
+			}
+			if cfg.FlowSpace.RebalanceEvery != 0 {
+				cfg.StoreMember.RebalanceEvery = cfg.FlowSpace.RebalanceEvery
+			}
+			if cfg.FlowSpace.RebalanceTheta != 0 {
+				cfg.StoreMember.RebalanceTheta = cfg.FlowSpace.RebalanceTheta
+			}
+		}
 		if cfg.StoreMembership {
 			d.Coordinator = member.New(sim, d.Cluster, cfg.StoreMember)
 			d.Coordinator.Start()

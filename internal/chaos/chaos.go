@@ -43,6 +43,16 @@ type Fault struct {
 	// rebuilds solely from the durable backend (checkpoint + WAL).
 	Cold bool `json:"cold,omitempty"`
 
+	// Move makes this a flow-space migration injection rather than a
+	// failure: at FailAt the coordinator moves the ring arc holding
+	// workload flow slot MoveKey (each mode maps the slot onto its
+	// partition keys, so moves hit ranges with live state) to chain
+	// MoveTo (member.MoveKeyArc). Deleting a Move from a schedule is
+	// always legal, so the shrinker handles it like any fault.
+	Move    bool `json:"move,omitempty"`
+	MoveKey int  `json:"move_key,omitempty"`
+	MoveTo  int  `json:"move_to,omitempty"`
+
 	// FailAt is when the failure occurs; RecoverAt zero means never
 	// (generation only leaves switches unrecovered — store faults always
 	// recover so the chain can re-converge before quiescence checks).
@@ -51,6 +61,9 @@ type Fault struct {
 }
 
 func (f Fault) String() string {
+	if f.Move {
+		return fmt.Sprintf("move flow#%d's arc → chain %d @%v", f.MoveKey, f.MoveTo, f.FailAt)
+	}
 	if f.Store {
 		kind := "warm"
 		if f.Cold {
@@ -83,6 +96,12 @@ type Profile struct {
 	// lost; recovery from durable state). Any PCold > 0 makes campaigns
 	// deploy with store durability and chain membership enabled.
 	PCold float64 `json:"p_cold,omitempty"`
+	// PMove is the probability a fault slot becomes a flow-space
+	// migration injection instead of a failure. Any PMove > 0 makes
+	// campaigns route through the consistent-hash ring. Like PCold, the
+	// draw is gated on PMove > 0 so pre-existing profiles' rng streams
+	// (and thus their schedules per seed) are unchanged.
+	PMove float64 `json:"p_move,omitempty"`
 	// PLinkOnly is the probability a switch fault is link-only.
 	PLinkOnly float64 `json:"p_link_only"`
 	// PNoRecover is the probability a switch fault never recovers (at
@@ -133,6 +152,16 @@ var Profiles = map[string]Profile{
 		DetectMin: 2 * time.Millisecond, DetectMax: 30 * time.Millisecond,
 		DownMin: 20 * time.Millisecond, DownMax: 300 * time.Millisecond,
 	},
+	// migrate: live flow-space migrations interleaved with cold store
+	// crashes and switch failovers — the regime where a moving key range
+	// must stay linearizable while the chains under it change membership.
+	// Run it with Config.Chains > 1 so moves have somewhere to go.
+	"migrate": {
+		Name: "migrate", MinFaults: 4, MaxFaults: 9,
+		PMove: 0.4, PStore: 0.5, PCold: 1.0, PLinkOnly: 0.3, PNoRecover: 0,
+		DetectMin: 2 * time.Millisecond, DetectMax: 30 * time.Millisecond,
+		DownMin: 20 * time.Millisecond, DownMax: 300 * time.Millisecond,
+	},
 }
 
 // Config describes one campaign.
@@ -147,6 +176,15 @@ type Config struct {
 	// Bounded selects the bounded-inconsistency workload and checkers;
 	// default is the linearizable known-answer KV workload.
 	Bounded bool
+	// Chains is the store shard/chain count (zero means the classic
+	// single chain). Any Chains > 1 deploys flow-space ring routing so
+	// five-tuples spread across the chains and migrations can move them.
+	Chains int
+	// Ring forces flow-space ring routing even single-chain. A
+	// one-chain ring maps every key to chain 0, so verdicts must be
+	// byte-identical to the static-routing deployment — the equivalence
+	// TestRingVerdictEquivalence pins.
+	Ring bool
 	// Duration is the active (traffic + fault) phase length; warm-up and
 	// quiescence are added around it. Zero means DefaultDuration.
 	Duration time.Duration
@@ -215,6 +253,9 @@ type Result struct {
 	Mode     string        `json:"mode"`
 	Profile  string        `json:"profile"`
 	Duration time.Duration `json:"duration"`
+	// Chains is the store chain count (omitted for the classic single
+	// chain, keeping legacy reports byte-identical).
+	Chains int `json:"chains,omitempty"`
 
 	// Faults is the generated schedule.
 	Faults []Fault `json:"faults"`
@@ -238,6 +279,7 @@ type Repro struct {
 	Mode     string        `json:"mode"`
 	Profile  string        `json:"profile"`
 	Duration time.Duration `json:"duration"`
+	Chains   int           `json:"chains,omitempty"`
 	Faults   []Fault       `json:"faults"`
 
 	Violations []Violation `json:"violations"`
@@ -247,8 +289,8 @@ type Repro struct {
 func WriteRepro(path string, r Result) error {
 	rep := Repro{
 		Seed: r.Seed, Engine: r.Engine, Mode: r.Mode, Profile: r.Profile,
-		Duration: r.Duration,
-		Faults:   r.Shrunk, Violations: r.Violations,
+		Duration: r.Duration, Chains: r.Chains,
+		Faults: r.Shrunk, Violations: r.Violations,
 	}
 	if rep.Faults == nil {
 		rep.Faults = r.Faults
@@ -278,7 +320,7 @@ func LoadRepro(path string) (Repro, error) {
 func (rep Repro) ReplayConfig() Config {
 	cfg := Config{
 		Seed: rep.Seed, Engine: rep.Engine, Duration: rep.Duration,
-		Bounded: rep.Mode == "bounded",
+		Bounded: rep.Mode == "bounded", Chains: rep.Chains,
 	}
 	if p, ok := Profiles[rep.Profile]; ok {
 		cfg.Profile = p

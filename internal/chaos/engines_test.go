@@ -33,10 +33,15 @@ func TestEngineVerdictEquivalence(t *testing.T) {
 	type campaign struct {
 		seed    int64
 		bounded bool
+		profile string // "" = default
+		chains  int
 	}
 	var cases []campaign
 	for s := int64(1); s <= int64(seeds); s++ {
-		cases = append(cases, campaign{s, false}, campaign{s, true})
+		cases = append(cases, campaign{seed: s}, campaign{seed: s, bounded: true},
+			// Flow-space migrations under failover must also verdict
+			// identically across engines.
+			campaign{seed: s, profile: "migrate", chains: 4})
 	}
 
 	// Each (seed, mode, engine) campaign owns a private simulator, so the
@@ -45,7 +50,11 @@ func TestEngineVerdictEquivalence(t *testing.T) {
 	for i, c := range cases {
 		c := c
 		units[i] = func() [2]Result {
-			base := Config{Seed: c.seed, Bounded: c.bounded, Duration: 500 * time.Millisecond}
+			base := Config{Seed: c.seed, Bounded: c.bounded, Chains: c.chains,
+				Duration: 500 * time.Millisecond}
+			if c.profile != "" {
+				base.Profile = Profiles[c.profile]
+			}
 			chainCfg := base
 			quorumCfg := base
 			quorumCfg.Engine = repl.EngineQuorum
@@ -114,17 +123,20 @@ func TestEngineEquivalenceCatchesBrokenKnob(t *testing.T) {
 // fault mixes that exercise promotion, cold recovery, and rejoin) stay
 // clean on the quorum engine.
 func TestQuorumProfilesClean(t *testing.T) {
-	profiles := []string{"flap", "storm", "coldrestart"}
+	cases := []struct {
+		name   string
+		chains int
+	}{{"flap", 0}, {"storm", 0}, {"coldrestart", 0}, {"migrate", 4}}
 	if testing.Short() {
-		profiles = profiles[:1]
+		cases = cases[:1]
 	}
-	for _, name := range profiles {
+	for _, c := range cases {
 		cfg := Config{
-			Seed: 2, Engine: repl.EngineQuorum,
-			Duration: 500 * time.Millisecond, Profile: Profiles[name],
+			Seed: 2, Engine: repl.EngineQuorum, Chains: c.chains,
+			Duration: 500 * time.Millisecond, Profile: Profiles[c.name],
 		}
 		if r := Run(cfg); !r.Passed() {
-			t.Errorf("quorum profile %s: %v", name, r.Violations[0])
+			t.Errorf("quorum profile %s: %v", c.name, r.Violations[0])
 		}
 	}
 }

@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"redplane/internal/apps"
+	"redplane/internal/flowspace"
+	"redplane/internal/repl"
+	"redplane/internal/runner"
+)
+
+// TestMigrateProfileClean: the migrate profile — live arc moves aimed
+// at workload keys, interleaved with cold store crashes and switch
+// failovers on a 4-chain deployment — stays clean on both engines, and
+// the moves actually transfer flow state (a vacuous campaign that never
+// migrates anything would prove nothing).
+func TestMigrateProfileClean(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 4
+	}
+	type unit struct {
+		clean    bool
+		vio      []Violation
+		migOK    uint64
+		migFlows uint64
+	}
+	var cfgs []Config
+	for s := int64(1); s <= int64(seeds); s++ {
+		for _, eng := range []string{"", repl.EngineQuorum} {
+			cfgs = append(cfgs, Config{
+				Seed: s, Engine: eng, Chains: 4,
+				Duration: 500 * time.Millisecond, Profile: Profiles["migrate"],
+			})
+		}
+	}
+	units := make([]func() unit, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg := cfg.withDefaults()
+		units[i] = func() unit {
+			r := runOnceKeep(cfg, Generate(cfg))
+			st := r.dep.Coordinator.Stats()
+			return unit{clean: len(r.Violations) == 0, vio: r.Violations,
+				migOK: st.MigrationOK, migFlows: st.MigratedFlows}
+		}
+	}
+	results := runner.Map(0, units)
+	var committed, moved uint64
+	for i, u := range results {
+		if !u.clean {
+			t.Errorf("seed %d engine %q: %v", cfgs[i].Seed, cfgs[i].Engine, u.vio)
+		}
+		committed += u.migOK
+		moved += u.migFlows
+	}
+	if committed == 0 {
+		t.Fatal("no migration committed across the whole matrix")
+	}
+	if moved == 0 {
+		t.Fatal("migrations committed but never transferred a flow")
+	}
+}
+
+// TestPinnedMigrationMidFailover pins the two fates of a move that
+// collides with a failover, on an explicit (non-generated) schedule:
+//
+//   - a cold head crash on an UNINVOLVED chain while the move drains:
+//     the move must commit, transfer the flow, and the verdict stay
+//     clean — a migration completing under failover with no acked
+//     write lost;
+//   - a cold head crash on the move's SOURCE chain inside the drain
+//     window: the stability gate must abort the move, leaving routing
+//     and state at the source — and the verdict still clean.
+func TestPinnedMigrationMidFailover(t *testing.T) {
+	// The deployment builds its ring exactly like this (4 chains,
+	// default vnodes), so the test can predict ownership.
+	table := flowspace.New(4, 0)
+	key := apps.KVPartitionKey(0)
+	src := table.ChainFor(key)
+	dst := (src + 1) % 4
+	other := (src + 2) % 4
+
+	base := Config{Chains: 4, Duration: 500 * time.Millisecond,
+		Profile: Profiles["migrate"]}
+
+	t.Run("commit-under-failover", func(t *testing.T) {
+		faults := []Fault{
+			{Move: true, MoveKey: 0, MoveTo: dst, FailAt: 100 * time.Millisecond},
+			// Uninvolved chain's replica 0 cold-crashes inside the drain.
+			{Store: true, Shard: other, Replica: 0, Cold: true,
+				FailAt: 101 * time.Millisecond, RecoverAt: 300 * time.Millisecond},
+			// And a switch fails over while the moved range is live on
+			// its new chain.
+			{Agg: 0, DetectDelay: 5 * time.Millisecond,
+				FailAt: 200 * time.Millisecond, RecoverAt: 400 * time.Millisecond},
+		}
+		r := runOnceKeep(base.withDefaults(), faults)
+		if len(r.Violations) > 0 {
+			t.Fatalf("violations: %v", r.Violations)
+		}
+		st := r.dep.Coordinator.Stats()
+		if st.MigrationOK != 1 || st.MigratedFlows == 0 {
+			t.Fatalf("move did not commit with state: %+v", st)
+		}
+		if got := r.dep.FlowTable.ChainFor(key); got != dst {
+			t.Fatalf("key routed to chain %d after commit, want %d", got, dst)
+		}
+	})
+
+	t.Run("abort-on-source-failover", func(t *testing.T) {
+		faults := []Fault{
+			{Move: true, MoveKey: 0, MoveTo: dst, FailAt: 100 * time.Millisecond},
+			// The source chain's head dies cold 1ms into the 5ms drain:
+			// the probe splices it before the flip.
+			{Store: true, Shard: src, Replica: 0, Cold: true,
+				FailAt: 101 * time.Millisecond, RecoverAt: 300 * time.Millisecond},
+		}
+		r := runOnceKeep(base.withDefaults(), faults)
+		if len(r.Violations) > 0 {
+			t.Fatalf("violations: %v", r.Violations)
+		}
+		st := r.dep.Coordinator.Stats()
+		if st.MigrationAborts != 1 {
+			t.Fatalf("source-chain failover did not abort the move: %+v", st)
+		}
+		if got := r.dep.FlowTable.ChainFor(key); got != src {
+			t.Fatalf("key routed to chain %d after abort, want %d", got, src)
+		}
+	})
+}
+
+// TestRingVerdictEquivalence: a single-chain deployment routed through
+// the consistent-hash ring must produce byte-identical verdicts to the
+// classic static-hash deployment — the ring is a routing layer, not a
+// protocol change. Durable profile, so both arms run membership and the
+// only difference is the table.
+func TestRingVerdictEquivalence(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	units := make([]func() [2][]byte, seeds)
+	for i := 0; i < seeds; i++ {
+		seed := int64(i + 1)
+		units[i] = func() [2][]byte {
+			base := Config{Seed: seed, Duration: 400 * time.Millisecond,
+				Profile: Profiles["coldrestart"]}
+			ringed := base
+			ringed.Ring = true
+			static, _ := json.Marshal(Run(base))
+			ring, _ := json.Marshal(Run(ringed))
+			return [2][]byte{static, ring}
+		}
+	}
+	for i, pair := range runner.Map(0, units) {
+		if string(pair[0]) != string(pair[1]) {
+			t.Errorf("seed %d: static vs ring verdicts differ:\n%s\n%s",
+				i+1, pair[0], pair[1])
+		}
+	}
+}
+
+// TestMigrateReproRoundTrip: a migrate-campaign repro (chains + move
+// faults) survives the dump/load/replay cycle with the same verdict.
+func TestMigrateReproRoundTrip(t *testing.T) {
+	cfg := Config{Seed: 1, Chains: 4, Duration: 400 * time.Millisecond,
+		Profile: Profiles["migrate"]}
+	r := Run(cfg)
+	if !r.Passed() {
+		t.Fatalf("campaign not clean: %v", r.Violations)
+	}
+	path := filepath.Join(t.TempDir(), "repro.json")
+	if err := WriteRepro(path, r); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chains != 4 {
+		t.Fatalf("repro chains = %d", rep.Chains)
+	}
+	moves := 0
+	for _, f := range rep.Faults {
+		if f.Move {
+			moves++
+		}
+	}
+	if moves == 0 {
+		t.Fatal("repro lost the move faults")
+	}
+	r2 := Replay(rep.ReplayConfig(), rep.Faults)
+	if !r2.Passed() {
+		t.Fatalf("replay verdict differs: %v", r2.Violations)
+	}
+}

@@ -58,7 +58,7 @@ func Run(cfg Config) Result {
 	res := Result{
 		Seed: cfg.Seed, Engine: cfg.Engine, Mode: cfg.ModeName(),
 		Profile:  cfg.Profile.Name,
-		Duration: cfg.Duration, Faults: faults,
+		Duration: cfg.Duration, Chains: cfg.Chains, Faults: faults,
 	}
 	r := runOnce(cfg, faults)
 	res.Ops = r.Ops
@@ -78,7 +78,7 @@ func Replay(cfg Config, faults []Fault) Result {
 	return Result{
 		Seed: cfg.Seed, Engine: cfg.Engine, Mode: cfg.ModeName(),
 		Profile:  cfg.Profile.Name,
-		Duration: cfg.Duration, Faults: faults,
+		Duration: cfg.Duration, Chains: cfg.Chains, Faults: faults,
 		Ops: r.Ops, Violations: r.Violations,
 	}
 }
@@ -161,6 +161,49 @@ func runOnceKeep(cfg Config, faults []Fault) runResult {
 	return runLinearizable(cfg, faults)
 }
 
+// hasMoves reports whether the schedule injects flow-space migrations
+// (which require ring routing and the coordinator).
+func hasMoves(faults []Fault) bool {
+	for _, f := range faults {
+		if f.Move {
+			return true
+		}
+	}
+	return false
+}
+
+// storeShape resolves a campaign's store layout: shard count and
+// whether requests route through the consistent-hash ring. Scanning the
+// faults (like NeedsDurability) keeps shrunk-repro replays faithful.
+func storeShape(cfg Config, faults []Fault) (shards int, ring bool) {
+	shards = cfg.Chains
+	if shards < 1 {
+		shards = storeShards
+	}
+	return shards, cfg.Ring || shards > 1 || hasMoves(faults)
+}
+
+// scheduleMoves installs the schedule's migration injections: at each
+// move fault's time the coordinator moves the arc holding one workload
+// partition key (flowOf maps the abstract slot to the running mode's
+// key space) to the fault's destination chain. A move refused because
+// another is still draining is simply skipped — the generator does not
+// serialize move times, and a dropped injection never weakens a
+// verdict.
+func scheduleMoves(d *redplane.Deployment, faults []Fault, flowOf func(slot int) packet.FiveTuple) {
+	for _, f := range faults {
+		if !f.Move {
+			continue
+		}
+		f := f
+		d.Sim.At(netsim.Duration(f.FailAt), func() {
+			if d.Coordinator != nil && d.FlowTable != nil {
+				_ = d.Coordinator.MoveKeyArc(flowOf(f.MoveKey), f.MoveTo%d.FlowTable.Chains())
+			}
+		})
+	}
+}
+
 func runLinearizable(cfg Config, faults []Fault) runResult {
 	proto := redplane.DefaultProtocolConfig()
 	proto.LeasePeriod = leasePeriod
@@ -170,6 +213,7 @@ func runLinearizable(cfg Config, faults []Fault) runResult {
 	}
 
 	durableRun := NeedsDurability(cfg, faults)
+	shards, ring := storeShape(cfg, faults)
 	d := redplane.NewDeployment(redplane.DeploymentConfig{
 		Seed:            cfg.Seed,
 		NewApp:          func(int) redplane.App { return &apps.KVStore{} },
@@ -179,10 +223,15 @@ func runLinearizable(cfg Config, faults []Fault) runResult {
 		RecordJournal:   true,
 		Obs:             redplane.ObsConfig{TraceEvents: traceCap},
 		Ablation:        redplane.AblationConfig{StoreNoRevoke: cfg.BreakNoRevoke},
+		StoreShards:     shards,
+		FlowSpace:       redplane.FlowSpaceConfig{Enabled: ring},
 		StoreDurability: store.DurabilityConfig{Enabled: durableRun},
 		StoreMembership: durableRun,
 	})
 	d.ScheduleFaultEvents(compile(faults))
+	scheduleMoves(d, faults, func(slot int) packet.FiveTuple {
+		return apps.KVPartitionKey(uint64(slot % numKeys))
+	})
 
 	drv := newKVDriver(d, cfg.Seed)
 	activeEnd := netsim.Duration(warmup + cfg.Duration)
@@ -346,8 +395,7 @@ func checkStoreInvariants(d *redplane.Deployment) []Violation {
 }
 
 func runBounded(cfg Config, faults []Fault) runResult {
-	drv, d := newBoundedDriver(cfg.Seed, cfg.Engine, faults, snapshotPeriod, leasePeriod,
-		cfg.BatchWindow, NeedsDurability(cfg, faults))
+	drv, d := newBoundedDriver(cfg, faults)
 	activeEnd := netsim.Duration(warmup + cfg.Duration)
 	end := activeEnd + netsim.Duration(quiesce)
 	drv.start(activeEnd)

@@ -27,6 +27,14 @@ func Generate(cfg Config) []Fault {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	p := cfg.Profile
 	active := cfg.Duration
+	// chains doubles as the store-fault shard range and the migration
+	// endpoint range; the classic single-chain draw (Intn(1) == 0)
+	// consumes the identical rng stream, so legacy schedules per seed
+	// are byte-stable.
+	chains := cfg.Chains
+	if chains < 1 {
+		chains = storeShards
+	}
 
 	n := p.MinFaults
 	if p.MaxFaults > p.MinFaults {
@@ -43,6 +51,16 @@ func Generate(cfg Config) []Fault {
 	permanentUsed := false
 	for i := 0; i < n; i++ {
 		failAt := warmup + durBetween(0, active)
+		// Like the cold draw below, the move draw only happens for
+		// profiles that use it, so pre-existing profiles' rng streams are
+		// unchanged for a given seed.
+		if p.PMove > 0 && rng.Float64() < p.PMove {
+			faults = append(faults, Fault{
+				Move: true, MoveKey: rng.Intn(64), MoveTo: rng.Intn(chains),
+				FailAt: failAt,
+			})
+			continue
+		}
 		if rng.Float64() < p.PStore {
 			recoverAt := failAt + durBetween(p.DownMin, p.DownMax)
 			if max := warmup + active; recoverAt > max {
@@ -53,7 +71,7 @@ func Generate(cfg Config) []Fault {
 			// warm profiles is unchanged for a given seed.
 			cold := p.PCold > 0 && rng.Float64() < p.PCold
 			faults = append(faults, Fault{
-				Store: true, Shard: rng.Intn(storeShards), Replica: rng.Intn(storeReplicas),
+				Store: true, Shard: rng.Intn(chains), Replica: rng.Intn(storeReplicas),
 				Cold:   cold,
 				FailAt: failAt, RecoverAt: recoverAt,
 			})
@@ -75,10 +93,15 @@ func Generate(cfg Config) []Fault {
 	return faults
 }
 
-// compile lowers the fault list to the failure package's event schedule.
+// compile lowers the fault list to the failure package's event
+// schedule. Move faults are not failures — scheduleMoves injects them
+// through the coordinator.
 func compile(faults []Fault) failure.Schedule {
 	var sched failure.Schedule
 	for _, f := range faults {
+		if f.Move {
+			continue
+		}
 		if f.Store {
 			sched.Events = append(sched.Events, failure.Event{
 				At: f.FailAt, Kind: failure.StoreFail, Shard: f.Shard, Replica: f.Replica,

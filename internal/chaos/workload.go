@@ -206,18 +206,19 @@ type boundedDriver struct {
 
 const boundedFlows = 8
 
-func newBoundedDriver(seed int64, engine string, faults []Fault, snapshotPeriod, leasePeriod,
-	batchWindow time.Duration, durableRun bool) (*boundedDriver, *redplane.Deployment) {
+func newBoundedDriver(cfg Config, faults []Fault) (*boundedDriver, *redplane.Deployment) {
 	b := &boundedDriver{}
 	proto := redplane.DefaultProtocolConfig()
 	proto.LeasePeriod = leasePeriod
 	proto.RenewInterval = leasePeriod / 2
 	proto.SnapshotPeriod = snapshotPeriod
-	if batchWindow > 0 {
-		proto.FlushWindow = batchWindow
+	if cfg.BatchWindow > 0 {
+		proto.FlushWindow = cfg.BatchWindow
 	}
+	durableRun := NeedsDurability(cfg, faults)
+	shards, ring := storeShape(cfg, faults)
 	d := redplane.NewDeployment(redplane.DeploymentConfig{
-		Seed: seed,
+		Seed: cfg.Seed,
 		Mode: redplane.BoundedInconsistency,
 		NewApp: func(i int) redplane.App {
 			c := apps.NewAsyncCounter(i)
@@ -226,8 +227,10 @@ func newBoundedDriver(seed int64, engine string, faults []Fault, snapshotPeriod,
 		},
 		SnapshotSlots:   apps.NewAsyncCounter(0).Slots(),
 		Protocol:        proto,
-		Replication:     redplane.ReplicationConfig{Engine: engine},
+		Replication:     redplane.ReplicationConfig{Engine: cfg.Engine},
 		Obs:             redplane.ObsConfig{TraceEvents: traceCap},
+		StoreShards:     shards,
+		FlowSpace:       redplane.FlowSpaceConfig{Enabled: ring},
 		StoreDurability: store.DurabilityConfig{Enabled: durableRun},
 		StoreMembership: durableRun,
 	})
@@ -235,6 +238,15 @@ func newBoundedDriver(seed int64, engine string, faults []Fault, snapshotPeriod,
 	b.sink = d.AddServer(1, "chaos-sink", redplane.MakeAddr(10, 1, 0, 88))
 	b.client = d.AddClient(0, "chaos-udp", redplane.MakeAddr(100, 0, 0, 2))
 	d.ScheduleFaultEvents(compile(faults))
+	// Migration injections target the per-switch counter partitions.
+	// Snapshot images are deliberately NOT migrated with a range (they
+	// are ε-soft state); the switch's next periodic snapshot repopulates
+	// the destination chain within one period, which is inside the
+	// staleness bound the checker enforces.
+	scheduleMoves(d, faults, func(slot int) packet.FiveTuple {
+		return packet.FiveTuple{Src: packet.Addr(slot % numSwitches),
+			SrcPort: 0xAC, Proto: packet.ProtoUDP}
+	})
 	return b, d
 }
 

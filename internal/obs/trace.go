@@ -49,6 +49,15 @@ const (
 	// state (checkpoint + WAL replay) after losing memory; V carries the
 	// number of WAL records replayed.
 	EvColdRestore
+	// EvMigrateBegin marks a flow-space move fencing its key range (the
+	// routing epoch after the fence rides in V).
+	EvMigrateBegin
+	// EvMigrateCommit marks a flow-space move flipping the routing
+	// epoch after state transfer; V carries the number of flows moved.
+	EvMigrateCommit
+	// EvMigrateAbort marks a flow-space move rolled back (view change
+	// or replica death mid-migration); V carries the restored epoch.
+	EvMigrateAbort
 )
 
 var eventNames = map[EventType]string{
@@ -73,6 +82,9 @@ var eventNames = map[EventType]string{
 	EvViewChange:     "view_change",
 	EvResync:         "resync",
 	EvColdRestore:    "cold_restore",
+	EvMigrateBegin:   "migrate_begin",
+	EvMigrateCommit:  "migrate_commit",
+	EvMigrateAbort:   "migrate_abort",
 }
 
 var eventTypes = func() map[string]EventType {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"redplane/internal/flowspace"
 	"redplane/internal/netsim"
 	"redplane/internal/packet"
 	"redplane/internal/repl"
@@ -35,6 +36,10 @@ type Cluster struct {
 	// increasing view number plus the member replica indices in group
 	// order. The number fences stale senders; see repl.Msg.ViewNum.
 	views []chainView
+	// table, when set, replaces the static hash-mod-shards routing with
+	// the flow-space consistent-hash table: chains own ring arcs, and
+	// live migration can move arcs between them. See UseTable.
+	table *flowspace.Table
 }
 
 // chainView is one shard's replication-group configuration: member
@@ -117,9 +122,46 @@ func (c *Cluster) ShedMsgs() uint64 {
 // Shards returns the shard count.
 func (c *Cluster) Shards() int { return c.shards }
 
+// UseTable routes the cluster through an epoch-numbered flow-space
+// table (consistent-hash ring) instead of the static hash: a shard is a
+// chain owning ring arcs, and the membership coordinator may move arcs
+// — with their durable state and leases — between chains at runtime.
+// Every server gets an ownership gate tied to the shared table, so a
+// request that reaches a non-owner (stale epoch, fenced mid-migration
+// range) is dropped for the retransmit path to redirect. The table must
+// route over exactly this cluster's chain count.
+//
+// With one chain the table maps every key to chain 0 — exactly what the
+// static hash does — so single-chain deployments behave identically
+// routed either way (the chaos harness asserts byte-identical
+// verdicts).
+func (c *Cluster) UseTable(t *flowspace.Table) {
+	if t.Chains() > c.shards {
+		panic("store: flow-space table routes over more chains than the cluster has")
+	}
+	c.table = t
+	for sh := range c.servers {
+		sh := sh
+		check := func(key packet.FiveTuple) bool {
+			return c.table.ChainFor(key) == sh && !c.table.Fenced(key)
+		}
+		for _, srv := range c.servers[sh] {
+			srv.SetRouteCheck(check)
+		}
+	}
+}
+
+// Table returns the flow-space routing table, nil under static routing.
+func (c *Cluster) Table() *flowspace.Table { return c.table }
+
 // ShardFor maps a flow key to its shard index ("It identifies the
-// corresponding state store server by hashing the flow key", §5.1).
+// corresponding state store server by hashing the flow key", §5.1) —
+// through the flow-space table when one is installed, else the static
+// hash over the fixed shard count.
 func (c *Cluster) ShardFor(key packet.FiveTuple) int {
+	if c.table != nil {
+		return c.table.ChainFor(key)
+	}
 	return int(key.SymmetricHash() % uint64(c.shards))
 }
 
@@ -256,7 +298,13 @@ func (c *Cluster) Server(shard, replica int) *Server { return c.servers[shard][r
 func (c *Cluster) All() []*Server { return c.all }
 
 // HeadAddrFor returns the IP a switch should send requests for key to.
+// This is the switches' per-five-tuple routing consult; under
+// flow-space routing it also charges the key's ring arc one unit of
+// load — the rebalancer's heavy-hitter signal.
 func (c *Cluster) HeadAddrFor(key packet.FiveTuple) (packet.Addr, int) {
+	if c.table != nil {
+		c.table.Record(key)
+	}
 	sh := c.ShardFor(key)
 	return c.Head(sh).IP, sh
 }

@@ -92,6 +92,41 @@ func TestBatchIOByteEquivalence(t *testing.T) {
 	}
 }
 
+// TestUDPDigestShardCountInvariant pins the multi-shard Digest contract:
+// servers holding the same flows digest identically whatever their
+// -shards count, because the digest folds the union of flows in global
+// key order and never sees the flow→shard partition. The batched sweep
+// also spans shards on the multi-shard servers, so the same run
+// exercises the receiver's frame-sliced batch split end to end — a
+// split that lost or corrupted a member would leave the digests (and
+// the per-flow state checks) disagreeing.
+func TestUDPDigestShardCountInvariant(t *testing.T) {
+	const flows, writes = 12, 7
+	var digests []uint64
+	for _, shards := range []int{1, 2, 5} {
+		srv := sweepServer(t, WithUDPShards(shards), WithUDPReceivers(2))
+		res, err := RunSweep(SweepConfig{
+			Addr: srv.Addr().String(), Flows: flows, Writes: writes,
+			Batch: 4, Timeout: 30 * time.Second,
+		})
+		if err != nil || !res.Complete {
+			t.Fatalf("%d shards: sweep err=%v res=%+v", shards, err, res)
+		}
+		for i := 0; i < flows; i++ {
+			vals, seq, ok := srv.State(FlowKey(i))
+			if !ok || seq != writes || len(vals) != 1 || vals[0] != writes {
+				t.Fatalf("%d shards flow %d: vals=%v seq=%d ok=%v", shards, i, vals, seq, ok)
+			}
+		}
+		digests = append(digests, srv.Digest())
+	}
+	for i := 1; i < len(digests); i++ {
+		if digests[i] != digests[0] {
+			t.Fatalf("digest diverged across shard counts: %016x", digests)
+		}
+	}
+}
+
 // serialTranscript drives a seeded serial workload against a server and
 // returns the concatenated raw reply datagrams. Requests go one at a
 // time, so every reply is a single frame — framing cannot differ

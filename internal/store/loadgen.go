@@ -2,8 +2,10 @@ package store
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,7 +30,9 @@ type SweepConfig struct {
 	Senders int
 	// Flows is the number of distinct five-tuples (default 32).
 	Flows int
-	// Writes is the replication requests per flow (default 100).
+	// Writes is the replication requests per flow (default 100). With
+	// Zipf set it is the per-flow average: the same Flows*Writes total
+	// is redistributed by flow rank.
 	Writes int
 	// Batch is the messages packed per request datagram (default 16;
 	// 1 = one datagram per write, the per-packet switch pattern).
@@ -55,6 +59,17 @@ type SweepConfig struct {
 	FlowBase int
 	// Portable forces the one-datagram-per-syscall client path.
 	Portable bool
+	// Zipf skews the per-flow write allocation: flow rank r gets a
+	// share of the same Flows*Writes total proportional to 1/r^Zipf
+	// (see SweepWriteTargets). 0 keeps the uniform Writes-per-flow
+	// sweep. The skewed sweep models heavy-hitter flow popularity —
+	// the load shape the flow-space rebalancer exists to fix.
+	Zipf float64
+	// ShardCount, when non-zero, is the server's shard count; the
+	// result then attributes processed writes per shard (the client
+	// knows the flow→shard map: it is the same five-tuple hash the
+	// server's receivers use) and reports the goodput spread.
+	ShardCount int
 }
 
 func (c *SweepConfig) fill() {
@@ -112,17 +127,76 @@ type SweepResult struct {
 	// Complete reports every flow reached its final watermark before
 	// Timeout.
 	Complete bool
+	// PerShardProcessed attributes processed writes to server shards
+	// (populated only when SweepConfig.ShardCount is set).
+	PerShardProcessed []uint64 `json:",omitempty"`
+	// ShardSpread is max/mean of PerShardProcessed: 1.0 is a perfectly
+	// even sweep; a Zipf sweep reports how lopsided the per-shard
+	// goodput was.
+	ShardSpread float64 `json:",omitempty"`
 }
 
-// sweepFlow is one flow's send-side state. acked is written by the
-// sender's reader goroutine and polled by its writer.
+// SweepWriteTargets returns each flow's write target. With s == 0 every
+// flow gets writes. With s > 0 the same flows*writes total is split
+// Zipf-style — flow rank r weighs 1/r^s — with a floor of one write per
+// flow (so every flow stays verifiable after a restart) and the
+// remainder rounded by largest fractional part. The allocation is
+// deterministic: no sampling, so a sweep and its -verify pass agree on
+// every flow's watermark by construction.
+func SweepWriteTargets(flows, writes int, s float64) []uint64 {
+	targets := make([]uint64, flows)
+	if s <= 0 {
+		for i := range targets {
+			targets[i] = uint64(writes)
+		}
+		return targets
+	}
+	spare := flows*writes - flows // one write per flow is pre-allocated
+	if spare < 0 {
+		spare = 0
+	}
+	weights := make([]float64, flows)
+	var sum float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+		sum += weights[i]
+	}
+	type rem struct {
+		i    int
+		frac float64
+	}
+	rems := make([]rem, flows)
+	allocated := 0
+	for i, w := range weights {
+		exact := float64(spare) * w / sum
+		fl := math.Floor(exact)
+		targets[i] = 1 + uint64(fl)
+		allocated += int(fl)
+		rems[i] = rem{i, exact - fl}
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].i < rems[b].i
+	})
+	for k := 0; k < spare-allocated; k++ {
+		targets[rems[k].i]++
+	}
+	return targets
+}
+
+// sweepFlow is one flow's send-side state. acked and processed are
+// written by the sender's reader goroutine and polled by its writer.
 type sweepFlow struct {
-	key      packet.FiveTuple
-	switchID int
-	leased   atomic.Bool
-	acked    atomic.Uint64
-	sent     uint64 // writer-goroutine only
-	lastSend time.Time
+	key       packet.FiveTuple
+	switchID  int
+	target    uint64 // writes this flow must get acknowledged
+	leased    atomic.Bool
+	acked     atomic.Uint64
+	processed atomic.Uint64
+	sent      uint64 // writer-goroutine only
+	lastSend  time.Time
 }
 
 // FlowKey returns the five-tuple the sweep assigns to flow i, so a
@@ -145,10 +219,11 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 	if err != nil {
 		return SweepResult{}, fmt.Errorf("loadgen: resolve %q: %w", cfg.Addr, err)
 	}
+	targets := SweepWriteTargets(cfg.Flows, cfg.Writes, cfg.Zipf)
 	flows := make([]*sweepFlow, cfg.Flows)
 	for i := range flows {
 		flows[i] = &sweepFlow{key: FlowKey(cfg.FlowBase + i),
-			switchID: cfg.SwitchBase + cfg.FlowBase + i}
+			switchID: cfg.SwitchBase + cfg.FlowBase + i, target: targets[i]}
 	}
 	deadline := time.Now().Add(cfg.Timeout)
 	var wg sync.WaitGroup
@@ -181,7 +256,7 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 	}
 	for _, f := range flows {
 		res.AckedWrites += f.acked.Load()
-		if f.acked.Load() < uint64(cfg.Writes) {
+		if f.acked.Load() < f.target {
 			res.Complete = false
 		}
 	}
@@ -192,6 +267,23 @@ func RunSweep(cfg SweepConfig) (SweepResult, error) {
 		res.Retrans += sn.retrans
 	}
 	res.GoodputPps = float64(res.ProcessedWrites) / res.Elapsed.Seconds()
+	if cfg.ShardCount > 0 {
+		per := make([]uint64, cfg.ShardCount)
+		for _, f := range flows {
+			per[int(f.key.Hash()%uint64(cfg.ShardCount))] += f.processed.Load()
+		}
+		res.PerShardProcessed = per
+		var max, sum uint64
+		for _, v := range per {
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		if sum > 0 {
+			res.ShardSpread = float64(max) * float64(cfg.ShardCount) / float64(sum)
+		}
+	}
 	return res, nil
 }
 
@@ -299,6 +391,7 @@ func (sn *sweepSender) applyAck(m *wire.Message) {
 		}
 	case wire.MsgReplAck:
 		sn.processed.Add(1)
+		f.processed.Add(1)
 		for {
 			cur := f.acked.Load()
 			if m.Seq <= cur || f.acked.CompareAndSwap(cur, m.Seq) {
@@ -315,14 +408,13 @@ func (sn *sweepSender) drive(deadline time.Time) {
 	if !sn.leaseAll(deadline) {
 		return
 	}
-	writes := uint64(sn.cfg.Writes)
 	for time.Now().Before(deadline) {
 		progress := false
 		done := true
 		now := time.Now()
 		for _, f := range sn.flows {
 			acked := f.acked.Load()
-			if acked >= writes {
+			if acked >= f.target {
 				continue
 			}
 			done = false
@@ -338,9 +430,9 @@ func (sn *sweepSender) drive(deadline time.Time) {
 				progress = true
 				continue
 			}
-			for f.sent < writes && f.sent-acked < uint64(sn.cfg.Window) {
+			for f.sent < f.target && f.sent-acked < uint64(sn.cfg.Window) {
 				burst := uint64(sn.cfg.Batch)
-				if left := writes - f.sent; left < burst {
+				if left := f.target - f.sent; left < burst {
 					burst = left
 				}
 				if room := uint64(sn.cfg.Window) - (f.sent - acked); room < burst {
@@ -435,6 +527,7 @@ func (sn *sweepSender) flushTx() {
 // number of flows whose state matched.
 func VerifySweep(cfg SweepConfig) (int, error) {
 	cfg.fill()
+	targets := SweepWriteTargets(cfg.Flows, cfg.Writes, cfg.Zipf)
 	ok := 0
 	for i := 0; i < cfg.Flows; i++ {
 		cl, err := DialUDP(cfg.Addr, cfg.SwitchBase+cfg.FlowBase+i)
@@ -446,8 +539,8 @@ func VerifySweep(cfg SweepConfig) (int, error) {
 		if err != nil {
 			return ok, fmt.Errorf("loadgen: verify flow %d: %w", i, err)
 		}
-		if ack.Seq == uint64(cfg.Writes) && !ack.NewFlow &&
-			len(ack.Vals) == 1 && ack.Vals[0] == uint64(cfg.Writes) {
+		if ack.Seq == targets[i] && !ack.NewFlow &&
+			len(ack.Vals) == 1 && ack.Vals[0] == targets[i] {
 			ok++
 		}
 	}

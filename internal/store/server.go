@@ -88,6 +88,14 @@ type Server struct {
 	// SwitchAddr resolves a switch ID to its protocol IP address.
 	SwitchAddr func(id int) packet.Addr
 
+	// routeCheck, when set, is the flow-space ownership gate: requests
+	// for keys this server does not own under the current routing epoch
+	// — or that are fenced mid-migration — are dropped unserved, so the
+	// switches' retransmit path carries them across the epoch flip to
+	// the owner chain. Nil means the server owns the whole flow space
+	// (static single-table routing).
+	routeCheck func(packet.FiveTuple) bool
+
 	wake *netsim.Timer
 
 	// Observability handles, cached at construction under scope
@@ -98,6 +106,7 @@ type Server struct {
 	dropped            *obs.Counter
 	sheds              *obs.Counter
 	staleViewDrops     *obs.Counter
+	wrongRouteDrops    *obs.Counter
 	queueNs            *obs.Gauge
 	queueDepth         *obs.Gauge
 	batchSize          *obs.Gauge
@@ -134,6 +143,7 @@ func newServerRaw(sim *netsim.Sim, name string, ip packet.Addr, shard *Shard, se
 	s.dropped = ns.Counter("dropped_requests")
 	s.sheds = ns.Counter("sheds")
 	s.staleViewDrops = ns.Counter("stale_view_drops")
+	s.wrongRouteDrops = ns.Counter("wrong_route_drops")
 	s.queueNs = ns.Gauge("queue_ns")
 	s.queueDepth = ns.Gauge("queue_depth")
 	s.batchSize = ns.Gauge("batch_size")
@@ -156,6 +166,7 @@ type ServerStats struct {
 	DroppedRequests    uint64
 	ShedMsgs           uint64
 	StaleViewDrops     uint64
+	WrongRouteDrops    uint64
 	WALBytes           uint64
 	Flows              int
 	Shard              Stats
@@ -172,6 +183,7 @@ func (s *Server) Stats() ServerStats {
 		DroppedRequests: s.dropped.Value(),
 		ShedMsgs:        s.sheds.Value(),
 		StaleViewDrops:  s.staleViewDrops.Value(),
+		WrongRouteDrops: s.wrongRouteDrops.Value(),
 		Flows:           s.shard.Flows(),
 		Shard:           s.shard.Stats,
 	}
@@ -428,6 +440,14 @@ func (s *Server) handleRequest(m *wire.Message) {
 		s.staleViewDrops.Inc()
 		return
 	}
+	if s.routeCheck != nil && !s.routeCheck(m.Key) {
+		// Not this chain's key under the current routing epoch (or the
+		// key's range is fenced mid-migration). Serving would mutate
+		// state the owner chain will never see; the switch's retransmit
+		// re-consults the table and lands on the right chain.
+		s.wrongRouteDrops.Inc()
+		return
+	}
 	before := s.shard.Stats
 	outs, ups := s.shard.Process(int64(s.sim.Now()), m)
 	s.traceLeases(before, m.Key, true)
@@ -441,8 +461,26 @@ func (s *Server) handleBatch(b *wire.Batch) {
 		s.staleViewDrops.Inc()
 		return
 	}
+	msgs := b.Msgs
+	if s.routeCheck != nil {
+		// Per-message ownership gate: a batch coalesced before an epoch
+		// flip may mix owned and migrated-away keys; only the owned ones
+		// are served (the rest retransmit to the new owner).
+		kept := msgs[:0]
+		for _, m := range msgs {
+			if s.routeCheck(m.Key) {
+				kept = append(kept, m)
+			} else {
+				s.wrongRouteDrops.Inc()
+			}
+		}
+		msgs = kept
+		if len(msgs) == 0 {
+			return
+		}
+	}
 	before := s.shard.Stats
-	outs, ups := s.shard.ProcessBatch(int64(s.sim.Now()), b.Msgs)
+	outs, ups := s.shard.ProcessBatch(int64(s.sim.Now()), msgs)
 	s.traceLeases(before, packet.FiveTuple{}, false)
 	s.batchSize.Set(int64(b.Len()))
 	if s.tr.Active() {
@@ -580,6 +618,43 @@ func (s *Server) sendPeer(dst *Server, m repl.Msg) {
 func (s *Server) applyReconciled(up Update) {
 	s.shard.Apply(up)
 	s.release(func() {})
+}
+
+// SetRouteCheck installs (or clears, with nil) the flow-space ownership
+// gate; see the routeCheck field. Cluster.UseTable fans this out.
+func (s *Server) SetRouteCheck(fn func(packet.FiveTuple) bool) { s.routeCheck = fn }
+
+// InstallRange applies a migrated key range — Updates exported from the
+// source chain — to this replica's shard, WAL-logging each apply, and
+// forces a checkpoint so the installed range is durable before the
+// routing epoch flips (a cold restart in the next instant must not lose
+// flows no other chain holds anymore). Returns the flow count.
+//
+// Like the quorum view-change reconcile, the install itself is
+// modeled free of simulated time; the migration drain window is where
+// the transfer cost is accounted. DESIGN.md §10 flags this.
+func (s *Server) InstallRange(ups []Update) int {
+	for _, up := range ups {
+		s.shard.Apply(up)
+	}
+	if s.dur != nil {
+		_ = s.dur.ForceCheckpoint(int64(s.sim.Now()))
+	}
+	s.flowsGauge.Set(int64(s.shard.Flows()))
+	return len(ups)
+}
+
+// DropRange deletes a migrated-away key range from this replica's shard
+// (tombstones WAL-logged by the shard) and forces a checkpoint so a
+// cold restart cannot resurrect flows the routing table now sends
+// elsewhere. Returns the flow count dropped.
+func (s *Server) DropRange(pred func(packet.FiveTuple) bool) int {
+	n := s.shard.DropRange(pred)
+	if n > 0 && s.dur != nil {
+		_ = s.dur.ForceCheckpoint(int64(s.sim.Now()))
+	}
+	s.flowsGauge.Set(int64(s.shard.Flows()))
+	return n
 }
 
 func (s *Server) emit(o Output) {

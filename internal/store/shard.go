@@ -650,6 +650,107 @@ func (s *Shard) ExportUpdate(key packet.FiveTuple) (Update, bool) {
 	}, true
 }
 
+// ExportRange returns the replicated write state of every flow matching
+// pred as Updates in sorted key order — the live-migration transfer
+// currency: the coordinator exports a moving key range from the source
+// chain's resync source and installs it on the destination replicas.
+// Lease metadata rides along in the Updates (Owner, LeaseExpiry), which
+// is how per-flow leases hand off without a re-grant.
+func (s *Shard) ExportRange(pred func(packet.FiveTuple) bool) []Update {
+	var ups []Update
+	for _, k := range s.ReplicatedKeys() {
+		if !pred(k) {
+			continue
+		}
+		if up, ok := s.ExportUpdate(k); ok {
+			ups = append(ups, up)
+		}
+	}
+	return ups
+}
+
+// DropRange deletes every flow matching pred — replicated, lease-only,
+// and snapshot-only state alike — logging a tombstone Update per flow
+// through the WAL hook so a cold restart replays the drop rather than
+// resurrecting migrated-away flows. Waiting lease requests for dropped
+// flows are discarded with them (requesters re-request; the routing
+// table no longer points them here). The caller must force a checkpoint
+// afterwards if it needs the drop durable immediately rather than at
+// the next sync. Returns the number of flows deleted.
+func (s *Shard) DropRange(pred func(packet.FiveTuple) bool) int {
+	var keys []packet.FiveTuple
+	for k := range s.flows {
+		if pred(k) {
+			keys = append(keys, k)
+		}
+	}
+	// Sorted order keeps the WAL byte-stable across replicas and runs.
+	sort.Slice(keys, func(a, b int) bool { return keys[a].Less(keys[b]) })
+	for _, k := range keys {
+		if s.walHook != nil {
+			s.walHook(Update{Key: k, Exists: false})
+		}
+		delete(s.flows, k)
+	}
+	return len(keys)
+}
+
+// DigestUpdates hashes a set of exported Updates exactly the way
+// RangeDigest hashes the flows they came from, so a migration can check
+// "did the destination install precisely what the sources exported"
+// without a throwaway shard: sort by key, then fold key, lastSeq, and
+// values per flow.
+func DigestUpdates(ups []Update) uint64 {
+	sorted := append([]Update(nil), ups...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Key.Less(sorted[b].Key) })
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, up := range sorted {
+		k := up.Key
+		put(uint64(k.Src))
+		put(uint64(k.Dst))
+		put(uint64(k.SrcPort)<<24 | uint64(k.DstPort)<<8 | uint64(k.Proto))
+		put(up.LastSeq)
+		put(uint64(len(up.Vals)))
+		for _, v := range up.Vals {
+			put(v)
+		}
+	}
+	return h.Sum64()
+}
+
+// RangeDigest is Digest restricted to flows matching pred — the
+// transfer-verification gate: after a migration installs a range on the
+// destination, source and destination must agree on the moved range's
+// digest before the routing epoch flips.
+func (s *Shard) RangeDigest(pred func(packet.FiveTuple) bool) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, k := range s.ReplicatedKeys() {
+		if !pred(k) {
+			continue
+		}
+		f := s.flows[k]
+		put(uint64(k.Src))
+		put(uint64(k.Dst))
+		put(uint64(k.SrcPort)<<24 | uint64(k.DstPort)<<8 | uint64(k.Proto))
+		put(f.lastSeq)
+		put(uint64(len(f.vals)))
+		for _, v := range f.vals {
+			put(v)
+		}
+	}
+	return h.Sum64()
+}
+
 // Digest returns an order-independent FNV-1a hash of the shard's durable
 // replicated state: for every initialized flow, its key, last applied
 // sequence number, and values, iterated in sorted key order. Lease

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"log"
 	"net"
 	"sync"
@@ -331,10 +330,15 @@ func (s *UDPServer) State(key packet.FiveTuple) (vals []uint64, lastSeq uint64, 
 	return sh.sh.State(key)
 }
 
-// Digest hashes the server's committed state. With one shard it is the
-// shard digest itself (so it stays comparable across restarts and with
-// simulator shards); with several it folds the per-shard digests in
-// shard order.
+// Digest hashes the server's committed replicated state — the digest a
+// single Shard holding the union of every shard's flows would return.
+// The contract is shard-count invariance: the value is comparable
+// across restarts, across servers configured with different -shards
+// counts, and with simulator shards, because the flow→shard partition
+// never enters the hash. A multi-shard server exports each shard's
+// flows and folds them in globally sorted key order (the same per-flow
+// encoding Shard.Digest uses); one shard short-circuits to the shard
+// digest itself, which is that same fold.
 func (s *UDPServer) Digest() uint64 {
 	if len(s.shards) == 1 {
 		sh := s.shards[0]
@@ -342,16 +346,13 @@ func (s *UDPServer) Digest() uint64 {
 		defer sh.mu.Unlock()
 		return sh.sh.Digest()
 	}
-	h := fnv.New64a()
-	var buf [8]byte
+	var ups []Update
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		d := sh.sh.Digest()
+		ups = append(ups, sh.sh.ExportRange(func(packet.FiveTuple) bool { return true })...)
 		sh.mu.Unlock()
-		binary.LittleEndian.PutUint64(buf[:], d)
-		h.Write(buf[:])
 	}
-	return h.Sum64()
+	return DigestUpdates(ups)
 }
 
 // UDPStats is a point-in-time snapshot of the server's counters.
@@ -438,11 +439,21 @@ type dgram struct {
 
 // udpReceiver drains the socket and routes datagrams to shard rings.
 type udpReceiver struct {
-	srv   *UDPServer
-	idx   int
-	br    batchReader
-	slots []rxSlot
-	group map[int][]*wire.Message // split-batch scratch
+	srv    *UDPServer
+	idx    int
+	br     batchReader
+	slots  []rxSlot
+	group  []splitGroup // per-shard split-batch scratch
+	frames [][]byte     // member-frame scratch (spans of the rx buffer)
+}
+
+// splitGroup collects one shard's members of a spanning batch: the
+// decoded messages (handed to the shard so it need not re-decode) and
+// their framed byte spans in the original datagram (concatenated under
+// a fresh batch header to form the shard's sub-batch — no re-marshal).
+type splitGroup struct {
+	msgs   []*wire.Message
+	frames [][]byte
 }
 
 func (r *udpReceiver) run(errCh chan<- error) {
@@ -506,24 +517,37 @@ func (r *udpReceiver) route(sl *rxSlot) {
 			sl.buf = s.getBuf() // ownership moved to the ring
 			return
 		}
-		// Split: re-frame each shard's members as their own sub-batch.
+		// Split: each shard's members become their own sub-batch,
+		// assembled by copying the members' framed byte ranges out of
+		// the original datagram — the messages are never re-marshaled.
 		// The original slot buffer stays with the receiver.
+		frames, err := wire.MemberFrames(payload, r.frames[:0])
+		r.frames = frames[:0]
+		if err != nil {
+			// Unreachable after a successful Unmarshal of the same bytes.
+			s.badDgrams.Inc()
+			return
+		}
 		if r.group == nil {
-			r.group = make(map[int][]*wire.Message, len(s.shards))
+			r.group = make([]splitGroup, len(s.shards))
 		}
-		for _, m := range bt.Msgs {
+		for i, m := range bt.Msgs {
 			si := s.shardFor(m.Key)
-			r.group[si] = append(r.group[si], m)
+			g := &r.group[si]
+			g.msgs = append(g.msgs, m)
+			g.frames = append(g.frames, frames[i])
 		}
-		for si, msgs := range r.group {
-			if len(msgs) == 0 {
+		for si := range r.group {
+			g := &r.group[si]
+			if len(g.msgs) == 0 {
 				continue
 			}
 			nb := s.getBuf()
-			sub := wire.Batch{Msgs: msgs}
-			pb := sub.Marshal(nb[:0])
-			r.deliver(si, dgram{base: &nb, payload: pb, msgs: msgs, origin: origin})
-			r.group[si] = nil
+			pb := wire.AppendBatchFrames(nb[:0], g.frames...)
+			r.deliver(si, dgram{base: &nb, payload: pb, msgs: g.msgs, origin: origin})
+			// The msgs slice moved to the shard; the frame spans die with
+			// this datagram and their backing array is reused.
+			g.msgs, g.frames = nil, g.frames[:0]
 		}
 		return
 	}

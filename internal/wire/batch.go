@@ -93,6 +93,52 @@ func (bt *Batch) Marshal(b []byte) []byte {
 	return b
 }
 
+// MemberFrames appends each member message's length-prefixed frame —
+// a subslice of b, prefix included — to frames and returns it. It walks
+// only the batch framing, not the member encodings, so a receiver that
+// has already decoded the batch can regroup members into new batch
+// datagrams by concatenating these spans instead of re-marshaling every
+// message (see AppendBatchFrames).
+func MemberFrames(b []byte, frames [][]byte) ([][]byte, error) {
+	if !IsBatch(b) {
+		return frames, errBadBatch
+	}
+	count := int(binary.BigEndian.Uint16(b[2:4]))
+	b = b[batchHeaderLen:]
+	for i := 0; i < count; i++ {
+		if len(b) < 2 {
+			return frames, errBadBatch
+		}
+		n := 2 + int(binary.BigEndian.Uint16(b[0:2]))
+		if len(b) < n {
+			return frames, errBadBatch
+		}
+		frames = append(frames, b[:n])
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return frames, errBadBatch
+	}
+	return frames, nil
+}
+
+// AppendBatchFrames appends a batch datagram built from already-framed
+// members (length-prefixed spans as returned by MemberFrames) to dst.
+// Because the member bytes are copied verbatim under a fresh header,
+// the result is byte-identical to marshaling a Batch of the same
+// messages — without touching any member's encoding.
+func AppendBatchFrames(dst []byte, frames ...[]byte) []byte {
+	if len(frames) > MaxBatchMsgs {
+		panic("wire: batch too large")
+	}
+	dst = append(dst, batchMagic, batchVersion)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(frames)))
+	for _, f := range frames {
+		dst = append(dst, f...)
+	}
+	return dst
+}
+
 // Unmarshal decodes a batch datagram. Member messages are decoded into
 // freshly allocated Messages (they outlive the receive buffer).
 func (bt *Batch) Unmarshal(b []byte) error {

@@ -109,6 +109,63 @@ func TestBatchWireLenAmortizesEncap(t *testing.T) {
 	}
 }
 
+// TestMemberFramesSplitEquivalence: regrouping a batch's members by
+// concatenating their framed spans must be byte-identical to marshaling
+// a fresh Batch of the same messages — the contract the UDP server's
+// zero-re-marshal shard split relies on.
+func TestMemberFramesSplitEquivalence(t *testing.T) {
+	pkt := packet.NewTCP(packet.MakeAddr(1, 1, 1, 1), packet.MakeAddr(2, 2, 2, 2), 5, 6, packet.FlagACK, 33)
+	bt := &Batch{Msgs: []*Message{
+		{Type: MsgRepl, Seq: 1, Key: key(), Vals: []uint64{7, 9}},
+		{Type: MsgLeaseNew, Seq: 2, Key: key(), Piggyback: pkt, NewFlow: true},
+		{Type: MsgLeaseRenew, Seq: 3, Key: key()},
+		{Type: MsgRepl, Seq: 4, Key: key(), Vals: []uint64{1, 2, 3}},
+	}}
+	b := bt.Marshal(nil)
+	frames, err := MemberFrames(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != len(bt.Msgs) {
+		t.Fatalf("%d frames for %d members", len(frames), len(bt.Msgs))
+	}
+	// The full regrouping reproduces the original datagram exactly.
+	if got := AppendBatchFrames(nil, frames...); string(got) != string(b) {
+		t.Fatalf("full reassembly diverged: %d vs %d bytes", len(got), len(b))
+	}
+	// Any subset regroups to the bytes a fresh marshal would produce.
+	for _, idxs := range [][]int{{0}, {1, 3}, {0, 2, 3}} {
+		var sub Batch
+		var sf [][]byte
+		for _, i := range idxs {
+			sub.Msgs = append(sub.Msgs, bt.Msgs[i])
+			sf = append(sf, frames[i])
+		}
+		want := sub.Marshal(nil)
+		got := AppendBatchFrames(nil, sf...)
+		if string(got) != string(want) {
+			t.Fatalf("subset %v: frame reassembly diverged from marshal", idxs)
+		}
+	}
+}
+
+func TestMemberFramesMalformed(t *testing.T) {
+	bt := &Batch{Msgs: []*Message{{Type: MsgRepl, Seq: 1, Key: key(), Vals: []uint64{1}}}}
+	good := bt.Marshal(nil)
+	cases := map[string][]byte{
+		"not a batch":        {1, 2, 3, 4},
+		"truncated member":   good[:len(good)-3],
+		"trailing bytes":     append(append([]byte{}, good...), 0xEE),
+		"count beyond data":  {batchMagic, batchVersion, 0, 9},
+		"member len overrun": {batchMagic, batchVersion, 0, 1, 0xFF, 0xFF},
+	}
+	for name, b := range cases {
+		if _, err := MemberFrames(b, nil); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
 func TestBatchMarshalTooLargePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -13,11 +13,14 @@
 #   scripts/bench.sh -short    # CI smoke: micro benches + small wall clock
 #   scripts/bench.sh -udp      # real-UDP goodput only, writes
 #                              # BENCH_<today>-udppath.json (CI perf gate)
+#   scripts/bench.sh -flowspace # chain-count scale sweep only, writes
+#                              # BENCH_<today>-flowspace.json (CI perf gate)
 #
 # Environment:
 #   BASELINE=BENCH_old.json    # embed baseline numbers + % deltas
 #   OUT=path.json              # override the output path
 #   UDPOUT=path.json           # override the -udp output path
+#   FLOWOUT=path.json          # override the -flowspace output path
 #
 # To compare two snapshots with benchstat:
 #   jq -r '.benchmarks[].raw' BENCH_a.json > a.txt
@@ -28,13 +31,16 @@ cd "$(dirname "$0")/.."
 
 short=0
 udponly=0
+flowonly=0
 case "${1:-}" in
 -short) short=1 ;;
 -udp) udponly=1 ;;
+-flowspace) flowonly=1 ;;
 esac
 date=$(date +%F)
 out="${OUT:-BENCH_${date}.json}"
 udpout="${UDPOUT:-BENCH_${date}-udppath.json}"
+flowout="${FLOWOUT:-BENCH_${date}-flowspace.json}"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -63,6 +69,41 @@ bench_udp() {
 
 if [ $udponly -eq 1 ]; then
     bench_udp
+    exit 0
+fi
+
+# bench_flowspace measures scale-out of the flow-space sharded store:
+# the weak-scaling chain-count sweep, reduced to machine-independent
+# ratios (scale-up over 1→8 chains, per-chain flatness) that CI's perf
+# gate compares against bench/flowspace-floor.json. The raw Mpps are
+# simulated-time rates — deterministic on a given tree, so a drop means
+# a routing or protocol regression, not machine noise — but the gated
+# floors are the ratios.
+bench_flowspace() {
+    echo "== flow-space sharding scale sweep (1 -> 8 chains, weak scaling) =="
+    go test -run '^$' -benchtime 3x -bench 'FlowspaceScale' . | tee "$tmp/flow.txt"
+    awk '
+    /^BenchmarkFlowspaceScale/ {
+        for (i = 1; i < NF; i++) {
+            if ($(i+1) == "scaleup-x")   sx = $i
+            if ($(i+1) == "flatness-%")  fl = $i
+            if ($(i+1) == "1chain-Mpps") m1 = $i
+        }
+    }
+    END {
+        # Units pick the gate direction: "speedup"/"/s" regress on a drop,
+        # anything else (the flatness deviation) regresses on a rise.
+        if (sx > 0) printf "BenchmarkFlowspaceScaleRatio/scaleup \t1\t%.3f x-speedup\n", sx
+        if (fl > 0) printf "BenchmarkFlowspaceScaleRatio/flatness-dev \t1\t%.3f %%dev\n", 100 - fl
+        if (m1 > 0) printf "BenchmarkFlowspaceScaleRatio/chain-goodput \t1\t%.3f Mpkts/s\n", m1
+    }' "$tmp/flow.txt" | tee -a "$tmp/flow.txt"
+    go run ./cmd/benchjson -date "$date" -out "$flowout" \
+        -note "scripts/bench.sh -flowspace (chain scale-out sweep)" "$tmp/flow.txt"
+    echo "wrote $flowout"
+}
+
+if [ $flowonly -eq 1 ]; then
+    bench_flowspace
     exit 0
 fi
 

@@ -1,0 +1,69 @@
+// Command redplane-ctl is the RedPlane control-plane daemon for real
+// deployments. Store processes started with -ctl/-name dial it and
+// register; the daemon links them into chains (tail-first set-next
+// rollouts), probes liveness, splices dead replicas out under a new
+// view number, resyncs and relinks replicas that come back, and
+// publishes epoch-numbered routing tables (chain heads plus the
+// flow-space ring parameters) to switches.
+//
+//	redplane-ctl -listen 127.0.0.1:9400 -http 127.0.0.1:9401 \
+//	    -chains "s0,s1,s2"
+//
+// -chains names the expected members per chain, head first;
+// semicolons separate chains ("s0,s1,s2;t0,t1,t2"). The HTTP endpoint
+// serves /status (JSON membership and routing snapshot) and /metrics
+// (Prometheus text exposition: the daemon's ctl/* counters plus every
+// store's last-probed counters labeled by member).
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"redplane/internal/ctl"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9400", "control listen address (TCP)")
+	httpAddr := flag.String("http", "", "HTTP address for /status and /metrics (empty = disabled)")
+	chains := flag.String("chains", "",
+		`expected member names per chain, head first: "s0,s1,s2;t0,t1,t2"`)
+	probe := flag.Duration("probe-interval", 250*time.Millisecond, "liveness ping cadence")
+	vnodes := flag.Int("vnodes", 32, "flow-space ring vnodes per chain (shipped to switches)")
+	flag.Parse()
+
+	var cfg [][]string
+	for _, ch := range strings.Split(*chains, ";") {
+		var names []string
+		for _, n := range strings.Split(ch, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 {
+			cfg = append(cfg, names)
+		}
+	}
+	d, err := ctl.NewDaemon(*listen, ctl.Options{
+		Chains: cfg, Vnodes: *vnodes, ProbeInterval: *probe,
+	})
+	if err != nil {
+		log.Fatalf("redplane-ctl: %v", err)
+	}
+	if *httpAddr != "" {
+		go func() {
+			log.Printf("redplane-ctl: http on %s (/status, /metrics)", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, d.HTTPHandler()); err != nil {
+				log.Fatalf("redplane-ctl: http: %v", err)
+			}
+		}()
+	}
+	log.Printf("redplane-ctl: serving on %v (%d chains, probe %v)",
+		d.Addr(), len(cfg), *probe)
+	if err := d.Serve(); err != nil {
+		log.Fatalf("redplane-ctl: %v", err)
+	}
+}

@@ -23,6 +23,13 @@
 // shard count, since the flow→shard hash must match across restarts.
 //
 //	redplane-store -listen 127.0.0.1:9502 -wal-dir /var/lib/redplane/tail
+//
+// With -ctl and -name the store registers with a redplane-ctl daemon
+// instead of relying on static -next wiring: the daemon links the
+// chain, probes liveness, splices dead members out, and resyncs this
+// store when it rejoins after a crash.
+//
+//	redplane-store -listen 127.0.0.1:9500 -ctl 127.0.0.1:9400 -name s0
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"redplane/internal/ctl"
 	"redplane/internal/durable"
 	"redplane/internal/store"
 )
@@ -66,7 +74,14 @@ func main() {
 		"WAL segment roll threshold in bytes (0 = default)")
 	checkpointBytes := flag.Int("checkpoint-bytes", 0,
 		"WAL growth between checkpoints in bytes (0 = default)")
+	ctlAddr := flag.String("ctl", "",
+		"redplane-ctl control address to register with (empty = no control plane)")
+	name := flag.String("name", "", "member name for control-plane registration")
 	flag.Parse()
+
+	if *ctlAddr != "" && *name == "" {
+		log.Fatal("redplane-store: -ctl requires -name")
+	}
 
 	if *shards == 0 {
 		*shards = runtime.NumCPU()
@@ -109,6 +124,12 @@ func main() {
 	role := "tail"
 	if *next != "" {
 		role = "head/middle -> " + *next
+	}
+	if *ctlAddr != "" {
+		agent := ctl.NewStoreAgent(*ctlAddr, *name, srv, *walDir != "")
+		go agent.Run()
+		defer agent.Close()
+		log.Printf("redplane-store: registering with control plane %s as %q", *ctlAddr, *name)
 	}
 	log.Printf("redplane-store: serving on %v (%s, lease %v, %d shards, %s io)",
 		srv.Addr(), role, *lease, srv.Shards(), srv.IOPath())

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShardBackendsFreshDirWritesMarker pins first-boot behavior: the
+// marker records the shard count and per-shard subdirectories appear.
+func TestShardBackendsFreshDirWritesMarker(t *testing.T) {
+	dir := t.TempDir()
+	bes, err := shardBackends(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bes) != 4 {
+		t.Fatalf("%d backends, want 4", len(bes))
+	}
+	b, err := os.ReadFile(filepath.Join(dir, shardsMarker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(b)) != "4" {
+		t.Fatalf("marker = %q, want 4", b)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "shard-003")); err != nil {
+		t.Fatalf("shard subdir missing: %v", err)
+	}
+}
+
+// TestShardBackendsMatchingMarkerReopens pins the restart path: the
+// same -shards value reopens cleanly.
+func TestShardBackendsMatchingMarkerReopens(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := shardBackends(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shardBackends(dir, 2); err != nil {
+		t.Fatalf("reopen with matching shards: %v", err)
+	}
+}
+
+// TestShardBackendsRefusesShardCountChange pins the misroute guard:
+// restarting a WAL directory with a different -shards value must
+// refuse to start, naming the original count, because the flow→shard
+// hash would land flows on the wrong WALs.
+func TestShardBackendsRefusesShardCountChange(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := shardBackends(dir, 4); err != nil {
+		t.Fatal(err)
+	}
+	_, err := shardBackends(dir, 2)
+	if err == nil {
+		t.Fatal("shard-count change accepted")
+	}
+	if !strings.Contains(err.Error(), "4 shards") || !strings.Contains(err.Error(), "-shards 4") {
+		t.Fatalf("error does not name the original count: %v", err)
+	}
+	// Single-shard is no exception.
+	if _, err := shardBackends(dir, 1); err == nil {
+		t.Fatal("shrink to 1 shard accepted")
+	}
+}
+
+// TestShardBackendsRefusesCorruptMarker pins that a mangled marker is
+// an error, not a silent re-initialization over existing WALs.
+func TestShardBackendsRefusesCorruptMarker(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, shardsMarker), []byte("not-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := shardBackends(dir, 2)
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt marker: err = %v", err)
+	}
+}
+
+// TestShardBackendsPreShardingDir pins backward compatibility: a
+// non-empty directory without a marker is a pre-sharding flat WAL —
+// usable single-shard, refused otherwise.
+func TestShardBackendsPreShardingDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal-000001.log"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shardBackends(dir, 4); err == nil {
+		t.Fatal("pre-sharding WAL opened multi-shard")
+	} else if !strings.Contains(err.Error(), "-shards 1") {
+		t.Fatalf("error does not steer to -shards 1: %v", err)
+	}
+	if _, err := shardBackends(dir, 1); err != nil {
+		t.Fatalf("pre-sharding WAL refused single-shard: %v", err)
+	}
+}

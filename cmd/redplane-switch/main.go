@@ -4,6 +4,14 @@
 // it to validate a store deployment end-to-end.
 //
 //	redplane-switch -store 127.0.0.1:9500 -id 1 -flows 100 -writes 50 [-trace file] [-stats]
+//
+// Before any traffic it performs the hello handshake against each
+// target, refusing to run against a mid-chain replica or (with
+// -expect-shards) a server whose shard count differs from the
+// assumption — both previously silent misroutes. With -ctl it fetches
+// the chain-head routing table from a redplane-ctl daemon instead of
+// using a static -store address, and spreads flows across chains with
+// the same flow-space ring the daemon uses.
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"sort"
 	"time"
 
+	"redplane/internal/ctl"
 	"redplane/internal/obs"
 	"redplane/internal/packet"
 	"redplane/internal/store"
@@ -22,6 +31,9 @@ import (
 
 func main() {
 	addr := flag.String("store", "127.0.0.1:9500", "store chain head address")
+	ctlAddr := flag.String("ctl", "", "redplane-ctl address to fetch routing from (overrides -store)")
+	expectShards := flag.Int("expect-shards", 0,
+		"fail unless the store serves exactly this many shards (0 = accept any)")
 	id := flag.Int("id", 1, "switch ID")
 	flows := flag.Int("flows", 10, "number of flows to drive")
 	writes := flag.Int("writes", 20, "state updates per flow")
@@ -30,11 +42,45 @@ func main() {
 	stats := flag.Bool("stats", false, "print the request counter summary")
 	flag.Parse()
 
-	c, err := store.DialUDP(*addr, *id)
-	if err != nil {
-		log.Fatalf("redplane-switch: %v", err)
+	var router *ctl.Router
+	if *ctlAddr != "" {
+		r, err := ctl.FetchRouting(*ctlAddr, 0)
+		if err != nil {
+			log.Fatalf("redplane-switch: %v", err)
+		}
+		router = r
+		log.Printf("redplane-switch: routing epoch %d, heads %v", r.Epoch, r.Heads)
 	}
-	defer c.Close()
+	// One client per distinct head, hello-verified on first use: a
+	// mid-chain target or shard-count mismatch fails here, before any
+	// state-mutating traffic escapes.
+	clients := map[string]*store.UDPClient{}
+	clientFor := func(key packet.FiveTuple) *store.UDPClient {
+		a := *addr
+		if router != nil {
+			a = router.HeadFor(key)
+		}
+		if a == "" {
+			log.Fatalf("redplane-switch: no live head for flow %v", key)
+		}
+		if c, ok := clients[a]; ok {
+			return c
+		}
+		if _, err := store.VerifyDeployTarget(a, *expectShards, 0); err != nil {
+			log.Fatalf("redplane-switch: %v", err)
+		}
+		c, err := store.DialUDP(a, *id)
+		if err != nil {
+			log.Fatalf("redplane-switch: %v", err)
+		}
+		clients[a] = c
+		return c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
 
 	// The same observability layer the simulator uses, against the real
 	// store: events are stamped with wall-clock nanoseconds since start.
@@ -51,7 +97,7 @@ func main() {
 
 	start := time.Now()
 	var lats []time.Duration
-	do := func(m *wire.Message) *wire.Message {
+	do := func(c *store.UDPClient, m *wire.Message) *wire.Message {
 		reqStart := time.Now()
 		ack, err := c.Request(m)
 		if err != nil {
@@ -89,7 +135,8 @@ func main() {
 			Src: packet.MakeAddr(10, 0, 0, 1), Dst: packet.MakeAddr(100, 0, 0, 1),
 			SrcPort: uint16(1000 + f), DstPort: 80, Proto: packet.ProtoTCP,
 		}
-		ack := do(&wire.Message{Type: wire.MsgLeaseNew, Key: key})
+		c := clientFor(key)
+		ack := do(c, &wire.Message{Type: wire.MsgLeaseNew, Key: key})
 		if ack.Type == wire.MsgLeaseReject {
 			log.Fatalf("redplane-switch: flow %d lease rejected (another switch owns it)", f)
 		}
@@ -106,7 +153,7 @@ func main() {
 					Vals: []uint64{uint64(w + i)}}
 			}
 			if n == 1 {
-				wack := do(msgs[0])
+				wack := do(c, msgs[0])
 				if wack.Type != wire.MsgReplAck || wack.Seq < msgs[0].Seq {
 					log.Fatalf("redplane-switch: flow %d write %d: unexpected ack %v seq=%d",
 						f, w, wack.Type, wack.Seq)
@@ -131,7 +178,7 @@ func main() {
 					Comp: comp, Flow: key.String(), Seq: seq, V: int64(n)})
 			}
 		}
-		do(&wire.Message{Type: wire.MsgLeaseRenew, Key: key})
+		do(c, &wire.Message{Type: wire.MsgLeaseRenew, Key: key})
 	}
 	elapsed := time.Since(start)
 

@@ -17,6 +17,13 @@
 // ID and checks the store still reports the sweep's final watermark —
 // the post-restart assertion of the CI kill -9 smoke. -verify knows the
 // -zipf allocation (it is deterministic), so skewed sweeps verify too.
+//
+// Before traffic the generator performs the hello handshake against
+// the target (-no-hello skips it): it refuses a mid-chain replica and
+// a -shards value the server contradicts, and with -shards 0 adopts
+// the server's actual count for the spread report. With -ctl the
+// chain-head address is resolved from a redplane-ctl daemon's routing
+// table instead of -addr.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"os"
 	"time"
 
+	"redplane/internal/ctl"
 	"redplane/internal/store"
 )
 
@@ -45,7 +53,38 @@ func main() {
 	shards := flag.Int("shards", 0, "server shard count, for the per-shard goodput spread report (0 = omit)")
 	verify := flag.Bool("verify", false, "verify a prior sweep's watermarks instead of sweeping")
 	jsonOut := flag.String("json", "", "write the sweep result as JSON to this file (- = stdout)")
+	ctlAddr := flag.String("ctl", "", "redplane-ctl address to resolve the chain head from (overrides -addr)")
+	noHello := flag.Bool("no-hello", false, "skip the deployment handshake preflight")
 	flag.Parse()
+
+	if *ctlAddr != "" {
+		r, err := ctl.FetchRouting(*ctlAddr, 0)
+		if err != nil {
+			log.Fatalf("redplane-udpload: %v", err)
+		}
+		if len(r.Heads) != 1 {
+			log.Fatalf("redplane-udpload: %d chains in routing epoch %d; the sweep drives one chain — pass -addr with the head to target", len(r.Heads), r.Epoch)
+		}
+		if r.Heads[0] == "" {
+			log.Fatalf("redplane-udpload: routing epoch %d has no live head", r.Epoch)
+		}
+		*addr = r.Heads[0]
+		log.Printf("redplane-udpload: routing epoch %d, head %s", r.Epoch, *addr)
+	}
+	if !*noHello {
+		// Fail fast on a misconfigured target: a mid-chain replica would
+		// silently drop (or worse, misorder) direct writes, and a shard
+		// mismatch skews the flow spread the report assumes.
+		hi, err := store.VerifyDeployTarget(*addr, *shards, 0)
+		if err != nil {
+			log.Fatalf("redplane-udpload: %v", err)
+		}
+		if *shards == 0 {
+			// Adopt the server's count so the per-shard spread report and
+			// the flow→shard placement match reality by default.
+			*shards = hi.Shards
+		}
+	}
 
 	cfg := store.SweepConfig{
 		Addr: *addr, Senders: *senders, Flows: *flows, Writes: *writes,

@@ -1,0 +1,150 @@
+// Package e2e drives the real binaries — redplane-ctl, redplane-store
+// — as separate processes and exercises the control plane's failure
+// handling with actual kill -9s, the way an operator would hit it.
+// The Go test here is the CI face of scripts/e2e_ctl.sh.
+package e2e
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// binDir holds the binaries TestMain builds once for the package.
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "redplane-e2e-bin")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	build := exec.Command("go", "build", "-o", dir,
+		"redplane/cmd/redplane-ctl", "redplane/cmd/redplane-store")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "e2e: build: %v\n", err)
+		os.Exit(1)
+	}
+	binDir = dir
+	os.Exit(m.Run())
+}
+
+// freePort reserves an ephemeral TCP port and releases it for the
+// process under test to bind. The usual (small) bind race is
+// acceptable for a test harness.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
+// proc is one spawned binary with captured combined output.
+type proc struct {
+	t    *testing.T
+	name string
+	cmd  *exec.Cmd
+
+	mu  sync.Mutex
+	out bytes.Buffer
+
+	done chan struct{}
+}
+
+// spawn starts binary bin with args, capturing its combined output.
+func spawn(t *testing.T, name, bin string, args ...string) *proc {
+	t.Helper()
+	p := &proc{t: t, name: name, done: make(chan struct{})}
+	p.cmd = exec.Command(filepath.Join(binDir, bin), args...)
+	p.cmd.Stdout = syncWriter{p}
+	p.cmd.Stderr = syncWriter{p}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("%s: start: %v", name, err)
+	}
+	go func() {
+		p.cmd.Wait()
+		close(p.done)
+	}()
+	t.Cleanup(func() { p.kill9() })
+	return p
+}
+
+type syncWriter struct{ p *proc }
+
+func (w syncWriter) Write(b []byte) (int, error) {
+	w.p.mu.Lock()
+	defer w.p.mu.Unlock()
+	return w.p.out.Write(b)
+}
+
+// output returns everything the process has printed so far.
+func (p *proc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out.String()
+}
+
+// waitLog blocks until the process output matches re.
+func (p *proc) waitLog(re string, timeout time.Duration) {
+	p.t.Helper()
+	rx := regexp.MustCompile(re)
+	deadline := time.Now().Add(timeout)
+	for {
+		if rx.MatchString(p.output()) {
+			return
+		}
+		select {
+		case <-p.done:
+			// Give the output buffer a final read before judging.
+			if rx.MatchString(p.output()) {
+				return
+			}
+			p.t.Fatalf("%s exited before logging %q; output:\n%s", p.name, re, p.output())
+		default:
+		}
+		if time.Now().After(deadline) {
+			p.t.Fatalf("%s never logged %q; output:\n%s", p.name, re, p.output())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill9 sends SIGKILL — the crash the control plane must detect — and
+// waits for the process to be reaped.
+func (p *proc) kill9() {
+	select {
+	case <-p.done:
+		return
+	default:
+	}
+	p.cmd.Process.Signal(syscall.SIGKILL)
+	select {
+	case <-p.done:
+	case <-time.After(5 * time.Second):
+		p.t.Errorf("%s did not die on SIGKILL", p.name)
+	}
+}
+
+// alive reports whether the process is still running.
+func (p *proc) alive() bool {
+	select {
+	case <-p.done:
+		return false
+	default:
+		return true
+	}
+}

@@ -46,7 +46,6 @@ import (
 	"redplane/internal/flowspace"
 	"redplane/internal/netsim"
 	"redplane/internal/obs"
-	"redplane/internal/repl"
 	"redplane/internal/store"
 )
 
@@ -172,10 +171,7 @@ func New(sim *netsim.Sim, cluster *store.Cluster, cfg Config) *Coordinator {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	minView := 1
-	if cluster.Engine() == repl.EngineQuorum {
-		minView = cluster.Replicas()/2 + 1
-	}
+	minView := MinView(cluster.Engine(), cluster.Replicas())
 	ns := reg.NS("member")
 	co := &Coordinator{
 		sim: sim, cluster: cluster, cfg: cfg, minView: minView,
@@ -247,13 +243,9 @@ func (co *Coordinator) Stats() Stats {
 
 func (co *Coordinator) probeShard(sh int) {
 	members := co.cluster.ViewMembers(sh)
-	alive := make([]int, 0, len(members))
-	for _, m := range members {
-		if co.cluster.Server(sh, m).Alive() {
-			alive = append(alive, m)
-		}
-	}
-	if len(alive) >= co.minView && len(alive) < len(members) {
+	if alive, changed := PlanSplice(members, func(m int) bool {
+		return co.cluster.Server(sh, m).Alive()
+	}, co.minView); changed {
 		// Splice the dead out, preserving survivor order: losing the
 		// head promotes the next member, losing the tail promotes its
 		// predecessor.
@@ -334,7 +326,7 @@ func (co *Coordinator) finishResync(sh, r int, viewAtStart uint64) {
 		// group.
 		return
 	}
-	num := co.cluster.SetView(sh, append(members, r))
+	num := co.cluster.SetView(sh, PlanRejoin(members, r))
 	if d := srv.Durability(); d != nil {
 		// The clone bypassed the WAL: until a fresh checkpoint exists,
 		// the log does not reconstruct the shard.

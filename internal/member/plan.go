@@ -1,0 +1,56 @@
+package member
+
+import "redplane/internal/repl"
+
+// Pure view-planning helpers shared by the in-process Coordinator and
+// the real control-plane daemon (internal/ctl, cmd/redplane-ctl). Both
+// make the same membership decisions — splice the dead out preserving
+// survivor order, rejoin recovered replicas at the tail, never install
+// a view smaller than the engine's fault envelope allows — but drive
+// very different transports (simulator events vs TCP commands to live
+// processes), so the decision logic lives here and stays in one place.
+
+// PlanSplice computes the view that removes dead members from the
+// current one, preserving survivor order (losing the head promotes the
+// next member; losing the tail promotes its predecessor). It returns
+// (nil, false) when nothing changes: either every member is alive, or
+// fewer than minView members survive — below the engine's fault
+// envelope the view must stand (for quorum, promoting a minority could
+// seat a leader that missed a majority-acknowledged write; with every
+// member dead there is nobody to serve from and the view holds until a
+// member recovers).
+func PlanSplice(members []int, alive func(int) bool, minView int) ([]int, bool) {
+	survivors := make([]int, 0, len(members))
+	for _, m := range members {
+		if alive(m) {
+			survivors = append(survivors, m)
+		}
+	}
+	if len(survivors) == len(members) || len(survivors) < minView {
+		return nil, false
+	}
+	return survivors, true
+}
+
+// PlanRejoin computes the view that splices a resynced replica back in:
+// at the end of the member list, where a chain's new tail (or a quorum
+// group's newest follower) belongs. The caller is responsible for the
+// rejoin preconditions — the replica resynced from the view's resync
+// source and its digest agrees.
+func PlanRejoin(members []int, r int) []int {
+	out := make([]int, 0, len(members)+1)
+	out = append(out, members...)
+	return append(out, r)
+}
+
+// MinView returns the smallest survivor set an engine allows a
+// coordinator to install as a view: 1 for chain (every acknowledged
+// write reached every member, so any non-empty survivor set serves
+// correctly), a majority of the full replica set for quorum (an
+// acknowledged write is only guaranteed on SOME majority).
+func MinView(engine string, replicas int) int {
+	if engine == repl.EngineQuorum {
+		return replicas/2 + 1
+	}
+	return 1
+}

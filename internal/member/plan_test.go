@@ -1,0 +1,63 @@
+package member
+
+import (
+	"reflect"
+	"testing"
+
+	"redplane/internal/repl"
+)
+
+func TestPlanSplice(t *testing.T) {
+	aliveSet := func(up ...int) func(int) bool {
+		m := map[int]bool{}
+		for _, r := range up {
+			m[r] = true
+		}
+		return func(r int) bool { return m[r] }
+	}
+	cases := []struct {
+		name    string
+		members []int
+		alive   func(int) bool
+		minView int
+		want    []int
+		change  bool
+	}{
+		{"all alive", []int{0, 1, 2}, aliveSet(0, 1, 2), 1, nil, false},
+		{"head dead", []int{0, 1, 2}, aliveSet(1, 2), 1, []int{1, 2}, true},
+		{"tail dead", []int{0, 1, 2}, aliveSet(0, 1), 1, []int{0, 1}, true},
+		{"middle dead", []int{0, 1, 2}, aliveSet(0, 2), 1, []int{0, 2}, true},
+		{"order preserved after prior splice", []int{2, 0}, aliveSet(0), 1, []int{0}, true},
+		{"all dead holds", []int{0, 1, 2}, aliveSet(), 1, nil, false},
+		{"below quorum minView holds", []int{0, 1, 2}, aliveSet(2), 2, nil, false},
+		{"at quorum minView splices", []int{0, 1, 2}, aliveSet(1, 2), 2, []int{1, 2}, true},
+	}
+	for _, c := range cases {
+		got, changed := PlanSplice(c.members, c.alive, c.minView)
+		if changed != c.change || !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: PlanSplice = %v,%v want %v,%v", c.name, got, changed, c.want, c.change)
+		}
+	}
+}
+
+func TestPlanRejoinAppendsAtTail(t *testing.T) {
+	members := []int{1, 2}
+	got := PlanRejoin(members, 0)
+	if !reflect.DeepEqual(got, []int{1, 2, 0}) {
+		t.Fatalf("PlanRejoin = %v", got)
+	}
+	if !reflect.DeepEqual(members, []int{1, 2}) {
+		t.Fatalf("PlanRejoin mutated its input: %v", members)
+	}
+}
+
+func TestMinViewPerEngine(t *testing.T) {
+	if got := MinView(repl.EngineChain, 3); got != 1 {
+		t.Errorf("chain MinView = %d, want 1", got)
+	}
+	for replicas, want := range map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 5: 3} {
+		if got := MinView(repl.EngineQuorum, replicas); got != want {
+			t.Errorf("quorum MinView(%d) = %d, want %d", replicas, got, want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). Metric names are derived from the
+// registry's "scope/name" keys: both parts are sanitized to
+// [a-zA-Z0-9_] and joined under the redplane_ prefix, so the counter
+// "udp-shard0/tx_dgrams" becomes redplane_udp_shard0_tx_dgrams.
+// Counters get `# TYPE ... counter`, gauges `# TYPE ... gauge`; output
+// is sorted for stable scrapes and diffs.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	counters := r.Counters()
+	gauges := r.Gauges()
+	names := make([]string, 0, len(counters)+len(gauges))
+	for k := range counters {
+		names = append(names, k)
+	}
+	for k := range gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		name := PromName(k)
+		if v, ok := counters[k]; ok {
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, gauges[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PromName converts a registry "scope/name" key into a legal
+// Prometheus metric name under the redplane_ prefix.
+func PromName(key string) string {
+	var b strings.Builder
+	b.Grow(len("redplane_") + len(key))
+	b.WriteString("redplane_")
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.NS("udp-shard0").Counter("tx_dgrams").Add(7)
+	r.NS("ctl").Gauge("live_members").Set(3)
+	var b strings.Builder
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE redplane_ctl_live_members gauge\nredplane_ctl_live_members 3\n",
+		"# TYPE redplane_udp_shard0_tx_dgrams counter\nredplane_udp_shard0_tx_dgrams 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Exposition-format sanity: every line is a comment or "name value",
+	// names legal ([a-zA-Z_][a-zA-Z0-9_]*).
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		for i, c := range parts[0] {
+			ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+			if !ok {
+				t.Fatalf("illegal metric name %q", parts[0])
+			}
+		}
+	}
+	if PromName("udp/rx_batches") != "redplane_udp_rx_batches" {
+		t.Errorf("PromName = %q", PromName("udp/rx_batches"))
+	}
+}

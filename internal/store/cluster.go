@@ -203,6 +203,21 @@ func (c *Cluster) SetView(shard int, members []int) uint64 {
 	return v.num
 }
 
+// reconcileGbit is the modeled bandwidth of the view-change state
+// transfer: the sweep below charges each member bytes-proportional
+// virtual time at this rate (a 10 Gbit/s replica-to-replica link), so a
+// quorum failover's catch-up copy stalls the group in simulated time
+// the way the rejoin path (ResyncDelay) and chain propagation already
+// do. EXPERIMENTS.md carries the failover numbers this feeds.
+const reconcileGbit = 10
+
+// updateXferBytes is one reconciled flow state's modeled transfer size:
+// key (13) + seq/owner/expiry bookkeeping (16) plus the register and
+// snapshot values.
+func updateXferBytes(up Update) int64 {
+	return int64(29 + 8*len(up.Vals) + 8*len(up.SnapVals))
+}
+
 // reconcile converges a quorum shard's members on view change: for every
 // flow any member holds, the per-flow state with the highest sequence
 // number — taken over ALL members, not just the new leader — is copied
@@ -213,10 +228,11 @@ func (c *Cluster) SetView(shard int, members []int) uint64 {
 // Chain views skip this — chain propagation already orders replicas'
 // states by prefix.
 //
-// Modeling caveat: the sweep runs synchronously inside SetView with
-// zero simulated time and no network cost — an instantaneous state
-// transfer the rejoin path (ResyncDelay) and chain propagation both pay
-// for. EXPERIMENTS.md flags this next to the failover benchmarks.
+// The state copy itself applies synchronously (the view is not usable
+// until its members agree), but it is not free: every member is charged
+// virtual busy time proportional to the bytes it sent or received at
+// reconcileGbit, so requests arriving during the catch-up queue behind
+// the transfer exactly as they queue behind any other service work.
 func (c *Cluster) reconcile(shard int) {
 	row := c.servers[shard]
 	members := c.views[shard].members
@@ -234,24 +250,36 @@ func (c *Cluster) reconcile(shard int) {
 		}
 	}
 	sort.Slice(keys, func(a, b int) bool { return keys[a].Less(keys[b]) })
+	// xfer[m] accumulates the bytes member m moved during the sweep:
+	// received copies it lagged on, plus sent copies when it was the
+	// freshest holder.
+	xfer := make(map[int]int64, len(members))
 	for _, k := range keys {
 		var best Update
-		have := false
+		bestFrom := -1
 		for _, m := range members {
 			if up, ok := row[m].Shard().ExportUpdate(k); ok {
-				if !have || up.LastSeq > best.LastSeq {
-					best, have = up, true
+				if bestFrom < 0 || up.LastSeq > best.LastSeq {
+					best, bestFrom = up, m
 				}
 			}
 		}
-		if !have {
+		if bestFrom < 0 {
 			continue
 		}
 		for _, m := range members {
 			up, ok := row[m].Shard().ExportUpdate(k)
 			if !ok || up.LastSeq < best.LastSeq {
 				row[m].applyReconciled(best)
+				sz := updateXferBytes(best)
+				xfer[m] += sz
+				xfer[bestFrom] += sz
 			}
+		}
+	}
+	for _, m := range members {
+		if bytes := xfer[m]; bytes > 0 {
+			row[m].chargeBusy(netsim.Time((bytes*8 + reconcileGbit - 1) / reconcileGbit))
 		}
 	}
 }

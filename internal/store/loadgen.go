@@ -398,6 +398,12 @@ func (sn *sweepSender) applyAck(m *wire.Message) {
 				break
 			}
 		}
+	case wire.MsgLeaseReject:
+		// The store no longer honors this sender's lease (it expired
+		// during a stall — e.g. across a failover — and queueing is
+		// off). Mark the flow unleased; drive()'s stall path re-leases
+		// before retransmitting.
+		f.leased.Store(false)
 	}
 }
 
@@ -424,7 +430,16 @@ func (sn *sweepSender) drive(deadline time.Time) {
 			// Retransmit a stalled window: the top sequence alone
 			// converges the flow (cumulative acks, gaps allowed).
 			if f.sent > acked && now.Sub(f.lastSend) > sn.cfg.Stall {
-				sn.stageWrites(f, f.sent, f.sent)
+				if !f.leased.Load() {
+					// The lease was rejected mid-sweep: re-acquire first.
+					// The grant's ack doubles as a watermark report.
+					sn.stage(func(b []byte) []byte {
+						m := wire.Message{Type: wire.MsgLeaseNew, Key: f.key, SwitchID: f.switchID}
+						return m.Marshal(b)
+					})
+				} else {
+					sn.stageWrites(f, f.sent, f.sent)
+				}
 				f.lastSend = now
 				sn.retrans++
 				progress = true

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"redplane/internal/netsim"
+	"redplane/internal/packet"
+	"redplane/internal/repl"
+)
+
+// buildQuorumCluster is a bare 1-shard, 3-replica quorum cluster with no
+// network wiring: enough for exercising SetView's reconcile sweep.
+func buildQuorumCluster(sim *netsim.Sim) *Cluster {
+	return NewCluster(sim, 1, 3, Config{LeasePeriod: time.Second}, time.Microsecond,
+		func(shard, replica int) packet.Addr {
+			return packet.MakeAddr(10, 7, byte(shard), byte(replica+1))
+		}, WithEngine(repl.EngineQuorum))
+}
+
+func reconcileDiverge(c *Cluster, flows int) {
+	for i := 0; i < flows; i++ {
+		c.Server(0, 0).Shard().Apply(Update{
+			Key:     tkey(byte(i + 1)),
+			Vals:    []uint64{7, 7, 7, 7},
+			LastSeq: 9, Owner: 1, LeaseExpiry: int64(time.Hour), Exists: true,
+		})
+	}
+}
+
+// TestReconcileChargesTransferTime pins the view-change reconcile's cost
+// model: members that send or receive catch-up state are busy for
+// virtual time proportional to the bytes moved, so the quorum failover
+// stall includes the state copy instead of treating it as free.
+func TestReconcileChargesTransferTime(t *testing.T) {
+	sim := netsim.New(1)
+	c := buildQuorumCluster(sim)
+	reconcileDiverge(c, 8)
+
+	before := c.Server(0, 1).busyUntil
+	if before != 0 {
+		t.Fatalf("receiver busy before reconcile: %v", before)
+	}
+	c.SetView(0, []int{0, 1, 2})
+
+	// Every flow's freshest copy lives only on replica 0: replicas 1 and
+	// 2 each receive 8 updates, replica 0 sends 16.
+	perUpdate := updateXferBytes(Update{Vals: []uint64{7, 7, 7, 7}})
+	wantRecv := netsim.Time((8*perUpdate*8 + reconcileGbit - 1) / reconcileGbit)
+	for _, r := range []int{1, 2} {
+		got := c.Server(0, r).busyUntil - sim.Now()
+		if got != wantRecv {
+			t.Errorf("replica %d busy for %v, want %v", r, got, wantRecv)
+		}
+	}
+	wantSend := netsim.Time((16*perUpdate*8 + reconcileGbit - 1) / reconcileGbit)
+	if got := c.Server(0, 0).busyUntil - sim.Now(); got != wantSend {
+		t.Errorf("sender busy for %v, want %v", got, wantSend)
+	}
+}
+
+// TestReconcileCostScalesWithBytes doubles the diverged flow count and
+// expects the charged stall to double: the cost is bytes-proportional,
+// not a flat penalty.
+func TestReconcileCostScalesWithBytes(t *testing.T) {
+	stall := func(flows int) netsim.Time {
+		sim := netsim.New(1)
+		c := buildQuorumCluster(sim)
+		reconcileDiverge(c, flows)
+		c.SetView(0, []int{0, 1, 2})
+		return c.Server(0, 1).busyUntil - sim.Now()
+	}
+	small, large := stall(4), stall(8)
+	if small <= 0 {
+		t.Fatalf("no cost charged: %v", small)
+	}
+	// The charge rounds up once per member, so doubling the bytes may
+	// land one nanosecond under twice the smaller charge.
+	if large < 2*small-1 || large > 2*small {
+		t.Errorf("8-flow stall %v, want ~2x the 4-flow stall %v", large, small)
+	}
+}
+
+// TestReconcileConvergedViewIsFree pins the other side of the model: a
+// view change over already-agreeing members copies nothing and charges
+// nothing, so healthy view churn stays instantaneous.
+func TestReconcileConvergedViewIsFree(t *testing.T) {
+	sim := netsim.New(1)
+	c := buildQuorumCluster(sim)
+	up := Update{Key: tkey(1), Vals: []uint64{1}, LastSeq: 3, Owner: 1, Exists: true}
+	for r := 0; r < 3; r++ {
+		c.Server(0, r).Shard().Apply(up)
+	}
+	c.SetView(0, []int{0, 1, 2})
+	for r := 0; r < 3; r++ {
+		if b := c.Server(0, r).busyUntil; b != 0 {
+			t.Errorf("replica %d charged %v for a no-op reconcile", r, b)
+		}
+	}
+}

@@ -620,6 +620,18 @@ func (s *Server) applyReconciled(up Update) {
 	s.release(func() {})
 }
 
+// chargeBusy extends the server's busy horizon by d: out-of-band work
+// (the view-change reconcile transfer) occupies the server for d of
+// virtual time, so requests arriving meanwhile queue — and shed —
+// behind it exactly as they do behind ordinary service time.
+func (s *Server) chargeBusy(d netsim.Time) {
+	start := s.sim.Now()
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.busyUntil = start + d
+}
+
 // SetRouteCheck installs (or clears, with nil) the flow-space ownership
 // gate; see the routeCheck field. Cluster.UseTable fans this out.
 func (s *Server) SetRouteCheck(fn func(packet.FiveTuple) bool) { s.routeCheck = fn }

@@ -35,9 +35,17 @@ import (
 // batch (durable ⊇ forwarded ⊇ acked, per shard).
 type UDPServer struct {
 	conn *net.UDPConn
-	next *net.UDPAddr // chain successor (nil = tail / no chain)
+	next atomic.Pointer[net.UDPAddr] // chain successor (nil = tail / no chain)
 	cfg  Config
 	opt  UDPOptions
+
+	// Control-plane facts, settable at runtime by a redplane-ctl agent
+	// and reported in MsgHello replies. chainPos is -1 until the control
+	// plane announces a position; relaySeen latches once any chain-relayed
+	// datagram arrives (a mid-chain tell even without a control plane).
+	chainPos  atomic.Int32
+	view      atomic.Uint64
+	relaySeen atomic.Bool
 
 	reg    *obs.Registry
 	ioName string // "mmsg" or "portable"
@@ -47,9 +55,10 @@ type UDPServer struct {
 	shards []*udpShard
 	recvs  []*udpReceiver
 
-	rxBatches *obs.Counter
-	rxDgrams  *obs.Counter
-	badDgrams *obs.Counter
+	rxBatches     *obs.Counter
+	rxDgrams      *obs.Counter
+	badDgrams     *obs.Counter
+	misrouteDrops *obs.Counter
 
 	serving  atomic.Bool
 	closed   atomic.Bool
@@ -187,13 +196,15 @@ func NewUDPServer(addr, nextAddr string, cfg Config, opts ...UDPOption) (*UDPSer
 	s.rxBatches = udpNS.Counter("rx_batches")
 	s.rxDgrams = udpNS.Counter("rx_dgrams")
 	s.badDgrams = udpNS.Counter("bad_dgrams")
+	s.misrouteDrops = udpNS.Counter("misroute_drops")
+	s.chainPos.Store(-1)
 	if nextAddr != "" {
 		na, err := net.ResolveUDPAddr("udp", nextAddr)
 		if err != nil {
 			conn.Close()
 			return nil, fmt.Errorf("store: resolve successor %q: %w", nextAddr, err)
 		}
-		s.next = na
+		s.next.Store(na)
 	}
 
 	// newIO builds one reader/writer pair; each receiver and each shard
@@ -435,6 +446,7 @@ type dgram struct {
 	payload []byte          // wire payload; relayed down the chain verbatim
 	msgs    []*wire.Message // decoded batch members; nil ⇒ payload is one message
 	origin  *net.UDPAddr    // original requester
+	relayed bool            // arrived via a chain relay (predecessor, not switch)
 }
 
 // udpReceiver drains the socket and routes datagrams to shard rings.
@@ -486,12 +498,15 @@ func (r *udpReceiver) route(sl *rxSlot) {
 	b := sl.buf[:sl.n]
 	origin := sl.addr
 	payload := b
+	relayed := false
 	if len(b) > relayHdrLen && b[0] == relayMagic {
 		// Chain relay: recover the original requester's address.
 		ip := make(net.IP, 4)
 		copy(ip, b[1:5])
 		origin = &net.UDPAddr{IP: ip, Port: int(binary.BigEndian.Uint16(b[5:7]))}
 		payload = b[relayHdrLen:]
+		relayed = true
+		s.relaySeen.Store(true)
 	}
 	if wire.IsBatch(payload) {
 		var bt wire.Batch
@@ -513,7 +528,7 @@ func (r *udpReceiver) route(sl *rxSlot) {
 		}
 		if same {
 			buf := sl.buf
-			r.deliver(target, dgram{base: &buf, payload: payload, msgs: bt.Msgs, origin: origin})
+			r.deliver(target, dgram{base: &buf, payload: payload, msgs: bt.Msgs, origin: origin, relayed: relayed})
 			sl.buf = s.getBuf() // ownership moved to the ring
 			return
 		}
@@ -544,7 +559,7 @@ func (r *udpReceiver) route(sl *rxSlot) {
 			}
 			nb := s.getBuf()
 			pb := wire.AppendBatchFrames(nb[:0], g.frames...)
-			r.deliver(si, dgram{base: &nb, payload: pb, msgs: g.msgs, origin: origin})
+			r.deliver(si, dgram{base: &nb, payload: pb, msgs: g.msgs, origin: origin, relayed: relayed})
 			// The msgs slice moved to the shard; the frame spans die with
 			// this datagram and their backing array is reused.
 			g.msgs, g.frames = nil, g.frames[:0]
@@ -558,7 +573,7 @@ func (r *udpReceiver) route(sl *rxSlot) {
 		return
 	}
 	buf := sl.buf
-	r.deliver(s.shardFor(key), dgram{base: &buf, payload: payload, origin: origin})
+	r.deliver(s.shardFor(key), dgram{base: &buf, payload: payload, origin: origin, relayed: relayed})
 	sl.buf = s.getBuf()
 }
 
@@ -700,6 +715,10 @@ func (sh *udpShard) handle(d dgram) {
 	var outs []Output
 	var ups []Update
 	if d.msgs != nil {
+		if !d.relayed && sh.srv.misrouted(d.msgs...) {
+			sh.srv.putBuf(*d.base)
+			return
+		}
 		for _, m := range d.msgs {
 			sh.addrs[m.SwitchID] = d.origin
 		}
@@ -712,11 +731,24 @@ func (sh *udpShard) handle(d dgram) {
 			sh.srv.putBuf(*d.base)
 			return
 		}
+		if m.Type == wire.MsgHello {
+			// Deployment handshake: answer immediately with topology
+			// facts; never touches flow state or the WAL.
+			sh.pendingOut = append(sh.pendingOut,
+				pendingReply{outs: []Output{{Msg: sh.srv.helloAck(m)}}, to: d.origin})
+			sh.dgrams.Inc()
+			sh.srv.putBuf(*d.base)
+			return
+		}
+		if !d.relayed && sh.srv.misrouted(m) {
+			sh.srv.putBuf(*d.base)
+			return
+		}
 		sh.addrs[m.SwitchID] = d.origin
 		outs, ups = sh.sh.Process(now, m)
 	}
 	sh.dgrams.Inc()
-	if len(ups) > 0 && sh.srv.next != nil {
+	if len(ups) > 0 && sh.srv.next.Load() != nil {
 		// Mutation mid-chain: push the raw payload down the chain; the
 		// tail replies. The buffer is recycled after the relay escapes.
 		sh.pendingRelay = append(sh.pendingRelay, pendingRelay{base: d.base, payload: d.payload, origin: d.origin})
@@ -774,12 +806,19 @@ func (sh *udpShard) dropPending() {
 // stageRelay frames the raw request for the chain successor: the relay
 // magic plus the original requester's address, then the payload.
 func (sh *udpShard) stageRelay(payload []byte, origin *net.UDPAddr) {
+	next := sh.srv.next.Load()
+	if next == nil {
+		// The successor was unlinked between handle and commit (control
+		// plane splice). Drop: the switch retransmits and the retry takes
+		// the tail path.
+		return
+	}
 	ip4 := origin.IP.To4()
 	if ip4 == nil {
 		log.Printf("store: cannot relay for non-IPv4 origin %v", origin)
 		return
 	}
-	err := sh.tx.stage(sh.srv.next, func(b []byte) []byte {
+	err := sh.tx.stage(next, func(b []byte) []byte {
 		b = append(b, relayMagic)
 		b = append(b, ip4...)
 		b = binary.BigEndian.AppendUint16(b, uint16(origin.Port))

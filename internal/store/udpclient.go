@@ -227,3 +227,44 @@ func (c *UDPClient) RequestBatch(msgs []*wire.Message) ([]*wire.Message, error) 
 	}
 	return nil, &TimeoutError{Attempts: c.Retries + 1, LastDeadline: deadline}
 }
+
+// HelloUDP performs the deployment handshake against addr: one
+// round-trip asking a store server its shard count and chain role.
+func HelloUDP(addr string, timeout time.Duration) (HelloInfo, error) {
+	c, err := DialUDP(addr, 0)
+	if err != nil {
+		return HelloInfo{}, err
+	}
+	defer c.Close()
+	if timeout > 0 {
+		c.Timeout = timeout
+	}
+	ack, err := c.Request(&wire.Message{Type: wire.MsgHello, Seq: 1})
+	if err != nil {
+		return HelloInfo{}, err
+	}
+	return parseHelloAck(ack)
+}
+
+// VerifyDeployTarget runs the hello handshake against addr and rejects
+// a target that cannot correctly terminate direct switch traffic:
+// a shard-count mismatch (the client's flow→shard spread no longer
+// matches the server's, silently unbalancing it), or a non-head chain
+// member (direct writes would bypass the head's relay ordering).
+// wantShards <= 0 skips the shard check.
+func VerifyDeployTarget(addr string, wantShards int, timeout time.Duration) (HelloInfo, error) {
+	hi, err := HelloUDP(addr, timeout)
+	if err != nil {
+		return hi, fmt.Errorf("store: hello %s: %w", addr, err)
+	}
+	if wantShards > 0 && hi.Shards != wantShards {
+		return hi, fmt.Errorf("store: %s serves %d shards but the client assumes %d — fix -shards on one side", addr, hi.Shards, wantShards)
+	}
+	if hi.ChainPos > 0 {
+		return hi, fmt.Errorf("store: %s is chain position %d, not the head — aim traffic at the head", addr, hi.ChainPos)
+	}
+	if hi.ChainPos < 0 && hi.RelaySeen {
+		return hi, fmt.Errorf("store: %s has received chain-relayed traffic (mid-chain or tail) — aim traffic at the head", addr)
+	}
+	return hi, nil
+}

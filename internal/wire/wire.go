@@ -58,6 +58,20 @@ const (
 	MsgLeaseReject
 )
 
+// Out-of-band control types, numbered away from the contiguous
+// request/ack ranges so existing range classification is untouched.
+const (
+	// MsgHello asks a real store server for its deployment shape before
+	// any traffic is sent: shard count, chain role, view. Switch-side
+	// tools use it to fail fast on misconfiguration (pointing a switch
+	// at a mid-chain replica, assuming the wrong shard count) instead of
+	// silently misrouting writes. The simulator never sends it.
+	MsgHello MsgType = 20
+	// MsgHelloAck answers MsgHello; see store.HelloInfo for the Vals
+	// layout.
+	MsgHelloAck MsgType = 21
+)
+
 // String returns the message-type mnemonic.
 func (t MsgType) String() string {
 	switch t {
@@ -83,16 +97,24 @@ func (t MsgType) String() string {
 		return "SnapshotAck"
 	case MsgLeaseReject:
 		return "LeaseReject"
+	case MsgHello:
+		return "Hello"
+	case MsgHelloAck:
+		return "HelloAck"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
 }
 
 // IsRequest reports whether the type is a switch→store request.
-func (t MsgType) IsRequest() bool { return t >= MsgLeaseNew && t <= MsgSnapshot }
+func (t MsgType) IsRequest() bool {
+	return (t >= MsgLeaseNew && t <= MsgSnapshot) || t == MsgHello
+}
 
 // IsAck reports whether the type is a store→switch acknowledgment.
-func (t MsgType) IsAck() bool { return t >= MsgLeaseNewAck }
+func (t MsgType) IsAck() bool {
+	return (t >= MsgLeaseNewAck && t <= MsgLeaseReject) || t == MsgHelloAck
+}
 
 // Message is a RedPlane protocol message. In the simulator it travels by
 // reference inside a netsim frame; over real networks it is encoded with
@@ -311,6 +333,8 @@ func AckFor(t MsgType) MsgType {
 		return MsgBufferedReadAck
 	case MsgSnapshot:
 		return MsgSnapshotAck
+	case MsgHello:
+		return MsgHelloAck
 	default:
 		return 0
 	}

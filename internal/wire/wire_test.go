@@ -154,3 +154,26 @@ func BenchmarkMessageMarshal(b *testing.B) {
 		buf = m.Marshal(buf[:0])
 	}
 }
+
+// TestHelloClassification pins the out-of-band handshake types: Hello is
+// a request, HelloAck its ack, and neither leaks into the contiguous
+// data-path ranges' neighbours.
+func TestHelloClassification(t *testing.T) {
+	if !MsgHello.IsRequest() || MsgHello.IsAck() {
+		t.Errorf("MsgHello classified as req=%v ack=%v", MsgHello.IsRequest(), MsgHello.IsAck())
+	}
+	if !MsgHelloAck.IsAck() || MsgHelloAck.IsRequest() {
+		t.Errorf("MsgHelloAck classified as req=%v ack=%v", MsgHelloAck.IsRequest(), MsgHelloAck.IsAck())
+	}
+	if got := AckFor(MsgHello); got != MsgHelloAck {
+		t.Errorf("AckFor(MsgHello) = %v", got)
+	}
+	var g Message
+	m := Message{Type: MsgHello, Seq: 42}
+	if err := g.Unmarshal(m.Marshal(nil)); err != nil || g.Type != MsgHello || g.Seq != 42 {
+		t.Errorf("hello round-trip: %v %+v", err, g)
+	}
+	if MsgHello.String() != "Hello" || MsgHelloAck.String() != "HelloAck" {
+		t.Errorf("String: %q %q", MsgHello, MsgHelloAck)
+	}
+}

@@ -1,0 +1,153 @@
+#!/bin/sh
+# e2e_ctl.sh — control-plane smoke with real processes and a kill -9.
+#
+# Builds redplane-ctl, redplane-store, and redplane-udpload; starts the
+# daemon plus three durable stores that register with it (no static
+# -next wiring — the daemon links the chain); drives a windowed sweep
+# against the routed head; SIGKILLs the tail mid-deployment; asserts
+# the daemon splices it out under a new view; restarts it and asserts
+# it is resynced back in; then checks zero lost acked writes, chain
+# digest agreement, and that /metrics parses as Prometheus exposition
+# text.
+#
+# Usage:
+#   scripts/e2e_ctl.sh [outdir]
+#
+# Writes ctl-status.json, ctl-metrics.txt, and the process logs into
+# outdir (default .) for CI artifact upload.
+set -eu
+cd "$(dirname "$0")/.."
+
+outdir="${1:-.}"
+mkdir -p "$outdir"
+ctl_port=19600
+http_port=19601
+p0=19610
+p1=19611
+p2=19612
+flows=16
+writes=4000
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    cp "$tmp"/*.log "$outdir"/ 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+# fetch URL — curl or wget, whichever exists.
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+wait_log() { # file pattern
+    for _ in $(seq 1 100); do
+        grep -q "$2" "$1" 2>/dev/null && return 0
+        sleep 0.1
+    done
+    echo "FATAL: never saw '$2' in $1:" >&2
+    cat "$1" >&2
+    return 1
+}
+
+# wait_view members — polls /status until chain 0's view is exactly $1.
+wait_view() {
+    want="$1"
+    for _ in $(seq 1 200); do
+        got=$(fetch "http://127.0.0.1:$http_port/status" 2>/dev/null |
+            sed -n 's/.*"members":\[\([^]]*\)\].*/\1/p') || got=""
+        [ "$got" = "$want" ] && return 0
+        sleep 0.1
+    done
+    echo "FATAL: view never became [$want]; last: [$got]" >&2
+    return 1
+}
+
+echo "== build =="
+go build -o "$tmp/ctl" ./cmd/redplane-ctl
+go build -o "$tmp/store" ./cmd/redplane-store
+go build -o "$tmp/load" ./cmd/redplane-udpload
+
+echo "== start control plane =="
+"$tmp/ctl" -listen 127.0.0.1:$ctl_port -http 127.0.0.1:$http_port \
+    -chains "s0,s1,s2" -probe-interval 50ms >"$tmp/ctl.log" 2>&1 &
+pids="$pids $!"
+wait_log "$tmp/ctl.log" 'serving on'
+
+echo "== start three durable stores (daemon links the chain) =="
+i=0
+for port in $p0 $p1 $p2; do
+    name="s$i"
+    "$tmp/store" -listen 127.0.0.1:$port -shards 2 -lease 10s \
+        -wal-dir "$tmp/wal-$name" -ctl 127.0.0.1:$ctl_port -name "$name" \
+        >"$tmp/$name.log" 2>&1 &
+    eval "pid_$i=\$!"
+    pids="$pids $!"
+    wait_log "$tmp/$name.log" 'serving on'
+    case $i in
+    0) wait_view '"s0"' ;;
+    1) wait_view '"s0","s1"' ;;
+    2) wait_view '"s0","s1","s2"' ;;
+    esac
+    i=$((i + 1))
+done
+
+echo "== sweep against the routed head (hello handshake included) =="
+"$tmp/load" -ctl 127.0.0.1:$ctl_port -flows $flows -writes $writes \
+    -batch 16 -stall 50ms &
+load_pid=$!
+pids="$pids $load_pid"
+
+sleep 0.3
+echo "== kill -9 the tail mid-load =="
+kill -9 "$pid_2"
+wait "$pid_2" 2>/dev/null || true
+
+echo "== daemon must splice it out =="
+wait_view '"s0","s1"'
+
+echo "== restart the tail over its WAL; daemon must resync it back in =="
+"$tmp/store" -listen 127.0.0.1:$p2 -shards 2 -lease 10s \
+    -wal-dir "$tmp/wal-s2" -ctl 127.0.0.1:$ctl_port -name s2 \
+    >"$tmp/s2-restart.log" 2>&1 &
+pids="$pids $!"
+wait_log "$tmp/s2-restart.log" 'replayed [0-9]* WAL records'
+wait_view '"s0","s1","s2"'
+
+echo "== sweep must finish complete =="
+wait "$load_pid"
+pids=$(echo "$pids" | sed "s/ $load_pid//")
+
+echo "== no lost acked writes across the kill =="
+"$tmp/load" -addr 127.0.0.1:$p0 -flows $flows -writes $writes -verify
+
+echo "== chain digest agreement =="
+digests=$(fetch "http://127.0.0.1:$http_port/digests")
+echo "$digests"
+n=$(echo "$digests" | grep -o '"[0-9a-f]\{16\}"' | sort -u | wc -l)
+[ "$(echo "$digests" | grep -o 's[0-9]' | sort -u | wc -l)" = 3 ] ||
+    { echo "FATAL: expected 3 members in $digests" >&2; exit 1; }
+[ "$n" = 1 ] || { echo "FATAL: digests diverge: $digests" >&2; exit 1; }
+
+echo "== /metrics parses as Prometheus exposition text =="
+fetch "http://127.0.0.1:$http_port/metrics" >"$outdir/ctl-metrics.txt"
+fetch "http://127.0.0.1:$http_port/status" >"$outdir/ctl-status.json"
+awk '
+    /^# TYPE / { if (NF != 4) { print "bad TYPE line: " $0; exit 1 }; next }
+    { if (NF != 2) { print "bad sample line: " $0; exit 1 } }
+' "$outdir/ctl-metrics.txt"
+for want in redplane_ctl_view_changes redplane_ctl_splice_outs redplane_ctl_rejoins; do
+    grep -q "^$want " "$outdir/ctl-metrics.txt" ||
+        { echo "FATAL: $want missing from /metrics" >&2; exit 1; }
+done
+splices=$(awk '$1 == "redplane_ctl_splice_outs" { print $2 }' "$outdir/ctl-metrics.txt")
+rejoins=$(awk '$1 == "redplane_ctl_rejoins" { print $2 }' "$outdir/ctl-metrics.txt")
+[ "$splices" -ge 1 ] && [ "$rejoins" -ge 2 ] ||
+    { echo "FATAL: splice_outs=$splices rejoins=$rejoins" >&2; exit 1; }
+
+echo "OK: kill -9 detected, view respliced, replica resynced, acked writes intact"

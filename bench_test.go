@@ -212,6 +212,25 @@ func BenchmarkFlowspaceScale(b *testing.B) {
 	}
 }
 
+// BenchmarkWANConsistency runs the WAN consistency sweep: a closed-loop
+// workload against store chains spanning three datacenters, inter-DC
+// RTT swept 0–80 ms, linearizable vs bounded-inconsistency mode.
+// Reports the 40 ms goodputs and the bounded-over-linearizable speedup
+// — the numbers the CI perf gate floors.
+func BenchmarkWANConsistency(b *testing.B) {
+	skipUnderRace(b)
+	for i := 0; i < b.N; i++ {
+		res := experiments.WANConsistency(int64(i+1), 200*time.Millisecond)
+		for _, r := range res.Rows {
+			if r.RTT == 40*time.Millisecond {
+				b.ReportMetric(r.LinGoodputKpps, "lin40ms-kpps")
+				b.ReportMetric(r.BndGoodputKpps, "bnd40ms-kpps")
+			}
+		}
+		b.ReportMetric(res.SpeedupAt40, "speedup40-x")
+	}
+}
+
 // BenchmarkFig15BufferOccupancy reproduces Fig. 15: retransmission buffer
 // occupancy vs rate and request loss. Reports the worst corner.
 func BenchmarkFig15BufferOccupancy(b *testing.B) {

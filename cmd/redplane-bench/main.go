@@ -40,7 +40,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
-	only := flag.String("only", "", "comma-separated subset (fig8..fig15,table2,atscale,ablations,modelcheck,throughput,flowspace)")
+	only := flag.String("only", "", "comma-separated subset (fig8..fig15,table2,atscale,ablations,modelcheck,throughput,flowspace,wan)")
 	sectionSel := flag.String("section", "", "alias for -only (selections merge)")
 	parallel := flag.Int("parallel", 1, "worker goroutines for independent sections (0 = one per core)")
 	traceFile := flag.String("trace", "", "append protocol event timelines (JSONL) to this file")
@@ -179,6 +179,14 @@ func main() {
 			}
 			fmt.Fprintf(w, "   scale-up %.2fx over %d chains, per-chain flatness %.1f%%\n",
 				res.ScaleUp, res.Rows[len(res.Rows)-1].Chains, res.Flatness*100)
+		}},
+		{"wan", func(w io.Writer) {
+			section(w, "WAN consistency — linearizable vs bounded across datacenters")
+			res := experiments.WANConsistency(*seed, win(400*time.Millisecond))
+			for _, r := range res.Rows {
+				fmt.Fprintln(w, "  ", r)
+			}
+			fmt.Fprintf(w, "   bounded/linearizable goodput at 40ms RTT: %.0fx\n", res.SpeedupAt40)
 		}},
 		{"table2", func(w io.Writer) {
 			section(w, "Table 2 — additional switch ASIC resource usage (100k flows)")

@@ -7,12 +7,12 @@
 // Usage:
 //
 //	redplane-chaos [-seed N] [-campaigns N] [-parallel N]
-//	               [-profile default|flap|storm|coldrestart|migrate]
+//	               [-profile default|flap|storm|coldrestart|migrate|gray|asympart|skew|wan]
 //	               [-mode both|linearizable|bounded] [-engine chain|quorum]
 //	               [-chains N] [-duration D] [-batch-window D] [-out dir]
-//	               [-break-norevoke] [-v]
+//	               [-break-norevoke] [-break-skew-margin] [-v]
 //	               [-cpuprofile file] [-memprofile file]
-//	redplane-chaos -replay chaos-<seed>.json [-break-norevoke]
+//	redplane-chaos -replay chaos-<seed>.json [-break-norevoke] [-break-skew-margin]
 //
 // Campaign i runs with seed+i. Each campaign is fully reproducible: the
 // same seed yields a byte-identical schedule and verdict, and because
@@ -43,7 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed (campaign i uses seed+i)")
 	campaigns := flag.Int("campaigns", 1, "campaigns per mode")
 	parallel := flag.Int("parallel", 1, "worker goroutines for campaigns (0 = one per core)")
-	profile := flag.String("profile", "default", "fault-rate profile: default, flap, storm, coldrestart, migrate")
+	profile := flag.String("profile", "default", "fault-rate profile: default, flap, storm, coldrestart, migrate, gray, asympart, skew, wan")
 	mode := flag.String("mode", "both", "consistency mode: both, linearizable, bounded")
 	engine := flag.String("engine", "chain", "store replication engine: chain or quorum")
 	chains := flag.Int("chains", 0, "store chain count (0 = classic single chain; >1 routes by the flow-space ring)")
@@ -51,6 +51,7 @@ func main() {
 	out := flag.String("out", ".", "directory for violation dumps")
 	replay := flag.String("replay", "", "replay a chaos-<seed>.json repro instead of running campaigns")
 	breakKnob := flag.Bool("break-norevoke", false, "intentionally break store lease revocation (harness self-test)")
+	breakSkew := flag.Bool("break-skew-margin", false, "undersize the switch lease guard below the skew profile's 2ρP (harness self-test)")
 	batchWindow := flag.Duration("batch-window", chaos.DefaultBatchWindow,
 		"switch egress coalescing window (0 disables batching)")
 	verbose := flag.Bool("v", false, "print every campaign, not just failures")
@@ -66,7 +67,7 @@ func main() {
 	defer stopProf()
 
 	if *replay != "" {
-		code := replayRepro(*replay, *breakKnob)
+		code := replayRepro(*replay, *breakKnob, *breakSkew)
 		stopProf()
 		os.Exit(code)
 	}
@@ -114,7 +115,8 @@ func main() {
 			cfgs = append(cfgs, chaos.Config{
 				Seed: *seed + int64(i), Engine: eng, Bounded: b, Chains: *chains,
 				Duration: *duration, Profile: prof, BreakNoRevoke: *breakKnob,
-				BatchWindow: bw,
+				BreakSkewMargin: *breakSkew,
+				BatchWindow:     bw,
 			})
 		}
 	}
@@ -201,7 +203,7 @@ func dump(cfg chaos.Config, r chaos.Result, dir string) {
 	}
 }
 
-func replayRepro(path string, breakKnob bool) int {
+func replayRepro(path string, breakKnob, breakSkew bool) int {
 	rep, err := chaos.LoadRepro(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -209,6 +211,7 @@ func replayRepro(path string, breakKnob bool) int {
 	}
 	cfg := rep.ReplayConfig()
 	cfg.BreakNoRevoke = breakKnob
+	cfg.BreakSkewMargin = breakSkew
 	fmt.Printf("replaying %s: seed=%d mode=%s%s faults=%d\n",
 		path, rep.Seed, rep.Mode, engTag(rep.Engine), len(rep.Faults))
 	for _, f := range rep.Faults {

@@ -33,6 +33,8 @@ func main() {
 		`expected member names per chain, head first: "s0,s1,s2;t0,t1,t2"`)
 	probe := flag.Duration("probe-interval", 250*time.Millisecond, "liveness ping cadence")
 	vnodes := flag.Int("vnodes", 32, "flow-space ring vnodes per chain (shipped to switches)")
+	authToken := flag.String("auth-token", "",
+		"shared secret required on every member/switch registration (empty = no auth)")
 	flag.Parse()
 
 	var cfg [][]string
@@ -48,7 +50,7 @@ func main() {
 		}
 	}
 	d, err := ctl.NewDaemon(*listen, ctl.Options{
-		Chains: cfg, Vnodes: *vnodes, ProbeInterval: *probe,
+		Chains: cfg, Vnodes: *vnodes, ProbeInterval: *probe, AuthToken: *authToken,
 	})
 	if err != nil {
 		log.Fatalf("redplane-ctl: %v", err)

@@ -18,6 +18,11 @@ func main() {
 	lease := flag.Int("lease", 2, "lease period in timer ticks")
 	pkts := flag.Int("pkts", 3, "packet generator budget")
 	maxStates := flag.Int("max-states", 0, "state bound (0 = 5M)")
+	skewMargin := flag.Int("skew-margin", -1,
+		"lease guard margin for the bounded-skew model in ticks (-1 = the derived safe margin Dmax+2E)")
+	skewLease := flag.Int("skew-lease", 0, "bounded-skew model lease period in ticks (0 = default 6)")
+	skewDelay := flag.Int("skew-delay", 0, "bounded-skew model max grant delay Dmax in ticks (0 = default 1)")
+	skewBound := flag.Int("skew-bound", 0, "bounded-skew model skew bound E in ticks (0 = default 1)")
 	flag.Parse()
 
 	cfg := modelcheck.Config{
@@ -53,4 +58,40 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("every pending lease request has a granting continuation")
+
+	// Bounded-skew lease model: drifting switch clocks against the store's
+	// reference clock, checking the guard-margin derivation of DESIGN.md
+	// §12 (M ≥ Dmax + 2E). A deliberately undersized -skew-margin makes
+	// this section fail — the exhaustive twin of the chaos harness's
+	// -break-skew-margin self-test.
+	scfg := modelcheck.DefaultSkewConfig()
+	if *skewLease > 0 {
+		scfg.LeasePeriod = *skewLease
+	}
+	if *skewDelay > 0 {
+		scfg.DelayMax = *skewDelay
+	}
+	if *skewBound > 0 {
+		scfg.SkewBound = *skewBound
+	}
+	scfg.Margin = scfg.SafeMargin()
+	if *skewMargin >= 0 {
+		scfg.Margin = *skewMargin
+	}
+	scfg.MaxStates = *maxStates
+	fmt.Printf("skew model: lease %d, margin %d (safe ≥ %d), delay ≤ %d, skew ≤ ±%d\n",
+		scfg.LeasePeriod, scfg.Margin, scfg.SafeMargin(), scfg.DelayMax, scfg.SkewBound)
+	sres := modelcheck.RunSkew(scfg)
+	fmt.Printf("explored %d states, %d transitions, depth %d\n",
+		sres.States, sres.Transitions, sres.Depth)
+	if sres.Truncated {
+		fmt.Println("NOTE: skew exploration truncated at the state bound")
+	}
+	for _, v := range sres.Violations {
+		fmt.Printf("VIOLATION: %s at depth %d: %+v\n", v.Invariant, v.Depth, v.State)
+	}
+	if !sres.OK() {
+		os.Exit(1)
+	}
+	fmt.Println("SkewLeaseExclusion holds on every reachable state")
 }

@@ -77,6 +77,7 @@ func main() {
 	ctlAddr := flag.String("ctl", "",
 		"redplane-ctl control address to register with (empty = no control plane)")
 	name := flag.String("name", "", "member name for control-plane registration")
+	authToken := flag.String("auth-token", "", "shared secret for the redplane-ctl control plane")
 	flag.Parse()
 
 	if *ctlAddr != "" && *name == "" {
@@ -127,6 +128,7 @@ func main() {
 	}
 	if *ctlAddr != "" {
 		agent := ctl.NewStoreAgent(*ctlAddr, *name, srv, *walDir != "")
+		agent.SetAuthToken(*authToken)
 		go agent.Run()
 		defer agent.Close()
 		log.Printf("redplane-store: registering with control plane %s as %q", *ctlAddr, *name)

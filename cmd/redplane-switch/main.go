@@ -40,11 +40,12 @@ func main() {
 	batch := flag.Int("batch", 1, "writes packed per batch datagram (1 = one request per datagram)")
 	traceFile := flag.String("trace", "", "write the request/ack event timeline (JSONL) to this file")
 	stats := flag.Bool("stats", false, "print the request counter summary")
+	authToken := flag.String("auth-token", "", "shared secret for the redplane-ctl control plane")
 	flag.Parse()
 
 	var router *ctl.Router
 	if *ctlAddr != "" {
-		r, err := ctl.FetchRouting(*ctlAddr, 0)
+		r, err := ctl.FetchRouting(*ctlAddr, *authToken, 0)
 		if err != nil {
 			log.Fatalf("redplane-switch: %v", err)
 		}

@@ -55,10 +55,11 @@ func main() {
 	jsonOut := flag.String("json", "", "write the sweep result as JSON to this file (- = stdout)")
 	ctlAddr := flag.String("ctl", "", "redplane-ctl address to resolve the chain head from (overrides -addr)")
 	noHello := flag.Bool("no-hello", false, "skip the deployment handshake preflight")
+	authToken := flag.String("auth-token", "", "shared secret for the redplane-ctl control plane")
 	flag.Parse()
 
 	if *ctlAddr != "" {
-		r, err := ctl.FetchRouting(*ctlAddr, 0)
+		r, err := ctl.FetchRouting(*ctlAddr, *authToken, 0)
 		if err != nil {
 			log.Fatalf("redplane-udpload: %v", err)
 		}

@@ -9,6 +9,7 @@ import (
 	"redplane/internal/failure"
 	"redplane/internal/flowspace"
 	"redplane/internal/member"
+	"redplane/internal/netem"
 	"redplane/internal/netsim"
 	"redplane/internal/obs"
 	"redplane/internal/packet"
@@ -206,6 +207,13 @@ type DeploymentConfig struct {
 
 	// Obs tunes tracing and time-series sampling.
 	Obs ObsConfig
+
+	// NetEm enables the network-condition emulation subsystem: per-node
+	// clocks with bounded drift/offset, WAN datacenter topologies, and
+	// (at fault time, via SetStoreGray/SetStoreOneWay) gray failures and
+	// asymmetric partitions. The zero value keeps the deployment
+	// byte-identical to one built before the subsystem existed.
+	NetEm netem.Config
 }
 
 // Deployment is a running RedPlane testbed: simulator, topology,
@@ -231,6 +239,13 @@ type Deployment struct {
 	switches []*core.Switch
 	swIPs    []packet.Addr
 	reg      *obs.Registry
+
+	// em is the network-condition manager (nil unless NetEm enabled);
+	// storeUplinks holds each store server's uplink port in Cluster.All
+	// order so conditions can be attached per direction.
+	em           *netem.Manager
+	emCfg        netem.Config
+	storeUplinks []*netsim.Port
 
 	// storeBEs[shard][replica] are the store servers' durable backends
 	// (nil unless StoreDurability.Enabled).
@@ -419,14 +434,98 @@ func NewDeployment(cfg DeploymentConfig) *Deployment {
 		}
 		for si, srv := range d.Cluster.All() {
 			rack := (si % cfg.StoreReplicas) % 2
-			srv.SetPort(d.Testbed.AddRackNodeLink(rack, srv, srv.IP, storeLink))
+			p := d.Testbed.AddRackNodeLink(rack, srv, srv.IP, storeLink)
+			srv.SetPort(p)
 			srv.SwitchAddr = d.SwitchIP
+			d.storeUplinks = append(d.storeUplinks, p)
 		}
+	}
+	if cfg.NetEm.Enabled() {
+		d.installNetEm(cfg)
 	}
 	if deploymentObserver.fn != nil {
 		deploymentObserver.fn(d)
 	}
 	return d
+}
+
+// installNetEm builds the network-condition manager and applies the
+// construction-time conditions: per-node clocks (switches first, then
+// store servers in Cluster.All order — the draw order is part of the
+// deterministic contract) and WAN inter-DC base delays on the uplinks
+// of store replicas placed outside the hub datacenter.
+func (d *Deployment) installNetEm(cfg DeploymentConfig) {
+	seed := cfg.NetEm.Seed
+	if seed == 0 {
+		cfg.NetEm.Seed = cfg.Seed
+	}
+	d.em = netem.NewManager(cfg.NetEm, d.reg)
+	d.emCfg = cfg.NetEm
+	for _, sw := range d.switches {
+		if c := d.em.NewClock(); c != nil {
+			sw.SetClock(c)
+		}
+	}
+	if d.Cluster == nil {
+		return
+	}
+	wan := cfg.NetEm.Topology
+	for si, srv := range d.Cluster.All() {
+		if c := d.em.NewClock(); c != nil {
+			srv.SetClock(c)
+		}
+		replica := si % cfg.StoreReplicas
+		if delay := wan.NodeDelay(wan.DCOf(replica)); delay > 0 {
+			out, in := d.storeUplinkPorts(si)
+			d.em.Cond(out).SetBaseDelay(delay)
+			d.em.Cond(in).SetBaseDelay(delay)
+		}
+	}
+}
+
+// storeUplinkPorts returns both directions of the store server uplink at
+// Cluster.All index si: out conditions frames the server sends, in
+// conditions frames sent toward it.
+func (d *Deployment) storeUplinkPorts(si int) (out, in *netsim.Port) {
+	p := d.storeUplinks[si]
+	a, b := p.Link().Ports()
+	if a == p {
+		return a, b
+	}
+	return b, a
+}
+
+// NetEm returns the deployment's network-condition manager, nil unless
+// DeploymentConfig.NetEm enabled the subsystem.
+func (d *Deployment) NetEm() *netem.Manager { return d.em }
+
+// SetStoreGray installs (or clears, with nil) a gray-failure shape on
+// both directions of the store server's uplink: the replica stays alive
+// — liveness probes still pass — but every frame to or from it sees the
+// shape's delay, burst loss, and throttled bandwidth.
+func (d *Deployment) SetStoreGray(shard, replica int, shape *netem.GrayShape) {
+	if d.em == nil || d.Cluster == nil {
+		return
+	}
+	out, in := d.storeUplinkPorts(shard*d.Cluster.Replicas() + replica)
+	d.em.Cond(out).SetGray(shape)
+	d.em.Cond(in).SetGray(shape)
+}
+
+// SetStoreOneWay opens (or heals, with cut=false) a one-way partition
+// on the store server's uplink. inbound=true cuts traffic toward the
+// server while its own sends still flow — the asymmetric half-failure
+// that makes a replica look alive to some observers and dead to others.
+func (d *Deployment) SetStoreOneWay(shard, replica int, inbound, cut bool) {
+	if d.em == nil || d.Cluster == nil {
+		return
+	}
+	out, in := d.storeUplinkPorts(shard*d.Cluster.Replicas() + replica)
+	if inbound {
+		d.em.Cond(in).SetCut(cut)
+	} else {
+		d.em.Cond(out).SetCut(cut)
+	}
 }
 
 // Switch returns programmable switch i.

@@ -43,6 +43,19 @@ type Fault struct {
 	// rebuilds solely from the durable backend (checkpoint + WAL).
 	Cold bool `json:"cold,omitempty"`
 
+	// Gray makes a store fault a gray failure instead of a crash: the
+	// replica stays alive (liveness probes keep passing) but both
+	// directions of its uplink run degraded — elevated delay, burst
+	// loss, throttled bandwidth (netem.DefaultGrayShape) — from FailAt
+	// until RecoverAt heals the link.
+	Gray bool `json:"gray,omitempty"`
+	// OneWay makes a store fault an asymmetric partition: one direction
+	// of the replica's uplink drops everything while the other still
+	// flows. Inbound selects which (true cuts traffic toward the
+	// replica).
+	OneWay  bool `json:"one_way,omitempty"`
+	Inbound bool `json:"inbound,omitempty"`
+
 	// Move makes this a flow-space migration injection rather than a
 	// failure: at FailAt the coordinator moves the ring arc holding
 	// workload flow slot MoveKey (each mode maps the slot onto its
@@ -66,7 +79,14 @@ func (f Fault) String() string {
 	}
 	if f.Store {
 		kind := "warm"
-		if f.Cold {
+		switch {
+		case f.Gray:
+			kind = "gray"
+		case f.OneWay && f.Inbound:
+			kind = "oneway-in"
+		case f.OneWay:
+			kind = "oneway-out"
+		case f.Cold:
 			kind = "cold"
 		}
 		return fmt.Sprintf("store(%d,%d) %s fail@%v recover@%v", f.Shard, f.Replica, kind, f.FailAt, f.RecoverAt)
@@ -102,6 +122,27 @@ type Profile struct {
 	// draw is gated on PMove > 0 so pre-existing profiles' rng streams
 	// (and thus their schedules per seed) are unchanged.
 	PMove float64 `json:"p_move,omitempty"`
+	// PGray is the probability a store fault is a gray failure (degraded
+	// link, replica alive) instead of a crash; POneWay the probability
+	// it is a one-way partition. Both draws are gated on the field being
+	// > 0, like PCold, so pre-existing profiles' rng streams — and thus
+	// their schedules per seed — are byte-stable.
+	PGray   float64 `json:"p_gray,omitempty"`
+	POneWay float64 `json:"p_one_way,omitempty"`
+
+	// SkewDriftPPM / SkewOffsetMax enable per-node clocks in campaign
+	// deployments (netem.Config bounds). Zero leaves every clock perfect.
+	SkewDriftPPM  int64         `json:"skew_drift_ppm,omitempty"`
+	SkewOffsetMax time.Duration `json:"skew_offset_max,omitempty"`
+
+	// WANDCs / WANInterDCRTT place the campaign's store replicas across
+	// datacenters with the given inter-DC round trip (netem.Topology).
+	// The harness raises the switches' lease guard to the topology's
+	// LeaseGuardFloor and scales the retransmit timeout so the protocol
+	// is configured for — not surprised by — the RTT.
+	WANDCs        int           `json:"wan_dcs,omitempty"`
+	WANInterDCRTT time.Duration `json:"wan_inter_dc_rtt,omitempty"`
+
 	// PLinkOnly is the probability a switch fault is link-only.
 	PLinkOnly float64 `json:"p_link_only"`
 	// PNoRecover is the probability a switch fault never recovers (at
@@ -152,6 +193,50 @@ var Profiles = map[string]Profile{
 		DetectMin: 2 * time.Millisecond, DetectMax: 30 * time.Millisecond,
 		DownMin: 20 * time.Millisecond, DownMax: 300 * time.Millisecond,
 	},
+	// gray: slow-but-alive store replicas — degraded links that liveness
+	// probes never flag — interleaved with ordinary crashes. The regime
+	// where retransmission and lease renewal must ride out delay spikes
+	// and burst loss without any failover helping them.
+	"gray": {
+		Name: "gray", MinFaults: 3, MaxFaults: 8,
+		PStore: 0.7, PGray: 0.7, PLinkOnly: 0.3, PNoRecover: 0,
+		DetectMin: 2 * time.Millisecond, DetectMax: 30 * time.Millisecond,
+		DownMin: 30 * time.Millisecond, DownMax: 300 * time.Millisecond,
+	},
+	// asympart: asymmetric one-way partitions on store uplinks — a
+	// replica that can send but not hear (or hear but not send), looking
+	// alive to some observers and dead to others.
+	"asympart": {
+		Name: "asympart", MinFaults: 3, MaxFaults: 8,
+		PStore: 0.7, POneWay: 0.7, PLinkOnly: 0.3, PNoRecover: 0,
+		DetectMin: 2 * time.Millisecond, DetectMax: 30 * time.Millisecond,
+		DownMin: 30 * time.Millisecond, DownMax: 300 * time.Millisecond,
+	},
+	// skew: every node's clock drifts up to ±1% with offsets up to
+	// ±50 ms, under the default fault mix. With the campaign lease
+	// period P = 200 ms the worst-case guard consumption is
+	// 2ρP = 4 ms — inside the 10 ms default guard (G ≥ d + 2ρP,
+	// DESIGN.md §12). Config.BreakSkewMargin undersizes the guard to
+	// prove the harness catches the violation.
+	"skew": {
+		Name: "skew", MinFaults: 2, MaxFaults: 6,
+		SkewDriftPPM: 10000, SkewOffsetMax: 50 * time.Millisecond,
+		PStore: 0.25, PLinkOnly: 0.35, PNoRecover: 0.1,
+		DetectMin: 2 * time.Millisecond, DetectMax: 40 * time.Millisecond,
+		DownMin: 20 * time.Millisecond, DownMax: 400 * time.Millisecond,
+	},
+	// wan: the store chain spread across 3 datacenters (replica r in DC
+	// r mod 3, switches and workload in DC 0) with a 12 ms inter-DC RTT.
+	// The harness raises the lease guard to the topology's floor
+	// (≈ 3·RTT) and scales the retransmit timeout; every checker runs
+	// unchanged.
+	"wan": {
+		Name: "wan", MinFaults: 2, MaxFaults: 5,
+		WANDCs: 3, WANInterDCRTT: 12 * time.Millisecond,
+		PStore: 0.4, PLinkOnly: 0.3, PNoRecover: 0,
+		DetectMin: 2 * time.Millisecond, DetectMax: 30 * time.Millisecond,
+		DownMin: 50 * time.Millisecond, DownMax: 400 * time.Millisecond,
+	},
 	// migrate: live flow-space migrations interleaved with cold store
 	// crashes and switch failovers — the regime where a moving key range
 	// must stay linearizable while the chains under it change membership.
@@ -195,6 +280,14 @@ type Config struct {
 	// store grants leases without revoking the previous holder's) to
 	// demonstrate the harness catches and shrinks real violations.
 	BreakNoRevoke bool
+
+	// BreakSkewMargin undersizes the switches' lease guard (500 µs,
+	// below the 2ρP ≈ 4 ms the skew profile's drift consumes) so a
+	// skewed switch's lease outlives the store's. Run under the skew
+	// profile, the harness must catch the resulting exclusion violation
+	// — the chaos-side twin of the modelcheck skew model's undersized-
+	// margin counterexample.
+	BreakSkewMargin bool
 
 	// BatchWindow is the switches' egress coalescing window. Zero means
 	// DefaultBatchWindow — campaigns exercise the batched pipeline by

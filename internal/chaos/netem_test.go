@@ -1,0 +1,100 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// profCfg is a short campaign under one of the netem profiles.
+func profCfg(seed int64, bounded bool, profile string) Config {
+	return Config{
+		Seed: seed, Bounded: bounded, Duration: 500 * time.Millisecond,
+		Profile: Profiles[profile],
+	}
+}
+
+// runProfileSeeds asserts clean verdicts for the profile across seeds
+// and both consistency modes.
+func runProfileSeeds(t *testing.T, profile string, seeds int64) {
+	t.Helper()
+	for _, bounded := range []bool{false, true} {
+		for seed := int64(1); seed <= seeds; seed++ {
+			r := Run(profCfg(seed, bounded, profile))
+			if !r.Passed() {
+				t.Errorf("%s seed %d bounded=%v: %d violations, first: %v",
+					profile, seed, bounded, len(r.Violations), r.Violations[0])
+			}
+		}
+	}
+}
+
+func TestGrayCampaigns(t *testing.T)     { runProfileSeeds(t, "gray", 5) }
+func TestAsymPartCampaigns(t *testing.T) { runProfileSeeds(t, "asympart", 5) }
+func TestSkewCampaigns(t *testing.T)     { runProfileSeeds(t, "skew", 5) }
+func TestWANCampaigns(t *testing.T)      { runProfileSeeds(t, "wan", 5) }
+
+// TestNetemProfilesOnQuorum: the netem profiles must reach the same
+// clean verdicts on the quorum engine — conditions are injected below
+// the replication layer, so no engine may be confused by them.
+func TestNetemProfilesOnQuorum(t *testing.T) {
+	for _, profile := range []string{"gray", "asympart", "skew", "wan"} {
+		cfg := profCfg(3, false, profile)
+		cfg.Engine = "quorum"
+		if r := Run(cfg); !r.Passed() {
+			t.Errorf("%s on quorum: %v", profile, r.Violations[0])
+		}
+	}
+}
+
+// TestSkewBrokenMarginCaught: with the lease guard undersized below the
+// 2ρP the skew profile's drift consumes, some seed must produce a lease
+// exclusion (or downstream) violation — the chaos-side proof that the
+// margin derivation is load-bearing, twinned with the modelcheck skew
+// model's counterexample.
+func TestSkewBrokenMarginCaught(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		cfg := Config{
+			Seed: seed, Duration: 800 * time.Millisecond,
+			Profile: Profiles["skew"], BreakSkewMargin: true,
+		}
+		r := Run(cfg)
+		if !r.Passed() {
+			if len(r.Shrunk) == 0 {
+				t.Fatalf("seed %d: violating campaign was not shrunk", seed)
+			}
+			if rep := Replay(cfg, r.Shrunk); rep.Passed() {
+				t.Fatalf("seed %d: shrunk schedule does not reproduce", seed)
+			}
+			return
+		}
+	}
+	t.Fatal("broken skew margin not caught in 30 seeds")
+}
+
+// TestNetemReproducibility: netem campaigns must stay byte-stable per
+// seed — conditions and clocks draw only from their own seeded streams.
+func TestNetemReproducibility(t *testing.T) {
+	for _, profile := range []string{"gray", "asympart", "skew", "wan"} {
+		cfg := profCfg(7, false, profile)
+		r1, _ := json.Marshal(Run(cfg))
+		r2, _ := json.Marshal(Run(cfg))
+		if !bytes.Equal(r1, r2) {
+			t.Fatalf("%s verdicts differ:\n%s\n%s", profile, r1, r2)
+		}
+	}
+}
+
+// TestLegacyScheduleUnchangedByNetemFields pins the rng-stream gating:
+// profiles that never set the netem fields must generate the exact
+// schedules they did before those fields existed. The pinned JSON is the
+// pre-netem Generate output for (default, seed 11, 500ms).
+func TestLegacyScheduleUnchangedByNetemFields(t *testing.T) {
+	faults := Generate(Config{Seed: 11, Duration: 500 * time.Millisecond})
+	got, _ := json.Marshal(faults)
+	want := `[{"detect_delay":22789315,"fail_at":149123376,"recover_at":516757874},{"agg":1,"link_only":true,"detect_delay":2712544,"fail_at":151052361,"recover_at":240037895}]`
+	if string(got) != want {
+		t.Fatalf("legacy schedule drifted:\n got %s\nwant %s", got, want)
+	}
+}

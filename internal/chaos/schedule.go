@@ -70,11 +70,20 @@ func Generate(cfg Config) []Fault {
 			// rng stream — and thus every schedule — of the pre-existing
 			// warm profiles is unchanged for a given seed.
 			cold := p.PCold > 0 && rng.Float64() < p.PCold
-			faults = append(faults, Fault{
+			f := Fault{
 				Store: true, Shard: rng.Intn(chains), Replica: rng.Intn(storeReplicas),
 				Cold:   cold,
 				FailAt: failAt, RecoverAt: recoverAt,
-			})
+			}
+			// Gray and one-way draws are gated the same way; a store fault
+			// becomes at most one of crash / gray / one-way.
+			if p.PGray > 0 && rng.Float64() < p.PGray {
+				f.Gray, f.Cold = true, false
+			} else if p.POneWay > 0 && rng.Float64() < p.POneWay {
+				f.OneWay, f.Cold = true, false
+				f.Inbound = rng.Float64() < 0.5
+			}
+			faults = append(faults, f)
 			continue
 		}
 		f := Fault{
@@ -95,11 +104,12 @@ func Generate(cfg Config) []Fault {
 
 // compile lowers the fault list to the failure package's event
 // schedule. Move faults are not failures — scheduleMoves injects them
-// through the coordinator.
+// through the coordinator — and gray/one-way faults are link
+// conditions, injected by scheduleNetem.
 func compile(faults []Fault) failure.Schedule {
 	var sched failure.Schedule
 	for _, f := range faults {
-		if f.Move {
+		if f.Move || f.Gray || f.OneWay {
 			continue
 		}
 		if f.Store {

@@ -215,6 +215,7 @@ func newBoundedDriver(cfg Config, faults []Fault) (*boundedDriver, *redplane.Dep
 	if cfg.BatchWindow > 0 {
 		proto.FlushWindow = cfg.BatchWindow
 	}
+	tuneProtoForNetEm(&proto, cfg)
 	durableRun := NeedsDurability(cfg, faults)
 	shards, ring := storeShape(cfg, faults)
 	d := redplane.NewDeployment(redplane.DeploymentConfig{
@@ -233,11 +234,13 @@ func newBoundedDriver(cfg Config, faults []Fault) (*boundedDriver, *redplane.Dep
 		FlowSpace:       redplane.FlowSpaceConfig{Enabled: ring},
 		StoreDurability: store.DurabilityConfig{Enabled: durableRun},
 		StoreMembership: durableRun,
+		NetEm:           netemConfig(cfg, faults),
 	})
 	b.d = d
 	b.sink = d.AddServer(1, "chaos-sink", redplane.MakeAddr(10, 1, 0, 88))
 	b.client = d.AddClient(0, "chaos-udp", redplane.MakeAddr(100, 0, 0, 2))
 	d.ScheduleFaultEvents(compile(faults))
+	scheduleNetem(d, faults)
 	// Migration injections target the per-switch counter partitions.
 	// Snapshot images are deliberately NOT migrated with a range (they
 	// are ε-soft state); the switch's next periodic snapshot repopulates

@@ -12,6 +12,19 @@ import (
 	"redplane/internal/wire"
 )
 
+// LocalClock maps simulator time to a node-local clock and back
+// (internal/netem.Clock implements it). The switch reads its lease
+// timers through this mapping so lease safety is exercised under clock
+// drift; a nil clock is the perfect clock (identity), keeping
+// deployments without emulation byte-identical to pre-clock behavior.
+type LocalClock interface {
+	// Local converts simulator time (ns) to this node's clock reading.
+	Local(sim int64) int64
+	// Sim converts a local-clock reading back to the earliest simulator
+	// time at which the clock reads at least that value.
+	Sim(local int64) int64
+}
+
 // StoreLocator resolves the state store shard responsible for a flow key
 // (the "preconfigured table" of §5.1). internal/store.Cluster implements
 // it — either a static hash over a fixed shard count, or (with a
@@ -286,6 +299,27 @@ type Switch struct {
 	// met.bufBytes with its high-water mark.
 	met swMetrics
 	tr  *obs.Tracer
+
+	// clock is the node-local clock every lease timer reads (nil =
+	// perfect). skewMarginHits counts grants/renewals whose local-clock
+	// expiry, mapped back to simulator time, outlives the store's full
+	// lease period — the guard entirely consumed by skew plus delay, the
+	// last observable event before a genuine exclusion violation.
+	clock          LocalClock
+	skewMarginHits *obs.Counter
+}
+
+// SetClock installs the switch's local clock. Call before traffic
+// starts; nil keeps the perfect clock.
+func (s *Switch) SetClock(c LocalClock) { s.clock = c }
+
+// localNow is the switch's own clock reading, in the same Time units
+// the lease fields use.
+func (s *Switch) localNow() netsim.Time {
+	if s.clock == nil {
+		return s.sim.Now()
+	}
+	return netsim.Time(s.clock.Local(int64(s.sim.Now())))
 }
 
 // NewSwitch creates a RedPlane switch. The store locator may be nil for
@@ -308,6 +342,7 @@ func NewSwitch(sim *netsim.Sim, id int, name string, ip packet.Addr,
 		reg = obs.NewRegistry()
 	}
 	s.met = newSwMetrics(reg.NS("switch/" + name))
+	s.skewMarginHits = reg.NS("lease").Counter("skew_margin_hits")
 	s.tr = reg.Tracer()
 	s.cp = pipeline.NewControlPlane(sim, cfg.CPOpLatency)
 	s.egressQ = make(map[packet.Addr][]*wire.Message)
@@ -394,7 +429,7 @@ func (s *Switch) Stats() SwitchStats {
 		EgressBatches:   s.met.egressBatches.Value(),
 		EgressMsgs:      s.met.egressMsgs.Value(),
 	}
-	now := s.sim.Now()
+	now := s.localNow()
 	for _, fc := range s.flows {
 		if fc.haveLease && now < fc.leaseExpiry {
 			st.Leases++
@@ -431,7 +466,7 @@ func (s *Switch) Flows() int { return len(s.flows) }
 // flow.
 func (s *Switch) HasLease(key packet.FiveTuple) bool {
 	fc, ok := s.flows[key]
-	return ok && fc.haveLease && s.sim.Now() < fc.leaseExpiry
+	return ok && fc.haveLease && s.localNow() < fc.leaseExpiry
 }
 
 // FlowState returns a copy of the flow's application state on the switch.
@@ -520,12 +555,12 @@ func (s *Switch) handlePacket(f *netsim.Frame, in *netsim.Port) {
 	}
 
 	fc := s.flow(key)
-	fc.lastUsed = s.sim.Now()
-	if fc.haveLease && s.sim.Now() >= fc.leaseExpiry {
+	fc.lastUsed = s.localNow()
+	if fc.haveLease && s.localNow() >= fc.leaseExpiry {
 		s.trace(obs.EvLeaseExpire, key, fc.seq, 0)
 		s.dropLease(key, fc)
 		fc = s.flow(key)
-		fc.lastUsed = s.sim.Now()
+		fc.lastUsed = s.localNow()
 	}
 	if !fc.haveLease {
 		// No lease: request one, buffering the triggering packet through
@@ -591,7 +626,7 @@ func (s *Switch) processLocal(key packet.FiveTuple, p *packet.Packet) {
 // processWithLease runs the application on a packet for a flow whose
 // lease the switch holds, and replicates any state update.
 func (s *Switch) processWithLease(key packet.FiveTuple, fc *flowCtl, p *packet.Packet) {
-	fc.lastUsed = s.sim.Now() // piggyback-returned packets are traffic too
+	fc.lastUsed = s.localNow() // piggyback-returned packets are traffic too
 	out, newState := s.app.Process(p, fc.state)
 	stampObserved(out, newState, fc.state)
 
@@ -835,7 +870,7 @@ func (s *Switch) handleAck(m *wire.Message) {
 		s.handleLeaseNewAck(m)
 	case wire.MsgLeaseRenewAck:
 		if fc, ok := s.flows[m.Key]; ok && fc.haveLease {
-			fc.leaseExpiry = s.sim.Now() + s.leaseDuration(m.LeaseMillis)
+			s.installLeaseExpiry(fc, m.LeaseMillis)
 			s.trace(obs.EvLeaseRenew, m.Key, 0, int64(m.LeaseMillis))
 		}
 	case wire.MsgReplAck, wire.MsgSnapshotAck:
@@ -890,7 +925,7 @@ func (s *Switch) handleLeaseNewAck(m *wire.Message) {
 		}
 		fc.initializing = false
 		fc.haveLease = true
-		fc.leaseExpiry = s.sim.Now() + s.leaseDuration(m.LeaseMillis)
+		s.installLeaseExpiry(fc, m.LeaseMillis)
 		fc.state = append([]uint64(nil), m.Vals...)
 		fc.seq = m.Seq
 		fc.lastAcked = m.Seq
@@ -911,6 +946,26 @@ func (s *Switch) handleLeaseNewAck(m *wire.Message) {
 		s.cp.Do(install)
 	} else {
 		install()
+	}
+}
+
+// installLeaseExpiry stamps the flow's lease expiry on the switch's
+// local clock. Under a drifting clock it also audits the safety margin:
+// if the local-clock expiry, mapped back to simulator time, outlives
+// the store's FULL lease period (an upper bound on when the store can
+// re-grant — the store starts counting at grant processing, before the
+// ack even reached us), the guard has been entirely consumed by skew
+// plus delay and exclusion now rests on luck. That is the
+// lease/skew_margin_hits counter: zero in any correctly-margined run
+// (G ≥ d + 2ρP, DESIGN.md §12), non-zero exactly when the margin is
+// broken.
+func (s *Switch) installLeaseExpiry(fc *flowCtl, leaseMillis uint32) {
+	fc.leaseExpiry = s.localNow() + s.leaseDuration(leaseMillis)
+	if s.clock != nil {
+		period := int64(leaseMillis) * int64(time.Millisecond)
+		if s.clock.Sim(int64(fc.leaseExpiry)) > int64(s.sim.Now())+period {
+			s.skewMarginHits.Inc()
+		}
 	}
 }
 
@@ -1004,7 +1059,7 @@ func (s *Switch) startRenewLoop() {
 		if !s.alive {
 			return true
 		}
-		now := s.sim.Now()
+		now := s.localNow()
 		due = due[:0]
 		for key, fc := range s.flows {
 			if fc.haveLease && now < fc.leaseExpiry && now-fc.lastUsed <= period {

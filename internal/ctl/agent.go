@@ -20,6 +20,7 @@ type StoreAgent struct {
 	name    string
 	srv     *store.UDPServer
 	wal     bool
+	token   string
 
 	// lastView fences stale commands: a delayed set-next from an old
 	// rollout must not undo a newer one.
@@ -38,6 +39,10 @@ func NewStoreAgent(ctlAddr, name string, srv *store.UDPServer, wal bool) *StoreA
 	return &StoreAgent{ctlAddr: ctlAddr, name: name, srv: srv, wal: wal,
 		stopCh: make(chan struct{})}
 }
+
+// SetAuthToken sets the shared secret carried on every register
+// envelope, for daemons running with -auth-token. Call before Run.
+func (a *StoreAgent) SetAuthToken(token string) { a.token = token }
 
 // Close stops the agent and drops its daemon connection.
 func (a *StoreAgent) Close() {
@@ -101,7 +106,8 @@ func (a *StoreAgent) session() error {
 	defer nc.Close()
 
 	err = cn.send(&Envelope{Op: OpRegister, Role: "store", Name: a.name,
-		Data: a.srv.Addr().String(), Shards: a.srv.Shards(), WAL: a.wal})
+		Data: a.srv.Addr().String(), Shards: a.srv.Shards(), WAL: a.wal,
+		Token: a.token})
 	if err != nil {
 		return err
 	}

@@ -101,7 +101,7 @@ func TestDaemonLinksChainAndRoutes(t *testing.T) {
 		t.Fatalf("routing epoch still 0 after bootstrap")
 	}
 
-	r, err := FetchRouting(d.Addr().String(), 0)
+	r, err := FetchRouting(d.Addr().String(), "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,5 +305,61 @@ func TestDaemonHTTPEndpoints(t *testing.T) {
 	}
 	if !strings.Contains(out, `member="s0"`) {
 		t.Fatalf("/metrics missing member-labeled series:\n%s", out)
+	}
+}
+
+// TestAuthTokenGatesRegistration pins the control-socket auth: a daemon
+// run with an auth token rejects store and switch registrations whose
+// hello carries the wrong (or no) token — counted in ctl/auth_rejects —
+// while the right token works end to end.
+func TestAuthTokenGatesRegistration(t *testing.T) {
+	d, err := NewDaemon("127.0.0.1:0", Options{Chains: [][]string{{"s0"}},
+		ProbeInterval: 20 * time.Millisecond, Vnodes: 8, AuthToken: "swordfish"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = d.Serve() }()
+	t.Cleanup(func() { d.Close() })
+
+	// Wrong switch token: the welcome carries the rejection.
+	if _, err := FetchRouting(d.Addr().String(), "sardine", 0); err == nil ||
+		!strings.Contains(err.Error(), "authentication failed") {
+		t.Fatalf("wrong switch token: err = %v, want authentication failed", err)
+	}
+	// Missing store token: never admitted to the view.
+	srv, err := store.NewUDPServer("127.0.0.1:0", "", store.Config{LeasePeriod: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	bad := NewStoreAgent(d.Addr().String(), "s0", srv, false)
+	go bad.Run()
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Obs().Counters()["ctl/auth_rejects"] < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("auth_rejects = %d, want >= 2", d.Obs().Counters()["ctl/auth_rejects"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := d.CurrentStatus().Chains[0].View; len(got) != 0 {
+		t.Fatalf("unauthenticated store admitted to view %v", got)
+	}
+	if got := d.Obs().Counters()["ctl/registers"]; got != 0 {
+		t.Fatalf("registers = %d after rejected hellos, want 0", got)
+	}
+	bad.Close()
+
+	// Right token: registration, view membership, and routing all work.
+	good := NewStoreAgent(d.Addr().String(), "s0", srv, false)
+	good.SetAuthToken("swordfish")
+	go good.Run()
+	t.Cleanup(good.Close)
+	waitView(t, d, 0, "s0")
+	r, err := FetchRouting(d.Addr().String(), "swordfish", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Heads[0] != srv.Addr().String() {
+		t.Fatalf("routing head = %q, want %s", r.Heads[0], srv.Addr())
 	}
 }

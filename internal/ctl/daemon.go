@@ -1,6 +1,7 @@
 package ctl
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -31,6 +32,12 @@ type Options struct {
 	ProbeTimeout time.Duration
 	// ResyncRounds bounds the rejoin delta-merge loop (default 40).
 	ResyncRounds int
+	// AuthToken, when non-empty, is the shared secret every register
+	// envelope must carry. The comparison is constant-time and a
+	// mismatch is rejected before the peer learns anything but
+	// "authentication failed" (counted in ctl/auth_rejects). Empty
+	// disables authentication — the pre-token behavior.
+	AuthToken string
 }
 
 func (o *Options) fill() error {
@@ -140,6 +147,7 @@ type Daemon struct {
 	reg *obs.Registry
 
 	registers     *obs.Counter
+	authRejects   *obs.Counter
 	viewChanges   *obs.Counter
 	spliceOuts    *obs.Counter
 	rejoins       *obs.Counter
@@ -180,6 +188,7 @@ func NewDaemon(addr string, opt Options) (*Daemon, error) {
 	}
 	ns := d.reg.NS("ctl")
 	d.registers = ns.Counter("registers")
+	d.authRejects = ns.Counter("auth_rejects")
 	d.viewChanges = ns.Counter("view_changes")
 	d.spliceOuts = ns.Counter("splice_outs")
 	d.rejoins = ns.Counter("rejoins")
@@ -249,6 +258,14 @@ func (d *Daemon) handleConn(nc net.Conn) {
 	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
 	reg, err := cn.recv()
 	if err != nil || reg.Op != OpRegister {
+		nc.Close()
+		return
+	}
+	if d.opt.AuthToken != "" &&
+		subtle.ConstantTimeCompare([]byte(reg.Token), []byte(d.opt.AuthToken)) != 1 {
+		d.authRejects.Inc()
+		log.Printf("ctl: rejected unauthenticated %s register from %s", reg.Role, nc.RemoteAddr())
+		cn.send(&Envelope{Op: OpWelcome, Err: "authentication failed"})
 		nc.Close()
 		return
 	}

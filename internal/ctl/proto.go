@@ -43,6 +43,9 @@ type Envelope struct {
 	Data   string `json:"data,omitempty"` // member's UDP data address
 	Shards int    `json:"shards,omitempty"`
 	WAL    bool   `json:"wal,omitempty"`
+	// Token authenticates the register envelope when the daemon runs
+	// with -auth-token; compared constant-time, rejected on mismatch.
+	Token string `json:"token,omitempty"`
 
 	// set-next (daemon → store agent): relink the chain successor and
 	// announce the member's position. Pos 0 is the head.

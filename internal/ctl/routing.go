@@ -36,8 +36,9 @@ func (r *Router) HeadFor(key packet.FiveTuple) string {
 }
 
 // FetchRouting performs a one-shot switch registration against the
-// daemon and returns the first routing table it pushes.
-func FetchRouting(ctlAddr string, timeout time.Duration) (*Router, error) {
+// daemon and returns the first routing table it pushes. token is the
+// shared secret for daemons running with -auth-token ("" if none).
+func FetchRouting(ctlAddr, token string, timeout time.Duration) (*Router, error) {
 	if timeout == 0 {
 		timeout = 3 * time.Second
 	}
@@ -48,7 +49,7 @@ func FetchRouting(ctlAddr string, timeout time.Duration) (*Router, error) {
 	defer nc.Close()
 	nc.SetDeadline(time.Now().Add(timeout))
 	cn := newConn(nc)
-	if err := cn.send(&Envelope{Op: OpRegister, Role: "switch"}); err != nil {
+	if err := cn.send(&Envelope{Op: OpRegister, Role: "switch", Token: token}); err != nil {
 		return nil, err
 	}
 	for {
@@ -69,8 +70,9 @@ func FetchRouting(ctlAddr string, timeout time.Duration) (*Router, error) {
 
 // WatchRouting keeps a switch registration open and invokes fn for the
 // initial table and every epoch bump after it, until the connection
-// drops (returned error) or stop is closed (nil).
-func WatchRouting(ctlAddr string, stop <-chan struct{}, fn func(*Router)) error {
+// drops (returned error) or stop is closed (nil). token is the shared
+// secret for daemons running with -auth-token ("" if none).
+func WatchRouting(ctlAddr, token string, stop <-chan struct{}, fn func(*Router)) error {
 	nc, err := net.DialTimeout("tcp", ctlAddr, 3*time.Second)
 	if err != nil {
 		return fmt.Errorf("ctl: dial %s: %w", ctlAddr, err)
@@ -83,7 +85,7 @@ func WatchRouting(ctlAddr string, stop <-chan struct{}, fn func(*Router)) error 
 		}()
 	}
 	cn := newConn(nc)
-	if err := cn.send(&Envelope{Op: OpRegister, Role: "switch"}); err != nil {
+	if err := cn.send(&Envelope{Op: OpRegister, Role: "switch", Token: token}); err != nil {
 		return err
 	}
 	for {

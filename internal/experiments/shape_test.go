@@ -309,3 +309,46 @@ func TestFlowspaceScaleShape(t *testing.T) {
 			res.Flatness*100)
 	}
 }
+
+func TestWANConsistencyShape(t *testing.T) {
+	res := WANConsistency(1, 120*time.Millisecond)
+	if len(res.Rows) != len(WANRTTs) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(WANRTTs))
+	}
+	// The headline acceptance bar: at 40 ms inter-DC RTT, bounded mode
+	// must deliver at least 2x the linearizable goodput (measured: two
+	// orders of magnitude beyond that).
+	if res.SpeedupAt40 < 2 {
+		t.Errorf("speedup at 40ms = %.2fx, want >=2x", res.SpeedupAt40)
+	}
+	base := res.Rows[0]
+	for i, r := range res.Rows {
+		if r.RTT != WANRTTs[i] {
+			t.Fatalf("row %d rtt=%v, want %v", i, r.RTT, WANRTTs[i])
+		}
+		if r.LinGoodputKpps <= 0 || r.BndGoodputKpps <= 0 {
+			t.Fatalf("rtt=%v: zero goodput: %v", r.RTT, r)
+		}
+		// Bounded mode is think-time-bound: RTT must not cost it goodput
+		// (±20% of the zero-RTT point) nor blow up its one-way latency.
+		if dev := r.BndGoodputKpps/base.BndGoodputKpps - 1; dev < -0.20 || dev > 0.20 {
+			t.Errorf("rtt=%v: bounded goodput %.1f kpps deviates %.0f%% from rtt=0 %.1f kpps",
+				r.RTT, r.BndGoodputKpps, dev*100, base.BndGoodputKpps)
+		}
+		if r.BndP50 > time.Millisecond {
+			t.Errorf("rtt=%v: bounded p50 %v not RTT-independent", r.RTT, r.BndP50)
+		}
+		if r.RTT == 0 {
+			continue
+		}
+		// Linearizable latency traces the geo-replicated commit: two of
+		// the three chain hops cross the WAN, so p50 ≈ 2·RTT.
+		if r.LinP50 < r.RTT || r.LinP50 > 3*r.RTT {
+			t.Errorf("rtt=%v: linearizable p50 %v outside [RTT, 3·RTT]", r.RTT, r.LinP50)
+		}
+		// And its goodput collapses monotonically as the RTT grows.
+		if prev := res.Rows[i-1]; r.LinGoodputKpps > prev.LinGoodputKpps {
+			t.Errorf("linearizable goodput not monotone down: %v then %v", prev, r)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package modelcheck
+
+// Bounded-skew lease model: the discrete-time companion to the chaos
+// harness's skew profile, checking the lease-guard margin derivation of
+// DESIGN.md §12 exhaustively instead of statistically.
+//
+// Setup: one store (the reference clock), two switches whose local
+// clocks advance 0, 1, or 2 ticks per reference tick subject to a
+// cumulative skew bound |skew| ≤ E (this is ρP folded into ticks). The
+// store grants a lease of L reference ticks; the grant travels up to
+// Dmax ticks; on receipt the switch believes it holds the lease for
+// L − M of its own local ticks, where M is the guard margin under
+// test. When the store's L ticks elapse it may regrant — to either
+// switch, modeling failover.
+//
+// Invariant (SkewLeaseExclusion): the two switches never believe they
+// hold the lease simultaneously. It holds iff M ≥ Dmax + 2E: a grant
+// arriving d ticks late whose holder's clock then runs slow stretches
+// the belief window to d + (L−M) + 2E reference ticks, which must not
+// exceed L. RunSkew explores every delivery delay and every per-tick
+// drift choice, so an undersized margin (M < Dmax + 2E) is guaranteed
+// to produce a counterexample — the same defect Config.BreakSkewMargin
+// plants for the chaos harness to catch statistically.
+
+// SkewConfig bounds the skew model.
+type SkewConfig struct {
+	// LeasePeriod is the store-side lease duration L in reference ticks.
+	LeasePeriod int
+	// Margin is the guard margin M under test: the switch believes its
+	// lease for LeasePeriod − Margin local ticks.
+	Margin int
+	// DelayMax is the maximum grant-path delay Dmax in reference ticks.
+	DelayMax int
+	// SkewBound is E: each switch's cumulative clock skew against the
+	// reference stays within ±SkewBound ticks.
+	SkewBound int
+	// MaxGrants bounds how many leases the store issues (2 suffices for
+	// the exclusion question: one to each switch across a failover).
+	MaxGrants int
+	// MaxStates aborts exploration beyond this many states (0 = 5M).
+	MaxStates int
+}
+
+// DefaultSkewConfig is a tractable configuration with a non-trivial
+// safe margin: L = 6, Dmax = 1, E = 1, so SafeMargin() = 3.
+func DefaultSkewConfig() SkewConfig {
+	return SkewConfig{LeasePeriod: 6, DelayMax: 1, SkewBound: 1, MaxGrants: 2}
+}
+
+// SafeMargin is the minimum margin the model's safety condition
+// requires: M ≥ Dmax + 2E.
+func (c SkewConfig) SafeMargin() int { return c.DelayMax + 2*c.SkewBound }
+
+// SkewState is one global state of the skew model, comparable for BFS
+// dedup.
+type SkewState struct {
+	// Skew is each switch's cumulative local−reference clock skew.
+	Skew [2]int8
+	// Holding marks a switch that believes it holds the lease;
+	// BeliefLeft is the local ticks of belief remaining.
+	Holding    [2]bool
+	BeliefLeft [2]uint8
+
+	// StoreLease is the store-side remaining lease in reference ticks;
+	// StoreOwner the switch it was granted to (-1 free).
+	StoreLease uint8
+	StoreOwner int8
+
+	// PendingTo / PendingAge is the in-flight grant (-1 none) and how
+	// many ticks it has traveled; it must deliver by DelayMax.
+	PendingTo  int8
+	PendingAge uint8
+
+	// Grants counts leases issued so far.
+	Grants uint8
+}
+
+func initSkewState() SkewState {
+	return SkewState{StoreOwner: -1, PendingTo: -1}
+}
+
+// skewSuccessors enumerates every enabled transition.
+func skewSuccessors(cfg SkewConfig, s SkewState, out []SkewState) []SkewState {
+	out = out[:0]
+
+	// Grant: a free store issues a lease to either switch (failover may
+	// hand it to the one that never lost its belief — that is the case
+	// the margin must survive).
+	if s.StoreOwner == -1 && s.PendingTo == -1 && int(s.Grants) < cfg.MaxGrants {
+		for sw := int8(0); sw < 2; sw++ {
+			t := s
+			t.StoreOwner = sw
+			t.StoreLease = uint8(cfg.LeasePeriod)
+			t.PendingTo = sw
+			t.PendingAge = 0
+			t.Grants++
+			out = append(out, t)
+		}
+	}
+
+	// Deliver: the in-flight grant reaches its switch, which starts
+	// believing for L − M local ticks.
+	if s.PendingTo >= 0 {
+		t := s
+		sw := t.PendingTo
+		t.PendingTo = -1
+		t.PendingAge = 0
+		if belief := cfg.LeasePeriod - cfg.Margin; belief > 0 {
+			t.Holding[sw] = true
+			t.BeliefLeft[sw] = uint8(belief)
+		}
+		out = append(out, t)
+	}
+
+	// Tick: one reference tick elapses. Each switch's local clock
+	// advances δ ∈ {0,1,2} (drift ±1) within the skew bound; the store
+	// lease counts down and frees the owner at zero; an in-flight grant
+	// ages — and must deliver before exceeding DelayMax, so the tick is
+	// disabled while a grant sits at the deadline.
+	if s.PendingTo < 0 || int(s.PendingAge) < cfg.DelayMax {
+		for d0 := int8(0); d0 <= 2; d0++ {
+			if abs8(s.Skew[0]+d0-1) > int8(cfg.SkewBound) {
+				continue
+			}
+			for d1 := int8(0); d1 <= 2; d1++ {
+				if abs8(s.Skew[1]+d1-1) > int8(cfg.SkewBound) {
+					continue
+				}
+				t := s
+				for i, d := range [2]int8{d0, d1} {
+					t.Skew[i] += d - 1
+					if t.Holding[i] {
+						if uint8(d) >= t.BeliefLeft[i] {
+							t.BeliefLeft[i] = 0
+							t.Holding[i] = false
+						} else {
+							t.BeliefLeft[i] -= uint8(d)
+						}
+					}
+				}
+				if t.StoreLease > 0 {
+					t.StoreLease--
+					if t.StoreLease == 0 {
+						t.StoreOwner = -1
+					}
+				}
+				if t.PendingTo >= 0 {
+					t.PendingAge++
+				}
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+func abs8(v int8) int8 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// checkSkewInvariants returns the invariants s violates.
+func checkSkewInvariants(s SkewState) []string {
+	if s.Holding[0] && s.Holding[1] {
+		return []string{"SkewLeaseExclusion"}
+	}
+	return nil
+}
+
+// SkewViolation is an invariant breach in the skew model.
+type SkewViolation struct {
+	Invariant string
+	Depth     int
+	State     SkewState
+}
+
+// SkewResult summarizes a skew-model exploration.
+type SkewResult struct {
+	States      int
+	Transitions int
+	Depth       int
+	Violations  []SkewViolation
+	Truncated   bool
+}
+
+// OK reports a clean run.
+func (r SkewResult) OK() bool { return len(r.Violations) == 0 }
+
+// RunSkew explores the skew model breadth-first. Every state always has
+// an enabled tick (possibly preceded by a forced delivery), so the
+// model has no deadlock notion; exploration terminates because the
+// state space is finite and violating states are not expanded.
+func RunSkew(cfg SkewConfig) SkewResult {
+	if cfg.MaxGrants == 0 {
+		cfg.MaxGrants = 2
+	}
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = 5_000_000
+	}
+	init := initSkewState()
+	seen := map[SkewState]bool{init: true}
+	frontier := []SkewState{init}
+	res := SkewResult{States: 1}
+	var buf []SkewState
+	depth := 0
+	for len(frontier) > 0 {
+		var next []SkewState
+		for _, s := range frontier {
+			buf = skewSuccessors(cfg, s, buf)
+			for _, t := range buf {
+				res.Transitions++
+				if seen[t] {
+					continue
+				}
+				if res.States >= maxStates {
+					res.Truncated = true
+					return res
+				}
+				seen[t] = true
+				res.States++
+				if bad := checkSkewInvariants(t); len(bad) != 0 {
+					for _, name := range bad {
+						res.Violations = append(res.Violations, SkewViolation{
+							Invariant: name, Depth: depth + 1, State: t,
+						})
+					}
+					continue
+				}
+				next = append(next, t)
+			}
+		}
+		frontier = next
+		depth++
+	}
+	res.Depth = depth
+	return res
+}

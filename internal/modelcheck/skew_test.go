@@ -1,0 +1,86 @@
+package modelcheck
+
+import "testing"
+
+// TestSkewSafeMarginClean: the derived margin M = Dmax + 2E explores the
+// full state space without a single exclusion violation.
+func TestSkewSafeMarginClean(t *testing.T) {
+	cfg := DefaultSkewConfig()
+	cfg.Margin = cfg.SafeMargin()
+	res := RunSkew(cfg)
+	if res.Truncated {
+		t.Fatalf("exploration truncated at %d states", res.States)
+	}
+	if !res.OK() {
+		t.Fatalf("safe margin %d violated: %+v", cfg.Margin, res.Violations[0])
+	}
+	if res.States < 100 {
+		t.Fatalf("suspiciously small state space: %d states", res.States)
+	}
+}
+
+// TestSkewUndersizedMarginViolates: shaving one tick off the safe margin
+// must produce a SkewLeaseExclusion counterexample — the modelcheck half
+// of the broken-margin acceptance pair (the chaos half is
+// TestSkewBrokenMarginCaught).
+func TestSkewUndersizedMarginViolates(t *testing.T) {
+	cfg := DefaultSkewConfig()
+	cfg.Margin = cfg.SafeMargin() - 1
+	res := RunSkew(cfg)
+	if res.Truncated {
+		t.Fatalf("exploration truncated at %d states", res.States)
+	}
+	if res.OK() {
+		t.Fatalf("undersized margin %d not caught (%d states, %d transitions)",
+			cfg.Margin, res.States, res.Transitions)
+	}
+	v := res.Violations[0]
+	if v.Invariant != "SkewLeaseExclusion" {
+		t.Fatalf("unexpected invariant %q", v.Invariant)
+	}
+	if !v.State.Holding[0] || !v.State.Holding[1] {
+		t.Fatalf("violating state does not show dual ownership: %+v", v.State)
+	}
+}
+
+// TestSkewMarginBoundaryExact sweeps the margin and asserts the model's
+// verdict flips exactly at M = Dmax + 2E, in both directions: every
+// undersized margin violates, every sufficient one is clean. This pins
+// the discretization to the continuous-time derivation G ≥ d + 2ρP.
+func TestSkewMarginBoundaryExact(t *testing.T) {
+	base := DefaultSkewConfig()
+	for m := 0; m <= base.SafeMargin()+2; m++ {
+		cfg := base
+		cfg.Margin = m
+		res := RunSkew(cfg)
+		if res.Truncated {
+			t.Fatalf("margin %d: truncated at %d states", m, res.States)
+		}
+		if wantViolation := m < cfg.SafeMargin(); res.OK() == wantViolation {
+			t.Errorf("margin %d (safe=%d): violation=%v, want %v",
+				m, cfg.SafeMargin(), !res.OK(), wantViolation)
+		}
+	}
+}
+
+// TestSkewNoSkewNoDelayNeedsNoMargin: with E = 0 and Dmax = 0 the model
+// degenerates to synchronized clocks and instant delivery, where a zero
+// margin is already safe — the margin is purely skew- and delay-driven.
+func TestSkewNoSkewNoDelayNeedsNoMargin(t *testing.T) {
+	cfg := SkewConfig{LeasePeriod: 4, Margin: 0, DelayMax: 0, SkewBound: 0}
+	res := RunSkew(cfg)
+	if !res.OK() {
+		t.Fatalf("zero-skew zero-delay model violated with zero margin: %+v", res.Violations[0])
+	}
+}
+
+// TestSkewDeterministic: two explorations of the same config agree on
+// every summary number.
+func TestSkewDeterministic(t *testing.T) {
+	cfg := DefaultSkewConfig()
+	cfg.Margin = 1
+	a, b := RunSkew(cfg), RunSkew(cfg)
+	if a.States != b.States || a.Transitions != b.Transitions || len(a.Violations) != len(b.Violations) {
+		t.Fatalf("non-deterministic exploration: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,96 @@
+package netem
+
+import (
+	"redplane/internal/obs"
+)
+
+// Clock is one node's local clock: virtual time scaled by a rate drift
+// and shifted by a constant offset,
+//
+//	local(t) = t + t·ratePPM/1e6 + offset   (all ns).
+//
+// A nil *Clock is the perfect clock — every consumer treats it as the
+// identity mapping, which is how deployments without netem keep their
+// exact pre-netem behavior.
+//
+// The model is deliberately simple (constant rate, constant offset):
+// it is exactly the bounded-drift assumption the lease-safety argument
+// needs (|rate−1| ≤ ρ, DESIGN.md §12), and anything time-varying within
+// the same bounds is dominated by the constant-rate worst case over a
+// lease period.
+type Clock struct {
+	ratePPM int64 // rate drift in parts per million
+	offset  int64 // constant offset, ns
+
+	maxSkew *obs.Gauge // clock/max_skew_ns high-water, shared per registry
+}
+
+// NewClock builds a clock with the given drift (ppm) and offset (ns),
+// for tests and callers outside a Manager. maxSkew may be nil.
+func NewClock(ratePPM, offsetNs int64, maxSkew *obs.Gauge) *Clock {
+	return &Clock{ratePPM: ratePPM, offset: offsetNs, maxSkew: maxSkew}
+}
+
+// RatePPM returns the clock's rate drift in parts per million.
+func (c *Clock) RatePPM() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.ratePPM
+}
+
+// Offset returns the clock's constant offset in nanoseconds.
+func (c *Clock) Offset() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.offset
+}
+
+// Local maps simulator time to this clock's local time. Nil receiver =
+// identity.
+func (c *Clock) Local(sim int64) int64 {
+	if c == nil {
+		return sim
+	}
+	local := sim + sim*c.ratePPM/1_000_000 + c.offset
+	if c.maxSkew != nil {
+		skew := local - sim
+		if skew < 0 {
+			skew = -skew
+		}
+		if skew > c.maxSkew.Value() {
+			c.maxSkew.Set(skew)
+		}
+	}
+	return local
+}
+
+// Sim inverts Local: the earliest simulator time at which the local
+// clock reads at least local. Nil receiver = identity. Used by wake
+// timers that are armed in simulator time but compared against
+// local-clock deadlines.
+func (c *Clock) Sim(local int64) int64 {
+	if c == nil {
+		return local
+	}
+	num := (local - c.offset) * 1_000_000
+	den := 1_000_000 + c.ratePPM
+	t := num / den
+	// Integer truncation can land a step early or late in either drift
+	// direction; nudge to the minimal t with Local(t) >= local so
+	// Local(Sim(x)) >= x and Sim(Local(t)) <= t both hold. Each loop
+	// moves at most a couple of steps.
+	for c.localRaw(t) < local {
+		t++
+	}
+	for c.localRaw(t-1) >= local {
+		t--
+	}
+	return t
+}
+
+// localRaw is Local without the skew-gauge side effect.
+func (c *Clock) localRaw(sim int64) int64 {
+	return sim + sim*c.ratePPM/1_000_000 + c.offset
+}

@@ -1,0 +1,152 @@
+// Package netem is the deterministic network-condition subsystem
+// layered on internal/netsim: the failure modes that break real
+// deployments but that fail-stop fault injection never exercises.
+//
+// Three families of conditions, all strictly opt-in (a deployment that
+// never touches netem behaves byte-identically to one built before the
+// package existed):
+//
+//   - Link conditioners — gray failures (slow-but-alive: elevated delay
+//     with jitter, burst loss via a 2-state Gilbert–Elliott model,
+//     throttled bandwidth) and asymmetric one-way partitions, applied
+//     per direction through the netsim.Shaper hook. Conditioners draw
+//     from their own seeded RNG, never the simulation's, so installing
+//     or removing one cannot perturb any other random choice in a run
+//     and chaos repros stay byte-stable.
+//
+//   - Per-node clocks — rate drift (ppm) plus a bounded constant
+//     offset, derived from virtual time. Lease timers in internal/core
+//     and internal/store read these instead of the simulator clock, so
+//     lease safety is exercised under bounded skew ε. The safety
+//     condition (derived in DESIGN.md §12): with lease period P, guard
+//     G, maximum grant-path delay d and rate drift bound ρ, the
+//     exclusion invariant holds iff G ≥ d + 2ρP. Clock offsets cancel —
+//     a lease is a duration measured on a single clock — so only rate
+//     drift eats the guard.
+//
+//   - WAN topologies — 2–3 datacenters with 10–80 ms inter-DC RTTs and
+//     µs intra-DC links, modeled as a per-direction base delay on each
+//     node's uplink. Topology.LeaseGuardFloor gives the guard a
+//     deployment must run with for leases to survive WAN-RTT grant
+//     paths.
+//
+// The Manager owns every installed condition plus the subsystem's
+// observability: netem/gray_drops, netem/partition_drops counters and
+// the clock/max_skew_ns high-water gauge.
+package netem
+
+import (
+	"math/rand"
+	"time"
+
+	"redplane/internal/netsim"
+	"redplane/internal/obs"
+)
+
+// Config enables the subsystem for a deployment. The zero value means
+// "no emulation": no shapers, no clocks, no WAN delays.
+type Config struct {
+	// Seed drives every random choice netem makes (clock draws, burst
+	// loss, delay jitter). Conditioners never touch the simulation's
+	// RNG stream.
+	Seed int64
+
+	// Topology, when DCs > 1, spreads the deployment across datacenters
+	// and installs inter-DC base delays (see Manager.DelayFor).
+	Topology Topology
+
+	// ClockDriftPPM bounds per-node clock rate drift: each node's clock
+	// runs at (1 + r) × virtual time with r drawn uniformly from
+	// [-ClockDriftPPM, +ClockDriftPPM] parts per million. Zero leaves
+	// every clock perfect.
+	ClockDriftPPM int64
+
+	// ClockOffsetMax bounds per-node constant clock offset, drawn
+	// uniformly from [-ClockOffsetMax, +ClockOffsetMax]. Offsets never
+	// threaten lease safety (they cancel out of duration arithmetic)
+	// but exercise every timestamp-comparison path.
+	ClockOffsetMax time.Duration
+
+	// Faults pre-builds the condition manager even when no clocks or
+	// topology are configured, for deployments whose fault schedule will
+	// install gray failures or one-way partitions at runtime.
+	Faults bool
+}
+
+// Enabled reports whether the config asks for any emulation at all.
+func (c Config) Enabled() bool {
+	return c.Faults || c.Topology.DCs > 1 || c.ClockDriftPPM != 0 || c.ClockOffsetMax != 0
+}
+
+// Manager owns a deployment's network conditions: per-port conditioners
+// and per-node clocks, all fed from one seeded RNG so a given
+// (seed, wiring order) pair always produces the same emulation.
+type Manager struct {
+	cfg Config
+	rng *rand.Rand
+
+	grayDrops *obs.Counter
+	partDrops *obs.Counter
+	maxSkew   *obs.Gauge
+
+	conds map[*netsim.Port]*Cond
+}
+
+// NewManager builds a manager. reg may be nil (counters become
+// process-local no-ops registered in a throwaway registry).
+func NewManager(cfg Config, reg *obs.Registry) *Manager {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ns := reg.NS("netem")
+	return &Manager{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x6e6574656d)), // "netem"
+		grayDrops: ns.Counter("gray_drops"),
+		partDrops: ns.Counter("partition_drops"),
+		maxSkew:   reg.NS("clock").Gauge("max_skew_ns"),
+		conds:     make(map[*netsim.Port]*Cond),
+	}
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// GrayDrops and PartitionDrops expose the condition counters.
+func (m *Manager) GrayDrops() uint64      { return m.grayDrops.Value() }
+func (m *Manager) PartitionDrops() uint64 { return m.partDrops.Value() }
+
+// Cond returns the conditioner for frames sent out port p, creating and
+// installing it on first use. Creation order matters for determinism:
+// each conditioner seeds its private RNG from the manager's stream.
+func (m *Manager) Cond(p *netsim.Port) *Cond {
+	if c, ok := m.conds[p]; ok {
+		return c
+	}
+	c := &Cond{
+		mgr: m,
+		rng: rand.New(rand.NewSource(m.rng.Int63())),
+	}
+	m.conds[p] = c
+	p.SetShaper(c)
+	return c
+}
+
+// NewClock draws a node clock within the config's drift/offset bounds.
+// With both bounds zero it returns nil — the "perfect clock" that every
+// consumer treats as the identity mapping.
+func (m *Manager) NewClock() *Clock {
+	if m.cfg.ClockDriftPPM == 0 && m.cfg.ClockOffsetMax == 0 {
+		return nil
+	}
+	var drift int64
+	if m.cfg.ClockDriftPPM > 0 {
+		drift = m.rng.Int63n(2*m.cfg.ClockDriftPPM+1) - m.cfg.ClockDriftPPM
+	}
+	var offset int64
+	if m.cfg.ClockOffsetMax > 0 {
+		max := m.cfg.ClockOffsetMax.Nanoseconds()
+		offset = m.rng.Int63n(2*max+1) - max
+	}
+	return &Clock{ratePPM: drift, offset: offset, maxSkew: m.maxSkew}
+}

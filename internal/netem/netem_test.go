@@ -1,0 +1,204 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"redplane/internal/netsim"
+	"redplane/internal/obs"
+	"redplane/internal/packet"
+)
+
+type sink struct {
+	name string
+	got  int
+}
+
+func (s *sink) Name() string                            { return s.name }
+func (s *sink) Receive(_ *netsim.Frame, _ *netsim.Port) { s.got++ }
+
+func TestClockIdentityWhenNil(t *testing.T) {
+	var c *Clock
+	for _, v := range []int64{0, 1, 12345, 1e9} {
+		if c.Local(v) != v || c.Sim(v) != v {
+			t.Fatalf("nil clock must be identity at %d", v)
+		}
+	}
+}
+
+func TestClockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		c := NewClock(rng.Int63n(20001)-10000, rng.Int63n(2_000_001)-1_000_000, nil)
+		sim := rng.Int63n(5_000_000_000)
+		local := c.Local(sim)
+		back := c.Sim(local)
+		// Sim returns the earliest sim time whose local reading is >= local.
+		if got := c.Local(back); got < local {
+			t.Fatalf("Local(Sim(x)) = %d < x = %d (drift %d ppm)", got, local, c.RatePPM())
+		}
+		if back > sim {
+			t.Fatalf("Sim(Local(t)) = %d > t = %d", back, sim)
+		}
+	}
+}
+
+func TestClockSkewGauge(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.NS("clock").Gauge("max_skew_ns")
+	c := NewClock(1000, 0, g) // +1000 ppm
+	c.Local(1_000_000_000)    // skew = 1e9 * 1e-3 = 1ms
+	if got := g.Value(); got != 1_000_000 {
+		t.Fatalf("max_skew_ns = %d, want 1000000", got)
+	}
+	c.Local(500_000_000) // smaller skew must not lower the high-water
+	if got := g.Value(); got != 1_000_000 {
+		t.Fatalf("max_skew_ns regressed to %d", got)
+	}
+}
+
+func TestOneWayPartitionIsAsymmetric(t *testing.T) {
+	sim := netsim.New(1)
+	a, b := &sink{name: "a"}, &sink{name: "b"}
+	_, pa, pb := netsim.Connect(sim, a, b, netsim.LinkConfig{Delay: time.Microsecond})
+	m := NewManager(Config{Seed: 1}, nil)
+	m.Cond(pa).SetCut(true) // a→b cut; b→a untouched
+
+	f := &netsim.Frame{Flow: packet.FiveTuple{}, Size: 100}
+	pa.Send(f)
+	pb.Send(f)
+	sim.RunUntil(netsim.Duration(time.Millisecond))
+	if b.got != 0 {
+		t.Fatalf("cut direction delivered %d frames", b.got)
+	}
+	if a.got != 1 {
+		t.Fatalf("reverse direction delivered %d frames, want 1", a.got)
+	}
+	if m.PartitionDrops() != 1 {
+		t.Fatalf("partition_drops = %d, want 1", m.PartitionDrops())
+	}
+
+	m.Cond(pa).SetCut(false)
+	pa.Send(f)
+	sim.RunUntil(netsim.Duration(2 * time.Millisecond))
+	if b.got != 1 {
+		t.Fatalf("healed direction delivered %d frames, want 1", b.got)
+	}
+}
+
+func TestGrayShapeDelaysAndDrops(t *testing.T) {
+	sim := netsim.New(1)
+	a, b := &sink{name: "a"}, &sink{name: "b"}
+	_, pa, _ := netsim.Connect(sim, a, b, netsim.LinkConfig{Delay: time.Microsecond})
+	m := NewManager(Config{Seed: 42}, nil)
+	shape := DefaultGrayShape()
+	m.Cond(pa).SetGray(&shape)
+
+	const frames = 5000
+	for i := 0; i < frames; i++ {
+		pa.Send(&netsim.Frame{Size: 100})
+	}
+	sim.RunUntil(netsim.Duration(time.Minute))
+	drops := int(m.GrayDrops())
+	if b.got+drops != frames {
+		t.Fatalf("delivered %d + dropped %d != sent %d", b.got, drops, frames)
+	}
+	// Time-in-bad ≈ PGoodBad/(PGoodBad+PBadGood) ≈ 5.9%, loss-in-bad 30%
+	// → expected overall loss ≈ 1.8%. Allow a wide band; the point is
+	// "lossy but alive".
+	if drops == 0 {
+		t.Fatal("gray shape dropped nothing")
+	}
+	if drops > frames/5 {
+		t.Fatalf("gray shape dropped %d/%d — that is dead, not gray", drops, frames)
+	}
+}
+
+func TestGrayDeterministicPerSeed(t *testing.T) {
+	run := func() (delivered int, drops uint64) {
+		sim := netsim.New(1)
+		a, b := &sink{name: "a"}, &sink{name: "b"}
+		_, pa, _ := netsim.Connect(sim, a, b, netsim.LinkConfig{Delay: time.Microsecond})
+		m := NewManager(Config{Seed: 99}, nil)
+		shape := DefaultGrayShape()
+		m.Cond(pa).SetGray(&shape)
+		for i := 0; i < 2000; i++ {
+			pa.Send(&netsim.Frame{Size: 100})
+		}
+		sim.RunUntil(netsim.Duration(time.Minute))
+		return b.got, m.GrayDrops()
+	}
+	d1, x1 := run()
+	d2, x2 := run()
+	if d1 != d2 || x1 != x2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", d1, x1, d2, x2)
+	}
+}
+
+func TestConditionerLeavesSimRNGUntouched(t *testing.T) {
+	// The byte-stability guarantee: a run with conditioners installed
+	// must consume exactly zero draws from the simulation's RNG beyond
+	// what the bare run consumes.
+	draw := func(withNetem bool) int64 {
+		sim := netsim.New(123)
+		a, b := &sink{name: "a"}, &sink{name: "b"}
+		_, pa, _ := netsim.Connect(sim, a, b, netsim.LinkConfig{Delay: time.Microsecond})
+		if withNetem {
+			m := NewManager(Config{Seed: 5}, nil)
+			shape := DefaultGrayShape()
+			m.Cond(pa).SetGray(&shape)
+		}
+		for i := 0; i < 100; i++ {
+			pa.Send(&netsim.Frame{Size: 64})
+		}
+		sim.RunUntil(netsim.Duration(time.Second))
+		return sim.Rand().Int63()
+	}
+	if draw(false) != draw(true) {
+		t.Fatal("installing a conditioner perturbed the simulation RNG stream")
+	}
+}
+
+func TestTopologyGeometry(t *testing.T) {
+	topo := Topology{DCs: 3, InterDCRTT: 40 * time.Millisecond}
+	if !topo.Enabled() {
+		t.Fatal("3-DC topology not enabled")
+	}
+	if topo.DCOf(0) != 0 || topo.DCOf(1) != 1 || topo.DCOf(2) != 2 || topo.DCOf(3) != 0 {
+		t.Fatal("round-robin DC placement broken")
+	}
+	if topo.NodeDelay(0) != 0 {
+		t.Fatal("hub DC must add no delay")
+	}
+	if topo.NodeDelay(1) != 20*time.Millisecond {
+		t.Fatalf("spoke one-way leg = %v, want 20ms", topo.NodeDelay(1))
+	}
+	if floor := topo.LeaseGuardFloor(); floor < 3*topo.InterDCRTT {
+		t.Fatalf("guard floor %v under 3×RTT", floor)
+	}
+	var off Topology
+	if off.Enabled() || off.NodeDelay(1) != 0 || off.LeaseGuardFloor() != 0 {
+		t.Fatal("zero topology must be inert")
+	}
+}
+
+func TestManagerClockDraws(t *testing.T) {
+	m := NewManager(Config{Seed: 3, ClockDriftPPM: 5000, ClockOffsetMax: time.Millisecond}, nil)
+	for i := 0; i < 100; i++ {
+		c := m.NewClock()
+		if c == nil {
+			t.Fatal("bounded config produced a nil clock")
+		}
+		if d := c.RatePPM(); d < -5000 || d > 5000 {
+			t.Fatalf("drift %d outside bound", d)
+		}
+		if o := c.Offset(); o < -int64(time.Millisecond) || o > int64(time.Millisecond) {
+			t.Fatalf("offset %d outside bound", o)
+		}
+	}
+	perfect := NewManager(Config{Seed: 3}, nil)
+	if perfect.NewClock() != nil {
+		t.Fatal("unbounded config must produce the nil (perfect) clock")
+	}
+}

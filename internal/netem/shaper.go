@@ -1,0 +1,112 @@
+package netem
+
+import (
+	"math/rand"
+	"time"
+
+	"redplane/internal/netsim"
+)
+
+// GrayShape parameterizes a gray failure: the replica (or its link) is
+// alive but degraded. All fields are optional; the zero value shapes
+// nothing.
+type GrayShape struct {
+	// ExtraDelay is added to every frame's arrival (an overloaded NIC,
+	// a congested intermediate hop).
+	ExtraDelay time.Duration
+	// DelayJitter adds uniform [0, DelayJitter) on top of ExtraDelay,
+	// drawn from the conditioner's private RNG.
+	DelayJitter time.Duration
+
+	// Burst loss, Gilbert–Elliott: the channel flips between a good and
+	// a bad state with per-frame transition probabilities PGoodBad and
+	// PBadGood, dropping frames with probability LossGood / LossBad in
+	// the respective state. PGoodBad = 0 pins the channel good (LossGood
+	// then gives plain i.i.d. loss).
+	PGoodBad, PBadGood float64
+	LossGood, LossBad  float64
+
+	// Bandwidth, when > 0, throttles the direction to this many bits
+	// per second regardless of the link's configured rate.
+	Bandwidth float64
+}
+
+// DefaultGrayShape is the chaos harness's gray failure: ~1 ms ± 0.5 ms
+// added delay, bursty ~30% loss episodes (mean burst ≈ 5 frames,
+// ~6% time-in-bad), and a 100 Mbit/s throttle — painful, but far from
+// dead, and well inside what retransmission rides out.
+func DefaultGrayShape() GrayShape {
+	return GrayShape{
+		ExtraDelay:  time.Millisecond,
+		DelayJitter: 500 * time.Microsecond,
+		PGoodBad:    0.0125,
+		PBadGood:    0.2,
+		LossGood:    0,
+		LossBad:     0.3,
+		Bandwidth:   100e6,
+	}
+}
+
+// Cond is one port direction's installed conditioner: an optional gray
+// shape, an optional one-way partition, and an optional base delay (the
+// WAN inter-DC leg). It implements netsim.Shaper.
+type Cond struct {
+	mgr *Manager
+	rng *rand.Rand
+
+	baseDelay netsim.Time
+	gray      *GrayShape
+	grayBad   bool // Gilbert–Elliott state
+	cut       bool // one-way partition: drop everything
+}
+
+// SetBaseDelay sets the always-on extra one-way delay for this
+// direction (the WAN topology's inter-DC propagation).
+func (c *Cond) SetBaseDelay(d time.Duration) { c.baseDelay = netsim.Duration(d) }
+
+// SetGray installs (or clears, with nil) a gray-failure shape. The
+// Gilbert–Elliott state resets to good on install.
+func (c *Cond) SetGray(g *GrayShape) {
+	c.gray = g
+	c.grayBad = false
+}
+
+// SetCut opens or heals a one-way partition: while cut, every frame in
+// this direction is dropped (and counted) while the reverse direction
+// flows untouched.
+func (c *Cond) SetCut(cut bool) { c.cut = cut }
+
+// Shape implements netsim.Shaper.
+func (c *Cond) Shape(_ *netsim.Frame) (bool, netsim.Time, float64) {
+	if c.cut {
+		c.mgr.partDrops.Inc()
+		return true, 0, 0
+	}
+	delay := c.baseDelay
+	var bw float64
+	if g := c.gray; g != nil {
+		// Advance the Gilbert–Elliott chain one frame, then draw loss in
+		// the resulting state.
+		if c.grayBad {
+			if g.PBadGood > 0 && c.rng.Float64() < g.PBadGood {
+				c.grayBad = false
+			}
+		} else if g.PGoodBad > 0 && c.rng.Float64() < g.PGoodBad {
+			c.grayBad = true
+		}
+		loss := g.LossGood
+		if c.grayBad {
+			loss = g.LossBad
+		}
+		if loss > 0 && c.rng.Float64() < loss {
+			c.mgr.grayDrops.Inc()
+			return true, 0, 0
+		}
+		delay += netsim.Duration(g.ExtraDelay)
+		if g.DelayJitter > 0 {
+			delay += netsim.Time(c.rng.Int63n(int64(g.DelayJitter)))
+		}
+		bw = g.Bandwidth
+	}
+	return false, delay, bw
+}

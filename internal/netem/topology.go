@@ -1,0 +1,59 @@
+package netem
+
+import "time"
+
+// Topology places a deployment across datacenters. DC 0 hosts the
+// switches and the workload (the "primary" site); store replicas are
+// spread round-robin (replica r lives in DC r mod DCs), so a 3-replica
+// chain in a 3-DC topology has exactly one replica per site — the
+// paper's geo-replicated worst case. Inter-DC legs are modeled as a
+// per-direction base delay on each node's uplink; intra-DC links keep
+// the testbed's µs fabric.
+type Topology struct {
+	// DCs is the datacenter count (2–3 are the realistic presets;
+	// 0 or 1 disables WAN emulation).
+	DCs int
+	// InterDCRTT is the round-trip time between any two distinct
+	// datacenters (all pairs equidistant — a one-way leg is RTT/2).
+	InterDCRTT time.Duration
+}
+
+// Enabled reports whether the topology spans more than one DC.
+func (t Topology) Enabled() bool { return t.DCs > 1 }
+
+// DCOf returns the datacenter hosting store replica r.
+func (t Topology) DCOf(replica int) int {
+	if t.DCs <= 1 {
+		return 0
+	}
+	return replica % t.DCs
+}
+
+// NodeDelay returns the extra one-way delay applied to EACH direction
+// of a node's uplink when the node lives in dc. The model is
+// hub-and-spoke with DC 0 as the hub: a node outside the hub pays one
+// inter-DC one-way leg (RTT/2) per uplink crossing, so a DC0↔DCi
+// exchange costs exactly InterDCRTT round trip, and two non-hub sites
+// i≠j are one full RTT apart one-way (their traffic transits the hub's
+// backbone) — the geometry of a primary region with remote replicas.
+func (t Topology) NodeDelay(dc int) time.Duration {
+	if !t.Enabled() || dc == 0 {
+		return 0
+	}
+	return t.InterDCRTT / 2
+}
+
+// LeaseGuardFloor is the minimum lease guard a deployment on this
+// topology needs: the store starts counting the full lease period when
+// the (head) replica processes the grant, while the switch starts its
+// shortened period only when the ack arrives after chain commit across
+// sites — up to ~3 one-way inter-DC crossings for a 3-replica,
+// 3-site chain plus the commit-ack return, ≈ 3·RTT worst case. The
+// guard must absorb that whole path (G ≥ d, DESIGN.md §12); the
+// constant slack covers fabric, serialization, and queueing.
+func (t Topology) LeaseGuardFloor() time.Duration {
+	if !t.Enabled() {
+		return 0
+	}
+	return 3*t.InterDCRTT + 5*time.Millisecond
+}

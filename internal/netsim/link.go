@@ -78,13 +78,35 @@ func (l *Link) countDrop() {
 	}
 }
 
+// Shaper conditions frames leaving a port in one direction. It is the
+// hook internal/netem's link conditioners (gray failures, one-way
+// partitions, WAN delay) attach through. Shape is consulted once per
+// frame, after the link's own up/loss checks: drop discards the frame
+// (counted as a link drop), extraDelay is added to the arrival time,
+// and bandwidth, when > 0, overrides the link's bandwidth for this
+// frame's serialization. Implementations needing randomness must use
+// their own seeded source — drawing from the simulation's RNG would
+// perturb every other random choice in the run.
+type Shaper interface {
+	Shape(f *Frame) (drop bool, extraDelay Time, bandwidth float64)
+}
+
 // Port is one endpoint of a link.
 type Port struct {
 	link     *Link
 	owner    Node
 	peer     *Port
 	nextFree Time // when this direction's transmitter is idle again
+	shaper   Shaper
 }
+
+// SetShaper installs (or clears, with nil) the per-direction frame
+// conditioner for frames sent out this port.
+func (p *Port) SetShaper(sh Shaper) { p.shaper = sh }
+
+// Ports returns the link's two endpoints in Connect order (a's port,
+// b's port) so conditioners can be attached per direction.
+func (l *Link) Ports() (*Port, *Port) { return l.a, l.b }
 
 // Connect creates a link between nodes a and b and returns it along with
 // a's and b's ports. The link starts up.
@@ -145,6 +167,20 @@ func (p *Port) Send(f *Frame) {
 		l.countDrop()
 		return
 	}
+	var shapeDelay Time
+	bw := l.cfg.Bandwidth
+	if p.shaper != nil {
+		drop, extra, obw := p.shaper.Shape(f)
+		if drop {
+			l.Drops++
+			l.countDrop()
+			return
+		}
+		shapeDelay = extra
+		if obw > 0 {
+			bw = obw
+		}
+	}
 	txStart := s.now
 	if p.nextFree > txStart {
 		txStart = p.nextFree
@@ -164,12 +200,12 @@ func (p *Port) Send(f *Frame) {
 		l.oBytes.Add(uint64(f.Size))
 	}
 	txDone := txStart
-	if l.cfg.Bandwidth > 0 {
-		txDone += Time(float64(f.Size*8) / l.cfg.Bandwidth * 1e9)
+	if bw > 0 {
+		txDone += Time(float64(f.Size*8) / bw * 1e9)
 	}
 	p.nextFree = txDone
 
-	arrival := txDone + Duration(l.cfg.Delay)
+	arrival := txDone + Duration(l.cfg.Delay) + shapeDelay
 	if l.cfg.Jitter > 0 {
 		arrival += Time(s.rng.Int63n(int64(l.cfg.Jitter)))
 	}

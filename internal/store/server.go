@@ -15,6 +15,16 @@ import (
 // on (historically the chain port; every engine's peer traffic uses it).
 const replPort uint16 = 9502
 
+// LocalClock maps simulator time to a node-local clock and back. A nil
+// clock is the perfect (identity) clock; netem.Clock satisfies this.
+// The store's lease arithmetic runs entirely on local time — what a
+// real server's wall clock would drive — so bounded skew between a
+// server and its switches is actually exercised, not assumed away.
+type LocalClock interface {
+	Local(sim int64) int64
+	Sim(local int64) int64
+}
+
 // DefaultQueueMaxMsgs bounds the service backlog by message count when
 // Server.QueueMaxMsgs is zero. It sits above anything the time-based
 // QueueLimit admits for single-message traffic (1 ms / 500 ns = 2000),
@@ -98,6 +108,10 @@ type Server struct {
 
 	wake *netsim.Timer
 
+	// clock is the server's local clock (nil = perfect). Shard lease
+	// arithmetic sees local time; the wake timer converts back.
+	clock LocalClock
+
 	// Observability handles, cached at construction under scope
 	// "store/<name>"; the tracer is shared and nil-safe.
 	ns                 *obs.Scope
@@ -151,6 +165,19 @@ func newServerRaw(sim *netsim.Sim, name string, ip packet.Addr, shard *Shard, se
 	s.tr = reg.Tracer()
 	s.wake = netsim.NewTimer(sim, s.fireWake)
 	return s
+}
+
+// SetClock installs the server's local clock (nil = perfect clock,
+// the exact pre-netem behavior). Call before traffic flows.
+func (s *Server) SetClock(c LocalClock) { s.clock = c }
+
+// localNow is the server's local-clock reading of the current instant;
+// all shard lease arithmetic uses it.
+func (s *Server) localNow() int64 {
+	if s.clock == nil {
+		return int64(s.sim.Now())
+	}
+	return s.clock.Local(int64(s.sim.Now()))
 }
 
 // Replicator returns the server's replication engine.
@@ -449,7 +476,7 @@ func (s *Server) handleRequest(m *wire.Message) {
 		return
 	}
 	before := s.shard.Stats
-	outs, ups := s.shard.Process(int64(s.sim.Now()), m)
+	outs, ups := s.shard.Process(s.localNow(), m)
 	s.traceLeases(before, m.Key, true)
 	s.flowsGauge.Set(int64(s.shard.Flows()))
 	s.commit(outs, ups)
@@ -480,7 +507,7 @@ func (s *Server) handleBatch(b *wire.Batch) {
 		}
 	}
 	before := s.shard.Stats
-	outs, ups := s.shard.ProcessBatch(int64(s.sim.Now()), msgs)
+	outs, ups := s.shard.ProcessBatch(s.localNow(), msgs)
 	s.traceLeases(before, packet.FiveTuple{}, false)
 	s.batchSize.Set(int64(b.Len()))
 	if s.tr.Active() {
@@ -693,6 +720,10 @@ func (s *Server) armWake() {
 	if at == 0 {
 		return
 	}
+	if s.clock != nil {
+		// NextWake is a local-clock deadline; the timer runs in sim time.
+		at = s.clock.Sim(at)
+	}
 	s.wake.Arm(netsim.Time(at))
 }
 
@@ -704,7 +735,7 @@ func (s *Server) fireWake() {
 		return // rejoin re-arms via SetView
 	}
 	before := s.shard.Stats
-	outs, ups := s.shard.Flush(int64(s.sim.Now()))
+	outs, ups := s.shard.Flush(s.localNow())
 	s.traceLeases(before, packet.FiveTuple{}, false)
 	s.commit(outs, ups)
 	s.armWake()

@@ -1,0 +1,182 @@
+package redplane
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"redplane/internal/apps"
+	"redplane/internal/failure"
+	"redplane/internal/netem"
+	"redplane/internal/netsim"
+	"redplane/internal/obs"
+	"redplane/internal/packet"
+)
+
+// TestGrayHeadNotSplicedByLiveness pins the boundary between gray
+// failure and death for the membership coordinator: a head replica
+// under a gray shape (slow, lossy, throttled — but alive) must NOT be
+// spliced out by liveness probes, no matter how many probe intervals
+// elapse, because probes measure liveness, not latency. When the gray
+// head finally does die, the splice happens and every write that was
+// acknowledged through it must still be present on the survivors —
+// the chain tail acked them, so the gray head was never the only copy.
+func TestGrayHeadNotSplicedByLiveness(t *testing.T) {
+	d := NewDeployment(DeploymentConfig{
+		Seed:            5,
+		NewApp:          func(int) App { return apps.SyncCounter{} },
+		StoreMembership: true,
+		NetEm:           netem.Config{Seed: 5, Faults: true},
+	})
+
+	sink := d.AddServer(0, "sink", MakeAddr(10, 0, 0, 50))
+	delivered := 0
+	sink.Handler = func(f *netsim.Frame) {
+		if f.Pkt != nil {
+			delivered++
+		}
+	}
+	src := d.AddClient(0, "client", MakeAddr(100, 0, 0, 1))
+	key := FiveTuple{Src: src.IP, Dst: sink.IP, SrcPort: 7777, DstPort: 80, Proto: packet.ProtoTCP}
+
+	// A steady synchronous write stream: every delivery at the sink was
+	// gated on a store commit acked by the chain tail.
+	seq := uint64(0)
+	end := netsim.Duration(900 * time.Millisecond)
+	d.Sim.Every(0, netsim.Duration(time.Millisecond), func() bool {
+		seq++
+		p := packet.NewTCP(src.IP, sink.IP, 7777, 80, packet.FlagACK, 0)
+		p.Seq = seq
+		src.SendPacket(p)
+		return d.Sim.Now() < end
+	})
+
+	// Gray the head at 100 ms. The coordinator's probe cadence is
+	// DefaultProbeInterval (2 ms): between t=100ms and t=400ms it probes
+	// the gray head ~150 times and must not splice it once. (RunFor
+	// horizons are absolute simulation times.)
+	shape := netem.DefaultGrayShape()
+	d.Sim.At(netsim.Duration(100*time.Millisecond), func() {
+		d.SetStoreGray(0, 0, &shape)
+	})
+	d.RunFor(100 * time.Millisecond)
+	healthyDelivered := delivered
+	d.RunFor(400 * time.Millisecond)
+
+	if st := d.Coordinator.Stats(); st.SpliceOuts != 0 {
+		t.Fatalf("gray head spliced out %d times by liveness probes; gray is slow, not dead", st.SpliceOuts)
+	}
+	if delivered <= healthyDelivered {
+		t.Fatalf("no deliveries under gray (stuck at %d); the shape should degrade, not kill", delivered)
+	}
+	ackedUnderGray := delivered
+
+	// Now the gray head actually dies (event times are offsets from
+	// install time, i.e. 420 ms into the run). The very same probes that
+	// held their fire must splice it out, and the acked prefix survives
+	// on the promoted head.
+	d.ScheduleFaultEvents(FaultSchedule{Events: []FaultEvent{
+		{At: 20 * time.Millisecond, Kind: failure.StoreFail, Shard: 0, Replica: 0, Cold: true},
+	}})
+	d.RunFor(900 * time.Millisecond)
+
+	if st := d.Coordinator.Stats(); st.SpliceOuts == 0 {
+		t.Fatal("dead head never spliced out")
+	}
+	if delivered <= ackedUnderGray {
+		t.Fatalf("writes stopped committing after failover (stuck at %d)", delivered)
+	}
+	vals, lastSeq, ok := d.Cluster.Server(0, 1).Shard().State(key)
+	if !ok {
+		t.Fatal("promoted head has no state for the flow")
+	}
+	if len(vals) == 0 || vals[0] < uint64(ackedUnderGray) {
+		t.Fatalf("promoted head counter %v below the %d writes acked before the crash", vals, ackedUnderGray)
+	}
+	if lastSeq == 0 {
+		t.Fatal("promoted head never applied a replicated write")
+	}
+}
+
+// TestNetemCountersExposedToPrometheus pins the observability contract
+// for the emulation subsystem: netem/gray_drops, netem/partition_drops,
+// clock/max_skew_ns, and lease/skew_margin_hits all flow through the
+// deployment registry and render under their exposition names in
+// obs.WritePrometheus output — with the drop counters provably counting
+// (a gray shape with certain loss, then a one-way cut, each dropping
+// the switch's retransmitted store requests).
+func TestNetemCountersExposedToPrometheus(t *testing.T) {
+	d := NewDeployment(DeploymentConfig{
+		Seed:   9,
+		NewApp: func(int) App { return apps.SyncCounter{} },
+		NetEm: netem.Config{Seed: 9, Faults: true,
+			ClockDriftPPM: 200, ClockOffsetMax: time.Millisecond},
+	})
+	sink := d.AddServer(0, "sink", MakeAddr(10, 0, 0, 50))
+	src := d.AddClient(0, "client", MakeAddr(100, 0, 0, 1))
+	// Two flows on different switches: each switch's first packet is the
+	// one that emits a fresh lease request toward the store, so each
+	// phase needs its own previously-unseen switch.
+	flow := func(sport uint16) FiveTuple {
+		return FiveTuple{Src: src.IP, Dst: sink.IP, SrcPort: sport, DstPort: 80, Proto: packet.ProtoTCP}
+	}
+	sportA := uint16(7777)
+	sportB := sportA + 1
+	for d.SwitchFor(flow(sportB)) == d.SwitchFor(flow(sportA)) {
+		sportB++
+	}
+
+	// Phase 1 (to t=100ms): certain-loss gray on the head's uplink. The
+	// first switch's lease request dies in the shaper.
+	shape := netem.GrayShape{LossGood: 1}
+	d.SetStoreGray(0, 0, &shape)
+	src.SendPacket(packet.NewTCP(src.IP, sink.IP, sportA, 80, packet.FlagSYN, 0))
+	d.RunFor(100 * time.Millisecond)
+	// Phase 2 (to t=200ms): heal the gray, cut the same direction
+	// instead; the other switch's lease request dies at the cut.
+	d.SetStoreGray(0, 0, nil)
+	d.SetStoreOneWay(0, 0, true, true)
+	src.SendPacket(packet.NewTCP(src.IP, sink.IP, sportB, 80, packet.FlagSYN, 0))
+	d.RunFor(200 * time.Millisecond)
+
+	var b strings.Builder
+	if err := obs.WritePrometheus(&b, d.Observe()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"redplane_netem_gray_drops",
+		"redplane_netem_partition_drops",
+		"redplane_clock_max_skew_ns",
+		"redplane_lease_skew_margin_hits",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("missing %s in exposition:\n%s", name, out)
+		}
+	}
+	sample := func(name string) (float64, bool) {
+		for _, line := range strings.Split(out, "\n") {
+			if v, found := strings.CutPrefix(line, name+" "); found {
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					t.Fatalf("unparseable sample %q: %v", line, err)
+				}
+				return f, true
+			}
+		}
+		return 0, false
+	}
+	if v, ok := sample("redplane_netem_gray_drops"); !ok || v == 0 {
+		t.Errorf("gray_drops = %v (found %v), want > 0 under a certain-loss shape", v, ok)
+	}
+	if v, ok := sample("redplane_netem_partition_drops"); !ok || v == 0 {
+		t.Errorf("partition_drops = %v (found %v), want > 0 under a one-way cut", v, ok)
+	}
+	if v, ok := sample("redplane_clock_max_skew_ns"); !ok || v == 0 {
+		t.Errorf("clock_max_skew_ns = %v (found %v), want > 0 with drifting clocks", v, ok)
+	}
+	if v, ok := sample("redplane_lease_skew_margin_hits"); !ok || v != 0 {
+		t.Errorf("skew_margin_hits = %v (found %v), want rendered 0 in a correctly-margined run", v, ok)
+	}
+}

@@ -15,12 +15,15 @@
 #                              # BENCH_<today>-udppath.json (CI perf gate)
 #   scripts/bench.sh -flowspace # chain-count scale sweep only, writes
 #                              # BENCH_<today>-flowspace.json (CI perf gate)
+#   scripts/bench.sh -wan      # WAN consistency sweep only, writes
+#                              # BENCH_<today>-wan.json (CI perf gate)
 #
 # Environment:
 #   BASELINE=BENCH_old.json    # embed baseline numbers + % deltas
 #   OUT=path.json              # override the output path
 #   UDPOUT=path.json           # override the -udp output path
 #   FLOWOUT=path.json          # override the -flowspace output path
+#   WANOUT=path.json           # override the -wan output path
 #
 # To compare two snapshots with benchstat:
 #   jq -r '.benchmarks[].raw' BENCH_a.json > a.txt
@@ -32,15 +35,18 @@ cd "$(dirname "$0")/.."
 short=0
 udponly=0
 flowonly=0
+wanonly=0
 case "${1:-}" in
 -short) short=1 ;;
 -udp) udponly=1 ;;
 -flowspace) flowonly=1 ;;
+-wan) wanonly=1 ;;
 esac
 date=$(date +%F)
 out="${OUT:-BENCH_${date}.json}"
 udpout="${UDPOUT:-BENCH_${date}-udppath.json}"
 flowout="${FLOWOUT:-BENCH_${date}-flowspace.json}"
+wanout="${WANOUT:-BENCH_${date}-wan.json}"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -104,6 +110,37 @@ bench_flowspace() {
 
 if [ $flowonly -eq 1 ]; then
     bench_flowspace
+    exit 0
+fi
+
+# bench_wan measures the cross-datacenter consistency trade-off: the
+# closed-loop linearizable-vs-bounded RTT sweep, reduced to the gated
+# numbers CI compares against bench/wan-floor.json — the 40 ms
+# bounded-over-linearizable speedup plus both absolute goodputs. All
+# three run in simulated time, so they are deterministic per tree.
+bench_wan() {
+    echo "== WAN consistency sweep (linearizable vs bounded, 0 -> 80 ms inter-DC RTT) =="
+    go test -run '^$' -benchtime 3x -bench 'WANConsistency' . | tee "$tmp/wan.txt"
+    awk '
+    /^BenchmarkWANConsistency/ {
+        for (i = 1; i < NF; i++) {
+            if ($(i+1) == "speedup40-x")  sx = $i
+            if ($(i+1) == "bnd40ms-kpps") bg = $i
+            if ($(i+1) == "lin40ms-kpps") lg = $i
+        }
+    }
+    END {
+        if (sx > 0) printf "BenchmarkWANConsistencyRatio/speedup40 \t1\t%.3f x-speedup\n", sx
+        if (bg > 0) printf "BenchmarkWANConsistencyRatio/bounded-goodput \t1\t%.3f kpkts/s\n", bg
+        if (lg > 0) printf "BenchmarkWANConsistencyRatio/lin-goodput \t1\t%.3f kpkts/s\n", lg
+    }' "$tmp/wan.txt" | tee -a "$tmp/wan.txt"
+    go run ./cmd/benchjson -date "$date" -out "$wanout" \
+        -note "scripts/bench.sh -wan (WAN consistency sweep)" "$tmp/wan.txt"
+    echo "wrote $wanout"
+}
+
+if [ $wanonly -eq 1 ]; then
+    bench_wan
     exit 0
 fi
 
